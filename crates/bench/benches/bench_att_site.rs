@@ -1,0 +1,83 @@
+//! Experiment T-ATT (DESIGN.md §4): the AT&T organization site of §5.1.
+//!
+//! Measures (a) data-graph integration from four sources, (b) site-graph
+//! construction at member counts around the paper's "approximately 400
+//! users", (c) HTML generation, and (d) the cost of producing the external
+//! version — which shares the site graph and only swaps templates, the
+//! paper's headline maintainability claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use strudel::synth::org;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("att_site_build");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let src = org::generate(n, 1997);
+        group.bench_with_input(BenchmarkId::new("warehouse+site_graph", n), &src, |b, src| {
+            b.iter(|| {
+                let mut s = org::system(src).unwrap();
+                let build = s.build_site().unwrap();
+                black_box(build.graph.edge_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("att_site_generate");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let src = org::generate(n, 1997);
+        group.bench_with_input(BenchmarkId::new("html_internal", n), &src, |b, src| {
+            let mut s = org::system(src).unwrap();
+            b.iter(|| {
+                let site = s.generate_site(&["RootPage"]).unwrap();
+                black_box(site.pages.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("html_internal_parallel4", n), &src, |b, src| {
+            let mut s = org::system(src).unwrap();
+            b.iter(|| {
+                let site = s.generate_site_parallel(&["RootPage"], 4).unwrap();
+                black_box(site.pages.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_external_version(c: &mut Criterion) {
+    let mut group = c.benchmark_group("att_site_external_version");
+    group.sample_size(10);
+    let src = org::generate(400, 1997);
+
+    // Building the external site with the existing system: swap 5 templates
+    // and regenerate — no new queries (the paper's claim: "building the
+    // external version was trivial").
+    group.bench_function("template_swap_only", |b| {
+        let mut s = org::system(&src).unwrap();
+        s.build_site().unwrap(); // warehouse warm
+        b.iter(|| {
+            *s.templates_mut() = org::templates_external().unwrap();
+            let site = s.generate_site(&["RootPage"]).unwrap();
+            black_box(site.pages.len())
+        });
+    });
+
+    // The alternative a procedural shop faces: rebuild everything.
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            let mut s = org::system(&src).unwrap();
+            *s.templates_mut() = org::templates_external().unwrap();
+            let site = s.generate_site(&["RootPage"]).unwrap();
+            black_box(site.pages.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_generate, bench_external_version);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiment T-CNN (DESIGN.md §4): the CNN demonstration site of §5.1 —
+//! ~300 articles, general vs. sports-only versions from the same data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use strudel::synth::news;
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnn_site_scale");
+    group.sample_size(10);
+    for &n in &[75usize, 150, 300, 600] {
+        group.bench_with_input(BenchmarkId::new("general_end_to_end", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = news::system(n, 7, false).unwrap();
+                let site = s.generate_site(&["FrontPage"]).unwrap();
+                black_box(site.total_bytes())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_versions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnn_site_versions");
+    group.sample_size(10);
+    const N: usize = 300;
+
+    group.bench_function("general_site_graph", |b| {
+        let mut s = news::system(N, 7, false).unwrap();
+        s.data_graph().unwrap(); // warehouse warm
+        b.iter(|| black_box(s.build_site().unwrap().graph.edge_count()));
+    });
+
+    // The sports-only site: same data, derived query (+2 predicates).
+    group.bench_function("sports_site_graph", |b| {
+        let mut s = news::system(N, 7, true).unwrap();
+        s.data_graph().unwrap();
+        b.iter(|| black_box(s.build_site().unwrap().graph.edge_count()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale, bench_versions);
+criterion_main!(benches);

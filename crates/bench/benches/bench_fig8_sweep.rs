@@ -1,0 +1,95 @@
+//! Experiment F8 (DESIGN.md §4): the Fig. 8 suitability sweep — tools
+//! across (quantity of data × complexity of structure).
+//!
+//! Besides the Criterion timings, this bench prints a summary table (tool ×
+//! data size × complexity level → wall time, pages, spec lines) that
+//! EXPERIMENTS.md transcribes; the *shape* to check is that the procedural
+//! baseline is fastest but frozen at one structure, the RDBMS dump handles
+//! any size but only flat structure, and STRUDEL covers the whole grid with
+//! a specification that grows only with structural complexity.
+
+use bench::{baselines, fig8};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use strudel::synth::news;
+use strudel_graph::ddl;
+
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_strudel_grid");
+    group.sample_size(10);
+    for &n in &[50usize, 200, 800] {
+        for level in [1usize, 2, 4] {
+            let id = format!("n{n}_level{level}");
+            group.bench_with_input(BenchmarkId::new("strudel", &id), &(n, level), |b, &(n, level)| {
+                b.iter(|| {
+                    let mut s = fig8::strudel_system(n, 5, level).unwrap();
+                    black_box(s.generate_site(&["FrontPage"]).unwrap().pages.len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_baselines");
+    group.sample_size(10);
+    for &n in &[50usize, 200, 800] {
+        let data = ddl::parse(&news::generate_ddl(n, 5)).unwrap();
+        group.bench_with_input(BenchmarkId::new("procedural_level3", n), &data, |b, data| {
+            b.iter(|| black_box(baselines::procedural::news_site(data).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("rdbms_dump_level1", n), &data, |b, data| {
+            b.iter(|| black_box(baselines::rdbms_web::dump_site(data).len()));
+        });
+    }
+    group.finish();
+}
+
+fn print_summary_table() {
+    println!("\n=== Fig. 8 sweep summary (single-shot wall times) ===");
+    println!(
+        "{:<12} {:>6} {:>7} {:>12} {:>7} {:>10}",
+        "tool", "n", "level", "time", "pages", "spec-lines"
+    );
+    for &n in &[50usize, 200, 800] {
+        for level in 1..=fig8::MAX_LEVEL {
+            let t = Instant::now();
+            let mut s = fig8::strudel_system(n, 5, level).unwrap();
+            let pages = s.generate_site(&["FrontPage"]).unwrap().pages.len();
+            println!(
+                "{:<12} {:>6} {:>7} {:>12?} {:>7} {:>10}",
+                "strudel",
+                n,
+                format!("L{level}({}links)", fig8::link_clause_count(level)),
+                t.elapsed(),
+                pages,
+                fig8::strudel_spec_lines(level)
+            );
+        }
+        let data = ddl::parse(&news::generate_ddl(n, 5)).unwrap();
+        let t = Instant::now();
+        let pages = baselines::procedural::news_site(&data).len();
+        println!(
+            "{:<12} {:>6} {:>7} {:>12?} {:>7} {:>10}",
+            "procedural", n, "L3-only", t.elapsed(), pages, "~160 (program)"
+        );
+        let t = Instant::now();
+        let pages = baselines::rdbms_web::dump_site(&data).len();
+        println!(
+            "{:<12} {:>6} {:>7} {:>12?} {:>7} {:>10}",
+            "rdbms-dump", n, "L1-only", t.elapsed(), pages, "~45 (fixed)"
+        );
+    }
+    println!();
+}
+
+fn bench_with_table(c: &mut Criterion) {
+    print_summary_table();
+    bench_grid(c);
+    bench_baselines(c);
+}
+
+criterion_group!(benches, bench_with_table);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Experiments T-HOME and F3/F4 (DESIGN.md §4): the §3.1 personal home
+//! page — BibTeX wrapper → mediator → Fig. 3 query → Fig. 7 templates —
+//! at the paper's personal-site scale and beyond.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use strudel::synth::bib;
+use strudel_wrappers::bibtex;
+
+fn bench_wrapper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homepage_bibtex_wrapper");
+    group.sample_size(20);
+    for &n in &[25usize, 100, 400] {
+        let text = bib::generate_bibtex("Mary Fernandez", n, 42);
+        group.bench_with_input(BenchmarkId::new("parse_to_graph", n), &text, |b, text| {
+            b.iter(|| black_box(bibtex::to_graph(text).unwrap().edge_count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homepage_pipeline");
+    group.sample_size(10);
+    for &n in &[25usize, 100, 400] {
+        group.bench_with_input(BenchmarkId::new("end_to_end", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = bib::system("Mary Fernandez", n, 42).unwrap();
+                let site = s.generate_site(&["RootPage"]).unwrap();
+                black_box(site.total_bytes())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homepage_stages");
+    group.sample_size(10);
+    const N: usize = 100;
+
+    group.bench_function("site_graph_only", |b| {
+        let mut s = bib::system("Mary Fernandez", N, 42).unwrap();
+        s.data_graph().unwrap();
+        b.iter(|| black_box(s.build_site().unwrap().graph.edge_count()));
+    });
+
+    group.bench_function("html_only", |b| {
+        let mut s = bib::system("Mary Fernandez", N, 42).unwrap();
+        s.build_site().unwrap();
+        b.iter(|| black_box(s.generate_site(&["RootPage"]).unwrap().pages.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wrapper, bench_pipeline, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Experiment A-INC (DESIGN.md §4): materialized vs. click-time evaluation
+//! ([FER 98c], §1/§6).
+//!
+//! The paper's spectrum: "materialize the view completely" vs. "precompute
+//! the root(s) of a Web site, then compute at click time the query that
+//! obtains the information required to display the next page". We measure
+//! (a) full site-graph materialization, (b) the latency of a single first
+//! click, and (c) a cached re-click.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use strudel::site::{DynamicSite, PageRef};
+use strudel::struql::{parse_query, EvalOptions, Query};
+use strudel::synth::news;
+use strudel_graph::{ddl, Graph};
+
+fn setup(n: usize) -> (Graph, Query) {
+    let data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
+    let query = parse_query(news::SITE_QUERY).unwrap();
+    (data, query)
+}
+
+fn bench_materialize_vs_click(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    for &n in &[100usize, 400, 1600] {
+        let (data, query) = setup(n);
+        group.bench_with_input(BenchmarkId::new("materialize_full", n), &n, |b, _| {
+            let opts = EvalOptions::default();
+            b.iter(|| black_box(query.evaluate(&data, &opts).unwrap().graph.edge_count()));
+        });
+        group.bench_with_input(BenchmarkId::new("first_click_front_page", n), &n, |b, _| {
+            b.iter(|| {
+                let mut site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+                let root = PageRef { skolem: "FrontPage".into(), args: vec![] };
+                black_box(site.expand(&root).unwrap().len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cached_re_click", n), &n, |b, _| {
+            let mut site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+            let root = PageRef { skolem: "FrontPage".into(), args: vec![] };
+            site.expand(&root).unwrap();
+            b.iter(|| black_box(site.expand(&root).unwrap().len()));
+        });
+    }
+    group.finish();
+}
+
+fn report_crossover() {
+    println!("\n=== A-INC: one click vs full materialization ===");
+    for &n in &[100usize, 400, 1600] {
+        let (data, query) = setup(n);
+        let t0 = std::time::Instant::now();
+        let out = query.evaluate(&data, &EvalOptions::default()).unwrap();
+        let full = t0.elapsed();
+        let mut site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let root = PageRef { skolem: "FrontPage".into(), args: vec![] };
+        let t1 = std::time::Instant::now();
+        let links = site.expand(&root).unwrap();
+        let click = t1.elapsed();
+        println!(
+            "  n={n:<5} full={full:>10?} ({} edges)   first click={click:>10?} ({} links)",
+            out.graph.edge_count(),
+            links.len()
+        );
+    }
+    println!();
+}
+
+/// The maintainable (aggregate-free) fragment of the news site definition:
+/// incremental maintenance rejects `COUNT` targets (a delta changes group
+/// values), so A-INC2 measures the core structure.
+const MAINTAINABLE_QUERY: &str = r#"
+CREATE FrontPage()
+{
+  WHERE Articles(a), a -> l -> v
+  CREATE ArticlePage(a)
+  LINK ArticlePage(a) -> l -> v,
+       FrontPage() -> "Article" -> ArticlePage(a)
+  {
+    WHERE l = "section"
+    CREATE SectionPage(v)
+    LINK SectionPage(v) -> "Story" -> ArticlePage(a),
+         FrontPage() -> "Section" -> SectionPage(v)
+  }
+}
+"#;
+
+/// A-INC2: incremental view maintenance vs full rebuild per insertion.
+fn bench_incremental_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_maintenance");
+    group.sample_size(10);
+    for &n in &[200usize, 800] {
+        let data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
+        let query = parse_query(MAINTAINABLE_QUERY).unwrap();
+        group.bench_with_input(BenchmarkId::new("single_insert_incremental", n), &n, |b, _| {
+            let mut data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
+            let mut inc =
+                strudel::site::IncrementalSite::new(&data, &query, EvalOptions::default()).unwrap();
+            let article = data.nodes()[0];
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                inc.add_edge(&mut data, article, "tag", strudel::graph::Value::Int(i as i64)).unwrap();
+                black_box(inc.site.edge_count())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("single_insert_full_rebuild", n), &n, |b, _| {
+            let mut data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
+            let article = data.nodes()[0];
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                data.add_edge_str(article, "tag", strudel::graph::Value::Int(i as i64)).unwrap();
+                black_box(query.evaluate(&data, &EvalOptions::default()).unwrap().graph.edge_count())
+            });
+        });
+        let _ = data;
+    }
+    group.finish();
+}
+
+fn benches_with_report(c: &mut Criterion) {
+    report_crossover();
+    bench_materialize_vs_click(c);
+    bench_incremental_maintenance(c);
+}
+
+criterion_group!(benches, benches_with_report);
+criterion_main!(benches);

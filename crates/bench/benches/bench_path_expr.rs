@@ -1,0 +1,117 @@
+//! Experiments A-TC and T-TEXTONLY (DESIGN.md §4): regular path
+//! expressions, transitive closure via two-query composition (§3's
+//! expressive-power result), and the TextOnly graph-copy query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use strudel_graph::{FileKind, Graph, Value};
+use strudel_struql::{parse_query, EvalOptions};
+
+/// A random graph with out-degree ~3 over `n` nodes, some image leaves.
+fn random_graph(n: usize, seed: u64) -> Graph {
+    let mut r = StdRng::seed_from_u64(seed);
+    let mut g = Graph::standalone();
+    let nodes: Vec<_> = (0..n).map(|i| g.new_node(Some(&format!("n{i}")))).collect();
+    g.add_to_collection_str("Root", Value::Node(nodes[0]));
+    let labels = ["to", "next", "ref"];
+    for &from in &nodes {
+        for _ in 0..3 {
+            let to = nodes[r.gen_range(0..n)];
+            let l = labels[r.gen_range(0..labels.len())];
+            g.add_edge_str(from, l, Value::Node(to)).unwrap();
+        }
+        if r.gen_bool(0.2) {
+            g.add_edge_str(from, "img", Value::file(FileKind::Image, "x.gif")).unwrap();
+        } else {
+            g.add_edge_str(from, "text", "content").unwrap();
+        }
+    }
+    g
+}
+
+/// A chain-shaped binary relation encoded as fst/snd pairs.
+fn relation_chain(n: usize) -> Graph {
+    let mut g = Graph::standalone();
+    for i in 0..n as i64 {
+        let p = g.new_node(None);
+        g.add_to_collection_str("R", Value::Node(p));
+        g.add_edge_str(p, "fst", i).unwrap();
+        g.add_edge_str(p, "snd", i + 1).unwrap();
+    }
+    g
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_reachability");
+    group.sample_size(10);
+    let q = parse_query("WHERE Root(p), p -> * -> q COLLECT Reached(q)").unwrap();
+    for &n in &[256usize, 1024, 4096] {
+        let g = random_graph(n, 11);
+        group.bench_with_input(BenchmarkId::new("star", n), &g, |b, g| {
+            let opts = EvalOptions::default();
+            b.iter(|| {
+                let out = q.evaluate(g, &opts).unwrap();
+                black_box(out.graph.collection_str("Reached").unwrap().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transitive_closure_composition");
+    group.sample_size(10);
+    let q1 = parse_query(
+        r#"WHERE R(p), p -> "fst" -> a, p -> "snd" -> b
+           CREATE N(a), N(b)
+           LINK N(a) -> "r" -> N(b), N(a) -> "val" -> a, N(b) -> "val" -> b"#,
+    )
+    .unwrap();
+    let q2 = parse_query(
+        r#"WHERE x -> "val" -> a, x -> "r"+ -> y, y -> "val" -> b
+           CREATE Pair(a, b)
+           LINK Pair(a, b) -> "fst" -> a, Pair(a, b) -> "snd" -> b
+           COLLECT TC(Pair(a, b))"#,
+    )
+    .unwrap();
+    for &n in &[32usize, 64, 128] {
+        let g = relation_chain(n);
+        group.bench_with_input(BenchmarkId::new("two_query_chain", n), &g, |b, g| {
+            let opts = EvalOptions::default();
+            b.iter(|| {
+                let step1 = q1.evaluate(g, &opts).unwrap();
+                let step2 = q2.evaluate(&step1.graph, &opts).unwrap();
+                let tc = step2.graph.collection_str("TC").unwrap().len();
+                // TC of an n-edge chain has n(n+1)/2 pairs.
+                assert_eq!(tc, n * (n + 1) / 2);
+                black_box(tc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_copy_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("textonly_copy");
+    group.sample_size(10);
+    let q = parse_query(
+        r#"WHERE Root(p), p -> * -> q, q -> l -> q0, not(isImageFile(q0))
+           CREATE New(p), New(q), New(q0)
+           LINK New(q) -> l -> New(q0)
+           COLLECT TextOnlyRoot(New(p))"#,
+    )
+    .unwrap();
+    for &n in &[256usize, 1024] {
+        let g = random_graph(n, 13);
+        group.bench_with_input(BenchmarkId::new("copy_no_images", n), &g, |b, g| {
+            let opts = EvalOptions::default();
+            b.iter(|| black_box(q.evaluate(g, &opts).unwrap().graph.edge_count()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability, bench_transitive_closure, bench_copy_query);
+criterion_main!(benches);

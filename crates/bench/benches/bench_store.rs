@@ -1,0 +1,47 @@
+//! Storage-layer benchmark (the §6 "storage representations" exercise):
+//! serialization and deserialization throughput of the schema-free binary
+//! format, plus DDL text as the baseline exchange format.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use strudel::synth::news;
+use strudel_graph::{ddl, store, Graph};
+
+fn data(n: usize) -> Graph {
+    ddl::parse(&news::generate_ddl(n, 3)).unwrap()
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(20);
+    for &n in &[100usize, 1000] {
+        let g = data(n);
+        let mut buf = Vec::new();
+        store::save(&g, &mut buf).unwrap();
+        println!("storage: {n} articles -> {} bytes binary", buf.len());
+
+        group.bench_with_input(BenchmarkId::new("save_binary", n), &g, |b, g| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(1 << 16);
+                store::save(g, &mut out).unwrap();
+                black_box(out.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("load_binary", n), &buf, |b, buf| {
+            b.iter(|| black_box(store::load_slice(buf).unwrap().edge_count()));
+        });
+
+        // Baseline: the DDL text exchange format.
+        let text = ddl::print(&g);
+        group.bench_with_input(BenchmarkId::new("print_ddl", n), &g, |b, g| {
+            b.iter(|| black_box(ddl::print(g).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("parse_ddl", n), &text, |b, text| {
+            b.iter(|| black_box(ddl::parse(text).unwrap().edge_count()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

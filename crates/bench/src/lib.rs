@@ -1,0 +1,26 @@
+//! Workloads and comparison baselines for the STRUDEL reproduction's
+//! benchmark harness (see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for the measured results).
+//!
+//! The paper's Fig. 8 places web-site tools on two axes — quantity of data
+//! and complexity of structure — and claims STRUDEL wins in the
+//! large-data / complex-structure quadrant, WYSIWYG tools in the
+//! small/simple corner, and "RDBMS + Web interface" tools in the
+//! large-data / simple-structure region. To give that claim teeth we
+//! implement the two comparison points as code:
+//!
+//! * [`baselines::procedural`] — the "set of CGI-BIN scripts" a site
+//!   builder would write by hand: straight-line Rust that walks the data
+//!   graph and emits the same news site the StruQL definition produces.
+//!   Fast, but its "specification" is a program whose size grows with the
+//!   site's structural complexity, and every variant is a new program.
+//! * [`baselines::rdbms_web`] — a generic "Web interface to a database":
+//!   one index page per collection and one record page per object, with no
+//!   inter-page structure beyond table → row. Its specification size is
+//!   constant, but so is its structure — it *cannot* express the
+//!   cross-linked structure STRUDEL's queries define.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod fig8;

@@ -1,0 +1,270 @@
+//! `strudel-cli` — the command-line interface to the STRUDEL web-site
+//! management system.
+//!
+//! ```text
+//! strudel-cli build   <site.spec>                 generate the browsable site
+//! strudel-cli schema  <site.spec>                 print the site schema (DOT)
+//! strudel-cli explain <site.spec>                 show optimizer plans per block
+//! strudel-cli verify  <site.spec> <constraint>    check a structural constraint
+//! strudel-cli query   <data.(ddl|bin)> <q.struql> run an ad-hoc query, print DDL
+//! strudel-cli serve   <site.spec> [addr]          click-time evaluation over HTTP
+//! strudel-cli demo    <dir>                       write a ready-to-build demo site
+//! ```
+//!
+//! Constraint syntax for `verify`:
+//!
+//! ```text
+//! reachable-from Root
+//! every MemberPage -Department-> DeptPage
+//! none-reachable Root SecretPage
+//! ```
+
+mod spec;
+
+use std::path::Path;
+use std::process::ExitCode;
+use strudel::site::Constraint;
+use strudel::{StrudelError, Strudel};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") if args.len() == 2 => cmd_build(Path::new(&args[1])),
+        Some("schema") if args.len() == 2 => cmd_schema(Path::new(&args[1])),
+        Some("explain") if args.len() == 2 => cmd_explain(Path::new(&args[1])),
+        Some("verify") if args.len() >= 3 => cmd_verify(Path::new(&args[1]), &args[2..].join(" ")),
+        Some("query") if args.len() == 3 => cmd_query(Path::new(&args[1]), Path::new(&args[2])),
+        Some("serve") if args.len() >= 2 => {
+            let addr = args.get(2).cloned().unwrap_or_else(|| "127.0.0.1:8017".to_string());
+            cmd_serve(Path::new(&args[1]), &addr)
+        }
+        Some("demo") if args.len() == 2 => cmd_demo(Path::new(&args[1])),
+        _ => {
+            eprintln!("usage:\n  strudel-cli build   <site.spec>\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec>\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin)> <query.struql>\n  strudel-cli serve   <site.spec> [addr]\n  strudel-cli demo    <dir>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn read(path: &Path) -> Result<String, AnyError> {
+    std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()).into())
+}
+
+/// Wires a [`Strudel`] system from a spec file.
+fn load_system(spec_path: &Path) -> Result<(Strudel, spec::Spec), AnyError> {
+    let base = spec_path.parent().unwrap_or(Path::new("."));
+    let sp = spec::parse(&read(spec_path)?, base)?;
+    let mut s = Strudel::new();
+
+    for (kind, name, path) in &sp.sources {
+        match kind.as_str() {
+            "bibtex" => s.add_bibtex_source(name, &read(path)?),
+            "ddl" => s.add_ddl_source(name, &read(path)?),
+            "csv" => {
+                let table = strudel::wrappers::relational::Table::from_csv(name, &read(path)?)
+                    .map_err(StrudelError::Graph)?;
+                let fks = sp
+                    .fks
+                    .iter()
+                    .map(|(t, c, tt, tk)| strudel::wrappers::relational::ForeignKey {
+                        table: t.clone(),
+                        column: c.clone(),
+                        target_table: tt.clone(),
+                        target_key: tk.clone(),
+                    })
+                    .collect();
+                s.add_csv_source(name, vec![table], fks);
+            }
+            "html" => {
+                let html = read(path)?;
+                s.add_html_source(name, vec![(path.display().to_string(), html)]);
+            }
+            "xml" => s.add_xml_source(name, &read(path)?),
+            _ => unreachable!("validated by spec parser"),
+        }
+    }
+    for (source, path) in &sp.mappings {
+        s.add_mapping(source, &read(path)?)?;
+    }
+    for q in &sp.queries {
+        s.add_site_query(&read(q)?)?;
+    }
+    for (name, path) in &sp.templates {
+        s.templates_mut().set_collection_template(name, &read(path)?).map_err(StrudelError::Template)?;
+    }
+    for (name, path) in &sp.named_templates {
+        s.templates_mut().set_named(name, &read(path)?).map_err(StrudelError::Template)?;
+    }
+    if let Some(path) = &sp.default_template {
+        s.templates_mut().set_default(&read(path)?).map_err(StrudelError::Template)?;
+    }
+    Ok((s, sp))
+}
+
+fn cmd_build(spec_path: &Path) -> Result<(), AnyError> {
+    let (mut s, sp) = load_system(spec_path)?;
+    let roots: Vec<&str> = sp.roots.iter().map(String::as_str).collect();
+    let out = sp.output.clone().unwrap_or_else(|| Path::new("site-out").to_path_buf());
+    let t = std::time::Instant::now();
+    let site = s.publish(&roots, &out)?;
+    println!(
+        "built {} pages ({} bytes) in {:?} -> {}",
+        site.pages.len(),
+        site.total_bytes(),
+        t.elapsed(),
+        out.display()
+    );
+    for w in &site.warnings {
+        eprintln!("warning: {w}");
+    }
+    Ok(())
+}
+
+fn cmd_schema(spec_path: &Path) -> Result<(), AnyError> {
+    let (s, _) = load_system(spec_path)?;
+    print!("{}", s.site_schema().to_dot());
+    Ok(())
+}
+
+fn cmd_explain(spec_path: &Path) -> Result<(), AnyError> {
+    let (mut s, _) = load_system(spec_path)?;
+    let merged = s.merged_query();
+    let opts = s.options_mut().clone();
+    let data = s.data_graph()?;
+    println!("{}", merged.explain(data, &opts).map_err(StrudelError::Struql)?);
+    Ok(())
+}
+
+fn parse_constraint(text: &str) -> Result<Constraint, AnyError> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    match words.as_slice() {
+        ["reachable-from", root] => Ok(Constraint::AllReachableFrom { root: root.to_string() }),
+        ["none-reachable", from, forbidden] => {
+            Ok(Constraint::NoneReachable { from: from.to_string(), forbidden: forbidden.to_string() })
+        }
+        ["every", from, edge, to] => {
+            let label = edge
+                .strip_prefix('-')
+                .and_then(|e| e.strip_suffix("->"))
+                .ok_or("edge must look like -Label->")?;
+            Ok(Constraint::EveryHasEdge {
+                from: from.to_string(),
+                label: label.to_string(),
+                to: to.to_string(),
+            })
+        }
+        _ => Err(format!("cannot parse constraint `{text}`").into()),
+    }
+}
+
+fn cmd_verify(spec_path: &Path, constraint_text: &str) -> Result<(), AnyError> {
+    let (mut s, _) = load_system(spec_path)?;
+    let constraint = parse_constraint(constraint_text)?;
+    let (schema_verdict, exact) = s.verify(&constraint)?;
+    println!("schema check: {schema_verdict:?}");
+    if let Some(exact) = exact {
+        println!("exact check:  {exact:?}");
+        if matches!(exact, strudel::site::Verdict::Violated(_)) {
+            return Err("constraint violated".into());
+        }
+    } else if matches!(schema_verdict, strudel::site::Verdict::Violated(_)) {
+        return Err("constraint violated".into());
+    }
+    Ok(())
+}
+
+fn cmd_query(data_path: &Path, query_path: &Path) -> Result<(), AnyError> {
+    let data = if data_path.extension().is_some_and(|e| e == "bin") {
+        strudel::graph::store::load_from_file(data_path)?
+    } else {
+        strudel::graph::ddl::parse(&read(data_path)?)?
+    };
+    let q = strudel::struql::parse_query(&read(query_path)?)?;
+    let t = std::time::Instant::now();
+    let out = q.evaluate(&data, &strudel::struql::EvalOptions::default())?;
+    eprintln!(
+        "evaluated in {:?}: {} nodes, {} edges, {} rows examined",
+        t.elapsed(),
+        out.graph.node_count(),
+        out.graph.edge_count(),
+        out.stats.intermediate_rows
+    );
+    print!("{}", strudel::graph::ddl::print(&out.graph));
+    Ok(())
+}
+
+/// Writes a small ready-to-run demo site (spec + sources + query +
+/// templates) into `dir`, so `strudel-cli build <dir>/demo.site` works.
+/// Serves the site with click-time evaluation: nothing is materialized up
+/// front; each page runs its governing StruQL sub-queries on request.
+fn cmd_serve(spec_path: &Path, addr: &str) -> Result<(), AnyError> {
+    let (mut s, _) = load_system(spec_path)?;
+    let dynamic = s.dynamic_site()?;
+    let mut server = strudel::serve::Server::bind(dynamic, addr)?;
+    println!("serving dynamically evaluated site on http://{}/ (GET /quit to stop)", server.addr()?);
+    server.serve(None)?;
+    Ok(())
+}
+
+fn cmd_demo(dir: &Path) -> Result<(), AnyError> {
+    std::fs::create_dir_all(dir)?;
+    let write = |name: &str, contents: &str| std::fs::write(dir.join(name), contents);
+    write(
+        "papers.bib",
+        r#"@article{toplas97,
+  title = {Specifying Representations of Machine Instructions},
+  author = {Norman Ramsey and Mary Fernandez},
+  year = 1997,
+  journal = {TOPLAS},
+  postscript = {papers/toplas97.ps.gz}
+}
+@inproceedings{icde98,
+  title = {Optimizing Regular Path Expressions},
+  author = {Mary Fernandez and Dan Suciu},
+  year = 1998,
+  booktitle = {Proc. of ICDE},
+  postscript = {papers/icde98.ps.gz}
+}
+"#,
+    )?;
+    write(
+        "site.struql",
+        r#"CREATE HomePage()
+COLLECT Roots(HomePage())
+{
+  WHERE Publications(x), x -> l -> v
+  CREATE Paper(x)
+  LINK Paper(x) -> l -> v,
+       HomePage() -> "Paper" -> Paper(x)
+}
+"#,
+    )?;
+    write(
+        "home.tmpl",
+        r#"<html><body><h1>Publications</h1>
+<SFOR p IN @Paper ORDER=descend KEY=@year LIST=ul><SFMT @p LINK=@p.title></SFOR>
+</body></html>"#,
+    )?;
+    write(
+        "paper.tmpl",
+        r#"<html><body><h1><SFMT @title></h1>
+<p>By <SFMT @author ALL DELIM=", "> (<SFMT @year>).</p>
+<p><SFMT @postscript LINK="PostScript"></p>
+</body></html>"#,
+    )?;
+    write(
+        "demo.site",
+        "source bibtex bibliography papers.bib\nquery site.struql\ntemplate HomePage home.tmpl\ntemplate Paper paper.tmpl\nroot HomePage\noutput out/\n",
+    )?;
+    println!("demo written; try: strudel-cli build {}", dir.join("demo.site").display());
+    Ok(())
+}

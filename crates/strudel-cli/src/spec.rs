@@ -1,0 +1,190 @@
+//! The site-specification file: one text file wiring sources, queries,
+//! templates, and roots — the way a site builder drives STRUDEL without
+//! writing Rust.
+//!
+//! ```text
+//! # homepage.site
+//! source bibtex  bibliography  papers.bib
+//! source ddl     personal      me.ddl
+//! source csv     People        people.csv
+//! fk     People.dept -> Departments.code
+//! mapping bibliography mappings/pubs.struql     # optional GAV mapping
+//! query  site.struql
+//! template RootPage   templates/root.tmpl
+//! template-named fancy templates/fancy.tmpl
+//! template-default    templates/default.tmpl
+//! root   RootPage
+//! output out/
+//! ```
+//!
+//! Lines are `keyword args…`; `#` starts a comment; paths are resolved
+//! relative to the spec file.
+
+use std::path::{Path, PathBuf};
+
+/// A parsed site specification.
+#[derive(Debug, Default)]
+pub struct Spec {
+    /// `(kind, name, path)` — kind ∈ bibtex | ddl | csv | html.
+    pub sources: Vec<(String, String, PathBuf)>,
+    /// Foreign keys for CSV sources: `(table, column, target_table, key)`.
+    pub fks: Vec<(String, String, String, String)>,
+    /// GAV mappings: `(source name, query path)`.
+    pub mappings: Vec<(String, PathBuf)>,
+    /// Site-definition query files, in order.
+    pub queries: Vec<PathBuf>,
+    /// Collection (Skolem function) templates: `(name, path)`.
+    pub templates: Vec<(String, PathBuf)>,
+    /// Named templates (selected by the `HTML-template` attribute).
+    pub named_templates: Vec<(String, PathBuf)>,
+    /// Default template path.
+    pub default_template: Option<PathBuf>,
+    /// Root Skolem functions.
+    pub roots: Vec<String>,
+    /// Output directory.
+    pub output: Option<PathBuf>,
+}
+
+/// Parses a specification from text; `base` resolves relative paths.
+pub fn parse(text: &str, base: &Path) -> Result<Spec, String> {
+    let mut spec = Spec::default();
+    let resolve = |p: &str| -> PathBuf {
+        let path = Path::new(p);
+        if path.is_absolute() {
+            path.to_path_buf()
+        } else {
+            base.join(path)
+        }
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().expect("non-empty line");
+        let rest: Vec<&str> = words.collect();
+        let err = |msg: &str| format!("line {}: {msg}: `{raw}`", lineno + 1);
+        match keyword {
+            "source" => {
+                let [kind, name, path] = rest[..] else {
+                    return Err(err("expected `source <kind> <name> <path>`"));
+                };
+                if !matches!(kind, "bibtex" | "ddl" | "csv" | "html" | "xml") {
+                    return Err(err("source kind must be bibtex|ddl|csv|html|xml"));
+                }
+                spec.sources.push((kind.to_string(), name.to_string(), resolve(path)));
+            }
+            "fk" => {
+                // `fk People.dept -> Departments.code`
+                let [from, arrow, to] = rest[..] else {
+                    return Err(err("expected `fk Table.column -> Table.key`"));
+                };
+                if arrow != "->" {
+                    return Err(err("expected `->`"));
+                }
+                let (t1, c1) = from.split_once('.').ok_or_else(|| err("bad fk source"))?;
+                let (t2, c2) = to.split_once('.').ok_or_else(|| err("bad fk target"))?;
+                spec.fks.push((t1.into(), c1.into(), t2.into(), c2.into()));
+            }
+            "mapping" => {
+                let [source, path] = rest[..] else {
+                    return Err(err("expected `mapping <source> <query path>`"));
+                };
+                spec.mappings.push((source.to_string(), resolve(path)));
+            }
+            "query" => {
+                let [path] = rest[..] else {
+                    return Err(err("expected `query <path>`"));
+                };
+                spec.queries.push(resolve(path));
+            }
+            "template" => {
+                let [name, path] = rest[..] else {
+                    return Err(err("expected `template <SkolemFn> <path>`"));
+                };
+                spec.templates.push((name.to_string(), resolve(path)));
+            }
+            "template-named" => {
+                let [name, path] = rest[..] else {
+                    return Err(err("expected `template-named <name> <path>`"));
+                };
+                spec.named_templates.push((name.to_string(), resolve(path)));
+            }
+            "template-default" => {
+                let [path] = rest[..] else {
+                    return Err(err("expected `template-default <path>`"));
+                };
+                spec.default_template = Some(resolve(path));
+            }
+            "root" => {
+                if rest.is_empty() {
+                    return Err(err("expected `root <SkolemFn>…`"));
+                }
+                spec.roots.extend(rest.iter().map(|s| s.to_string()));
+            }
+            "output" => {
+                let [path] = rest[..] else {
+                    return Err(err("expected `output <dir>`"));
+                };
+                spec.output = Some(resolve(path));
+            }
+            other => return Err(err(&format!("unknown keyword `{other}`"))),
+        }
+    }
+    if spec.queries.is_empty() {
+        return Err("spec declares no `query`".into());
+    }
+    if spec.roots.is_empty() {
+        return Err("spec declares no `root`".into());
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+source bibtex bibliography papers.bib
+source csv People people.csv
+fk People.dept -> Departments.code
+query site.struql
+template RootPage root.tmpl
+template-default default.tmpl
+root RootPage AbstractsPage
+output out/
+";
+
+    #[test]
+    fn parses_full_spec() {
+        let spec = parse(SAMPLE, Path::new("/base")).unwrap();
+        assert_eq!(spec.sources.len(), 2);
+        assert_eq!(spec.sources[0].0, "bibtex");
+        assert_eq!(spec.sources[0].2, Path::new("/base/papers.bib"));
+        assert_eq!(spec.fks, vec![("People".into(), "dept".into(), "Departments".into(), "code".into())]);
+        assert_eq!(spec.queries, vec![PathBuf::from("/base/site.struql")]);
+        assert_eq!(spec.roots, vec!["RootPage", "AbstractsPage"]);
+        assert_eq!(spec.output, Some(PathBuf::from("/base/out/")));
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(parse("source weird x y\nquery q\nroot R", Path::new(".")).is_err());
+        assert!(parse("fk nope\nquery q\nroot R", Path::new(".")).is_err());
+        assert!(parse("frobnicate\nquery q\nroot R", Path::new(".")).is_err());
+    }
+
+    #[test]
+    fn requires_query_and_root() {
+        assert!(parse("root R", Path::new(".")).is_err());
+        assert!(parse("query q", Path::new(".")).is_err());
+    }
+
+    #[test]
+    fn absolute_paths_kept() {
+        let spec = parse("query /abs/q.struql\nroot R", Path::new("/base")).unwrap();
+        assert_eq!(spec.queries[0], PathBuf::from("/abs/q.struql"));
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end tests of the `strudel-cli` binary: demo scaffolding, build,
+//! schema, explain, verify, and ad-hoc queries, all through the real
+//! executable.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_strudel-cli")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("spawn strudel-cli")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strudel_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn demo_spec(dir: &Path) -> String {
+    let out = run(&["demo", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    dir.join("demo.site").to_str().unwrap().to_string()
+}
+
+#[test]
+fn demo_then_build_produces_a_browsable_site() {
+    let dir = tmpdir("build");
+    let spec = demo_spec(&dir);
+    let out = run(&["build", &spec]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("built 3 pages"), "{stdout}");
+    let home = std::fs::read_to_string(dir.join("out/homepage.html")).unwrap();
+    assert!(home.contains("Publications"));
+    // Link targets exist on disk.
+    for href in home.split("href=\"").skip(1) {
+        let target = &href[..href.find('"').unwrap()];
+        if target.ends_with(".html") {
+            assert!(dir.join("out").join(target).exists(), "missing {target}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn schema_prints_dot() {
+    let dir = tmpdir("schema");
+    let spec = demo_spec(&dir);
+    let out = run(&["schema", &spec]);
+    assert!(out.status.success());
+    let dot = String::from_utf8_lossy(&out.stdout);
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("HomePage"));
+    assert!(dot.contains("Paper"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn explain_shows_plans() {
+    let dir = tmpdir("explain");
+    let spec = demo_spec(&dir);
+    let out = run(&["explain", &spec]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("coll-scan") || text.contains("out-scan"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn verify_passes_and_fails_appropriately() {
+    let dir = tmpdir("verify");
+    let spec = demo_spec(&dir);
+    let ok = run(&["verify", &spec, "reachable-from", "HomePage"]);
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("Satisfied"));
+
+    let bad = run(&["verify", &spec, "every", "HomePage", "-Missing->", "Paper"]);
+    assert!(!bad.status.success(), "a violated constraint must exit nonzero");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn adhoc_query_roundtrips_ddl() {
+    let dir = tmpdir("query");
+    std::fs::write(dir.join("d.ddl"), "object a in C { x 1 }\nobject b in C { x 2 }\n").unwrap();
+    std::fs::write(
+        dir.join("q.struql"),
+        "WHERE C(v), v -> \"x\" -> y CREATE P(v) LINK P(v) -> \"X\" -> y COLLECT Out(P(v))\n",
+    )
+    .unwrap();
+    let out = run(&["query", dir.join("d.ddl").to_str().unwrap(), dir.join("q.struql").to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let ddl = String::from_utf8_lossy(&out.stdout);
+    assert!(ddl.contains("collection Out"), "{ddl}");
+    // The printed DDL re-parses through another `query` invocation.
+    std::fs::write(dir.join("out.ddl"), ddl.as_bytes()).unwrap();
+    std::fs::write(dir.join("q2.struql"), "WHERE Out(x) COLLECT O2(x)\n").unwrap();
+    let out2 =
+        run(&["query", dir.join("out.ddl").to_str().unwrap(), dir.join("q2.struql").to_str().unwrap()]);
+    assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_usage_exits_with_code_2() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let out = run(&["frobnicate", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_spec_file_reports_error() {
+    let out = run(&["build", "/nonexistent/site.spec"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

@@ -1,0 +1,41 @@
+//! Error types for the data repository.
+
+use crate::graph::NodeId;
+use std::fmt;
+
+/// Errors raised by graph and repository operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The oid does not exist in the universe.
+    UnknownNode(NodeId),
+    /// The node exists in the universe but is not a member of this graph.
+    NotAMember(NodeId),
+    /// A graph with this name already exists in the database.
+    DuplicateGraph(String),
+    /// No graph with this name exists in the database.
+    UnknownGraph(String),
+    /// A syntax error in the data-definition language.
+    DdlParse {
+        /// 1-based line of the error.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::NotAMember(n) => write!(f, "node {n} is not a member of this graph"),
+            GraphError::DuplicateGraph(name) => write!(f, "graph {name:?} already exists"),
+            GraphError::UnknownGraph(name) => write!(f, "no graph named {name:?}"),
+            GraphError::DdlParse { line, message } => write!(f, "DDL parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Result alias for repository operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

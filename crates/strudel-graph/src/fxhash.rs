@@ -1,0 +1,116 @@
+//! A small, fast, non-cryptographic hasher (the FxHash algorithm used by
+//! rustc), plus `HashMap`/`HashSet` aliases built on it.
+//!
+//! The repository's indexes are hash-heavy with short keys (interned symbols,
+//! 32-bit oids), exactly the regime where SipHash's HashDoS protection costs
+//! the most and buys nothing: all keys are internally generated, never
+//! attacker controlled. Implemented in-repo because the reproduction is
+//! dependency-minimal.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc FxHash implementation.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash hasher state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one("strudel"), hash_one("strudel"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_one(1u64), hash_one(2u64));
+        assert_ne!(hash_one("a"), hash_one("b"));
+        assert_ne!(hash_one((1u32, 2u32)), hash_one((2u32, 1u32)));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<&str, i32> = FxHashMap::default();
+        for (i, k) in ["year", "title", "author", "abstract"].iter().enumerate() {
+            m.insert(k, i as i32);
+        }
+        assert_eq!(m["author"], 2);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn unaligned_byte_tails_hash_differently() {
+        // Exercise the chunk remainder path.
+        assert_ne!(hash_one(b"123456789".as_slice()), hash_one(b"123456788".as_slice()));
+        assert_ne!(hash_one(b"12345678".as_slice()), hash_one(b"123456789".as_slice()));
+    }
+}

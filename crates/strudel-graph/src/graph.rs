@@ -1,0 +1,600 @@
+//! The labeled directed graph: STRUDEL's only data structure.
+//!
+//! Both the raw data served by a site (the *data graph*) and the generated
+//! site structure (the *site graph*) are represented the same way (§2.1).
+//! Node storage lives in a [`Universe`] shared by all graphs of a
+//! [`crate::Database`], so graphs may share objects: a site graph may link to
+//! nodes of the data graph it was derived from without copying them.
+//!
+//! A [`Graph`] is a *membership view* over the universe — the set of nodes it
+//! contains — plus its own named collections (the query entry points) and,
+//! optionally, a full set of indexes over its schema and data ([`crate::index`]).
+
+use crate::error::{GraphError, Result};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::index::GraphIndex;
+use crate::symbol::{Interner, Sym};
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// A unique object identifier. Oids are allocated by a [`Universe`] and are
+/// unique across every graph of a database.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "&{}", self.0)
+    }
+}
+
+/// A directed, labeled edge.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Edge label (an interned attribute name).
+    pub label: Sym,
+    /// Target object: a node or an atomic value.
+    pub to: Value,
+}
+
+#[derive(Default, Clone)]
+struct NodeSlot {
+    /// Human-readable provenance: Skolem term (`YearPage(1997)`) or wrapper
+    /// object name (`pub1`). Used for display and deterministic file naming.
+    name: Option<Arc<str>>,
+    out: Vec<(Sym, Value)>,
+}
+
+/// The shared object space of a database: the interner for labels and the
+/// arena of all nodes with their outgoing edges.
+///
+/// Edges are stored in the universe rather than per graph so that a node
+/// shared between a data graph and a site graph presents the same attributes
+/// in both.
+pub struct Universe {
+    interner: Interner,
+    nodes: RwLock<Vec<NodeSlot>>,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Universe { interner: Interner::new(), nodes: RwLock::new(Vec::new()) })
+    }
+
+    /// The shared label/collection-name interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Allocates a fresh node, optionally with a provenance name.
+    pub fn create_node(&self, name: Option<&str>) -> NodeId {
+        let mut nodes = self.nodes.write();
+        let id = NodeId(u32::try_from(nodes.len()).expect("oid space exhausted"));
+        nodes.push(NodeSlot { name: name.map(Arc::from), out: Vec::new() });
+        id
+    }
+
+    /// Total number of nodes ever allocated.
+    pub fn node_count(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// The provenance name of a node, if any.
+    pub fn node_name(&self, n: NodeId) -> Option<Arc<str>> {
+        self.nodes.read().get(n.0 as usize).and_then(|s| s.name.clone())
+    }
+
+    /// Sets or replaces the provenance name of a node.
+    pub fn set_node_name(&self, n: NodeId, name: &str) {
+        if let Some(slot) = self.nodes.write().get_mut(n.0 as usize) {
+            slot.name = Some(Arc::from(name));
+        }
+    }
+
+    fn push_edge(&self, from: NodeId, label: Sym, to: Value) -> Result<()> {
+        let mut nodes = self.nodes.write();
+        let slot = nodes.get_mut(from.0 as usize).ok_or(GraphError::UnknownNode(from))?;
+        slot.out.push((label, to));
+        Ok(())
+    }
+
+    /// Clones the outgoing edges of `n`. Prefer [`Graph::reader`] in loops.
+    pub fn out_edges(&self, n: NodeId) -> Vec<(Sym, Value)> {
+        self.nodes.read().get(n.0 as usize).map(|s| s.out.clone()).unwrap_or_default()
+    }
+}
+
+impl Default for Universe {
+    fn default() -> Self {
+        Universe { interner: Interner::new(), nodes: RwLock::new(Vec::new()) }
+    }
+}
+
+impl fmt::Debug for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Universe").field("nodes", &self.node_count()).finish()
+    }
+}
+
+/// A named collection: an insertion-ordered set of objects.
+#[derive(Default, Clone, Debug)]
+pub struct Collection {
+    items: Vec<Value>,
+    set: FxHashSet<Value>,
+}
+
+impl Collection {
+    /// The members in insertion order.
+    pub fn items(&self) -> &[Value] {
+        &self.items
+    }
+
+    /// Whether `v` is a member.
+    pub fn contains(&self, v: &Value) -> bool {
+        self.set.contains(v)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn insert(&mut self, v: Value) -> bool {
+        if self.set.insert(v.clone()) {
+            self.items.push(v);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A labeled directed graph over a shared [`Universe`].
+pub struct Graph {
+    universe: Arc<Universe>,
+    members: FxHashSet<NodeId>,
+    member_list: Vec<NodeId>,
+    collections: FxHashMap<Sym, Collection>,
+    collection_order: Vec<Sym>,
+    index: Option<GraphIndex>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty, indexed graph in `universe`.
+    pub fn new(universe: Arc<Universe>) -> Self {
+        Graph {
+            universe,
+            members: FxHashSet::default(),
+            member_list: Vec::new(),
+            collections: FxHashMap::default(),
+            collection_order: Vec::new(),
+            index: Some(GraphIndex::default()),
+            edge_count: 0,
+        }
+    }
+
+    /// Creates an empty graph in a fresh private universe. Convenient for
+    /// tests and standalone use.
+    pub fn standalone() -> Self {
+        Graph::new(Universe::new())
+    }
+
+    /// The universe this graph lives in.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.universe
+    }
+
+    /// Interns a label or collection name.
+    pub fn sym(&self, s: &str) -> Sym {
+        self.universe.interner.intern(s)
+    }
+
+    /// Resolves a symbol to its string.
+    pub fn resolve(&self, sym: Sym) -> Arc<str> {
+        self.universe.interner.resolve(sym)
+    }
+
+    /// Disables or enables index maintenance. Disabling drops the current
+    /// index; re-enabling rebuilds it from scratch. Used by the `A-OPT`
+    /// ablation benchmarks (indexes on/off, DESIGN.md §4).
+    pub fn set_indexing(&mut self, enabled: bool) {
+        match (enabled, self.index.is_some()) {
+            (true, false) => self.rebuild_index(),
+            (false, true) => self.index = None,
+            _ => {}
+        }
+    }
+
+    /// Whether this graph maintains indexes.
+    pub fn is_indexed(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// The graph's index, if indexing is enabled.
+    pub fn index(&self) -> Option<&GraphIndex> {
+        self.index.as_ref()
+    }
+
+    /// Rebuilds all indexes from the current data.
+    pub fn rebuild_index(&mut self) {
+        let mut idx = GraphIndex::default();
+        {
+            let nodes = self.universe.nodes.read();
+            for &n in &self.member_list {
+                for (label, to) in &nodes[n.0 as usize].out {
+                    idx.index_edge(n, *label, to);
+                }
+            }
+        }
+        for (&name, coll) in &self.collections {
+            idx.index_collection(name, coll.len());
+        }
+        self.index = Some(idx);
+    }
+
+    // ---- nodes ----
+
+    /// Creates a fresh node in this graph.
+    pub fn new_node(&mut self, name: Option<&str>) -> NodeId {
+        let id = self.universe.create_node(name);
+        self.members.insert(id);
+        self.member_list.push(id);
+        id
+    }
+
+    /// Adopts an existing node of the universe into this graph, making its
+    /// current edges visible (and indexed) here. Used when a site graph
+    /// references data-graph nodes, and by query composition.
+    pub fn adopt_node(&mut self, n: NodeId) -> Result<()> {
+        if n.0 as usize >= self.universe.node_count() {
+            return Err(GraphError::UnknownNode(n));
+        }
+        if self.members.insert(n) {
+            self.member_list.push(n);
+            let nodes = self.universe.nodes.read();
+            let out = &nodes[n.0 as usize].out;
+            self.edge_count += out.len();
+            if let Some(idx) = &mut self.index {
+                for (label, to) in out {
+                    idx.index_edge(n, *label, to);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `n` is a member of this graph.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.members.contains(&n)
+    }
+
+    /// Member nodes in insertion order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.member_list
+    }
+
+    /// Number of member nodes.
+    pub fn node_count(&self) -> usize {
+        self.member_list.len()
+    }
+
+    /// Number of edges out of member nodes.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The provenance name of a node.
+    pub fn node_name(&self, n: NodeId) -> Option<Arc<str>> {
+        self.universe.node_name(n)
+    }
+
+    // ---- edges ----
+
+    /// Adds an edge `from --label--> to`. `from` must be a member node.
+    pub fn add_edge(&mut self, from: NodeId, label: Sym, to: Value) -> Result<()> {
+        if !self.members.contains(&from) {
+            return Err(GraphError::NotAMember(from));
+        }
+        self.universe.push_edge(from, label, to.clone())?;
+        self.edge_count += 1;
+        if let Some(idx) = &mut self.index {
+            idx.index_edge(from, label, &to);
+        }
+        Ok(())
+    }
+
+    /// Convenience: adds an edge with a string label.
+    pub fn add_edge_str(&mut self, from: NodeId, label: &str, to: impl Into<Value>) -> Result<()> {
+        let l = self.sym(label);
+        self.add_edge(from, l, to.into())
+    }
+
+    /// Clones the outgoing edges of `n`. For bulk traversal use [`Graph::reader`].
+    pub fn out_edges(&self, n: NodeId) -> Vec<(Sym, Value)> {
+        self.universe.out_edges(n)
+    }
+
+    /// Iterates all edges of the graph (cloned), in deterministic order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let nodes = self.universe.nodes.read();
+        let mut out = Vec::with_capacity(self.edge_count);
+        for &n in &self.member_list {
+            for (label, to) in &nodes[n.0 as usize].out {
+                out.push(Edge { from: n, label: *label, to: to.clone() });
+            }
+        }
+        out
+    }
+
+    /// A read guard giving borrowed, allocation-free access to edges.
+    pub fn reader(&self) -> GraphReader<'_> {
+        GraphReader { graph: self, nodes: self.universe.nodes.read() }
+    }
+
+    // ---- collections ----
+
+    /// Creates (or gets) a collection by name and returns its symbol.
+    pub fn ensure_collection(&mut self, name: &str) -> Sym {
+        let sym = self.sym(name);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.collections.entry(sym) {
+            e.insert(Collection::default());
+            self.collection_order.push(sym);
+            if let Some(idx) = &mut self.index {
+                idx.index_collection(sym, 0);
+            }
+        }
+        sym
+    }
+
+    /// Adds `v` to the named collection, creating the collection if needed.
+    /// Returns `true` if the value was newly inserted.
+    pub fn add_to_collection(&mut self, name: Sym, v: Value) -> bool {
+        let is_new_coll = !self.collections.contains_key(&name);
+        if is_new_coll {
+            self.collections.insert(name, Collection::default());
+            self.collection_order.push(name);
+        }
+        let inserted = self.collections.get_mut(&name).expect("just ensured").insert(v);
+        if let Some(idx) = &mut self.index {
+            let len = self.collections[&name].len();
+            idx.index_collection(name, len);
+        }
+        inserted
+    }
+
+    /// Convenience: adds to a collection by string name.
+    pub fn add_to_collection_str(&mut self, name: &str, v: impl Into<Value>) -> bool {
+        let sym = self.sym(name);
+        self.add_to_collection(sym, v.into())
+    }
+
+    /// Looks up a collection by symbol.
+    pub fn collection(&self, name: Sym) -> Option<&Collection> {
+        self.collections.get(&name)
+    }
+
+    /// Looks up a collection by string name.
+    pub fn collection_str(&self, name: &str) -> Option<&Collection> {
+        let sym = self.universe.interner.get(name)?;
+        self.collections.get(&sym)
+    }
+
+    /// All collection names, in creation order.
+    pub fn collection_names(&self) -> &[Sym] {
+        &self.collection_order
+    }
+
+    // ---- schema queries (the §2.2 schema index fallbacks) ----
+
+    /// All distinct edge labels of the graph. Uses the schema index when
+    /// available, otherwise scans.
+    pub fn labels(&self) -> Vec<Sym> {
+        if let Some(idx) = &self.index {
+            return idx.labels();
+        }
+        let nodes = self.universe.nodes.read();
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for &n in &self.member_list {
+            for (label, _) in &nodes[n.0 as usize].out {
+                if seen.insert(*label) {
+                    out.push(*label);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count)
+            .field("collections", &self.collection_order.len())
+            .field("indexed", &self.index.is_some())
+            .finish()
+    }
+}
+
+/// Borrowed, lock-held access to a graph's edges for traversal-heavy code
+/// (the query evaluator, the HTML generator). Holding a `GraphReader` blocks
+/// writers to the universe; drop it before mutating.
+pub struct GraphReader<'g> {
+    graph: &'g Graph,
+    nodes: parking_lot::RwLockReadGuard<'g, Vec<NodeSlot>>,
+}
+
+impl<'g> GraphReader<'g> {
+    /// The outgoing edges of `n`, borrowed.
+    #[inline]
+    pub fn out(&self, n: NodeId) -> &[(Sym, Value)] {
+        self.nodes.get(n.0 as usize).map(|s| s.out.as_slice()).unwrap_or(&[])
+    }
+
+    /// The values of attribute `label` on node `n`, in insertion order.
+    pub fn attr_values<'a>(&'a self, n: NodeId, label: Sym) -> impl Iterator<Item = &'a Value> + 'a {
+        self.out(n).iter().filter(move |(l, _)| *l == label).map(|(_, v)| v)
+    }
+
+    /// The first value of attribute `label` on node `n`.
+    pub fn attr(&self, n: NodeId, label: Sym) -> Option<&Value> {
+        self.attr_values(n, label).next()
+    }
+
+    /// Graph membership test.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.graph.contains_node(n)
+    }
+
+    /// The provenance name of `n`.
+    pub fn name(&self, n: NodeId) -> Option<&str> {
+        self.nodes.get(n.0 as usize).and_then(|s| s.name.as_deref())
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Graph {
+        let mut g = Graph::standalone();
+        let pubs = g.ensure_collection("Publications");
+        let p1 = g.new_node(Some("pub1"));
+        let p2 = g.new_node(Some("pub2"));
+        g.add_to_collection(pubs, Value::Node(p1));
+        g.add_to_collection(pubs, Value::Node(p2));
+        g.add_edge_str(p1, "title", "Specifying Representations").unwrap();
+        g.add_edge_str(p1, "year", 1997i64).unwrap();
+        g.add_edge_str(p1, "author", "Norman Ramsey").unwrap();
+        g.add_edge_str(p1, "author", "Mary Fernandez").unwrap();
+        g.add_edge_str(p2, "title", "Optimizing Regular").unwrap();
+        g.add_edge_str(p2, "year", 1998i64).unwrap();
+        g
+    }
+
+    #[test]
+    fn nodes_and_edges_accumulate() {
+        let g = small();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.edges().len(), 6);
+    }
+
+    #[test]
+    fn collections_deduplicate() {
+        let mut g = small();
+        let n = g.nodes()[0];
+        let c = g.ensure_collection("Publications");
+        assert!(!g.add_to_collection(c, Value::Node(n)));
+        assert_eq!(g.collection(c).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn multi_valued_attributes_preserve_order() {
+        let g = small();
+        let n = g.nodes()[0];
+        let author = g.universe().interner().get("author").unwrap();
+        let r = g.reader();
+        let authors: Vec<String> = r.attr_values(n, author).map(|v| v.to_string()).collect();
+        assert_eq!(authors, vec!["\"Norman Ramsey\"", "\"Mary Fernandez\""]);
+    }
+
+    #[test]
+    fn irregular_schema_is_allowed() {
+        // pub1 has `author`, pub2 does not — no error, just absent.
+        let g = small();
+        let n2 = g.nodes()[1];
+        let author = g.universe().interner().get("author").unwrap();
+        assert!(g.reader().attr(n2, author).is_none());
+    }
+
+    #[test]
+    fn add_edge_to_non_member_fails() {
+        let mut g = Graph::standalone();
+        let other = g.universe().create_node(None); // allocated but never joined
+        let l = g.sym("x");
+        assert!(matches!(g.add_edge(other, l, Value::Int(1)), Err(GraphError::NotAMember(_))));
+    }
+
+    #[test]
+    fn shared_universe_allows_cross_graph_references() {
+        let uni = Universe::new();
+        let mut data = Graph::new(Arc::clone(&uni));
+        let mut site = Graph::new(Arc::clone(&uni));
+        let d = data.new_node(Some("article"));
+        data.add_edge_str(d, "headline", "News!").unwrap();
+        let s = site.new_node(Some("Page()"));
+        site.add_edge_str(s, "Story", Value::Node(d)).unwrap();
+        // The site graph can adopt the data node and see its attributes.
+        site.adopt_node(d).unwrap();
+        let headline = uni.interner().get("headline").unwrap();
+        assert_eq!(site.reader().attr(d, headline), Some(&Value::str("News!")));
+    }
+
+    #[test]
+    fn adopt_is_idempotent() {
+        let uni = Universe::new();
+        let mut a = Graph::new(Arc::clone(&uni));
+        let n = a.new_node(None);
+        a.add_edge_str(n, "k", 1i64).unwrap();
+        let mut b = Graph::new(Arc::clone(&uni));
+        b.adopt_node(n).unwrap();
+        b.adopt_node(n).unwrap();
+        assert_eq!(b.node_count(), 1);
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn adopt_unknown_node_fails() {
+        let mut g = Graph::standalone();
+        assert!(g.adopt_node(NodeId(999)).is_err());
+    }
+
+    #[test]
+    fn labels_with_and_without_index_agree() {
+        let mut g = small();
+        let mut with: Vec<_> = g.labels().iter().map(|s| g.resolve(*s).to_string()).collect();
+        g.set_indexing(false);
+        let mut without: Vec<_> = g.labels().iter().map(|s| g.resolve(*s).to_string()).collect();
+        with.sort();
+        without.sort();
+        assert_eq!(with, vec!["author", "title", "year"]);
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn reindexing_restores_index() {
+        let mut g = small();
+        g.set_indexing(false);
+        assert!(!g.is_indexed());
+        g.set_indexing(true);
+        assert!(g.is_indexed());
+        let year = g.universe().interner().get("year").unwrap();
+        assert_eq!(g.index().unwrap().edges_with_label(year).len(), 2);
+    }
+
+    #[test]
+    fn node_names_survive() {
+        let g = small();
+        assert_eq!(g.node_name(g.nodes()[0]).as_deref(), Some("pub1"));
+        assert_eq!(g.node_name(g.nodes()[1]).as_deref(), Some("pub2"));
+    }
+}

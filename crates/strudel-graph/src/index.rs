@@ -1,0 +1,173 @@
+//! Full indexing of schema and data (§2.2).
+//!
+//! "Without schema information, we fully index both the schema and the data.
+//! For example, one index contains the names of all the collections and
+//! attributes in the graph; other indexes contain the extensions for each
+//! collection and attribute. In addition, indexes on atomic values are global
+//! to the graph, not built per collection or attribute."
+//!
+//! Maintaining these indexes is expensive (every mutation touches them), but
+//! they let the query processor answer *schema* queries (`scan all attribute
+//! names`) and give the cost-based optimizer the cardinality statistics it
+//! plans with.
+
+use crate::fxhash::FxHashMap;
+use crate::graph::NodeId;
+use crate::symbol::Sym;
+use crate::value::Value;
+
+/// The complete index set of one graph.
+#[derive(Default, Debug)]
+pub struct GraphIndex {
+    /// Attribute (label) extension index: label → all `(from, to)` edges.
+    label_ext: FxHashMap<Sym, Vec<(NodeId, Value)>>,
+    /// Creation order of labels, for deterministic schema scans.
+    label_order: Vec<Sym>,
+    /// Global atomic-value index: value → `(from, label)` of every edge whose
+    /// target is that atomic value.
+    value_ext: FxHashMap<Value, Vec<(NodeId, Sym)>>,
+    /// Reverse adjacency for node targets: node → `(from, label)`.
+    in_edges: FxHashMap<NodeId, Vec<(NodeId, Sym)>>,
+    /// Schema index: collection name → extent cardinality.
+    coll_card: FxHashMap<Sym, usize>,
+    edge_count: usize,
+}
+
+impl GraphIndex {
+    /// Records one edge in every applicable index.
+    pub(crate) fn index_edge(&mut self, from: NodeId, label: Sym, to: &Value) {
+        match self.label_ext.entry(label) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().push((from, to.clone()));
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(vec![(from, to.clone())]);
+                self.label_order.push(label);
+            }
+        }
+        match to {
+            Value::Node(n) => self.in_edges.entry(*n).or_default().push((from, label)),
+            atomic => self.value_ext.entry(atomic.clone()).or_default().push((from, label)),
+        }
+        self.edge_count += 1;
+    }
+
+    /// Records (or updates) a collection's cardinality in the schema index.
+    pub(crate) fn index_collection(&mut self, name: Sym, cardinality: usize) {
+        self.coll_card.insert(name, cardinality);
+    }
+
+    /// All labels appearing in the graph, in first-appearance order
+    /// (the schema-scan physical operator reads this).
+    pub fn labels(&self) -> Vec<Sym> {
+        self.label_order.clone()
+    }
+
+    /// The extension of a label: every `(from, to)` edge carrying it.
+    pub fn edges_with_label(&self, label: Sym) -> &[(NodeId, Value)] {
+        self.label_ext.get(&label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every edge pointing at the atomic value `v` (the global value index).
+    pub fn edges_to_value(&self, v: &Value) -> &[(NodeId, Sym)] {
+        self.value_ext.get(v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every edge pointing at node `n` (reverse adjacency).
+    pub fn edges_to_node(&self, n: NodeId) -> &[(NodeId, Sym)] {
+        self.in_edges.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    // ---- statistics for the cost-based optimizer (§2.4, [FLO 97]) ----
+
+    /// Number of edges carrying `label`.
+    pub fn label_cardinality(&self, label: Sym) -> usize {
+        self.label_ext.get(&label).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Cardinality of a collection extent, if known.
+    pub fn collection_cardinality(&self, name: Sym) -> Option<usize> {
+        self.coll_card.get(&name).copied()
+    }
+
+    /// Total number of indexed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of distinct labels (the "schema size" of the graph).
+    pub fn label_count(&self) -> usize {
+        self.label_order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn indexed_graph() -> Graph {
+        let mut g = Graph::standalone();
+        let a = g.new_node(Some("a"));
+        let b = g.new_node(Some("b"));
+        g.add_edge_str(a, "knows", Value::Node(b)).unwrap();
+        g.add_edge_str(a, "year", 1997i64).unwrap();
+        g.add_edge_str(b, "year", 1997i64).unwrap();
+        g.add_edge_str(b, "year", 1998i64).unwrap();
+        g.add_to_collection_str("People", Value::Node(a));
+        g
+    }
+
+    #[test]
+    fn label_extension_lists_all_edges() {
+        let g = indexed_graph();
+        let year = g.universe().interner().get("year").unwrap();
+        assert_eq!(g.index().unwrap().edges_with_label(year).len(), 3);
+        assert_eq!(g.index().unwrap().label_cardinality(year), 3);
+    }
+
+    #[test]
+    fn global_value_index_spans_labels_and_nodes() {
+        let g = indexed_graph();
+        let hits = g.index().unwrap().edges_to_value(&Value::Int(1997));
+        assert_eq!(hits.len(), 2);
+        let froms: Vec<_> = hits.iter().map(|(f, _)| *f).collect();
+        assert!(froms.contains(&g.nodes()[0]) && froms.contains(&g.nodes()[1]));
+    }
+
+    #[test]
+    fn reverse_adjacency_tracks_node_targets() {
+        let g = indexed_graph();
+        let b = g.nodes()[1];
+        let back = g.index().unwrap().edges_to_node(b);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].0, g.nodes()[0]);
+    }
+
+    #[test]
+    fn schema_index_holds_collections_and_labels() {
+        let g = indexed_graph();
+        let idx = g.index().unwrap();
+        assert_eq!(idx.label_count(), 2);
+        let people = g.universe().interner().get("People").unwrap();
+        assert_eq!(idx.collection_cardinality(people), Some(1));
+        assert_eq!(idx.collection_cardinality(Sym(9999)), None);
+    }
+
+    #[test]
+    fn missing_label_has_empty_extension() {
+        let g = indexed_graph();
+        assert!(g.index().unwrap().edges_with_label(Sym(4242)).is_empty());
+        assert!(g.index().unwrap().edges_to_value(&Value::Int(0)).is_empty());
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_maintenance() {
+        let mut g = indexed_graph();
+        let year = g.universe().interner().get("year").unwrap();
+        let before = g.index().unwrap().edges_with_label(year).to_vec();
+        g.rebuild_index();
+        assert_eq!(g.index().unwrap().edges_with_label(year), before.as_slice());
+        assert_eq!(g.index().unwrap().edge_count(), 4);
+    }
+}

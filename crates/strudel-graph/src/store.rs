@@ -1,0 +1,476 @@
+//! Binary persistence for the data repository.
+//!
+//! §6 of the paper lists "designing efficient storage representations for
+//! semistructured data" among the open problems: "traditional database
+//! systems rely heavily on schema information to organize data on disk",
+//! which a schemaless repository cannot. This module implements the natural
+//! schema-free layout the paper's repository design implies: a **symbol
+//! table** (every label and collection name once), a **node table** (names
+//! and out-edge lists referencing symbols), and **collection extents** —
+//! the same three structures the in-memory indexes are built from, so a
+//! loaded graph re-indexes in one pass.
+//!
+//! The format is a length-prefixed little-endian encoding, written and read
+//! without intermediate allocation beyond the structures themselves. It is
+//! deliberately dependency-free (no serde): the point of the exercise is
+//! the *layout*, mirroring how the 1997 prototype would have had to store
+//! graphs.
+
+use crate::error::{GraphError, Result};
+use crate::graph::{Graph, NodeId};
+use crate::symbol::Sym;
+use crate::value::{FileKind, Value};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"STRUDEL1";
+
+fn io_err(e: io::Error) -> GraphError {
+    GraphError::DdlParse { line: 0, message: format!("storage I/O error: {e}") }
+}
+
+fn corrupt(message: impl Into<String>) -> GraphError {
+    GraphError::DdlParse { line: 0, message: message.into() }
+}
+
+// ------------------------------------------------------------- primitives ----
+
+fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> Result<()> {
+    write_u32(w, u32::try_from(s.len()).map_err(|_| corrupt("string too long"))?)?;
+    w.write_all(s.as_bytes()).map_err(io_err)
+}
+
+/// A bounds-checked reader over the whole (buffered) input. Every count
+/// and length in the file is validated against the bytes actually present
+/// *before* any allocation, so a corrupted length prefix cannot trigger an
+/// unbounded allocation (found by the bit-flip fuzz test).
+struct In<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> In<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(corrupt("truncated input"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a count that prefixes `count * min_record_bytes`-byte records;
+    /// rejects counts the remaining input cannot possibly hold.
+    fn count(&mut self, min_record_bytes: usize) -> Result<usize> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_record_bytes.max(1)) > self.remaining() {
+            return Err(corrupt(format!("count {n} exceeds remaining input")));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = if self.remaining() < len {
+            return Err(corrupt("truncated string"));
+        } else {
+            self.take(len)?
+        };
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("invalid UTF-8 in stored string"))
+    }
+}
+
+// ------------------------------------------------------------- values ----
+
+const TAG_NODE: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_URL: u8 = 5;
+const TAG_FILE: u8 = 6;
+
+fn write_value(w: &mut impl Write, v: &Value, remap: &dyn Fn(NodeId) -> u32) -> Result<()> {
+    match v {
+        Value::Node(n) => {
+            w.write_all(&[TAG_NODE]).map_err(io_err)?;
+            write_u32(w, remap(*n))
+        }
+        Value::Int(i) => {
+            w.write_all(&[TAG_INT]).map_err(io_err)?;
+            write_u64(w, *i as u64)
+        }
+        Value::Float(f) => {
+            w.write_all(&[TAG_FLOAT]).map_err(io_err)?;
+            write_u64(w, f.to_bits())
+        }
+        Value::Bool(b) => w.write_all(&[TAG_BOOL, u8::from(*b)]).map_err(io_err),
+        Value::Str(s) => {
+            w.write_all(&[TAG_STR]).map_err(io_err)?;
+            write_str(w, s)
+        }
+        Value::Url(s) => {
+            w.write_all(&[TAG_URL]).map_err(io_err)?;
+            write_str(w, s)
+        }
+        Value::File(kind, path) => {
+            let k = match kind {
+                FileKind::Text => 0u8,
+                FileKind::Html => 1,
+                FileKind::Image => 2,
+                FileKind::PostScript => 3,
+            };
+            w.write_all(&[TAG_FILE, k]).map_err(io_err)?;
+            write_str(w, path)
+        }
+    }
+}
+
+fn read_value(r: &mut In<'_>, nodes: &[NodeId]) -> Result<Value> {
+    Ok(match r.u8()? {
+        TAG_NODE => {
+            let idx = r.u32()? as usize;
+            Value::Node(*nodes.get(idx).ok_or_else(|| corrupt("node index out of range"))?)
+        }
+        TAG_INT => Value::Int(r.u64()? as i64),
+        TAG_FLOAT => Value::Float(f64::from_bits(r.u64()?)),
+        TAG_BOOL => Value::Bool(r.u8()? != 0),
+        TAG_STR => Value::str(r.str()?),
+        TAG_URL => Value::url(r.str()?),
+        TAG_FILE => {
+            let kind = match r.u8()? {
+                0 => FileKind::Text,
+                1 => FileKind::Html,
+                2 => FileKind::Image,
+                3 => FileKind::PostScript,
+                other => return Err(corrupt(format!("unknown file kind {other}"))),
+            };
+            Value::file(kind, r.str()?)
+        }
+        other => return Err(corrupt(format!("unknown value tag {other}"))),
+    })
+}
+
+// ------------------------------------------------------------ graph I/O ----
+
+/// Serializes a graph to a writer.
+///
+/// Layout: magic, symbol table (all labels used), node table (name flag +
+/// name, edge list of `(symbol index, value)`), collection extents. Node
+/// references are densified to the graph's member order, so the stored form
+/// is independent of the universe's global oid space.
+pub fn save(graph: &Graph, w: &mut impl Write) -> Result<()> {
+    w.write_all(MAGIC).map_err(io_err)?;
+
+    // Dense node numbering.
+    let members = graph.nodes();
+    let mut dense = std::collections::HashMap::with_capacity(members.len());
+    for (i, &n) in members.iter().enumerate() {
+        dense.insert(n, i as u32);
+    }
+    let remap = |n: NodeId| -> u32 { *dense.get(&n).unwrap_or(&u32::MAX) };
+
+    // Symbol table: all labels that occur, in first-use order.
+    let mut sym_index: Vec<Sym> = Vec::new();
+    let mut sym_of = std::collections::HashMap::new();
+    let reader = graph.reader();
+    for &n in members {
+        for (l, _) in reader.out(n) {
+            sym_of.entry(*l).or_insert_with(|| {
+                sym_index.push(*l);
+                (sym_index.len() - 1) as u32
+            });
+        }
+    }
+    write_u32(w, sym_index.len() as u32)?;
+    for &s in &sym_index {
+        write_str(w, &graph.resolve(s))?;
+    }
+
+    // Node table.
+    write_u32(w, members.len() as u32)?;
+    for &n in members {
+        match reader.name(n) {
+            Some(name) => {
+                w.write_all(&[1]).map_err(io_err)?;
+                write_str(w, name)?;
+            }
+            None => w.write_all(&[0]).map_err(io_err)?,
+        }
+        let out = reader.out(n);
+        // Dangling node references (to nodes outside this graph) are not
+        // representable in the dense numbering; reject rather than corrupt.
+        for (_, v) in out {
+            if let Value::Node(m) = v {
+                if !dense.contains_key(m) {
+                    return Err(corrupt(format!(
+                        "edge to non-member node {m}; adopt it before saving"
+                    )));
+                }
+            }
+        }
+        write_u32(w, out.len() as u32)?;
+        for (l, v) in out {
+            write_u32(w, sym_of[l])?;
+            write_value(w, v, &remap)?;
+        }
+    }
+
+    // Collections.
+    let colls = graph.collection_names().to_vec();
+    write_u32(w, colls.len() as u32)?;
+    for c in colls {
+        write_str(w, &graph.resolve(c))?;
+        let items = graph.collection(c).expect("listed").items();
+        for item in items {
+            if let Value::Node(m) = item {
+                if !dense.contains_key(m) {
+                    return Err(corrupt("collection member is not a graph member"));
+                }
+            }
+        }
+        write_u32(w, items.len() as u32)?;
+        for item in items {
+            write_value(w, item, &remap)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a graph from a reader into a fresh standalone graph.
+///
+/// The entire stream is buffered first so every count in the file can be
+/// validated against the bytes actually present — corrupted inputs fail
+/// with an error rather than attempting huge allocations.
+pub fn load(reader: &mut impl Read) -> Result<Graph> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf).map_err(io_err)?;
+    load_slice(&buf)
+}
+
+/// Deserializes a graph from an in-memory buffer.
+pub fn load_slice(buf: &[u8]) -> Result<Graph> {
+    let mut r = In { buf, pos: 0 };
+    if r.take(8)? != MAGIC {
+        return Err(corrupt("not a STRUDEL graph file"));
+    }
+    let mut g = Graph::standalone();
+
+    // Each symbol record is at least its 4-byte length prefix.
+    let n_syms = r.count(4)?;
+    let mut syms = Vec::with_capacity(n_syms);
+    for _ in 0..n_syms {
+        let s = r.str()?;
+        syms.push(g.sym(&s));
+    }
+
+    // Each node record is at least 1 flag byte + 4 count bytes.
+    let n_nodes = r.count(5)?;
+    // Edge values may reference nodes that appear later in the stream, so
+    // pre-create every node, then fill names and edges in a second pass.
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        nodes.push(g.new_node(None));
+    }
+    for i in 0..n_nodes {
+        let has_name = r.u8()? == 1;
+        if has_name {
+            let name = r.str()?;
+            g.universe().set_node_name(nodes[i], &name);
+        }
+        // Each edge is at least a 4-byte symbol index + 1 tag byte.
+        let n_edges = r.count(5)?;
+        for _ in 0..n_edges {
+            let sym_idx = r.u32()? as usize;
+            let sym = *syms.get(sym_idx).ok_or_else(|| corrupt("symbol index out of range"))?;
+            let value = read_value(&mut r, &nodes)?;
+            g.add_edge(nodes[i], sym, value)?;
+        }
+    }
+
+    // Each collection record is at least a 4-byte name length + 4-byte count.
+    let n_colls = r.count(8)?;
+    for _ in 0..n_colls {
+        let name = r.str()?;
+        let sym = g.ensure_collection(&name);
+        // Each item is at least a 1-byte tag + 1 byte payload.
+        let n_items = r.count(2)?;
+        for _ in 0..n_items {
+            let v = read_value(&mut r, &nodes)?;
+            g.add_to_collection(sym, v);
+        }
+    }
+    Ok(g)
+}
+
+/// Saves a graph to a file.
+pub fn save_to_file(graph: &Graph, path: &std::path::Path) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = std::io::BufWriter::new(file);
+    save(graph, &mut w)?;
+    w.flush().map_err(io_err)
+}
+
+/// Loads a graph from a file.
+pub fn load_from_file(path: &std::path::Path) -> Result<Graph> {
+    let file = std::fs::File::open(path).map_err(io_err)?;
+    let mut r = std::io::BufReader::new(file);
+    load(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl;
+
+    fn sample() -> Graph {
+        ddl::parse(
+            r#"
+collection Publications {
+  abstract   text
+  postscript ps
+  homepage   url
+}
+object pub1 in Publications {
+  title      "Specifying Representations"
+  author     "Norman Ramsey"
+  year       1997
+  score      4.5
+  open       true
+  abstract   "abstracts/t.txt"
+  postscript "papers/t.ps.gz"
+  homepage   "http://example.com"
+  next       &pub2
+}
+object pub2 in Publications {
+  title "Optimizing"
+  next  &pub1
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    fn roundtrip(g: &Graph) -> Graph {
+        let mut buf = Vec::new();
+        save(g, &mut buf).unwrap();
+        load(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let g2 = roundtrip(&g);
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.collection_str("Publications").unwrap().len(), 2);
+        // Values with every tag survive.
+        let r = g2.reader();
+        let interner = g2.universe().interner();
+        let p1 = g2.nodes()[0];
+        assert_eq!(g2.node_name(p1).as_deref(), Some("pub1"));
+        assert_eq!(r.attr(p1, interner.get("year").unwrap()), Some(&Value::Int(1997)));
+        assert_eq!(r.attr(p1, interner.get("score").unwrap()), Some(&Value::Float(4.5)));
+        assert_eq!(r.attr(p1, interner.get("open").unwrap()), Some(&Value::Bool(true)));
+        assert_eq!(
+            r.attr(p1, interner.get("postscript").unwrap()),
+            Some(&Value::file(FileKind::PostScript, "papers/t.ps.gz"))
+        );
+        assert_eq!(
+            r.attr(p1, interner.get("homepage").unwrap()),
+            Some(&Value::url("http://example.com"))
+        );
+        // Cyclic node references survive with correct identity.
+        let p2 = r.attr(p1, interner.get("next").unwrap()).unwrap().as_node().unwrap();
+        assert_eq!(r.attr(p2, interner.get("next").unwrap()), Some(&Value::Node(p1)));
+    }
+
+    #[test]
+    fn loaded_graph_is_fully_indexed() {
+        let g2 = roundtrip(&sample());
+        let year = g2.universe().interner().get("year").unwrap();
+        assert_eq!(g2.index().unwrap().edges_with_label(year).len(), 1);
+        assert_eq!(g2.index().unwrap().edges_to_value(&Value::Int(1997)).len(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let path = std::env::temp_dir().join(format!("strudel_store_{}.bin", std::process::id()));
+        save_to_file(&g, &path).unwrap();
+        let g2 = load_from_file(&path).unwrap();
+        assert_eq!(g2.edge_count(), g.edge_count());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        save(&sample(), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut buf = Vec::new();
+        save(&sample(), &mut buf).unwrap();
+        for cut in [4usize, 9, buf.len() / 2, buf.len() - 1] {
+            assert!(load(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = Graph::standalone();
+        let g2 = roundtrip(&g);
+        assert_eq!(g2.node_count(), 0);
+        assert_eq!(g2.edge_count(), 0);
+    }
+
+    #[test]
+    fn dangling_reference_rejected_at_save() {
+        let g = {
+            let mut g = Graph::standalone();
+            let n = g.new_node(None);
+            // A node allocated in the universe but never adopted.
+            let ghost = g.universe().create_node(None);
+            g.add_edge_str(n, "to", Value::Node(ghost)).unwrap();
+            g
+        };
+        let mut buf = Vec::new();
+        assert!(save(&g, &mut buf).is_err());
+    }
+
+    #[test]
+    fn queries_work_on_loaded_graphs() {
+        // Not just structure: the whole pipeline runs on a loaded graph.
+        let g2 = roundtrip(&sample());
+        // Collection membership + attribute lookup.
+        let pubs = g2.collection_str("Publications").unwrap();
+        assert!(pubs.items().iter().all(Value::is_node));
+    }
+}

@@ -1,0 +1,146 @@
+//! String interning for edge labels and collection names.
+//!
+//! Labels are the "schema" of a semistructured graph and are compared and
+//! hashed constantly during query evaluation, so they are interned once into
+//! a [`Sym`] (a 32-bit handle). All graphs of one [`crate::Database`] share a
+//! single [`Interner`] so a `Sym` is meaningful across the graphs a query
+//! reads and writes.
+
+use crate::fxhash::FxHashMap;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned string handle. Cheap to copy, hash, and compare.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The raw index of this symbol in its interner.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Default)]
+struct InternerInner {
+    strings: Vec<Arc<str>>,
+    lookup: FxHashMap<Arc<str>, Sym>,
+}
+
+/// A thread-safe string interner shared by all graphs of a database.
+///
+/// Interning is write-locked; resolution takes a read lock and returns a
+/// cheaply clonable `Arc<str>`.
+#[derive(Default)]
+pub struct Interner {
+    inner: RwLock<InternerInner>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn intern(&self, s: &str) -> Sym {
+        if let Some(&sym) = self.inner.read().lookup.get(s) {
+            return sym;
+        }
+        let mut inner = self.inner.write();
+        // Re-check under the write lock: another thread may have interned
+        // the same string between our read and write acquisitions.
+        if let Some(&sym) = inner.lookup.get(s) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let sym = Sym(u32::try_from(inner.strings.len()).expect("interner overflow"));
+        inner.strings.push(Arc::clone(&arc));
+        inner.lookup.insert(arc, sym);
+        sym
+    }
+
+    /// Looks up a previously interned string without interning it.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.inner.read().lookup.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> Arc<str> {
+        Arc::clone(&self.inner.read().strings[sym.index()])
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// Whether no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("Paper");
+        let b = i.intern("Paper");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let i = Interner::new();
+        assert_ne!(i.intern("year"), i.intern("Year"));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let i = Interner::new();
+        let s = i.intern("TechReport");
+        assert_eq!(&*i.resolve(s), "TechReport");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let i = Interner::new();
+        assert!(i.get("missing").is_none());
+        assert!(i.is_empty());
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let i = Arc::new(Interner::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let i = Arc::clone(&i);
+                std::thread::spawn(move || (0..100).map(|n| i.intern(&format!("label{n}"))).collect::<Vec<_>>())
+            })
+            .collect();
+        let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert_eq!(i.len(), 100);
+    }
+}

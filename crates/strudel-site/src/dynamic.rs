@@ -1,0 +1,448 @@
+//! Incremental / click-time evaluation (\[FER 98c\], §1 and §6).
+//!
+//! Materializing a whole site up front "has problems similar to those of
+//! data warehousing"; the alternative the paper proposes is to "precompute
+//! the root(s) of a Web site, then compute at click time the query that
+//! obtains the information required to display the next page."
+//!
+//! [`DynamicSite`] implements that decomposition. The site-definition query
+//! is split into one sub-query per `LINK` clause: when the user "clicks"
+//! into page `F(v̄)`, each clause `F(X) -> L -> T` is evaluated with `X`
+//! bound to `v̄`, yielding exactly that page's outgoing links. Results are
+//! cached — "our optimization techniques cache query results to reduce
+//! click time for future queries".
+
+use strudel_graph::fxhash::FxHashMap;
+use strudel_graph::{Graph, Value};
+use strudel_struql::analyze::analyze;
+use strudel_struql::ast::{Block, Condition, LabelTerm, Term};
+use strudel_struql::binding::Bindings;
+use strudel_struql::{evaluate_conditions, EvalOptions, Query, Result, StruqlError};
+
+/// A logical page: a Skolem function applied to argument values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PageRef {
+    /// The Skolem function name, e.g. `YearPage`.
+    pub skolem: String,
+    /// The argument values, e.g. `[Int(1997)]`.
+    pub args: Vec<Value>,
+}
+
+impl std::fmt::Display for PageRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.skolem, self.args.iter().map(ToString::to_string).collect::<Vec<_>>().join(","))
+    }
+}
+
+/// The target of an out-link: another logical page or a plain value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Target {
+    /// A link to another page.
+    Page(PageRef),
+    /// Page content (an atomic value or a data-graph node).
+    Value(Value),
+}
+
+/// One outgoing link of a page, as computed at click time.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OutLink {
+    /// The edge label.
+    pub label: String,
+    /// The target.
+    pub target: Target,
+}
+
+/// Counters for the dynamic evaluator.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct DynStats {
+    /// Pages expanded (cache misses).
+    pub expansions: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Per-clause sub-queries evaluated.
+    pub clause_queries: u64,
+}
+
+/// A link clause lifted out of the query, with its governing conjunction.
+#[derive(Clone, Debug)]
+struct ClauseInfo {
+    from_fn: String,
+    from_args: Vec<String>,
+    label: LabelTerm,
+    to: Term,
+    conditions: Vec<Condition>,
+}
+
+/// A create clause lifted out of the query (for page enumeration).
+#[derive(Clone, Debug)]
+struct CreateInfo {
+    name: String,
+    args: Vec<String>,
+    conditions: Vec<Condition>,
+}
+
+/// A site evaluated lazily, page by page.
+pub struct DynamicSite<'g> {
+    data: &'g Graph,
+    opts: EvalOptions,
+    clauses: Vec<ClauseInfo>,
+    creates: Vec<CreateInfo>,
+    cache: FxHashMap<(usize, Vec<Value>), Vec<OutLink>>,
+    stats: DynStats,
+}
+
+impl<'g> DynamicSite<'g> {
+    /// Decomposes `query` over `data`. The query is analyzed (so bare path
+    /// steps resolve) but nothing is evaluated yet.
+    pub fn new(data: &'g Graph, query: &Query, opts: EvalOptions) -> Result<Self> {
+        let analyzed = analyze(query, &opts.predicates)?;
+        let mut clauses = Vec::new();
+        let mut creates = Vec::new();
+        collect(&analyzed.query.root, &mut Vec::new(), &mut clauses, &mut creates);
+        Ok(DynamicSite { data, opts, clauses, creates, cache: FxHashMap::default(), stats: DynStats::default() })
+    }
+
+    /// Evaluator counters so far.
+    pub fn stats(&self) -> DynStats {
+        self.stats
+    }
+
+    /// The precomputed roots: pages of zero-argument Skolem functions
+    /// created under an unconditional (empty) conjunction.
+    pub fn roots(&self) -> Vec<PageRef> {
+        let mut out = Vec::new();
+        for c in &self.creates {
+            if c.args.is_empty() && c.conditions.is_empty() {
+                let page = PageRef { skolem: c.name.clone(), args: Vec::new() };
+                if !out.contains(&page) {
+                    out.push(page);
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerates every page of one Skolem function by evaluating its
+    /// creation conjunction (used for site maps; ordinary browsing reaches
+    /// pages through [`DynamicSite::expand`]).
+    pub fn pages_of(&mut self, skolem: &str) -> Result<Vec<PageRef>> {
+        let mut out = Vec::new();
+        let mut seen = strudel_graph::fxhash::FxHashSet::default();
+        let creates: Vec<CreateInfo> =
+            self.creates.iter().filter(|c| c.name == skolem).cloned().collect();
+        for c in &creates {
+            let bindings = evaluate_conditions(&c.conditions, self.data, Bindings::unit(), &self.opts)?;
+            self.stats.clause_queries += 1;
+            for row in &bindings.rows {
+                let args: Option<Vec<Value>> = c.args.iter().map(|a| bindings.get(row, a).cloned()).collect();
+                let Some(args) = args else {
+                    return Err(StruqlError::Eval(format!("unbound Skolem argument in {}", c.name)));
+                };
+                if seen.insert(args.clone()) {
+                    out.push(PageRef { skolem: skolem.to_string(), args });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Click-time expansion: computes the outgoing links of `page` by
+    /// running each of its link clauses with the page's Skolem arguments
+    /// bound. Cached per (clause, arguments).
+    pub fn expand(&mut self, page: &PageRef) -> Result<Vec<OutLink>> {
+        let mut out: Vec<OutLink> = Vec::new();
+        let clause_ids: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.from_fn == page.skolem && c.from_args.len() == page.args.len())
+            .map(|(i, _)| i)
+            .collect();
+        let mut expanded = false;
+        for i in clause_ids {
+            let key = (i, page.args.clone());
+            if let Some(cached) = self.cache.get(&key) {
+                self.stats.cache_hits += 1;
+                out.extend(cached.iter().cloned());
+                continue;
+            }
+            expanded = true;
+            let links = self.eval_clause(i, page)?;
+            out.extend(links.iter().cloned());
+            self.cache.insert(key, links);
+        }
+        if expanded {
+            self.stats.expansions += 1;
+        }
+        // Set semantics across clauses.
+        let mut seen = Vec::new();
+        out.retain(|l| {
+            if seen.contains(l) {
+                false
+            } else {
+                seen.push(l.clone());
+                true
+            }
+        });
+        Ok(out)
+    }
+
+    fn eval_clause(&mut self, idx: usize, page: &PageRef) -> Result<Vec<OutLink>> {
+        let clause = self.clauses[idx].clone();
+        // Bind the page's Skolem arguments.
+        let mut start = Bindings::empty();
+        let mut row: Vec<Value> = Vec::new();
+        for (var, val) in clause.from_args.iter().zip(&page.args) {
+            if let Some(col) = start.col(var) {
+                // Repeated variable: values must agree.
+                if &row[col] != val {
+                    return Ok(Vec::new());
+                }
+            } else {
+                start.add_var(var);
+                row.push(val.clone());
+            }
+        }
+        start.rows.push(row);
+        let bindings = evaluate_conditions(&clause.conditions, self.data, start, &self.opts)?;
+        self.stats.clause_queries += 1;
+
+        // Aggregate targets group by this page (the clause's Skolem source)
+        // and label; compute them over all rows at click time.
+        if let Term::Agg(func, var) = &clause.to {
+            let mut groups: FxHashMap<String, strudel_graph::fxhash::FxHashSet<Value>> =
+                FxHashMap::default();
+            for row in &bindings.rows {
+                let label = match &clause.label {
+                    LabelTerm::Lit(s) => s.clone(),
+                    LabelTerm::Var(v) => match bindings.get(row, v).and_then(Value::text) {
+                        Some(t) => t.to_string(),
+                        None => continue,
+                    },
+                };
+                if let Some(v) = bindings.get(row, var) {
+                    groups.entry(label).or_default().insert(v.clone());
+                }
+            }
+            let mut links: Vec<OutLink> = Vec::new();
+            let mut labels: Vec<String> = groups.keys().cloned().collect();
+            labels.sort();
+            for label in labels {
+                if let Some(v) = strudel_struql::construct::aggregate(*func, &groups[&label]) {
+                    links.push(OutLink { label, target: Target::Value(v) });
+                }
+            }
+            return Ok(links);
+        }
+
+        let mut links = Vec::new();
+        for row in &bindings.rows {
+            let label = match &clause.label {
+                LabelTerm::Lit(s) => s.clone(),
+                LabelTerm::Var(v) => match bindings.get(row, v).and_then(Value::text) {
+                    Some(t) => t.to_string(),
+                    None => continue,
+                },
+            };
+            let target = match &clause.to {
+                Term::Skolem(sk) => {
+                    let args: Option<Vec<Value>> =
+                        sk.args.iter().map(|a| bindings.get(row, a).cloned()).collect();
+                    match args {
+                        Some(args) => Target::Page(PageRef { skolem: sk.name.clone(), args }),
+                        None => continue,
+                    }
+                }
+                Term::Var(v) => match bindings.get(row, v) {
+                    Some(val) => Target::Value(val.clone()),
+                    None => continue,
+                },
+                Term::Lit(l) => Target::Value(l.to_value()),
+                Term::Agg(..) => unreachable!("handled above"),
+            };
+            let link = OutLink { label, target };
+            if !links.contains(&link) {
+                links.push(link);
+            }
+        }
+        Ok(links)
+    }
+}
+
+fn collect(
+    block: &Block,
+    path: &mut Vec<Condition>,
+    clauses: &mut Vec<ClauseInfo>,
+    creates: &mut Vec<CreateInfo>,
+) {
+    let depth = path.len();
+    path.extend(block.where_.iter().cloned());
+    for link in &block.links {
+        clauses.push(ClauseInfo {
+            from_fn: link.from.name.clone(),
+            from_args: link.from.args.clone(),
+            label: link.label.clone(),
+            to: link.to.clone(),
+            conditions: path.clone(),
+        });
+    }
+    for sk in &block.creates {
+        creates.push(CreateInfo { name: sk.name.clone(), args: sk.args.clone(), conditions: path.clone() });
+    }
+    for child in &block.children {
+        collect(child, path, clauses, creates);
+    }
+    path.truncate(depth);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::ddl;
+    use strudel_struql::parse_query;
+
+    const FIG3: &str = r#"
+CREATE RootPage(), AbstractsPage()
+LINK RootPage() -> "AbstractsPage" -> AbstractsPage()
+{
+  WHERE Publications(x), x -> l -> v
+  CREATE PaperPresentation(x), AbstractPage(x)
+  LINK AbstractPage(x) -> l -> v,
+       PaperPresentation(x) -> l -> v,
+       PaperPresentation(x) -> "Abstract" -> AbstractPage(x),
+       AbstractsPage() -> "Abstract" -> AbstractPage(x)
+  {
+    WHERE l = "year"
+    CREATE YearPage(v)
+    LINK YearPage(v) -> "Year" -> v,
+         YearPage(v) -> "Paper" -> PaperPresentation(x),
+         RootPage() -> "YearPage" -> YearPage(v)
+  }
+}
+"#;
+
+    fn data() -> Graph {
+        ddl::parse(
+            r#"
+object p1 in Publications { title "A" year 1997 }
+object p2 in Publications { title "B" year 1998 }
+object p3 in Publications { title "C" year 1997 }
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roots_are_unconditional_zero_arg_skolems() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        let site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let roots = site.roots();
+        assert_eq!(roots.len(), 2);
+        assert!(roots.iter().any(|r| r.skolem == "RootPage"));
+        assert!(roots.iter().any(|r| r.skolem == "AbstractsPage"));
+    }
+
+    #[test]
+    fn click_expansion_of_root() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let root = PageRef { skolem: "RootPage".into(), args: vec![] };
+        let links = site.expand(&root).unwrap();
+        // 1 AbstractsPage link + 2 distinct YearPage links.
+        assert_eq!(links.len(), 3, "{links:?}");
+        let years: Vec<&OutLink> = links.iter().filter(|l| l.label == "YearPage").collect();
+        assert_eq!(years.len(), 2);
+        assert!(years.iter().all(|l| matches!(&l.target, Target::Page(p) if p.skolem == "YearPage")));
+    }
+
+    #[test]
+    fn click_expansion_is_per_page() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let y1997 = PageRef { skolem: "YearPage".into(), args: vec![Value::Int(1997)] };
+        let links = site.expand(&y1997).unwrap();
+        // Year edge + two papers from 1997 (p1, p3) — not p2.
+        let papers: Vec<_> = links.iter().filter(|l| l.label == "Paper").collect();
+        assert_eq!(papers.len(), 2, "{links:?}");
+        assert!(links.iter().any(|l| l.label == "Year" && matches!(&l.target, Target::Value(Value::Int(1997)))));
+
+        let y1998 = PageRef { skolem: "YearPage".into(), args: vec![Value::Int(1998)] };
+        let links98 = site.expand(&y1998).unwrap();
+        assert_eq!(links98.iter().filter(|l| l.label == "Paper").count(), 1);
+    }
+
+    #[test]
+    fn arc_variable_labels_expand() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        // PaperPresentation(p1): copied attributes + Abstract link.
+        let p1 = g.nodes()[0];
+        let page = PageRef { skolem: "PaperPresentation".into(), args: vec![Value::Node(p1)] };
+        let links = site.expand(&page).unwrap();
+        assert!(links.iter().any(|l| l.label == "title"));
+        assert!(links.iter().any(|l| l.label == "year"));
+        assert!(links.iter().any(|l| l.label == "Abstract" && matches!(&l.target, Target::Page(p) if p.skolem == "AbstractPage")));
+    }
+
+    #[test]
+    fn expansion_matches_materialized_site() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        let opts = EvalOptions::default();
+        let materialized = q.evaluate(&g, &opts).unwrap();
+        let mut dynamic = DynamicSite::new(&g, &q, opts).unwrap();
+
+        // For every materialized page, the dynamic expansion must produce
+        // exactly the same out-edge count.
+        for (name, args, oid) in materialized.table.iter() {
+            let page = PageRef { skolem: name.to_string(), args: args.to_vec() };
+            let links = dynamic.expand(&page).unwrap();
+            let materialized_edges = materialized.graph.out_edges(oid).len();
+            assert_eq!(links.len(), materialized_edges, "page {page}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_clicks() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let root = PageRef { skolem: "RootPage".into(), args: vec![] };
+        site.expand(&root).unwrap();
+        let before = site.stats();
+        site.expand(&root).unwrap();
+        let after = site.stats();
+        assert_eq!(after.expansions, before.expansions);
+        assert!(after.cache_hits > before.cache_hits);
+    }
+
+    #[test]
+    fn pages_of_enumerates_extension() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let years = site.pages_of("YearPage").unwrap();
+        assert_eq!(years.len(), 2);
+        let pps = site.pages_of("PaperPresentation").unwrap();
+        assert_eq!(pps.len(), 3);
+        assert!(site.pages_of("Nothing").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_page_yields_no_links() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let bogus = PageRef { skolem: "Nowhere".into(), args: vec![] };
+        assert!(site.expand(&bogus).unwrap().is_empty());
+        // A YearPage that no data supports: clauses run but bind nothing
+        // (the conjunction is unsatisfiable with v = 1642).
+        let empty = PageRef { skolem: "YearPage".into(), args: vec![Value::Int(1642)] };
+        let links = site.expand(&empty).unwrap();
+        assert!(links.is_empty(), "{links:?}");
+    }
+}

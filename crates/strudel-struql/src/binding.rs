@@ -1,0 +1,136 @@
+//! The bindings relation produced by the query stage.
+//!
+//! "The meaning of the where-clause is the set of assignments … that satisfy
+//! all conditions in the where clause"; its result is "a relation with one
+//! attribute for each variable" (§3). Arc variables bind to labels,
+//! represented as [`Value::Str`] so that comparisons like `l = "year"` are
+//! ordinary value comparisons.
+
+use strudel_graph::fxhash::FxHashMap;
+use strudel_graph::Value;
+
+/// A relation: a variable schema plus rows of values.
+#[derive(Clone, Debug, Default)]
+pub struct Bindings {
+    vars: Vec<String>,
+    index: FxHashMap<String, usize>,
+    /// The rows. Each row has exactly `vars().len()` values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Bindings {
+    /// An empty relation with no variables and no rows.
+    pub fn empty() -> Bindings {
+        Bindings::default()
+    }
+
+    /// The relation with no variables and exactly one (empty) row — the
+    /// identity for condition evaluation. A block with an empty `WHERE`
+    /// clause binds this once, which is why `CREATE RootPage()` with no
+    /// conditions creates exactly one node.
+    pub fn unit() -> Bindings {
+        Bindings { vars: Vec::new(), index: FxHashMap::default(), rows: vec![Vec::new()] }
+    }
+
+    /// Creates a relation with the given schema and no rows.
+    pub fn with_vars(vars: Vec<String>) -> Bindings {
+        let index = vars.iter().enumerate().map(|(i, v)| (v.clone(), i)).collect();
+        Bindings { vars, index, rows: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Column index of `var`, if bound.
+    pub fn col(&self, var: &str) -> Option<usize> {
+        self.index.get(var).copied()
+    }
+
+    /// Whether `var` is in the schema.
+    pub fn is_bound(&self, var: &str) -> bool {
+        self.index.contains_key(var)
+    }
+
+    /// Appends a new variable column, returning its index. The caller must
+    /// push a value for it in every row it adds.
+    pub fn add_var(&mut self, var: &str) -> usize {
+        debug_assert!(!self.index.contains_key(var), "variable {var} already bound");
+        let i = self.vars.len();
+        self.vars.push(var.to_string());
+        self.index.insert(var.to_string(), i);
+        i
+    }
+
+    /// The value of `var` in `row`.
+    pub fn get<'a>(&self, row: &'a [Value], var: &str) -> Option<&'a Value> {
+        self.col(var).and_then(|i| row.get(i))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Projects onto a subset of variables (deduplicating rows), used when
+    /// handing a parent block's bindings to a nested block.
+    pub fn project(&self, keep: &[String]) -> Bindings {
+        let cols: Vec<usize> = keep.iter().filter_map(|v| self.col(v)).collect();
+        let kept: Vec<String> = keep.iter().filter(|v| self.is_bound(v)).cloned().collect();
+        let mut out = Bindings::with_vars(kept);
+        let mut seen = strudel_graph::fxhash::FxHashSet::default();
+        for row in &self.rows {
+            let projected: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            if seen.insert(projected.clone()) {
+                out.rows.push(projected);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_has_one_empty_row() {
+        let u = Bindings::unit();
+        assert_eq!(u.len(), 1);
+        assert!(u.vars().is_empty());
+    }
+
+    #[test]
+    fn add_var_and_get() {
+        let mut b = Bindings::unit();
+        let _x = b.add_var("x");
+        b.rows[0].push(Value::Int(7));
+        assert_eq!(b.get(&b.rows[0], "x"), Some(&Value::Int(7)));
+        assert_eq!(b.get(&b.rows[0], "y"), None);
+        assert!(b.is_bound("x"));
+    }
+
+    #[test]
+    fn project_deduplicates() {
+        let mut b = Bindings::with_vars(vec!["x".into(), "y".into()]);
+        b.rows.push(vec![Value::Int(1), Value::Int(10)]);
+        b.rows.push(vec![Value::Int(1), Value::Int(20)]);
+        b.rows.push(vec![Value::Int(2), Value::Int(30)]);
+        let p = b.project(&["x".to_string()]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.vars(), &["x".to_string()]);
+    }
+
+    #[test]
+    fn project_ignores_unbound() {
+        let b = Bindings::with_vars(vec!["x".into()]);
+        let p = b.project(&["x".to_string(), "z".to_string()]);
+        assert_eq!(p.vars(), &["x".to_string()]);
+    }
+}

@@ -1,0 +1,410 @@
+//! The construction stage (§3): `CREATE` / `LINK` / `COLLECT`.
+//!
+//! "For each row in the relation, first construct all new node oids, as
+//! specified in the create clause … By convention, when a Skolem function is
+//! applied to the same inputs, it returns the same node oid. Next, construct
+//! the new edges, as described in the link clause." Edges and collections
+//! have set semantics: emitting the same edge from many rows (which Fig. 3's
+//! `PaperPresentation(x) -> "Abstract" -> AbstractPage(x)` does, once per
+//! attribute binding of `x`) yields one edge.
+//!
+//! The [`SkolemTable`] may outlive one query: STRUDEL lets "different
+//! queries create different parts of the same site" (§5.2), which works
+//! precisely because `F(v)` in a later query resolves to the node `F(v)`
+//! created by an earlier one.
+
+use crate::ast::{AggFunc, Block, LabelTerm, SkolemTerm, Term};
+use crate::binding::Bindings;
+use crate::error::{Result, StruqlError};
+use strudel_graph::fxhash::{FxHashMap, FxHashSet};
+use strudel_graph::{Graph, Oid, Sym, Value};
+use std::fmt::Write as _;
+
+/// The memo table of Skolem-function applications:
+/// `(function name, argument values) → node`.
+#[derive(Default, Debug)]
+pub struct SkolemTable {
+    map: FxHashMap<(String, Vec<Value>), Oid>,
+    /// Edges already emitted into the output graph (set semantics).
+    emitted: FxHashSet<(Oid, Sym, Value)>,
+}
+
+impl SkolemTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct Skolem applications instantiated.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no applications have been instantiated.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Resolves `name(args)` to its node, creating the node in `out` on
+    /// first use. The node's provenance name is the printed Skolem term
+    /// (`YearPage(1997)`), which the HTML generator later uses for stable
+    /// file names.
+    pub fn instantiate(&mut self, out: &mut Graph, name: &str, args: &[Value]) -> Oid {
+        if let Some(&oid) = self.map.get(&(name.to_string(), args.to_vec())) {
+            return oid;
+        }
+        let mut label = String::with_capacity(name.len() + 8);
+        label.push_str(name);
+        label.push('(');
+        for (i, a) in args.iter().enumerate() {
+            if i > 0 {
+                label.push(',');
+            }
+            match a {
+                // Strings print unquoted in node names for readability.
+                Value::Str(s) => label.push_str(s),
+                other => {
+                    let _ = write!(label, "{other}");
+                }
+            }
+        }
+        label.push(')');
+        let oid = out.new_node(Some(&label));
+        self.map.insert((name.to_string(), args.to_vec()), oid);
+        oid
+    }
+
+    /// Looks up an existing application without creating it.
+    pub fn lookup(&self, name: &str, args: &[Value]) -> Option<Oid> {
+        self.map.get(&(name.to_string(), args.to_vec())).copied()
+    }
+
+    /// Iterates all instantiated applications.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[Value], Oid)> {
+        self.map.iter().map(|((name, args), &oid)| (name.as_str(), args.as_slice(), oid))
+    }
+
+    fn emit_edge(&mut self, out: &mut Graph, from: Oid, label: Sym, to: Value) -> Result<bool> {
+        if self.emitted.insert((from, label, to.clone())) {
+            // Linking to an existing node pulls it (and its attributes)
+            // into the output graph — graphs of a database share objects.
+            if let Value::Node(n) = &to {
+                if !out.contains_node(*n) {
+                    out.adopt_node(*n)?;
+                }
+            }
+            out.add_edge(from, label, to)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+}
+
+/// Counters reported by the construction stage.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConstructStats {
+    /// New nodes created by Skolem instantiation.
+    pub nodes_created: u64,
+    /// Distinct edges added.
+    pub edges_created: u64,
+    /// Collection insertions (deduplicated).
+    pub collected: u64,
+}
+
+/// Runs a block's construction clauses over its bindings relation, writing
+/// into `out`.
+pub fn apply_block(
+    block: &Block,
+    bindings: &Bindings,
+    out: &mut Graph,
+    table: &mut SkolemTable,
+    stats: &mut ConstructStats,
+) -> Result<()> {
+    if block.creates.is_empty() && block.links.is_empty() && block.collects.is_empty() {
+        return Ok(());
+    }
+
+    // Pre-intern literal link labels and pre-resolve collect collections.
+    let link_labels: Vec<Option<Sym>> = block
+        .links
+        .iter()
+        .map(|l| match &l.label {
+            LabelTerm::Lit(s) => Some(out.sym(s)),
+            LabelTerm::Var(_) => None,
+        })
+        .collect();
+    let collect_syms: Vec<Sym> = block.collects.iter().map(|c| out.ensure_collection(&c.name)).collect();
+
+    // Aggregation accumulators (§5.2 extension): link targets group by
+    // (link clause, source node, label); collect arguments aggregate over
+    // the whole bindings relation. Distinct values only.
+    let mut agg_links: FxHashMap<(usize, Oid, Sym), FxHashSet<Value>> = FxHashMap::default();
+    let mut agg_collects: FxHashMap<usize, FxHashSet<Value>> = FxHashMap::default();
+
+    for row_idx in 0..bindings.rows.len() {
+        let resolve_skolem = |table: &mut SkolemTable, out: &mut Graph, sk: &SkolemTerm| -> Result<Oid> {
+            let mut args = Vec::with_capacity(sk.args.len());
+            let row = &bindings.rows[row_idx];
+            for a in &sk.args {
+                let v = bindings
+                    .get(row, a)
+                    .ok_or_else(|| StruqlError::eval(format!("Skolem argument `{a}` unbound at construction time")))?;
+                args.push(v.clone());
+            }
+            let before = table.len();
+            let oid = table.instantiate(out, &sk.name, &args);
+            if table.len() > before {
+                // freshly created
+            }
+            Ok(oid)
+        };
+
+        for sk in &block.creates {
+            let before = table.len();
+            resolve_skolem(table, out, sk)?;
+            if table.len() > before {
+                stats.nodes_created += 1;
+            }
+        }
+
+        for (link_idx, (link, lit_label)) in block.links.iter().zip(&link_labels).enumerate() {
+            let before_nodes = table.len();
+            let from = resolve_skolem(table, out, &link.from)?;
+            let label = match (&link.label, lit_label) {
+                (_, Some(sym)) => *sym,
+                (LabelTerm::Var(v), None) => {
+                    let row = &bindings.rows[row_idx];
+                    let value = bindings
+                        .get(row, v)
+                        .ok_or_else(|| StruqlError::eval(format!("link label variable `{v}` unbound")))?;
+                    match value.text() {
+                        Some(t) => out.sym(&t),
+                        None => {
+                            return Err(StruqlError::eval(format!(
+                                "link label variable `{v}` is bound to non-label value {value}"
+                            )))
+                        }
+                    }
+                }
+                (LabelTerm::Lit(_), None) => unreachable!("literal labels pre-interned"),
+            };
+            let to: Value = match &link.to {
+                Term::Skolem(sk) => Value::Node(resolve_skolem(table, out, sk)?),
+                Term::Var(v) => {
+                    let row = &bindings.rows[row_idx];
+                    bindings
+                        .get(row, v)
+                        .ok_or_else(|| StruqlError::eval(format!("link target variable `{v}` unbound")))?
+                        .clone()
+                }
+                Term::Lit(l) => l.to_value(),
+                Term::Agg(_, v) => {
+                    // Accumulate the group; the edge is emitted after the
+                    // row loop.
+                    let row = &bindings.rows[row_idx];
+                    let value = bindings
+                        .get(row, v)
+                        .ok_or_else(|| StruqlError::eval(format!("aggregate variable `{v}` unbound")))?;
+                    stats.nodes_created += (table.len() - before_nodes) as u64;
+                    agg_links.entry((link_idx, from, label)).or_default().insert(value.clone());
+                    continue;
+                }
+            };
+            stats.nodes_created += (table.len() - before_nodes) as u64;
+            if table.emit_edge(out, from, label, to)? {
+                stats.edges_created += 1;
+            }
+        }
+
+        for (coll_idx, (coll, &sym)) in block.collects.iter().zip(&collect_syms).enumerate() {
+            let before_nodes = table.len();
+            let value: Value = match &coll.arg {
+                Term::Skolem(sk) => Value::Node(resolve_skolem(table, out, sk)?),
+                Term::Var(v) => {
+                    let row = &bindings.rows[row_idx];
+                    bindings
+                        .get(row, v)
+                        .ok_or_else(|| StruqlError::eval(format!("collect argument `{v}` unbound")))?
+                        .clone()
+                }
+                Term::Lit(l) => l.to_value(),
+                Term::Agg(_, v) => {
+                    let row = &bindings.rows[row_idx];
+                    let value = bindings
+                        .get(row, v)
+                        .ok_or_else(|| StruqlError::eval(format!("aggregate variable `{v}` unbound")))?;
+                    agg_collects.entry(coll_idx).or_default().insert(value.clone());
+                    continue;
+                }
+            };
+            stats.nodes_created += (table.len() - before_nodes) as u64;
+            if let Value::Node(n) = &value {
+                if !out.contains_node(*n) {
+                    out.adopt_node(*n)?;
+                }
+            }
+            if out.add_to_collection(sym, value) {
+                stats.collected += 1;
+            }
+        }
+    }
+
+    // Emit aggregated links and collections.
+    let mut agg_link_keys: Vec<(usize, Oid, Sym)> = agg_links.keys().copied().collect();
+    agg_link_keys.sort_unstable_by_key(|(i, o, s)| (*i, o.0, s.0));
+    for key in agg_link_keys {
+        let (link_idx, from, label) = key;
+        let values = &agg_links[&key];
+        let Term::Agg(func, _) = &block.links[link_idx].to else { unreachable!("accumulated from Agg") };
+        if let Some(result) = aggregate(*func, values) {
+            if table.emit_edge(out, from, label, result)? {
+                stats.edges_created += 1;
+            }
+        }
+    }
+    let mut agg_coll_keys: Vec<usize> = agg_collects.keys().copied().collect();
+    agg_coll_keys.sort_unstable();
+    for coll_idx in agg_coll_keys {
+        let Term::Agg(func, _) = &block.collects[coll_idx].arg else { unreachable!("accumulated from Agg") };
+        if let Some(result) = aggregate(*func, &agg_collects[&coll_idx]) {
+            if out.add_to_collection(collect_syms[coll_idx], result) {
+                stats.collected += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes an aggregate over a group's distinct values. `SUM`/`AVG` fold
+/// the numeric members (integers and floats) and ignore the rest; `MIN`/
+/// `MAX` use dynamic-coercion ordering, keeping the incumbent on
+/// incomparable pairs. Returns `None` when the aggregate is undefined
+/// (e.g. `AVG` of a group with no numeric values). Public so click-time
+/// evaluation can aggregate with identical semantics.
+pub fn aggregate(func: AggFunc, values: &FxHashSet<Value>) -> Option<Value> {
+    match func {
+        AggFunc::Count => Some(Value::Int(values.len() as i64)),
+        AggFunc::Sum | AggFunc::Avg => {
+            let mut int_sum: i64 = 0;
+            let mut float_sum: f64 = 0.0;
+            let mut any_float = false;
+            let mut count = 0usize;
+            for v in values {
+                match v {
+                    Value::Int(i) => {
+                        int_sum = int_sum.wrapping_add(*i);
+                        count += 1;
+                    }
+                    Value::Float(f) => {
+                        float_sum += f;
+                        any_float = true;
+                        count += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if func == AggFunc::Avg {
+                if count == 0 {
+                    return None;
+                }
+                return Some(Value::Float((int_sum as f64 + float_sum) / count as f64));
+            }
+            Some(if any_float {
+                Value::Float(int_sum as f64 + float_sum)
+            } else {
+                Value::Int(int_sum)
+            })
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<&Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => match v.coerced_cmp(b) {
+                        Some(std::cmp::Ordering::Less) if func == AggFunc::Min => v,
+                        Some(std::cmp::Ordering::Greater) if func == AggFunc::Max => v,
+                        _ => b,
+                    },
+                });
+            }
+            best.cloned()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::graph::Universe;
+    use std::sync::Arc;
+
+    #[test]
+    fn skolem_is_functional() {
+        let mut g = Graph::standalone();
+        let mut t = SkolemTable::new();
+        let a1 = t.instantiate(&mut g, "Page", &[Value::Int(1)]);
+        let a2 = t.instantiate(&mut g, "Page", &[Value::Int(1)]);
+        let b = t.instantiate(&mut g, "Page", &[Value::Int(2)]);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(g.node_name(a1).as_deref(), Some("Page(1)"));
+    }
+
+    #[test]
+    fn distinct_functions_do_not_collide() {
+        let mut g = Graph::standalone();
+        let mut t = SkolemTable::new();
+        let a = t.instantiate(&mut g, "YearPage", &[Value::Int(1997)]);
+        let b = t.instantiate(&mut g, "CategoryPage", &[Value::Int(1997)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookup_does_not_create() {
+        let mut g = Graph::standalone();
+        let mut t = SkolemTable::new();
+        assert!(t.lookup("P", &[Value::Int(1)]).is_none());
+        let oid = t.instantiate(&mut g, "P", &[Value::Int(1)]);
+        assert_eq!(t.lookup("P", &[Value::Int(1)]), Some(oid));
+    }
+
+    #[test]
+    fn edges_have_set_semantics() {
+        let mut g = Graph::standalone();
+        let mut t = SkolemTable::new();
+        let a = t.instantiate(&mut g, "A", &[]);
+        let l = g.sym("x");
+        assert!(t.emit_edge(&mut g, a, l, Value::Int(1)).unwrap());
+        assert!(!t.emit_edge(&mut g, a, l, Value::Int(1)).unwrap());
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn linking_to_data_node_adopts_it() {
+        let uni = Universe::new();
+        let mut data = Graph::new(Arc::clone(&uni));
+        let d = data.new_node(Some("article"));
+        data.add_edge_str(d, "headline", "hi").unwrap();
+        let mut site = Graph::new(Arc::clone(&uni));
+        let mut t = SkolemTable::new();
+        let page = t.instantiate(&mut site, "Page", &[]);
+        let story = site.sym("Story");
+        t.emit_edge(&mut site, page, story, Value::Node(d)).unwrap();
+        assert!(site.contains_node(d));
+        let headline = uni.interner().get("headline").unwrap();
+        assert_eq!(site.reader().attr(d, headline), Some(&Value::str("hi")));
+    }
+
+    #[test]
+    fn skolem_table_persists_across_graphs() {
+        // Two "queries" (simulated by two apply passes) referencing the
+        // same Skolem term share the node.
+        let mut g = Graph::standalone();
+        let mut t = SkolemTable::new();
+        let first = t.instantiate(&mut g, "Root", &[]);
+        let second = t.instantiate(&mut g, "Root", &[]);
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,64 @@
+//! StruQL error types.
+
+use std::fmt;
+
+/// Errors from parsing, analyzing, or evaluating StruQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StruqlError {
+    /// Lexical or syntactic error.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A static semantic error (safety / range-restriction violation).
+    Semantic(String),
+    /// A runtime evaluation error.
+    Eval(String),
+    /// An error from the underlying graph repository.
+    Graph(strudel_graph::GraphError),
+}
+
+impl StruqlError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        StruqlError::Parse { line, message: message.into() }
+    }
+
+    pub(crate) fn semantic(message: impl Into<String>) -> Self {
+        StruqlError::Semantic(message.into())
+    }
+
+    pub(crate) fn eval(message: impl Into<String>) -> Self {
+        StruqlError::Eval(message.into())
+    }
+}
+
+impl fmt::Display for StruqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StruqlError::Parse { line, message } => write!(f, "StruQL parse error at line {line}: {message}"),
+            StruqlError::Semantic(m) => write!(f, "StruQL semantic error: {m}"),
+            StruqlError::Eval(m) => write!(f, "StruQL evaluation error: {m}"),
+            StruqlError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StruqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StruqlError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<strudel_graph::GraphError> for StruqlError {
+    fn from(e: strudel_graph::GraphError) -> Self {
+        StruqlError::Graph(e)
+    }
+}
+
+/// Result alias for StruQL operations.
+pub type Result<T> = std::result::Result<T, StruqlError>;

@@ -1,0 +1,1051 @@
+//! The query stage: evaluating `WHERE` clauses over a graph.
+//!
+//! Evaluation walks the block tree. For each block, the optimizer orders the
+//! block's conditions ([`crate::optimize`]); each condition is then applied
+//! as a physical operator that transforms the bindings relation — scans of
+//! collection extents and label extensions, out-edge expansion, reverse-index
+//! probes, product-automaton traversal for regular path expressions (forward
+//! *and* backward), filters for predicates and comparisons, and
+//! active-domain expansion for variables no positive condition binds (which
+//! gives queries like the graph-complement example of §3 their well-defined
+//! meaning).
+//!
+//! A nested block starts from its parent's bindings, so the conjunction of
+//! ancestor `WHERE` clauses is evaluated exactly once — the paper's nested
+//! blocks are both sugar and a shared-prefix optimization here.
+//!
+//! Equality semantics: `Compare`/`In` conditions and *literals* use the data
+//! model's dynamic coercion ([`strudel_graph::Value::coerced_eq`]); joins of
+//! two bound variables and index probes use strict equality (indexes are
+//! exact). This is documented behaviour of this reproduction.
+
+use crate::analyze::analyze;
+use crate::ast::*;
+use crate::binding::Bindings;
+use crate::construct::{apply_block, ConstructStats, SkolemTable};
+use crate::error::{Result, StruqlError};
+use crate::optimize::{plan, Optimizer};
+use crate::pred::PredicateRegistry;
+use crate::rpe::Nfa;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use strudel_graph::fxhash::{FxHashMap, FxHashSet};
+use strudel_graph::graph::GraphReader;
+use strudel_graph::{Graph, Oid, Sym, Value};
+
+pub use crate::optimize::Optimizer as OptimizerChoice;
+
+/// Options controlling evaluation.
+#[derive(Clone)]
+pub struct EvalOptions {
+    /// Plan-selection strategy (default: cost-based).
+    pub optimizer: Optimizer,
+    /// Predicate registry (default: the built-ins).
+    pub predicates: PredicateRegistry,
+    /// Hard cap on the size of any intermediate bindings relation; guards
+    /// against accidental active-domain cross products.
+    pub max_rows: usize,
+    /// Record per-block plan descriptions in the stats.
+    pub explain: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            optimizer: Optimizer::CostBased,
+            predicates: PredicateRegistry::with_builtins(),
+            max_rows: 10_000_000,
+            explain: false,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Options using the given optimizer, otherwise defaults.
+    pub fn with_optimizer(optimizer: Optimizer) -> Self {
+        EvalOptions { optimizer, ..Default::default() }
+    }
+}
+
+/// Counters and plan descriptions from one evaluation.
+#[derive(Default, Clone, Debug)]
+pub struct EvalStats {
+    /// Conditions applied (across all blocks).
+    pub conditions_applied: u64,
+    /// Total rows produced by all intermediate relations.
+    pub intermediate_rows: u64,
+    /// Construction-stage counters.
+    pub construct: ConstructStats,
+    /// Per-block plan descriptions (only when `explain` is set).
+    pub plans: Vec<String>,
+    /// Analyzer warnings (active-domain fallbacks etc.).
+    pub warnings: Vec<String>,
+}
+
+/// The result of evaluating a query: the output graph plus statistics.
+#[derive(Debug)]
+pub struct EvalOutput {
+    /// The constructed output graph (shares the input's universe).
+    pub graph: Graph,
+    /// The Skolem table: which `F(args)` produced which node. Site
+    /// verification uses this to find the extension of each Skolem function.
+    pub table: SkolemTable,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+impl Query {
+    /// Evaluates the query against `input`, producing a fresh output graph
+    /// in the same universe.
+    pub fn evaluate(&self, input: &Graph, opts: &EvalOptions) -> Result<EvalOutput> {
+        let mut out = Graph::new(Arc::clone(input.universe()));
+        let mut table = SkolemTable::new();
+        let stats = self.evaluate_into(input, &mut out, &mut table, opts)?;
+        Ok(EvalOutput { graph: out, table, stats })
+    }
+
+    /// Evaluates the query, writing construction results into an existing
+    /// graph with an externally owned Skolem table. This is how "different
+    /// queries create different parts of the same site" (§5.2): queries
+    /// sharing a table resolve the same Skolem terms to the same nodes.
+    pub fn evaluate_into(
+        &self,
+        input: &Graph,
+        out: &mut Graph,
+        table: &mut SkolemTable,
+        opts: &EvalOptions,
+    ) -> Result<EvalStats> {
+        let analyzed = analyze(self, &opts.predicates)?;
+        let mut ev = Ev { graph: input, opts, stats: EvalStats::default() };
+        ev.stats.warnings = analyzed.warnings;
+        let arc_vars = arc_vars_of(&analyzed.query);
+        ev.eval_block(&analyzed.query.root, &Bindings::unit(), out, table, &arc_vars)?;
+        Ok(ev.stats)
+    }
+
+    /// Evaluates only the *query stage* for the conjunction governing block
+    /// `id` (ancestors' conditions plus the block's own), returning the
+    /// bindings relation. Used by site schemas' incremental evaluation and
+    /// by tests.
+    pub fn bindings_of_block(&self, id: BlockId, input: &Graph, opts: &EvalOptions) -> Result<Bindings> {
+        let analyzed = analyze(self, &opts.predicates)?;
+        let conds: Vec<Condition> = analyzed
+            .query
+            .governing_conditions(id)
+            .ok_or_else(|| StruqlError::eval(format!("no block {id}")))?
+            .into_iter()
+            .cloned()
+            .collect();
+        let mut ev = Ev { graph: input, opts, stats: EvalStats::default() };
+        let arc_vars = arc_vars_of(&analyzed.query);
+        ev.eval_conditions(&conds, Bindings::unit(), &arc_vars)
+    }
+
+    /// Returns the plans the optimizer would choose for every block, without
+    /// executing the query.
+    pub fn explain(&self, input: &Graph, opts: &EvalOptions) -> Result<String> {
+        let analyzed = analyze(self, &opts.predicates)?;
+        let mut out = String::new();
+        for block in analyzed.query.blocks() {
+            let bound: FxHashSet<&str> = FxHashSet::default();
+            let p = plan(&block.where_, &bound, input, opts.optimizer);
+            out.push_str(&format!("{}:\n{}", block.id, p.describe(&block.where_)));
+        }
+        Ok(out)
+    }
+}
+
+/// Runs a query against a [`strudel_graph::Database`], resolving the
+/// `INPUT` graph name and materializing (or extending) the `OUTPUT` graph:
+/// `INPUT BIBTEX … OUTPUT HomePage` reads `db["BIBTEX"]` and writes
+/// `db["HomePage"]`. If the output graph already exists the query *extends*
+/// it — the §5.2 composition mode ("we allowed queries to add nodes and
+/// arcs to a graph, instead of creating a new graph in every query") — with
+/// the caller-supplied Skolem table carrying identity across queries.
+pub fn run_on_database(
+    db: &mut strudel_graph::Database,
+    query: &Query,
+    table: &mut SkolemTable,
+    opts: &EvalOptions,
+) -> Result<EvalStats> {
+    let input_name = query
+        .input
+        .as_deref()
+        .ok_or_else(|| StruqlError::eval("query has no INPUT graph name"))?;
+    let output_name = query
+        .output
+        .as_deref()
+        .ok_or_else(|| StruqlError::eval("query has no OUTPUT graph name"))?
+        .to_string();
+    // Take the output graph out of the database (creating it if missing) so
+    // input and output can be borrowed simultaneously.
+    let mut out = match db.remove_graph(&output_name) {
+        Ok(g) => g,
+        Err(_) => Graph::new(Arc::clone(db.universe())),
+    };
+    let result = {
+        let input = db.graph(input_name)?;
+        query.evaluate_into(input, &mut out, table, opts)
+    };
+    db.insert_graph(&output_name, out)?;
+    result
+}
+
+/// Evaluates a bare conjunction of (already analyzed) conditions against a
+/// graph, starting from the given bindings. This is the query-stage entry
+/// point used by click-time/incremental evaluation ([FER 98c]): the dynamic
+/// evaluator binds a page's Skolem arguments and runs only the governing
+/// conjunction of one link clause.
+pub fn evaluate_conditions(
+    conds: &[Condition],
+    input: &Graph,
+    start: Bindings,
+    opts: &EvalOptions,
+) -> Result<Bindings> {
+    let mut ev = Ev { graph: input, opts, stats: EvalStats::default() };
+    let mut arc_vars = FxHashSet::default();
+    for cond in conds {
+        if let Condition::Edge { step: PathStep::ArcVar(v), .. } = cond {
+            arc_vars.insert(v.clone());
+        }
+    }
+    let bound: FxHashSet<&str> = start.vars().iter().map(String::as_str).collect();
+    let p = plan(conds, &bound, input, opts.optimizer);
+    let ordered: Vec<Condition> = p.order.iter().map(|&i| conds[i].clone()).collect();
+    ev.eval_conditions(&ordered, start, &arc_vars)
+}
+
+/// The set of arc variables of a query (variables appearing in arc position
+/// of some edge condition or as a link-label variable); used to pick the
+/// active domain (labels vs. nodes) when expanding an unbound variable.
+fn arc_vars_of(q: &Query) -> FxHashSet<String> {
+    let mut out = FxHashSet::default();
+    for block in q.blocks() {
+        for cond in &block.where_ {
+            if let Condition::Edge { step: PathStep::ArcVar(v), .. } = cond {
+                out.insert(v.clone());
+            }
+        }
+        for link in &block.links {
+            if let LabelTerm::Var(v) = &link.label {
+                out.insert(v.clone());
+            }
+        }
+    }
+    out
+}
+
+struct Ev<'g> {
+    graph: &'g Graph,
+    opts: &'g EvalOptions,
+    stats: EvalStats,
+}
+
+impl<'g> Ev<'g> {
+    fn label_value(&self, sym: Sym) -> Value {
+        Value::Str(self.graph.universe().interner().resolve(sym))
+    }
+
+    fn eval_block(
+        &mut self,
+        block: &Block,
+        parent: &Bindings,
+        out: &mut Graph,
+        table: &mut SkolemTable,
+        arc_vars: &FxHashSet<String>,
+    ) -> Result<()> {
+        let bindings = if block.where_.is_empty() {
+            parent.clone()
+        } else {
+            let bound: FxHashSet<&str> = parent.vars().iter().map(String::as_str).collect();
+            let p = plan(&block.where_, &bound, self.graph, self.opts.optimizer);
+            if self.opts.explain {
+                self.stats.plans.push(format!("{}:\n{}", block.id, p.describe(&block.where_)));
+            }
+            let ordered: Vec<Condition> = p.order.iter().map(|&i| block.where_[i].clone()).collect();
+            self.eval_conditions(&ordered, parent.clone(), arc_vars)?
+        };
+        apply_block(block, &bindings, out, table, &mut self.stats.construct)?;
+        for child in &block.children {
+            self.eval_block(child, &bindings, out, table, arc_vars)?;
+        }
+        Ok(())
+    }
+
+    fn eval_conditions(
+        &mut self,
+        conds: &[Condition],
+        start: Bindings,
+        arc_vars: &FxHashSet<String>,
+    ) -> Result<Bindings> {
+        let mut b = start;
+        for cond in conds {
+            b = self.apply(cond, b, arc_vars)?;
+            self.stats.conditions_applied += 1;
+            self.stats.intermediate_rows += b.len() as u64;
+            if b.len() > self.opts.max_rows {
+                return Err(StruqlError::eval(format!(
+                    "intermediate result exceeded max_rows ({} rows) at condition `{cond}`",
+                    b.len()
+                )));
+            }
+            if b.is_empty() {
+                // Short-circuit: the conjunction is unsatisfiable.
+                break;
+            }
+        }
+        Ok(b)
+    }
+
+    // ---- the physical operators ----
+
+    fn apply(&mut self, cond: &Condition, input: Bindings, arc_vars: &FxHashSet<String>) -> Result<Bindings> {
+        match cond {
+            Condition::Collection { name, arg, negated } => self.apply_collection(name, arg, *negated, input),
+            Condition::Compare { lhs, op, rhs } => self.apply_compare(lhs, *op, rhs, input, arc_vars),
+            Condition::In { var, set, negated } => self.apply_in(var, set, *negated, input, arc_vars),
+            Condition::Predicate { name, args, negated } => self.apply_predicate(name, args, *negated, input, arc_vars),
+            Condition::Edge { from, step, to, negated } => match step {
+                PathStep::ArcVar(l) => self.apply_arc_edge(from, l, to, *negated, input, arc_vars),
+                PathStep::Rpe(rpe) => self.apply_rpe_edge(from, rpe, to, *negated, input, arc_vars),
+                PathStep::Bare(name) => Err(StruqlError::eval(format!(
+                    "unresolved bare path step `{name}` (query was not analyzed)"
+                ))),
+            },
+        }
+    }
+
+    /// The value of a term in a row, if available.
+    fn term_value<'r>(b: &Bindings, row: &'r [Value], term: &Term) -> Result<Option<ValueOrOwned<'r>>> {
+        match term {
+            Term::Var(v) => Ok(b.get(row, v).map(ValueOrOwned::Ref)),
+            Term::Lit(l) => Ok(Some(ValueOrOwned::Owned(l.to_value()))),
+            Term::Skolem(s) => Err(StruqlError::eval(format!("Skolem term `{s}` cannot appear in WHERE"))),
+            Term::Agg(f, v) => Err(StruqlError::eval(format!("aggregate `{f}({v})` cannot appear in WHERE"))),
+        }
+    }
+
+    /// Active-domain values for a variable: all labels if it is an arc
+    /// variable, else all member nodes (documented choice; see module docs).
+    fn active_domain(&self, var: &str, arc_vars: &FxHashSet<String>) -> Vec<Value> {
+        if arc_vars.contains(var) {
+            self.graph.labels().into_iter().map(|s| self.label_value(s)).collect()
+        } else {
+            self.graph.nodes().iter().map(|&n| Value::Node(n)).collect()
+        }
+    }
+
+    /// Expands every unbound variable of `vars` over its active domain.
+    fn expand_active(&self, mut b: Bindings, vars: &[&str], arc_vars: &FxHashSet<String>) -> Result<Bindings> {
+        for var in vars {
+            if b.is_bound(var) {
+                continue;
+            }
+            let domain = self.active_domain(var, arc_vars);
+            let mut out = Bindings::with_vars(b.vars().to_vec());
+            out.add_var(var);
+            out.rows.reserve(b.len().saturating_mul(domain.len()));
+            for row in &b.rows {
+                for v in &domain {
+                    let mut r = row.clone();
+                    r.push(v.clone());
+                    out.rows.push(r);
+                }
+            }
+            if out.rows.len() > self.opts.max_rows {
+                return Err(StruqlError::eval(format!(
+                    "active-domain expansion of `{var}` exceeded max_rows"
+                )));
+            }
+            b = out;
+        }
+        Ok(b)
+    }
+
+    fn apply_collection(&mut self, name: &str, arg: &Term, negated: bool, input: Bindings) -> Result<Bindings> {
+        let coll = self.graph.collection_str(name);
+        match arg {
+            Term::Var(v) if input.is_bound(v) => {
+                let col = input.col(v).expect("bound");
+                let mut out = Bindings::with_vars(input.vars().to_vec());
+                out.rows.extend(input.rows.into_iter().filter(|row| {
+                    let present = coll.is_some_and(|c| c.contains(&row[col]));
+                    present != negated
+                }));
+                Ok(out)
+            }
+            Term::Var(v) => {
+                let mut out = Bindings::with_vars(input.vars().to_vec());
+                out.add_var(v);
+                if !negated {
+                    let Some(coll) = coll else { return Ok(out) };
+                    out.rows.reserve(input.rows.len() * coll.len());
+                    for row in &input.rows {
+                        for item in coll.items() {
+                            let mut r = row.clone();
+                            r.push(item.clone());
+                            out.rows.push(r);
+                        }
+                    }
+                } else {
+                    // Active domain: nodes not in the collection.
+                    for row in &input.rows {
+                        for &n in self.graph.nodes() {
+                            let v = Value::Node(n);
+                            if !coll.is_some_and(|c| c.contains(&v)) {
+                                let mut r = row.clone();
+                                r.push(v);
+                                out.rows.push(r);
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Term::Lit(l) => {
+                let val = l.to_value();
+                let present = coll.is_some_and(|c| c.contains(&val));
+                let keep = present != negated;
+                let mut out = Bindings::with_vars(input.vars().to_vec());
+                if keep {
+                    out.rows = input.rows;
+                }
+                Ok(out)
+            }
+            Term::Skolem(s) => Err(StruqlError::eval(format!("Skolem term `{s}` cannot appear in WHERE"))),
+            Term::Agg(f, v) => Err(StruqlError::eval(format!("aggregate `{f}({v})` cannot appear in WHERE"))),
+        }
+    }
+
+    fn apply_compare(
+        &mut self,
+        lhs: &Term,
+        op: CmpOp,
+        rhs: &Term,
+        input: Bindings,
+        arc_vars: &FxHashSet<String>,
+    ) -> Result<Bindings> {
+        let lb = match lhs {
+            Term::Var(v) => input.is_bound(v),
+            _ => true,
+        };
+        let rb = match rhs {
+            Term::Var(v) => input.is_bound(v),
+            _ => true,
+        };
+        // Assignment: `v = <bound>` binds v.
+        if op == CmpOp::Eq && (lb ^ rb) {
+            let (var, bound_term) = if lb {
+                (rhs.as_var().expect("unbound side is a var"), lhs)
+            } else {
+                (lhs.as_var().expect("unbound side is a var"), rhs)
+            };
+            let mut out = Bindings::with_vars(input.vars().to_vec());
+            out.add_var(var);
+            for row in &input.rows {
+                let val = Self::term_value(&input, row, bound_term)?.expect("bound").into_owned();
+                let mut r = row.clone();
+                r.push(val);
+                out.rows.push(r);
+            }
+            return Ok(out);
+        }
+        // General case: expand any unbound vars, then filter.
+        let mut need: Vec<&str> = Vec::new();
+        for t in [lhs, rhs] {
+            if let Term::Var(v) = t {
+                if !input.is_bound(v) {
+                    need.push(v);
+                }
+            }
+        }
+        let b = self.expand_active(input, &need, arc_vars)?;
+        let mut out = Bindings::with_vars(b.vars().to_vec());
+        for row in &b.rows {
+            let l = Self::term_value(&b, row, lhs)?.expect("expanded");
+            let r = Self::term_value(&b, row, rhs)?.expect("expanded");
+            if compare(l.as_ref(), op, r.as_ref()) {
+                out.rows.push(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_in(
+        &mut self,
+        var: &str,
+        set: &[Literal],
+        negated: bool,
+        input: Bindings,
+        arc_vars: &FxHashSet<String>,
+    ) -> Result<Bindings> {
+        if input.is_bound(var) {
+            let col = input.col(var).expect("bound");
+            let vals: Vec<Value> = set.iter().map(Literal::to_value).collect();
+            let mut out = Bindings::with_vars(input.vars().to_vec());
+            out.rows.extend(input.rows.into_iter().filter(|row| {
+                let member = vals.iter().any(|v| v.coerced_eq(&row[col]));
+                member != negated
+            }));
+            Ok(out)
+        } else if !negated {
+            let mut out = Bindings::with_vars(input.vars().to_vec());
+            out.add_var(var);
+            for row in &input.rows {
+                for lit in set {
+                    let mut r = row.clone();
+                    r.push(lit.to_value());
+                    out.rows.push(r);
+                }
+            }
+            Ok(out)
+        } else {
+            let b = self.expand_active(input, &[var], arc_vars)?;
+            self.apply_in(var, set, negated, b, arc_vars)
+        }
+    }
+
+    fn apply_predicate(
+        &mut self,
+        name: &str,
+        args: &[Term],
+        negated: bool,
+        input: Bindings,
+        arc_vars: &FxHashSet<String>,
+    ) -> Result<Bindings> {
+        let need: Vec<&str> = args
+            .iter()
+            .filter_map(|t| t.as_var())
+            .filter(|v| !input.is_bound(v))
+            .collect();
+        let b = self.expand_active(input, &need, arc_vars)?;
+        let mut out = Bindings::with_vars(b.vars().to_vec());
+        for row in &b.rows {
+            let mut resolved: Vec<ValueOrOwned<'_>> = Vec::with_capacity(args.len());
+            for a in args {
+                resolved.push(Self::term_value(&b, row, a)?.expect("expanded"));
+            }
+            let refs: Vec<&Value> = resolved.iter().map(|v| v.as_ref()).collect();
+            let holds = self
+                .opts
+                .predicates
+                .apply(name, &refs)
+                .ok_or_else(|| StruqlError::eval(format!("unknown predicate `{name}`")))?;
+            if holds != negated {
+                out.rows.push(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// `from -> l -> to` with `l` an arc variable: single-edge conditions.
+    fn apply_arc_edge(
+        &mut self,
+        from: &Term,
+        l: &str,
+        to: &Term,
+        negated: bool,
+        input: Bindings,
+        arc_vars: &FxHashSet<String>,
+    ) -> Result<Bindings> {
+        if negated {
+            let mut need: Vec<&str> = Vec::new();
+            for t in [from, to] {
+                if let Term::Var(v) = t {
+                    if !input.is_bound(v) {
+                        need.push(v);
+                    }
+                }
+            }
+            if !input.is_bound(l) {
+                need.push(l);
+            }
+            let b = self.expand_active(input, &need, arc_vars)?;
+            let reader = self.graph.reader();
+            let mut out = Bindings::with_vars(b.vars().to_vec());
+            for row in &b.rows {
+                let f = Self::term_value(&b, row, from)?.expect("expanded");
+                let lv = b.get(row, l).expect("expanded").clone();
+                let t = Self::term_value(&b, row, to)?.expect("expanded");
+                let exists = self.edge_exists(&reader, f.as_ref(), Some(&lv), t.as_ref());
+                if !exists {
+                    out.rows.push(row.clone());
+                }
+            }
+            return Ok(out);
+        }
+
+        let from_bound = match from {
+            Term::Var(v) => input.is_bound(v),
+            _ => true,
+        };
+        if from_bound {
+            self.arc_edge_forward(from, l, to, input)
+        } else {
+            let to_bound = match to {
+                Term::Var(v) => input.is_bound(v),
+                _ => true,
+            };
+            if to_bound && self.graph.is_indexed() {
+                self.arc_edge_backward(from, l, to, input)
+            } else {
+                self.arc_edge_scan(from, l, to, input)
+            }
+        }
+    }
+
+    fn arc_edge_forward(&mut self, from: &Term, l: &str, to: &Term, input: Bindings) -> Result<Bindings> {
+        let l_bound = input.is_bound(l);
+        let to_unbound_var = match to {
+            Term::Var(v) if !input.is_bound(v) => Some(v.as_str()),
+            _ => None,
+        };
+        let mut out = Bindings::with_vars(input.vars().to_vec());
+        if !l_bound {
+            out.add_var(l);
+        }
+        if let Some(v) = to_unbound_var {
+            out.add_var(v);
+        }
+        let reader = self.graph.reader();
+        for row in &input.rows {
+            let f = Self::term_value(&input, row, from)?.expect("bound");
+            let Some(n) = f.as_ref().as_node() else { continue };
+            for (sym, target) in reader.out(n) {
+                let lv = self.label_value(*sym);
+                if l_bound {
+                    let bound_l = input.get(row, l).expect("bound");
+                    if !lv.coerced_eq(bound_l) {
+                        continue;
+                    }
+                }
+                match (to_unbound_var, to) {
+                    (Some(_), _) => {}
+                    (None, Term::Var(v)) => {
+                        if input.get(row, v).expect("bound") != target {
+                            continue;
+                        }
+                    }
+                    (None, Term::Lit(lit)) => {
+                        if !lit.to_value().coerced_eq(target) {
+                            continue;
+                        }
+                    }
+                    (None, Term::Skolem(_) | Term::Agg(..)) => unreachable!("checked by term_value"),
+                }
+                let mut r = row.clone();
+                if !l_bound {
+                    r.push(lv);
+                }
+                if to_unbound_var.is_some() {
+                    r.push(target.clone());
+                }
+                out.rows.push(r);
+            }
+        }
+        Ok(out)
+    }
+
+    fn arc_edge_backward(&mut self, from: &Term, l: &str, to: &Term, input: Bindings) -> Result<Bindings> {
+        let idx = self.graph.index().expect("checked indexed");
+        let l_bound = input.is_bound(l);
+        let from_var = from.as_var().expect("from is an unbound var here");
+        let mut out = Bindings::with_vars(input.vars().to_vec());
+        if !l_bound {
+            out.add_var(l);
+        }
+        out.add_var(from_var);
+        for row in &input.rows {
+            let t = Self::term_value(&input, row, to)?.expect("bound").into_owned();
+            let incoming: &[(Oid, Sym)] = match &t {
+                Value::Node(n) => idx.edges_to_node(*n),
+                atomic => idx.edges_to_value(atomic),
+            };
+            for (src, sym) in incoming {
+                let lv = self.label_value(*sym);
+                if l_bound {
+                    let bound_l = input.get(row, l).expect("bound");
+                    if !lv.coerced_eq(bound_l) {
+                        continue;
+                    }
+                }
+                let mut r = row.clone();
+                if !l_bound {
+                    r.push(lv);
+                }
+                r.push(Value::Node(*src));
+                out.rows.push(r);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Full edge scan: `from` unbound and no usable reverse index.
+    fn arc_edge_scan(&mut self, from: &Term, l: &str, to: &Term, input: Bindings) -> Result<Bindings> {
+        let from_var = from.as_var().expect("from is an unbound var here");
+        let l_bound = input.is_bound(l);
+        let to_state = match to {
+            Term::Var(v) if !input.is_bound(v) => ToState::Unbound(v.as_str()),
+            Term::Var(v) => ToState::BoundVar(v.as_str()),
+            Term::Lit(lit) => ToState::Lit(lit.to_value()),
+            Term::Skolem(s) => return Err(StruqlError::eval(format!("Skolem term `{s}` cannot appear in WHERE"))),
+            Term::Agg(f, v) => return Err(StruqlError::eval(format!("aggregate `{f}({v})` cannot appear in WHERE"))),
+        };
+        let mut out = Bindings::with_vars(input.vars().to_vec());
+        out.add_var(from_var);
+        if !l_bound {
+            out.add_var(l);
+        }
+        if let ToState::Unbound(v) = to_state {
+            out.add_var(v);
+        }
+        let reader = self.graph.reader();
+        for row in &input.rows {
+            for &n in self.graph.nodes() {
+                for (sym, target) in reader.out(n) {
+                    let lv = self.label_value(*sym);
+                    if l_bound && !lv.coerced_eq(input.get(row, l).expect("bound")) {
+                        continue;
+                    }
+                    match &to_state {
+                        ToState::Unbound(_) => {}
+                        ToState::BoundVar(v) => {
+                            if input.get(row, v).expect("bound") != target {
+                                continue;
+                            }
+                        }
+                        ToState::Lit(lit) => {
+                            if !lit.coerced_eq(target) {
+                                continue;
+                            }
+                        }
+                    }
+                    let mut r = row.clone();
+                    r.push(Value::Node(n));
+                    if !l_bound {
+                        r.push(lv);
+                    }
+                    if matches!(to_state, ToState::Unbound(_)) {
+                        r.push(target.clone());
+                    }
+                    out.rows.push(r);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether an edge `from --l?--> to` exists (all values known).
+    fn edge_exists(&self, reader: &GraphReader<'_>, from: &Value, label: Option<&Value>, to: &Value) -> bool {
+        let Some(n) = from.as_node() else { return false };
+        reader.out(n).iter().any(|(sym, target)| {
+            if let Some(lv) = label {
+                if !self.label_value(*sym).coerced_eq(lv) {
+                    return false;
+                }
+            }
+            target == to
+        })
+    }
+
+    /// `from -> R -> to` with a regular path expression `R`.
+    fn apply_rpe_edge(
+        &mut self,
+        from: &Term,
+        rpe: &Rpe,
+        to: &Term,
+        negated: bool,
+        input: Bindings,
+        arc_vars: &FxHashSet<String>,
+    ) -> Result<Bindings> {
+        let interner = self.graph.universe().interner();
+        let nfa = Nfa::compile(rpe, interner);
+
+        if negated {
+            let mut need: Vec<&str> = Vec::new();
+            for t in [from, to] {
+                if let Term::Var(v) = t {
+                    if !input.is_bound(v) {
+                        need.push(v);
+                    }
+                }
+            }
+            let b = self.expand_active(input, &need, arc_vars)?;
+            let mut memo: FxHashMap<Value, FxHashSet<Value>> = FxHashMap::default();
+            let reader = self.graph.reader();
+            let mut out = Bindings::with_vars(b.vars().to_vec());
+            for row in &b.rows {
+                let f = Self::term_value(&b, row, from)?.expect("expanded").into_owned();
+                let t = Self::term_value(&b, row, to)?.expect("expanded").into_owned();
+                let targets = memo
+                    .entry(f.clone())
+                    .or_insert_with(|| self.rpe_forward(&reader, &nfa, &f).into_iter().collect());
+                if !targets.contains(&t) {
+                    out.rows.push(row.clone());
+                }
+            }
+            return Ok(out);
+        }
+
+        let from_bound = match from {
+            Term::Var(v) => input.is_bound(v),
+            _ => true,
+        };
+        let to_bound = match to {
+            Term::Var(v) => input.is_bound(v),
+            _ => true,
+        };
+
+        match (from_bound, to_bound) {
+            (true, _) => self.rpe_from_bound(&nfa, from, to, input),
+            (false, true) => self.rpe_to_bound(&nfa, from, to, input),
+            (false, false) => self.rpe_both_unbound(&nfa, from, to, input),
+        }
+    }
+
+    fn rpe_from_bound(&mut self, nfa: &Nfa, from: &Term, to: &Term, input: Bindings) -> Result<Bindings> {
+        let to_unbound_var = match to {
+            Term::Var(v) if !input.is_bound(v) => Some(v.to_string()),
+            _ => None,
+        };
+        let mut out = Bindings::with_vars(input.vars().to_vec());
+        if let Some(v) = &to_unbound_var {
+            out.add_var(v);
+        }
+        let reader = self.graph.reader();
+        let mut memo: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
+        for row in &input.rows {
+            let f = Self::term_value(&input, row, from)?.expect("bound").into_owned();
+            let targets = memo.entry(f.clone()).or_insert_with(|| self.rpe_forward(&reader, nfa, &f));
+            match (&to_unbound_var, to) {
+                (Some(_), _) => {
+                    for t in targets.iter() {
+                        let mut r = row.clone();
+                        r.push(t.clone());
+                        out.rows.push(r);
+                    }
+                }
+                (None, Term::Var(v)) => {
+                    let bound = input.get(row, v).expect("bound");
+                    if targets.iter().any(|t| t == bound) {
+                        out.rows.push(row.clone());
+                    }
+                }
+                (None, Term::Lit(lit)) => {
+                    let lv = lit.to_value();
+                    if targets.iter().any(|t| lv.coerced_eq(t)) {
+                        out.rows.push(row.clone());
+                    }
+                }
+                (None, Term::Skolem(_) | Term::Agg(..)) => unreachable!("checked by term_value"),
+            }
+        }
+        Ok(out)
+    }
+
+    fn rpe_to_bound(&mut self, nfa: &Nfa, from: &Term, to: &Term, input: Bindings) -> Result<Bindings> {
+        let from_var = from.as_var().expect("unbound from");
+        let rev = nfa.reversed();
+        let reverse_adj = self.reverse_adjacency();
+        let mut out = Bindings::with_vars(input.vars().to_vec());
+        out.add_var(from_var);
+        let mut memo: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
+        for row in &input.rows {
+            let t = Self::term_value(&input, row, to)?.expect("bound").into_owned();
+            let sources = memo.entry(t.clone()).or_insert_with(|| self.rpe_backward(&rev, &reverse_adj, &t));
+            for s in sources.iter() {
+                // Sources are nodes (edges originate at nodes); keep atomics
+                // only when the empty path matched (s == t).
+                let mut r = row.clone();
+                r.push(s.clone());
+                out.rows.push(r);
+            }
+        }
+        Ok(out)
+    }
+
+    fn rpe_both_unbound(&mut self, nfa: &Nfa, from: &Term, to: &Term, input: Bindings) -> Result<Bindings> {
+        let from_var = from.as_var().expect("unbound from");
+        let to_state = match to {
+            Term::Var(v) => ToState::Unbound(v.as_str()),
+            Term::Lit(lit) => ToState::Lit(lit.to_value()),
+            Term::Skolem(s) => return Err(StruqlError::eval(format!("Skolem term `{s}` cannot appear in WHERE"))),
+            Term::Agg(f, v) => return Err(StruqlError::eval(format!("aggregate `{f}({v})` cannot appear in WHERE"))),
+        };
+        let mut out = Bindings::with_vars(input.vars().to_vec());
+        out.add_var(from_var);
+        if let ToState::Unbound(v) = to_state {
+            out.add_var(v);
+        }
+        let reader = self.graph.reader();
+        // Sources range over the member nodes (the active domain choice).
+        let mut pairs: Vec<(Value, Value)> = Vec::new();
+        for &n in self.graph.nodes() {
+            let f = Value::Node(n);
+            for t in self.rpe_forward(&reader, nfa, &f) {
+                match &to_state {
+                    ToState::Unbound(_) => pairs.push((f.clone(), t)),
+                    ToState::Lit(lit) => {
+                        if lit.coerced_eq(&t) {
+                            pairs.push((f.clone(), t));
+                        }
+                    }
+                    ToState::BoundVar(_) => unreachable!("to is unbound here"),
+                }
+            }
+        }
+        for row in &input.rows {
+            for (f, t) in &pairs {
+                let mut r = row.clone();
+                r.push(f.clone());
+                if matches!(to_state, ToState::Unbound(_)) {
+                    r.push(t.clone());
+                }
+                out.rows.push(r);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product-automaton BFS, forward. Returns every value reachable from
+    /// `start` along a path matching the automaton.
+    fn rpe_forward(&self, reader: &GraphReader<'_>, nfa: &Nfa, start: &Value) -> Vec<Value> {
+        let interner = self.graph.universe().interner();
+        let resolve = |s: Sym| Value::Str(interner.resolve(s));
+        let mut results: Vec<Value> = Vec::new();
+        let mut result_set: FxHashSet<Value> = FxHashSet::default();
+        let mut visited: FxHashSet<(Value, u32)> = FxHashSet::default();
+        let mut queue: VecDeque<(Value, u32)> = VecDeque::new();
+        for s in nfa.eps_closure_of(nfa.start()) {
+            if visited.insert((start.clone(), s)) {
+                queue.push_back((start.clone(), s));
+            }
+        }
+        while let Some((v, s)) = queue.pop_front() {
+            if nfa.is_accept(s) && result_set.insert(v.clone()) {
+                results.push(v.clone());
+            }
+            let Some(n) = v.as_node() else { continue };
+            for (test, t) in nfa.transitions(s) {
+                for (sym, target) in reader.out(n) {
+                    if test.matches(*sym, &resolve, &self.opts.predicates) {
+                        for u in nfa.eps_closure_of(*t) {
+                            let key = (target.clone(), u);
+                            if visited.insert(key.clone()) {
+                                queue.push_back(key);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Product-automaton BFS over reverse edges: every value from which a
+    /// matching path reaches `start`.
+    fn rpe_backward(&self, rev: &Nfa, adj: &ReverseAdj<'_>, start: &Value) -> Vec<Value> {
+        let interner = self.graph.universe().interner();
+        let resolve = |s: Sym| Value::Str(interner.resolve(s));
+        let mut results: Vec<Value> = Vec::new();
+        let mut result_set: FxHashSet<Value> = FxHashSet::default();
+        let mut visited: FxHashSet<(Value, u32)> = FxHashSet::default();
+        let mut queue: VecDeque<(Value, u32)> = VecDeque::new();
+        for s in rev.eps_closure_of(rev.start()) {
+            if visited.insert((start.clone(), s)) {
+                queue.push_back((start.clone(), s));
+            }
+        }
+        while let Some((v, s)) = queue.pop_front() {
+            if rev.is_accept(s) && result_set.insert(v.clone()) {
+                results.push(v.clone());
+            }
+            for (src, sym) in adj.incoming(&v) {
+                for (test, t) in rev.transitions(s) {
+                    if test.matches(sym, &resolve, &self.opts.predicates) {
+                        for u in rev.eps_closure_of(*t) {
+                            let key = (Value::Node(src), u);
+                            if visited.insert(key.clone()) {
+                                queue.push_back(key);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Reverse adjacency: from the index when available, else materialized.
+    fn reverse_adjacency(&self) -> ReverseAdj<'g> {
+        if let Some(idx) = self.graph.index() {
+            ReverseAdj::Indexed(idx)
+        } else {
+            let mut map: FxHashMap<Value, Vec<(Oid, Sym)>> = FxHashMap::default();
+            let reader = self.graph.reader();
+            for &n in self.graph.nodes() {
+                for (sym, target) in reader.out(n) {
+                    map.entry(target.clone()).or_default().push((n, *sym));
+                }
+            }
+            ReverseAdj::Materialized(map)
+        }
+    }
+}
+
+enum ToState<'a> {
+    Unbound(&'a str),
+    BoundVar(&'a str),
+    Lit(Value),
+}
+
+enum ReverseAdj<'g> {
+    Indexed(&'g strudel_graph::index::GraphIndex),
+    Materialized(FxHashMap<Value, Vec<(Oid, Sym)>>),
+}
+
+impl ReverseAdj<'_> {
+    fn incoming(&self, v: &Value) -> Vec<(Oid, Sym)> {
+        match self {
+            ReverseAdj::Indexed(idx) => match v {
+                Value::Node(n) => idx.edges_to_node(*n).to_vec(),
+                atomic => idx.edges_to_value(atomic).to_vec(),
+            },
+            ReverseAdj::Materialized(map) => map.get(v).cloned().unwrap_or_default(),
+        }
+    }
+}
+
+/// A value that is either borrowed from a row or owned (a literal).
+enum ValueOrOwned<'a> {
+    Ref(&'a Value),
+    Owned(Value),
+}
+
+impl ValueOrOwned<'_> {
+    fn as_ref(&self) -> &Value {
+        match self {
+            ValueOrOwned::Ref(v) => v,
+            ValueOrOwned::Owned(v) => v,
+        }
+    }
+
+    fn into_owned(self) -> Value {
+        match self {
+            ValueOrOwned::Ref(v) => v.clone(),
+            ValueOrOwned::Owned(v) => v,
+        }
+    }
+}
+
+fn compare(l: &Value, op: CmpOp, r: &Value) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => l.coerced_eq(r),
+        CmpOp::Ne => !l.coerced_eq(r),
+        CmpOp::Lt => l.coerced_cmp(r) == Some(Less),
+        CmpOp::Le => matches!(l.coerced_cmp(r), Some(Less | Equal)),
+        CmpOp::Gt => l.coerced_cmp(r) == Some(Greater),
+        CmpOp::Ge => matches!(l.coerced_cmp(r), Some(Greater | Equal)),
+    }
+}

@@ -1,0 +1,380 @@
+//! The StruQL lexer.
+//!
+//! Keywords (`INPUT`, `WHERE`, `CREATE`, `LINK`, `COLLECT`, `OUTPUT`, `in`,
+//! `not`) are case-insensitive, matching the paper's mixed usage (`where` in
+//! the text, `WHERE` in Fig. 3). Comments run from `//` or `#` to end of
+//! line.
+
+use crate::error::{Result, StruqlError};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// An identifier (variable, Skolem function, collection, or predicate).
+    Ident(String),
+    /// A string literal.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `INPUT`
+    Input,
+    /// `WHERE`
+    Where,
+    /// `CREATE`
+    Create,
+    /// `LINK`
+    Link,
+    /// `COLLECT`
+    Collect,
+    /// `OUTPUT`
+    Output,
+    /// `in`
+    In,
+    /// `not`
+    Not,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `->`
+    Arrow,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `|`
+    Pipe,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `?`
+    Question,
+    /// `_`
+    Underscore,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A token plus its 1-based source line.
+pub type Spanned = (Tok, usize);
+
+/// Tokenizes StruQL source text.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut out = Vec::new();
+
+    macro_rules! err {
+        ($($arg:tt)*) => { return Err(StruqlError::parse(line, format!($($arg)*))) };
+    }
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            _ if b.is_ascii_whitespace() => pos += 1,
+            b'#' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'-' if bytes.get(pos + 1) == Some(&b'>') => {
+                out.push((Tok::Arrow, line));
+                pos += 2;
+            }
+            b'{' => {
+                out.push((Tok::LBrace, line));
+                pos += 1;
+            }
+            b'}' => {
+                out.push((Tok::RBrace, line));
+                pos += 1;
+            }
+            b'(' => {
+                out.push((Tok::LParen, line));
+                pos += 1;
+            }
+            b')' => {
+                out.push((Tok::RParen, line));
+                pos += 1;
+            }
+            b',' => {
+                out.push((Tok::Comma, line));
+                pos += 1;
+            }
+            b'.' => {
+                out.push((Tok::Dot, line));
+                pos += 1;
+            }
+            b'|' => {
+                out.push((Tok::Pipe, line));
+                pos += 1;
+            }
+            b'*' => {
+                out.push((Tok::Star, line));
+                pos += 1;
+            }
+            b'+' => {
+                out.push((Tok::Plus, line));
+                pos += 1;
+            }
+            b'?' => {
+                out.push((Tok::Question, line));
+                pos += 1;
+            }
+            b'=' => {
+                out.push((Tok::Eq, line));
+                pos += 1;
+            }
+            b'!' if bytes.get(pos + 1) == Some(&b'=') => {
+                out.push((Tok::Ne, line));
+                pos += 2;
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push((Tok::Le, line));
+                    pos += 2;
+                } else {
+                    out.push((Tok::Lt, line));
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push((Tok::Ge, line));
+                    pos += 2;
+                } else {
+                    out.push((Tok::Gt, line));
+                    pos += 1;
+                }
+            }
+            b'"' => {
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    if pos >= bytes.len() {
+                        err!("unterminated string literal");
+                    }
+                    match bytes[pos] {
+                        b'"' => {
+                            pos += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            pos += 1;
+                            match bytes.get(pos) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                other => err!("bad escape \\{:?}", other.map(|c| *c as char)),
+                            }
+                            pos += 1;
+                        }
+                        b'\n' => err!("newline in string literal"),
+                        _ => {
+                            // Consume one UTF-8 scalar.
+                            let start = pos;
+                            pos += 1;
+                            while pos < bytes.len() && (bytes[pos] & 0xC0) == 0x80 {
+                                pos += 1;
+                            }
+                            s.push_str(&src[start..pos]);
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), line));
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = pos;
+                pos += 1;
+                let mut is_float = false;
+                while pos < bytes.len() {
+                    match bytes[pos] {
+                        b'0'..=b'9' => pos += 1,
+                        // A dot is part of the number only when followed by
+                        // a digit: `1.2` is a float, but in `R.R` path
+                        // syntax the dot is an operator.
+                        b'.' if bytes.get(pos + 1).is_some_and(u8::is_ascii_digit) => {
+                            is_float = true;
+                            pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[start..pos];
+                if is_float {
+                    match text.parse() {
+                        Ok(f) => out.push((Tok::Float(f), line)),
+                        Err(_) => err!("bad float literal {text:?}"),
+                    }
+                } else {
+                    match text.parse() {
+                        Ok(i) => out.push((Tok::Int(i), line)),
+                        Err(_) => err!("bad integer literal {text:?}"),
+                    }
+                }
+            }
+            b'_' if !bytes.get(pos + 1).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') => {
+                out.push((Tok::Underscore, line));
+                pos += 1;
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = pos;
+                while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_' || bytes[pos] == b'-')
+                {
+                    // `-` is allowed inside identifiers (`pub-type`), but
+                    // `->` always terminates one.
+                    if bytes[pos] == b'-' {
+                        if bytes.get(pos + 1) == Some(&b'>') {
+                            break;
+                        }
+                        if !bytes.get(pos + 1).is_some_and(|c| c.is_ascii_alphanumeric()) {
+                            break;
+                        }
+                    }
+                    pos += 1;
+                }
+                let word = &src[start..pos];
+                let tok = match word.to_ascii_lowercase().as_str() {
+                    "input" => Tok::Input,
+                    "where" => Tok::Where,
+                    "create" => Tok::Create,
+                    "link" => Tok::Link,
+                    "collect" => Tok::Collect,
+                    "output" => Tok::Output,
+                    "in" => Tok::In,
+                    "not" => Tok::Not,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push((tok, line));
+            }
+            other => err!("unexpected character {:?}", other as char),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(toks("WHERE where Where"), vec![Tok::Where, Tok::Where, Tok::Where]);
+    }
+
+    #[test]
+    fn arrows_and_operators() {
+        assert_eq!(
+            toks("x -> l -> v, l != 3 <= >="),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Arrow,
+                Tok::Ident("l".into()),
+                Tok::Arrow,
+                Tok::Ident("v".into()),
+                Tok::Comma,
+                Tok::Ident("l".into()),
+                Tok::Ne,
+                Tok::Int(3),
+                Tok::Le,
+                Tok::Ge,
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        assert_eq!(toks("pub-type"), vec![Tok::Ident("pub-type".into())]);
+        // ...but an arrow still splits.
+        assert_eq!(toks("x->y"), vec![Tok::Ident("x".into()), Tok::Arrow, Tok::Ident("y".into())]);
+    }
+
+    #[test]
+    fn numbers_vs_path_dots() {
+        assert_eq!(toks("1997"), vec![Tok::Int(1997)]);
+        assert_eq!(toks("1.5"), vec![Tok::Float(1.5)]);
+        // "a" . "b" concatenation: dot stays an operator.
+        assert_eq!(
+            toks(r#""a"."b""#),
+            vec![Tok::Str("a".into()), Tok::Dot, Tok::Str("b".into())]
+        );
+        assert_eq!(toks("-3"), vec![Tok::Int(-3)]);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unicode() {
+        assert_eq!(toks(r#""a\"b\n""#), vec![Tok::Str("a\"b\n".into())]);
+        assert_eq!(toks("\"élan\""), vec![Tok::Str("élan".into())]);
+    }
+
+    #[test]
+    fn underscore_is_wildcard_but_not_in_idents() {
+        assert_eq!(toks("_"), vec![Tok::Underscore]);
+        assert_eq!(toks("_x"), vec![Tok::Ident("_x".into())]);
+        assert_eq!(toks("a_b"), vec![Tok::Ident("a_b".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("x // comment\n# more\ny"), vec![Tok::Ident("x".into()), Tok::Ident("y".into())]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let spanned = lex("x\n\ny").unwrap();
+        assert_eq!(spanned[0].1, 1);
+        assert_eq!(spanned[1].1, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("\"new\nline\"").is_err());
+    }
+
+    #[test]
+    fn rpe_tokens() {
+        assert_eq!(
+            toks(r#"("a" | _)* +"#),
+            vec![Tok::LParen, Tok::Str("a".into()), Tok::Pipe, Tok::Underscore, Tok::RParen, Tok::Star, Tok::Plus]
+        );
+    }
+}

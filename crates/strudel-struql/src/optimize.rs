@@ -1,0 +1,683 @@
+//! Condition ordering: StruQL's query optimizer.
+//!
+//! The paper describes two generations of optimizer (§2.4): "In STRUDEL's
+//! first implementation, we built a simple heuristic-based optimizer. Later,
+//! we developed a more comprehensive cost-based optimization algorithm
+//! \[FLO 97\]. The new optimizer can enumerate plans that exploit indexes on
+//! the data and the schema in order to choose the best plan."
+//!
+//! We implement all three strategies, selectable per evaluation:
+//!
+//! * [`Optimizer::Naive`] — evaluate conditions in the order written.
+//! * [`Optimizer::Heuristic`] — greedy: all-bound filters first, then the
+//!   binder with the smallest estimated fan-out.
+//! * [`Optimizer::CostBased`] — exhaustive dynamic programming over
+//!   condition subsets (up to [`DP_LIMIT`] conditions, falling back to the
+//!   heuristic beyond that), minimizing the estimated sum of intermediate
+//!   result sizes.
+//!
+//! Cardinality estimates come from the repository's indexes when present
+//! (collection extents, per-label edge counts); without indexes the model
+//! degrades to coarse whole-graph statistics — which is exactly the
+//! index-ablation experiment `A-OPT` measures.
+
+use crate::ast::{CmpOp, Condition, PathStep, Rpe, Term};
+use strudel_graph::fxhash::FxHashSet;
+use strudel_graph::Graph;
+use std::fmt::Write as _;
+
+/// Which plan-selection strategy to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Optimizer {
+    /// Conditions evaluated in the order written.
+    Naive,
+    /// Greedy bound-first / smallest-fan-out ordering (STRUDEL's first
+    /// implementation).
+    Heuristic,
+    /// Subset dynamic programming minimizing estimated intermediate sizes
+    /// (the \[FLO 97\] cost-based optimizer).
+    #[default]
+    CostBased,
+}
+
+/// Beyond this many conditions the cost-based optimizer falls back to the
+/// heuristic (the DP is exponential in the number of conditions).
+pub const DP_LIMIT: usize = 12;
+
+/// Summary statistics the cost model reads from a graph.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphStats {
+    /// Number of member nodes.
+    pub nodes: f64,
+    /// Number of edges.
+    pub edges: f64,
+    /// Number of distinct labels (0 when unknown).
+    pub labels: f64,
+    /// Whether indexes are available.
+    pub indexed: bool,
+}
+
+impl GraphStats {
+    /// Reads statistics from a graph.
+    pub fn of(graph: &Graph) -> GraphStats {
+        GraphStats {
+            nodes: graph.node_count() as f64,
+            edges: graph.edge_count() as f64,
+            labels: graph.index().map(|i| i.label_count() as f64).unwrap_or(0.0),
+            indexed: graph.is_indexed(),
+        }
+    }
+
+    fn avg_degree(&self) -> f64 {
+        if self.nodes > 0.0 {
+            self.edges / self.nodes
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Cardinality of a label's extension, if the index can tell us.
+fn label_card(graph: &Graph, label: &str) -> Option<f64> {
+    let sym = graph.universe().interner().get(label)?;
+    graph.index().map(|i| i.label_cardinality(sym) as f64)
+}
+
+fn collection_card(graph: &Graph, name: &str) -> Option<f64> {
+    graph.collection_str(name).map(|c| c.len() as f64)
+}
+
+/// The variables a condition can *bind* (positive occurrences).
+fn vars_of(cond: &Condition) -> Vec<&str> {
+    let mut out = Vec::new();
+    match cond {
+        Condition::Collection { arg, .. } => {
+            if let Term::Var(v) = arg {
+                out.push(v.as_str());
+            }
+        }
+        Condition::Edge { from, step, to, .. } => {
+            if let Term::Var(v) = from {
+                out.push(v.as_str());
+            }
+            if let PathStep::ArcVar(v) = step {
+                out.push(v.as_str());
+            }
+            if let Term::Var(v) = to {
+                out.push(v.as_str());
+            }
+        }
+        Condition::Predicate { args, .. } => {
+            for a in args {
+                if let Term::Var(v) = a {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        Condition::Compare { lhs, rhs, .. } => {
+            for t in [lhs, rhs] {
+                if let Term::Var(v) = t {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        Condition::In { var, .. } => out.push(var.as_str()),
+    }
+    out
+}
+
+fn rpe_has_star(rpe: &Rpe) -> bool {
+    match rpe {
+        Rpe::Star(_) | Rpe::Plus(_) => true,
+        Rpe::Seq(a, b) | Rpe::Alt(a, b) => rpe_has_star(a) || rpe_has_star(b),
+        Rpe::Opt(r) => rpe_has_star(r),
+        _ => false,
+    }
+}
+
+/// Estimated *result multiplier* of applying `cond` when `bound` variables
+/// are already bound: < 1 for filters, the fan-out for binders. Also returns
+/// a short access-method tag for plan explanations.
+fn multiplier(cond: &Condition, bound: &FxHashSet<&str>, graph: &Graph, stats: &GraphStats) -> (f64, &'static str) {
+    let is_bound = |t: &Term| match t {
+        Term::Var(v) => bound.contains(v.as_str()),
+        Term::Lit(_) => true,
+        Term::Skolem(_) | Term::Agg(..) => false,
+    };
+    match cond {
+        Condition::Collection { name, arg, negated } => {
+            if is_bound(arg) {
+                (if *negated { 0.9 } else { 0.5 }, "member-filter")
+            } else if *negated {
+                (stats.nodes.max(1.0), "active-domain")
+            } else {
+                (collection_card(graph, name).unwrap_or(stats.nodes).max(1.0), "coll-scan")
+            }
+        }
+        Condition::Edge { from, step, to, negated } => {
+            if *negated {
+                let unbound = [is_bound(from), is_bound(to)].iter().filter(|b| !**b).count()
+                    + usize::from(matches!(step, PathStep::ArcVar(v) if !bound.contains(v.as_str())));
+                return if unbound == 0 {
+                    (0.9, "neg-edge-filter")
+                } else {
+                    (stats.nodes.max(1.0).powi(unbound as i32), "neg-active-domain")
+                };
+            }
+            let fb = is_bound(from);
+            let tb = is_bound(to);
+            match step {
+                PathStep::ArcVar(l) => {
+                    let lb = bound.contains(l.as_str());
+                    match (fb, tb) {
+                        (true, true) => (if lb { 0.3 } else { 1.2 }, "edge-probe"),
+                        (true, false) => (stats.avg_degree().max(1.0), "out-scan"),
+                        (false, true) => {
+                            if stats.indexed {
+                                (stats.avg_degree().max(1.0), "rev-index")
+                            } else {
+                                (stats.edges.max(1.0), "edge-scan")
+                            }
+                        }
+                        (false, false) => (stats.edges.max(1.0), "edge-scan"),
+                    }
+                }
+                PathStep::Rpe(Rpe::Label(l)) => {
+                    let card = label_card(graph, l).unwrap_or(stats.edges);
+                    match (fb, tb) {
+                        (true, true) => (0.3, "edge-probe"),
+                        (true, false) => ((card / stats.nodes.max(1.0)).max(0.5), "out-scan"),
+                        (false, true) => {
+                            if stats.indexed {
+                                ((card / stats.nodes.max(1.0)).max(0.5), "rev-index")
+                            } else {
+                                (card.max(1.0), "label-scan")
+                            }
+                        }
+                        (false, false) => {
+                            if stats.indexed {
+                                (card.max(1.0), "label-index")
+                            } else {
+                                (stats.edges.max(1.0), "edge-scan")
+                            }
+                        }
+                    }
+                }
+                PathStep::Rpe(rpe) => {
+                    let reach = if rpe_has_star(rpe) {
+                        stats.nodes.max(1.0)
+                    } else {
+                        stats.avg_degree().max(1.0).powi(3).min(stats.nodes.max(1.0))
+                    };
+                    match (fb, tb) {
+                        (true, true) => (0.5, "path-probe"),
+                        (true, false) => (reach, "path-traverse"),
+                        (false, true) => {
+                            if stats.indexed {
+                                (reach, "rev-path-traverse")
+                            } else {
+                                (reach * 4.0, "path-scan")
+                            }
+                        }
+                        (false, false) => (stats.nodes.max(1.0) * reach, "path-scan"),
+                    }
+                }
+                PathStep::Bare(_) => (stats.edges.max(1.0), "edge-scan"),
+            }
+        }
+        Condition::Predicate { args, negated, .. } if args.iter().all(is_bound) => {
+            (if *negated { 0.7 } else { 0.5 }, "pred-filter")
+        }
+        Condition::Predicate { args, .. } => {
+            let unbound = args.iter().filter(|a| !is_bound(a)).count();
+            (stats.nodes.max(1.0).powi(unbound as i32), "active-domain")
+        }
+        Condition::Compare { lhs, op, rhs } => {
+            let (lb, rb) = (is_bound(lhs), is_bound(rhs));
+            match (lb, rb) {
+                (true, true) => (if *op == CmpOp::Eq { 0.1 } else { 0.4 }, "cmp-filter"),
+                // `v = <bound>` is an assignment: one row out per row in.
+                (false, true) | (true, false) if *op == CmpOp::Eq => (1.0, "assign"),
+                _ => (stats.nodes.max(1.0), "active-domain"),
+            }
+        }
+        Condition::In { var, set, negated } => {
+            if bound.contains(var.as_str()) {
+                (if *negated { 0.8 } else { (set.len() as f64 / stats.labels.max(set.len() as f64)).min(0.8) }, "in-filter")
+            } else if *negated {
+                (stats.labels.max(stats.nodes).max(1.0), "active-domain")
+            } else {
+                (set.len() as f64, "in-enum")
+            }
+        }
+    }
+}
+
+/// Variables `cond` would have to enumerate over the *active domain* if it
+/// were applied while they are unbound. Active-domain enumeration is only
+/// correct when no other condition can bind the variable exactly (the
+/// conjunction is order-independent otherwise), so the planners refuse to
+/// schedule such a condition while a positive binder for the variable
+/// remains — see [`eligible`].
+fn expansion_vars<'c>(cond: &'c Condition, bound: &FxHashSet<&str>) -> Vec<&'c str> {
+    let unbound = |t: &'c Term| match t {
+        Term::Var(v) if !bound.contains(v.as_str()) => Some(v.as_str()),
+        _ => None,
+    };
+    match cond {
+        Condition::Collection { arg, negated: true, .. } => unbound(arg).into_iter().collect(),
+        Condition::Collection { .. } => vec![],
+        Condition::Edge { from, step, to, negated: true } => {
+            let mut out: Vec<&str> = [unbound(from), unbound(to)].into_iter().flatten().collect();
+            if let PathStep::ArcVar(v) = step {
+                if !bound.contains(v.as_str()) {
+                    out.push(v);
+                }
+            }
+            out
+        }
+        Condition::Edge { from, step, to, negated: false } => {
+            // A positive edge enumerates sources over member nodes only when
+            // both ends are unbound. That is exact unless the path can be
+            // empty (a nullable RPE admits atomic sources), in which case a
+            // remaining binder for `from` must run first.
+            let both_unbound = unbound(from).is_some()
+                && match to {
+                    Term::Var(v) => !bound.contains(v.as_str()),
+                    _ => false,
+                };
+            match step {
+                PathStep::Rpe(rpe) if both_unbound && rpe.nullable() => unbound(from).into_iter().collect(),
+                _ => vec![],
+            }
+        }
+        Condition::Predicate { args, .. } => args.iter().filter_map(unbound).collect(),
+        Condition::Compare { lhs, op, rhs } => {
+            let l = unbound(lhs);
+            let r = unbound(rhs);
+            match (l, r) {
+                (None, None) => vec![],
+                // `v = <bound>` is an exact assignment.
+                (Some(_), None) | (None, Some(_)) if *op == CmpOp::Eq => vec![],
+                _ => [l, r].into_iter().flatten().collect(),
+            }
+        }
+        Condition::In { var, negated, .. } => {
+            if *negated && !bound.contains(var.as_str()) {
+                vec![var.as_str()]
+            } else {
+                vec![]
+            }
+        }
+    }
+}
+
+/// Variables a condition binds *exactly* when applied (positive binders).
+fn binder_vars(cond: &Condition) -> Vec<&str> {
+    match cond {
+        Condition::Collection { arg, negated: false, .. } => arg.as_var().into_iter().collect(),
+        Condition::Edge { from, step, to, negated: false } => {
+            let mut out: Vec<&str> = Vec::new();
+            if let Term::Var(v) = from {
+                out.push(v);
+            }
+            if let PathStep::ArcVar(v) = step {
+                out.push(v);
+            }
+            if let Term::Var(v) = to {
+                out.push(v);
+            }
+            out
+        }
+        Condition::In { var, negated: false, .. } => vec![var.as_str()],
+        Condition::Compare { lhs, op: CmpOp::Eq, rhs } => {
+            [lhs, rhs].into_iter().filter_map(Term::as_var).collect()
+        }
+        _ => vec![],
+    }
+}
+
+/// Whether `cond` may be scheduled now: none of the variables it would
+/// enumerate over the active domain can still be bound exactly by a
+/// remaining condition.
+fn eligible(cond: &Condition, bound: &FxHashSet<&str>, remaining: &[&Condition]) -> bool {
+    let exp = expansion_vars(cond, bound);
+    if exp.is_empty() {
+        return true;
+    }
+    !remaining.iter().any(|other| {
+        !std::ptr::eq(*other, cond) && binder_vars(other).iter().any(|v| exp.contains(v))
+    })
+}
+
+/// An ordered plan: conditions in execution order plus a human-readable
+/// description (shown by `explain`).
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Indices into the original condition slice, in execution order.
+    pub order: Vec<usize>,
+    /// Access-method tags, parallel to `order`.
+    pub methods: Vec<&'static str>,
+    /// Estimated total intermediate rows.
+    pub est_cost: f64,
+}
+
+impl Plan {
+    /// Renders the plan as one line per condition.
+    pub fn describe(&self, conditions: &[Condition]) -> String {
+        let mut s = String::new();
+        for (rank, (&i, method)) in self.order.iter().zip(&self.methods).enumerate() {
+            let _ = writeln!(s, "  {rank}. [{method}] {}", conditions[i]);
+        }
+        let _ = writeln!(s, "  est. cost: {:.1}", self.est_cost);
+        s
+    }
+}
+
+/// Orders `conditions` for evaluation starting from the `bound` variables.
+pub fn plan(
+    conditions: &[Condition],
+    bound: &FxHashSet<&str>,
+    graph: &Graph,
+    optimizer: Optimizer,
+) -> Plan {
+    match optimizer {
+        Optimizer::Naive => plan_naive(conditions, bound, graph),
+        Optimizer::Heuristic => plan_greedy(conditions, bound, graph),
+        Optimizer::CostBased => {
+            if conditions.len() <= DP_LIMIT {
+                plan_dp(conditions, bound, graph)
+            } else {
+                plan_greedy(conditions, bound, graph)
+            }
+        }
+    }
+}
+
+/// Selects the next condition from `remaining` (indices into `conditions`):
+/// the best according to `score` among eligible candidates, falling back to
+/// the best overall if mutual waiting leaves none eligible.
+fn pick_next(
+    conditions: &[Condition],
+    remaining: &[usize],
+    bound: &FxHashSet<&str>,
+    score: impl Fn(usize) -> f64,
+) -> usize {
+    let rem_refs: Vec<&Condition> = remaining.iter().map(|&i| &conditions[i]).collect();
+    let candidates: Vec<usize> = remaining
+        .iter()
+        .copied()
+        .filter(|&i| eligible(&conditions[i], bound, &rem_refs))
+        .collect();
+    let pool = if candidates.is_empty() { remaining } else { &candidates };
+    *pool
+        .iter()
+        .min_by(|&&a, &&b| score(a).total_cmp(&score(b)))
+        .expect("non-empty pool")
+}
+
+fn plan_naive(conditions: &[Condition], bound: &FxHashSet<&str>, graph: &Graph) -> Plan {
+    let stats = GraphStats::of(graph);
+    let mut bound: FxHashSet<&str> = bound.clone();
+    let mut remaining: Vec<usize> = (0..conditions.len()).collect();
+    let mut order = Vec::with_capacity(conditions.len());
+    let mut methods = Vec::with_capacity(conditions.len());
+    let mut rows = 1.0f64;
+    let mut cost = 0.0f64;
+    while !remaining.is_empty() {
+        // Written order, but never schedule an active-domain expansion
+        // before its binders (semantics, not optimization).
+        let i = pick_next(conditions, &remaining, &bound, |i| i as f64);
+        remaining.retain(|&j| j != i);
+        let (m, method) = multiplier(&conditions[i], &bound, graph, &stats);
+        rows *= m;
+        cost += rows;
+        for v in vars_of(&conditions[i]) {
+            bound.insert(v);
+        }
+        order.push(i);
+        methods.push(method);
+    }
+    Plan { order, methods, est_cost: cost }
+}
+
+fn plan_greedy(conditions: &[Condition], bound: &FxHashSet<&str>, graph: &Graph) -> Plan {
+    let stats = GraphStats::of(graph);
+    let mut bound: FxHashSet<&str> = bound.clone();
+    let mut remaining: Vec<usize> = (0..conditions.len()).collect();
+    let mut order = Vec::with_capacity(conditions.len());
+    let mut methods = Vec::with_capacity(conditions.len());
+    let mut rows = 1.0f64;
+    let mut cost = 0.0f64;
+    while !remaining.is_empty() {
+        let i = pick_next(conditions, &remaining, &bound, |i| {
+            multiplier(&conditions[i], &bound, graph, &stats).0
+        });
+        remaining.retain(|&j| j != i);
+        let (m, method) = multiplier(&conditions[i], &bound, graph, &stats);
+        rows *= m;
+        cost += rows;
+        for v in vars_of(&conditions[i]) {
+            bound.insert(v);
+        }
+        order.push(i);
+        methods.push(method);
+    }
+    Plan { order, methods, est_cost: cost }
+}
+
+fn plan_dp(conditions: &[Condition], initial_bound: &FxHashSet<&str>, graph: &Graph) -> Plan {
+    let stats = GraphStats::of(graph);
+    let n = conditions.len();
+    if n == 0 {
+        return Plan { order: vec![], methods: vec![], est_cost: 0.0 };
+    }
+
+    // Variable universe: map names to bits for fast bound-set tracking.
+    let mut var_names: Vec<&str> = Vec::new();
+    for c in conditions {
+        for v in vars_of(c) {
+            if !var_names.contains(&v) {
+                var_names.push(v);
+            }
+        }
+    }
+    let var_bit = |v: &str| var_names.iter().position(|w| *w == v);
+    let mut init_vars: u64 = 0;
+    for v in initial_bound {
+        if let Some(b) = var_bit(v) {
+            init_vars |= 1 << b;
+        }
+    }
+    let cond_vars: Vec<u64> = conditions
+        .iter()
+        .map(|c| {
+            let mut m = 0u64;
+            for v in vars_of(c) {
+                if let Some(b) = var_bit(v) {
+                    m |= 1 << b;
+                }
+            }
+            m
+        })
+        .collect();
+
+    // dp[mask] = (rows, total_cost, predecessor mask, last condition).
+    let size = 1usize << n;
+    let mut dp: Vec<Option<(f64, f64, usize, usize)>> = vec![None; size];
+    dp[0] = Some((1.0, 0.0, 0, usize::MAX));
+
+    // Bound-var set for a mask is derivable: init ∪ vars of chosen conds.
+    let mask_vars = |mask: usize| -> u64 {
+        let mut v = init_vars;
+        for (i, cv) in cond_vars.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                v |= cv;
+            }
+        }
+        v
+    };
+
+    for mask in 0..size {
+        let Some((rows, cost, _, _)) = dp[mask] else { continue };
+        let bound_bits = mask_vars(mask);
+        let bound: FxHashSet<&str> = var_names
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| bound_bits & (1 << b) != 0)
+            .map(|(_, v)| *v)
+            .collect();
+        let remaining: Vec<&Condition> =
+            (0..n).filter(|i| mask & (1 << i) == 0).map(|i| &conditions[i]).collect();
+        let eligible_next: Vec<usize> = (0..n)
+            .filter(|&i| mask & (1 << i) == 0 && eligible(&conditions[i], &bound, &remaining))
+            .collect();
+        // If mutual waiting leaves nothing eligible, fall back to all.
+        let next_pool: Vec<usize> = if eligible_next.is_empty() {
+            (0..n).filter(|&i| mask & (1 << i) == 0).collect()
+        } else {
+            eligible_next
+        };
+        for i in next_pool {
+            let (m, _) = multiplier(&conditions[i], &bound, graph, &stats);
+            let new_rows = rows * m;
+            let new_cost = cost + new_rows;
+            let next = mask | (1 << i);
+            if dp[next].is_none_or(|(_, c, _, _)| new_cost < c) {
+                dp[next] = Some((new_rows, new_cost, mask, i));
+            }
+        }
+    }
+
+    // Reconstruct.
+    let mut order = Vec::with_capacity(n);
+    let mut mask = size - 1;
+    let final_cost = dp[mask].expect("full mask reachable").1;
+    while mask != 0 {
+        let (_, _, prev, last) = dp[mask].expect("on path");
+        order.push(last);
+        mask = prev;
+    }
+    order.reverse();
+
+    // Recompute method tags along the chosen order.
+    let mut bound: FxHashSet<&str> = initial_bound.clone();
+    let mut methods = Vec::with_capacity(n);
+    for &i in &order {
+        let (_, method) = multiplier(&conditions[i], &bound, graph, &stats);
+        methods.push(method);
+        for v in vars_of(&conditions[i]) {
+            bound.insert(v);
+        }
+    }
+    Plan { order, methods, est_cost: final_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use strudel_graph::Value;
+
+    /// A graph where `Small` has 2 members and `Big` has 100, with `k`
+    /// edges out of Big members.
+    fn skewed_graph() -> Graph {
+        let mut g = Graph::standalone();
+        for i in 0..100 {
+            let n = g.new_node(None);
+            g.add_to_collection_str("Big", Value::Node(n));
+            g.add_edge_str(n, "k", i as i64).unwrap();
+            if i < 2 {
+                g.add_to_collection_str("Small", Value::Node(n));
+            }
+        }
+        g
+    }
+
+    fn conds(src: &str) -> Vec<Condition> {
+        let q = parse_query(src).unwrap();
+        let a = crate::analyze::analyze(&q, &crate::pred::PredicateRegistry::with_builtins()).unwrap();
+        a.query.root.where_.clone()
+    }
+
+    #[test]
+    fn heuristic_starts_from_small_collection() {
+        let g = skewed_graph();
+        // Written big-first; the optimizer should flip the order.
+        let cs = conds(r#"WHERE Big(x), Small(x) COLLECT Out(x)"#);
+        let p = plan(&cs, &FxHashSet::default(), &g, Optimizer::Heuristic);
+        assert_eq!(p.order, vec![1, 0], "plan: {}", p.describe(&cs));
+        let naive = plan(&cs, &FxHashSet::default(), &g, Optimizer::Naive);
+        assert_eq!(naive.order, vec![0, 1]);
+        assert!(p.est_cost < naive.est_cost);
+    }
+
+    #[test]
+    fn filters_run_after_their_binders() {
+        let g = skewed_graph();
+        let cs = conds(r#"WHERE v = 3, Small(x), x -> "k" -> v COLLECT Out(x)"#);
+        let p = plan(&cs, &FxHashSet::default(), &g, Optimizer::CostBased);
+        // Whatever join order wins, the chosen plan must avoid active-domain
+        // expansion (every condition runs with its inputs bound) and must
+        // not cost more than naive left-to-right evaluation.
+        assert!(!p.methods.iter().any(|m| m.contains("active-domain")), "plan: {}", p.describe(&cs));
+        let naive = plan(&cs, &FxHashSet::default(), &g, Optimizer::Naive);
+        assert!(p.est_cost <= naive.est_cost, "plan: {}", p.describe(&cs));
+    }
+
+    #[test]
+    fn cost_based_never_worse_than_naive() {
+        let g = skewed_graph();
+        for src in [
+            r#"WHERE Big(x), Small(x), x -> "k" -> v, v = 3 COLLECT Out(x)"#,
+            r#"WHERE x -> "k" -> v, Big(x) COLLECT Out(x)"#,
+            r#"WHERE Big(x), x -> * -> y, Small(x) COLLECT Out(y)"#,
+        ] {
+            let cs = conds(src);
+            let dp = plan(&cs, &FxHashSet::default(), &g, Optimizer::CostBased);
+            let naive = plan(&cs, &FxHashSet::default(), &g, Optimizer::Naive);
+            assert!(dp.est_cost <= naive.est_cost + 1e-9, "{src}: {} vs {}", dp.est_cost, naive.est_cost);
+        }
+    }
+
+    #[test]
+    fn unindexed_graph_changes_estimates() {
+        let mut g = skewed_graph();
+        let cs = conds(r#"WHERE x -> "k" -> v, v = 3 COLLECT Out(x)"#);
+        let with = plan(&cs, &FxHashSet::default(), &g, Optimizer::CostBased);
+        g.set_indexing(false);
+        let without = plan(&cs, &FxHashSet::default(), &g, Optimizer::CostBased);
+        // Both valid plans; the cost model must register the index loss.
+        assert!(without.est_cost >= with.est_cost, "{} vs {}", without.est_cost, with.est_cost);
+    }
+
+    #[test]
+    fn dp_handles_empty_and_unit() {
+        let g = skewed_graph();
+        let p = plan(&[], &FxHashSet::default(), &g, Optimizer::CostBased);
+        assert!(p.order.is_empty());
+        let cs = conds("WHERE Small(x) COLLECT Out(x)");
+        let p = plan(&cs, &FxHashSet::default(), &g, Optimizer::CostBased);
+        assert_eq!(p.order, vec![0]);
+    }
+
+    #[test]
+    fn already_bound_vars_make_conditions_filters() {
+        let g = skewed_graph();
+        let cs = conds("WHERE Big(x) COLLECT Out(x)");
+        let mut bound = FxHashSet::default();
+        bound.insert("x");
+        let p = plan(&cs, &bound, &g, Optimizer::CostBased);
+        assert_eq!(p.methods, vec!["member-filter"]);
+    }
+
+    #[test]
+    fn describe_mentions_methods() {
+        let g = skewed_graph();
+        let cs = conds(r#"WHERE Small(x), x -> "k" -> v COLLECT Out(x)"#);
+        let p = plan(&cs, &FxHashSet::default(), &g, Optimizer::Heuristic);
+        let desc = p.describe(&cs);
+        assert!(desc.contains("coll-scan"), "{desc}");
+        assert!(desc.contains("out-scan"), "{desc}");
+    }
+}

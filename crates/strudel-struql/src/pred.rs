@@ -1,0 +1,156 @@
+//! Built-in and external predicates.
+//!
+//! StruQL conditions may apply predicates to nodes or edges (§3):
+//! `isPostScript(q)` tests the type of a value, and edge predicates such as
+//! `isName` appear inside regular path expressions (`isName*` denotes "any
+//! sequence of labels such that each satisfies the `isName` predicate").
+//! The distinction between collection names and external predicates is made
+//! at a *semantic* level: the analyzer consults this registry.
+
+use strudel_graph::fxhash::FxHashMap;
+use strudel_graph::{FileKind, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A predicate over values. Edge predicates receive the label as a
+/// [`Value::Str`].
+pub type PredicateFn = Arc<dyn Fn(&[&Value]) -> bool + Send + Sync>;
+
+/// A registry of named predicates. [`PredicateRegistry::with_builtins`]
+/// provides the type tests used throughout the paper; applications register
+/// external predicates with [`PredicateRegistry::register`].
+#[derive(Clone, Default)]
+pub struct PredicateRegistry {
+    preds: FxHashMap<String, (PredicateFn, usize)>,
+}
+
+impl PredicateRegistry {
+    /// An empty registry (no names resolve; all bare identifiers in queries
+    /// are treated as collections or arc variables).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry with the standard built-ins:
+    ///
+    /// | name | arity | meaning |
+    /// |---|---|---|
+    /// | `isPostScript` | 1 | value is a PostScript file |
+    /// | `isImageFile` | 1 | value is an image file |
+    /// | `isTextFile` | 1 | value is a text file |
+    /// | `isHtmlFile` | 1 | value is an HTML file |
+    /// | `isFile` | 1 | value is any file |
+    /// | `isInt` / `isFloat` / `isBool` / `isString` / `isUrl` | 1 | type tests |
+    /// | `isNode` / `isAtomic` | 1 | internal node / atomic value |
+    /// | `startsWith` | 2 | text of arg0 starts with text of arg1 |
+    /// | `endsWith` | 2 | text of arg0 ends with text of arg1 |
+    /// | `contains` | 2 | text of arg0 contains text of arg1 |
+    pub fn with_builtins() -> Self {
+        let mut r = Self::new();
+        fn file_test(kind: FileKind) -> impl Fn(&[&Value]) -> bool {
+            move |args| matches!(args[0], Value::File(k, _) if *k == kind)
+        }
+        r.register("isPostScript", 1, file_test(FileKind::PostScript));
+        r.register("isImageFile", 1, file_test(FileKind::Image));
+        r.register("isTextFile", 1, file_test(FileKind::Text));
+        r.register("isHtmlFile", 1, file_test(FileKind::Html));
+        r.register("isFile", 1, |args| matches!(args[0], Value::File(..)));
+        r.register("isInt", 1, |args| matches!(args[0], Value::Int(_)));
+        r.register("isFloat", 1, |args| matches!(args[0], Value::Float(_)));
+        r.register("isBool", 1, |args| matches!(args[0], Value::Bool(_)));
+        r.register("isString", 1, |args| matches!(args[0], Value::Str(_)));
+        r.register("isUrl", 1, |args| matches!(args[0], Value::Url(_)));
+        r.register("isNode", 1, |args| args[0].is_node());
+        r.register("isAtomic", 1, |args| args[0].is_atomic());
+        fn text_pair(args: &[&Value]) -> Option<(Arc<str>, Arc<str>)> {
+            Some((args[0].text()?, args[1].text()?))
+        }
+        r.register("startsWith", 2, |args| text_pair(args).is_some_and(|(a, b)| a.starts_with(&*b)));
+        r.register("endsWith", 2, |args| text_pair(args).is_some_and(|(a, b)| a.ends_with(&*b)));
+        r.register("contains", 2, |args| text_pair(args).is_some_and(|(a, b)| a.contains(&*b)));
+        r
+    }
+
+    /// Registers (or replaces) a predicate under `name` with the given arity.
+    pub fn register(&mut self, name: &str, arity: usize, f: impl Fn(&[&Value]) -> bool + Send + Sync + 'static) {
+        self.preds.insert(name.to_string(), (Arc::new(f), arity));
+    }
+
+    /// Whether `name` is a registered predicate.
+    pub fn contains(&self, name: &str) -> bool {
+        self.preds.contains_key(name)
+    }
+
+    /// The declared arity of `name`.
+    pub fn arity(&self, name: &str) -> Option<usize> {
+        self.preds.get(name).map(|(_, a)| *a)
+    }
+
+    /// Applies the predicate `name` to `args`. Returns `None` for an
+    /// unknown name.
+    pub fn apply(&self, name: &str, args: &[&Value]) -> Option<bool> {
+        let (f, _) = self.preds.get(name)?;
+        Some(f(args))
+    }
+}
+
+impl fmt::Debug for PredicateRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<_> = self.preds.keys().collect();
+        names.sort();
+        f.debug_struct("PredicateRegistry").field("names", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_test_file_kinds() {
+        let r = PredicateRegistry::with_builtins();
+        let ps = Value::file(FileKind::PostScript, "p.ps");
+        let img = Value::file(FileKind::Image, "i.gif");
+        assert_eq!(r.apply("isPostScript", &[&ps]), Some(true));
+        assert_eq!(r.apply("isPostScript", &[&img]), Some(false));
+        assert_eq!(r.apply("isImageFile", &[&img]), Some(true));
+        assert_eq!(r.apply("isFile", &[&ps]), Some(true));
+        assert_eq!(r.apply("isFile", &[&Value::Int(1)]), Some(false));
+    }
+
+    #[test]
+    fn type_tests() {
+        let r = PredicateRegistry::with_builtins();
+        assert_eq!(r.apply("isInt", &[&Value::Int(3)]), Some(true));
+        assert_eq!(r.apply("isString", &[&Value::str("x")]), Some(true));
+        assert_eq!(r.apply("isNode", &[&Value::str("x")]), Some(false));
+        assert_eq!(r.apply("isAtomic", &[&Value::str("x")]), Some(true));
+    }
+
+    #[test]
+    fn string_predicates() {
+        let r = PredicateRegistry::with_builtins();
+        let hay = Value::str("semistructured");
+        assert_eq!(r.apply("startsWith", &[&hay, &Value::str("semi")]), Some(true));
+        assert_eq!(r.apply("endsWith", &[&hay, &Value::str("ured")]), Some(true));
+        assert_eq!(r.apply("contains", &[&hay, &Value::str("struct")]), Some(true));
+        assert_eq!(r.apply("contains", &[&hay, &Value::Int(1)]), Some(false));
+    }
+
+    #[test]
+    fn external_registration_overrides() {
+        let mut r = PredicateRegistry::with_builtins();
+        assert!(!r.contains("isSports"));
+        r.register("isSports", 1, |args| args[0].text().is_some_and(|t| t.contains("sports")));
+        assert!(r.contains("isSports"));
+        assert_eq!(r.arity("isSports"), Some(1));
+        assert_eq!(r.apply("isSports", &[&Value::str("sports news")]), Some(true));
+    }
+
+    #[test]
+    fn unknown_predicate_is_none() {
+        let r = PredicateRegistry::with_builtins();
+        assert_eq!(r.apply("nonexistent", &[&Value::Int(1)]), None);
+        assert_eq!(r.arity("nonexistent"), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property: pretty-printing any well-formed query and re-parsing it yields
+//! the same AST. This pins the parser and printer to each other across the
+//! whole grammar (conditions, regular path expressions, construction
+//! clauses, nested blocks, aggregates).
+
+use proptest::prelude::*;
+use strudel_struql::ast::*;
+use strudel_struql::parse_query;
+
+// Identifier strategies. Reserved words (clause keywords, boolean literals,
+// aggregate names) are excluded; variables are lowercase, Skolem/collection
+// names are capitalized, so they can't collide with each other either.
+fn var_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,4}".prop_filter("reserved", |s| {
+        !matches!(s.as_str(), "where" | "create" | "link" | "collect" | "input" | "output" | "in" | "not" | "true" | "false" | "count" | "sum" | "min" | "max" | "avg")
+    })
+}
+
+fn cap_name() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,5}".prop_filter("reserved", |s| {
+        !matches!(s.to_ascii_lowercase().as_str(), "count" | "sum" | "min" | "max" | "avg" | "where" | "create" | "link" | "collect" | "input" | "output" | "in" | "not" | "true" | "false")
+    })
+}
+
+fn safe_string() -> impl Strategy<Value = String> {
+    // Printable, escape-free strings: `{:?}` printing and StruQL string
+    // parsing agree on these.
+    "[a-zA-Z0-9 _.-]{0,8}".prop_map(|s| s)
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        safe_string().prop_map(Literal::Str),
+        any::<i32>().prop_map(|i| Literal::Int(i as i64)),
+        // Floats whose Display form contains a '.', so they re-parse as
+        // floats rather than integers.
+        (-1000i32..1000).prop_map(|i| Literal::Float(i as f64 + 0.5)),
+        any::<bool>().prop_map(Literal::Bool),
+    ]
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![var_name().prop_map(Term::Var), literal().prop_map(Term::Lit)]
+}
+
+fn rpe(depth: u32) -> BoxedStrategy<Rpe> {
+    let leaf = prop_oneof![safe_string().prop_map(Rpe::Label), Just(Rpe::AnyLabel)];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = rpe(depth - 1);
+    prop_oneof![
+        leaf,
+        (rpe(depth - 1), rpe(depth - 1)).prop_map(|(a, b)| Rpe::Seq(Box::new(a), Box::new(b))),
+        (rpe(depth - 1), rpe(depth - 1)).prop_map(|(a, b)| Rpe::Alt(Box::new(a), Box::new(b))),
+        inner.clone().prop_map(|r| Rpe::Star(Box::new(r))),
+        rpe(depth - 1).prop_map(|r| Rpe::Plus(Box::new(r))),
+        rpe(depth - 1).prop_map(|r| Rpe::Opt(Box::new(r))),
+    ]
+    .boxed()
+}
+
+fn path_step() -> impl Strategy<Value = PathStep> {
+    prop_oneof![
+        // Bare identifiers: exactly what the parser produces pre-analysis.
+        var_name().prop_map(PathStep::Bare),
+        rpe(2).prop_map(PathStep::Rpe),
+    ]
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        (cap_name(), term(), any::<bool>())
+            .prop_map(|(name, arg, negated)| Condition::Collection { name, arg, negated }),
+        (term(), path_step(), term(), any::<bool>()).prop_map(|(from, step, to, negated)| {
+            Condition::Edge { from, step, to, negated }
+        }),
+        (term(), term(), prop_oneof![
+            Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
+            Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)
+        ])
+        .prop_map(|(lhs, rhs, op)| Condition::Compare { lhs, op, rhs }),
+        (var_name(), proptest::collection::vec(literal(), 1..4), any::<bool>())
+            .prop_map(|(var, set, negated)| Condition::In { var, set, negated }),
+    ]
+}
+
+fn skolem() -> impl Strategy<Value = SkolemTerm> {
+    (cap_name(), proptest::collection::vec(var_name(), 0..3))
+        .prop_map(|(name, args)| SkolemTerm { name, args })
+}
+
+fn link_target() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        var_name().prop_map(Term::Var),
+        literal().prop_map(Term::Lit),
+        skolem().prop_map(Term::Skolem),
+        (
+            prop_oneof![
+                Just(AggFunc::Count), Just(AggFunc::Sum), Just(AggFunc::Min),
+                Just(AggFunc::Max), Just(AggFunc::Avg)
+            ],
+            var_name()
+        )
+            .prop_map(|(f, v)| Term::Agg(f, v)),
+    ]
+}
+
+fn link() -> impl Strategy<Value = LinkClause> {
+    (
+        skolem(),
+        prop_oneof![safe_string().prop_map(LabelTerm::Lit), var_name().prop_map(LabelTerm::Var)],
+        link_target(),
+    )
+        .prop_map(|(from, label, to)| LinkClause { from, label, to })
+}
+
+fn collect_clause() -> impl Strategy<Value = CollectClause> {
+    (cap_name(), link_target()).prop_map(|(name, arg)| CollectClause { name, arg })
+}
+
+fn block(depth: u32) -> BoxedStrategy<Block> {
+    let children = if depth == 0 {
+        Just(Vec::new()).boxed()
+    } else {
+        proptest::collection::vec(block(depth - 1), 0..3).boxed()
+    };
+    (
+        proptest::collection::vec(condition(), 0..4),
+        proptest::collection::vec(skolem(), 0..3),
+        proptest::collection::vec(link(), 0..3),
+        proptest::collection::vec(collect_clause(), 0..2),
+        children,
+    )
+        .prop_map(|(where_, creates, links, collects, children)| Block {
+            id: BlockId(0), // renumbered below
+            where_,
+            creates,
+            links,
+            collects,
+            children,
+        })
+        .boxed()
+}
+
+/// Assigns document-order ids, matching what the parser produces.
+fn renumber(b: &mut Block, next: &mut u32) {
+    b.id = BlockId(*next);
+    *next += 1;
+    for c in &mut b.children {
+        renumber(c, next);
+    }
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (proptest::option::of(cap_name()), proptest::option::of(cap_name()), block(2)).prop_map(
+        |(input, output, mut root)| {
+            let mut next = 0;
+            renumber(&mut root, &mut next);
+            Query { input, output, root }
+        },
+    )
+}
+
+/// Normalizes constructs whose surface form is genuinely ambiguous, mapping
+/// both sides of the roundtrip into the same representative:
+/// * a single-hop chain printed from an `Rpe::Label` re-parses identically,
+///   but a *bare* `Rpe` that is exactly `Star(AnyLabel)` prints as `*` ✓ —
+///   nothing to do there;
+/// * `Rpe::Pred`/`ArcVar` print as bare identifiers, so the generator emits
+///   [`PathStep::Bare`] directly (no normalization needed);
+/// * multi-hop chains only arise from parsing, never from printing single
+///   conditions, so none appear.
+fn normalize(q: &Query) -> Query {
+    q.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_then_parse_is_identity(q in query()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        prop_assert_eq!(normalize(&reparsed), normalize(&q), "--- printed ---\n{}", printed);
+    }
+}
+
+#[test]
+fn roundtrip_regression_corpus() {
+    // Hand-picked shapes that once looked risky.
+    for src in [
+        // Star-of-star and optional star.
+        r#"WHERE x -> ("a")** -> y COLLECT O(y)"#,
+        r#"WHERE x -> *? -> y COLLECT O(y)"#,
+        // Underscore wildcard vs star.
+        r#"WHERE x -> _ -> y, x -> * -> z COLLECT O(y)"#,
+        // Aggregates in both construction positions.
+        r#"WHERE C(x), x -> "n" -> v CREATE S(x) LINK S(x) -> "c" -> COUNT(v) COLLECT O(AVG(v))"#,
+        // Negative integers and floats as literals.
+        r#"WHERE C(x), x -> "n" -> -42, x -> "m" -> -1.5 COLLECT O(x)"#,
+        // Empty-argument Skolem functions everywhere.
+        r#"CREATE R() LINK R() -> "self" -> R() COLLECT O(R())"#,
+    ] {
+        let q = parse_query(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = q.to_string();
+        let q2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse {src}: {e}\n{printed}"));
+        assert_eq!(q, q2, "{src}\n--- printed ---\n{printed}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Template errors.
+
+use std::fmt;
+
+/// Errors from parsing or rendering templates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// A syntax error inside a template directive.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A rendering error (unbound loop variable, embed cycle, …).
+    Render(String),
+}
+
+impl TemplateError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        TemplateError::Parse { line, message: message.into() }
+    }
+
+    pub(crate) fn render(message: impl Into<String>) -> Self {
+        TemplateError::Render(message.into())
+    }
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::Parse { line, message } => {
+                write!(f, "template parse error at line {line}: {message}")
+            }
+            TemplateError::Render(m) => write!(f, "template render error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// Result alias for template operations.
+pub type Result<T> = std::result::Result<T, TemplateError>;

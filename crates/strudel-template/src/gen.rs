@@ -1,0 +1,960 @@
+//! The HTML generator (§2.5, §4).
+//!
+//! "Given an object and its HTML template, the HTML generator evaluates all
+//! expressions in the template, concatenates them together, and produces
+//! plain HTML text. It either emits the HTML value as a page or embeds the
+//! value in pages that refer to that object."
+//!
+//! Template selection, per §4: for every internal object the generator
+//! selects (1) an object-specific template, (2) the template named by the
+//! object's `HTML-template` attribute, or (3) the template associated with a
+//! collection the object belongs to.
+//!
+//! The page-vs-component decision is delayed until generation: an internal
+//! object referenced by an `SFMT` becomes a *link to its own page* by
+//! default, and is *embedded* when the `EMBED` directive says so.
+
+use crate::ast::*;
+use crate::error::{Result, TemplateError};
+use crate::parse::parse_template;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use strudel_graph::fxhash::{FxHashMap, FxHashSet};
+use strudel_graph::graph::GraphReader;
+use strudel_graph::{FileKind, Graph, Oid, Value};
+
+/// Resolves an external file reference (e.g. `abstracts/icde98.txt`) to its
+/// textual contents so it can be embedded. Returning `None` falls back to a
+/// link.
+pub type FileResolver = Box<dyn Fn(&str) -> Option<String> + Send + Sync>;
+
+/// The set of templates available to the generator, with the §4 selection
+/// precedence.
+#[derive(Default)]
+pub struct TemplateSet {
+    by_object: FxHashMap<Oid, Template>,
+    named: BTreeMap<String, Template>,
+    by_collection: Vec<(String, Template)>,
+    default: Option<Template>,
+}
+
+impl TemplateSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Associates a template with a single object (highest precedence).
+    pub fn set_object_template(&mut self, n: Oid, src: &str) -> Result<()> {
+        self.by_object.insert(n, parse_template(src)?);
+        Ok(())
+    }
+
+    /// Registers a template under a name, addressable from an object's
+    /// `HTML-template` attribute.
+    pub fn set_named(&mut self, name: &str, src: &str) -> Result<()> {
+        self.named.insert(name.to_string(), parse_template(src)?);
+        Ok(())
+    }
+
+    /// Associates a template with every member of a collection. "Associating
+    /// an HTML template with a collection of objects allows the user to
+    /// produce the same look and feel for related pages."
+    pub fn set_collection_template(&mut self, collection: &str, src: &str) -> Result<()> {
+        let t = parse_template(src)?;
+        if let Some(slot) = self.by_collection.iter_mut().find(|(c, _)| c == collection) {
+            slot.1 = t;
+        } else {
+            self.by_collection.push((collection.to_string(), t));
+        }
+        Ok(())
+    }
+
+    /// Sets a fallback template used when nothing else matches.
+    pub fn set_default(&mut self, src: &str) -> Result<()> {
+        self.default = Some(parse_template(src)?);
+        Ok(())
+    }
+
+    /// Number of registered templates.
+    pub fn len(&self) -> usize {
+        self.by_object.len()
+            + self.named.len()
+            + self.by_collection.len()
+            + usize::from(self.default.is_some())
+    }
+
+    /// Whether no templates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Selects the template for object `n` per the §4 precedence rules.
+    pub fn select<'a>(&'a self, graph: &Graph, reader: &GraphReader<'_>, n: Oid) -> Option<&'a Template> {
+        if let Some(t) = self.by_object.get(&n) {
+            return Some(t);
+        }
+        // The object's HTML-template attribute names a registered template.
+        if let Some(sym) = graph.universe().interner().get("HTML-template") {
+            if let Some(v) = reader.attr(n, sym) {
+                if let Some(name) = v.text() {
+                    if let Some(t) = self.named.get(&*name) {
+                        return Some(t);
+                    }
+                }
+            }
+        }
+        for (coll, t) in &self.by_collection {
+            if let Some(c) = graph.collection_str(coll) {
+                if c.contains(&Value::Node(n)) {
+                    return Some(t);
+                }
+            }
+        }
+        self.default.as_ref()
+    }
+}
+
+/// A generated, browsable web site: file name → HTML text.
+#[derive(Debug, Default)]
+pub struct GeneratedSite {
+    /// The emitted pages, keyed by file name.
+    pub pages: BTreeMap<String, String>,
+    /// Which page realizes which node.
+    pub page_of: FxHashMap<Oid, String>,
+    /// Non-fatal generation warnings.
+    pub warnings: Vec<String>,
+}
+
+impl GeneratedSite {
+    /// Total size of the emitted HTML, in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.pages.values().map(String::len).sum()
+    }
+
+    /// Writes every page into `dir` (created if missing).
+    pub fn write_to_dir(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (name, html) in &self.pages {
+            std::fs::write(dir.join(name), html)?;
+        }
+        Ok(())
+    }
+}
+
+/// The HTML generator: renders a site graph through a [`TemplateSet`].
+pub struct Generator<'g> {
+    graph: &'g Graph,
+    templates: &'g TemplateSet,
+    file_resolver: Option<FileResolver>,
+}
+
+impl<'g> Generator<'g> {
+    /// Creates a generator over a site graph.
+    pub fn new(graph: &'g Graph, templates: &'g TemplateSet) -> Self {
+        Generator { graph, templates, file_resolver: None }
+    }
+
+    /// Installs a resolver for embedding text/HTML file contents.
+    pub fn with_file_resolver(mut self, resolver: FileResolver) -> Self {
+        self.file_resolver = Some(resolver);
+        self
+    }
+
+    /// Generates the browsable site starting from `roots` (each root is
+    /// realized as a page; further pages are discovered through links).
+    pub fn generate(&self, roots: &[Oid]) -> Result<GeneratedSite> {
+        let reader = self.graph.reader();
+        let mut run = Run {
+            gen: self,
+            reader: &reader,
+            site: GeneratedSite::default(),
+            used_names: FxHashSet::default(),
+            queue: Vec::new(),
+            embedding: Vec::new(),
+            precomputed: None,
+            discovered: Vec::new(),
+        };
+        for &r in roots {
+            run.ensure_page(r);
+        }
+        while let Some(n) = run.queue.pop() {
+            let html = run.render_object(n)?;
+            let file = run.site.page_of.get(&n).expect("queued pages are named").clone();
+            run.site.pages.insert(file, html);
+        }
+        Ok(run.site)
+    }
+
+    /// Generates starting from every node of a named collection (the usual
+    /// `COLLECT Roots(...)` convention).
+    pub fn generate_from_collection(&self, collection: &str) -> Result<GeneratedSite> {
+        let roots: Vec<Oid> = self
+            .graph
+            .collection_str(collection)
+            .map(|c| c.items().iter().filter_map(Value::as_node).collect())
+            .unwrap_or_default();
+        self.generate(&roots)
+    }
+
+    /// Renders a single object to an HTML fragment without emitting pages
+    /// for anything it links to. Useful for testing templates.
+    pub fn render_fragment(&self, n: Oid) -> Result<String> {
+        let reader = self.graph.reader();
+        let mut run = Run {
+            gen: self,
+            reader: &reader,
+            site: GeneratedSite::default(),
+            used_names: FxHashSet::default(),
+            queue: Vec::new(),
+            embedding: Vec::new(),
+            precomputed: None,
+            discovered: Vec::new(),
+        };
+        run.render_object(n)
+    }
+
+    /// Like [`Generator::generate`], but renders pages on `threads` worker
+    /// threads. Page rendering is read-only over the site graph, so the
+    /// page set is discovered in parallel BFS waves; file names are
+    /// pre-assigned deterministically (graph member order) to every object
+    /// that has a template, so cross-page links are stable without shared
+    /// mutable state. Output is identical to the serial generator except
+    /// when two objects' sanitized names collide (the collision suffix may
+    /// attach to a different member).
+    pub fn generate_parallel(&self, roots: &[Oid], threads: usize) -> Result<GeneratedSite> {
+        let threads = threads.max(1);
+        let reader = self.graph.reader();
+        // Pre-assign a file name to every object that could become a page.
+        let mut names: FxHashMap<Oid, String> = FxHashMap::default();
+        let mut used: FxHashSet<String> = FxHashSet::default();
+        for &n in self.graph.nodes() {
+            if self.templates.select(self.graph, &reader, n).is_some() {
+                let base = sanitize(
+                    &reader.name(n).map(str::to_string).unwrap_or_else(|| format!("node{}", n.0)),
+                );
+                let mut file = format!("{base}.html");
+                if !used.insert(file.clone()) {
+                    file = format!("{base}-{}.html", n.0);
+                    used.insert(file.clone());
+                }
+                names.insert(n, file);
+            }
+        }
+        drop(reader);
+
+        let mut site = GeneratedSite::default();
+        let mut scheduled: FxHashSet<Oid> = FxHashSet::default();
+        let mut frontier: Vec<Oid> = Vec::new();
+        for &r in roots {
+            if names.contains_key(&r) && scheduled.insert(r) {
+                frontier.push(r);
+            } else if !names.contains_key(&r) {
+                site.warnings.push(format!("root node {} has no template", r.0));
+            }
+        }
+
+        while !frontier.is_empty() {
+            let chunk_size = frontier.len().div_ceil(threads);
+            type Rendered = (Oid, String, Vec<Oid>, Vec<String>);
+            let results: Result<Vec<Rendered>> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in frontier.chunks(chunk_size) {
+                    let names = &names;
+                    handles.push(scope.spawn(move || -> Result<Vec<Rendered>> {
+                        let reader = self.graph.reader();
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for &n in chunk {
+                            let mut run = Run {
+                                gen: self,
+                                reader: &reader,
+                                site: GeneratedSite::default(),
+                                used_names: FxHashSet::default(),
+                                queue: Vec::new(),
+                                embedding: Vec::new(),
+                                precomputed: Some(names),
+                                discovered: Vec::new(),
+                            };
+                            let html = run.render_object(n)?;
+                            out.push((n, html, run.discovered, run.site.warnings));
+                        }
+                        Ok(out)
+                    }));
+                }
+                let mut all = Vec::new();
+                for h in handles {
+                    all.extend(h.join().expect("render worker panicked")?);
+                }
+                Ok(all)
+            });
+            let results = results?;
+            frontier.clear();
+            for (n, html, discovered, warnings) in results {
+                let file = names[&n].clone();
+                site.page_of.insert(n, file.clone());
+                site.pages.insert(file, html);
+                site.warnings.extend(warnings);
+                for d in discovered {
+                    if names.contains_key(&d) && scheduled.insert(d) {
+                        frontier.push(d);
+                    }
+                }
+            }
+        }
+        Ok(site)
+    }
+}
+
+struct Run<'a, 'g> {
+    gen: &'a Generator<'g>,
+    reader: &'a GraphReader<'g>,
+    site: GeneratedSite,
+    used_names: FxHashSet<String>,
+    queue: Vec<Oid>,
+    /// Objects currently being embedded, for cycle detection.
+    embedding: Vec<Oid>,
+    /// Parallel mode: file names were assigned up front; discovered pages
+    /// are recorded here instead of queued.
+    precomputed: Option<&'a FxHashMap<Oid, String>>,
+    discovered: Vec<Oid>,
+}
+
+/// Loop-variable bindings, innermost last.
+type Scope = Vec<(String, Value)>;
+
+impl Run<'_, '_> {
+    /// Assigns a file name to `n` and queues it for rendering, if it has a
+    /// template. Returns the file name.
+    fn ensure_page(&mut self, n: Oid) -> Option<String> {
+        if let Some(names) = self.precomputed {
+            return match names.get(&n) {
+                Some(file) => {
+                    self.discovered.push(n);
+                    Some(file.clone())
+                }
+                None => {
+                    self.site.warnings.push(format!(
+                        "object {} has no template; rendered as text",
+                        self.display_name(n)
+                    ));
+                    None
+                }
+            };
+        }
+        if let Some(f) = self.site.page_of.get(&n) {
+            return Some(f.clone());
+        }
+        if self.gen.templates.select(self.gen.graph, self.reader, n).is_none() {
+            self.site.warnings.push(format!(
+                "object {} has no template; rendered as text",
+                self.display_name(n)
+            ));
+            return None;
+        }
+        let base = sanitize(&self.display_name(n));
+        let mut file = format!("{base}.html");
+        if !self.used_names.insert(file.clone()) {
+            file = format!("{base}-{}.html", n.0);
+            self.used_names.insert(file.clone());
+        }
+        self.site.page_of.insert(n, file.clone());
+        self.queue.push(n);
+        Some(file)
+    }
+
+    fn display_name(&self, n: Oid) -> String {
+        self.reader.name(n).map(str::to_string).unwrap_or_else(|| format!("node{}", n.0))
+    }
+
+    fn render_object(&mut self, n: Oid) -> Result<String> {
+        let template = self
+            .gen
+            .templates
+            .select(self.gen.graph, self.reader, n)
+            .ok_or_else(|| TemplateError::render(format!("no template for object {}", self.display_name(n))))?;
+        let mut out = String::new();
+        let scope: Scope = Vec::new();
+        self.render_nodes(&template.nodes.clone(), n, &scope, &mut out)?;
+        Ok(out)
+    }
+
+    fn render_nodes(&mut self, nodes: &[Node], ctx: Oid, scope: &Scope, out: &mut String) -> Result<()> {
+        for node in nodes {
+            match node {
+                Node::Html(h) => out.push_str(h),
+                Node::Fmt { expr, format, all, opts } => {
+                    let values = self.values_of(expr, ctx, scope);
+                    let mut items: Vec<Value> = if *all {
+                        values
+                    } else {
+                        values.into_iter().take(1).collect()
+                    };
+                    if let Some(order) = opts.order {
+                        self.sort_values(&mut items, opts.key.as_ref(), order);
+                    }
+                    let rendered: Result<Vec<String>> =
+                        items.iter().map(|v| self.render_value(v, format, ctx, scope)).collect();
+                    emit_list(out, &rendered?, opts);
+                }
+                Node::If { cond, then, else_ } => {
+                    if self.eval_cond(cond, ctx, scope)? {
+                        self.render_nodes(then, ctx, scope, out)?;
+                    } else {
+                        self.render_nodes(else_, ctx, scope, out)?;
+                    }
+                }
+                Node::For { var, expr, opts, body } => {
+                    let mut items = self.values_of(expr, ctx, scope);
+                    if let Some(order) = opts.order {
+                        self.sort_values(&mut items, opts.key.as_ref(), order);
+                    }
+                    let mut rendered = Vec::with_capacity(items.len());
+                    for item in items {
+                        let mut inner_scope = scope.clone();
+                        inner_scope.push((var.clone(), item));
+                        let mut buf = String::new();
+                        self.render_nodes(body, ctx, &inner_scope, &mut buf)?;
+                        rendered.push(buf);
+                    }
+                    emit_list(out, &rendered, opts);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All values of an attribute expression, in graph insertion order. The
+    /// first segment may be a loop variable; each further segment traverses
+    /// one attribute of reachable internal objects ("limited traversal of
+    /// the site graph", §4).
+    fn values_of(&self, expr: &AttrExpr, ctx: Oid, scope: &Scope) -> Vec<Value> {
+        let mut segments = expr.path.iter();
+        let first = segments.next().expect("attr paths are non-empty");
+        let mut current: Vec<Value> = if let Some((_, v)) = scope.iter().rev().find(|(name, _)| name == first) {
+            vec![v.clone()]
+        } else {
+            self.attr_values(Value::Node(ctx), first)
+        };
+        for seg in segments {
+            let mut next = Vec::new();
+            for v in &current {
+                next.extend(self.attr_values(v.clone(), seg));
+            }
+            current = next;
+        }
+        current
+    }
+
+    fn attr_values(&self, v: Value, attr: &str) -> Vec<Value> {
+        let Some(n) = v.as_node() else { return Vec::new() };
+        let Some(sym) = self.gen.graph.universe().interner().get(attr) else { return Vec::new() };
+        self.reader.attr_values(n, sym).cloned().collect()
+    }
+
+    fn scalar_of(&self, expr: &Expr, ctx: Oid, scope: &Scope) -> Option<Value> {
+        match expr {
+            Expr::Attr(a) => self.values_of(a, ctx, scope).into_iter().next(),
+            Expr::Const(Constant::Bool(b)) => Some(Value::Bool(*b)),
+            Expr::Const(Constant::Int(i)) => Some(Value::Int(*i)),
+            Expr::Const(Constant::Float(f)) => Some(Value::Float(*f)),
+            Expr::Const(Constant::Str(s)) => Some(Value::str(s)),
+            Expr::Const(Constant::Null) => None,
+        }
+    }
+
+    fn eval_cond(&self, cond: &Cond, ctx: Oid, scope: &Scope) -> Result<bool> {
+        Ok(match cond {
+            Cond::Test(e) => match self.scalar_of(e, ctx, scope) {
+                None => false,
+                Some(Value::Bool(b)) => b,
+                Some(_) => true,
+            },
+            Cond::Cmp(l, op, r) => {
+                let lv = self.scalar_of(l, ctx, scope);
+                let rv = self.scalar_of(r, ctx, scope);
+                match (lv, rv) {
+                    (None, None) => matches!(op, Op::Eq),
+                    (None, Some(_)) | (Some(_), None) => matches!(op, Op::Ne),
+                    (Some(a), Some(b)) => {
+                        use std::cmp::Ordering::*;
+                        match op {
+                            Op::Eq => a.coerced_eq(&b),
+                            Op::Ne => !a.coerced_eq(&b),
+                            Op::Lt => a.coerced_cmp(&b) == Some(Less),
+                            Op::Le => matches!(a.coerced_cmp(&b), Some(Less | Equal)),
+                            Op::Gt => a.coerced_cmp(&b) == Some(Greater),
+                            Op::Ge => matches!(a.coerced_cmp(&b), Some(Greater | Equal)),
+                        }
+                    }
+                }
+            }
+            Cond::And(a, b) => self.eval_cond(a, ctx, scope)? && self.eval_cond(b, ctx, scope)?,
+            Cond::Or(a, b) => self.eval_cond(a, ctx, scope)? || self.eval_cond(b, ctx, scope)?,
+            Cond::Not(c) => !self.eval_cond(c, ctx, scope)?,
+        })
+    }
+
+    fn sort_values(&self, items: &mut [Value], key: Option<&AttrExpr>, order: SortOrder) {
+        let key_of = |v: &Value| -> Value {
+            match key {
+                Some(k) => {
+                    // The key path applies to the item itself.
+                    let mut vals = vec![v.clone()];
+                    for seg in &k.path {
+                        vals = vals.iter().flat_map(|x| self.attr_values(x.clone(), seg)).collect();
+                    }
+                    vals.into_iter().next().unwrap_or_else(|| v.clone())
+                }
+                None => v.clone(),
+            }
+        };
+        items.sort_by(|a, b| {
+            let (ka, kb) = (key_of(a), key_of(b));
+            ka.coerced_cmp(&kb).unwrap_or_else(|| ka.to_string().cmp(&kb.to_string()))
+        });
+        if order == SortOrder::Descend {
+            items.reverse();
+        }
+    }
+
+    fn tag_text(&self, tag: &Tag, ctx: Oid, scope: &Scope) -> Option<String> {
+        match tag {
+            Tag::Str(s) => Some(s.clone()),
+            Tag::Attr(a) => self.values_of(a, ctx, scope).into_iter().next().map(|v| value_text(&v)),
+        }
+    }
+
+    /// Type-specific rendering rules (§4).
+    fn render_value(&mut self, v: &Value, format: &Format, ctx: Oid, scope: &Scope) -> Result<String> {
+        let tag = match format {
+            Format::Link(Some(t)) => self.tag_text(t, ctx, scope),
+            _ => None,
+        };
+        Ok(match v {
+            Value::Int(i) => escape(&i.to_string()),
+            Value::Float(f) => escape(&f.to_string()),
+            Value::Bool(b) => escape(&b.to_string()),
+            Value::Str(s) => escape(s),
+            Value::Url(u) => {
+                let text = tag.unwrap_or_else(|| u.to_string());
+                format!("<a href=\"{}\">{}</a>", escape_attr(u), escape(&text))
+            }
+            Value::File(kind, path) => self.render_file(*kind, path, format, tag),
+            Value::Node(n) => self.render_node_value(*n, format, tag)?,
+        })
+    }
+
+    fn render_file(&self, kind: FileKind, path: &str, format: &Format, tag: Option<String>) -> String {
+        let embed_contents = |run: &Self| run.gen.file_resolver.as_ref().and_then(|r| r(path));
+        match (kind, format) {
+            // Text and HTML files embed by default ("the attribute's HTML
+            // value is converted to a string and is embedded").
+            (FileKind::Text, Format::Default | Format::Embed) => match embed_contents(self) {
+                Some(text) => escape(&text),
+                None => file_link(path, tag.as_deref()),
+            },
+            (FileKind::Html, Format::Default | Format::Embed) => match embed_contents(self) {
+                Some(html) => html,
+                None => file_link(path, tag.as_deref()),
+            },
+            (FileKind::Image, Format::Link(_)) => file_link(path, tag.as_deref()),
+            (FileKind::Image, _) => {
+                format!("<img src=\"{}\" alt=\"{}\">", escape_attr(path), escape(tag.as_deref().unwrap_or(path)))
+            }
+            // PostScript "should not be realized as strings. For these
+            // values, the HTML generator produces an appropriate link".
+            (FileKind::PostScript, _) | (_, Format::Link(_)) => file_link(path, tag.as_deref()),
+        }
+    }
+
+    fn render_node_value(&mut self, n: Oid, format: &Format, tag: Option<String>) -> Result<String> {
+        match format {
+            Format::Embed => {
+                if self.embedding.contains(&n) {
+                    return Err(TemplateError::render(format!(
+                        "EMBED cycle through object {}",
+                        self.display_name(n)
+                    )));
+                }
+                if self.gen.templates.select(self.gen.graph, self.reader, n).is_none() {
+                    self.site
+                        .warnings
+                        .push(format!("EMBED of template-less object {}", self.display_name(n)));
+                    return Ok(escape(&self.display_name(n)));
+                }
+                self.embedding.push(n);
+                let html = self.render_object(n)?;
+                self.embedding.pop();
+                Ok(html)
+            }
+            Format::Default | Format::Link(_) => match self.ensure_page(n) {
+                Some(file) => {
+                    let text = tag.unwrap_or_else(|| self.display_name(n));
+                    Ok(format!("<a href=\"{}\">{}</a>", escape_attr(&file), escape(&text)))
+                }
+                None => Ok(escape(&tag.unwrap_or_else(|| self.display_name(n)))),
+            },
+        }
+    }
+}
+
+fn emit_list(out: &mut String, items: &[String], opts: &EnumOpts) {
+    match opts.list {
+        Some(kind) => {
+            let tag = match kind {
+                ListKind::Ul => "ul",
+                ListKind::Ol => "ol",
+            };
+            let _ = write!(out, "<{tag}>");
+            for item in items {
+                let _ = write!(out, "<li>{item}</li>");
+            }
+            let _ = write!(out, "</{tag}>");
+        }
+        None => {
+            let delim = opts.delim.as_deref().unwrap_or("");
+            out.push_str(&items.join(delim));
+        }
+    }
+}
+
+fn file_link(path: &str, tag: Option<&str>) -> String {
+    format!("<a href=\"{}\">{}</a>", escape_attr(path), escape(tag.unwrap_or(path)))
+}
+
+/// The plain-text form of a value, for link tags.
+fn value_text(v: &Value) -> String {
+    match v {
+        Value::Str(s) | Value::Url(s) | Value::File(_, s) => s.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => f.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Node(n) => format!("node{}", n.0),
+    }
+}
+
+/// HTML-escapes text content.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_attr(s: &str) -> String {
+    escape(s)
+}
+
+/// Sanitizes an object name into a file-name stem: `YearPage(1997)` →
+/// `yearpage_1997`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut last_sep = true;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            last_sep = false;
+        } else if !last_sep {
+            out.push('_');
+            last_sep = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    if out.is_empty() {
+        out.push_str("page");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> (Graph, Oid, Oid) {
+        let mut g = Graph::standalone();
+        let root = g.new_node(Some("RootPage()"));
+        let pub1 = g.new_node(Some("PaperPresentation(pub1)"));
+        g.add_edge_str(root, "Paper", Value::Node(pub1)).unwrap();
+        g.add_edge_str(pub1, "title", "Optimizing Regular Paths").unwrap();
+        g.add_edge_str(pub1, "author", "Mary Fernandez").unwrap();
+        g.add_edge_str(pub1, "author", "Dan Suciu").unwrap();
+        g.add_edge_str(pub1, "year", 1998i64).unwrap();
+        g.add_edge_str(pub1, "postscript", Value::file(FileKind::PostScript, "papers/icde98.ps.gz")).unwrap();
+        g.add_to_collection_str("Roots", Value::Node(root));
+        g.add_to_collection_str("Papers", Value::Node(pub1));
+        (g, root, pub1)
+    }
+
+    #[test]
+    fn renders_scalar_attributes() {
+        let (g, _, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(pub1, "<h1><SFMT @title></h1> (<SFMT @year>)").unwrap();
+        let genr = Generator::new(&g, &ts);
+        let html = genr.render_fragment(pub1).unwrap();
+        assert_eq!(html, "<h1>Optimizing Regular Paths</h1> (1998)");
+    }
+
+    #[test]
+    fn sfor_enumerates_multivalued_attributes() {
+        let (g, _, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(pub1, r#"By <SFOR a IN @author DELIM=", "><SFMT @a></SFOR>."#).unwrap();
+        let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
+        assert_eq!(html, "By Mary Fernandez, Dan Suciu.");
+    }
+
+    #[test]
+    fn sfmt_all_shorthand_equals_sfor() {
+        let (g, _, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(pub1, r#"<SFMT @author ALL DELIM=", ">"#).unwrap();
+        let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
+        assert_eq!(html, "Mary Fernandez, Dan Suciu");
+    }
+
+    #[test]
+    fn postscript_files_become_links_with_attr_tag() {
+        let (g, _, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(pub1, r#"<SFMT @postscript LINK=@title>"#).unwrap();
+        let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
+        assert_eq!(html, r#"<a href="papers/icde98.ps.gz">Optimizing Regular Paths</a>"#);
+    }
+
+    #[test]
+    fn sif_tests_attribute_existence() {
+        let (g, _, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(pub1, r#"<SIF @journal>J: <SFMT @journal><SELSE>no journal</SIF>"#).unwrap();
+        let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
+        assert_eq!(html, "no journal");
+    }
+
+    #[test]
+    fn sif_comparisons_coerce() {
+        let (g, _, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(pub1, r#"<SIF @year >= 1998>recent</SIF><SIF @year = "1998">!</SIF>"#).unwrap();
+        let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
+        assert_eq!(html, "recent!");
+    }
+
+    #[test]
+    fn node_references_become_page_links() {
+        let (g, root, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(root, r#"<SFMT @Paper LINK=@Paper.title>"#).unwrap();
+        ts.set_object_template(pub1, "<SFMT @title>").unwrap();
+        let out = Generator::new(&g, &ts).generate(&[root]).unwrap();
+        assert_eq!(out.pages.len(), 2);
+        let root_html = &out.pages[&out.page_of[&root]];
+        assert!(root_html.contains(r#"<a href="paperpresentation_pub1.html">Optimizing Regular Paths</a>"#), "{root_html}");
+        assert_eq!(out.pages[&out.page_of[&pub1]], "Optimizing Regular Paths");
+    }
+
+    #[test]
+    fn embed_inlines_instead_of_linking() {
+        let (g, root, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(root, r#"[<SFMT @Paper EMBED>]"#).unwrap();
+        ts.set_object_template(pub1, "<SFMT @title>").unwrap();
+        let out = Generator::new(&g, &ts).generate(&[root]).unwrap();
+        // Only the root page is emitted; pub1 was embedded, not realized.
+        assert_eq!(out.pages.len(), 1);
+        assert_eq!(out.pages[&out.page_of[&root]], "[Optimizing Regular Paths]");
+    }
+
+    #[test]
+    fn embed_cycles_are_detected() {
+        let mut g = Graph::standalone();
+        let a = g.new_node(Some("a"));
+        let b = g.new_node(Some("b"));
+        g.add_edge_str(a, "next", Value::Node(b)).unwrap();
+        g.add_edge_str(b, "next", Value::Node(a)).unwrap();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(a, "<SFMT @next EMBED>").unwrap();
+        ts.set_object_template(b, "<SFMT @next EMBED>").unwrap();
+        let err = Generator::new(&g, &ts).generate(&[a]).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn collection_templates_give_shared_look() {
+        let (g, _, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_collection_template("Papers", "paper: <SFMT @title>").unwrap();
+        let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
+        assert_eq!(html, "paper: Optimizing Regular Paths");
+    }
+
+    #[test]
+    fn object_template_beats_collection_template() {
+        let (g, _, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_collection_template("Papers", "coll").unwrap();
+        ts.set_object_template(pub1, "obj").unwrap();
+        assert_eq!(Generator::new(&g, &ts).render_fragment(pub1).unwrap(), "obj");
+    }
+
+    #[test]
+    fn html_template_attribute_selects_named_template() {
+        let mut g = Graph::standalone();
+        let n = g.new_node(Some("n"));
+        g.add_edge_str(n, "HTML-template", "special").unwrap();
+        let mut ts = TemplateSet::new();
+        ts.set_named("special", "special template").unwrap();
+        ts.set_default("default template").unwrap();
+        assert_eq!(Generator::new(&g, &ts).render_fragment(n).unwrap(), "special template");
+    }
+
+    #[test]
+    fn order_and_key_sort_object_values() {
+        let mut g = Graph::standalone();
+        let root = g.new_node(Some("root"));
+        let y98 = g.new_node(Some("Year(1998)"));
+        let y96 = g.new_node(Some("Year(1996)"));
+        g.add_edge_str(y98, "Year", 1998i64).unwrap();
+        g.add_edge_str(y96, "Year", 1996i64).unwrap();
+        g.add_edge_str(root, "YearPage", Value::Node(y98)).unwrap();
+        g.add_edge_str(root, "YearPage", Value::Node(y96)).unwrap();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(
+            root,
+            r#"<SFOR y IN @YearPage ORDER=ascend KEY=@Year LIST=ul><SFMT @y.Year></SFOR>"#,
+        )
+        .unwrap();
+        let html = Generator::new(&g, &ts).render_fragment(root).unwrap();
+        assert_eq!(html, "<ul><li>1996</li><li>1998</li></ul>");
+    }
+
+    #[test]
+    fn descend_order_on_scalars() {
+        let mut g = Graph::standalone();
+        let n = g.new_node(None);
+        for y in [1996i64, 1998, 1997] {
+            g.add_edge_str(n, "year", y).unwrap();
+        }
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(n, r#"<SFMT @year ALL ORDER=descend DELIM=",">"#).unwrap();
+        assert_eq!(Generator::new(&g, &ts).render_fragment(n).unwrap(), "1998,1997,1996");
+    }
+
+    #[test]
+    fn text_files_embed_via_resolver() {
+        let mut g = Graph::standalone();
+        let n = g.new_node(None);
+        g.add_edge_str(n, "abstract", Value::file(FileKind::Text, "abs/x.txt")).unwrap();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(n, "<SFMT @abstract>").unwrap();
+        let genr = Generator::new(&g, &ts).with_file_resolver(Box::new(|p| {
+            (p == "abs/x.txt").then(|| "the <abstract>".to_string())
+        }));
+        assert_eq!(genr.render_fragment(n).unwrap(), "the &lt;abstract&gt;");
+    }
+
+    #[test]
+    fn text_files_fall_back_to_links_without_resolver() {
+        let mut g = Graph::standalone();
+        let n = g.new_node(None);
+        g.add_edge_str(n, "abstract", Value::file(FileKind::Text, "abs/x.txt")).unwrap();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(n, "<SFMT @abstract>").unwrap();
+        assert_eq!(
+            Generator::new(&g, &ts).render_fragment(n).unwrap(),
+            r#"<a href="abs/x.txt">abs/x.txt</a>"#
+        );
+    }
+
+    #[test]
+    fn images_become_img_tags() {
+        let mut g = Graph::standalone();
+        let n = g.new_node(None);
+        g.add_edge_str(n, "logo", Value::file(FileKind::Image, "logo.png")).unwrap();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(n, "<SFMT @logo>").unwrap();
+        assert_eq!(
+            Generator::new(&g, &ts).render_fragment(n).unwrap(),
+            r#"<img src="logo.png" alt="logo.png">"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut g = Graph::standalone();
+        let n = g.new_node(None);
+        g.add_edge_str(n, "t", "a < b & c").unwrap();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(n, "<SFMT @t>").unwrap();
+        assert_eq!(Generator::new(&g, &ts).render_fragment(n).unwrap(), "a &lt; b &amp; c");
+    }
+
+    #[test]
+    fn missing_attribute_renders_nothing() {
+        let (g, _, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(pub1, "[<SFMT @nonexistent>]").unwrap();
+        assert_eq!(Generator::new(&g, &ts).render_fragment(pub1).unwrap(), "[]");
+    }
+
+    #[test]
+    fn generate_from_collection_uses_roots() {
+        let (g, root, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(root, "<SFMT @Paper>").unwrap();
+        ts.set_object_template(pub1, "x").unwrap();
+        let out = Generator::new(&g, &ts).generate_from_collection("Roots").unwrap();
+        assert_eq!(out.pages.len(), 2);
+        assert!(out.page_of.contains_key(&root));
+    }
+
+    #[test]
+    fn filenames_are_sanitized_and_unique() {
+        assert_eq!(sanitize("YearPage(1997)"), "yearpage_1997");
+        assert_eq!(sanitize("RootPage()"), "rootpage");
+        assert_eq!(sanitize("***"), "page");
+        let mut g = Graph::standalone();
+        let a = g.new_node(Some("X(1)"));
+        let b = g.new_node(Some("X[1]"));
+        g.add_edge_str(a, "next", Value::Node(b)).unwrap();
+        let mut ts = TemplateSet::new();
+        ts.set_default("<SFMT @next>").unwrap();
+        let out = Generator::new(&g, &ts).generate(&[a, b]).unwrap();
+        assert_eq!(out.pages.len(), 2, "collision must be resolved: {:?}", out.pages.keys());
+    }
+
+    #[test]
+    fn write_to_dir_emits_files() {
+        let (g, root, pub1) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(root, "<SFMT @Paper>").unwrap();
+        ts.set_object_template(pub1, "x").unwrap();
+        let out = Generator::new(&g, &ts).generate(&[root]).unwrap();
+        let dir = std::env::temp_dir().join(format!("strudel_gen_test_{}", std::process::id()));
+        out.write_to_dir(&dir).unwrap();
+        for name in out.pages.keys() {
+            assert!(dir.join(name).exists());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn templateless_reference_warns_and_degrades() {
+        let (g, root, _) = site();
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(root, "<SFMT @Paper>").unwrap();
+        let out = Generator::new(&g, &ts).generate(&[root]).unwrap();
+        assert_eq!(out.pages.len(), 1);
+        assert!(!out.warnings.is_empty());
+    }
+}

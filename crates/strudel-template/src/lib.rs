@@ -1,0 +1,50 @@
+//! # strudel-template
+//!
+//! STRUDEL's HTML-template language (§4 of the paper) and the HTML
+//! generator (§2.5).
+//!
+//! "The template language provides three extensions to plain HTML: a format
+//! expression (SFMT), a conditional expression (SIF), and an enumeration
+//! expression (SFOR), each of which produces plain HTML text."
+//!
+//! Concrete syntax implemented here (the paper's figures give the grammar,
+//! Fig. 6; this is a faithful concrete rendering of it):
+//!
+//! ```html
+//! <H2><SFMT @title></H2>
+//! By <SFOR a IN @author DELIM=", "><SFMT @a></SFOR>.
+//! <SIF @booktitle>In <SFMT @booktitle>.<SELSE><SFMT @journal>.</SIF>
+//! <SFMT @postscript LINK=@title>
+//! <SFOR y IN @YearPage ORDER=ascend KEY=@Year LIST=ul><SFMT @y LINK=@y.Year></SFOR>
+//! <SFMT @Abstract EMBED>
+//! ```
+//!
+//! * **`<SFMT expr [EMBED|LINK[=tag]] [ALL] [ORDER=…] [KEY=…] [DELIM=…]>`** —
+//!   maps an attribute expression to its HTML value using type-specific
+//!   rules (strings and numbers embed as text, PostScript files become
+//!   links, images become `<img>`, internal objects become links to their
+//!   page or are embedded with `EMBED`). `ALL` formats every value of a
+//!   multi-valued attribute.
+//! * **`<SIF cond> … <SELSE> … </SIF>`** — tests attribute existence and
+//!   compares attribute expressions with constants (`=`, `!=`, `<`, `<=`,
+//!   `>`, `>=`, `AND`, `OR`, `NOT`, parentheses, `NULL`).
+//! * **`<SFOR v IN expr [ORDER=…] [KEY=…] [DELIM=…] [LIST=ul|ol]> … </SFOR>`**
+//!   — iterates over all values of an attribute expression, binding `v`.
+//!
+//! The generator ([`gen`]) selects a template for each internal object —
+//! an object-specific template, the object's `HTML-template` attribute, or
+//! the template of a collection it belongs to — and realizes objects as
+//! pages or embedded components, delaying the choice to generation time
+//! exactly as §4 describes.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod gen;
+pub mod parse;
+
+pub use ast::{AttrExpr, Cond, Node, Template};
+pub use error::{Result, TemplateError};
+pub use gen::{GeneratedSite, Generator, TemplateSet};
+pub use parse::parse_template;

@@ -1,0 +1,219 @@
+//! Integration tests for template rendering: attribute paths, nested
+//! loops, variable shadowing, keyword comparison operators, and realistic
+//! multi-template sites.
+
+use strudel_graph::{FileKind, Graph, Oid, Value};
+use strudel_template::{Generator, TemplateSet};
+
+fn library() -> (Graph, Oid) {
+    let mut g = Graph::standalone();
+    let root = g.new_node(Some("Library()"));
+    let shelf_a = g.new_node(Some("Shelf(a)"));
+    let shelf_b = g.new_node(Some("Shelf(b)"));
+    for (shelf, title, year) in
+        [(shelf_a, "UnQL", 1996i64), (shelf_a, "Lorel", 1997), (shelf_b, "StruQL", 1997)]
+    {
+        let book = g.new_node(None);
+        g.add_edge_str(book, "title", title).unwrap();
+        g.add_edge_str(book, "year", year).unwrap();
+        g.add_edge_str(shelf, "Book", Value::Node(book)).unwrap();
+    }
+    g.add_edge_str(shelf_a, "name", "A").unwrap();
+    g.add_edge_str(shelf_b, "name", "B").unwrap();
+    g.add_edge_str(root, "Shelf", Value::Node(shelf_a)).unwrap();
+    g.add_edge_str(root, "Shelf", Value::Node(shelf_b)).unwrap();
+    (g, root)
+}
+
+#[test]
+fn nested_sfor_with_loop_variable_paths() {
+    let (g, root) = library();
+    let mut ts = TemplateSet::new();
+    ts.set_object_template(
+        root,
+        r#"<SFOR s IN @Shelf ORDER=ascend KEY=@name>[<SFMT @s.name>: <SFOR b IN @s.Book DELIM=", "><SFMT @b.title></SFOR>]</SFOR>"#,
+    )
+    .unwrap();
+    let html = Generator::new(&g, &ts).render_fragment(root).unwrap();
+    assert_eq!(html, "[A: UnQL, Lorel][B: StruQL]");
+}
+
+#[test]
+fn inner_loop_variable_shadows_outer() {
+    let mut g = Graph::standalone();
+    let n = g.new_node(None);
+    g.add_edge_str(n, "x", "outer").unwrap();
+    let inner = g.new_node(None);
+    g.add_edge_str(inner, "x", "inner").unwrap();
+    g.add_edge_str(n, "child", Value::Node(inner)).unwrap();
+    let mut ts = TemplateSet::new();
+    ts.set_object_template(
+        n,
+        r#"<SFOR v IN @x><SFMT @v><SFOR c IN @child><SFOR v IN @c.x>/<SFMT @v></SFOR></SFOR></SFOR>"#,
+    )
+    .unwrap();
+    let html = Generator::new(&g, &ts).render_fragment(n).unwrap();
+    assert_eq!(html, "outer/inner");
+}
+
+#[test]
+fn keyword_comparison_operators_in_sif() {
+    let mut g = Graph::standalone();
+    let n = g.new_node(None);
+    g.add_edge_str(n, "year", 1997i64).unwrap();
+    let mut ts = TemplateSet::new();
+    ts.set_object_template(
+        n,
+        r#"<SIF @year GT 1996>gt</SIF><SIF @year LT 1998>lt</SIF><SIF @year GE 1997>ge</SIF><SIF @year LE 1997>le</SIF>"#,
+    )
+    .unwrap();
+    assert_eq!(Generator::new(&g, &ts).render_fragment(n).unwrap(), "gtltgele");
+}
+
+#[test]
+fn attribute_path_through_multiple_hops() {
+    let (g, root) = library();
+    let mut ts = TemplateSet::new();
+    // Root → first Shelf → first Book → title.
+    ts.set_object_template(root, "<SFMT @Shelf.Book.title>").unwrap();
+    assert_eq!(Generator::new(&g, &ts).render_fragment(root).unwrap(), "UnQL");
+}
+
+#[test]
+fn sfmt_all_over_paths_collects_every_leaf() {
+    let (g, root) = library();
+    let mut ts = TemplateSet::new();
+    ts.set_object_template(root, r#"<SFMT @Shelf.Book.title ALL DELIM="|">"#).unwrap();
+    assert_eq!(Generator::new(&g, &ts).render_fragment(root).unwrap(), "UnQL|Lorel|StruQL");
+}
+
+#[test]
+fn sort_by_numeric_key_descending() {
+    let (g, root) = library();
+    let mut ts = TemplateSet::new();
+    ts.set_object_template(
+        root,
+        r#"<SFOR b IN @Shelf.Book ORDER=descend KEY=@year DELIM=" "><SFMT @b.year></SFOR>"#,
+    )
+    .unwrap();
+    let html = Generator::new(&g, &ts).render_fragment(root).unwrap();
+    assert_eq!(html, "1997 1997 1996");
+}
+
+#[test]
+fn multi_page_site_with_shared_and_object_templates() {
+    let (mut g, root) = library();
+    let shelves: Vec<Oid> =
+        g.nodes().iter().copied().filter(|n| g.node_name(*n).is_some_and(|s| s.starts_with("Shelf"))).collect();
+    for &s in &shelves {
+        g.add_to_collection_str("Shelves", Value::Node(s));
+    }
+    let mut ts = TemplateSet::new();
+    ts.set_object_template(root, r#"<SFOR s IN @Shelf LIST=ul><SFMT @s LINK=@s.name></SFOR>"#).unwrap();
+    ts.set_collection_template(
+        "Shelves",
+        r#"<h1>Shelf <SFMT @name></h1><SFOR b IN @Book LIST=ol><SFMT @b.title> (<SFMT @b.year>)</SFOR>"#,
+    )
+    .unwrap();
+    let site = Generator::new(&g, &ts).generate(&[root]).unwrap();
+    assert_eq!(site.pages.len(), 3); // root + 2 shelves
+    let shelf_a = site.pages.iter().find(|(k, _)| k.contains("shelf_a")).unwrap().1;
+    assert!(shelf_a.contains("<ol><li>UnQL (1996)</li><li>Lorel (1997)</li></ol>"), "{shelf_a}");
+}
+
+#[test]
+fn html_file_embeds_raw_text_file_escapes() {
+    let mut g = Graph::standalone();
+    let n = g.new_node(None);
+    g.add_edge_str(n, "raw", Value::file(FileKind::Html, "frag.html")).unwrap();
+    g.add_edge_str(n, "txt", Value::file(FileKind::Text, "note.txt")).unwrap();
+    let mut ts = TemplateSet::new();
+    ts.set_object_template(n, "<SFMT @raw>|<SFMT @txt>").unwrap();
+    let genr = Generator::new(&g, &ts).with_file_resolver(Box::new(|p| {
+        Some(match p {
+            "frag.html" => "<b>bold</b>".to_string(),
+            "note.txt" => "<b>not bold</b>".to_string(),
+            _ => return None,
+        })
+    }));
+    assert_eq!(
+        genr.render_fragment(n).unwrap(),
+        "<b>bold</b>|&lt;b&gt;not bold&lt;/b&gt;"
+    );
+}
+
+#[test]
+fn empty_enumerations_render_empty() {
+    let (g, root) = library();
+    let mut ts = TemplateSet::new();
+    ts.set_object_template(root, r#"[<SFOR x IN @Missing><SFMT @x></SFOR>][<SFMT @Missing ALL LIST=ul>]"#)
+        .unwrap();
+    assert_eq!(Generator::new(&g, &ts).render_fragment(root).unwrap(), "[][<ul></ul>]");
+}
+
+#[test]
+fn deep_embed_chain_renders() {
+    let mut g = Graph::standalone();
+    let a = g.new_node(Some("a"));
+    let b = g.new_node(Some("b"));
+    let c = g.new_node(Some("c"));
+    g.add_edge_str(a, "next", Value::Node(b)).unwrap();
+    g.add_edge_str(b, "next", Value::Node(c)).unwrap();
+    g.add_edge_str(c, "leaf", "end").unwrap();
+    let mut ts = TemplateSet::new();
+    ts.set_object_template(a, "a(<SFMT @next EMBED>)").unwrap();
+    ts.set_object_template(b, "b(<SFMT @next EMBED>)").unwrap();
+    ts.set_object_template(c, "c(<SFMT @leaf>)").unwrap();
+    assert_eq!(Generator::new(&g, &ts).render_fragment(a).unwrap(), "a(b(c(end)))");
+}
+
+#[test]
+fn parallel_generation_matches_serial() {
+    let (mut g, root) = library();
+    let shelves: Vec<Oid> =
+        g.nodes().iter().copied().filter(|n| g.node_name(*n).is_some_and(|s| s.starts_with("Shelf"))).collect();
+    for &s in &shelves {
+        g.add_to_collection_str("Shelves", Value::Node(s));
+    }
+    let mut ts = TemplateSet::new();
+    ts.set_object_template(root, r#"<SFOR s IN @Shelf LIST=ul><SFMT @s LINK=@s.name></SFOR>"#).unwrap();
+    ts.set_collection_template(
+        "Shelves",
+        r#"<h1><SFMT @name></h1><SFOR b IN @Book LIST=ol><SFMT @b.title></SFOR>"#,
+    )
+    .unwrap();
+    let serial = Generator::new(&g, &ts).generate(&[root]).unwrap();
+    for threads in [1, 2, 8] {
+        let parallel = Generator::new(&g, &ts).generate_parallel(&[root], threads).unwrap();
+        assert_eq!(serial.pages, parallel.pages, "threads={threads}");
+        assert_eq!(serial.page_of.len(), parallel.page_of.len());
+    }
+}
+
+#[test]
+fn parallel_generation_discovers_deep_chains() {
+    // A linked list of pages: each wave discovers exactly one more.
+    let mut g = Graph::standalone();
+    let nodes: Vec<Oid> = (0..12).map(|i| g.new_node(Some(&format!("page{i}")))).collect();
+    for w in nodes.windows(2) {
+        g.add_edge_str(w[0], "next", Value::Node(w[1])).unwrap();
+    }
+    let mut ts = TemplateSet::new();
+    ts.set_default(r#"me<SIF @next>, then <SFMT @next></SIF>"#).unwrap();
+    let site = Generator::new(&g, &ts).generate_parallel(&[nodes[0]], 4).unwrap();
+    assert_eq!(site.pages.len(), 12);
+    assert!(site.pages["page0.html"].contains("page1.html"));
+}
+
+#[test]
+fn parallel_generation_reports_embed_errors() {
+    let mut g = Graph::standalone();
+    let a = g.new_node(Some("a"));
+    let b = g.new_node(Some("b"));
+    g.add_edge_str(a, "next", Value::Node(b)).unwrap();
+    g.add_edge_str(b, "next", Value::Node(a)).unwrap();
+    let mut ts = TemplateSet::new();
+    ts.set_default("<SFMT @next EMBED>").unwrap();
+    let err = Generator::new(&g, &ts).generate_parallel(&[a], 2).unwrap_err();
+    assert!(err.to_string().contains("cycle"), "{err}");
+}

@@ -1,0 +1,40 @@
+//! # strudel-wrappers
+//!
+//! Source wrappers and the mediator (§2.2–§2.3 of the paper).
+//!
+//! "The Web site's raw data resides either in external sources (e.g.,
+//! databases, structured files) or in STRUDEL's internal data repository. A
+//! set of source-specific wrappers translates the external representation
+//! into the graph model."
+//!
+//! The wrappers mirror the ones the paper's applications used (§5.1):
+//!
+//! * [`bibtex`] — "a simple wrapper maps BibTeX files into data graphs"
+//!   (the personal home-page sites);
+//! * [`relational`] — "small relational databases that contain personnel
+//!   and organizational data" (CSV-backed tables with foreign keys, standing
+//!   in for the AWK-over-RDBMS wrappers);
+//! * [`html`] — "we mapped their HTML pages into a data graph containing
+//!   about 300 articles" (the CNN demonstration);
+//! * [`xml`] — "the XML language … is another possible data exchange
+//!   language between the wrappers and the mediator layer of Strudel"
+//!   (§2.2): an OEM-style element→node mapping;
+//! * [`ddl`][strudel_graph::ddl] — structured files in STRUDEL's own data
+//!   definition language (re-exported from `strudel-graph`).
+//!
+//! The [`mediator`] integrates the source graphs into one *data graph* using
+//! the **global-as-view, warehousing** approach the prototype chose: "for
+//! each relation R in the mediated schema, a query over the source relations
+//! specifies how to obtain R's tuples"; here each GAV mapping is a StruQL
+//! query over one source graph, and refreshing the warehouse re-runs every
+//! mapping into a fresh mediated graph.
+
+#![warn(missing_docs)]
+
+pub mod bibtex;
+pub mod html;
+pub mod mediator;
+pub mod relational;
+pub mod xml;
+
+pub use mediator::{Mediator, Source};

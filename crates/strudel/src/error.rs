@@ -1,0 +1,69 @@
+//! The unified error type of the pipeline facade.
+
+use std::fmt;
+
+/// Any error the STRUDEL pipeline can raise.
+#[derive(Debug)]
+pub enum StrudelError {
+    /// Data-repository error.
+    Graph(strudel_graph::GraphError),
+    /// StruQL parse/semantic/evaluation error.
+    Struql(strudel_struql::StruqlError),
+    /// Template parse/render error.
+    Template(strudel_template::TemplateError),
+    /// Filesystem error while emitting the browsable site.
+    Io(std::io::Error),
+    /// Pipeline-level misuse (missing source, no site query, …).
+    Pipeline(String),
+}
+
+impl fmt::Display for StrudelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrudelError::Graph(e) => write!(f, "{e}"),
+            StrudelError::Struql(e) => write!(f, "{e}"),
+            StrudelError::Template(e) => write!(f, "{e}"),
+            StrudelError::Io(e) => write!(f, "io error: {e}"),
+            StrudelError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StrudelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StrudelError::Graph(e) => Some(e),
+            StrudelError::Struql(e) => Some(e),
+            StrudelError::Template(e) => Some(e),
+            StrudelError::Io(e) => Some(e),
+            StrudelError::Pipeline(_) => None,
+        }
+    }
+}
+
+impl From<strudel_graph::GraphError> for StrudelError {
+    fn from(e: strudel_graph::GraphError) -> Self {
+        StrudelError::Graph(e)
+    }
+}
+
+impl From<strudel_struql::StruqlError> for StrudelError {
+    fn from(e: strudel_struql::StruqlError) -> Self {
+        StrudelError::Struql(e)
+    }
+}
+
+impl From<strudel_template::TemplateError> for StrudelError {
+    fn from(e: strudel_template::TemplateError) -> Self {
+        StrudelError::Template(e)
+    }
+}
+
+impl From<std::io::Error> for StrudelError {
+    fn from(e: std::io::Error) -> Self {
+        StrudelError::Io(e)
+    }
+}
+
+/// Result alias for facade operations.
+pub type Result<T> = std::result::Result<T, StrudelError>;

@@ -1,0 +1,285 @@
+//! Serving a dynamically evaluated site over HTTP (§6).
+//!
+//! "In practice, dynamic generation is supported by often large groups of
+//! loosely related CGI programs. Supporting dynamic evaluation would
+//! eliminate writing such programs by hand." This module is that support: a
+//! dependency-free HTTP/1.1 server whose pages are computed at click time
+//! by [`DynamicSite::expand`] — only the roots are precomputed, and the
+//! evaluator's cache answers repeat clicks.
+//!
+//! URL scheme: `/` lists the precomputed roots; `/page/<Skolem>/<arg>…`
+//! shows one logical page, with arguments encoded by [`encode_value`]
+//! (`n<oid>` for nodes, `i<int>`, `s<urlencoded-string>`, …).
+
+use crate::error::Result;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use strudel_graph::{FileKind, Oid, Value};
+use strudel_site::{DynamicSite, OutLink, PageRef, Target};
+
+/// Encodes a page reference as a URL path.
+pub fn page_url(p: &PageRef) -> String {
+    let mut url = format!("/page/{}", p.skolem);
+    for a in &p.args {
+        url.push('/');
+        url.push_str(&encode_value(a));
+    }
+    url
+}
+
+/// Encodes one value as a URL path segment.
+pub fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Node(n) => format!("n{}", n.0),
+        Value::Int(i) => format!("i{i}"),
+        Value::Bool(b) => format!("b{b}"),
+        Value::Float(f) => format!("f{f}"),
+        Value::Str(s) => format!("s{}", urlencode(s)),
+        Value::Url(s) => format!("u{}", urlencode(s)),
+        Value::File(k, s) => format!("F{}~{}", k.keyword(), urlencode(s)),
+    }
+}
+
+/// Decodes a path segment back to a value.
+pub fn decode_value(s: &str) -> Option<Value> {
+    if s.is_empty() {
+        return None;
+    }
+    let (tag, rest) = s.split_at(1);
+    Some(match tag {
+        "n" => Value::Node(Oid(rest.parse().ok()?)),
+        "i" => Value::Int(rest.parse().ok()?),
+        "b" => Value::Bool(rest.parse().ok()?),
+        "f" => Value::Float(rest.parse().ok()?),
+        "s" => Value::str(urldecode(rest)?),
+        "u" => Value::url(urldecode(rest)?),
+        "F" => {
+            let (kind, path) = rest.split_once('~')?;
+            Value::file(FileKind::from_keyword(kind)?, &urldecode(path)?)
+        }
+        _ => return None,
+    })
+}
+
+fn urlencode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn urldecode(s: &str) -> Option<String> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn render_links(title: &str, links: &[OutLink]) -> String {
+    let mut html = format!("<html><body><h1>{}</h1><table>", escape(title));
+    for l in links {
+        let target = match &l.target {
+            Target::Page(p) => format!("<a href=\"{}\">{}</a>", page_url(p), escape(&p.to_string())),
+            Target::Value(v) => escape(&v.to_string()),
+        };
+        html.push_str(&format!("<tr><td><b>{}</b></td><td>{target}</td></tr>", escape(&l.label)));
+    }
+    html.push_str("</table><p><a href=\"/\">roots</a></p></body></html>");
+    html
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: text/html; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+}
+
+/// A running click-time server (single-threaded; the evaluator is `&mut`).
+pub struct Server<'g> {
+    site: DynamicSite<'g>,
+    listener: TcpListener,
+    roots: Vec<PageRef>,
+}
+
+impl<'g> Server<'g> {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(site: DynamicSite<'g>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let roots = site.roots();
+        Ok(Server { site, listener, roots })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves requests until `max_requests` have been answered (`None` =
+    /// forever) or a request for `/quit` arrives (always honored, so tests
+    /// and scripts can stop the server remotely).
+    pub fn serve(&mut self, max_requests: Option<usize>) -> Result<()> {
+        let mut served = 0usize;
+        loop {
+            let mut stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(_) => continue,
+            };
+            let mut buf = [0u8; 4096];
+            let n = stream.read(&mut buf).unwrap_or(0);
+            let request = String::from_utf8_lossy(&buf[..n]);
+            let path = request.split_whitespace().nth(1).unwrap_or("/").to_string();
+            if path == "/quit" {
+                respond(&mut stream, "200 OK", "bye");
+                break;
+            }
+            self.handle(&mut stream, &path)?;
+            served += 1;
+            if max_requests.is_some_and(|m| served >= m) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle(&mut self, stream: &mut TcpStream, path: &str) -> Result<()> {
+        if path == "/" {
+            let links: Vec<OutLink> = self
+                .roots
+                .iter()
+                .map(|r| OutLink { label: "root".into(), target: Target::Page(r.clone()) })
+                .collect();
+            respond(stream, "200 OK", &render_links("Site roots (precomputed)", &links));
+            return Ok(());
+        }
+        if let Some(rest) = path.strip_prefix("/page/") {
+            let mut parts = rest.split('/');
+            let skolem = parts.next().unwrap_or_default().to_string();
+            let args: Option<Vec<Value>> = parts.map(decode_value).collect();
+            match args {
+                Some(args) => {
+                    let page = PageRef { skolem, args };
+                    let t = std::time::Instant::now();
+                    match self.site.expand(&page) {
+                        Ok(links) => {
+                            let title =
+                                format!("{page} — {} links in {:?} (click time)", links.len(), t.elapsed());
+                            respond(stream, "200 OK", &render_links(&title, &links));
+                        }
+                        Err(e) => respond(
+                            stream,
+                            "500 Internal Server Error",
+                            &format!("<html><body>query error: {}</body></html>", escape(&e.to_string())),
+                        ),
+                    }
+                }
+                None => respond(stream, "400 Bad Request", "<html><body>bad page ref</body></html>"),
+            }
+            return Ok(());
+        }
+        respond(stream, "404 Not Found", "<html><body>no such page</body></html>");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_struql::EvalOptions;
+
+    #[test]
+    fn value_encoding_roundtrips() {
+        for v in [
+            Value::Node(Oid(42)),
+            Value::Int(-7),
+            Value::Bool(true),
+            Value::Float(2.5),
+            Value::str("hello world & more"),
+            Value::url("http://x/y?z=1"),
+            Value::file(FileKind::PostScript, "papers/a b.ps"),
+        ] {
+            let encoded = encode_value(&v);
+            assert_eq!(decode_value(&encoded), Some(v.clone()), "{encoded}");
+        }
+        assert_eq!(decode_value(""), None);
+        assert_eq!(decode_value("zzz"), None);
+        assert_eq!(decode_value("n-not-a-number"), None);
+    }
+
+    #[test]
+    fn page_urls_are_parseable_paths() {
+        let p = PageRef { skolem: "YearPage".into(), args: vec![Value::Int(1997)] };
+        assert_eq!(page_url(&p), "/page/YearPage/i1997");
+    }
+
+    #[test]
+    fn serves_roots_pages_and_errors_over_tcp() {
+        let data = strudel_graph::ddl::parse(
+            r#"
+object a1 in Articles { headline "one" section "world" }
+object a2 in Articles { headline "two" section "world" }
+"#,
+        )
+        .unwrap();
+        let query = strudel_struql::parse_query(
+            r#"CREATE FrontPage()
+               { WHERE Articles(a), a -> l -> v
+                 CREATE Page(a)
+                 LINK Page(a) -> l -> v, FrontPage() -> "Story" -> Page(a) }"#,
+        )
+        .unwrap();
+        let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let mut server = Server::bind(site, "127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+
+        let client = std::thread::spawn(move || {
+            let fetch = |path: &str| -> String {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+                s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes())
+                    .unwrap();
+                let mut buf = String::new();
+                s.read_to_string(&mut buf).unwrap();
+                buf
+            };
+            let root = fetch("/");
+            assert!(root.contains("FrontPage"), "{root}");
+            let front = fetch("/page/FrontPage");
+            assert!(front.contains("Story"), "{front}");
+            assert!(front.contains("/page/Page/n"), "{front}");
+            // Follow a story link.
+            let href = front
+                .split("href=\"/page/Page/")
+                .nth(1)
+                .map(|s| format!("/page/Page/{}", &s[..s.find('"').unwrap()]))
+                .expect("a story href");
+            let story = fetch(&href);
+            assert!(story.contains("headline"), "{story}");
+            assert!(fetch("/page/Bad/%%%").contains("400"));
+            assert!(fetch("/nope").contains("404"));
+            let _ = fetch("/quit");
+        });
+
+        server.serve(None).unwrap();
+        client.join().unwrap();
+    }
+}

@@ -1,0 +1,132 @@
+//! The INRIA-Rodin bilingual site (§5.1).
+//!
+//! "Its main feature is that the site has two views: one English and one
+//! French. The two sites are cross-linked so that each English page is
+//! linked to the equivalent page in the French site and vice versa. One
+//! StruQL query defines both views and creates the links between them."
+
+use crate::synth::{person_name, pick, rng, TOPICS};
+use crate::{Result, Strudel};
+use std::fmt::Write as _;
+use strudel_template::TemplateSet;
+
+/// Generates a bilingual project catalogue (DDL): each project carries an
+/// English and a French description.
+pub fn generate_ddl(n_projects: usize, seed: u64) -> String {
+    let mut r = rng(seed);
+    let mut out = String::new();
+    for p in 0..n_projects {
+        let topic = pick(&mut r, TOPICS);
+        let _ = writeln!(out, "object proj{p} in Projects {{");
+        let _ = writeln!(out, "  name \"Projet {p}\"");
+        let _ = writeln!(out, "  leader \"{}\"", person_name(&mut r));
+        let _ = writeln!(out, "  desc_en \"Research on {topic}.\"");
+        let _ = writeln!(out, "  desc_fr \"Recherche sur {topic}.\"");
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// The single query defining both views and their cross links.
+pub const SITE_QUERY: &str = r#"
+CREATE EnglishRoot(), FrenchRoot()
+LINK EnglishRoot() -> "Version" -> FrenchRoot(),
+     FrenchRoot()  -> "Version" -> EnglishRoot()
+COLLECT Roots(EnglishRoot()), Roots(FrenchRoot())
+{
+  WHERE Projects(p), p -> "name" -> n, p -> "leader" -> who
+  CREATE EnPage(p), FrPage(p)
+  LINK EnglishRoot() -> "Project" -> EnPage(p),
+       FrenchRoot()  -> "Projet"  -> FrPage(p),
+       EnPage(p) -> "Name" -> n,       FrPage(p) -> "Nom" -> n,
+       EnPage(p) -> "Leader" -> who,   FrPage(p) -> "Responsable" -> who,
+       EnPage(p) -> "Version" -> FrPage(p),
+       FrPage(p) -> "Version" -> EnPage(p)
+  {
+    WHERE p -> "desc_en" -> d
+    LINK EnPage(p) -> "Description" -> d
+  }
+  {
+    WHERE p -> "desc_fr" -> d
+    LINK FrPage(p) -> "Description" -> d
+  }
+}
+"#;
+
+/// Templates for both language views.
+pub fn templates() -> Result<TemplateSet> {
+    let mut t = TemplateSet::new();
+    t.set_collection_template(
+        "EnglishRoot",
+        r#"<html><body><h1>Rodin Project</h1>
+<p><SFMT @Version LINK="Version française"></p>
+<SFOR p IN @Project ORDER=ascend KEY=@Name LIST=ul><SFMT @p LINK=@p.Name></SFOR>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "FrenchRoot",
+        r#"<html><body><h1>Projet Rodin</h1>
+<p><SFMT @Version LINK="English version"></p>
+<SFOR p IN @Projet ORDER=ascend KEY=@Nom LIST=ul><SFMT @p LINK=@p.Nom></SFOR>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "EnPage",
+        r#"<html><body><h1><SFMT @Name></h1>
+<p>Led by <SFMT @Leader></p>
+<p><SFMT @Description></p>
+<p><SFMT @Version LINK="en français"></p>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "FrPage",
+        r#"<html><body><h1><SFMT @Nom></h1>
+<p>Responsable : <SFMT @Responsable></p>
+<p><SFMT @Description></p>
+<p><SFMT @Version LINK="in English"></p>
+</body></html>"#,
+    )?;
+    Ok(t)
+}
+
+/// Wires the bilingual system.
+pub fn system(n_projects: usize, seed: u64) -> Result<Strudel> {
+    let mut s = Strudel::new();
+    s.add_ddl_source("catalogue", &generate_ddl(n_projects, seed));
+    s.add_site_query(SITE_QUERY)?;
+    *s.templates_mut() = templates()?;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strudel_graph::Value;
+
+    #[test]
+    fn one_query_two_cross_linked_views() {
+        let mut s = system(8, 21).unwrap();
+        let build = s.build_site().unwrap();
+        assert_eq!(build.pages_of("EnPage").len(), 8);
+        assert_eq!(build.pages_of("FrPage").len(), 8);
+        // Every English page cross-links its French twin and vice versa.
+        let version = build.graph.universe().interner().get("Version").unwrap();
+        let reader = build.graph.reader();
+        for &en in &build.pages_of("EnPage") {
+            let fr = reader.attr(en, version).and_then(Value::as_node).expect("cross link");
+            assert_eq!(reader.attr(fr, version), Some(&Value::Node(en)), "symmetric cross link");
+        }
+    }
+
+    #[test]
+    fn both_roots_render() {
+        let mut s = system(5, 22).unwrap();
+        let html = s.generate_site(&["EnglishRoot", "FrenchRoot"]).unwrap();
+        let en = html.pages.iter().find(|(k, _)| k.starts_with("englishroot")).unwrap().1;
+        let fr = html.pages.iter().find(|(k, _)| k.starts_with("frenchroot")).unwrap().1;
+        assert!(en.contains("Rodin Project"));
+        assert!(fr.contains("Projet Rodin"));
+        // 2 roots + 5 en + 5 fr pages.
+        assert_eq!(html.pages.len(), 12);
+    }
+}

@@ -1,0 +1,244 @@
+//! The CNN-style news site (§5.1).
+//!
+//! "Our first example was a demonstration version of the CNN Web site. On
+//! any day, one article may appear in various formats on multiple pages in
+//! the CNN site. Because we did not have access to CNN's databases of
+//! articles, we mapped their HTML pages into a data graph containing about
+//! 300 articles. Our version of the CNN site is defined by a 44-line query
+//! and nine templates." The sports-only variant's query "only differs in
+//! two extra predicates in one where clause", and "the same HTML templates
+//! are used in both sites."
+
+use crate::synth::{person_name, pick, rng};
+use crate::{Result, Strudel};
+use rand::Rng;
+use std::fmt::Write as _;
+use strudel_template::TemplateSet;
+
+/// The site's sections.
+pub const SECTIONS: &[&str] = &["world", "us", "politics", "sports", "business", "tech", "weather"];
+
+const SUBJECTS: &[&str] = &[
+    "Elections", "Markets", "Championship", "Storm", "Summit", "Merger", "Launch", "Verdict",
+    "Playoffs", "Budget", "Strike", "Discovery",
+];
+
+/// Generates `n_articles` articles as a STRUDEL DDL structured file —
+/// the warehoused result of wrapping the day's HTML pages. Articles carry a
+/// headline, byline, date, body text, 0–1 images, 1–2 sections, an
+/// `editorial_rank` (the paper notes CNN's "order of articles … editorial
+/// elements" are a primary value of the site), and 0–3 `related` article
+/// references.
+pub fn generate_ddl(n_articles: usize, seed: u64) -> String {
+    let mut r = rng(seed);
+    let mut out = String::from("collection Articles {\n  image image\n  body text\n}\n");
+    for a in 0..n_articles {
+        let subject = pick(&mut r, SUBJECTS);
+        let section = *pick(&mut r, SECTIONS);
+        let _ = writeln!(out, "object art{a} in Articles {{");
+        let _ = writeln!(out, "  headline \"{subject} update no. {a}\"");
+        let _ = writeln!(out, "  byline \"{}\"", person_name(&mut r));
+        let _ = writeln!(out, "  date {}", 19980100 + r.gen_range(1..28i64));
+        let _ = writeln!(out, "  section \"{section}\"");
+        if r.gen_bool(0.25) {
+            // Some articles run in a second section (irregular cardinality).
+            let other = *pick(&mut r, SECTIONS);
+            if other != section {
+                let _ = writeln!(out, "  section \"{other}\"");
+            }
+        }
+        let _ = writeln!(out, "  editorial_rank {}", r.gen_range(1..100i64));
+        let _ = writeln!(out, "  summary \"In {section} today: {} developments.\"", subject.to_lowercase());
+        let _ = writeln!(out, "  body \"articles/art{a}.txt\"");
+        if r.gen_bool(0.5) {
+            let _ = writeln!(out, "  image \"images/art{a}.jpg\"");
+        }
+        for _ in 0..r.gen_range(0..3usize) {
+            let _ = writeln!(out, "  related &art{}", r.gen_range(0..n_articles));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// The general site-definition query (the "44-line query"): a front page,
+/// one page per section, one page per article, and a summary presentation
+/// of each article on its section pages.
+pub const SITE_QUERY: &str = r#"
+CREATE FrontPage()
+COLLECT Roots(FrontPage())
+{
+  WHERE Articles(a), a -> l -> v
+  CREATE ArticlePage(a), Summary(a)
+  LINK ArticlePage(a) -> l -> v,
+       Summary(a) -> l -> v,
+       Summary(a) -> "Full" -> ArticlePage(a)
+  {
+    WHERE l = "section"
+    CREATE SectionPage(v)
+    LINK SectionPage(v) -> "Name" -> v,
+         SectionPage(v) -> "Story" -> Summary(a),
+         SectionPage(v) -> "StoryCount" -> COUNT(a),
+         FrontPage() -> "Section" -> SectionPage(v)
+  }
+  {
+    WHERE l = "related"
+    LINK ArticlePage(a) -> "Related" -> ArticlePage(v)
+  }
+  {
+    WHERE l = "editorial_rank", v <= 10
+    LINK FrontPage() -> "TopStory" -> Summary(a)
+  }
+}
+"#;
+
+/// The sports-only variant: derived from [`SITE_QUERY`], differing in
+/// exactly two extra predicates in one where clause (the paper's claim for
+/// its sports-only CNN site).
+pub const SPORTS_QUERY: &str = r#"
+CREATE FrontPage()
+COLLECT Roots(FrontPage())
+{
+  WHERE Articles(a), a -> l -> v, a -> "section" -> s, s = "sports"
+  CREATE ArticlePage(a), Summary(a)
+  LINK ArticlePage(a) -> l -> v,
+       Summary(a) -> l -> v,
+       Summary(a) -> "Full" -> ArticlePage(a)
+  {
+    WHERE l = "section"
+    CREATE SectionPage(v)
+    LINK SectionPage(v) -> "Name" -> v,
+         SectionPage(v) -> "Story" -> Summary(a),
+         SectionPage(v) -> "StoryCount" -> COUNT(a),
+         FrontPage() -> "Section" -> SectionPage(v)
+  }
+  {
+    WHERE l = "related"
+    LINK ArticlePage(a) -> "Related" -> ArticlePage(v)
+  }
+  {
+    WHERE l = "editorial_rank", v <= 10
+    LINK FrontPage() -> "TopStory" -> Summary(a)
+  }
+}
+"#;
+
+/// Non-blank line count of [`SITE_QUERY`].
+pub fn site_query_lines() -> usize {
+    SITE_QUERY.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with("//")).count()
+}
+
+/// The news templates (the paper's site used nine; shared by the general
+/// and sports-only versions).
+pub fn templates() -> Result<TemplateSet> {
+    let mut t = TemplateSet::new();
+    t.set_collection_template(
+        "FrontPage",
+        r#"<html><head><title>Newsday</title></head><body>
+<h1>Newsday</h1>
+<SIF @TopStory><h2>Top stories</h2>
+<SFOR s IN @TopStory ORDER=ascend KEY=@editorial_rank><div class="top"><SFMT @s EMBED></div></SFOR></SIF>
+<h2>Sections</h2>
+<SFOR s IN @Section ORDER=ascend KEY=@Name LIST=ul><SFMT @s LINK=@s.Name></SFOR>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "SectionPage",
+        r#"<html><body><h1><SFMT @Name></h1>
+<p><SFMT @StoryCount> stories today.</p>
+<SFOR s IN @Story ORDER=ascend KEY=@editorial_rank><div class="story"><SFMT @s EMBED></div></SFOR>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "Summary",
+        r#"<h3><SFMT @Full LINK=@headline></h3>
+<SIF @image><SFMT @image></SIF>
+<p><SFMT @summary></p>"#,
+    )?;
+    t.set_collection_template(
+        "ArticlePage",
+        r#"<html><body><h1><SFMT @headline></h1>
+<p>By <SFMT @byline> - <SFMT @date></p>
+<SIF @image><SFMT @image></SIF>
+<div class="body"><SFMT @body></div>
+<SIF @Related><h2>Related</h2>
+<SFOR x IN @Related LIST=ul><SFMT @x LINK=@x.headline></SFOR></SIF>
+</body></html>"#,
+    )?;
+    Ok(t)
+}
+
+/// Wires a full news system over `n_articles` generated articles.
+pub fn system(n_articles: usize, seed: u64, sports_only: bool) -> Result<Strudel> {
+    let mut s = Strudel::new();
+    s.add_ddl_source("articles", &generate_ddl(n_articles, seed));
+    s.add_site_query(if sports_only { SPORTS_QUERY } else { SITE_QUERY })?;
+    *s.templates_mut() = templates()?;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_differ_by_two_predicates_in_one_clause() {
+        // The textual diff between the general and sports queries is one
+        // WHERE line gaining `a -> "section" -> s` and `s = "sports"`.
+        let diff: Vec<(&str, &str)> = SITE_QUERY
+            .lines()
+            .zip(SPORTS_QUERY.lines())
+            .filter(|(a, b)| a != b)
+            .collect();
+        assert_eq!(diff.len(), 1, "exactly one line differs: {diff:?}");
+        assert!(diff[0].1.contains(r#"a -> "section" -> s"#));
+        assert!(diff[0].1.contains(r#"s = "sports""#));
+    }
+
+    #[test]
+    fn general_site_builds_all_sections() {
+        let mut s = system(60, 11, false).unwrap();
+        let build = s.build_site().unwrap();
+        assert_eq!(build.pages_of("ArticlePage").len(), 60);
+        assert!(!build.pages_of("SectionPage").is_empty());
+        let html = s.generate_site(&["FrontPage"]).unwrap();
+        assert!(html.pages.len() > 60);
+    }
+
+    #[test]
+    fn sports_site_is_a_subset_with_same_structure() {
+        let mut general = system(120, 12, false).unwrap();
+        let mut sports = system(120, 12, true).unwrap();
+        let g = general.build_site().unwrap();
+        let s = sports.build_site().unwrap();
+        assert!(s.pages_of("ArticlePage").len() < g.pages_of("ArticlePage").len());
+        assert!(!s.pages_of("ArticlePage").is_empty());
+        // Every sports page type also exists in the general site.
+        for f in ["FrontPage", "SectionPage", "Summary", "ArticlePage"] {
+            assert!(!s.pages_of(f).is_empty() || g.pages_of(f).is_empty(), "{f}");
+        }
+    }
+
+    #[test]
+    fn summaries_are_embedded_not_linked() {
+        let mut s = system(30, 13, false).unwrap();
+        let html = s.generate_site(&["FrontPage"]).unwrap();
+        // Summary objects are embedded into section pages, so they are never
+        // realized as stand-alone pages.
+        assert!(!html.pages.keys().any(|k| k.starts_with("summary")), "{:?}", html.pages.keys());
+        let section = html.pages.iter().find(|(k, _)| k.starts_with("sectionpage")).unwrap();
+        assert!(section.1.contains("class=\"story\""));
+    }
+
+    #[test]
+    fn articles_can_appear_in_multiple_sections() {
+        // An article with two sections gets embedded in two section pages —
+        // "one article may appear in various formats on multiple pages".
+        let ddl = generate_ddl(200, 14);
+        let two_sections = ddl
+            .split("object ")
+            .skip(1)
+            .any(|block| block.matches("section \"").count() == 2);
+        assert!(two_sections, "generator should emit multi-section articles");
+    }
+}

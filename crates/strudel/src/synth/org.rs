@@ -1,0 +1,515 @@
+//! The AT&T Labs–Research organization site (§5.1, "our largest examples").
+//!
+//! "This site is typical of an organization's site: it includes home pages
+//! of individual members, pages on projects, demos, research areas, and
+//! technical publications. The data sources for this site are small
+//! relational databases that contain personnel and organizational data,
+//! structured files that contain project data, and existing HTML files."
+//!
+//! The generator emits the same *kinds* of sources — CSV tables for people
+//! and departments, a STRUDEL DDL file for projects, BibTeX for technical
+//! reports — with the same irregularities the paper calls out: "some
+//! projects omitted the synopsis attribute", "not all projects … are
+//! sponsored, and therefore have no value for the sponsor attribute", and
+//! proprietary items that must not appear on the external site.
+
+use crate::synth::{person_name, pick, rng, TOPICS};
+use crate::{Result, Strudel};
+use rand::Rng;
+use std::fmt::Write as _;
+use strudel_template::TemplateSet;
+use strudel_wrappers::relational::{ForeignKey, Table};
+
+/// The generated source material for one organization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrgSource {
+    /// `People` table: id,name,title,email,phone,room,dept.
+    pub people_csv: String,
+    /// `Departments` table: code,name,director.
+    pub departments_csv: String,
+    /// Projects as a STRUDEL DDL structured file.
+    pub projects_ddl: String,
+    /// Technical publications as BibTeX.
+    pub publications_bib: String,
+    /// Existing hand-written demo pages as `(url, html)` pairs — the
+    /// paper's fifth source kind ("existing HTML files", wrapped by
+    /// hand-written wrappers).
+    pub demo_pages: Vec<(String, String)>,
+    /// Number of members generated.
+    pub n_members: usize,
+}
+
+const TITLES: &[&str] = &["Researcher", "Senior Researcher", "Member of Technical Staff", "Postdoc"];
+
+/// Generates an organization with `n_members` people, `n/40 + 1`
+/// departments, `~n/8` projects, and `~1.5 n` publications.
+pub fn generate(n_members: usize, seed: u64) -> OrgSource {
+    let mut r = rng(seed);
+    let n_depts = n_members / 40 + 1;
+    let n_projects = (n_members / 8).max(1);
+    let n_pubs = n_members + n_members / 2;
+
+    // People: ~1 in 40 is a director; phone present 90%, room 80%.
+    let mut people_csv = String::from("id,name,title,email,phone,room,dept\n");
+    let mut names = Vec::with_capacity(n_members);
+    for i in 0..n_members {
+        let name = person_name(&mut r);
+        let title = if i < n_depts { "Director" } else { pick(&mut r, TITLES) };
+        let email = format!("u{i}@research.example.com");
+        let phone = if r.gen_bool(0.9) { format!("555-{:04}", r.gen_range(0..10000)) } else { String::new() };
+        let room = if r.gen_bool(0.8) { format!("{}{:03}", pick(&mut r, &["A", "B", "C"]), r.gen_range(1..400)) } else { String::new() };
+        let dept = format!("d{}", i % n_depts);
+        let _ = writeln!(people_csv, "{i},\"{name}\",{title},{email},{phone},{room},{dept}");
+        names.push(name);
+    }
+
+    let mut departments_csv = String::from("code,name,director\n");
+    for d in 0..n_depts {
+        let _ = writeln!(
+            departments_csv,
+            "d{d},\"{} Research Department\",{d}",
+            pick(&mut r, TOPICS)
+        );
+    }
+
+    // Projects: synopsis 80%, sponsor 50%, proprietary 20%.
+    let mut projects_ddl = String::from("collection Projects {\n  homepage url\n}\n");
+    for p in 0..n_projects {
+        let _ = writeln!(projects_ddl, "object proj{p} in Projects {{");
+        let _ = writeln!(projects_ddl, "  name \"Project {}\"", pick(&mut r, TOPICS));
+        if r.gen_bool(0.8) {
+            let _ = writeln!(projects_ddl, "  synopsis \"Investigating {}.\"", pick(&mut r, TOPICS).to_lowercase());
+        }
+        if r.gen_bool(0.5) {
+            let _ = writeln!(projects_ddl, "  sponsor \"{} Foundation\"", pick(&mut r, &["NSF", "DARPA", "ATT", "EU"]));
+        }
+        if r.gen_bool(0.2) {
+            let _ = writeln!(projects_ddl, "  proprietary true");
+        }
+        let _ = writeln!(projects_ddl, "  homepage \"http://research.example.com/proj{p}\"");
+        for _ in 0..r.gen_range(1..4usize) {
+            let _ = writeln!(projects_ddl, "  member_id {}", r.gen_range(0..n_members));
+        }
+        let _ = writeln!(projects_ddl, "}}");
+    }
+
+    // Publications: authors drawn from the staff so the site query can join
+    // publications to member pages by name.
+    let mut publications_bib = String::new();
+    for b in 0..n_pubs {
+        let year = 1990 + r.gen_range(0..9i64);
+        let n_authors = r.gen_range(1..4usize);
+        let authors: Vec<&str> =
+            (0..n_authors).map(|_| names[r.gen_range(0..names.len())].as_str()).collect();
+        let kind = if r.gen_bool(0.5) { "article" } else { "techreport" };
+        let _ = writeln!(publications_bib, "@{kind}{{pub{b},");
+        let _ = writeln!(publications_bib, "  title = {{{} in Practice, Part {b}}},", pick(&mut r, TOPICS));
+        let _ = writeln!(publications_bib, "  author = {{{}}},", authors.join(" and "));
+        let _ = writeln!(publications_bib, "  year = {year},");
+        let _ = writeln!(publications_bib, "  category = {{{}}},", pick(&mut r, TOPICS));
+        if r.gen_bool(0.15) {
+            let _ = writeln!(publications_bib, "  proprietary = {{yes}},");
+        }
+        let _ = writeln!(publications_bib, "  postscript = {{papers/pub{b}.ps.gz}}");
+        let _ = writeln!(publications_bib, "}}");
+    }
+
+    // Legacy demo pages: one hand-written HTML page per fourth project,
+    // cross-linking each other — the "existing HTML files" source.
+    let mut demo_pages = Vec::new();
+    let n_demos = (n_projects / 4).max(1);
+    for d in 0..n_demos {
+        let next = (d + 1) % n_demos;
+        demo_pages.push((
+            format!("demo{d}.html"),
+            format!(
+                "<html><head><title>Demo {d}</title></head><body>\
+                 <h1>Interactive demo {d}</h1>\
+                 <p>Legacy demo page for project proj{d}.</p>\
+                 <a href=\"demo{next}.html\">next demo</a>\
+                 <img src=\"shots/demo{d}.gif\"></body></html>"
+            ),
+        ));
+    }
+
+    OrgSource { people_csv, departments_csv, projects_ddl, publications_bib, demo_pages, n_members }
+}
+
+/// The internal site-definition query — the reproduction of the "115-line
+/// query" defining AT&T's internal research site. Member, department,
+/// project, and publication pages, plus index pages and by-year publication
+/// pages, all cross-linked.
+pub const SITE_QUERY: &str = r#"
+// ---- roots and index pages ------------------------------------------
+CREATE RootPage(), PeopleIndex(), DeptIndex(), ProjectIndex(), PubIndex()
+LINK RootPage() -> "People"   -> PeopleIndex(),
+     RootPage() -> "Depts"    -> DeptIndex(),
+     RootPage() -> "Projects" -> ProjectIndex(),
+     RootPage() -> "Pubs"     -> PubIndex()
+COLLECT Roots(RootPage())
+
+// ---- one home page per member, copying all attributes ----------------
+{
+  WHERE People(m), m -> l -> v
+  CREATE MemberPage(m)
+  LINK MemberPage(m) -> l -> v,
+       PeopleIndex() -> "Member" -> MemberPage(m)
+  {
+    // the dept column is a foreign key: v is the department node
+    WHERE l = "dept"
+    CREATE DeptPage(v)
+    LINK MemberPage(m) -> "Department" -> DeptPage(v),
+         DeptPage(v) -> "Member" -> MemberPage(m)
+  }
+}
+
+// ---- one page per department, copying all attributes -----------------
+{
+  WHERE Departments(d), d -> l -> v
+  CREATE DeptPage(d)
+  LINK DeptPage(d) -> l -> v,
+       DeptIndex() -> "Dept" -> DeptPage(d)
+  {
+    WHERE l = "director"
+    CREATE MemberPage(v)
+    LINK DeptPage(d) -> "Director" -> MemberPage(v)
+  }
+}
+
+// ---- one page per project, copying all attributes --------------------
+{
+  WHERE Projects(p), p -> l -> v
+  CREATE ProjectPage(p)
+  LINK ProjectPage(p) -> l -> v,
+       ProjectIndex() -> "Project" -> ProjectPage(p)
+}
+
+// ---- project membership joins People.id with Projects.member_id ------
+{
+  WHERE Projects(p), p -> "member_id" -> i, People(m), m -> "id" -> i
+  CREATE ProjectPage(p), MemberPage(m)
+  LINK ProjectPage(p) -> "Member"  -> MemberPage(m),
+       MemberPage(m)  -> "Project" -> ProjectPage(p)
+}
+
+// ---- one page per publication, plus by-year indexes ------------------
+{
+  WHERE Publications(x), x -> l -> v
+  CREATE PubPage(x)
+  LINK PubPage(x) -> l -> v,
+       PubIndex() -> "Pub" -> PubPage(x)
+  {
+    WHERE l = "year"
+    CREATE PubYearPage(v)
+    LINK PubYearPage(v) -> "Year" -> v,
+         PubYearPage(v) -> "Pub"  -> PubPage(x),
+         PubIndex() -> "ByYear" -> PubYearPage(v)
+  }
+  {
+    WHERE l = "category"
+    CREATE CategoryPage(v)
+    LINK CategoryPage(v) -> "Name" -> v,
+         CategoryPage(v) -> "Pub"  -> PubPage(x),
+         PubIndex() -> "ByCategory" -> CategoryPage(v)
+  }
+}
+
+// ---- one page per legacy demo (wrapped HTML), linked from its project --
+{
+  WHERE Pages(d), d -> "title" -> t
+  CREATE DemoPage(d)
+  LINK DemoPage(d) -> "Title" -> t,
+       ProjectIndex() -> "Demo" -> DemoPage(d)
+  {
+    WHERE d -> "heading" -> h
+    LINK DemoPage(d) -> "Heading" -> h
+  }
+}
+
+// ---- author joins: publications link to member home pages ------------
+{
+  WHERE Publications(x), x -> "author" -> a, People(m), m -> "name" -> a
+  CREATE PubPage(x), MemberPage(m)
+  LINK MemberPage(m) -> "Publication" -> PubPage(x),
+       PubPage(x) -> "AuthorPage" -> MemberPage(m)
+}
+"#;
+
+/// Non-blank, non-comment line count of [`SITE_QUERY`] (the figure
+/// EXPERIMENTS.md compares against the paper's "115-line query").
+pub fn site_query_lines() -> usize {
+    SITE_QUERY
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}
+
+/// The internal template set (one template per page type plus shared
+/// indexes). Returns the set and the number of template definitions.
+pub fn templates_internal() -> Result<TemplateSet> {
+    let mut t = TemplateSet::new();
+    t.set_collection_template(
+        "RootPage",
+        r#"<html><head><title>Research - Internal</title></head><body>
+<h1>Research Labs (internal)</h1>
+<ul>
+<li><SFMT @People LINK="People">
+<li><SFMT @Depts LINK="Departments">
+<li><SFMT @Projects LINK="Projects">
+<li><SFMT @Pubs LINK="Publications">
+</ul>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "PeopleIndex",
+        r#"<html><body><h1>People</h1>
+<SFOR m IN @Member ORDER=ascend KEY=@name LIST=ul><SFMT @m LINK=@m.name></SFOR>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "DeptIndex",
+        r#"<html><body><h1>Departments</h1>
+<SFOR d IN @Dept LIST=ul><SFMT @d LINK=@d.name></SFOR>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "ProjectIndex",
+        r#"<html><body><h1>Projects</h1>
+<SFOR p IN @Project ORDER=ascend KEY=@name LIST=ul><SFMT @p LINK=@p.name></SFOR>
+<SIF @Demo><h2>Demos</h2>
+<SFOR d IN @Demo ORDER=ascend KEY=@Title LIST=ul><SFMT @d LINK=@d.Title></SFOR></SIF>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "PubIndex",
+        r#"<html><body><h1>Technical Publications</h1>
+<h2>By year</h2>
+<SFOR y IN @ByYear ORDER=descend KEY=@Year LIST=ul><SFMT @y LINK=@y.Year></SFOR>
+<h2>By category</h2>
+<SFOR c IN @ByCategory ORDER=ascend KEY=@Name LIST=ul><SFMT @c LINK=@c.Name></SFOR>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "MemberPage",
+        r#"<html><body><h1><SFMT @name></h1>
+<p><SFMT @title></p>
+<p>Email: <SFMT @email>
+<SIF @phone> / Phone: <SFMT @phone></SIF>
+<SIF @room> / Room: <SFMT @room></SIF></p>
+<p>Department: <SFMT @Department LINK=@Department.name></p>
+<SIF @Project><h2>Projects</h2><SFOR p IN @Project LIST=ul><SFMT @p LINK=@p.name></SFOR></SIF>
+<SIF @Publication><h2>Publications</h2>
+<SFOR x IN @Publication ORDER=descend KEY=@year LIST=ul><SFMT @x LINK=@x.title></SFOR></SIF>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "DeptPage",
+        r#"<html><body><h1><SFMT @name></h1>
+<p>Director: <SFMT @Director LINK=@Director.name></p>
+<h2>Members</h2>
+<SFOR m IN @Member ORDER=ascend KEY=@name LIST=ul><SFMT @m LINK=@m.name></SFOR>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "ProjectPage",
+        r#"<html><body><h1><SFMT @name></h1>
+<SIF @proprietary><p><b>PROPRIETARY - internal use only</b></p></SIF>
+<SIF @synopsis><p><SFMT @synopsis></p><SELSE><p>(no synopsis)</p></SIF>
+<SIF @sponsor><p>Sponsored by <SFMT @sponsor></p></SIF>
+<p><SFMT @homepage></p>
+<h2>Members</h2>
+<SFOR m IN @Member LIST=ul><SFMT @m LINK=@m.name></SFOR>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "PubPage",
+        r#"<html><body>
+<h1><SFMT @title></h1>
+<SIF @proprietary><p><b>AT&amp;T proprietary</b></p></SIF>
+<p>By <SFMT @author ALL DELIM=", "> (<SFMT @year>)</p>
+<p><SFMT @postscript LINK="PostScript"></p>
+<SIF @AuthorPage><p>Local authors: <SFOR a IN @AuthorPage DELIM=", "><SFMT @a LINK=@a.name></SFOR></p></SIF>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "DemoPage",
+        r#"<html><body><h1><SFMT @Title></h1>
+<SIF @Heading><p><SFMT @Heading></p></SIF>
+<p>(wrapped legacy demo page)</p>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "PubYearPage",
+        r#"<html><body><h1>Publications from <SFMT @Year></h1>
+<SFOR x IN @Pub ORDER=ascend KEY=@title LIST=ul><SFMT @x LINK=@x.title></SFOR>
+</body></html>"#,
+    )?;
+    t.set_collection_template(
+        "CategoryPage",
+        r#"<html><body><h1>Publications on <SFMT @Name></h1>
+<SFOR x IN @Pub ORDER=ascend KEY=@title LIST=ul><SFMT @x LINK=@x.title></SFOR>
+</body></html>"#,
+    )?;
+    Ok(t)
+}
+
+/// The external template set: the same site graph, with five templates
+/// replaced to exclude proprietary and personal information — "only five
+/// HTML template files differ for the external site and these either
+/// exclude or reformat information that cannot be viewed externally."
+pub fn templates_external() -> Result<TemplateSet> {
+    let mut t = templates_internal()?;
+    // 1. Root drops the internal banner.
+    t.set_collection_template(
+        "RootPage",
+        r#"<html><head><title>Research</title></head><body>
+<h1>Research Labs</h1>
+<ul>
+<li><SFMT @People LINK="People">
+<li><SFMT @Projects LINK="Projects">
+<li><SFMT @Pubs LINK="Publications">
+</ul>
+</body></html>"#,
+    )?;
+    // 2. Member pages hide phone and room.
+    t.set_collection_template(
+        "MemberPage",
+        r#"<html><body><h1><SFMT @name></h1>
+<p><SFMT @title></p>
+<p>Email: <SFMT @email></p>
+<SIF @Project><h2>Projects</h2><SFOR p IN @Project LIST=ul><SFMT @p LINK=@p.name></SFOR></SIF>
+<SIF @Publication><h2>Publications</h2>
+<SFOR x IN @Publication ORDER=descend KEY=@year LIST=ul><SFMT @x LINK=@x.title></SFOR></SIF>
+</body></html>"#,
+    )?;
+    // 3. Project pages suppress proprietary projects' details and sponsors.
+    t.set_collection_template(
+        "ProjectPage",
+        r#"<html><body><h1><SFMT @name></h1>
+<SIF @proprietary><p>Details of this project are not public.</p>
+<SELSE><SIF @synopsis><p><SFMT @synopsis></p></SIF>
+<p><SFMT @homepage></p>
+<h2>Members</h2>
+<SFOR m IN @Member LIST=ul><SFMT @m LINK=@m.name></SFOR></SIF>
+</body></html>"#,
+    )?;
+    // 4. Publication pages suppress proprietary papers.
+    t.set_collection_template(
+        "PubPage",
+        r#"<html><body>
+<SIF @proprietary><h1>Restricted publication</h1><p>Contact the authors.</p>
+<SELSE><h1><SFMT @title></h1>
+<p>By <SFMT @author ALL DELIM=", "> (<SFMT @year>)</p>
+<p><SFMT @postscript LINK="PostScript"></p></SIF>
+</body></html>"#,
+    )?;
+    // 5. Department pages are not published externally at all.
+    t.set_collection_template(
+        "DeptPage",
+        r#"<html><body><h1><SFMT @name></h1><p>Organizational details are internal.</p></body></html>"#,
+    )?;
+    Ok(t)
+}
+
+/// Number of templates in the internal set.
+pub fn template_count() -> usize {
+    12
+}
+
+/// Wires a full [`Strudel`] system for the organization: four sources, the
+/// site query, and the internal templates.
+pub fn system(src: &OrgSource) -> Result<Strudel> {
+    let mut s = Strudel::new();
+    let people = Table::from_csv("People", &src.people_csv)?;
+    let depts = Table::from_csv("Departments", &src.departments_csv)?;
+    let fks = vec![
+        ForeignKey {
+            table: "People".into(),
+            column: "dept".into(),
+            target_table: "Departments".into(),
+            target_key: "code".into(),
+        },
+        ForeignKey {
+            table: "Departments".into(),
+            column: "director".into(),
+            target_table: "People".into(),
+            target_key: "id".into(),
+        },
+    ];
+    s.add_csv_source("personnel", vec![people, depts], fks);
+    s.add_ddl_source("projects", &src.projects_ddl);
+    s.add_bibtex_source("publications", &src.publications_bib);
+    s.add_html_source("demos", src.demo_pages.clone());
+    s.add_site_query(SITE_QUERY)?;
+    *s.templates_mut() = templates_internal()?;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_hits_requested_scale() {
+        let src = generate(80, 1);
+        assert_eq!(src.people_csv.lines().count(), 81); // header + 80
+        assert_eq!(src.n_members, 80);
+        assert!(src.publications_bib.matches("@").count() >= 80);
+    }
+
+    #[test]
+    fn site_query_is_paper_scale() {
+        let lines = site_query_lines();
+        assert!(lines >= 60, "site query should be paper-scale, got {lines} lines");
+    }
+
+    #[test]
+    fn irregularities_present() {
+        let src = generate(200, 2);
+        // Some people lack phones; some projects lack synopses/sponsors.
+        assert!(src.people_csv.lines().any(|l| l.contains(",,")), "missing attributes expected");
+        assert!(src.projects_ddl.contains("synopsis"));
+        let blocks: Vec<&str> = src.projects_ddl.split("object ").skip(1).collect();
+        assert!(blocks.iter().any(|b| !b.contains("sponsor")), "unsponsored projects expected");
+    }
+
+    #[test]
+    fn end_to_end_internal_site() {
+        let src = generate(40, 3);
+        let mut s = system(&src).unwrap();
+        let build = s.build_site().unwrap();
+        assert_eq!(build.pages_of("MemberPage").len(), 40);
+        assert_eq!(build.pages_of("RootPage").len(), 1);
+        assert!(!build.pages_of("ProjectPage").is_empty());
+        assert!(!build.pages_of("PubYearPage").is_empty());
+        let html = s.generate_site(&["RootPage"]).unwrap();
+        assert!(html.pages.len() > 40, "site has {} pages", html.pages.len());
+    }
+
+    #[test]
+    fn external_site_reuses_site_graph() {
+        let src = generate(30, 4);
+        let mut s = system(&src).unwrap();
+        let internal = s.generate_site(&["RootPage"]).unwrap();
+        *s.templates_mut() = templates_external().unwrap();
+        let external = s.generate_site(&["RootPage"]).unwrap();
+        // Same site graph; the reachable page set may shrink slightly
+        // because external templates drop some links (e.g. members listed
+        // on department pages).
+        assert!(external.pages.len() <= internal.pages.len());
+        assert!(external.pages.len() + 8 >= internal.pages.len(), "{} vs {}", external.pages.len(), internal.pages.len());
+        // Internal member pages show phone numbers (when the member has
+        // one — 90% do, so some page in a 30-member org will).
+        assert!(
+            internal.pages.iter().any(|(k, v)| k.starts_with("memberpage") && v.contains("Phone:")),
+            "internal site should expose phones"
+        );
+        // External member pages never show phone numbers.
+        for (k, v) in &external.pages {
+            if k.starts_with("memberpage") {
+                assert!(!v.contains("Phone:"), "{k} leaks phone");
+            }
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! The end-to-end pipeline of Fig. 1.
+
+use crate::error::{Result, StrudelError};
+use std::path::Path;
+use std::sync::Arc;
+use strudel_graph::graph::Universe;
+use strudel_graph::{ddl, Graph, Oid, Value};
+use strudel_site::{verify_graph, verify_schema, Constraint, DynamicSite, SiteSchema, Verdict};
+use strudel_struql::{parse_query, EvalOptions, EvalStats, Query, SkolemTable};
+use strudel_template::gen::FileResolver;
+use strudel_template::{GeneratedSite, Generator, TemplateSet};
+use strudel_wrappers::mediator::FnSource;
+use strudel_wrappers::{bibtex, html, relational, xml, Mediator, Source};
+
+/// A file resolver shared across generations (see
+/// [`Strudel::set_file_resolver`]).
+type SharedResolver = Arc<dyn Fn(&str) -> Option<String> + Send + Sync>;
+
+/// The result of evaluating the site-definition queries: the site graph,
+/// the Skolem table, and evaluation statistics.
+pub struct SiteBuild {
+    /// The site graph (in the mediator's universe). Every Skolem function's
+    /// extension is also registered as a collection named after the
+    /// function, so templates attach per page *type*.
+    pub graph: Graph,
+    /// Skolem applications → nodes.
+    pub table: SkolemTable,
+    /// Accumulated evaluation statistics (one entry per site query).
+    pub stats: Vec<EvalStats>,
+}
+
+impl SiteBuild {
+    /// The pages of one Skolem function, in creation order.
+    pub fn pages_of(&self, skolem: &str) -> Vec<Oid> {
+        self.graph
+            .collection_str(skolem)
+            .map(|c| c.items().iter().filter_map(Value::as_node).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// The STRUDEL system: sources + mediator + site queries + templates.
+///
+/// Typical use: register sources (and optionally GAV mappings), add one or
+/// more site-definition queries, attach templates per Skolem function, then
+/// [`Strudel::generate_site`].
+pub struct Strudel {
+    mediator: Mediator,
+    site_queries: Vec<Query>,
+    templates: TemplateSet,
+    opts: EvalOptions,
+    file_resolver: Option<SharedResolver>,
+}
+
+impl Strudel {
+    /// An empty system.
+    pub fn new() -> Self {
+        Strudel {
+            mediator: Mediator::new(),
+            site_queries: Vec::new(),
+            templates: TemplateSet::new(),
+            opts: EvalOptions::default(),
+            file_resolver: None,
+        }
+    }
+
+    /// The shared object universe.
+    pub fn universe(&self) -> &Arc<Universe> {
+        self.mediator.universe()
+    }
+
+    /// Mutable access to the evaluation options (optimizer choice,
+    /// predicate registry, …).
+    pub fn options_mut(&mut self) -> &mut EvalOptions {
+        &mut self.opts
+    }
+
+    /// The mediator, for advanced source management.
+    pub fn mediator_mut(&mut self) -> &mut Mediator {
+        &mut self.mediator
+    }
+
+    /// The template set.
+    pub fn templates_mut(&mut self) -> &mut TemplateSet {
+        &mut self.templates
+    }
+
+    /// Installs a resolver used to embed text/HTML file contents in pages
+    /// (shared across every subsequent generation).
+    pub fn set_file_resolver(&mut self, resolver: FileResolver) {
+        self.file_resolver = Some(Arc::from(resolver));
+    }
+
+    // ---- sources ----
+
+    /// Registers a generic source.
+    pub fn add_source(&mut self, name: &str, source: Box<dyn Source>) {
+        self.mediator.add_source(name, source);
+    }
+
+    /// Registers a source holding STRUDEL DDL text (a "structured file").
+    pub fn add_ddl_source(&mut self, name: &str, ddl_text: &str) {
+        let text = ddl_text.to_string();
+        self.mediator.add_source(
+            name,
+            Box::new(FnSource(move |u: &Arc<Universe>| {
+                let mut g = Graph::new(Arc::clone(u));
+                ddl::parse_into(&mut g, &text).map_err(strudel_struql::StruqlError::Graph)?;
+                Ok(g)
+            })),
+        );
+    }
+
+    /// Registers a BibTeX source.
+    pub fn add_bibtex_source(&mut self, name: &str, bibtex_text: &str) {
+        let text = bibtex_text.to_string();
+        self.mediator.add_source(
+            name,
+            Box::new(FnSource(move |u: &Arc<Universe>| {
+                let mut g = Graph::new(Arc::clone(u));
+                bibtex::load_into(&mut g, &text).map_err(strudel_struql::StruqlError::Graph)?;
+                Ok(g)
+            })),
+        );
+    }
+
+    /// Registers a relational source from CSV tables and foreign keys.
+    pub fn add_csv_source(
+        &mut self,
+        name: &str,
+        tables: Vec<relational::Table>,
+        fks: Vec<relational::ForeignKey>,
+    ) {
+        self.mediator.add_source(
+            name,
+            Box::new(FnSource(move |u: &Arc<Universe>| {
+                let mut g = Graph::new(Arc::clone(u));
+                relational::load_into(&mut g, &tables, &fks).map_err(strudel_struql::StruqlError::Graph)?;
+                Ok(g)
+            })),
+        );
+    }
+
+    /// Registers an XML source (§2.2's alternative exchange language).
+    pub fn add_xml_source(&mut self, name: &str, xml_text: &str) {
+        let text = xml_text.to_string();
+        self.mediator.add_source(
+            name,
+            Box::new(FnSource(move |u: &Arc<Universe>| {
+                let mut g = Graph::new(Arc::clone(u));
+                xml::load_into(&mut g, &text).map_err(strudel_struql::StruqlError::Graph)?;
+                Ok(g)
+            })),
+        );
+    }
+
+    /// Registers a source of wrapped HTML pages (`(url, html)` pairs).
+    pub fn add_html_source(&mut self, name: &str, pages: Vec<(String, String)>) {
+        self.mediator.add_source(
+            name,
+            Box::new(FnSource(move |u: &Arc<Universe>| {
+                let mut g = Graph::new(Arc::clone(u));
+                html::load_into(&mut g, &pages).map_err(strudel_struql::StruqlError::Graph)?;
+                Ok(g)
+            })),
+        );
+    }
+
+    /// Adds a GAV mediation mapping over a named source.
+    pub fn add_mapping(&mut self, source: &str, query: &str) -> Result<()> {
+        self.mediator.add_mapping(source, query).map_err(StrudelError::Struql)
+    }
+
+    /// The integrated data graph, refreshing the warehouse if stale.
+    pub fn data_graph(&mut self) -> Result<&Graph> {
+        if self.mediator.is_stale() {
+            self.mediator.refresh()?;
+        }
+        Ok(self.mediator.data_graph().expect("refreshed"))
+    }
+
+    // ---- site definition ----
+
+    /// Adds a site-definition query. Multiple queries compose: they share
+    /// one Skolem table, so "different queries create different parts of the
+    /// same site" (§5.2).
+    pub fn add_site_query(&mut self, src: &str) -> Result<Query> {
+        let q = parse_query(src)?;
+        self.site_queries.push(q.clone());
+        Ok(q)
+    }
+
+    /// Removes all site queries (to define a different version of the site
+    /// over the same data).
+    pub fn clear_site_queries(&mut self) {
+        self.site_queries.clear();
+    }
+
+    /// The merged query over all site-definition queries (what the site
+    /// schema describes).
+    pub fn merged_query(&self) -> Query {
+        Query::merge(self.site_queries.iter())
+    }
+
+    /// The site schema of the composed site-definition queries.
+    pub fn site_schema(&self) -> SiteSchema {
+        SiteSchema::from_query(&self.merged_query())
+    }
+
+    /// Evaluates every site query over the data graph, producing the site
+    /// graph. Each Skolem function's extension is additionally registered
+    /// as a site-graph collection named after the function.
+    pub fn build_site(&mut self) -> Result<SiteBuild> {
+        if self.site_queries.is_empty() {
+            return Err(StrudelError::Pipeline("no site-definition query registered".into()));
+        }
+        if self.mediator.is_stale() {
+            self.mediator.refresh()?;
+        }
+        let opts = self.opts.clone();
+        let queries = self.site_queries.clone();
+        let data = self.mediator.data_graph().expect("refreshed");
+        let mut site = Graph::new(Arc::clone(self.mediator.universe()));
+        let mut table = SkolemTable::new();
+        let mut stats = Vec::with_capacity(queries.len());
+        for q in &queries {
+            stats.push(q.evaluate_into(data, &mut site, &mut table, &opts)?);
+        }
+        // Register per-function collections for template selection.
+        let entries: Vec<(String, Oid)> =
+            table.iter().map(|(name, _, oid)| (name.to_string(), oid)).collect();
+        for (name, oid) in entries {
+            site.add_to_collection_str(&name, Value::Node(oid));
+        }
+        Ok(SiteBuild { graph: site, table, stats })
+    }
+
+    /// Builds the site graph and renders it to HTML, starting from the
+    /// pages of the named root Skolem functions.
+    pub fn generate_site(&mut self, root_skolems: &[&str]) -> Result<GeneratedSite> {
+        let build = self.build_site()?;
+        let mut roots: Vec<Oid> = Vec::new();
+        for name in root_skolems {
+            roots.extend(build.pages_of(name));
+        }
+        if roots.is_empty() {
+            return Err(StrudelError::Pipeline(format!(
+                "no root pages: none of {root_skolems:?} has instances"
+            )));
+        }
+        let mut generator = Generator::new(&build.graph, &self.templates);
+        if let Some(resolver) = &self.file_resolver {
+            let resolver = Arc::clone(resolver);
+            generator = generator.with_file_resolver(Box::new(move |p| resolver(p)));
+        }
+        let site = generator.generate(&roots)?;
+        Ok(site)
+    }
+
+    /// Like [`Strudel::generate_site`], rendering pages on `threads` worker
+    /// threads (page rendering is read-only; see
+    /// [`Generator::generate_parallel`]).
+    pub fn generate_site_parallel(&mut self, root_skolems: &[&str], threads: usize) -> Result<GeneratedSite> {
+        let build = self.build_site()?;
+        let mut roots: Vec<Oid> = Vec::new();
+        for name in root_skolems {
+            roots.extend(build.pages_of(name));
+        }
+        if roots.is_empty() {
+            return Err(StrudelError::Pipeline(format!(
+                "no root pages: none of {root_skolems:?} has instances"
+            )));
+        }
+        let mut generator = Generator::new(&build.graph, &self.templates);
+        if let Some(resolver) = &self.file_resolver {
+            let resolver = Arc::clone(resolver);
+            generator = generator.with_file_resolver(Box::new(move |p| resolver(p)));
+        }
+        let site = generator.generate_parallel(&roots, threads)?;
+        Ok(site)
+    }
+
+    /// Builds the site and writes the browsable HTML into `dir`.
+    pub fn publish(&mut self, root_skolems: &[&str], dir: &Path) -> Result<GeneratedSite> {
+        let site = self.generate_site(root_skolems)?;
+        site.write_to_dir(dir)?;
+        Ok(site)
+    }
+
+    // ---- verification & dynamic evaluation ----
+
+    /// Checks a structural constraint statically (against the site schema)
+    /// and, if the static answer is [`Verdict::Unknown`], exactly (against a
+    /// freshly built site graph). Returns `(static verdict, exact verdict)`;
+    /// the exact verdict is `None` when the static check already decided.
+    pub fn verify(&mut self, constraint: &Constraint) -> Result<(Verdict, Option<Verdict>)> {
+        let schema_verdict = verify_schema(&self.site_schema(), constraint);
+        if matches!(schema_verdict, Verdict::Unknown(_)) {
+            let build = self.build_site()?;
+            let exact = verify_graph(&build.graph, &build.table, constraint);
+            Ok((schema_verdict, Some(exact)))
+        } else {
+            Ok((schema_verdict, None))
+        }
+    }
+
+    /// A click-time evaluator over the current data graph and site queries
+    /// (nothing is materialized; pages expand on demand).
+    pub fn dynamic_site(&mut self) -> Result<DynamicSite<'_>> {
+        let merged = self.merged_query();
+        let opts = self.opts.clone();
+        if self.mediator.is_stale() {
+            self.mediator.refresh()?;
+        }
+        let data = self.mediator.data_graph().expect("refreshed");
+        DynamicSite::new(data, &merged, opts).map_err(StrudelError::Struql)
+    }
+}
+
+impl Default for Strudel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pubs_system() -> Strudel {
+        let mut s = Strudel::new();
+        s.add_ddl_source(
+            "pubs",
+            r#"
+object p1 in Publications { title "UnQL" year 1996 }
+object p2 in Publications { title "Lorel" year 1996 }
+object p3 in Publications { title "StruQL" year 1997 }
+"#,
+        );
+        s.add_site_query(
+            r#"CREATE RootPage()
+               {
+                 WHERE Publications(x), x -> "title" -> t
+                 CREATE Page(x)
+                 LINK Page(x) -> "Title" -> t, RootPage() -> "Paper" -> Page(x)
+               }"#,
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn pipeline_builds_site_graph() {
+        let mut s = pubs_system();
+        let build = s.build_site().unwrap();
+        assert_eq!(build.pages_of("RootPage").len(), 1);
+        assert_eq!(build.pages_of("Page").len(), 3);
+        assert_eq!(build.graph.collection_str("Page").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn pipeline_generates_html() {
+        let mut s = pubs_system();
+        s.templates_mut()
+            .set_collection_template("RootPage", r#"<h1>Pubs</h1><SFMT @Paper ALL DELIM=" | ">"#)
+            .unwrap();
+        s.templates_mut().set_collection_template("Page", "<SFMT @Title>").unwrap();
+        let site = s.generate_site(&["RootPage"]).unwrap();
+        assert_eq!(site.pages.len(), 4);
+        let root_file = site.pages.keys().find(|k| k.starts_with("rootpage")).unwrap();
+        assert!(site.pages[root_file].contains("<h1>Pubs</h1>"));
+    }
+
+    #[test]
+    fn multiple_versions_from_same_data() {
+        // §1: "a site builder produces multiple sites by applying different
+        // site-definition queries to the same underlying data".
+        let mut s = pubs_system();
+        let v1 = s.build_site().unwrap();
+        s.clear_site_queries();
+        s.add_site_query(
+            r#"{ WHERE Publications(x), x -> "year" -> 1997, x -> "title" -> t
+                 CREATE Recent(x) LINK Recent(x) -> "Title" -> t COLLECT R(Recent(x)) }"#,
+        )
+        .unwrap();
+        let v2 = s.build_site().unwrap();
+        assert_eq!(v1.pages_of("Page").len(), 3);
+        assert_eq!(v2.pages_of("Recent").len(), 1);
+    }
+
+    #[test]
+    fn composed_queries_share_skolem_table() {
+        let mut s = Strudel::new();
+        s.add_ddl_source("pubs", r#"object p1 in Publications { title "A" }"#);
+        s.add_site_query(r#"{ WHERE Publications(x) CREATE Page(x) }"#).unwrap();
+        s.add_site_query(
+            r#"{ WHERE Publications(x), x -> "title" -> t CREATE Page(x) LINK Page(x) -> "T" -> t }"#,
+        )
+        .unwrap();
+        let build = s.build_site().unwrap();
+        assert_eq!(build.pages_of("Page").len(), 1, "Skolem unification across queries");
+    }
+
+    #[test]
+    fn verify_combines_schema_and_graph() {
+        let mut s = pubs_system();
+        let (schema_v, exact) =
+            s.verify(&Constraint::AllReachableFrom { root: "RootPage".into() }).unwrap();
+        assert_eq!(schema_v, Verdict::Satisfied);
+        assert!(exact.is_none());
+    }
+
+    #[test]
+    fn dynamic_site_expands_root() {
+        let mut s = pubs_system();
+        let mut dyn_site = s.dynamic_site().unwrap();
+        let roots = dyn_site.roots();
+        assert_eq!(roots.len(), 1);
+        let links = dyn_site.expand(&roots[0]).unwrap();
+        assert_eq!(links.len(), 3);
+    }
+
+    #[test]
+    fn missing_query_is_a_pipeline_error() {
+        let mut s = Strudel::new();
+        s.add_ddl_source("x", "object a { k 1 }");
+        assert!(matches!(s.build_site(), Err(StrudelError::Pipeline(_))));
+    }
+
+    #[test]
+    fn missing_roots_is_a_pipeline_error() {
+        let mut s = pubs_system();
+        assert!(matches!(s.generate_site(&["Nope"]), Err(StrudelError::Pipeline(_))));
+    }
+}

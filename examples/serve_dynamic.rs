@@ -1,0 +1,61 @@
+//! Dynamically generated site over HTTP — the §6 future-work item
+//! ("supporting dynamic evaluation would eliminate writing [CGI programs]
+//! by hand") made concrete: every page is computed *at click time* by
+//! evaluating the governing StruQL sub-queries of the requested page, with
+//! the evaluator's result cache keeping re-clicks cheap. Nothing is
+//! materialized up front except the roots.
+//!
+//! ```text
+//! cargo run --example serve_dynamic                 # serve until /quit
+//! cargo run --example serve_dynamic -- --self-test  # fetch a few pages, exit
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use strudel::serve::Server;
+use strudel::synth::news;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let self_test = std::env::args().any(|a| a == "--self-test");
+    let mut system = news::system(120, 17, false)?;
+    let site = system.dynamic_site()?;
+    let mut server = Server::bind(site, "127.0.0.1:0")?;
+    let addr = server.addr()?;
+    println!("serving dynamically evaluated site on http://{addr}/ (GET /quit to stop)");
+
+    let client = if self_test {
+        Some(std::thread::spawn(move || {
+            let fetch = |path: &str| -> String {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+                s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes())
+                    .expect("write request");
+                let mut buf = String::new();
+                s.read_to_string(&mut buf).expect("read response");
+                buf
+            };
+            let root = fetch("/");
+            assert!(root.contains("FrontPage"), "root page lists the roots: {root}");
+            let front = fetch("/page/FrontPage");
+            assert!(front.contains("Section"), "front page links sections");
+            // Follow the first section link.
+            let href = front.split("href=\"").nth(1).map(|s| s[..s.find('"').unwrap()].to_string());
+            if let Some(href) = href {
+                let section = fetch(&href);
+                assert!(section.contains("200 OK"), "section fetch: {section}");
+            }
+            assert!(fetch("/page/Nowhere").contains("200 OK"));
+            assert!(fetch("/bogus").contains("404"));
+            println!("self-test passed: root, front page, section, and 404 all served");
+            let _ = fetch("/quit");
+        }))
+    } else {
+        None
+    };
+
+    server.serve(None)?;
+    if let Some(c) = client {
+        c.join().expect("self-test client");
+    }
+    Ok(())
+}

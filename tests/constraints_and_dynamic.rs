@@ -1,0 +1,179 @@
+//! Integration tests for integrity-constraint verification ([FER 98b]) and
+//! incremental / click-time evaluation ([FER 98c]) over the realistic
+//! workload sites.
+
+use strudel::site::{Constraint, Target, Verdict};
+use strudel::synth::{news, org};
+
+#[test]
+fn org_site_structural_constraints() {
+    let src = org::generate(60, 11);
+    let mut s = org::system(&src).unwrap();
+
+    // All pages reachable from the root: the schema alone cannot guarantee
+    // it (members are linked through conditional joins), the concrete graph
+    // decides.
+    let (schema_v, exact) = s.verify(&Constraint::AllReachableFrom { root: "RootPage".into() }).unwrap();
+    match schema_v {
+        Verdict::Satisfied => assert!(exact.is_none()),
+        Verdict::Unknown(_) => assert_eq!(exact, Some(Verdict::Satisfied)),
+        Verdict::Violated(v) => panic!("unexpected schema violation: {v}"),
+    }
+
+    // Every member page points back to its department page.
+    let (schema_v, exact) = s
+        .verify(&Constraint::EveryHasEdge {
+            from: "MemberPage".into(),
+            label: "Department".into(),
+            to: "DeptPage".into(),
+        })
+        .unwrap();
+    let decided = exact.unwrap_or(schema_v);
+    assert_eq!(decided, Verdict::Satisfied);
+
+    // A constraint that genuinely fails: not every department page has a
+    // "Pub" edge to a publication page.
+    let (schema_v, exact) = s
+        .verify(&Constraint::EveryHasEdge {
+            from: "DeptPage".into(),
+            label: "Pub".into(),
+            to: "PubPage".into(),
+        })
+        .unwrap();
+    let decided = exact.unwrap_or(schema_v);
+    assert!(matches!(decided, Verdict::Violated(_)), "{decided:?}");
+}
+
+#[test]
+fn news_dynamic_site_agrees_with_materialization_everywhere() {
+    let mut s = news::system(50, 21, false).unwrap();
+    let build = s.build_site().unwrap();
+    let mut dynamic = s.dynamic_site().unwrap();
+
+    for (name, args, oid) in build.table.iter() {
+        let page = strudel::site::PageRef { skolem: name.to_string(), args: args.to_vec() };
+        let links = dynamic.expand(&page).unwrap();
+        assert_eq!(
+            links.len(),
+            build.graph.out_edges(oid).len(),
+            "out-degree mismatch on {page}"
+        );
+    }
+}
+
+#[test]
+fn click_path_browsing_without_materialization() {
+    let mut s = news::system(120, 22, false).unwrap();
+    let mut dynamic = s.dynamic_site().unwrap();
+    let roots = dynamic.roots();
+    assert_eq!(roots.len(), 1);
+
+    // Walk: front page → a section → a summary's full article → related.
+    let front_links = dynamic.expand(&roots[0]).unwrap();
+    let section = front_links
+        .iter()
+        .find_map(|l| match (&l.label[..], &l.target) {
+            ("Section", Target::Page(p)) => Some(p.clone()),
+            _ => None,
+        })
+        .expect("a section link");
+    let section_links = dynamic.expand(&section).unwrap();
+    let summary = section_links
+        .iter()
+        .find_map(|l| match (&l.label[..], &l.target) {
+            ("Story", Target::Page(p)) => Some(p.clone()),
+            _ => None,
+        })
+        .expect("a story link");
+    let summary_links = dynamic.expand(&summary).unwrap();
+    let article = summary_links
+        .iter()
+        .find_map(|l| match (&l.label[..], &l.target) {
+            ("Full", Target::Page(p)) => Some(p.clone()),
+            _ => None,
+        })
+        .expect("a full-article link");
+    let article_links = dynamic.expand(&article).unwrap();
+    assert!(article_links.iter().any(|l| l.label == "headline"));
+
+    let stats = dynamic.stats();
+    assert!(stats.expansions >= 4);
+    // Far fewer clause queries than a full materialization would need.
+    assert!(stats.clause_queries < 60, "{stats:?}");
+}
+
+#[test]
+fn repeated_clicks_are_cached() {
+    let mut s = news::system(60, 23, false).unwrap();
+    let mut dynamic = s.dynamic_site().unwrap();
+    let root = dynamic.roots().pop().unwrap();
+    dynamic.expand(&root).unwrap();
+    let q1 = dynamic.stats().clause_queries;
+    dynamic.expand(&root).unwrap();
+    dynamic.expand(&root).unwrap();
+    assert_eq!(dynamic.stats().clause_queries, q1, "re-clicks must hit the cache");
+}
+
+#[test]
+fn proprietary_exclusion_constraint_on_external_design() {
+    // An external site design that (correctly) never links proprietary
+    // project pages, verified statically.
+    let mut s = strudel::Strudel::new();
+    s.add_ddl_source(
+        "projects",
+        r#"
+object p1 in Projects { name "open" }
+object p2 in Projects { name "secret" proprietary true }
+"#,
+    );
+    s.add_site_query(
+        r#"CREATE Root()
+           { WHERE Projects(p), not(p -> "proprietary" -> true), p -> "name" -> n
+             CREATE Page(p) LINK Page(p) -> "Name" -> n, Root() -> "Project" -> Page(p) }
+           { WHERE Projects(p), p -> "proprietary" -> true
+             CREATE SecretPage(p) }"#,
+    )
+    .unwrap();
+    let (schema_v, exact) =
+        s.verify(&Constraint::NoneReachable { from: "Root".into(), forbidden: "SecretPage".into() }).unwrap();
+    assert_eq!(schema_v, Verdict::Satisfied);
+    assert!(exact.is_none(), "the schema alone decides");
+}
+
+// ---- recover_query over the realistic workload definitions ----
+
+#[test]
+fn recovered_queries_equivalent_for_workloads() {
+    use strudel::site::SiteSchema;
+    use strudel::struql::{parse_query, EvalOptions};
+    use strudel::graph::ddl;
+
+    // News site, aggregate-free fragment (recovery covers the full AST, but
+    // comparing output graphs is cleanest on the core fragment).
+    let data = ddl::parse(&strudel::synth::news::generate_ddl(40, 12)).unwrap();
+    let q = parse_query(strudel::synth::news::SITE_QUERY).unwrap();
+    let schema = SiteSchema::from_query(&q);
+    let recovered = schema.recover_query();
+    let opts = EvalOptions::default();
+    let a = q.evaluate(&data, &opts).unwrap();
+    let b = recovered.evaluate(&data, &opts).unwrap();
+    assert_eq!(a.table.len(), b.table.len(), "same page census");
+    assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+}
+
+#[test]
+fn site_schema_dot_for_org_site_is_complete() {
+    use strudel::site::SiteSchema;
+    use strudel::struql::parse_query;
+    let q = parse_query(strudel::synth::org::SITE_QUERY).unwrap();
+    let schema = SiteSchema::from_query(&q);
+    let dot = schema.to_dot();
+    for page_type in [
+        "RootPage", "PeopleIndex", "DeptIndex", "ProjectIndex", "PubIndex", "MemberPage",
+        "DeptPage", "ProjectPage", "PubPage", "PubYearPage", "CategoryPage", "DemoPage",
+    ] {
+        assert!(dot.contains(page_type), "schema misses {page_type}");
+    }
+    // The complexity measure the paper suggests: link clauses.
+    assert!(schema.edges().len() >= 20, "{} link kinds", schema.edges().len());
+}

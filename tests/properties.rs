@@ -1,0 +1,352 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! evaluation pipeline's invariants.
+
+use proptest::prelude::*;
+use strudel::graph::{ddl, Graph, Value};
+use strudel::struql::{parse_query, EvalOptions, Optimizer};
+
+// ---------------------------------------------------------------- values ----
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::str),
+        (-1e9f64..1e9f64).prop_map(Value::Float),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn coerced_eq_is_reflexive_for_non_nan(v in arb_value()) {
+        prop_assert!(v.coerced_eq(&v));
+    }
+
+    #[test]
+    fn coerced_cmp_is_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering::*;
+        match (a.coerced_cmp(&b), b.coerced_cmp(&a)) {
+            (Some(Less), x) => prop_assert_eq!(x, Some(Greater)),
+            (Some(Greater), x) => prop_assert_eq!(x, Some(Less)),
+            (Some(Equal), x) => prop_assert_eq!(x, Some(Equal)),
+            (None, x) => prop_assert_eq!(x, None),
+        }
+    }
+
+    #[test]
+    fn strict_eq_implies_coerced_eq(a in arb_value()) {
+        let b = a.clone();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.coerced_eq(&b));
+    }
+}
+
+// ----------------------------------------------------------------- interner ----
+
+proptest! {
+    #[test]
+    fn interner_roundtrips(words in proptest::collection::vec("[a-zA-Z_][a-zA-Z0-9_-]{0,10}", 1..30)) {
+        let interner = strudel::graph::Interner::new();
+        let syms: Vec<_> = words.iter().map(|w| interner.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            prop_assert_eq!(&*interner.resolve(*s), w.as_str());
+            prop_assert_eq!(interner.intern(w), *s);
+        }
+    }
+}
+
+// ------------------------------------------------------------------- DDL ----
+
+/// A random flat object graph as DDL text fragments.
+fn arb_objects() -> impl Strategy<Value = Vec<(String, Vec<(String, String)>)>> {
+    proptest::collection::vec(
+        (
+            "[a-z][a-z0-9]{0,6}",
+            proptest::collection::vec(("[a-z][a-z0-9]{0,6}", "[a-zA-Z0-9 .]{0,10}"), 0..6),
+        ),
+        1..8,
+    )
+    .prop_map(|objs| {
+        // Deduplicate object names (the DDL unifies same-named objects).
+        let mut seen = std::collections::HashSet::new();
+        objs.into_iter()
+            .enumerate()
+            .map(|(i, (name, attrs))| {
+                let name = if seen.insert(name.clone()) { name } else { format!("{name}x{i}") };
+                (name, attrs)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn ddl_print_parse_roundtrip(objs in arb_objects()) {
+        let mut src = String::new();
+        for (name, attrs) in &objs {
+            src.push_str(&format!("object {name} in Things {{\n"));
+            for (k, v) in attrs {
+                src.push_str(&format!("  {k} \"{v}\"\n"));
+            }
+            src.push_str("}\n");
+        }
+        let g = ddl::parse(&src).unwrap();
+        let printed = ddl::print(&g);
+        let g2 = ddl::parse(&printed).unwrap();
+        prop_assert_eq!(g.node_count(), g2.node_count());
+        prop_assert_eq!(g.edge_count(), g2.edge_count());
+        prop_assert_eq!(
+            g.collection_str("Things").unwrap().len(),
+            g2.collection_str("Things").unwrap().len()
+        );
+    }
+}
+
+// ------------------------------------------------------------- evaluation ----
+
+/// A random labeled graph over a small label alphabet.
+#[derive(Debug, Clone)]
+struct RandGraph {
+    n: usize,
+    edges: Vec<(usize, usize, u8)>,
+}
+
+fn arb_graph() -> impl Strategy<Value = RandGraph> {
+    (2usize..10).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 0u8..3), 0..25)
+            .prop_map(move |edges| RandGraph { n, edges })
+    })
+}
+
+fn build(rg: &RandGraph) -> Graph {
+    let mut g = Graph::standalone();
+    let nodes: Vec<_> = (0..rg.n).map(|i| g.new_node(Some(&format!("n{i}")))).collect();
+    for &n in &nodes {
+        g.add_to_collection_str("Nodes", Value::Node(n));
+    }
+    let labels = ["a", "b", "c"];
+    let mut seen = std::collections::HashSet::new();
+    for &(f, t, l) in &rg.edges {
+        if seen.insert((f, t, l)) {
+            g.add_edge_str(nodes[f], labels[l as usize], Value::Node(nodes[t])).unwrap();
+        }
+    }
+    g.add_to_collection_str("Start", Value::Node(nodes[0]));
+    g
+}
+
+/// Reference reachability by plain BFS over all edges.
+fn bfs_reachable(rg: &RandGraph) -> std::collections::HashSet<usize> {
+    let mut adj = vec![Vec::new(); rg.n];
+    let mut dedup = std::collections::HashSet::new();
+    for &(f, t, l) in &rg.edges {
+        if dedup.insert((f, t, l)) {
+            adj[f].push(t);
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![0usize];
+    while let Some(x) = stack.pop() {
+        if seen.insert(x) {
+            stack.extend(adj[x].iter().copied());
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `p -> * -> q` computes exactly BFS reachability.
+    #[test]
+    fn star_reachability_matches_bfs(rg in arb_graph()) {
+        let g = build(&rg);
+        let q = parse_query("WHERE Start(p), p -> * -> q COLLECT Reached(q)").unwrap();
+        let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
+        let reached = out.graph.collection_str("Reached").unwrap().len();
+        prop_assert_eq!(reached, bfs_reachable(&rg).len());
+    }
+
+    /// All three optimizers produce the same output graph.
+    #[test]
+    fn optimizers_agree(rg in arb_graph()) {
+        let g = build(&rg);
+        let q = parse_query(
+            r#"WHERE Nodes(x), x -> "a" -> y, y -> l -> z
+               CREATE P(x, z)
+               LINK P(x, z) -> l -> z
+               COLLECT Out(P(x, z))"#,
+        )
+        .unwrap();
+        let mut results = Vec::new();
+        for opt in [Optimizer::Naive, Optimizer::Heuristic, Optimizer::CostBased] {
+            let out = q.evaluate(&g, &EvalOptions::with_optimizer(opt)).unwrap();
+            results.push((
+                out.graph.node_count(),
+                out.graph.edge_count(),
+                out.graph.collection_str("Out").map(|c| c.len()).unwrap_or(0),
+            ));
+        }
+        prop_assert_eq!(results[0], results[1]);
+        prop_assert_eq!(results[1], results[2]);
+    }
+
+    /// Indexed and unindexed evaluation agree.
+    #[test]
+    fn index_is_transparent(rg in arb_graph()) {
+        let mut g = build(&rg);
+        let q = parse_query(
+            r#"WHERE y -> "b" -> z, x -> "a" -> y COLLECT Pairs(x), Ends(z)"#,
+        )
+        .unwrap();
+        let with = q.evaluate(&g, &EvalOptions::default()).unwrap();
+        g.set_indexing(false);
+        let without = q.evaluate(&g, &EvalOptions::default()).unwrap();
+        let count = |o: &strudel::struql::EvalOutput, c: &str| {
+            o.graph.collection_str(c).map(|x| x.len()).unwrap_or(0)
+        };
+        prop_assert_eq!(count(&with, "Pairs"), count(&without, "Pairs"));
+        prop_assert_eq!(count(&with, "Ends"), count(&without, "Ends"));
+    }
+
+    /// The TextOnly-style copy query produces a graph whose nodes are
+    /// exactly the reachable originals (Skolem image is injective).
+    #[test]
+    fn copy_query_preserves_reachable_structure(rg in arb_graph()) {
+        let g = build(&rg);
+        let q = parse_query(
+            r#"WHERE Start(p), p -> * -> q, q -> l -> q0
+               CREATE New(q), New(q0)
+               LINK New(q) -> l -> New(q0)"#,
+        )
+        .unwrap();
+        let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
+        let reachable = bfs_reachable(&rg);
+        // Copies exist only for reachable nodes that touch an edge.
+        prop_assert!(out.table.len() <= reachable.len());
+        // Edge count of the copy never exceeds the original's (set semantics).
+        prop_assert!(out.graph.edge_count() <= g.edge_count());
+    }
+
+    /// Skolem identity: evaluating the same query twice into one graph with
+    /// a shared table adds nothing new the second time.
+    #[test]
+    fn re_evaluation_is_idempotent(rg in arb_graph()) {
+        let g = build(&rg);
+        let q = parse_query(
+            r#"WHERE Nodes(x), x -> l -> y CREATE C(x) LINK C(x) -> l -> y COLLECT All(C(x))"#,
+        )
+        .unwrap();
+        let opts = EvalOptions::default();
+        let mut out = Graph::new(std::sync::Arc::clone(g.universe()));
+        let mut table = strudel::struql::SkolemTable::new();
+        q.evaluate_into(&g, &mut out, &mut table, &opts).unwrap();
+        let (n1, e1) = (out.node_count(), out.edge_count());
+        q.evaluate_into(&g, &mut out, &mut table, &opts).unwrap();
+        prop_assert_eq!((n1, e1), (out.node_count(), out.edge_count()));
+    }
+}
+
+// ---------------------------------------------------- incremental views ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Incremental maintenance equals full re-evaluation for any insertion
+    /// sequence (within the supported positive single-edge fragment).
+    #[test]
+    fn incremental_equals_rebuild(
+        rg in arb_graph(),
+        inserts in proptest::collection::vec((0usize..8, 0usize..8, 0u8..3), 1..12),
+    ) {
+        let mut data = build(&rg);
+        let q = parse_query(
+            r#"{ WHERE Nodes(x), x -> "a" -> y
+                 CREATE P(x)
+                 LINK P(x) -> "hit" -> y
+                 { WHERE y -> "b" -> z
+                   CREATE Q(z) LINK P(x) -> "deep" -> Q(z) } }"#,
+        )
+        .unwrap();
+        let mut inc = strudel::site::IncrementalSite::new(&data, &q, EvalOptions::default()).unwrap();
+        let nodes: Vec<_> = data.nodes().to_vec();
+        let labels = ["a", "b", "c"];
+        for (f, t, l) in inserts {
+            let (f, t) = (f % nodes.len(), t % nodes.len());
+            inc.add_edge(&mut data, nodes[f], labels[l as usize], Value::Node(nodes[t])).unwrap();
+        }
+        let rebuilt = q.evaluate(&data, &EvalOptions::default()).unwrap();
+        // Compare the *maintained* part: the extension of every Skolem
+        // function and each Skolem node's out-edges. (Raw edge counters
+        // differ benignly: a node adopted from the data graph shares its
+        // edge storage, so edges it gains later are visible but were not
+        // counted at adoption time.)
+        prop_assert_eq!(inc.table.len(), rebuilt.table.len());
+        let sig = |g: &Graph, table: &strudel::struql::SkolemTable| {
+            let mut out: Vec<String> = table
+                .iter()
+                .map(|(name, args, oid)| {
+                    let mut edges: Vec<String> = g
+                        .out_edges(oid)
+                        .into_iter()
+                        .map(|(l, v)| {
+                            let v = match v {
+                                Value::Node(n) => g.node_name(n).unwrap_or_default().to_string(),
+                                other => other.to_string(),
+                            };
+                            format!("{}->{v}", g.resolve(l))
+                        })
+                        .collect();
+                    edges.sort();
+                    format!(
+                        "{name}({}) {{{}}}",
+                        args.iter().map(ToString::to_string).collect::<Vec<_>>().join(","),
+                        edges.join(";")
+                    )
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        prop_assert_eq!(sig(&inc.site, &inc.table), sig(&rebuilt.graph, &rebuilt.table));
+    }
+}
+
+// ------------------------------------------------------------- templates ----
+
+proptest! {
+    /// Plain HTML without directives passes through untouched.
+    #[test]
+    fn plain_html_is_verbatim(html in "[a-zA-Z0-9 <>/=\"\\n]{0,80}") {
+        // Exclude accidental directives.
+        prop_assume!(!html.to_ascii_lowercase().contains("<sfmt"));
+        prop_assume!(!html.to_ascii_lowercase().contains("<sif"));
+        prop_assume!(!html.to_ascii_lowercase().contains("<sfor"));
+        prop_assume!(!html.to_ascii_lowercase().contains("<selse"));
+        let t = strudel::template::parse_template(&html).unwrap();
+        let mut g = Graph::standalone();
+        let n = g.new_node(None);
+        let mut ts = strudel::template::TemplateSet::new();
+        ts.set_object_template(n, &html).unwrap();
+        let rendered = strudel::template::Generator::new(&g, &ts).render_fragment(n).unwrap();
+        prop_assert_eq!(rendered, html);
+        prop_assert_eq!(t.directive_count(), 0);
+    }
+
+    /// Escaped text never contains raw markup characters.
+    #[test]
+    fn escape_is_safe(s in "\\PC{0,60}") {
+        let escaped = strudel::template::gen::escape(&s);
+        prop_assert!(!escaped.contains('<'));
+        prop_assert!(!escaped.contains('>'));
+        // `&` only as part of an entity.
+        for (i, _) in escaped.match_indices('&') {
+            let rest = &escaped[i..];
+            prop_assert!(
+                rest.starts_with("&amp;") || rest.starts_with("&lt;")
+                    || rest.starts_with("&gt;") || rest.starts_with("&quot;"),
+                "bare & in {escaped:?}"
+            );
+        }
+    }
+}

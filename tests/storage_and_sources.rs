@@ -1,0 +1,204 @@
+//! Integration tests for the storage layer and the less-used source kinds
+//! (HTML wrapper through the pipeline, GAV mappings through the facade,
+//! saving/loading data graphs across pipeline stages).
+
+use std::sync::Arc;
+use strudel::graph::{store, Graph, Value};
+use strudel::struql::{parse_query, EvalOptions};
+use strudel::Strudel;
+
+#[test]
+fn saved_data_graph_supports_full_pipeline_after_load() {
+    // Build a data graph from DDL, save it, load it, run the homepage query
+    // against the loaded copy.
+    let data = strudel::graph::ddl::parse(
+        r#"
+object p1 in Publications { title "UnQL" year 1996 }
+object p2 in Publications { title "StruQL" year 1997 }
+"#,
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    store::save(&data, &mut buf).unwrap();
+    let loaded = store::load(&mut buf.as_slice()).unwrap();
+
+    let q = parse_query(
+        r#"WHERE Publications(x), x -> "title" -> t
+           CREATE Page(x) LINK Page(x) -> "T" -> t COLLECT Pages(Page(x))"#,
+    )
+    .unwrap();
+    let a = q.evaluate(&data, &EvalOptions::default()).unwrap();
+    let b = q.evaluate(&loaded, &EvalOptions::default()).unwrap();
+    assert_eq!(
+        a.graph.collection_str("Pages").unwrap().len(),
+        b.graph.collection_str("Pages").unwrap().len()
+    );
+    assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+}
+
+#[test]
+fn site_graph_can_be_saved_and_reloaded() {
+    let mut s = strudel::synth::news::system(25, 31, false).unwrap();
+    let build = s.build_site().unwrap();
+    let mut buf = Vec::new();
+    store::save(&build.graph, &mut buf).unwrap();
+    let loaded = store::load(&mut buf.as_slice()).unwrap();
+    assert_eq!(loaded.node_count(), build.graph.node_count());
+    assert_eq!(loaded.edge_count(), build.graph.edge_count());
+    // Collections (including the per-Skolem-function ones) survive.
+    assert_eq!(
+        loaded.collection_str("ArticlePage").unwrap().len(),
+        build.graph.collection_str("ArticlePage").unwrap().len()
+    );
+}
+
+#[test]
+fn html_source_through_the_pipeline() {
+    let mut s = Strudel::new();
+    s.add_html_source(
+        "crawl",
+        vec![
+            (
+                "index.html".to_string(),
+                r#"<title>Front</title><h1>Welcome</h1>
+                   <a href="story.html">A story</a>
+                   <a href="http://other.example/">elsewhere</a>"#
+                    .to_string(),
+            ),
+            (
+                "story.html".to_string(),
+                r#"<title>Story</title><p>Body text here.</p><img src="pic.jpg">"#.to_string(),
+            ),
+        ],
+    );
+    // Restructure wrapped pages into a mirror site.
+    s.add_site_query(
+        r#"CREATE Root()
+           {
+             WHERE Pages(p), p -> "title" -> t
+             CREATE Mirror(p)
+             LINK Mirror(p) -> "Title" -> t, Root() -> "Page" -> Mirror(p)
+             {
+               WHERE p -> "link" -> q, Pages(q)
+               CREATE Mirror(q)
+               LINK Mirror(p) -> "LinksTo" -> Mirror(q)
+             }
+           }"#,
+    )
+    .unwrap();
+    let build = s.build_site().unwrap();
+    assert_eq!(build.pages_of("Mirror").len(), 2);
+    // The internal link became a Mirror→Mirror edge.
+    let idx = build.table.lookup(
+        "Mirror",
+        &[Value::Node(
+            s.data_graph().unwrap().collection_str("Pages").unwrap().items()[0].as_node().unwrap(),
+        )],
+    );
+    let idx = idx.expect("mirror of index.html");
+    let links_to = build.graph.universe().interner().get("LinksTo").unwrap();
+    assert_eq!(build.graph.reader().attr_values(idx, links_to).count(), 1);
+}
+
+#[test]
+fn gav_mapping_through_the_facade() {
+    let mut s = Strudel::new();
+    s.add_ddl_source(
+        "raw",
+        r#"
+object r1 in Records { kind "person" name "Mary" }
+object r2 in Records { kind "person" name "Dan" }
+object r3 in Records { kind "machine" name "vax1" }
+"#,
+    );
+    // Mediated schema: People only.
+    s.add_mapping(
+        "raw",
+        r#"WHERE Records(r), r -> "kind" -> "person", r -> "name" -> n
+           CREATE Person(n)
+           LINK Person(n) -> "name" -> n
+           COLLECT People(Person(n))"#,
+    )
+    .unwrap();
+    s.add_site_query(
+        r#"CREATE Root()
+           { WHERE People(p), p -> "name" -> n
+             CREATE Page(p) LINK Page(p) -> "Name" -> n, Root() -> "Person" -> Page(p) }"#,
+    )
+    .unwrap();
+    let build = s.build_site().unwrap();
+    assert_eq!(build.pages_of("Page").len(), 2, "machines filtered out by the GAV mapping");
+}
+
+#[test]
+fn aggregates_flow_through_templates() {
+    // COUNT in the site query surfaces as a page attribute rendered by SFMT.
+    let mut s = Strudel::new();
+    s.add_ddl_source(
+        "pubs",
+        r#"
+object p1 in Publications { year 1997 }
+object p2 in Publications { year 1997 }
+object p3 in Publications { year 1998 }
+"#,
+    );
+    s.add_site_query(
+        r#"{ WHERE Publications(x), x -> "year" -> y
+             CREATE YearPage(y)
+             LINK YearPage(y) -> "Year" -> y,
+                  YearPage(y) -> "papers" -> COUNT(x)
+             COLLECT Roots(YearPage(y)) }"#,
+    )
+    .unwrap();
+    s.templates_mut()
+        .set_collection_template("YearPage", "<SFMT @Year>: <SFMT @papers> papers")
+        .unwrap();
+    let site = s.generate_site(&["YearPage"]).unwrap();
+    let y97 = site.pages.iter().find(|(k, _)| k.contains("1997")).unwrap().1;
+    assert_eq!(y97, "1997: 2 papers");
+}
+
+#[test]
+fn universe_shared_between_data_and_saved_site() {
+    // save() densifies oids, so a site graph whose nodes interleave with
+    // data-graph nodes in the universe still roundtrips.
+    let uni = strudel::graph::graph::Universe::new();
+    let mut data = Graph::new(Arc::clone(&uni));
+    let d1 = data.new_node(Some("d1"));
+    data.add_edge_str(d1, "k", 1i64).unwrap();
+    let mut site = Graph::new(Arc::clone(&uni));
+    let s1 = site.new_node(Some("S()"));
+    let _d2 = data.new_node(Some("d2")); // interleaved allocation
+    let s2 = site.new_node(Some("T()"));
+    site.add_edge_str(s1, "next", Value::Node(s2)).unwrap();
+    let mut buf = Vec::new();
+    store::save(&site, &mut buf).unwrap();
+    let loaded = store::load(&mut buf.as_slice()).unwrap();
+    assert_eq!(loaded.node_count(), 2);
+    assert_eq!(loaded.edge_count(), 1);
+    let next = loaded.universe().interner().get("next").unwrap();
+    let from = loaded.nodes()[0];
+    assert!(loaded.reader().attr(from, next).is_some());
+}
+
+#[test]
+fn file_resolver_survives_repeated_generations() {
+    let mut s = Strudel::new();
+    s.add_ddl_source(
+        "pubs",
+        r#"collection Publications { abstract text }
+object p1 in Publications { title "A" abstract "abs/a.txt" }"#,
+    );
+    s.add_site_query(
+        r#"{ WHERE Publications(x), x -> l -> v
+             CREATE Page(x) LINK Page(x) -> l -> v COLLECT Roots(Page(x)) }"#,
+    )
+    .unwrap();
+    s.templates_mut().set_collection_template("Page", "<SFMT @abstract>").unwrap();
+    s.set_file_resolver(Box::new(|p| (p == "abs/a.txt").then(|| "THE ABSTRACT".to_string())));
+    for round in 0..3 {
+        let site = s.generate_site(&["Page"]).unwrap();
+        let page = site.pages.values().next().unwrap();
+        assert!(page.contains("THE ABSTRACT"), "round {round}: resolver lost: {page}");
+    }
+}
