@@ -15,13 +15,17 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[100usize, 200, 400] {
         let src = org::generate(n, 1997);
-        group.bench_with_input(BenchmarkId::new("warehouse+site_graph", n), &src, |b, src| {
-            b.iter(|| {
-                let mut s = org::system(src).unwrap();
-                let build = s.build_site().unwrap();
-                black_box(build.graph.edge_count())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("warehouse+site_graph", n),
+            &src,
+            |b, src| {
+                b.iter(|| {
+                    let mut s = org::system(src).unwrap();
+                    let build = s.build_site().unwrap();
+                    black_box(build.graph.edge_count())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -38,13 +42,17 @@ fn bench_generate(c: &mut Criterion) {
                 black_box(site.pages.len())
             });
         });
-        group.bench_with_input(BenchmarkId::new("html_internal_parallel4", n), &src, |b, src| {
-            let mut s = org::system(src).unwrap();
-            b.iter(|| {
-                let site = s.generate_site_parallel(&["RootPage"], 4).unwrap();
-                black_box(site.pages.len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("html_internal_parallel4", n),
+            &src,
+            |b, src| {
+                let mut s = org::system(src).unwrap();
+                b.iter(|| {
+                    let site = s.generate_site_parallel(&["RootPage"], 4).unwrap();
+                    black_box(site.pages.len())
+                });
+            },
+        );
     }
     group.finish();
 }

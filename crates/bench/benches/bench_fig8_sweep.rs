@@ -21,12 +21,16 @@ fn bench_grid(c: &mut Criterion) {
     for &n in &[50usize, 200, 800] {
         for level in [1usize, 2, 4] {
             let id = format!("n{n}_level{level}");
-            group.bench_with_input(BenchmarkId::new("strudel", &id), &(n, level), |b, &(n, level)| {
-                b.iter(|| {
-                    let mut s = fig8::strudel_system(n, 5, level).unwrap();
-                    black_box(s.generate_site(&["FrontPage"]).unwrap().pages.len())
-                });
-            });
+            group.bench_with_input(
+                BenchmarkId::new("strudel", &id),
+                &(n, level),
+                |b, &(n, level)| {
+                    b.iter(|| {
+                        let mut s = fig8::strudel_system(n, 5, level).unwrap();
+                        black_box(s.generate_site(&["FrontPage"]).unwrap().pages.len())
+                    });
+                },
+            );
         }
     }
     group.finish();
@@ -37,12 +41,20 @@ fn bench_baselines(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[50usize, 200, 800] {
         let data = ddl::parse(&news::generate_ddl(n, 5)).unwrap();
-        group.bench_with_input(BenchmarkId::new("procedural_level3", n), &data, |b, data| {
-            b.iter(|| black_box(baselines::procedural::news_site(data).len()));
-        });
-        group.bench_with_input(BenchmarkId::new("rdbms_dump_level1", n), &data, |b, data| {
-            b.iter(|| black_box(baselines::rdbms_web::dump_site(data).len()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("procedural_level3", n),
+            &data,
+            |b, data| {
+                b.iter(|| black_box(baselines::procedural::news_site(data).len()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rdbms_dump_level1", n),
+            &data,
+            |b, data| {
+                b.iter(|| black_box(baselines::rdbms_web::dump_site(data).len()));
+            },
+        );
     }
     group.finish();
 }
@@ -73,13 +85,23 @@ fn print_summary_table() {
         let pages = baselines::procedural::news_site(&data).len();
         println!(
             "{:<12} {:>6} {:>7} {:>12?} {:>7} {:>10}",
-            "procedural", n, "L3-only", t.elapsed(), pages, "~160 (program)"
+            "procedural",
+            n,
+            "L3-only",
+            t.elapsed(),
+            pages,
+            "~160 (program)"
         );
         let t = Instant::now();
         let pages = baselines::rdbms_web::dump_site(&data).len();
         println!(
             "{:<12} {:>6} {:>7} {:>12?} {:>7} {:>10}",
-            "rdbms-dump", n, "L1-only", t.elapsed(), pages, "~45 (fixed)"
+            "rdbms-dump",
+            n,
+            "L1-only",
+            t.elapsed(),
+            pages,
+            "~45 (fixed)"
         );
     }
     println!();

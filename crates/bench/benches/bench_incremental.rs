@@ -31,14 +31,20 @@ fn bench_materialize_vs_click(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("first_click_front_page", n), &n, |b, _| {
             b.iter(|| {
-                let mut site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
-                let root = PageRef { skolem: "FrontPage".into(), args: vec![] };
+                let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+                let root = PageRef {
+                    skolem: "FrontPage".into(),
+                    args: vec![],
+                };
                 black_box(site.expand(&root).unwrap().len())
             });
         });
         group.bench_with_input(BenchmarkId::new("cached_re_click", n), &n, |b, _| {
-            let mut site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
-            let root = PageRef { skolem: "FrontPage".into(), args: vec![] };
+            let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+            let root = PageRef {
+                skolem: "FrontPage".into(),
+                args: vec![],
+            };
             site.expand(&root).unwrap();
             b.iter(|| black_box(site.expand(&root).unwrap().len()));
         });
@@ -53,8 +59,11 @@ fn report_crossover() {
         let t0 = std::time::Instant::now();
         let out = query.evaluate(&data, &EvalOptions::default()).unwrap();
         let full = t0.elapsed();
-        let mut site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
-        let root = PageRef { skolem: "FrontPage".into(), args: vec![] };
+        let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let root = PageRef {
+            skolem: "FrontPage".into(),
+            args: vec![],
+        };
         let t1 = std::time::Instant::now();
         let links = site.expand(&root).unwrap();
         let click = t1.elapsed();
@@ -93,28 +102,50 @@ fn bench_incremental_maintenance(c: &mut Criterion) {
     for &n in &[200usize, 800] {
         let data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
         let query = parse_query(MAINTAINABLE_QUERY).unwrap();
-        group.bench_with_input(BenchmarkId::new("single_insert_incremental", n), &n, |b, _| {
-            let mut data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
-            let mut inc =
-                strudel::site::IncrementalSite::new(&data, &query, EvalOptions::default()).unwrap();
-            let article = data.nodes()[0];
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                inc.add_edge(&mut data, article, "tag", strudel::graph::Value::Int(i as i64)).unwrap();
-                black_box(inc.site.edge_count())
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("single_insert_full_rebuild", n), &n, |b, _| {
-            let mut data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
-            let article = data.nodes()[0];
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                data.add_edge_str(article, "tag", strudel::graph::Value::Int(i as i64)).unwrap();
-                black_box(query.evaluate(&data, &EvalOptions::default()).unwrap().graph.edge_count())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("single_insert_incremental", n),
+            &n,
+            |b, _| {
+                let mut data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
+                let mut inc =
+                    strudel::site::IncrementalSite::new(&data, &query, EvalOptions::default())
+                        .unwrap();
+                let article = data.nodes()[0];
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    inc.add_edge(
+                        &mut data,
+                        article,
+                        "tag",
+                        strudel::graph::Value::Int(i as i64),
+                    )
+                    .unwrap();
+                    black_box(inc.site.edge_count())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_insert_full_rebuild", n),
+            &n,
+            |b, _| {
+                let mut data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
+                let article = data.nodes()[0];
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    data.add_edge_str(article, "tag", strudel::graph::Value::Int(i as i64))
+                        .unwrap();
+                    black_box(
+                        query
+                            .evaluate(&data, &EvalOptions::default())
+                            .unwrap()
+                            .graph
+                            .edge_count(),
+                    )
+                });
+            },
+        );
         let _ = data;
     }
     group.finish();

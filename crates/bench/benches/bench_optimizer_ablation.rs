@@ -92,7 +92,10 @@ fn report_plan_quality() {
         ("cost_based", Optimizer::CostBased),
     ] {
         let out = q.evaluate(&g, &EvalOptions::with_optimizer(opt)).unwrap();
-        println!("  {name:<11} intermediate rows: {}", out.stats.intermediate_rows);
+        println!(
+            "  {name:<11} intermediate rows: {}",
+            out.stats.intermediate_rows
+        );
     }
     println!();
 }

@@ -23,7 +23,8 @@ fn random_graph(n: usize, seed: u64) -> Graph {
             g.add_edge_str(from, l, Value::Node(to)).unwrap();
         }
         if r.gen_bool(0.2) {
-            g.add_edge_str(from, "img", Value::file(FileKind::Image, "x.gif")).unwrap();
+            g.add_edge_str(from, "img", Value::file(FileKind::Image, "x.gif"))
+                .unwrap();
         } else {
             g.add_edge_str(from, "text", "content").unwrap();
         }
@@ -113,5 +114,10 @@ fn bench_copy_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reachability, bench_transitive_closure, bench_copy_query);
+criterion_group!(
+    benches,
+    bench_reachability,
+    bench_transitive_closure,
+    bench_copy_query
+);
 criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Experiment A-SERVE (DESIGN.md §4): click-time serving latency over HTTP.
+//!
+//! STRUDEL's click-time evaluation ([FER 98c] §6) answers each page request
+//! by running the LINK clauses that govern the page. This bench measures the
+//! end-to-end request latency of [`strudel::serve::Server`] — TCP connect,
+//! request, full response — under three cache regimes:
+//!
+//! * `hot` — the page's clause results are cached; the request is pure
+//!   lookup + rendering.
+//! * `cold` — the cache is cleared before every request; each click re-runs
+//!   the governing sub-queries.
+//! * `post_invalidation` — a data-graph edge delta invalidates the affected
+//!   keys before every request (the steady state of a site whose sources
+//!   keep changing).
+//!
+//! Each regime runs on a 1-thread and a 4-thread worker pool. On a single
+//! CPU the pools perform alike for a lone client; the 4-thread numbers only
+//! separate under concurrent load (see the `concurrent_requests_match_serial_answers`
+//! test for the correctness side of that story).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use strudel::serve::{page_url, Server, ServerConfig};
+use strudel::site::{Delta, DynamicSite, PageRef};
+use strudel::struql::{parse_query, EvalOptions, Query};
+use strudel::synth::news;
+use strudel_graph::{ddl, Graph};
+
+const SEED: u64 = 7;
+
+fn setup(n: usize) -> (Graph, Query) {
+    let data = ddl::parse(&news::generate_ddl(n, SEED)).unwrap();
+    let query = parse_query(news::SITE_QUERY).unwrap();
+    (data, query)
+}
+
+/// One full HTTP exchange; returns the response size in bytes.
+fn fetch(addr: &str, path: &str) -> usize {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut body = Vec::new();
+    stream.read_to_end(&mut body).unwrap();
+    body.len()
+}
+
+/// A delta that re-adds an existing article edge: the invalidation analysis
+/// matches it against cached keys exactly like a genuine source update.
+fn article_delta(data: &Graph) -> Delta {
+    let edge = data
+        .edges()
+        .into_iter()
+        .find(|e| data.resolve(e.label).as_ref() == "headline")
+        .expect("news graph has article headlines");
+    Delta::EdgeAdded {
+        from: edge.from,
+        label: edge.label,
+        to: edge.to,
+    }
+}
+
+fn bench_request_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(20);
+    let (data, query) = setup(400);
+    let delta = article_delta(&data);
+
+    for &threads in &[1usize, 4] {
+        let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let config = ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind_with(site, "127.0.0.1:0", config).unwrap();
+        let addr = server.addr().unwrap().to_string();
+        let front = page_url(&PageRef {
+            skolem: "FrontPage".into(),
+            args: vec![],
+        });
+
+        std::thread::scope(|s| {
+            s.spawn(|| server.serve(None).unwrap());
+
+            fetch(&addr, &front); // warm cache + pool
+            group.bench_with_input(BenchmarkId::new("hot", threads), &threads, |b, _| {
+                b.iter(|| black_box(fetch(&addr, &front)));
+            });
+            group.bench_with_input(BenchmarkId::new("cold", threads), &threads, |b, _| {
+                b.iter(|| {
+                    server.site().cache_clear();
+                    black_box(fetch(&addr, &front))
+                });
+            });
+            fetch(&addr, &front);
+            group.bench_with_input(
+                BenchmarkId::new("post_invalidation", threads),
+                &threads,
+                |b, _| {
+                    b.iter(|| {
+                        server.site().invalidate(&delta);
+                        black_box(fetch(&addr, &front))
+                    });
+                },
+            );
+
+            fetch(&addr, "/quit");
+        });
+    }
+    group.finish();
+}
+
+/// Prints a summary table (mean latency per regime/pool) for EXPERIMENTS.md.
+fn report_serve_latencies() {
+    println!("\n=== A-SERVE: click-time request latency (news site, 400 articles) ===");
+    println!(
+        "{:<20} {:>8} {:>12} {:>12}",
+        "regime", "threads", "mean", "resp bytes"
+    );
+    let (data, query) = setup(400);
+    let delta = article_delta(&data);
+    for &threads in &[1usize, 4] {
+        let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let config = ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind_with(site, "127.0.0.1:0", config).unwrap();
+        let addr = server.addr().unwrap().to_string();
+        let front = page_url(&PageRef {
+            skolem: "FrontPage".into(),
+            args: vec![],
+        });
+        std::thread::scope(|s| {
+            s.spawn(|| server.serve(None).unwrap());
+            let mut bytes = fetch(&addr, &front);
+            let rounds = 30u32;
+            let mut time = |prep: &dyn Fn()| {
+                let t0 = std::time::Instant::now();
+                for _ in 0..rounds {
+                    prep();
+                    bytes = fetch(&addr, &front);
+                }
+                t0.elapsed() / rounds
+            };
+            let hot = time(&|| {});
+            let cold = time(&|| server.site().cache_clear());
+            fetch(&addr, &front);
+            let inval = time(&|| {
+                server.site().invalidate(&delta);
+            });
+            println!("{:<20} {:>8} {:>12?} {:>12}", "hot", threads, hot, bytes);
+            println!("{:<20} {:>8} {:>12?} {:>12}", "cold", threads, cold, bytes);
+            println!(
+                "{:<20} {:>8} {:>12?} {:>12}",
+                "post_invalidation", threads, inval, bytes
+            );
+            fetch(&addr, "/quit");
+        });
+    }
+}
+
+fn run_reports(_c: &mut Criterion) {
+    report_serve_latencies();
+}
+
+criterion_group!(benches, bench_request_latency, run_reports);
+criterion_main!(benches);

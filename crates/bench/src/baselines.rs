@@ -33,7 +33,9 @@ pub mod procedural {
             })
         };
         let attrs = |n: Oid, a: &str| -> Vec<Value> {
-            sym(a).map(|s| reader.attr_values(n, s).cloned().collect()).unwrap_or_default()
+            sym(a)
+                .map(|s| reader.attr_values(n, s).cloned().collect())
+                .unwrap_or_default()
         };
 
         // Bucket articles by section.
@@ -59,11 +61,18 @@ pub mod procedural {
             }
             for img in attrs(a, "image") {
                 if let Some(p) = img.text() {
-                    html.push_str(&format!("<img src=\"{}\" alt=\"{}\">", escape(&p), escape(&p)));
+                    html.push_str(&format!(
+                        "<img src=\"{}\" alt=\"{}\">",
+                        escape(&p),
+                        escape(&p)
+                    ));
                 }
             }
             if let Some(body) = attrs(a, "body").first().and_then(Value::text) {
-                html.push_str(&format!("<div class=\"body\"><a href=\"{0}\">{0}</a></div>", escape(&body)));
+                html.push_str(&format!(
+                    "<div class=\"body\"><a href=\"{0}\">{0}</a></div>",
+                    escape(&body)
+                ));
             }
             let related = attrs(a, "related");
             if !related.is_empty() {
@@ -71,7 +80,10 @@ pub mod procedural {
                 for r in related {
                     if let Some(t) = r.as_node() {
                         let head = attr_str(t, "headline").unwrap_or_default();
-                        html.push_str(&format!("<li><a href=\"{}\">{head}</a></li>", article_file(t)));
+                        html.push_str(&format!(
+                            "<li><a href=\"{}\">{head}</a></li>",
+                            article_file(t)
+                        ));
                     }
                 }
                 html.push_str("</ul>");
@@ -84,10 +96,17 @@ pub mod procedural {
         let summary_of = |a: Oid| -> String {
             let mut s = String::new();
             let head = attr_str(a, "headline").unwrap_or_default();
-            s.push_str(&format!("<h3><a href=\"{}\">{head}</a></h3>", article_file(a)));
+            s.push_str(&format!(
+                "<h3><a href=\"{}\">{head}</a></h3>",
+                article_file(a)
+            ));
             for img in attrs(a, "image") {
                 if let Some(p) = img.text() {
-                    s.push_str(&format!("<img src=\"{}\" alt=\"{}\">", escape(&p), escape(&p)));
+                    s.push_str(&format!(
+                        "<img src=\"{}\" alt=\"{}\">",
+                        escape(&p),
+                        escape(&p)
+                    ));
                 }
             }
             if let Some(sum) = attr_str(a, "summary") {
@@ -136,7 +155,10 @@ pub mod procedural {
         }
         front.push_str("<h2>Sections</h2><ul>");
         for name in sections.keys() {
-            front.push_str(&format!("<li><a href=\"section_{name}.html\">{}</a></li>", escape(name)));
+            front.push_str(&format!(
+                "<li><a href=\"section_{name}.html\">{}</a></li>",
+                escape(name)
+            ));
         }
         front.push_str("</ul></body></html>");
         pages.insert("front.html".into(), front);
@@ -157,11 +179,16 @@ pub mod rdbms_web {
         let mut index = String::from("<html><body><h1>Database</h1><ul>");
         for &coll in data.collection_names() {
             let name = data.resolve(coll);
-            index.push_str(&format!("<li><a href=\"table_{name}.html\">{name}</a></li>"));
+            index.push_str(&format!(
+                "<li><a href=\"table_{name}.html\">{name}</a></li>"
+            ));
             let mut table = format!("<html><body><h1>{name}</h1><ul>");
             for item in data.collection(coll).expect("listed").items() {
                 if let Some(n) = item.as_node() {
-                    table.push_str(&format!("<li><a href=\"record_{}.html\">record {}</a></li>", n.0, n.0));
+                    table.push_str(&format!(
+                        "<li><a href=\"record_{}.html\">record {}</a></li>",
+                        n.0, n.0
+                    ));
                     let mut record = format!("<html><body><h1>record {}</h1><table>", n.0);
                     for (label, value) in reader.out(n) {
                         record.push_str(&format!(
@@ -201,10 +228,18 @@ mod tests {
         let declarative = s.generate_site(&["FrontPage"]).unwrap();
         // Same number of article pages; front + per-section pages.
         let hand_articles = hand.keys().filter(|k| k.starts_with("article_")).count();
-        let decl_articles = declarative.pages.keys().filter(|k| k.starts_with("articlepage")).count();
+        let decl_articles = declarative
+            .pages
+            .keys()
+            .filter(|k| k.starts_with("articlepage"))
+            .count();
         assert_eq!(hand_articles, decl_articles);
         let hand_sections = hand.keys().filter(|k| k.starts_with("section_")).count();
-        let decl_sections = declarative.pages.keys().filter(|k| k.starts_with("sectionpage")).count();
+        let decl_sections = declarative
+            .pages
+            .keys()
+            .filter(|k| k.starts_with("sectionpage"))
+            .count();
         assert_eq!(hand_sections, decl_sections);
     }
 
@@ -216,7 +251,10 @@ mod tests {
             for href in html.split("href=\"").skip(1) {
                 let target = &href[..href.find('"').unwrap()];
                 if target.ends_with(".html") {
-                    assert!(pages.contains_key(target), "{name} links to missing {target}");
+                    assert!(
+                        pages.contains_key(target),
+                        "{name} links to missing {target}"
+                    );
                 }
             }
         }

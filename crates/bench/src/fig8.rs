@@ -98,12 +98,17 @@ pub fn strudel_templates(level: usize) -> Result<TemplateSet> {
         front.push_str("<SIF @TopStory><h2>Top</h2><SFOR s IN @TopStory LIST=ul><SFMT @s LINK=@s.headline></SFOR></SIF>\n");
     }
     if level >= 2 {
-        front.push_str("<h2>Sections</h2><SFOR s IN @Section LIST=ul><SFMT @s LINK=@s.Name></SFOR>\n");
+        front.push_str(
+            "<h2>Sections</h2><SFOR s IN @Section LIST=ul><SFMT @s LINK=@s.Name></SFOR>\n",
+        );
     } else {
-        front.push_str("<h2>Articles</h2><SFOR a IN @Article LIST=ul><SFMT @a LINK=@a.headline></SFOR>\n");
+        front.push_str(
+            "<h2>Articles</h2><SFOR a IN @Article LIST=ul><SFMT @a LINK=@a.headline></SFOR>\n",
+        );
     }
     if level >= 4 {
-        front.push_str("<h2>Authors</h2><SFOR a IN @Author LIST=ul><SFMT @a LINK=@a.Name></SFOR>\n");
+        front
+            .push_str("<h2>Authors</h2><SFOR a IN @Author LIST=ul><SFMT @a LINK=@a.Name></SFOR>\n");
         front.push_str("<h2>By date</h2><SFOR d IN @ByDate ORDER=ascend KEY=@Date LIST=ul><SFMT @d LINK=@d.Date></SFOR>\n");
     }
     front.push_str("</body></html>");
@@ -150,7 +155,11 @@ pub fn strudel_system(n_articles: usize, seed: u64, level: usize) -> Result<Stru
 /// the declarative specification the site builder maintains.
 pub fn strudel_spec_lines(level: usize) -> usize {
     let q = strudel_query(level);
-    let query_lines = q.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with("//")).count();
+    let query_lines = q
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count();
     // Count template lines by re-rendering the level's template sources.
     // (TemplateSet doesn't expose sources; approximate from the builders.)
     let template_lines = match level {
@@ -182,7 +191,11 @@ mod tests {
         for level in 1..=MAX_LEVEL {
             let mut s = strudel_system(30, 9, level).unwrap();
             let site = s.generate_site(&["FrontPage"]).unwrap();
-            assert!(site.pages.len() > 30, "level {level}: {} pages", site.pages.len());
+            assert!(
+                site.pages.len() > 30,
+                "level {level}: {} pages",
+                site.pages.len()
+            );
         }
     }
 

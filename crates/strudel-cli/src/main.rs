@@ -8,6 +8,7 @@
 //! strudel-cli verify  <site.spec> <constraint>    check a structural constraint
 //! strudel-cli query   <data.(ddl|bin)> <q.struql> run an ad-hoc query, print DDL
 //! strudel-cli serve   <site.spec> [addr]          click-time evaluation over HTTP
+//!     [--threads N] [--cache-entries N] [--cache-bytes N]
 //! strudel-cli demo    <dir>                       write a ready-to-build demo site
 //! ```
 //!
@@ -24,7 +25,7 @@ mod spec;
 use std::path::Path;
 use std::process::ExitCode;
 use strudel::site::Constraint;
-use strudel::{StrudelError, Strudel};
+use strudel::{Strudel, StrudelError};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,13 +35,10 @@ fn main() -> ExitCode {
         Some("explain") if args.len() == 2 => cmd_explain(Path::new(&args[1])),
         Some("verify") if args.len() >= 3 => cmd_verify(Path::new(&args[1]), &args[2..].join(" ")),
         Some("query") if args.len() == 3 => cmd_query(Path::new(&args[1]), Path::new(&args[2])),
-        Some("serve") if args.len() >= 2 => {
-            let addr = args.get(2).cloned().unwrap_or_else(|| "127.0.0.1:8017".to_string());
-            cmd_serve(Path::new(&args[1]), &addr)
-        }
+        Some("serve") if args.len() >= 2 => cmd_serve(Path::new(&args[1]), &args[2..]),
         Some("demo") if args.len() == 2 => cmd_demo(Path::new(&args[1])),
         _ => {
-            eprintln!("usage:\n  strudel-cli build   <site.spec>\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec>\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin)> <query.struql>\n  strudel-cli serve   <site.spec> [addr]\n  strudel-cli demo    <dir>");
+            eprintln!("usage:\n  strudel-cli build   <site.spec>\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec>\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin)> <query.struql>\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N]\n  strudel-cli demo    <dir>");
             return ExitCode::from(2);
         }
     };
@@ -99,13 +97,19 @@ fn load_system(spec_path: &Path) -> Result<(Strudel, spec::Spec), AnyError> {
         s.add_site_query(&read(q)?)?;
     }
     for (name, path) in &sp.templates {
-        s.templates_mut().set_collection_template(name, &read(path)?).map_err(StrudelError::Template)?;
+        s.templates_mut()
+            .set_collection_template(name, &read(path)?)
+            .map_err(StrudelError::Template)?;
     }
     for (name, path) in &sp.named_templates {
-        s.templates_mut().set_named(name, &read(path)?).map_err(StrudelError::Template)?;
+        s.templates_mut()
+            .set_named(name, &read(path)?)
+            .map_err(StrudelError::Template)?;
     }
     if let Some(path) = &sp.default_template {
-        s.templates_mut().set_default(&read(path)?).map_err(StrudelError::Template)?;
+        s.templates_mut()
+            .set_default(&read(path)?)
+            .map_err(StrudelError::Template)?;
     }
     Ok((s, sp))
 }
@@ -113,7 +117,10 @@ fn load_system(spec_path: &Path) -> Result<(Strudel, spec::Spec), AnyError> {
 fn cmd_build(spec_path: &Path) -> Result<(), AnyError> {
     let (mut s, sp) = load_system(spec_path)?;
     let roots: Vec<&str> = sp.roots.iter().map(String::as_str).collect();
-    let out = sp.output.clone().unwrap_or_else(|| Path::new("site-out").to_path_buf());
+    let out = sp
+        .output
+        .clone()
+        .unwrap_or_else(|| Path::new("site-out").to_path_buf());
     let t = std::time::Instant::now();
     let site = s.publish(&roots, &out)?;
     println!(
@@ -140,17 +147,23 @@ fn cmd_explain(spec_path: &Path) -> Result<(), AnyError> {
     let merged = s.merged_query();
     let opts = s.options_mut().clone();
     let data = s.data_graph()?;
-    println!("{}", merged.explain(data, &opts).map_err(StrudelError::Struql)?);
+    println!(
+        "{}",
+        merged.explain(data, &opts).map_err(StrudelError::Struql)?
+    );
     Ok(())
 }
 
 fn parse_constraint(text: &str) -> Result<Constraint, AnyError> {
     let words: Vec<&str> = text.split_whitespace().collect();
     match words.as_slice() {
-        ["reachable-from", root] => Ok(Constraint::AllReachableFrom { root: root.to_string() }),
-        ["none-reachable", from, forbidden] => {
-            Ok(Constraint::NoneReachable { from: from.to_string(), forbidden: forbidden.to_string() })
-        }
+        ["reachable-from", root] => Ok(Constraint::AllReachableFrom {
+            root: root.to_string(),
+        }),
+        ["none-reachable", from, forbidden] => Ok(Constraint::NoneReachable {
+            from: from.to_string(),
+            forbidden: forbidden.to_string(),
+        }),
         ["every", from, edge, to] => {
             let label = edge
                 .strip_prefix('-')
@@ -206,11 +219,37 @@ fn cmd_query(data_path: &Path, query_path: &Path) -> Result<(), AnyError> {
 /// templates) into `dir`, so `strudel-cli build <dir>/demo.site` works.
 /// Serves the site with click-time evaluation: nothing is materialized up
 /// front; each page runs its governing StruQL sub-queries on request.
-fn cmd_serve(spec_path: &Path, addr: &str) -> Result<(), AnyError> {
+///
+/// `rest` holds everything after the spec path: an optional bind address
+/// plus `--threads N`, `--cache-entries N` and `--cache-bytes N` flags.
+fn cmd_serve(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
+    let mut addr = "127.0.0.1:8017".to_string();
+    let mut config = strudel::serve::ServerConfig::default();
+    let mut cache = strudel::site::CacheConfig::default();
+
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<usize, AnyError> {
+            let v = it.next().ok_or_else(|| format!("{name} needs a value"))?;
+            v.parse().map_err(|e| format!("{name} {v}: {e}").into())
+        };
+        match arg.as_str() {
+            "--threads" => config.threads = flag_value("--threads")?.max(1),
+            "--cache-entries" => cache.max_entries = flag_value("--cache-entries")?,
+            "--cache-bytes" => cache.max_bytes = flag_value("--cache-bytes")?,
+            s if s.starts_with("--") => return Err(format!("unknown flag {s}").into()),
+            s => addr = s.to_string(),
+        }
+    }
+
     let (mut s, _) = load_system(spec_path)?;
-    let dynamic = s.dynamic_site()?;
-    let mut server = strudel::serve::Server::bind(dynamic, addr)?;
-    println!("serving dynamically evaluated site on http://{}/ (GET /quit to stop)", server.addr()?);
+    let dynamic = s.dynamic_site_with(cache)?;
+    let server = strudel::serve::Server::bind_with(dynamic, &addr, config)?;
+    println!(
+        "serving dynamically evaluated site on http://{}/ with {} worker threads (GET /quit to stop, GET /stats for metrics)",
+        server.addr()?,
+        server.config().threads,
+    );
     server.serve(None)?;
     Ok(())
 }
@@ -265,6 +304,9 @@ COLLECT Roots(HomePage())
         "demo.site",
         "source bibtex bibliography papers.bib\nquery site.struql\ntemplate HomePage home.tmpl\ntemplate Paper paper.tmpl\nroot HomePage\noutput out/\n",
     )?;
-    println!("demo written; try: strudel-cli build {}", dir.join("demo.site").display());
+    println!(
+        "demo written; try: strudel-cli build {}",
+        dir.join("demo.site").display()
+    );
     Ok(())
 }

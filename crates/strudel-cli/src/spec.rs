@@ -73,7 +73,8 @@ pub fn parse(text: &str, base: &Path) -> Result<Spec, String> {
                 if !matches!(kind, "bibtex" | "ddl" | "csv" | "html" | "xml") {
                     return Err(err("source kind must be bibtex|ddl|csv|html|xml"));
                 }
-                spec.sources.push((kind.to_string(), name.to_string(), resolve(path)));
+                spec.sources
+                    .push((kind.to_string(), name.to_string(), resolve(path)));
             }
             "fk" => {
                 // `fk People.dept -> Departments.code`
@@ -163,7 +164,15 @@ output out/
         assert_eq!(spec.sources.len(), 2);
         assert_eq!(spec.sources[0].0, "bibtex");
         assert_eq!(spec.sources[0].2, Path::new("/base/papers.bib"));
-        assert_eq!(spec.fks, vec![("People".into(), "dept".into(), "Departments".into(), "code".into())]);
+        assert_eq!(
+            spec.fks,
+            vec![(
+                "People".into(),
+                "dept".into(),
+                "Departments".into(),
+                "code".into()
+            )]
+        );
         assert_eq!(spec.queries, vec![PathBuf::from("/base/site.struql")]);
         assert_eq!(spec.roots, vec!["RootPage", "AbstractsPage"]);
         assert_eq!(spec.output, Some(PathBuf::from("/base/out/")));

@@ -10,7 +10,10 @@ fn bin() -> &'static str {
 }
 
 fn run(args: &[&str]) -> Output {
-    Command::new(bin()).args(args).output().expect("spawn strudel-cli")
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn strudel-cli")
 }
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -22,7 +25,11 @@ fn tmpdir(tag: &str) -> PathBuf {
 
 fn demo_spec(dir: &Path) -> String {
     let out = run(&["demo", dir.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     dir.join("demo.site").to_str().unwrap().to_string()
 }
 
@@ -31,7 +38,11 @@ fn demo_then_build_produces_a_browsable_site() {
     let dir = tmpdir("build");
     let spec = demo_spec(&dir);
     let out = run(&["build", &spec]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("built 3 pages"), "{stdout}");
     let home = std::fs::read_to_string(dir.join("out/homepage.html")).unwrap();
@@ -64,9 +75,16 @@ fn explain_shows_plans() {
     let dir = tmpdir("explain");
     let spec = demo_spec(&dir);
     let out = run(&["explain", &spec]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("coll-scan") || text.contains("out-scan"), "{text}");
+    assert!(
+        text.contains("coll-scan") || text.contains("out-scan"),
+        "{text}"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -75,33 +93,59 @@ fn verify_passes_and_fails_appropriately() {
     let dir = tmpdir("verify");
     let spec = demo_spec(&dir);
     let ok = run(&["verify", &spec, "reachable-from", "HomePage"]);
-    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
     assert!(String::from_utf8_lossy(&ok.stdout).contains("Satisfied"));
 
     let bad = run(&["verify", &spec, "every", "HomePage", "-Missing->", "Paper"]);
-    assert!(!bad.status.success(), "a violated constraint must exit nonzero");
+    assert!(
+        !bad.status.success(),
+        "a violated constraint must exit nonzero"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
 fn adhoc_query_roundtrips_ddl() {
     let dir = tmpdir("query");
-    std::fs::write(dir.join("d.ddl"), "object a in C { x 1 }\nobject b in C { x 2 }\n").unwrap();
+    std::fs::write(
+        dir.join("d.ddl"),
+        "object a in C { x 1 }\nobject b in C { x 2 }\n",
+    )
+    .unwrap();
     std::fs::write(
         dir.join("q.struql"),
         "WHERE C(v), v -> \"x\" -> y CREATE P(v) LINK P(v) -> \"X\" -> y COLLECT Out(P(v))\n",
     )
     .unwrap();
-    let out = run(&["query", dir.join("d.ddl").to_str().unwrap(), dir.join("q.struql").to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = run(&[
+        "query",
+        dir.join("d.ddl").to_str().unwrap(),
+        dir.join("q.struql").to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let ddl = String::from_utf8_lossy(&out.stdout);
     assert!(ddl.contains("collection Out"), "{ddl}");
     // The printed DDL re-parses through another `query` invocation.
     std::fs::write(dir.join("out.ddl"), ddl.as_bytes()).unwrap();
     std::fs::write(dir.join("q2.struql"), "WHERE Out(x) COLLECT O2(x)\n").unwrap();
-    let out2 =
-        run(&["query", dir.join("out.ddl").to_str().unwrap(), dir.join("q2.struql").to_str().unwrap()]);
-    assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
+    let out2 = run(&[
+        "query",
+        dir.join("out.ddl").to_str().unwrap(),
+        dir.join("q2.struql").to_str().unwrap(),
+    ]);
+    assert!(
+        out2.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out2.stderr)
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -19,7 +19,10 @@ pub struct Database {
 impl Database {
     /// Creates an empty database with a fresh universe.
     pub fn new() -> Self {
-        Database { universe: Universe::new(), graphs: BTreeMap::new() }
+        Database {
+            universe: Universe::new(),
+            graphs: BTreeMap::new(),
+        }
     }
 
     /// The shared universe.
@@ -32,7 +35,8 @@ impl Database {
         if self.graphs.contains_key(name) {
             return Err(GraphError::DuplicateGraph(name.to_string()));
         }
-        self.graphs.insert(name.to_string(), Graph::new(Arc::clone(&self.universe)));
+        self.graphs
+            .insert(name.to_string(), Graph::new(Arc::clone(&self.universe)));
         Ok(self.graphs.get_mut(name).expect("just inserted"))
     }
 
@@ -52,17 +56,23 @@ impl Database {
 
     /// Removes and returns the graph under `name`.
     pub fn remove_graph(&mut self, name: &str) -> Result<Graph> {
-        self.graphs.remove(name).ok_or_else(|| GraphError::UnknownGraph(name.to_string()))
+        self.graphs
+            .remove(name)
+            .ok_or_else(|| GraphError::UnknownGraph(name.to_string()))
     }
 
     /// Borrows the graph under `name`.
     pub fn graph(&self, name: &str) -> Result<&Graph> {
-        self.graphs.get(name).ok_or_else(|| GraphError::UnknownGraph(name.to_string()))
+        self.graphs
+            .get(name)
+            .ok_or_else(|| GraphError::UnknownGraph(name.to_string()))
     }
 
     /// Mutably borrows the graph under `name`.
     pub fn graph_mut(&mut self, name: &str) -> Result<&mut Graph> {
-        self.graphs.get_mut(name).ok_or_else(|| GraphError::UnknownGraph(name.to_string()))
+        self.graphs
+            .get_mut(name)
+            .ok_or_else(|| GraphError::UnknownGraph(name.to_string()))
     }
 
     /// Whether a graph named `name` exists.
@@ -111,7 +121,10 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut db = Database::new();
         db.create_graph("G").unwrap();
-        assert!(matches!(db.create_graph("G"), Err(GraphError::DuplicateGraph(_))));
+        assert!(matches!(
+            db.create_graph("G"),
+            Err(GraphError::DuplicateGraph(_))
+        ));
     }
 
     #[test]

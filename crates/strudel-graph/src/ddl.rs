@@ -78,11 +78,18 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, pos: 0, line: 1 }
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> GraphError {
-        GraphError::DdlParse { line: self.line, message: message.into() }
+        GraphError::DdlParse {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn peek_byte(&self) -> Option<u8> {
@@ -126,7 +133,9 @@ impl<'a> Lexer<'a> {
     fn next_tok(&mut self) -> Result<Option<(Tok, usize)>> {
         self.skip_trivia();
         let line = self.line;
-        let Some(b) = self.peek_byte() else { return Ok(None) };
+        let Some(b) = self.peek_byte() else {
+            return Ok(None);
+        };
         let tok = match b {
             b'{' => {
                 self.bump();
@@ -156,7 +165,11 @@ impl<'a> Lexer<'a> {
                             Some(b't') => s.push('\t'),
                             Some(b'"') => s.push('"'),
                             Some(b'\\') => s.push('\\'),
-                            other => return Err(self.err(format!("bad escape: \\{:?}", other.map(char::from)))),
+                            other => {
+                                return Err(
+                                    self.err(format!("bad escape: \\{:?}", other.map(char::from)))
+                                )
+                            }
                         },
                         Some(c) => s.push(c as char),
                     }
@@ -164,25 +177,40 @@ impl<'a> Lexer<'a> {
                 // Re-decode as UTF-8: the byte-wise loop above is only
                 // correct for ASCII, so recover multibyte sequences.
                 let bytes: Vec<u8> = s.chars().map(|c| c as u32 as u8).collect();
-                let s = String::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8 in string"))?;
+                let s =
+                    String::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8 in string"))?;
                 Tok::Str(s)
             }
             b'-' | b'0'..=b'9' => {
                 let start = self.pos;
+                // A sign is part of the number only immediately after an
+                // exponent marker (or as the leading character, consumed
+                // above) — otherwise `1997-1998` would lex as one token.
+                let mut after_exp = false;
                 self.bump();
-                while matches!(self.peek_byte(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')) {
+                while matches!(self.peek_byte(), Some(b'0'..=b'9' | b'.' | b'e' | b'E'))
+                    || (after_exp && matches!(self.peek_byte(), Some(b'-' | b'+')))
+                {
+                    after_exp = matches!(self.peek_byte(), Some(b'e' | b'E'));
                     self.bump();
                 }
                 let text = &self.src[start..self.pos];
                 if text.contains(['.', 'e', 'E']) {
-                    Tok::Float(text.parse().map_err(|_| self.err(format!("bad float {text:?}")))?)
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| self.err(format!("bad float {text:?}")))?,
+                    )
                 } else {
-                    Tok::Int(text.parse().map_err(|_| self.err(format!("bad integer {text:?}")))?)
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| self.err(format!("bad integer {text:?}")))?,
+                    )
                 }
             }
             b if b.is_ascii_alphabetic() || b == b'_' => {
                 let start = self.pos;
-                while matches!(self.peek_byte(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-') {
+                while matches!(self.peek_byte(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+                {
                     self.bump();
                 }
                 let word = &self.src[start..self.pos];
@@ -222,11 +250,18 @@ struct Parser<'g> {
 
 impl<'g> Parser<'g> {
     fn line(&self) -> usize {
-        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|(_, l)| *l).unwrap_or(1)
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(1)
     }
 
     fn err(&self, message: impl Into<String>) -> GraphError {
-        GraphError::DdlParse { line: self.line(), message: message.into() }
+        GraphError::DdlParse {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -269,7 +304,11 @@ impl<'g> Parser<'g> {
             match tok {
                 Tok::Ident(kw) if kw == "collection" => self.parse_collection()?,
                 Tok::Ident(kw) if kw == "object" => self.parse_object()?,
-                other => return Err(self.err(format!("expected `collection` or `object`, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!(
+                        "expected `collection` or `object`, found {other:?}"
+                    )))
+                }
             }
         }
         Ok(())
@@ -318,7 +357,9 @@ impl<'g> Parser<'g> {
             let attr = self.expect_ident("attribute name")?;
             let value = self.parse_value(&attr, colls)?;
             let label = self.graph.sym(&attr);
-            self.graph.add_edge(node, label, value).expect("node is a member");
+            self.graph
+                .add_edge(node, label, value)
+                .expect("node is a member");
         }
         self.expect(Tok::RBrace)
     }
@@ -346,7 +387,9 @@ impl<'g> Parser<'g> {
                 // Nested structured value: an anonymous node.
                 self.pos -= 1; // parse_body expects the brace
                 self.anon_counter += 1;
-                let inner = self.graph.new_node(Some(&format!("_anon{}", self.anon_counter)));
+                let inner = self
+                    .graph
+                    .new_node(Some(&format!("_anon{}", self.anon_counter)));
                 self.parse_body(inner, colls)?;
                 Ok(Value::Node(inner))
             }
@@ -381,7 +424,10 @@ pub fn parse(src: &str) -> Result<Graph> {
 // -------------------------------------------------------------- printer ----
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n").replace('\t', "\\t")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
 }
 
 /// Serializes a graph to DDL text. Nodes are named by their provenance name
@@ -397,8 +443,11 @@ pub fn print(graph: &Graph) -> String {
     // the output always re-parses.
     let ident_ok = |s: &str| -> bool {
         !s.is_empty()
-            && s.bytes().next().is_some_and(|b| b.is_ascii_alphabetic() || b == b'_')
-            && s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+            && s.bytes()
+                .next()
+                .is_some_and(|b| b.is_ascii_alphabetic() || b == b'_')
+            && s.bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
     };
     let name_of = move |n: NodeId| -> String {
         match reader.name(n) {
@@ -447,8 +496,10 @@ pub fn print(graph: &Graph) -> String {
                 }
             }
         }
-        let mut decls: Vec<(String, &'static str)> =
-            per_attr.into_iter().filter_map(|(a, kw)| kw.map(|k| (a, k))).collect();
+        let mut decls: Vec<(String, &'static str)> = per_attr
+            .into_iter()
+            .filter_map(|(a, kw)| kw.map(|k| (a, k)))
+            .collect();
         decls.sort();
         if !decls.is_empty() {
             directives.insert(cname, decls);
@@ -524,6 +575,34 @@ fn print_attrs(
 mod tests {
     use super::*;
 
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexer_splits_adjacent_signed_numbers() {
+        // `1-2` is two integers (e.g. a `1997-1998` range in source data),
+        // not a malformed single token.
+        assert_eq!(toks("1-2"), vec![Tok::Int(1), Tok::Int(-2)]);
+        assert_eq!(toks("1997-1998"), vec![Tok::Int(1997), Tok::Int(-1998)]);
+    }
+
+    #[test]
+    fn lexer_keeps_exponent_signs() {
+        assert_eq!(toks("1e5"), vec![Tok::Float(1e5)]);
+        assert_eq!(toks("1e-5"), vec![Tok::Float(1e-5)]);
+        assert_eq!(toks("2.5E+3"), vec![Tok::Float(2.5e3)]);
+        // The sign rule only applies right after the exponent marker:
+        // `1e-5-2` is the float then a second number.
+        assert_eq!(toks("1e-5-2"), vec![Tok::Float(1e-5), Tok::Int(-2)]);
+    }
+
+    #[test]
+    fn lexer_rejects_double_sign() {
+        let err = lex("--3").unwrap_err().to_string();
+        assert!(err.contains("bad integer"), "{err}");
+    }
+
     /// Fig. 2 of the paper, verbatim in structure.
     const FIG2: &str = r#"
 collection Publications {
@@ -570,9 +649,15 @@ object pub2 in Publications {
         assert_eq!(r.attr(pub1, year), Some(&Value::Int(1997)));
         // Directive typing: abstract is a text file, postscript a PS file.
         let abs = g.universe().interner().get("abstract").unwrap();
-        assert_eq!(r.attr(pub1, abs), Some(&Value::file(FileKind::Text, "abstracts/toplas97.txt")));
+        assert_eq!(
+            r.attr(pub1, abs),
+            Some(&Value::file(FileKind::Text, "abstracts/toplas97.txt"))
+        );
         let ps = g.universe().interner().get("postscript").unwrap();
-        assert_eq!(r.attr(pub1, ps), Some(&Value::file(FileKind::PostScript, "papers/toplas97.ps.gz")));
+        assert_eq!(
+            r.attr(pub1, ps),
+            Some(&Value::file(FileKind::PostScript, "papers/toplas97.ps.gz"))
+        );
     }
 
     #[test]
@@ -632,10 +717,7 @@ object mff {
 
     #[test]
     fn multiple_collection_membership() {
-        let g = parse(
-            "collection A {}\ncollection B {}\nobject x in A, B { k 1 }",
-        )
-        .unwrap();
+        let g = parse("collection A {}\ncollection B {}\nobject x in A, B { k 1 }").unwrap();
         let n = Value::Node(g.nodes()[0]);
         assert!(g.collection_str("A").unwrap().contains(&n));
         assert!(g.collection_str("B").unwrap().contains(&n));
@@ -653,7 +735,10 @@ object mff {
     fn string_escapes() {
         let g = parse(r#"object x { s "a\"b\\c\nd" }"#).unwrap();
         let s = g.universe().interner().get("s").unwrap();
-        assert_eq!(g.reader().attr(g.nodes()[0], s), Some(&Value::str("a\"b\\c\nd")));
+        assert_eq!(
+            g.reader().attr(g.nodes()[0], s),
+            Some(&Value::str("a\"b\\c\nd"))
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ impl fmt::Display for GraphError {
             GraphError::NotAMember(n) => write!(f, "node {n} is not a member of this graph"),
             GraphError::DuplicateGraph(name) => write!(f, "graph {name:?} already exists"),
             GraphError::UnknownGraph(name) => write!(f, "no graph named {name:?}"),
-            GraphError::DdlParse { line, message } => write!(f, "DDL parse error at line {line}: {message}"),
+            GraphError::DdlParse { line, message } => {
+                write!(f, "DDL parse error at line {line}: {message}")
+            }
         }
     }
 }

@@ -110,7 +110,13 @@ mod tests {
     #[test]
     fn unaligned_byte_tails_hash_differently() {
         // Exercise the chunk remainder path.
-        assert_ne!(hash_one(b"123456789".as_slice()), hash_one(b"123456788".as_slice()));
-        assert_ne!(hash_one(b"12345678".as_slice()), hash_one(b"123456789".as_slice()));
+        assert_ne!(
+            hash_one(b"123456789".as_slice()),
+            hash_one(b"123456788".as_slice())
+        );
+        assert_ne!(
+            hash_one(b"12345678".as_slice()),
+            hash_one(b"123456789".as_slice())
+        );
     }
 }

@@ -63,7 +63,10 @@ pub struct Universe {
 impl Universe {
     /// Creates an empty universe.
     pub fn new() -> Arc<Self> {
-        Arc::new(Universe { interner: Interner::new(), nodes: RwLock::new(Vec::new()) })
+        Arc::new(Universe {
+            interner: Interner::new(),
+            nodes: RwLock::new(Vec::new()),
+        })
     }
 
     /// The shared label/collection-name interner.
@@ -75,7 +78,10 @@ impl Universe {
     pub fn create_node(&self, name: Option<&str>) -> NodeId {
         let mut nodes = self.nodes.write();
         let id = NodeId(u32::try_from(nodes.len()).expect("oid space exhausted"));
-        nodes.push(NodeSlot { name: name.map(Arc::from), out: Vec::new() });
+        nodes.push(NodeSlot {
+            name: name.map(Arc::from),
+            out: Vec::new(),
+        });
         id
     }
 
@@ -86,7 +92,10 @@ impl Universe {
 
     /// The provenance name of a node, if any.
     pub fn node_name(&self, n: NodeId) -> Option<Arc<str>> {
-        self.nodes.read().get(n.0 as usize).and_then(|s| s.name.clone())
+        self.nodes
+            .read()
+            .get(n.0 as usize)
+            .and_then(|s| s.name.clone())
     }
 
     /// Sets or replaces the provenance name of a node.
@@ -98,26 +107,37 @@ impl Universe {
 
     fn push_edge(&self, from: NodeId, label: Sym, to: Value) -> Result<()> {
         let mut nodes = self.nodes.write();
-        let slot = nodes.get_mut(from.0 as usize).ok_or(GraphError::UnknownNode(from))?;
+        let slot = nodes
+            .get_mut(from.0 as usize)
+            .ok_or(GraphError::UnknownNode(from))?;
         slot.out.push((label, to));
         Ok(())
     }
 
     /// Clones the outgoing edges of `n`. Prefer [`Graph::reader`] in loops.
     pub fn out_edges(&self, n: NodeId) -> Vec<(Sym, Value)> {
-        self.nodes.read().get(n.0 as usize).map(|s| s.out.clone()).unwrap_or_default()
+        self.nodes
+            .read()
+            .get(n.0 as usize)
+            .map(|s| s.out.clone())
+            .unwrap_or_default()
     }
 }
 
 impl Default for Universe {
     fn default() -> Self {
-        Universe { interner: Interner::new(), nodes: RwLock::new(Vec::new()) }
+        Universe {
+            interner: Interner::new(),
+            nodes: RwLock::new(Vec::new()),
+        }
     }
 }
 
 impl fmt::Debug for Universe {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Universe").field("nodes", &self.node_count()).finish()
+        f.debug_struct("Universe")
+            .field("nodes", &self.node_count())
+            .finish()
     }
 }
 
@@ -331,7 +351,11 @@ impl Graph {
         let mut out = Vec::with_capacity(self.edge_count);
         for &n in &self.member_list {
             for (label, to) in &nodes[n.0 as usize].out {
-                out.push(Edge { from: n, label: *label, to: to.clone() });
+                out.push(Edge {
+                    from: n,
+                    label: *label,
+                    to: to.clone(),
+                });
             }
         }
         out
@@ -339,7 +363,10 @@ impl Graph {
 
     /// A read guard giving borrowed, allocation-free access to edges.
     pub fn reader(&self) -> GraphReader<'_> {
-        GraphReader { graph: self, nodes: self.universe.nodes.read() }
+        GraphReader {
+            graph: self,
+            nodes: self.universe.nodes.read(),
+        }
     }
 
     // ---- collections ----
@@ -365,7 +392,11 @@ impl Graph {
             self.collections.insert(name, Collection::default());
             self.collection_order.push(name);
         }
-        let inserted = self.collections.get_mut(&name).expect("just ensured").insert(v);
+        let inserted = self
+            .collections
+            .get_mut(&name)
+            .expect("just ensured")
+            .insert(v);
         if let Some(idx) = &mut self.index {
             let len = self.collections[&name].len();
             idx.index_collection(name, len);
@@ -440,12 +471,22 @@ impl<'g> GraphReader<'g> {
     /// The outgoing edges of `n`, borrowed.
     #[inline]
     pub fn out(&self, n: NodeId) -> &[(Sym, Value)] {
-        self.nodes.get(n.0 as usize).map(|s| s.out.as_slice()).unwrap_or(&[])
+        self.nodes
+            .get(n.0 as usize)
+            .map(|s| s.out.as_slice())
+            .unwrap_or(&[])
     }
 
     /// The values of attribute `label` on node `n`, in insertion order.
-    pub fn attr_values<'a>(&'a self, n: NodeId, label: Sym) -> impl Iterator<Item = &'a Value> + 'a {
-        self.out(n).iter().filter(move |(l, _)| *l == label).map(|(_, v)| v)
+    pub fn attr_values<'a>(
+        &'a self,
+        n: NodeId,
+        label: Sym,
+    ) -> impl Iterator<Item = &'a Value> + 'a {
+        self.out(n)
+            .iter()
+            .filter(move |(l, _)| *l == label)
+            .map(|(_, v)| v)
     }
 
     /// The first value of attribute `label` on node `n`.
@@ -481,7 +522,8 @@ mod tests {
         let p2 = g.new_node(Some("pub2"));
         g.add_to_collection(pubs, Value::Node(p1));
         g.add_to_collection(pubs, Value::Node(p2));
-        g.add_edge_str(p1, "title", "Specifying Representations").unwrap();
+        g.add_edge_str(p1, "title", "Specifying Representations")
+            .unwrap();
         g.add_edge_str(p1, "year", 1997i64).unwrap();
         g.add_edge_str(p1, "author", "Norman Ramsey").unwrap();
         g.add_edge_str(p1, "author", "Mary Fernandez").unwrap();
@@ -531,7 +573,10 @@ mod tests {
         let mut g = Graph::standalone();
         let other = g.universe().create_node(None); // allocated but never joined
         let l = g.sym("x");
-        assert!(matches!(g.add_edge(other, l, Value::Int(1)), Err(GraphError::NotAMember(_))));
+        assert!(matches!(
+            g.add_edge(other, l, Value::Int(1)),
+            Err(GraphError::NotAMember(_))
+        ));
     }
 
     #[test]
@@ -571,9 +616,17 @@ mod tests {
     #[test]
     fn labels_with_and_without_index_agree() {
         let mut g = small();
-        let mut with: Vec<_> = g.labels().iter().map(|s| g.resolve(*s).to_string()).collect();
+        let mut with: Vec<_> = g
+            .labels()
+            .iter()
+            .map(|s| g.resolve(*s).to_string())
+            .collect();
         g.set_indexing(false);
-        let mut without: Vec<_> = g.labels().iter().map(|s| g.resolve(*s).to_string()).collect();
+        let mut without: Vec<_> = g
+            .labels()
+            .iter()
+            .map(|s| g.resolve(*s).to_string())
+            .collect();
         with.sort();
         without.sort();
         assert_eq!(with, vec!["author", "title", "year"]);

@@ -47,7 +47,11 @@ impl GraphIndex {
         }
         match to {
             Value::Node(n) => self.in_edges.entry(*n).or_default().push((from, label)),
-            atomic => self.value_ext.entry(atomic.clone()).or_default().push((from, label)),
+            atomic => self
+                .value_ext
+                .entry(atomic.clone())
+                .or_default()
+                .push((from, label)),
         }
         self.edge_count += 1;
     }

@@ -25,11 +25,17 @@ use std::io::{self, Read, Write};
 const MAGIC: &[u8; 8] = b"STRUDEL1";
 
 fn io_err(e: io::Error) -> GraphError {
-    GraphError::DdlParse { line: 0, message: format!("storage I/O error: {e}") }
+    GraphError::DdlParse {
+        line: 0,
+        message: format!("storage I/O error: {e}"),
+    }
 }
 
 fn corrupt(message: impl Into<String>) -> GraphError {
-    GraphError::DdlParse { line: 0, message: message.into() }
+    GraphError::DdlParse {
+        line: 0,
+        message: message.into(),
+    }
 }
 
 // ------------------------------------------------------------- primitives ----
@@ -43,7 +49,10 @@ fn write_u64(w: &mut impl Write, v: u64) -> Result<()> {
 }
 
 fn write_str(w: &mut impl Write, s: &str) -> Result<()> {
-    write_u32(w, u32::try_from(s.len()).map_err(|_| corrupt("string too long"))?)?;
+    write_u32(
+        w,
+        u32::try_from(s.len()).map_err(|_| corrupt("string too long"))?,
+    )?;
     w.write_all(s.as_bytes()).map_err(io_err)
 }
 
@@ -75,11 +84,15 @@ impl<'a> In<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a count that prefixes `count * min_record_bytes`-byte records;
@@ -153,7 +166,11 @@ fn read_value(r: &mut In<'_>, nodes: &[NodeId]) -> Result<Value> {
     Ok(match r.u8()? {
         TAG_NODE => {
             let idx = r.u32()? as usize;
-            Value::Node(*nodes.get(idx).ok_or_else(|| corrupt("node index out of range"))?)
+            Value::Node(
+                *nodes
+                    .get(idx)
+                    .ok_or_else(|| corrupt("node index out of range"))?,
+            )
         }
         TAG_INT => Value::Int(r.u64()? as i64),
         TAG_FLOAT => Value::Float(f64::from_bits(r.u64()?)),
@@ -305,7 +322,9 @@ pub fn load_slice(buf: &[u8]) -> Result<Graph> {
         let n_edges = r.count(5)?;
         for _ in 0..n_edges {
             let sym_idx = r.u32()? as usize;
-            let sym = *syms.get(sym_idx).ok_or_else(|| corrupt("symbol index out of range"))?;
+            let sym = *syms
+                .get(sym_idx)
+                .ok_or_else(|| corrupt("symbol index out of range"))?;
             let value = read_value(&mut r, &nodes)?;
             g.add_edge(nodes[i], sym, value)?;
         }
@@ -392,9 +411,18 @@ object pub2 in Publications {
         let interner = g2.universe().interner();
         let p1 = g2.nodes()[0];
         assert_eq!(g2.node_name(p1).as_deref(), Some("pub1"));
-        assert_eq!(r.attr(p1, interner.get("year").unwrap()), Some(&Value::Int(1997)));
-        assert_eq!(r.attr(p1, interner.get("score").unwrap()), Some(&Value::Float(4.5)));
-        assert_eq!(r.attr(p1, interner.get("open").unwrap()), Some(&Value::Bool(true)));
+        assert_eq!(
+            r.attr(p1, interner.get("year").unwrap()),
+            Some(&Value::Int(1997))
+        );
+        assert_eq!(
+            r.attr(p1, interner.get("score").unwrap()),
+            Some(&Value::Float(4.5))
+        );
+        assert_eq!(
+            r.attr(p1, interner.get("open").unwrap()),
+            Some(&Value::Bool(true))
+        );
         assert_eq!(
             r.attr(p1, interner.get("postscript").unwrap()),
             Some(&Value::file(FileKind::PostScript, "papers/t.ps.gz"))
@@ -404,8 +432,15 @@ object pub2 in Publications {
             Some(&Value::url("http://example.com"))
         );
         // Cyclic node references survive with correct identity.
-        let p2 = r.attr(p1, interner.get("next").unwrap()).unwrap().as_node().unwrap();
-        assert_eq!(r.attr(p2, interner.get("next").unwrap()), Some(&Value::Node(p1)));
+        let p2 = r
+            .attr(p1, interner.get("next").unwrap())
+            .unwrap()
+            .as_node()
+            .unwrap();
+        assert_eq!(
+            r.attr(p2, interner.get("next").unwrap()),
+            Some(&Value::Node(p1))
+        );
     }
 
     #[test]
@@ -413,7 +448,10 @@ object pub2 in Publications {
         let g2 = roundtrip(&sample());
         let year = g2.universe().interner().get("year").unwrap();
         assert_eq!(g2.index().unwrap().edges_with_label(year).len(), 1);
-        assert_eq!(g2.index().unwrap().edges_to_value(&Value::Int(1997)).len(), 1);
+        assert_eq!(
+            g2.index().unwrap().edges_to_value(&Value::Int(1997)).len(),
+            1
+        );
     }
 
     #[test]

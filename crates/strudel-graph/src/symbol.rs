@@ -88,7 +88,9 @@ impl Interner {
 
 impl fmt::Debug for Interner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Interner").field("len", &self.len()).finish()
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -134,7 +136,11 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let i = Arc::clone(&i);
-                std::thread::spawn(move || (0..100).map(|n| i.intern(&format!("label{n}"))).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|n| i.intern(&format!("label{n}")))
+                        .collect::<Vec<_>>()
+                })
             })
             .collect();
         let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

@@ -166,7 +166,9 @@ impl Value {
             (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
             (Bool(_), _) | (_, Bool(_)) => None,
-            (Int(_) | Float(_), _) => other.text().and_then(|t| coerce_text_numeric(&t, self).map(Ordering::reverse)),
+            (Int(_) | Float(_), _) => other
+                .text()
+                .and_then(|t| coerce_text_numeric(&t, self).map(Ordering::reverse)),
             (_, Int(_) | Float(_)) => self.text().and_then(|t| coerce_text_numeric(&t, other)),
             // Remaining cases are all text-like (Str / Url / File).
             _ => Some(self.text()?.cmp(&other.text()?)),
@@ -294,10 +296,22 @@ mod tests {
 
     #[test]
     fn coerced_cmp_orders_numbers_and_text() {
-        assert_eq!(Value::Int(1).coerced_cmp(&Value::Float(2.0)), Some(Ordering::Less));
-        assert_eq!(Value::str("1998").coerced_cmp(&Value::Int(1997)), Some(Ordering::Greater));
-        assert_eq!(Value::Int(1997).coerced_cmp(&Value::str("1998")), Some(Ordering::Less));
-        assert_eq!(Value::str("b").coerced_cmp(&Value::str("a")), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(1).coerced_cmp(&Value::Float(2.0)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::str("1998").coerced_cmp(&Value::Int(1997)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Int(1997).coerced_cmp(&Value::str("1998")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::str("b").coerced_cmp(&Value::str("a")),
+            Some(Ordering::Greater)
+        );
         assert_eq!(Value::Node(NodeId(1)).coerced_cmp(&Value::str("a")), None);
         assert_eq!(Value::Bool(true).coerced_cmp(&Value::Int(1)), None);
     }
@@ -311,8 +325,14 @@ mod tests {
 
     #[test]
     fn file_kind_from_path() {
-        assert_eq!(FileKind::from_path("papers/icde98.ps.gz"), Some(FileKind::PostScript));
-        assert_eq!(FileKind::from_path("abstracts/toplas97.txt"), Some(FileKind::Text));
+        assert_eq!(
+            FileKind::from_path("papers/icde98.ps.gz"),
+            Some(FileKind::PostScript)
+        );
+        assert_eq!(
+            FileKind::from_path("abstracts/toplas97.txt"),
+            Some(FileKind::Text)
+        );
         assert_eq!(FileKind::from_path("logo.PNG"), Some(FileKind::Image));
         assert_eq!(FileKind::from_path("index.html"), Some(FileKind::Html));
         assert_eq!(FileKind::from_path("mystery.bin"), None);
@@ -321,17 +341,28 @@ mod tests {
 
     #[test]
     fn file_kind_keyword_roundtrip() {
-        for k in [FileKind::Text, FileKind::Html, FileKind::Image, FileKind::PostScript] {
+        for k in [
+            FileKind::Text,
+            FileKind::Html,
+            FileKind::Image,
+            FileKind::PostScript,
+        ] {
             assert_eq!(FileKind::from_keyword(k.keyword()), Some(k));
         }
-        assert_eq!(FileKind::from_keyword("postscript"), Some(FileKind::PostScript));
+        assert_eq!(
+            FileKind::from_keyword("postscript"),
+            Some(FileKind::PostScript)
+        );
         assert_eq!(FileKind::from_keyword("video"), None);
     }
 
     #[test]
     fn type_names() {
         assert_eq!(Value::Int(1).type_name(), "int");
-        assert_eq!(Value::file(FileKind::PostScript, "a.ps").type_name(), "psfile");
+        assert_eq!(
+            Value::file(FileKind::PostScript, "a.ps").type_name(),
+            "psfile"
+        );
         assert_eq!(Value::Node(NodeId(0)).type_name(), "node");
     }
 
@@ -339,7 +370,10 @@ mod tests {
     fn display_is_readable() {
         assert_eq!(Value::Int(7).to_string(), "7");
         assert_eq!(Value::str("hi").to_string(), "\"hi\"");
-        assert_eq!(Value::file(FileKind::Text, "a.txt").to_string(), "text(a.txt)");
+        assert_eq!(
+            Value::file(FileKind::Text, "a.txt").to_string(),
+            "text(a.txt)"
+        );
         assert_eq!(Value::Node(NodeId(3)).to_string(), "&3");
     }
 }

@@ -11,11 +11,23 @@
 //! bound to `v̄`, yielding exactly that page's outgoing links. Results are
 //! cached — "our optimization techniques cache query results to reduce
 //! click time for future queries".
+//!
+//! The cache is shared: all methods take `&self`, so one `DynamicSite` can
+//! serve many threads concurrently. It is bounded (entry count and
+//! approximate bytes, see [`CacheConfig`]) with least-recently-used
+//! eviction, and supports *invalidation*: after a data-graph insertion,
+//! [`DynamicSite::invalidate`] drops exactly the cached clause results the
+//! change can affect, reusing the semi-naive dependency analysis of
+//! [`crate::incremental`].
 
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::incremental::{seed_bindings, Delta};
 use strudel_graph::fxhash::FxHashMap;
 use strudel_graph::{Graph, Value};
 use strudel_struql::analyze::analyze;
-use strudel_struql::ast::{Block, Condition, LabelTerm, Term};
+use strudel_struql::ast::{Block, Condition, LabelTerm, PathStep, Rpe, Term};
 use strudel_struql::binding::Bindings;
 use strudel_struql::{evaluate_conditions, EvalOptions, Query, Result, StruqlError};
 
@@ -30,7 +42,16 @@ pub struct PageRef {
 
 impl std::fmt::Display for PageRef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}({})", self.skolem, self.args.iter().map(ToString::to_string).collect::<Vec<_>>().join(","))
+        write!(
+            f,
+            "{}({})",
+            self.skolem,
+            self.args
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        )
     }
 }
 
@@ -55,12 +76,46 @@ pub struct OutLink {
 /// Counters for the dynamic evaluator.
 #[derive(Default, Clone, Copy, Debug)]
 pub struct DynStats {
-    /// Pages expanded (cache misses).
+    /// Pages expanded (at least one clause was a cache miss).
     pub expansions: u64,
-    /// Cache hits.
+    /// Per-clause cache hits.
     pub cache_hits: u64,
+    /// Per-clause cache misses (clause evaluated and result inserted).
+    pub cache_misses: u64,
     /// Per-clause sub-queries evaluated.
     pub clause_queries: u64,
+    /// Cache entries evicted to stay within the configured bounds.
+    pub evictions: u64,
+    /// Cache entries dropped by [`DynamicSite::invalidate`].
+    pub invalidated: u64,
+}
+
+/// Bounds for the click-time result cache.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Maximum number of cached (clause, arguments) entries.
+    pub max_entries: usize,
+    /// Approximate maximum total bytes of cached keys and links.
+    pub max_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_entries: 4096,
+            max_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A cache with effectively no bounds.
+    pub fn unbounded() -> Self {
+        CacheConfig {
+            max_entries: usize::MAX,
+            max_bytes: usize::MAX,
+        }
+    }
 }
 
 /// A link clause lifted out of the query, with its governing conjunction.
@@ -81,30 +136,280 @@ struct CreateInfo {
     conditions: Vec<Condition>,
 }
 
-/// A site evaluated lazily, page by page.
+// ---- bounded LRU cache ----------------------------------------------------
+
+type CacheKey = (usize, Vec<Value>);
+
+const NIL: usize = usize::MAX;
+
+struct CacheEntry {
+    key: CacheKey,
+    links: Vec<OutLink>,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// Hand-rolled LRU: a slab of entries threaded on an intrusive list
+/// (most-recent at `head`), indexed by a hash map. O(1) get/insert/evict.
+struct LruCache {
+    map: FxHashMap<CacheKey, usize>,
+    slots: Vec<Option<CacheEntry>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+    cfg: CacheConfig,
+}
+
+fn approx_value_bytes(v: &Value) -> usize {
+    std::mem::size_of::<Value>()
+        + match v {
+            Value::Str(s) | Value::Url(s) | Value::File(_, s) => s.len(),
+            _ => 0,
+        }
+}
+
+fn approx_link_bytes(l: &OutLink) -> usize {
+    let target = match &l.target {
+        Target::Value(v) => approx_value_bytes(v),
+        Target::Page(p) => p.skolem.len() + p.args.iter().map(approx_value_bytes).sum::<usize>(),
+    };
+    std::mem::size_of::<OutLink>() + l.label.len() + target
+}
+
+fn approx_entry_bytes(key: &CacheKey, links: &[OutLink]) -> usize {
+    // Entry struct + map slot overhead, then the owned heap data.
+    std::mem::size_of::<CacheEntry>()
+        + 32
+        + key.1.iter().map(approx_value_bytes).sum::<usize>()
+        + links.iter().map(approx_link_bytes).sum::<usize>()
+}
+
+impl LruCache {
+    fn new(cfg: CacheConfig) -> Self {
+        LruCache {
+            map: FxHashMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+            cfg,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let e = self.slots[idx].as_ref().expect("unlink of free slot");
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].as_mut().expect("list prev").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].as_mut().expect("list next").prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        {
+            let e = self.slots[idx].as_mut().expect("push of free slot");
+            e.prev = NIL;
+            e.next = self.head;
+        }
+        if self.head != NIL {
+            self.slots[self.head].as_mut().expect("old head").prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently used.
+    fn get(&mut self, key: &CacheKey) -> Option<&[OutLink]> {
+        let idx = *self.map.get(key)?;
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(&self.slots[idx].as_ref().expect("mapped slot").links)
+    }
+
+    /// Removes one entry by slab index.
+    fn remove_idx(&mut self, idx: usize) {
+        self.unlink(idx);
+        let entry = self.slots[idx].take().expect("remove of free slot");
+        self.map.remove(&entry.key);
+        self.bytes -= entry.bytes;
+        self.free.push(idx);
+    }
+
+    /// Inserts (or replaces) an entry, then evicts from the LRU end until
+    /// within bounds. Returns the number of evictions.
+    fn insert(&mut self, key: CacheKey, links: Vec<OutLink>) -> u64 {
+        if let Some(&idx) = self.map.get(&key) {
+            self.remove_idx(idx);
+        }
+        let bytes = approx_entry_bytes(&key, &links);
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+        };
+        self.slots[idx] = Some(CacheEntry {
+            key: key.clone(),
+            links,
+            bytes,
+            prev: NIL,
+            next: NIL,
+        });
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        self.bytes += bytes;
+
+        let mut evicted = 0;
+        // Never evict the entry just inserted, even if it alone exceeds
+        // max_bytes: the caller paid for it and is about to use it.
+        while (self.map.len() > self.cfg.max_entries || self.bytes > self.cfg.max_bytes)
+            && self.tail != idx
+            && self.tail != NIL
+        {
+            self.remove_idx(self.tail);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Drops every entry for which `pred` returns true; returns the count.
+    fn drop_matching(&mut self, mut pred: impl FnMut(&CacheKey) -> bool) -> u64 {
+        let doomed: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| pred(k))
+            .map(|(_, &i)| i)
+            .collect();
+        let n = doomed.len() as u64;
+        for idx in doomed {
+            self.remove_idx(idx);
+        }
+        n
+    }
+
+    fn snapshot(&self) -> Vec<(CacheKey, Vec<OutLink>)> {
+        // Walk LRU→MRU so that restoring in order reproduces the recency
+        // ranking (later inserts end up more recent).
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.tail;
+        while idx != NIL {
+            let e = self.slots[idx].as_ref().expect("listed slot");
+            out.push((e.key.clone(), e.links.clone()));
+            idx = e.prev;
+        }
+        out
+    }
+}
+
+/// Interior counters, updatable through `&self` without the cache lock.
+#[derive(Default)]
+struct Counters {
+    expansions: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    clause_queries: AtomicU64,
+    evictions: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+/// An exported copy of the click-time cache, for warm restarts. Only
+/// meaningful when restored into a [`DynamicSite`] built from the same
+/// query (clause numbering must match).
+pub struct CacheSnapshot {
+    entries: Vec<(CacheKey, Vec<OutLink>)>,
+}
+
+/// A site evaluated lazily, page by page. Shareable across threads: all
+/// evaluation methods take `&self`.
 pub struct DynamicSite<'g> {
     data: &'g Graph,
     opts: EvalOptions,
     clauses: Vec<ClauseInfo>,
     creates: Vec<CreateInfo>,
-    cache: FxHashMap<(usize, Vec<Value>), Vec<OutLink>>,
-    stats: DynStats,
+    cache: Mutex<LruCache>,
+    counters: Counters,
 }
 
 impl<'g> DynamicSite<'g> {
-    /// Decomposes `query` over `data`. The query is analyzed (so bare path
-    /// steps resolve) but nothing is evaluated yet.
+    /// Decomposes `query` over `data` with the default cache bounds. The
+    /// query is analyzed (so bare path steps resolve) but nothing is
+    /// evaluated yet.
     pub fn new(data: &'g Graph, query: &Query, opts: EvalOptions) -> Result<Self> {
+        Self::with_cache(data, query, opts, CacheConfig::default())
+    }
+
+    /// Like [`DynamicSite::new`] with explicit cache bounds.
+    pub fn with_cache(
+        data: &'g Graph,
+        query: &Query,
+        opts: EvalOptions,
+        cache: CacheConfig,
+    ) -> Result<Self> {
         let analyzed = analyze(query, &opts.predicates)?;
         let mut clauses = Vec::new();
         let mut creates = Vec::new();
-        collect(&analyzed.query.root, &mut Vec::new(), &mut clauses, &mut creates);
-        Ok(DynamicSite { data, opts, clauses, creates, cache: FxHashMap::default(), stats: DynStats::default() })
+        collect(
+            &analyzed.query.root,
+            &mut Vec::new(),
+            &mut clauses,
+            &mut creates,
+        );
+        Ok(DynamicSite {
+            data,
+            opts,
+            clauses,
+            creates,
+            cache: Mutex::new(LruCache::new(cache)),
+            counters: Counters::default(),
+        })
     }
 
     /// Evaluator counters so far.
     pub fn stats(&self) -> DynStats {
-        self.stats
+        DynStats {
+            expansions: self.counters.expansions.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            clause_queries: self.counters.clause_queries.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            invalidated: self.counters.invalidated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Approximate bytes held by the cache.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.lock().bytes
+    }
+
+    /// Drops every cached entry (bounds are kept). Counted neither as
+    /// eviction nor invalidation: the caller asked for a cold cache.
+    pub fn cache_clear(&self) {
+        let mut cache = self.cache.lock();
+        let cfg = cache.cfg;
+        *cache = LruCache::new(cfg);
     }
 
     /// The precomputed roots: pages of zero-argument Skolem functions
@@ -113,7 +418,10 @@ impl<'g> DynamicSite<'g> {
         let mut out = Vec::new();
         for c in &self.creates {
             if c.args.is_empty() && c.conditions.is_empty() {
-                let page = PageRef { skolem: c.name.clone(), args: Vec::new() };
+                let page = PageRef {
+                    skolem: c.name.clone(),
+                    args: Vec::new(),
+                };
                 if !out.contains(&page) {
                     out.push(page);
                 }
@@ -125,21 +433,30 @@ impl<'g> DynamicSite<'g> {
     /// Enumerates every page of one Skolem function by evaluating its
     /// creation conjunction (used for site maps; ordinary browsing reaches
     /// pages through [`DynamicSite::expand`]).
-    pub fn pages_of(&mut self, skolem: &str) -> Result<Vec<PageRef>> {
+    pub fn pages_of(&self, skolem: &str) -> Result<Vec<PageRef>> {
         let mut out = Vec::new();
         let mut seen = strudel_graph::fxhash::FxHashSet::default();
-        let creates: Vec<CreateInfo> =
-            self.creates.iter().filter(|c| c.name == skolem).cloned().collect();
-        for c in &creates {
-            let bindings = evaluate_conditions(&c.conditions, self.data, Bindings::unit(), &self.opts)?;
-            self.stats.clause_queries += 1;
+        for c in self.creates.iter().filter(|c| c.name == skolem) {
+            let bindings =
+                evaluate_conditions(&c.conditions, self.data, Bindings::unit(), &self.opts)?;
+            self.counters.clause_queries.fetch_add(1, Ordering::Relaxed);
             for row in &bindings.rows {
-                let args: Option<Vec<Value>> = c.args.iter().map(|a| bindings.get(row, a).cloned()).collect();
+                let args: Option<Vec<Value>> = c
+                    .args
+                    .iter()
+                    .map(|a| bindings.get(row, a).cloned())
+                    .collect();
                 let Some(args) = args else {
-                    return Err(StruqlError::Eval(format!("unbound Skolem argument in {}", c.name)));
+                    return Err(StruqlError::Eval(format!(
+                        "unbound Skolem argument in {}",
+                        c.name
+                    )));
                 };
                 if seen.insert(args.clone()) {
-                    out.push(PageRef { skolem: skolem.to_string(), args });
+                    out.push(PageRef {
+                        skolem: skolem.to_string(),
+                        args,
+                    });
                 }
             }
         }
@@ -148,8 +465,9 @@ impl<'g> DynamicSite<'g> {
 
     /// Click-time expansion: computes the outgoing links of `page` by
     /// running each of its link clauses with the page's Skolem arguments
-    /// bound. Cached per (clause, arguments).
-    pub fn expand(&mut self, page: &PageRef) -> Result<Vec<OutLink>> {
+    /// bound. Cached per (clause, arguments); safe to call from many
+    /// threads over one shared site.
+    pub fn expand(&self, page: &PageRef) -> Result<Vec<OutLink>> {
         let mut out: Vec<OutLink> = Vec::new();
         let clause_ids: Vec<usize> = self
             .clauses
@@ -161,18 +479,27 @@ impl<'g> DynamicSite<'g> {
         let mut expanded = false;
         for i in clause_ids {
             let key = (i, page.args.clone());
-            if let Some(cached) = self.cache.get(&key) {
-                self.stats.cache_hits += 1;
+            if let Some(cached) = self.cache.lock().get(&key) {
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 out.extend(cached.iter().cloned());
                 continue;
             }
+            // Evaluate outside the lock: clause queries are the expensive
+            // part, and concurrent misses on the same key are harmless
+            // (both compute the same value; the second insert replaces).
             expanded = true;
+            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
             let links = self.eval_clause(i, page)?;
             out.extend(links.iter().cloned());
-            self.cache.insert(key, links);
+            let evicted = self.cache.lock().insert(key, links);
+            if evicted > 0 {
+                self.counters
+                    .evictions
+                    .fetch_add(evicted, Ordering::Relaxed);
+            }
         }
         if expanded {
-            self.stats.expansions += 1;
+            self.counters.expansions.fetch_add(1, Ordering::Relaxed);
         }
         // Set semantics across clauses.
         let mut seen = Vec::new();
@@ -187,8 +514,71 @@ impl<'g> DynamicSite<'g> {
         Ok(out)
     }
 
-    fn eval_clause(&mut self, idx: usize, page: &PageRef) -> Result<Vec<OutLink>> {
-        let clause = self.clauses[idx].clone();
+    /// Drops the cached results a data-graph change can affect; the data
+    /// graph must already reflect the change. Returns the number of
+    /// entries dropped.
+    ///
+    /// Granularity: a cached `(clause, args)` entry is dropped when one of
+    /// the clause's conditions can match the delta (the seed analysis of
+    /// [`crate::incremental`]) *and* the seed's bindings are consistent
+    /// with the entry's Skolem arguments. Clauses with negated conditions
+    /// or multi-edge path expressions — where an insertion can affect
+    /// bindings without matching any single condition — are dropped
+    /// wholesale.
+    pub fn invalidate(&self, delta: &Delta) -> u64 {
+        let affected: Vec<Affected> = self
+            .clauses
+            .iter()
+            .map(|c| clause_affected(self.data, c, delta))
+            .collect();
+        let dropped = self
+            .cache
+            .lock()
+            .drop_matching(|(clause, args)| match &affected[*clause] {
+                Affected::No => false,
+                Affected::All => true,
+                Affected::Args(constraints) => constraints.iter().any(|cons| {
+                    cons.iter()
+                        .zip(args)
+                        .all(|(c, a)| c.as_ref().is_none_or(|v| v.coerced_eq(a)))
+                }),
+            });
+        if dropped > 0 {
+            self.counters
+                .invalidated
+                .fetch_add(dropped, Ordering::Relaxed);
+        }
+        dropped
+    }
+
+    /// Exports the cache contents for a warm restart (see [`CacheSnapshot`]).
+    pub fn cache_snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            entries: self.cache.lock().snapshot(),
+        }
+    }
+
+    /// Imports entries from [`DynamicSite::cache_snapshot`], subject to
+    /// this site's bounds. Entries referencing clauses this site does not
+    /// have are skipped.
+    pub fn cache_restore(&self, snap: CacheSnapshot) {
+        let mut cache = self.cache.lock();
+        let mut evicted = 0;
+        for (key, links) in snap.entries {
+            if key.0 < self.clauses.len() {
+                evicted += cache.insert(key, links);
+            }
+        }
+        drop(cache);
+        if evicted > 0 {
+            self.counters
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    fn eval_clause(&self, idx: usize, page: &PageRef) -> Result<Vec<OutLink>> {
+        let clause = &self.clauses[idx];
         // Bind the page's Skolem arguments.
         let mut start = Bindings::empty();
         let mut row: Vec<Value> = Vec::new();
@@ -205,7 +595,7 @@ impl<'g> DynamicSite<'g> {
         }
         start.rows.push(row);
         let bindings = evaluate_conditions(&clause.conditions, self.data, start, &self.opts)?;
-        self.stats.clause_queries += 1;
+        self.counters.clause_queries.fetch_add(1, Ordering::Relaxed);
 
         // Aggregate targets group by this page (the clause's Skolem source)
         // and label; compute them over all rows at click time.
@@ -229,7 +619,10 @@ impl<'g> DynamicSite<'g> {
             labels.sort();
             for label in labels {
                 if let Some(v) = strudel_struql::construct::aggregate(*func, &groups[&label]) {
-                    links.push(OutLink { label, target: Target::Value(v) });
+                    links.push(OutLink {
+                        label,
+                        target: Target::Value(v),
+                    });
                 }
             }
             return Ok(links);
@@ -246,10 +639,16 @@ impl<'g> DynamicSite<'g> {
             };
             let target = match &clause.to {
                 Term::Skolem(sk) => {
-                    let args: Option<Vec<Value>> =
-                        sk.args.iter().map(|a| bindings.get(row, a).cloned()).collect();
+                    let args: Option<Vec<Value>> = sk
+                        .args
+                        .iter()
+                        .map(|a| bindings.get(row, a).cloned())
+                        .collect();
                     match args {
-                        Some(args) => Target::Page(PageRef { skolem: sk.name.clone(), args }),
+                        Some(args) => Target::Page(PageRef {
+                            skolem: sk.name.clone(),
+                            args,
+                        }),
                         None => continue,
                     }
                 }
@@ -266,6 +665,52 @@ impl<'g> DynamicSite<'g> {
             }
         }
         Ok(links)
+    }
+}
+
+/// How a delta can affect one clause's cached results.
+enum Affected {
+    /// No condition can match the delta; cached results stay valid.
+    No,
+    /// Every cached argument vector may be affected (negation / RPE, where
+    /// an insertion can change bindings without matching one condition).
+    All,
+    /// Affected argument vectors are those consistent with one of these
+    /// per-position constraints (`None` = unconstrained position).
+    Args(Vec<Vec<Option<Value>>>),
+}
+
+fn clause_affected(data: &Graph, clause: &ClauseInfo, delta: &Delta) -> Affected {
+    let mut constraints = Vec::new();
+    for cond in &clause.conditions {
+        match cond {
+            Condition::Edge { negated: true, .. } | Condition::Collection { negated: true, .. } => {
+                return Affected::All;
+            }
+            Condition::Edge {
+                step: PathStep::Rpe(rpe),
+                ..
+            } if !matches!(rpe, Rpe::Label(_)) => {
+                return Affected::All;
+            }
+            _ => {
+                if let Some(seed) = seed_bindings(data, cond, delta) {
+                    // Restrict to cache keys whose Skolem arguments agree
+                    // with what the seed binds.
+                    let cons: Vec<Option<Value>> = clause
+                        .from_args
+                        .iter()
+                        .map(|a| seed.col(a).map(|col| seed.rows[0][col].clone()))
+                        .collect();
+                    constraints.push(cons);
+                }
+            }
+        }
+    }
+    if constraints.is_empty() {
+        Affected::No
+    } else {
+        Affected::Args(constraints)
     }
 }
 
@@ -287,7 +732,11 @@ fn collect(
         });
     }
     for sk in &block.creates {
-        creates.push(CreateInfo { name: sk.name.clone(), args: sk.args.clone(), conditions: path.clone() });
+        creates.push(CreateInfo {
+            name: sk.name.clone(),
+            args: sk.args.clone(),
+            conditions: path.clone(),
+        });
     }
     for child in &block.children {
         collect(child, path, clauses, creates);
@@ -347,29 +796,42 @@ object p3 in Publications { title "C" year 1997 }
     fn click_expansion_of_root() {
         let g = data();
         let q = parse_query(FIG3).unwrap();
-        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
-        let root = PageRef { skolem: "RootPage".into(), args: vec![] };
+        let site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let root = PageRef {
+            skolem: "RootPage".into(),
+            args: vec![],
+        };
         let links = site.expand(&root).unwrap();
         // 1 AbstractsPage link + 2 distinct YearPage links.
         assert_eq!(links.len(), 3, "{links:?}");
         let years: Vec<&OutLink> = links.iter().filter(|l| l.label == "YearPage").collect();
         assert_eq!(years.len(), 2);
-        assert!(years.iter().all(|l| matches!(&l.target, Target::Page(p) if p.skolem == "YearPage")));
+        assert!(years
+            .iter()
+            .all(|l| matches!(&l.target, Target::Page(p) if p.skolem == "YearPage")));
     }
 
     #[test]
     fn click_expansion_is_per_page() {
         let g = data();
         let q = parse_query(FIG3).unwrap();
-        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
-        let y1997 = PageRef { skolem: "YearPage".into(), args: vec![Value::Int(1997)] };
+        let site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let y1997 = PageRef {
+            skolem: "YearPage".into(),
+            args: vec![Value::Int(1997)],
+        };
         let links = site.expand(&y1997).unwrap();
         // Year edge + two papers from 1997 (p1, p3) — not p2.
         let papers: Vec<_> = links.iter().filter(|l| l.label == "Paper").collect();
         assert_eq!(papers.len(), 2, "{links:?}");
-        assert!(links.iter().any(|l| l.label == "Year" && matches!(&l.target, Target::Value(Value::Int(1997)))));
+        assert!(links
+            .iter()
+            .any(|l| l.label == "Year" && matches!(&l.target, Target::Value(Value::Int(1997)))));
 
-        let y1998 = PageRef { skolem: "YearPage".into(), args: vec![Value::Int(1998)] };
+        let y1998 = PageRef {
+            skolem: "YearPage".into(),
+            args: vec![Value::Int(1998)],
+        };
         let links98 = site.expand(&y1998).unwrap();
         assert_eq!(links98.iter().filter(|l| l.label == "Paper").count(), 1);
     }
@@ -378,14 +840,18 @@ object p3 in Publications { title "C" year 1997 }
     fn arc_variable_labels_expand() {
         let g = data();
         let q = parse_query(FIG3).unwrap();
-        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
         // PaperPresentation(p1): copied attributes + Abstract link.
         let p1 = g.nodes()[0];
-        let page = PageRef { skolem: "PaperPresentation".into(), args: vec![Value::Node(p1)] };
+        let page = PageRef {
+            skolem: "PaperPresentation".into(),
+            args: vec![Value::Node(p1)],
+        };
         let links = site.expand(&page).unwrap();
         assert!(links.iter().any(|l| l.label == "title"));
         assert!(links.iter().any(|l| l.label == "year"));
-        assert!(links.iter().any(|l| l.label == "Abstract" && matches!(&l.target, Target::Page(p) if p.skolem == "AbstractPage")));
+        assert!(links.iter().any(|l| l.label == "Abstract"
+            && matches!(&l.target, Target::Page(p) if p.skolem == "AbstractPage")));
     }
 
     #[test]
@@ -394,12 +860,15 @@ object p3 in Publications { title "C" year 1997 }
         let q = parse_query(FIG3).unwrap();
         let opts = EvalOptions::default();
         let materialized = q.evaluate(&g, &opts).unwrap();
-        let mut dynamic = DynamicSite::new(&g, &q, opts).unwrap();
+        let dynamic = DynamicSite::new(&g, &q, opts).unwrap();
 
         // For every materialized page, the dynamic expansion must produce
         // exactly the same out-edge count.
         for (name, args, oid) in materialized.table.iter() {
-            let page = PageRef { skolem: name.to_string(), args: args.to_vec() };
+            let page = PageRef {
+                skolem: name.to_string(),
+                args: args.to_vec(),
+            };
             let links = dynamic.expand(&page).unwrap();
             let materialized_edges = materialized.graph.out_edges(oid).len();
             assert_eq!(links.len(), materialized_edges, "page {page}");
@@ -410,13 +879,18 @@ object p3 in Publications { title "C" year 1997 }
     fn cache_hits_on_repeat_clicks() {
         let g = data();
         let q = parse_query(FIG3).unwrap();
-        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
-        let root = PageRef { skolem: "RootPage".into(), args: vec![] };
+        let site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let root = PageRef {
+            skolem: "RootPage".into(),
+            args: vec![],
+        };
         site.expand(&root).unwrap();
         let before = site.stats();
+        assert!(before.cache_misses > 0);
         site.expand(&root).unwrap();
         let after = site.stats();
         assert_eq!(after.expansions, before.expansions);
+        assert_eq!(after.cache_misses, before.cache_misses);
         assert!(after.cache_hits > before.cache_hits);
     }
 
@@ -424,7 +898,7 @@ object p3 in Publications { title "C" year 1997 }
     fn pages_of_enumerates_extension() {
         let g = data();
         let q = parse_query(FIG3).unwrap();
-        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
         let years = site.pages_of("YearPage").unwrap();
         assert_eq!(years.len(), 2);
         let pps = site.pages_of("PaperPresentation").unwrap();
@@ -436,13 +910,189 @@ object p3 in Publications { title "C" year 1997 }
     fn unknown_page_yields_no_links() {
         let g = data();
         let q = parse_query(FIG3).unwrap();
-        let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
-        let bogus = PageRef { skolem: "Nowhere".into(), args: vec![] };
+        let site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let bogus = PageRef {
+            skolem: "Nowhere".into(),
+            args: vec![],
+        };
         assert!(site.expand(&bogus).unwrap().is_empty());
         // A YearPage that no data supports: clauses run but bind nothing
         // (the conjunction is unsatisfiable with v = 1642).
-        let empty = PageRef { skolem: "YearPage".into(), args: vec![Value::Int(1642)] };
+        let empty = PageRef {
+            skolem: "YearPage".into(),
+            args: vec![Value::Int(1642)],
+        };
         let links = site.expand(&empty).unwrap();
         assert!(links.is_empty(), "{links:?}");
+    }
+
+    #[test]
+    fn cache_respects_entry_bound_and_counts_evictions() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        let cfg = CacheConfig {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+        };
+        let site = DynamicSite::with_cache(&g, &q, EvalOptions::default(), cfg).unwrap();
+        for page in [
+            PageRef {
+                skolem: "RootPage".into(),
+                args: vec![],
+            },
+            PageRef {
+                skolem: "YearPage".into(),
+                args: vec![Value::Int(1997)],
+            },
+            PageRef {
+                skolem: "YearPage".into(),
+                args: vec![Value::Int(1998)],
+            },
+            PageRef {
+                skolem: "AbstractsPage".into(),
+                args: vec![],
+            },
+        ] {
+            site.expand(&page).unwrap();
+            assert!(
+                site.cache_len() <= 2,
+                "cache exceeded bound: {}",
+                site.cache_len()
+            );
+        }
+        assert!(site.stats().evictions > 0);
+    }
+
+    #[test]
+    fn cache_respects_byte_bound() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        let cfg = CacheConfig {
+            max_entries: usize::MAX,
+            max_bytes: 600,
+        };
+        let site = DynamicSite::with_cache(&g, &q, EvalOptions::default(), cfg).unwrap();
+        for page in site.pages_of("PaperPresentation").unwrap() {
+            site.expand(&page).unwrap();
+            // A single oversized entry may stay (the caller just computed
+            // it), but the cache must not accumulate beyond that.
+            assert!(site.cache_len() <= 1 || site.cache_bytes() <= 600);
+        }
+        assert!(site.stats().evictions > 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        // YearPage and RootPage each have two link clauses, so every cold
+        // expansion inserts two entries. Capacity four holds both years.
+        let cfg = CacheConfig {
+            max_entries: 4,
+            max_bytes: usize::MAX,
+        };
+        let site = DynamicSite::with_cache(&g, &q, EvalOptions::default(), cfg).unwrap();
+        let y1997 = PageRef {
+            skolem: "YearPage".into(),
+            args: vec![Value::Int(1997)],
+        };
+        let y1998 = PageRef {
+            skolem: "YearPage".into(),
+            args: vec![Value::Int(1998)],
+        };
+        let root = PageRef {
+            skolem: "RootPage".into(),
+            args: vec![],
+        };
+        site.expand(&y1997).unwrap();
+        site.expand(&y1998).unwrap();
+        // Touch 1997 so 1998 becomes least recently used, then displace
+        // two entries with the root page.
+        site.expand(&y1997).unwrap();
+        site.expand(&root).unwrap();
+        assert_eq!(site.stats().evictions, 2);
+
+        // The recently-touched year survived ...
+        let before = site.stats();
+        site.expand(&y1997).unwrap();
+        let s = site.stats();
+        assert_eq!(s.cache_misses, before.cache_misses, "{s:?}");
+        assert_eq!(s.cache_hits, before.cache_hits + 2, "{s:?}");
+        // ... and the least-recently-used year was evicted.
+        site.expand(&y1998).unwrap();
+        let s2 = site.stats();
+        assert_eq!(s2.cache_misses, s.cache_misses + 2, "{s2:?}");
+    }
+
+    #[test]
+    fn invalidation_drops_only_matching_year() {
+        let mut g = data();
+        let q = parse_query(FIG3).unwrap();
+        // Pre-intern and find p1 before the site borrows the graph.
+        let p1 = g.nodes()[0];
+        let note = g.sym("note");
+        g.add_edge(p1, note, Value::str("extended version"))
+            .unwrap();
+        let site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let y1997 = PageRef {
+            skolem: "YearPage".into(),
+            args: vec![Value::Int(1997)],
+        };
+        let y1998 = PageRef {
+            skolem: "YearPage".into(),
+            args: vec![Value::Int(1998)],
+        };
+        site.expand(&y1997).unwrap();
+        site.expand(&y1998).unwrap();
+        let entries_before = site.cache_len();
+
+        // The arc-variable clause `x -> l -> v` in the Fig. 3 query matches
+        // any edge, so PaperPresentation/AbstractPage caches for p1 go; the
+        // YearPage caches are keyed on v (the year) and only match if the
+        // delta's target coerces to the year — "extended version" does not.
+        let dropped = site.invalidate(&Delta::EdgeAdded {
+            from: p1,
+            label: note,
+            to: Value::str("extended version"),
+        });
+        assert_eq!(site.cache_len(), entries_before - dropped as usize);
+        // Both YearPage caches survive: the new value is not a year key.
+        site.expand(&y1997).unwrap();
+        site.expand(&y1998).unwrap();
+        let s = site.stats();
+        assert_eq!(s.invalidated, dropped);
+
+        // A new year edge invalidates exactly that year's cache keys.
+        let year = g.sym("year");
+        let before_1997 = site.cache_len();
+        let dropped_year = site.invalidate(&Delta::EdgeAdded {
+            from: p1,
+            label: year,
+            to: Value::Int(1997),
+        });
+        assert!(dropped_year > 0);
+        assert!(site.cache_len() < before_1997);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let g = data();
+        let q = parse_query(FIG3).unwrap();
+        let site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let root = PageRef {
+            skolem: "RootPage".into(),
+            args: vec![],
+        };
+        let links = site.expand(&root).unwrap();
+        let snap = site.cache_snapshot();
+
+        let warm = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        warm.cache_restore(snap);
+        assert_eq!(warm.cache_len(), site.cache_len());
+        let links2 = warm.expand(&root).unwrap();
+        assert_eq!(links, links2);
+        let s = warm.stats();
+        assert_eq!(s.cache_misses, 0, "restored entries must serve the click");
+        assert!(s.cache_hits > 0);
     }
 }

@@ -44,11 +44,19 @@ impl std::fmt::Display for IncrementalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IncrementalError::Aggregate(c) => {
-                write!(f, "aggregate `{c}` is not incrementally maintainable (group values change)")
+                write!(
+                    f,
+                    "aggregate `{c}` is not incrementally maintainable (group values change)"
+                )
             }
-            IncrementalError::Negation(c) => write!(f, "negated condition `{c}` breaks monotonicity"),
+            IncrementalError::Negation(c) => {
+                write!(f, "negated condition `{c}` breaks monotonicity")
+            }
             IncrementalError::PathExpression(c) => {
-                write!(f, "multi-edge path expression `{c}` is not incrementally maintainable here")
+                write!(
+                    f,
+                    "multi-edge path expression `{c}` is not incrementally maintainable here"
+                )
             }
             IncrementalError::Eval(e) => write!(f, "evaluation error: {e}"),
         }
@@ -132,7 +140,13 @@ impl IncrementalSite {
             .query
             .evaluate_into(data, &mut site, &mut table, &opts)
             .map_err(IncrementalError::from)?;
-        Ok(IncrementalSite { rules, opts, site, table, stats })
+        Ok(IncrementalSite {
+            rules,
+            opts,
+            site,
+            table,
+            stats,
+        })
     }
 
     /// Maintainer counters.
@@ -146,7 +160,9 @@ impl IncrementalSite {
         let rules = self.rules.clone();
         for rule in &rules {
             for (i, cond) in rule.conditions.iter().enumerate() {
-                let Some(seed) = seed_bindings(data, cond, delta) else { continue };
+                let Some(seed) = seed_bindings(data, cond, delta) else {
+                    continue;
+                };
                 self.stats.seeded_evaluations += 1;
                 // Evaluate the remaining conjunction around the seed. The
                 // seeded condition itself is skipped: the delta satisfies it
@@ -164,7 +180,13 @@ impl IncrementalSite {
                     continue;
                 }
                 self.stats.new_bindings += bindings.len() as u64;
-                apply_block(&rule.construct, &bindings, &mut self.site, &mut self.table, &mut self.stats.construct)?;
+                apply_block(
+                    &rule.construct,
+                    &bindings,
+                    &mut self.site,
+                    &mut self.table,
+                    &mut self.stats.construct,
+                )?;
             }
         }
         Ok(())
@@ -179,8 +201,16 @@ impl IncrementalSite {
         to: Value,
     ) -> Result<(), IncrementalError> {
         let sym = data.sym(label);
-        data.add_edge(from, sym, to.clone()).map_err(|e| IncrementalError::Eval(e.to_string()))?;
-        self.apply(data, &Delta::EdgeAdded { from, label: sym, to })
+        data.add_edge(from, sym, to.clone())
+            .map_err(|e| IncrementalError::Eval(e.to_string()))?;
+        self.apply(
+            data,
+            &Delta::EdgeAdded {
+                from,
+                label: sym,
+                to,
+            },
+        )
     }
 
     /// Convenience: adds a collection member to `data` *and* propagates it.
@@ -191,7 +221,13 @@ impl IncrementalSite {
         value: Value,
     ) -> Result<(), IncrementalError> {
         data.add_to_collection_str(name, value.clone());
-        self.apply(data, &Delta::CollectionAdded { name: name.to_string(), value })
+        self.apply(
+            data,
+            &Delta::CollectionAdded {
+                name: name.to_string(),
+                value,
+            },
+        )
     }
 }
 
@@ -206,7 +242,10 @@ fn check_supported(query: &Query) -> Result<(), IncrementalError> {
                 | Condition::In { negated: true, .. } => {
                     return Err(IncrementalError::Negation(cond.to_string()));
                 }
-                Condition::Edge { step: PathStep::Rpe(rpe), .. } if !matches!(rpe, Rpe::Label(_)) => {
+                Condition::Edge {
+                    step: PathStep::Rpe(rpe),
+                    ..
+                } if !matches!(rpe, Rpe::Label(_)) => {
                     return Err(IncrementalError::PathExpression(cond.to_string()));
                 }
                 _ => {}
@@ -247,8 +286,10 @@ fn flatten(block: &Block, path: &mut Vec<Condition>, rules: &mut Vec<Rule>) {
 }
 
 /// If `cond` can be satisfied by `delta`, returns bindings with the
-/// condition's variables bound from the delta.
-fn seed_bindings(data: &Graph, cond: &Condition, delta: &Delta) -> Option<Bindings> {
+/// condition's variables bound from the delta. Shared with the click-time
+/// cache ([`crate::dynamic`]), whose invalidation drops exactly the cached
+/// clauses one of whose conditions the delta can seed.
+pub(crate) fn seed_bindings(data: &Graph, cond: &Condition, delta: &Delta) -> Option<Bindings> {
     use strudel_struql::ast::Term;
     let mut b = Bindings::unit();
     let bind = |b: &mut Bindings, var: &str, value: Value| -> bool {
@@ -263,8 +304,17 @@ fn seed_bindings(data: &Graph, cond: &Condition, delta: &Delta) -> Option<Bindin
     };
     match (cond, delta) {
         (
-            Condition::Edge { from, step, to, negated: false },
-            Delta::EdgeAdded { from: df, label: dl, to: dt },
+            Condition::Edge {
+                from,
+                step,
+                to,
+                negated: false,
+            },
+            Delta::EdgeAdded {
+                from: df,
+                label: dl,
+                to: dt,
+            },
         ) => {
             match step {
                 PathStep::Rpe(Rpe::Label(l)) => {
@@ -304,7 +354,11 @@ fn seed_bindings(data: &Graph, cond: &Condition, delta: &Delta) -> Option<Bindin
             Some(b)
         }
         (
-            Condition::Collection { name, arg, negated: false },
+            Condition::Collection {
+                name,
+                arg,
+                negated: false,
+            },
             Delta::CollectionAdded { name: dn, value },
         ) => {
             if name != dn {
@@ -351,7 +405,8 @@ CREATE FrontPage()
         for i in 0..3 {
             let a = g.new_node(Some(&format!("a{i}")));
             g.add_to_collection_str("Articles", Value::Node(a));
-            g.add_edge_str(a, "headline", format!("story {i}").as_str()).unwrap();
+            g.add_edge_str(a, "headline", format!("story {i}").as_str())
+                .unwrap();
             g.add_edge_str(a, "section", "world").unwrap();
         }
         g
@@ -376,14 +431,24 @@ CREATE FrontPage()
 
         // Insert a new article: node + collection + attributes.
         let a = data.new_node(Some("a_new"));
-        inc.add_edge(&mut data, a, "headline", Value::str("breaking")).unwrap();
-        inc.add_edge(&mut data, a, "section", Value::str("sports")).unwrap();
-        inc.add_to_collection(&mut data, "Articles", Value::Node(a)).unwrap();
+        inc.add_edge(&mut data, a, "headline", Value::str("breaking"))
+            .unwrap();
+        inc.add_edge(&mut data, a, "section", Value::str("sports"))
+            .unwrap();
+        inc.add_to_collection(&mut data, "Articles", Value::Node(a))
+            .unwrap();
 
         assert!(site_sig(&inc.site) > before);
-        assert_eq!(site_sig(&inc.site), full_rebuild(&data, &query), "incremental == rebuild");
+        assert_eq!(
+            site_sig(&inc.site),
+            full_rebuild(&data, &query),
+            "incremental == rebuild"
+        );
         // The new sports section page exists and carries the new story.
-        let sp = inc.table.lookup("SectionPage", &[Value::str("sports")]).expect("new section page");
+        let sp = inc
+            .table
+            .lookup("SectionPage", &[Value::str("sports")])
+            .expect("new section page");
         let story = inc.site.universe().interner().get("Story").unwrap();
         assert_eq!(inc.site.reader().attr_values(sp, story).count(), 1);
     }
@@ -394,12 +459,16 @@ CREATE FrontPage()
         let query = parse_query(NEWS_QUERY).unwrap();
         let mut inc = IncrementalSite::new(&data, &query, EvalOptions::default()).unwrap();
         let a0 = data.nodes()[0];
-        inc.add_edge(&mut data, a0, "byline", Value::str("A. Reporter")).unwrap();
+        inc.add_edge(&mut data, a0, "byline", Value::str("A. Reporter"))
+            .unwrap();
         assert_eq!(site_sig(&inc.site), full_rebuild(&data, &query));
         // The article page gained the byline.
         let page = inc.table.lookup("ArticlePage", &[Value::Node(a0)]).unwrap();
         let byline = inc.site.universe().interner().get("byline").unwrap();
-        assert_eq!(inc.site.reader().attr(page, byline), Some(&Value::str("A. Reporter")));
+        assert_eq!(
+            inc.site.reader().attr(page, byline),
+            Some(&Value::str("A. Reporter"))
+        );
     }
 
     #[test]
@@ -407,10 +476,17 @@ CREATE FrontPage()
         let mut data = base_data();
         let query = parse_query(NEWS_QUERY).unwrap();
         let mut inc = IncrementalSite::new(&data, &query, EvalOptions::default()).unwrap();
-        assert!(inc.table.lookup("SectionPage", &[Value::str("tech")]).is_none());
+        assert!(inc
+            .table
+            .lookup("SectionPage", &[Value::str("tech")])
+            .is_none());
         let a1 = data.nodes()[1];
-        inc.add_edge(&mut data, a1, "section", Value::str("tech")).unwrap();
-        assert!(inc.table.lookup("SectionPage", &[Value::str("tech")]).is_some());
+        inc.add_edge(&mut data, a1, "section", Value::str("tech"))
+            .unwrap();
+        assert!(inc
+            .table
+            .lookup("SectionPage", &[Value::str("tech")])
+            .is_some());
         assert_eq!(site_sig(&inc.site), full_rebuild(&data, &query));
     }
 
@@ -426,7 +502,15 @@ CREATE FrontPage()
         // must absorb it. (The data graph now has a duplicate edge, so the
         // rebuild reference is not comparable; just check the site.)
         let sym = data.universe().interner().get("tag").unwrap();
-        inc.apply(&data, &Delta::EdgeAdded { from: a0, label: sym, to: Value::str("x") }).unwrap();
+        inc.apply(
+            &data,
+            &Delta::EdgeAdded {
+                from: a0,
+                label: sym,
+                to: Value::str("x"),
+            },
+        )
+        .unwrap();
         assert_eq!(site_sig(&inc.site), after_once);
     }
 
@@ -445,31 +529,45 @@ CREATE FrontPage()
         data.add_to_collection_str("People", Value::Node(m));
         data.add_edge_str(m, "name", "Mary").unwrap();
         let mut inc = IncrementalSite::new(&data, &query, EvalOptions::default()).unwrap();
-        assert_eq!(inc.site.collection_str("W").map(|c| c.len()).unwrap_or(0), 0);
+        assert_eq!(
+            inc.site.collection_str("W").map(|c| c.len()).unwrap_or(0),
+            0
+        );
 
         // Author edge arrives later.
         let paper = data.new_node(Some("paper"));
-        inc.add_edge(&mut data, paper, "author", Value::str("Mary")).unwrap();
+        inc.add_edge(&mut data, paper, "author", Value::str("Mary"))
+            .unwrap();
         assert_eq!(inc.site.collection_str("W").unwrap().len(), 1);
 
         // And the other insertion order: a new person matching an existing
         // author edge.
         let m2 = data.new_node(Some("dan"));
-        data.add_edge_str(paper, "author", Value::str("Dan")).unwrap();
+        data.add_edge_str(paper, "author", Value::str("Dan"))
+            .unwrap();
         let sym = data.universe().interner().get("author").unwrap();
-        inc.apply(&data, &Delta::EdgeAdded { from: paper, label: sym, to: Value::str("Dan") }).unwrap();
-        inc.add_to_collection(&mut data, "People", Value::Node(m2)).unwrap();
-        inc.add_edge(&mut data, m2, "name", Value::str("Dan")).unwrap();
+        inc.apply(
+            &data,
+            &Delta::EdgeAdded {
+                from: paper,
+                label: sym,
+                to: Value::str("Dan"),
+            },
+        )
+        .unwrap();
+        inc.add_to_collection(&mut data, "People", Value::Node(m2))
+            .unwrap();
+        inc.add_edge(&mut data, m2, "name", Value::str("Dan"))
+            .unwrap();
         assert_eq!(inc.site.collection_str("W").unwrap().len(), 2);
     }
 
     #[test]
     fn negation_is_rejected() {
         let data = base_data();
-        let query = parse_query(
-            r#"{ WHERE Articles(a), not(a -> "section" -> "sports") CREATE P(a) }"#,
-        )
-        .unwrap();
+        let query =
+            parse_query(r#"{ WHERE Articles(a), not(a -> "section" -> "sports") CREATE P(a) }"#)
+                .unwrap();
         let err = match IncrementalSite::new(&data, &query, EvalOptions::default()) {
             Err(e) => e,
             Ok(_) => panic!("negation must be rejected"),

@@ -135,7 +135,9 @@ pub fn verify_schema(schema: &SiteSchema, constraint: &Constraint) -> Verdict {
                     "{from} -{label}-> {to} exists only under a stronger conjunction than {from}'s creation"
                 ))
             } else {
-                Verdict::Violated(format!("no link clause {from} -{label}-> {to} in the query"))
+                Verdict::Violated(format!(
+                    "no link clause {from} -{label}-> {to} in the query"
+                ))
             }
         }
         Constraint::NoneReachable { from, forbidden } => {
@@ -158,7 +160,11 @@ pub fn verify_schema(schema: &SiteSchema, constraint: &Constraint) -> Verdict {
 
 /// The extension of a Skolem function in a materialized site.
 fn extension(table: &SkolemTable, name: &str) -> Vec<Oid> {
-    table.iter().filter(|(f, _, _)| *f == name).map(|(_, _, oid)| oid).collect()
+    table
+        .iter()
+        .filter(|(f, _, _)| *f == name)
+        .map(|(_, _, oid)| oid)
+        .collect()
 }
 
 /// Node-to-node reachability over a site graph.
@@ -195,7 +201,10 @@ pub fn verify_graph(graph: &Graph, table: &SkolemTable, constraint: &Constraint)
                 if !reach.contains(&oid) {
                     return Verdict::Violated(format!(
                         "{f}({}) is not reachable from {root}",
-                        args.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+                        args.iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",")
                     ));
                 }
             }
@@ -265,7 +274,12 @@ CREATE Root()
         let q = parse_query(GOOD).unwrap();
         let s = SiteSchema::from_query(&q);
         assert_eq!(
-            verify_schema(&s, &Constraint::AllReachableFrom { root: "Root".into() }),
+            verify_schema(
+                &s,
+                &Constraint::AllReachableFrom {
+                    root: "Root".into()
+                }
+            ),
             Verdict::Satisfied
         );
     }
@@ -278,7 +292,12 @@ CREATE Root()
         )
         .unwrap();
         let s = SiteSchema::from_query(&q);
-        match verify_schema(&s, &Constraint::AllReachableFrom { root: "Root".into() }) {
+        match verify_schema(
+            &s,
+            &Constraint::AllReachableFrom {
+                root: "Root".into(),
+            },
+        ) {
             Verdict::Violated(msg) => assert!(msg.contains("Orphan"), "{msg}"),
             other => panic!("expected Violated, got {other:?}"),
         }
@@ -296,13 +315,27 @@ CREATE Root()
         .unwrap();
         let s = SiteSchema::from_query(&q);
         assert!(matches!(
-            verify_schema(&s, &Constraint::AllReachableFrom { root: "Root".into() }),
+            verify_schema(
+                &s,
+                &Constraint::AllReachableFrom {
+                    root: "Root".into()
+                }
+            ),
             Verdict::Unknown(_)
         ));
         // ...and the exact graph check catches the violation on real data.
-        let out = parse_query(q.to_string().as_str()).unwrap().evaluate(&data(), &EvalOptions::default()).unwrap();
+        let out = parse_query(q.to_string().as_str())
+            .unwrap()
+            .evaluate(&data(), &EvalOptions::default())
+            .unwrap();
         assert!(matches!(
-            verify_graph(&out.graph, &out.table, &Constraint::AllReachableFrom { root: "Root".into() }),
+            verify_graph(
+                &out.graph,
+                &out.table,
+                &Constraint::AllReachableFrom {
+                    root: "Root".into()
+                }
+            ),
             Verdict::Violated(_)
         ));
     }
@@ -311,15 +344,25 @@ CREATE Root()
     fn every_has_edge_schema_and_graph() {
         let q = parse_query(GOOD).unwrap();
         let s = SiteSchema::from_query(&q);
-        let c = Constraint::EveryHasEdge { from: "Page".into(), label: "Up".into(), to: "Root".into() };
+        let c = Constraint::EveryHasEdge {
+            from: "Page".into(),
+            label: "Up".into(),
+            to: "Root".into(),
+        };
         assert_eq!(verify_schema(&s, &c), Verdict::Satisfied);
         let out = q.evaluate(&data(), &EvalOptions::default()).unwrap();
         assert_eq!(verify_graph(&out.graph, &out.table, &c), Verdict::Satisfied);
 
-        let missing =
-            Constraint::EveryHasEdge { from: "Root".into(), label: "Index".into(), to: "Page".into() };
+        let missing = Constraint::EveryHasEdge {
+            from: "Root".into(),
+            label: "Index".into(),
+            to: "Page".into(),
+        };
         assert!(matches!(verify_schema(&s, &missing), Verdict::Violated(_)));
-        assert!(matches!(verify_graph(&out.graph, &out.table, &missing), Verdict::Violated(_)));
+        assert!(matches!(
+            verify_graph(&out.graph, &out.table, &missing),
+            Verdict::Violated(_)
+        ));
     }
 
     #[test]
@@ -334,7 +377,10 @@ CREATE Root()
         )
         .unwrap();
         let s = SiteSchema::from_query(&external);
-        let c = Constraint::NoneReachable { from: "Root".into(), forbidden: "Secret".into() };
+        let c = Constraint::NoneReachable {
+            from: "Root".into(),
+            forbidden: "Secret".into(),
+        };
         assert_eq!(verify_schema(&s, &c), Verdict::Satisfied);
         let out = external.evaluate(&data(), &EvalOptions::default()).unwrap();
         assert_eq!(verify_graph(&out.graph, &out.table, &c), Verdict::Satisfied);
@@ -349,10 +395,16 @@ CREATE Root()
         )
         .unwrap();
         let s = SiteSchema::from_query(&leaky);
-        let c = Constraint::NoneReachable { from: "Root".into(), forbidden: "Secret".into() };
+        let c = Constraint::NoneReachable {
+            from: "Root".into(),
+            forbidden: "Secret".into(),
+        };
         assert!(matches!(verify_schema(&s, &c), Verdict::Unknown(_)));
         let out = leaky.evaluate(&data(), &EvalOptions::default()).unwrap();
-        assert!(matches!(verify_graph(&out.graph, &out.table, &c), Verdict::Violated(_)));
+        assert!(matches!(
+            verify_graph(&out.graph, &out.table, &c),
+            Verdict::Violated(_)
+        ));
     }
 
     #[test]
@@ -360,11 +412,22 @@ CREATE Root()
         let q = parse_query(GOOD).unwrap();
         let s = SiteSchema::from_query(&q);
         assert!(matches!(
-            verify_schema(&s, &Constraint::AllReachableFrom { root: "Nope".into() }),
+            verify_schema(
+                &s,
+                &Constraint::AllReachableFrom {
+                    root: "Nope".into()
+                }
+            ),
             Verdict::Violated(_)
         ));
         assert_eq!(
-            verify_schema(&s, &Constraint::NoneReachable { from: "Root".into(), forbidden: "Nope".into() }),
+            verify_schema(
+                &s,
+                &Constraint::NoneReachable {
+                    from: "Root".into(),
+                    forbidden: "Nope".into()
+                }
+            ),
             Verdict::Satisfied
         );
     }
@@ -378,7 +441,13 @@ CREATE Root()
         .unwrap();
         let out = q.evaluate(&data(), &EvalOptions::default()).unwrap();
         assert!(matches!(
-            verify_graph(&out.graph, &out.table, &Constraint::AllReachableFrom { root: "Root".into() }),
+            verify_graph(
+                &out.graph,
+                &out.table,
+                &Constraint::AllReachableFrom {
+                    root: "Root".into()
+                }
+            ),
             Verdict::Violated(_)
         ));
     }

@@ -53,9 +53,18 @@ pub fn analyze(query: &Query, preds: &PredicateRegistry) -> Result<Analyzed> {
     }
 
     // Pass 3: per block, check scope and construction safety.
-    check_block(&resolved.root, &mut Vec::new(), &created, preds, &mut warnings)?;
+    check_block(
+        &resolved.root,
+        &mut Vec::new(),
+        &created,
+        preds,
+        &mut warnings,
+    )?;
 
-    Ok(Analyzed { query: resolved, warnings })
+    Ok(Analyzed {
+        query: resolved,
+        warnings,
+    })
 }
 
 fn resolve_block(block: &mut Block, preds: &PredicateRegistry) -> Result<()> {
@@ -68,7 +77,11 @@ fn resolve_block(block: &mut Block, preds: &PredicateRegistry) -> Result<()> {
                         "predicate {name} has arity {arity}, applied to 1 argument"
                     )));
                 }
-                *cond = Condition::Predicate { name: name.clone(), args: vec![arg.clone()], negated: *negated };
+                *cond = Condition::Predicate {
+                    name: name.clone(),
+                    args: vec![arg.clone()],
+                    negated: *negated,
+                };
             }
             Condition::Predicate { name, args, .. } => {
                 if !preds.contains(name) {
@@ -115,7 +128,9 @@ fn check_rpe_preds(rpe: &Rpe, preds: &PredicateRegistry) -> Result<()> {
                 )));
             }
             if preds.arity(p) != Some(1) {
-                return Err(StruqlError::semantic(format!("edge predicate {p:?} must be unary")));
+                return Err(StruqlError::semantic(format!(
+                    "edge predicate {p:?} must be unary"
+                )));
             }
             Ok(())
         }
@@ -161,18 +176,35 @@ fn block_vars(block: &Block, into: &mut FxHashSet<String>) {
 fn positively_bound(block: &Block, into: &mut FxHashSet<String>) {
     for cond in &block.where_ {
         match cond {
-            Condition::Collection { arg, negated: false, .. } => collect_term(arg, into),
-            Condition::Edge { from, step, to, negated: false } => {
+            Condition::Collection {
+                arg,
+                negated: false,
+                ..
+            } => collect_term(arg, into),
+            Condition::Edge {
+                from,
+                step,
+                to,
+                negated: false,
+            } => {
                 collect_term(from, into);
                 collect_term(to, into);
                 if let PathStep::ArcVar(v) = step {
                     into.insert(v.clone());
                 }
             }
-            Condition::In { var, negated: false, .. } => {
+            Condition::In {
+                var,
+                negated: false,
+                ..
+            } => {
                 into.insert(var.clone());
             }
-            Condition::Compare { lhs, op: CmpOp::Eq, rhs } => {
+            Condition::Compare {
+                lhs,
+                op: CmpOp::Eq,
+                rhs,
+            } => {
                 if let (Term::Var(v), Term::Lit(_)) = (lhs, rhs) {
                     into.insert(v.clone());
                 }
@@ -272,7 +304,10 @@ fn check_block(
 
     for sk in &block.creates {
         if preds.contains(&sk.name) {
-            warnings.push(format!("{}: Skolem function `{}` shadows a predicate name", block.id, sk.name));
+            warnings.push(format!(
+                "{}: Skolem function `{}` shadows a predicate name",
+                block.id, sk.name
+            ));
         }
         check_skolem(sk, "CREATE")?;
     }
@@ -354,9 +389,14 @@ mod tests {
 
     #[test]
     fn predicate_reclassified_from_collection() {
-        let q = parse_query(r#"WHERE HomePages(p), p -> "Paper" -> q, isPostScript(q) COLLECT Out(q)"#).unwrap();
+        let q =
+            parse_query(r#"WHERE HomePages(p), p -> "Paper" -> q, isPostScript(q) COLLECT Out(q)"#)
+                .unwrap();
         let a = analyze(&q, &builtin()).unwrap();
-        assert!(matches!(&a.query.root.where_[0], Condition::Collection { .. }));
+        assert!(matches!(
+            &a.query.root.where_[0],
+            Condition::Collection { .. }
+        ));
         assert!(
             matches!(&a.query.root.where_[2], Condition::Predicate { name, .. } if name == "isPostScript")
         );
@@ -368,7 +408,9 @@ mod tests {
         preds.register("isName", 1, |_| true);
         let q = parse_query("WHERE C(x), x -> l -> v, x -> isName -> w COLLECT Out(v)").unwrap();
         let a = analyze(&q, &preds).unwrap();
-        assert!(matches!(&a.query.root.where_[1], Condition::Edge { step: PathStep::ArcVar(v), .. } if v == "l"));
+        assert!(
+            matches!(&a.query.root.where_[1], Condition::Edge { step: PathStep::ArcVar(v), .. } if v == "l")
+        );
         assert!(matches!(
             &a.query.root.where_[2],
             Condition::Edge { step: PathStep::Rpe(Rpe::Pred(p)), .. } if p == "isName"
@@ -417,9 +459,14 @@ mod tests {
 
     #[test]
     fn unbound_negated_vars_warn_active_domain() {
-        let q = parse_query(r#"WHERE not(p -> l -> q) CREATE f(p), f(q) LINK f(p) -> l -> f(q)"#).unwrap();
+        let q = parse_query(r#"WHERE not(p -> l -> q) CREATE f(p), f(q) LINK f(p) -> l -> f(q)"#)
+            .unwrap();
         let a = analyze(&q, &builtin()).unwrap();
-        assert!(a.warnings.iter().any(|w| w.contains("active-domain")), "{:?}", a.warnings);
+        assert!(
+            a.warnings.iter().any(|w| w.contains("active-domain")),
+            "{:?}",
+            a.warnings
+        );
     }
 
     #[test]

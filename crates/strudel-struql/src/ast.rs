@@ -183,7 +183,10 @@ pub struct SkolemTerm {
 impl SkolemTerm {
     /// Builds a Skolem term.
     pub fn new(name: impl Into<String>, args: impl IntoIterator<Item = impl Into<String>>) -> Self {
-        SkolemTerm { name: name.into(), args: args.into_iter().map(Into::into).collect() }
+        SkolemTerm {
+            name: name.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
     }
 }
 
@@ -383,17 +386,31 @@ pub enum Condition {
 impl Condition {
     /// Builds the simple edge condition `from -> "label" -> to`.
     pub fn edge(from: Term, label: &str, to: Term) -> Condition {
-        Condition::Edge { from, step: PathStep::Rpe(Rpe::Label(label.to_string())), to, negated: false }
+        Condition::Edge {
+            from,
+            step: PathStep::Rpe(Rpe::Label(label.to_string())),
+            to,
+            negated: false,
+        }
     }
 
     /// Builds the arc-variable edge condition `from -> var -> to`.
     pub fn arc(from: Term, var: &str, to: Term) -> Condition {
-        Condition::Edge { from, step: PathStep::ArcVar(var.to_string()), to, negated: false }
+        Condition::Edge {
+            from,
+            step: PathStep::ArcVar(var.to_string()),
+            to,
+            negated: false,
+        }
     }
 
     /// Builds the membership condition `name(var)`.
     pub fn coll(name: &str, var: &str) -> Condition {
-        Condition::Collection { name: name.to_string(), arg: Term::var(var), negated: false }
+        Condition::Collection {
+            name: name.to_string(),
+            arg: Term::var(var),
+            negated: false,
+        }
     }
 }
 
@@ -407,14 +424,23 @@ impl fmt::Display for Condition {
                     write!(f, "{name}({arg})")
                 }
             }
-            Condition::Edge { from, step, to, negated } => {
+            Condition::Edge {
+                from,
+                step,
+                to,
+                negated,
+            } => {
                 if *negated {
                     write!(f, "not({from} -> {step} -> {to})")
                 } else {
                     write!(f, "{from} -> {step} -> {to}")
                 }
             }
-            Condition::Predicate { name, args, negated } => {
+            Condition::Predicate {
+                name,
+                args,
+                negated,
+            } => {
                 let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
                 if *negated {
                     write!(f, "not({name}({}))", args.join(", "))
@@ -587,7 +613,11 @@ impl Query {
             renumber(&mut child, &mut next);
             root.children.push(child);
         }
-        Query { input: None, output: None, root }
+        Query {
+            input: None,
+            output: None,
+            root,
+        }
     }
 
     /// All blocks in document order (root first).
@@ -692,14 +722,20 @@ mod tests {
             output: Some("HomePage".into()),
             root: Block {
                 id: BlockId(0),
-                where_: vec![Condition::coll("Publications", "x"), Condition::arc(Term::var("x"), "l", Term::var("v"))],
+                where_: vec![
+                    Condition::coll("Publications", "x"),
+                    Condition::arc(Term::var("x"), "l", Term::var("v")),
+                ],
                 creates: vec![SkolemTerm::new("Page", ["x"])],
                 links: vec![LinkClause {
                     from: SkolemTerm::new("Page", ["x"]),
                     label: LabelTerm::Var("l".into()),
                     to: Term::var("v"),
                 }],
-                collects: vec![CollectClause { name: "Pages".into(), arg: Term::Skolem(SkolemTerm::new("Page", ["x"])) }],
+                collects: vec![CollectClause {
+                    name: "Pages".into(),
+                    arg: Term::Skolem(SkolemTerm::new("Page", ["x"])),
+                }],
                 children: vec![inner],
             },
         }
@@ -723,7 +759,10 @@ mod tests {
     #[test]
     fn governing_blocks_is_root_path() {
         let q = sample();
-        assert_eq!(q.governing_blocks(BlockId(1)).unwrap(), vec![BlockId(0), BlockId(1)]);
+        assert_eq!(
+            q.governing_blocks(BlockId(1)).unwrap(),
+            vec![BlockId(0), BlockId(1)]
+        );
         assert_eq!(q.governing_blocks(BlockId(0)).unwrap(), vec![BlockId(0)]);
     }
 
@@ -749,7 +788,14 @@ mod tests {
 
     #[test]
     fn cmp_op_negation_is_involutive() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }

@@ -29,13 +29,25 @@ impl Bindings {
     /// clause binds this once, which is why `CREATE RootPage()` with no
     /// conditions creates exactly one node.
     pub fn unit() -> Bindings {
-        Bindings { vars: Vec::new(), index: FxHashMap::default(), rows: vec![Vec::new()] }
+        Bindings {
+            vars: Vec::new(),
+            index: FxHashMap::default(),
+            rows: vec![Vec::new()],
+        }
     }
 
     /// Creates a relation with the given schema and no rows.
     pub fn with_vars(vars: Vec<String>) -> Bindings {
-        let index = vars.iter().enumerate().map(|(i, v)| (v.clone(), i)).collect();
-        Bindings { vars, index, rows: Vec::new() }
+        let index = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i))
+            .collect();
+        Bindings {
+            vars,
+            index,
+            rows: Vec::new(),
+        }
     }
 
     /// The schema.
@@ -56,7 +68,10 @@ impl Bindings {
     /// Appends a new variable column, returning its index. The caller must
     /// push a value for it in every row it adds.
     pub fn add_var(&mut self, var: &str) -> usize {
-        debug_assert!(!self.index.contains_key(var), "variable {var} already bound");
+        debug_assert!(
+            !self.index.contains_key(var),
+            "variable {var} already bound"
+        );
         let i = self.vars.len();
         self.vars.push(var.to_string());
         self.index.insert(var.to_string(), i);

@@ -16,9 +16,9 @@
 use crate::ast::{AggFunc, Block, LabelTerm, SkolemTerm, Term};
 use crate::binding::Bindings;
 use crate::error::{Result, StruqlError};
+use std::fmt::Write as _;
 use strudel_graph::fxhash::{FxHashMap, FxHashSet};
 use strudel_graph::{Graph, Oid, Sym, Value};
-use std::fmt::Write as _;
 
 /// The memo table of Skolem-function applications:
 /// `(function name, argument values) → node`.
@@ -81,7 +81,9 @@ impl SkolemTable {
 
     /// Iterates all instantiated applications.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[Value], Oid)> {
-        self.map.iter().map(|((name, args), &oid)| (name.as_str(), args.as_slice(), oid))
+        self.map
+            .iter()
+            .map(|((name, args), &oid)| (name.as_str(), args.as_slice(), oid))
     }
 
     fn emit_edge(&mut self, out: &mut Graph, from: Oid, label: Sym, to: Value) -> Result<bool> {
@@ -134,7 +136,11 @@ pub fn apply_block(
             LabelTerm::Var(_) => None,
         })
         .collect();
-    let collect_syms: Vec<Sym> = block.collects.iter().map(|c| out.ensure_collection(&c.name)).collect();
+    let collect_syms: Vec<Sym> = block
+        .collects
+        .iter()
+        .map(|c| out.ensure_collection(&c.name))
+        .collect();
 
     // Aggregation accumulators (§5.2 extension): link targets group by
     // (link clause, source node, label); collect arguments aggregate over
@@ -143,22 +149,25 @@ pub fn apply_block(
     let mut agg_collects: FxHashMap<usize, FxHashSet<Value>> = FxHashMap::default();
 
     for row_idx in 0..bindings.rows.len() {
-        let resolve_skolem = |table: &mut SkolemTable, out: &mut Graph, sk: &SkolemTerm| -> Result<Oid> {
-            let mut args = Vec::with_capacity(sk.args.len());
-            let row = &bindings.rows[row_idx];
-            for a in &sk.args {
-                let v = bindings
-                    .get(row, a)
-                    .ok_or_else(|| StruqlError::eval(format!("Skolem argument `{a}` unbound at construction time")))?;
-                args.push(v.clone());
-            }
-            let before = table.len();
-            let oid = table.instantiate(out, &sk.name, &args);
-            if table.len() > before {
-                // freshly created
-            }
-            Ok(oid)
-        };
+        let resolve_skolem =
+            |table: &mut SkolemTable, out: &mut Graph, sk: &SkolemTerm| -> Result<Oid> {
+                let mut args = Vec::with_capacity(sk.args.len());
+                let row = &bindings.rows[row_idx];
+                for a in &sk.args {
+                    let v = bindings.get(row, a).ok_or_else(|| {
+                        StruqlError::eval(format!(
+                            "Skolem argument `{a}` unbound at construction time"
+                        ))
+                    })?;
+                    args.push(v.clone());
+                }
+                let before = table.len();
+                let oid = table.instantiate(out, &sk.name, &args);
+                if table.len() > before {
+                    // freshly created
+                }
+                Ok(oid)
+            };
 
         for sk in &block.creates {
             let before = table.len();
@@ -175,9 +184,9 @@ pub fn apply_block(
                 (_, Some(sym)) => *sym,
                 (LabelTerm::Var(v), None) => {
                     let row = &bindings.rows[row_idx];
-                    let value = bindings
-                        .get(row, v)
-                        .ok_or_else(|| StruqlError::eval(format!("link label variable `{v}` unbound")))?;
+                    let value = bindings.get(row, v).ok_or_else(|| {
+                        StruqlError::eval(format!("link label variable `{v}` unbound"))
+                    })?;
                     match value.text() {
                         Some(t) => out.sym(&t),
                         None => {
@@ -195,7 +204,9 @@ pub fn apply_block(
                     let row = &bindings.rows[row_idx];
                     bindings
                         .get(row, v)
-                        .ok_or_else(|| StruqlError::eval(format!("link target variable `{v}` unbound")))?
+                        .ok_or_else(|| {
+                            StruqlError::eval(format!("link target variable `{v}` unbound"))
+                        })?
                         .clone()
                 }
                 Term::Lit(l) => l.to_value(),
@@ -203,11 +214,14 @@ pub fn apply_block(
                     // Accumulate the group; the edge is emitted after the
                     // row loop.
                     let row = &bindings.rows[row_idx];
-                    let value = bindings
-                        .get(row, v)
-                        .ok_or_else(|| StruqlError::eval(format!("aggregate variable `{v}` unbound")))?;
+                    let value = bindings.get(row, v).ok_or_else(|| {
+                        StruqlError::eval(format!("aggregate variable `{v}` unbound"))
+                    })?;
                     stats.nodes_created += (table.len() - before_nodes) as u64;
-                    agg_links.entry((link_idx, from, label)).or_default().insert(value.clone());
+                    agg_links
+                        .entry((link_idx, from, label))
+                        .or_default()
+                        .insert(value.clone());
                     continue;
                 }
             };
@@ -225,16 +239,21 @@ pub fn apply_block(
                     let row = &bindings.rows[row_idx];
                     bindings
                         .get(row, v)
-                        .ok_or_else(|| StruqlError::eval(format!("collect argument `{v}` unbound")))?
+                        .ok_or_else(|| {
+                            StruqlError::eval(format!("collect argument `{v}` unbound"))
+                        })?
                         .clone()
                 }
                 Term::Lit(l) => l.to_value(),
                 Term::Agg(_, v) => {
                     let row = &bindings.rows[row_idx];
-                    let value = bindings
-                        .get(row, v)
-                        .ok_or_else(|| StruqlError::eval(format!("aggregate variable `{v}` unbound")))?;
-                    agg_collects.entry(coll_idx).or_default().insert(value.clone());
+                    let value = bindings.get(row, v).ok_or_else(|| {
+                        StruqlError::eval(format!("aggregate variable `{v}` unbound"))
+                    })?;
+                    agg_collects
+                        .entry(coll_idx)
+                        .or_default()
+                        .insert(value.clone());
                     continue;
                 }
             };
@@ -256,7 +275,9 @@ pub fn apply_block(
     for key in agg_link_keys {
         let (link_idx, from, label) = key;
         let values = &agg_links[&key];
-        let Term::Agg(func, _) = &block.links[link_idx].to else { unreachable!("accumulated from Agg") };
+        let Term::Agg(func, _) = &block.links[link_idx].to else {
+            unreachable!("accumulated from Agg")
+        };
         if let Some(result) = aggregate(*func, values) {
             if table.emit_edge(out, from, label, result)? {
                 stats.edges_created += 1;
@@ -266,7 +287,9 @@ pub fn apply_block(
     let mut agg_coll_keys: Vec<usize> = agg_collects.keys().copied().collect();
     agg_coll_keys.sort_unstable();
     for coll_idx in agg_coll_keys {
-        let Term::Agg(func, _) = &block.collects[coll_idx].arg else { unreachable!("accumulated from Agg") };
+        let Term::Agg(func, _) = &block.collects[coll_idx].arg else {
+            unreachable!("accumulated from Agg")
+        };
         if let Some(result) = aggregate(*func, &agg_collects[&coll_idx]) {
             if out.add_to_collection(collect_syms[coll_idx], result) {
                 stats.collected += 1;
@@ -336,8 +359,8 @@ pub fn aggregate(func: AggFunc, values: &FxHashSet<Value>) -> Option<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use strudel_graph::graph::Universe;
     use std::sync::Arc;
+    use strudel_graph::graph::Universe;
 
     #[test]
     fn skolem_is_functional() {

@@ -22,7 +22,10 @@ pub enum StruqlError {
 
 impl StruqlError {
     pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
-        StruqlError::Parse { line, message: message.into() }
+        StruqlError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn semantic(message: impl Into<String>) -> Self {
@@ -37,7 +40,9 @@ impl StruqlError {
 impl fmt::Display for StruqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StruqlError::Parse { line, message } => write!(f, "StruQL parse error at line {line}: {message}"),
+            StruqlError::Parse { line, message } => {
+                write!(f, "StruQL parse error at line {line}: {message}")
+            }
             StruqlError::Semantic(m) => write!(f, "StruQL semantic error: {m}"),
             StruqlError::Eval(m) => write!(f, "StruQL evaluation error: {m}"),
             StruqlError::Graph(e) => write!(f, "graph error: {e}"),

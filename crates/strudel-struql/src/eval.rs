@@ -63,7 +63,10 @@ impl Default for EvalOptions {
 impl EvalOptions {
     /// Options using the given optimizer, otherwise defaults.
     pub fn with_optimizer(optimizer: Optimizer) -> Self {
-        EvalOptions { optimizer, ..Default::default() }
+        EvalOptions {
+            optimizer,
+            ..Default::default()
+        }
     }
 }
 
@@ -101,7 +104,11 @@ impl Query {
         let mut out = Graph::new(Arc::clone(input.universe()));
         let mut table = SkolemTable::new();
         let stats = self.evaluate_into(input, &mut out, &mut table, opts)?;
-        Ok(EvalOutput { graph: out, table, stats })
+        Ok(EvalOutput {
+            graph: out,
+            table,
+            stats,
+        })
     }
 
     /// Evaluates the query, writing construction results into an existing
@@ -116,10 +123,20 @@ impl Query {
         opts: &EvalOptions,
     ) -> Result<EvalStats> {
         let analyzed = analyze(self, &opts.predicates)?;
-        let mut ev = Ev { graph: input, opts, stats: EvalStats::default() };
+        let mut ev = Ev {
+            graph: input,
+            opts,
+            stats: EvalStats::default(),
+        };
         ev.stats.warnings = analyzed.warnings;
         let arc_vars = arc_vars_of(&analyzed.query);
-        ev.eval_block(&analyzed.query.root, &Bindings::unit(), out, table, &arc_vars)?;
+        ev.eval_block(
+            &analyzed.query.root,
+            &Bindings::unit(),
+            out,
+            table,
+            &arc_vars,
+        )?;
         Ok(ev.stats)
     }
 
@@ -127,7 +144,12 @@ impl Query {
     /// `id` (ancestors' conditions plus the block's own), returning the
     /// bindings relation. Used by site schemas' incremental evaluation and
     /// by tests.
-    pub fn bindings_of_block(&self, id: BlockId, input: &Graph, opts: &EvalOptions) -> Result<Bindings> {
+    pub fn bindings_of_block(
+        &self,
+        id: BlockId,
+        input: &Graph,
+        opts: &EvalOptions,
+    ) -> Result<Bindings> {
         let analyzed = analyze(self, &opts.predicates)?;
         let conds: Vec<Condition> = analyzed
             .query
@@ -136,7 +158,11 @@ impl Query {
             .into_iter()
             .cloned()
             .collect();
-        let mut ev = Ev { graph: input, opts, stats: EvalStats::default() };
+        let mut ev = Ev {
+            graph: input,
+            opts,
+            stats: EvalStats::default(),
+        };
         let arc_vars = arc_vars_of(&analyzed.query);
         ev.eval_conditions(&conds, Bindings::unit(), &arc_vars)
     }
@@ -202,10 +228,18 @@ pub fn evaluate_conditions(
     start: Bindings,
     opts: &EvalOptions,
 ) -> Result<Bindings> {
-    let mut ev = Ev { graph: input, opts, stats: EvalStats::default() };
+    let mut ev = Ev {
+        graph: input,
+        opts,
+        stats: EvalStats::default(),
+    };
     let mut arc_vars = FxHashSet::default();
     for cond in conds {
-        if let Condition::Edge { step: PathStep::ArcVar(v), .. } = cond {
+        if let Condition::Edge {
+            step: PathStep::ArcVar(v),
+            ..
+        } = cond
+        {
             arc_vars.insert(v.clone());
         }
     }
@@ -222,7 +256,11 @@ fn arc_vars_of(q: &Query) -> FxHashSet<String> {
     let mut out = FxHashSet::default();
     for block in q.blocks() {
         for cond in &block.where_ {
-            if let Condition::Edge { step: PathStep::ArcVar(v), .. } = cond {
+            if let Condition::Edge {
+                step: PathStep::ArcVar(v),
+                ..
+            } = cond
+            {
                 out.insert(v.clone());
             }
         }
@@ -260,9 +298,12 @@ impl<'g> Ev<'g> {
             let bound: FxHashSet<&str> = parent.vars().iter().map(String::as_str).collect();
             let p = plan(&block.where_, &bound, self.graph, self.opts.optimizer);
             if self.opts.explain {
-                self.stats.plans.push(format!("{}:\n{}", block.id, p.describe(&block.where_)));
+                self.stats
+                    .plans
+                    .push(format!("{}:\n{}", block.id, p.describe(&block.where_)));
             }
-            let ordered: Vec<Condition> = p.order.iter().map(|&i| block.where_[i].clone()).collect();
+            let ordered: Vec<Condition> =
+                p.order.iter().map(|&i| block.where_[i].clone()).collect();
             self.eval_conditions(&ordered, parent.clone(), arc_vars)?
         };
         apply_block(block, &bindings, out, table, &mut self.stats.construct)?;
@@ -299,13 +340,33 @@ impl<'g> Ev<'g> {
 
     // ---- the physical operators ----
 
-    fn apply(&mut self, cond: &Condition, input: Bindings, arc_vars: &FxHashSet<String>) -> Result<Bindings> {
+    fn apply(
+        &mut self,
+        cond: &Condition,
+        input: Bindings,
+        arc_vars: &FxHashSet<String>,
+    ) -> Result<Bindings> {
         match cond {
-            Condition::Collection { name, arg, negated } => self.apply_collection(name, arg, *negated, input),
-            Condition::Compare { lhs, op, rhs } => self.apply_compare(lhs, *op, rhs, input, arc_vars),
-            Condition::In { var, set, negated } => self.apply_in(var, set, *negated, input, arc_vars),
-            Condition::Predicate { name, args, negated } => self.apply_predicate(name, args, *negated, input, arc_vars),
-            Condition::Edge { from, step, to, negated } => match step {
+            Condition::Collection { name, arg, negated } => {
+                self.apply_collection(name, arg, *negated, input)
+            }
+            Condition::Compare { lhs, op, rhs } => {
+                self.apply_compare(lhs, *op, rhs, input, arc_vars)
+            }
+            Condition::In { var, set, negated } => {
+                self.apply_in(var, set, *negated, input, arc_vars)
+            }
+            Condition::Predicate {
+                name,
+                args,
+                negated,
+            } => self.apply_predicate(name, args, *negated, input, arc_vars),
+            Condition::Edge {
+                from,
+                step,
+                to,
+                negated,
+            } => match step {
                 PathStep::ArcVar(l) => self.apply_arc_edge(from, l, to, *negated, input, arc_vars),
                 PathStep::Rpe(rpe) => self.apply_rpe_edge(from, rpe, to, *negated, input, arc_vars),
                 PathStep::Bare(name) => Err(StruqlError::eval(format!(
@@ -316,12 +377,20 @@ impl<'g> Ev<'g> {
     }
 
     /// The value of a term in a row, if available.
-    fn term_value<'r>(b: &Bindings, row: &'r [Value], term: &Term) -> Result<Option<ValueOrOwned<'r>>> {
+    fn term_value<'r>(
+        b: &Bindings,
+        row: &'r [Value],
+        term: &Term,
+    ) -> Result<Option<ValueOrOwned<'r>>> {
         match term {
             Term::Var(v) => Ok(b.get(row, v).map(ValueOrOwned::Ref)),
             Term::Lit(l) => Ok(Some(ValueOrOwned::Owned(l.to_value()))),
-            Term::Skolem(s) => Err(StruqlError::eval(format!("Skolem term `{s}` cannot appear in WHERE"))),
-            Term::Agg(f, v) => Err(StruqlError::eval(format!("aggregate `{f}({v})` cannot appear in WHERE"))),
+            Term::Skolem(s) => Err(StruqlError::eval(format!(
+                "Skolem term `{s}` cannot appear in WHERE"
+            ))),
+            Term::Agg(f, v) => Err(StruqlError::eval(format!(
+                "aggregate `{f}({v})` cannot appear in WHERE"
+            ))),
         }
     }
 
@@ -329,14 +398,23 @@ impl<'g> Ev<'g> {
     /// variable, else all member nodes (documented choice; see module docs).
     fn active_domain(&self, var: &str, arc_vars: &FxHashSet<String>) -> Vec<Value> {
         if arc_vars.contains(var) {
-            self.graph.labels().into_iter().map(|s| self.label_value(s)).collect()
+            self.graph
+                .labels()
+                .into_iter()
+                .map(|s| self.label_value(s))
+                .collect()
         } else {
             self.graph.nodes().iter().map(|&n| Value::Node(n)).collect()
         }
     }
 
     /// Expands every unbound variable of `vars` over its active domain.
-    fn expand_active(&self, mut b: Bindings, vars: &[&str], arc_vars: &FxHashSet<String>) -> Result<Bindings> {
+    fn expand_active(
+        &self,
+        mut b: Bindings,
+        vars: &[&str],
+        arc_vars: &FxHashSet<String>,
+    ) -> Result<Bindings> {
         for var in vars {
             if b.is_bound(var) {
                 continue;
@@ -362,7 +440,13 @@ impl<'g> Ev<'g> {
         Ok(b)
     }
 
-    fn apply_collection(&mut self, name: &str, arg: &Term, negated: bool, input: Bindings) -> Result<Bindings> {
+    fn apply_collection(
+        &mut self,
+        name: &str,
+        arg: &Term,
+        negated: bool,
+        input: Bindings,
+    ) -> Result<Bindings> {
         let coll = self.graph.collection_str(name);
         match arg {
             Term::Var(v) if input.is_bound(v) => {
@@ -412,8 +496,12 @@ impl<'g> Ev<'g> {
                 }
                 Ok(out)
             }
-            Term::Skolem(s) => Err(StruqlError::eval(format!("Skolem term `{s}` cannot appear in WHERE"))),
-            Term::Agg(f, v) => Err(StruqlError::eval(format!("aggregate `{f}({v})` cannot appear in WHERE"))),
+            Term::Skolem(s) => Err(StruqlError::eval(format!(
+                "Skolem term `{s}` cannot appear in WHERE"
+            ))),
+            Term::Agg(f, v) => Err(StruqlError::eval(format!(
+                "aggregate `{f}({v})` cannot appear in WHERE"
+            ))),
         }
     }
 
@@ -443,7 +531,9 @@ impl<'g> Ev<'g> {
             let mut out = Bindings::with_vars(input.vars().to_vec());
             out.add_var(var);
             for row in &input.rows {
-                let val = Self::term_value(&input, row, bound_term)?.expect("bound").into_owned();
+                let val = Self::term_value(&input, row, bound_term)?
+                    .expect("bound")
+                    .into_owned();
                 let mut r = row.clone();
                 r.push(val);
                 out.rows.push(r);
@@ -594,7 +684,13 @@ impl<'g> Ev<'g> {
         }
     }
 
-    fn arc_edge_forward(&mut self, from: &Term, l: &str, to: &Term, input: Bindings) -> Result<Bindings> {
+    fn arc_edge_forward(
+        &mut self,
+        from: &Term,
+        l: &str,
+        to: &Term,
+        input: Bindings,
+    ) -> Result<Bindings> {
         let l_bound = input.is_bound(l);
         let to_unbound_var = match to {
             Term::Var(v) if !input.is_bound(v) => Some(v.as_str()),
@@ -610,7 +706,9 @@ impl<'g> Ev<'g> {
         let reader = self.graph.reader();
         for row in &input.rows {
             let f = Self::term_value(&input, row, from)?.expect("bound");
-            let Some(n) = f.as_ref().as_node() else { continue };
+            let Some(n) = f.as_ref().as_node() else {
+                continue;
+            };
             for (sym, target) in reader.out(n) {
                 let lv = self.label_value(*sym);
                 if l_bound {
@@ -631,7 +729,9 @@ impl<'g> Ev<'g> {
                             continue;
                         }
                     }
-                    (None, Term::Skolem(_) | Term::Agg(..)) => unreachable!("checked by term_value"),
+                    (None, Term::Skolem(_) | Term::Agg(..)) => {
+                        unreachable!("checked by term_value")
+                    }
                 }
                 let mut r = row.clone();
                 if !l_bound {
@@ -646,7 +746,13 @@ impl<'g> Ev<'g> {
         Ok(out)
     }
 
-    fn arc_edge_backward(&mut self, from: &Term, l: &str, to: &Term, input: Bindings) -> Result<Bindings> {
+    fn arc_edge_backward(
+        &mut self,
+        from: &Term,
+        l: &str,
+        to: &Term,
+        input: Bindings,
+    ) -> Result<Bindings> {
         let idx = self.graph.index().expect("checked indexed");
         let l_bound = input.is_bound(l);
         let from_var = from.as_var().expect("from is an unbound var here");
@@ -656,7 +762,9 @@ impl<'g> Ev<'g> {
         }
         out.add_var(from_var);
         for row in &input.rows {
-            let t = Self::term_value(&input, row, to)?.expect("bound").into_owned();
+            let t = Self::term_value(&input, row, to)?
+                .expect("bound")
+                .into_owned();
             let incoming: &[(Oid, Sym)] = match &t {
                 Value::Node(n) => idx.edges_to_node(*n),
                 atomic => idx.edges_to_value(atomic),
@@ -681,15 +789,29 @@ impl<'g> Ev<'g> {
     }
 
     /// Full edge scan: `from` unbound and no usable reverse index.
-    fn arc_edge_scan(&mut self, from: &Term, l: &str, to: &Term, input: Bindings) -> Result<Bindings> {
+    fn arc_edge_scan(
+        &mut self,
+        from: &Term,
+        l: &str,
+        to: &Term,
+        input: Bindings,
+    ) -> Result<Bindings> {
         let from_var = from.as_var().expect("from is an unbound var here");
         let l_bound = input.is_bound(l);
         let to_state = match to {
             Term::Var(v) if !input.is_bound(v) => ToState::Unbound(v.as_str()),
             Term::Var(v) => ToState::BoundVar(v.as_str()),
             Term::Lit(lit) => ToState::Lit(lit.to_value()),
-            Term::Skolem(s) => return Err(StruqlError::eval(format!("Skolem term `{s}` cannot appear in WHERE"))),
-            Term::Agg(f, v) => return Err(StruqlError::eval(format!("aggregate `{f}({v})` cannot appear in WHERE"))),
+            Term::Skolem(s) => {
+                return Err(StruqlError::eval(format!(
+                    "Skolem term `{s}` cannot appear in WHERE"
+                )))
+            }
+            Term::Agg(f, v) => {
+                return Err(StruqlError::eval(format!(
+                    "aggregate `{f}({v})` cannot appear in WHERE"
+                )))
+            }
         };
         let mut out = Bindings::with_vars(input.vars().to_vec());
         out.add_var(from_var);
@@ -736,8 +858,16 @@ impl<'g> Ev<'g> {
     }
 
     /// Whether an edge `from --l?--> to` exists (all values known).
-    fn edge_exists(&self, reader: &GraphReader<'_>, from: &Value, label: Option<&Value>, to: &Value) -> bool {
-        let Some(n) = from.as_node() else { return false };
+    fn edge_exists(
+        &self,
+        reader: &GraphReader<'_>,
+        from: &Value,
+        label: Option<&Value>,
+        to: &Value,
+    ) -> bool {
+        let Some(n) = from.as_node() else {
+            return false;
+        };
         reader.out(n).iter().any(|(sym, target)| {
             if let Some(lv) = label {
                 if !self.label_value(*sym).coerced_eq(lv) {
@@ -775,8 +905,12 @@ impl<'g> Ev<'g> {
             let reader = self.graph.reader();
             let mut out = Bindings::with_vars(b.vars().to_vec());
             for row in &b.rows {
-                let f = Self::term_value(&b, row, from)?.expect("expanded").into_owned();
-                let t = Self::term_value(&b, row, to)?.expect("expanded").into_owned();
+                let f = Self::term_value(&b, row, from)?
+                    .expect("expanded")
+                    .into_owned();
+                let t = Self::term_value(&b, row, to)?
+                    .expect("expanded")
+                    .into_owned();
                 let targets = memo
                     .entry(f.clone())
                     .or_insert_with(|| self.rpe_forward(&reader, &nfa, &f).into_iter().collect());
@@ -803,7 +937,13 @@ impl<'g> Ev<'g> {
         }
     }
 
-    fn rpe_from_bound(&mut self, nfa: &Nfa, from: &Term, to: &Term, input: Bindings) -> Result<Bindings> {
+    fn rpe_from_bound(
+        &mut self,
+        nfa: &Nfa,
+        from: &Term,
+        to: &Term,
+        input: Bindings,
+    ) -> Result<Bindings> {
         let to_unbound_var = match to {
             Term::Var(v) if !input.is_bound(v) => Some(v.to_string()),
             _ => None,
@@ -815,8 +955,12 @@ impl<'g> Ev<'g> {
         let reader = self.graph.reader();
         let mut memo: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
         for row in &input.rows {
-            let f = Self::term_value(&input, row, from)?.expect("bound").into_owned();
-            let targets = memo.entry(f.clone()).or_insert_with(|| self.rpe_forward(&reader, nfa, &f));
+            let f = Self::term_value(&input, row, from)?
+                .expect("bound")
+                .into_owned();
+            let targets = memo
+                .entry(f.clone())
+                .or_insert_with(|| self.rpe_forward(&reader, nfa, &f));
             match (&to_unbound_var, to) {
                 (Some(_), _) => {
                     for t in targets.iter() {
@@ -843,7 +987,13 @@ impl<'g> Ev<'g> {
         Ok(out)
     }
 
-    fn rpe_to_bound(&mut self, nfa: &Nfa, from: &Term, to: &Term, input: Bindings) -> Result<Bindings> {
+    fn rpe_to_bound(
+        &mut self,
+        nfa: &Nfa,
+        from: &Term,
+        to: &Term,
+        input: Bindings,
+    ) -> Result<Bindings> {
         let from_var = from.as_var().expect("unbound from");
         let rev = nfa.reversed();
         let reverse_adj = self.reverse_adjacency();
@@ -851,8 +1001,12 @@ impl<'g> Ev<'g> {
         out.add_var(from_var);
         let mut memo: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
         for row in &input.rows {
-            let t = Self::term_value(&input, row, to)?.expect("bound").into_owned();
-            let sources = memo.entry(t.clone()).or_insert_with(|| self.rpe_backward(&rev, &reverse_adj, &t));
+            let t = Self::term_value(&input, row, to)?
+                .expect("bound")
+                .into_owned();
+            let sources = memo
+                .entry(t.clone())
+                .or_insert_with(|| self.rpe_backward(&rev, &reverse_adj, &t));
             for s in sources.iter() {
                 // Sources are nodes (edges originate at nodes); keep atomics
                 // only when the empty path matched (s == t).
@@ -864,13 +1018,27 @@ impl<'g> Ev<'g> {
         Ok(out)
     }
 
-    fn rpe_both_unbound(&mut self, nfa: &Nfa, from: &Term, to: &Term, input: Bindings) -> Result<Bindings> {
+    fn rpe_both_unbound(
+        &mut self,
+        nfa: &Nfa,
+        from: &Term,
+        to: &Term,
+        input: Bindings,
+    ) -> Result<Bindings> {
         let from_var = from.as_var().expect("unbound from");
         let to_state = match to {
             Term::Var(v) => ToState::Unbound(v.as_str()),
             Term::Lit(lit) => ToState::Lit(lit.to_value()),
-            Term::Skolem(s) => return Err(StruqlError::eval(format!("Skolem term `{s}` cannot appear in WHERE"))),
-            Term::Agg(f, v) => return Err(StruqlError::eval(format!("aggregate `{f}({v})` cannot appear in WHERE"))),
+            Term::Skolem(s) => {
+                return Err(StruqlError::eval(format!(
+                    "Skolem term `{s}` cannot appear in WHERE"
+                )))
+            }
+            Term::Agg(f, v) => {
+                return Err(StruqlError::eval(format!(
+                    "aggregate `{f}({v})` cannot appear in WHERE"
+                )))
+            }
         };
         let mut out = Bindings::with_vars(input.vars().to_vec());
         out.add_var(from_var);

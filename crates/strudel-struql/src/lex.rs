@@ -245,13 +245,19 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                     }
                 }
             }
-            b'_' if !bytes.get(pos + 1).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') => {
+            b'_' if !bytes
+                .get(pos + 1)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') =>
+            {
                 out.push((Tok::Underscore, line));
                 pos += 1;
             }
             _ if b.is_ascii_alphabetic() || b == b'_' => {
                 let start = pos;
-                while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_' || bytes[pos] == b'-')
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric()
+                        || bytes[pos] == b'_'
+                        || bytes[pos] == b'-')
                 {
                     // `-` is allowed inside identifiers (`pub-type`), but
                     // `->` always terminates one.
@@ -259,7 +265,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                         if bytes.get(pos + 1) == Some(&b'>') {
                             break;
                         }
-                        if !bytes.get(pos + 1).is_some_and(|c| c.is_ascii_alphanumeric()) {
+                        if !bytes
+                            .get(pos + 1)
+                            .is_some_and(|c| c.is_ascii_alphanumeric())
+                        {
                             break;
                         }
                     }
@@ -297,7 +306,10 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(toks("WHERE where Where"), vec![Tok::Where, Tok::Where, Tok::Where]);
+        assert_eq!(
+            toks("WHERE where Where"),
+            vec![Tok::Where, Tok::Where, Tok::Where]
+        );
     }
 
     #[test]
@@ -324,7 +336,10 @@ mod tests {
     fn hyphenated_identifiers() {
         assert_eq!(toks("pub-type"), vec![Tok::Ident("pub-type".into())]);
         // ...but an arrow still splits.
-        assert_eq!(toks("x->y"), vec![Tok::Ident("x".into()), Tok::Arrow, Tok::Ident("y".into())]);
+        assert_eq!(
+            toks("x->y"),
+            vec![Tok::Ident("x".into()), Tok::Arrow, Tok::Ident("y".into())]
+        );
     }
 
     #[test]
@@ -354,7 +369,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("x // comment\n# more\ny"), vec![Tok::Ident("x".into()), Tok::Ident("y".into())]);
+        assert_eq!(
+            toks("x // comment\n# more\ny"),
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into())]
+        );
     }
 
     #[test]
@@ -374,7 +392,15 @@ mod tests {
     fn rpe_tokens() {
         assert_eq!(
             toks(r#"("a" | _)* +"#),
-            vec![Tok::LParen, Tok::Str("a".into()), Tok::Pipe, Tok::Underscore, Tok::RParen, Tok::Star, Tok::Plus]
+            vec![
+                Tok::LParen,
+                Tok::Str("a".into()),
+                Tok::Pipe,
+                Tok::Underscore,
+                Tok::RParen,
+                Tok::Star,
+                Tok::Plus
+            ]
         );
     }
 }

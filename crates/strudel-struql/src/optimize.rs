@@ -22,9 +22,9 @@
 //! index-ablation experiment `A-OPT` measures.
 
 use crate::ast::{CmpOp, Condition, PathStep, Rpe, Term};
+use std::fmt::Write as _;
 use strudel_graph::fxhash::FxHashSet;
 use strudel_graph::Graph;
-use std::fmt::Write as _;
 
 /// Which plan-selection strategy to use.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -138,7 +138,12 @@ fn rpe_has_star(rpe: &Rpe) -> bool {
 /// Estimated *result multiplier* of applying `cond` when `bound` variables
 /// are already bound: < 1 for filters, the fan-out for binders. Also returns
 /// a short access-method tag for plan explanations.
-fn multiplier(cond: &Condition, bound: &FxHashSet<&str>, graph: &Graph, stats: &GraphStats) -> (f64, &'static str) {
+fn multiplier(
+    cond: &Condition,
+    bound: &FxHashSet<&str>,
+    graph: &Graph,
+    stats: &GraphStats,
+) -> (f64, &'static str) {
     let is_bound = |t: &Term| match t {
         Term::Var(v) => bound.contains(v.as_str()),
         Term::Lit(_) => true,
@@ -151,17 +156,33 @@ fn multiplier(cond: &Condition, bound: &FxHashSet<&str>, graph: &Graph, stats: &
             } else if *negated {
                 (stats.nodes.max(1.0), "active-domain")
             } else {
-                (collection_card(graph, name).unwrap_or(stats.nodes).max(1.0), "coll-scan")
+                (
+                    collection_card(graph, name).unwrap_or(stats.nodes).max(1.0),
+                    "coll-scan",
+                )
             }
         }
-        Condition::Edge { from, step, to, negated } => {
+        Condition::Edge {
+            from,
+            step,
+            to,
+            negated,
+        } => {
             if *negated {
-                let unbound = [is_bound(from), is_bound(to)].iter().filter(|b| !**b).count()
-                    + usize::from(matches!(step, PathStep::ArcVar(v) if !bound.contains(v.as_str())));
+                let unbound = [is_bound(from), is_bound(to)]
+                    .iter()
+                    .filter(|b| !**b)
+                    .count()
+                    + usize::from(
+                        matches!(step, PathStep::ArcVar(v) if !bound.contains(v.as_str())),
+                    );
                 return if unbound == 0 {
                     (0.9, "neg-edge-filter")
                 } else {
-                    (stats.nodes.max(1.0).powi(unbound as i32), "neg-active-domain")
+                    (
+                        stats.nodes.max(1.0).powi(unbound as i32),
+                        "neg-active-domain",
+                    )
                 };
             }
             let fb = is_bound(from);
@@ -207,7 +228,11 @@ fn multiplier(cond: &Condition, bound: &FxHashSet<&str>, graph: &Graph, stats: &
                     let reach = if rpe_has_star(rpe) {
                         stats.nodes.max(1.0)
                     } else {
-                        stats.avg_degree().max(1.0).powi(3).min(stats.nodes.max(1.0))
+                        stats
+                            .avg_degree()
+                            .max(1.0)
+                            .powi(3)
+                            .min(stats.nodes.max(1.0))
                     };
                     match (fb, tb) {
                         (true, true) => (0.5, "path-probe"),
@@ -243,7 +268,14 @@ fn multiplier(cond: &Condition, bound: &FxHashSet<&str>, graph: &Graph, stats: &
         }
         Condition::In { var, set, negated } => {
             if bound.contains(var.as_str()) {
-                (if *negated { 0.8 } else { (set.len() as f64 / stats.labels.max(set.len() as f64)).min(0.8) }, "in-filter")
+                (
+                    if *negated {
+                        0.8
+                    } else {
+                        (set.len() as f64 / stats.labels.max(set.len() as f64)).min(0.8)
+                    },
+                    "in-filter",
+                )
             } else if *negated {
                 (stats.labels.max(stats.nodes).max(1.0), "active-domain")
             } else {
@@ -265,9 +297,16 @@ fn expansion_vars<'c>(cond: &'c Condition, bound: &FxHashSet<&str>) -> Vec<&'c s
         _ => None,
     };
     match cond {
-        Condition::Collection { arg, negated: true, .. } => unbound(arg).into_iter().collect(),
+        Condition::Collection {
+            arg, negated: true, ..
+        } => unbound(arg).into_iter().collect(),
         Condition::Collection { .. } => vec![],
-        Condition::Edge { from, step, to, negated: true } => {
+        Condition::Edge {
+            from,
+            step,
+            to,
+            negated: true,
+        } => {
             let mut out: Vec<&str> = [unbound(from), unbound(to)].into_iter().flatten().collect();
             if let PathStep::ArcVar(v) = step {
                 if !bound.contains(v.as_str()) {
@@ -276,7 +315,12 @@ fn expansion_vars<'c>(cond: &'c Condition, bound: &FxHashSet<&str>) -> Vec<&'c s
             }
             out
         }
-        Condition::Edge { from, step, to, negated: false } => {
+        Condition::Edge {
+            from,
+            step,
+            to,
+            negated: false,
+        } => {
             // A positive edge enumerates sources over member nodes only when
             // both ends are unbound. That is exact unless the path can be
             // empty (a nullable RPE admits atomic sources), in which case a
@@ -287,7 +331,9 @@ fn expansion_vars<'c>(cond: &'c Condition, bound: &FxHashSet<&str>) -> Vec<&'c s
                     _ => false,
                 };
             match step {
-                PathStep::Rpe(rpe) if both_unbound && rpe.nullable() => unbound(from).into_iter().collect(),
+                PathStep::Rpe(rpe) if both_unbound && rpe.nullable() => {
+                    unbound(from).into_iter().collect()
+                }
                 _ => vec![],
             }
         }
@@ -315,8 +361,17 @@ fn expansion_vars<'c>(cond: &'c Condition, bound: &FxHashSet<&str>) -> Vec<&'c s
 /// Variables a condition binds *exactly* when applied (positive binders).
 fn binder_vars(cond: &Condition) -> Vec<&str> {
     match cond {
-        Condition::Collection { arg, negated: false, .. } => arg.as_var().into_iter().collect(),
-        Condition::Edge { from, step, to, negated: false } => {
+        Condition::Collection {
+            arg,
+            negated: false,
+            ..
+        } => arg.as_var().into_iter().collect(),
+        Condition::Edge {
+            from,
+            step,
+            to,
+            negated: false,
+        } => {
             let mut out: Vec<&str> = Vec::new();
             if let Term::Var(v) = from {
                 out.push(v);
@@ -329,10 +384,16 @@ fn binder_vars(cond: &Condition) -> Vec<&str> {
             }
             out
         }
-        Condition::In { var, negated: false, .. } => vec![var.as_str()],
-        Condition::Compare { lhs, op: CmpOp::Eq, rhs } => {
-            [lhs, rhs].into_iter().filter_map(Term::as_var).collect()
-        }
+        Condition::In {
+            var,
+            negated: false,
+            ..
+        } => vec![var.as_str()],
+        Condition::Compare {
+            lhs,
+            op: CmpOp::Eq,
+            rhs,
+        } => [lhs, rhs].into_iter().filter_map(Term::as_var).collect(),
         _ => vec![],
     }
 }
@@ -409,7 +470,11 @@ fn pick_next(
         .copied()
         .filter(|&i| eligible(&conditions[i], bound, &rem_refs))
         .collect();
-    let pool = if candidates.is_empty() { remaining } else { &candidates };
+    let pool = if candidates.is_empty() {
+        remaining
+    } else {
+        &candidates
+    };
     *pool
         .iter()
         .min_by(|&&a, &&b| score(a).total_cmp(&score(b)))
@@ -438,7 +503,11 @@ fn plan_naive(conditions: &[Condition], bound: &FxHashSet<&str>, graph: &Graph) 
         order.push(i);
         methods.push(method);
     }
-    Plan { order, methods, est_cost: cost }
+    Plan {
+        order,
+        methods,
+        est_cost: cost,
+    }
 }
 
 fn plan_greedy(conditions: &[Condition], bound: &FxHashSet<&str>, graph: &Graph) -> Plan {
@@ -463,14 +532,22 @@ fn plan_greedy(conditions: &[Condition], bound: &FxHashSet<&str>, graph: &Graph)
         order.push(i);
         methods.push(method);
     }
-    Plan { order, methods, est_cost: cost }
+    Plan {
+        order,
+        methods,
+        est_cost: cost,
+    }
 }
 
 fn plan_dp(conditions: &[Condition], initial_bound: &FxHashSet<&str>, graph: &Graph) -> Plan {
     let stats = GraphStats::of(graph);
     let n = conditions.len();
     if n == 0 {
-        return Plan { order: vec![], methods: vec![], est_cost: 0.0 };
+        return Plan {
+            order: vec![],
+            methods: vec![],
+            est_cost: 0.0,
+        };
     }
 
     // Variable universe: map names to bits for fast bound-set tracking.
@@ -519,7 +596,9 @@ fn plan_dp(conditions: &[Condition], initial_bound: &FxHashSet<&str>, graph: &Gr
     };
 
     for mask in 0..size {
-        let Some((rows, cost, _, _)) = dp[mask] else { continue };
+        let Some((rows, cost, _, _)) = dp[mask] else {
+            continue;
+        };
         let bound_bits = mask_vars(mask);
         let bound: FxHashSet<&str> = var_names
             .iter()
@@ -527,8 +606,10 @@ fn plan_dp(conditions: &[Condition], initial_bound: &FxHashSet<&str>, graph: &Gr
             .filter(|(b, _)| bound_bits & (1 << b) != 0)
             .map(|(_, v)| *v)
             .collect();
-        let remaining: Vec<&Condition> =
-            (0..n).filter(|i| mask & (1 << i) == 0).map(|i| &conditions[i]).collect();
+        let remaining: Vec<&Condition> = (0..n)
+            .filter(|i| mask & (1 << i) == 0)
+            .map(|i| &conditions[i])
+            .collect();
         let eligible_next: Vec<usize> = (0..n)
             .filter(|&i| mask & (1 << i) == 0 && eligible(&conditions[i], &bound, &remaining))
             .collect();
@@ -570,7 +651,11 @@ fn plan_dp(conditions: &[Condition], initial_bound: &FxHashSet<&str>, graph: &Gr
             bound.insert(v);
         }
     }
-    Plan { order, methods, est_cost: final_cost }
+    Plan {
+        order,
+        methods,
+        est_cost: final_cost,
+    }
 }
 
 #[cfg(test)]
@@ -596,7 +681,8 @@ mod tests {
 
     fn conds(src: &str) -> Vec<Condition> {
         let q = parse_query(src).unwrap();
-        let a = crate::analyze::analyze(&q, &crate::pred::PredicateRegistry::with_builtins()).unwrap();
+        let a =
+            crate::analyze::analyze(&q, &crate::pred::PredicateRegistry::with_builtins()).unwrap();
         a.query.root.where_.clone()
     }
 
@@ -620,7 +706,11 @@ mod tests {
         // Whatever join order wins, the chosen plan must avoid active-domain
         // expansion (every condition runs with its inputs bound) and must
         // not cost more than naive left-to-right evaluation.
-        assert!(!p.methods.iter().any(|m| m.contains("active-domain")), "plan: {}", p.describe(&cs));
+        assert!(
+            !p.methods.iter().any(|m| m.contains("active-domain")),
+            "plan: {}",
+            p.describe(&cs)
+        );
         let naive = plan(&cs, &FxHashSet::default(), &g, Optimizer::Naive);
         assert!(p.est_cost <= naive.est_cost, "plan: {}", p.describe(&cs));
     }
@@ -636,7 +726,12 @@ mod tests {
             let cs = conds(src);
             let dp = plan(&cs, &FxHashSet::default(), &g, Optimizer::CostBased);
             let naive = plan(&cs, &FxHashSet::default(), &g, Optimizer::Naive);
-            assert!(dp.est_cost <= naive.est_cost + 1e-9, "{src}: {} vs {}", dp.est_cost, naive.est_cost);
+            assert!(
+                dp.est_cost <= naive.est_cost + 1e-9,
+                "{src}: {} vs {}",
+                dp.est_cost,
+                naive.est_cost
+            );
         }
     }
 
@@ -648,7 +743,12 @@ mod tests {
         g.set_indexing(false);
         let without = plan(&cs, &FxHashSet::default(), &g, Optimizer::CostBased);
         // Both valid plans; the cost model must register the index loss.
-        assert!(without.est_cost >= with.est_cost, "{} vs {}", without.est_cost, with.est_cost);
+        assert!(
+            without.est_cost >= with.est_cost,
+            "{} vs {}",
+            without.est_cost,
+            with.est_cost
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ struct Parser {
 
 impl Parser {
     fn line(&self) -> usize {
-        self.toks.get(self.pos).or_else(|| self.toks.last()).map(|(_, l)| *l).unwrap_or(1)
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(1)
     }
 
     fn err(&self, msg: impl Into<String>) -> StruqlError {
@@ -108,7 +112,10 @@ impl Parser {
     }
 
     fn parse_body(&mut self) -> Result<Block> {
-        let mut block = Block { id: BlockId(self.next_block), ..Block::default() };
+        let mut block = Block {
+            id: BlockId(self.next_block),
+            ..Block::default()
+        };
         self.next_block += 1;
         loop {
             match self.peek() {
@@ -178,9 +185,17 @@ impl Parser {
                         // Single argument: collection test by default; the
                         // analyzer reclassifies it as a predicate when the
                         // name is registered (semantic distinction, §3).
-                        Condition::Collection { name, arg: args.pop().expect("one arg"), negated: false }
+                        Condition::Collection {
+                            name,
+                            arg: args.pop().expect("one arg"),
+                            negated: false,
+                        }
                     } else {
-                        Condition::Predicate { name, args, negated: false }
+                        Condition::Predicate {
+                            name,
+                            args,
+                            negated: false,
+                        }
                     });
                 }
                 Some(Tok::In) => {
@@ -192,7 +207,11 @@ impl Parser {
                         set.push(self.parse_literal()?);
                     }
                     self.expect(Tok::RBrace, "`}`")?;
-                    return Ok(Condition::In { var, set, negated: false });
+                    return Ok(Condition::In {
+                        var,
+                        set,
+                        negated: false,
+                    });
                 }
                 _ => {}
             }
@@ -213,9 +232,15 @@ impl Parser {
                     _ => unreachable!("peeked"),
                 };
                 let rhs = self.parse_term()?;
-                Ok(Condition::Compare { lhs: first, op, rhs })
+                Ok(Condition::Compare {
+                    lhs: first,
+                    op,
+                    rhs,
+                })
             }
-            other => Err(self.err(format!("expected `->` or a comparison after term, found {other:?}"))),
+            other => Err(self.err(format!(
+                "expected `->` or a comparison after term, found {other:?}"
+            ))),
         }
     }
 
@@ -231,7 +256,12 @@ impl Parser {
             let step = self.parse_step()?;
             self.expect(Tok::Arrow, "`->` after path step")?;
             let to = self.parse_term()?;
-            hops.push(Condition::Edge { from: from.clone(), step, to: to.clone(), negated: false });
+            hops.push(Condition::Edge {
+                from: from.clone(),
+                step,
+                to: to.clone(),
+                negated: false,
+            });
             from = to;
         }
         debug_assert!(!hops.is_empty(), "parse_chain called at an arrow");
@@ -395,18 +425,53 @@ impl Parser {
 
 fn negate(cond: Condition) -> std::result::Result<Condition, String> {
     Ok(match cond {
-        Condition::Collection { name, arg, negated } => Condition::Collection { name, arg, negated: !negated },
-        Condition::Edge { from, step, to, negated } => Condition::Edge { from, step, to, negated: !negated },
-        Condition::Predicate { name, args, negated } => Condition::Predicate { name, args, negated: !negated },
-        Condition::Compare { lhs, op, rhs } => Condition::Compare { lhs, op: op.negate(), rhs },
-        Condition::In { var, set, negated } => Condition::In { var, set, negated: !negated },
+        Condition::Collection { name, arg, negated } => Condition::Collection {
+            name,
+            arg,
+            negated: !negated,
+        },
+        Condition::Edge {
+            from,
+            step,
+            to,
+            negated,
+        } => Condition::Edge {
+            from,
+            step,
+            to,
+            negated: !negated,
+        },
+        Condition::Predicate {
+            name,
+            args,
+            negated,
+        } => Condition::Predicate {
+            name,
+            args,
+            negated: !negated,
+        },
+        Condition::Compare { lhs, op, rhs } => Condition::Compare {
+            lhs,
+            op: op.negate(),
+            rhs,
+        },
+        Condition::In { var, set, negated } => Condition::In {
+            var,
+            set,
+            negated: !negated,
+        },
     })
 }
 
 /// Parses a complete StruQL query from source text.
 pub fn parse_query(src: &str) -> Result<Query> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, next_block: 0, pending: Vec::new() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        next_block: 0,
+        pending: Vec::new(),
+    };
     let q = p.parse_query()?;
     debug_assert!(p.pending.is_empty(), "pending hops drained during parse");
     Ok(q)
@@ -426,11 +491,15 @@ pub(crate) mod tests {
         .unwrap();
         assert_eq!(q.root.where_.len(), 3);
         assert_eq!(q.root.collects.len(), 1);
-        assert!(matches!(&q.root.where_[0], Condition::Collection { name, .. } if name == "HomePages"));
+        assert!(
+            matches!(&q.root.where_[0], Condition::Collection { name, .. } if name == "HomePages")
+        );
         assert!(matches!(&q.root.where_[1], Condition::Edge { .. }));
         // `isPostScript(q)` parses as a 1-arg collection test; the analyzer
         // reclassifies it against the predicate registry.
-        assert!(matches!(&q.root.where_[2], Condition::Collection { name, .. } if name == "isPostScript"));
+        assert!(
+            matches!(&q.root.where_[2], Condition::Collection { name, .. } if name == "isPostScript")
+        );
     }
 
     #[test]
@@ -444,14 +513,25 @@ pub(crate) mod tests {
         )
         .unwrap();
         // chain desugars: p->*->q and q->l->q0
-        let edges: Vec<_> = q.root.where_.iter().filter(|c| matches!(c, Condition::Edge { .. })).collect();
+        let edges: Vec<_> = q
+            .root
+            .where_
+            .iter()
+            .filter(|c| matches!(c, Condition::Edge { .. }))
+            .collect();
         assert_eq!(edges.len(), 2);
         // Desugared hops are appended after the written conditions.
-        assert!(matches!(&q.root.where_[2], Condition::Collection { name, negated: true, .. } if name == "isImageFile"));
-        assert!(matches!(&q.root.where_[3], Condition::Edge { step: PathStep::Bare(l), .. } if l == "l"));
+        assert!(
+            matches!(&q.root.where_[2], Condition::Collection { name, negated: true, .. } if name == "isImageFile")
+        );
+        assert!(
+            matches!(&q.root.where_[3], Condition::Edge { step: PathStep::Bare(l), .. } if l == "l")
+        );
         assert_eq!(q.root.creates.len(), 3);
         assert!(matches!(&q.root.links[0].label, LabelTerm::Var(v) if v == "l"));
-        assert!(matches!(&q.root.links[0].to, Term::Skolem(s) if s.name == "New" && s.args == vec!["q0".to_string()]));
+        assert!(
+            matches!(&q.root.links[0].to, Term::Skolem(s) if s.name == "New" && s.args == vec!["q0".to_string()])
+        );
     }
 
     #[test]
@@ -466,7 +546,10 @@ pub(crate) mod tests {
         assert_eq!(q1.creates.len(), 2);
         assert_eq!(q1.links.len(), 4);
         let q2 = &q1.children[0];
-        assert!(matches!(&q2.where_[0], Condition::Compare { op: CmpOp::Eq, .. }));
+        assert!(matches!(
+            &q2.where_[0],
+            Condition::Compare { op: CmpOp::Eq, .. }
+        ));
         assert_eq!(q2.creates[0].name, "YearPage");
     }
 
@@ -519,7 +602,12 @@ OUTPUT HomePage
                CREATE Page(y)"#,
         )
         .unwrap();
-        let in_cond = q.root.where_.iter().find(|c| matches!(c, Condition::In { .. })).unwrap();
+        let in_cond = q
+            .root
+            .where_
+            .iter()
+            .find(|c| matches!(c, Condition::In { .. }))
+            .unwrap();
         match in_cond {
             Condition::In { var, set, negated } => {
                 assert_eq!(var, "l");
@@ -539,16 +627,25 @@ OUTPUT HomePage
                LINK f(p) -> l -> f(q)"#,
         )
         .unwrap();
-        assert!(matches!(&q.root.where_[0], Condition::Edge { negated: true, .. }));
+        assert!(matches!(
+            &q.root.where_[0],
+            Condition::Edge { negated: true, .. }
+        ));
     }
 
     #[test]
     fn rpe_operators_parse() {
         let q = parse_query(r#"WHERE x -> ("a" . "b")* | "c"+ . _? -> y COLLECT Out(y)"#).unwrap();
         match &q.root.where_[0] {
-            Condition::Edge { step: PathStep::Rpe(r), .. } => {
+            Condition::Edge {
+                step: PathStep::Rpe(r),
+                ..
+            } => {
                 let s = r.to_string();
-                assert!(s.contains('*') && s.contains('+') && s.contains('?'), "got {s}");
+                assert!(
+                    s.contains('*') && s.contains('+') && s.contains('?'),
+                    "got {s}"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -557,7 +654,9 @@ OUTPUT HomePage
     #[test]
     fn bare_ident_step_is_unresolved() {
         let q = parse_query("WHERE x -> l -> y COLLECT C(y)").unwrap();
-        assert!(matches!(&q.root.where_[0], Condition::Edge { step: PathStep::Bare(v), .. } if v == "l"));
+        assert!(
+            matches!(&q.root.where_[0], Condition::Edge { step: PathStep::Bare(v), .. } if v == "l")
+        );
     }
 
     #[test]
@@ -578,14 +677,20 @@ OUTPUT HomePage
             ("x >= 1", CmpOp::Ge),
         ] {
             let q = parse_query(&format!("WHERE C(x), {src} COLLECT Out(x)")).unwrap();
-            assert!(matches!(&q.root.where_[1], Condition::Compare { op: o, .. } if *o == op), "{src}");
+            assert!(
+                matches!(&q.root.where_[1], Condition::Compare { op: o, .. } if *o == op),
+                "{src}"
+            );
         }
     }
 
     #[test]
     fn not_comparison_negates_operator() {
         let q = parse_query("WHERE C(x), not(x = 1) COLLECT Out(x)").unwrap();
-        assert!(matches!(&q.root.where_[1], Condition::Compare { op: CmpOp::Ne, .. }));
+        assert!(matches!(
+            &q.root.where_[1],
+            Condition::Compare { op: CmpOp::Ne, .. }
+        ));
     }
 
     #[test]

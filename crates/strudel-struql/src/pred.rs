@@ -7,10 +7,10 @@
 //! The distinction between collection names and external predicates is made
 //! at a *semantic* level: the analyzer consults this registry.
 
-use strudel_graph::fxhash::FxHashMap;
-use strudel_graph::{FileKind, Value};
 use std::fmt;
 use std::sync::Arc;
+use strudel_graph::fxhash::FxHashMap;
+use strudel_graph::{FileKind, Value};
 
 /// A predicate over values. Edge predicates receive the label as a
 /// [`Value::Str`].
@@ -65,14 +65,25 @@ impl PredicateRegistry {
         fn text_pair(args: &[&Value]) -> Option<(Arc<str>, Arc<str>)> {
             Some((args[0].text()?, args[1].text()?))
         }
-        r.register("startsWith", 2, |args| text_pair(args).is_some_and(|(a, b)| a.starts_with(&*b)));
-        r.register("endsWith", 2, |args| text_pair(args).is_some_and(|(a, b)| a.ends_with(&*b)));
-        r.register("contains", 2, |args| text_pair(args).is_some_and(|(a, b)| a.contains(&*b)));
+        r.register("startsWith", 2, |args| {
+            text_pair(args).is_some_and(|(a, b)| a.starts_with(&*b))
+        });
+        r.register("endsWith", 2, |args| {
+            text_pair(args).is_some_and(|(a, b)| a.ends_with(&*b))
+        });
+        r.register("contains", 2, |args| {
+            text_pair(args).is_some_and(|(a, b)| a.contains(&*b))
+        });
         r
     }
 
     /// Registers (or replaces) a predicate under `name` with the given arity.
-    pub fn register(&mut self, name: &str, arity: usize, f: impl Fn(&[&Value]) -> bool + Send + Sync + 'static) {
+    pub fn register(
+        &mut self,
+        name: &str,
+        arity: usize,
+        f: impl Fn(&[&Value]) -> bool + Send + Sync + 'static,
+    ) {
         self.preds.insert(name.to_string(), (Arc::new(f), arity));
     }
 
@@ -98,7 +109,9 @@ impl fmt::Debug for PredicateRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<_> = self.preds.keys().collect();
         names.sort();
-        f.debug_struct("PredicateRegistry").field("names", &names).finish()
+        f.debug_struct("PredicateRegistry")
+            .field("names", &names)
+            .finish()
     }
 }
 
@@ -131,9 +144,18 @@ mod tests {
     fn string_predicates() {
         let r = PredicateRegistry::with_builtins();
         let hay = Value::str("semistructured");
-        assert_eq!(r.apply("startsWith", &[&hay, &Value::str("semi")]), Some(true));
-        assert_eq!(r.apply("endsWith", &[&hay, &Value::str("ured")]), Some(true));
-        assert_eq!(r.apply("contains", &[&hay, &Value::str("struct")]), Some(true));
+        assert_eq!(
+            r.apply("startsWith", &[&hay, &Value::str("semi")]),
+            Some(true)
+        );
+        assert_eq!(
+            r.apply("endsWith", &[&hay, &Value::str("ured")]),
+            Some(true)
+        );
+        assert_eq!(
+            r.apply("contains", &[&hay, &Value::str("struct")]),
+            Some(true)
+        );
         assert_eq!(r.apply("contains", &[&hay, &Value::Int(1)]), Some(false));
     }
 
@@ -141,10 +163,15 @@ mod tests {
     fn external_registration_overrides() {
         let mut r = PredicateRegistry::with_builtins();
         assert!(!r.contains("isSports"));
-        r.register("isSports", 1, |args| args[0].text().is_some_and(|t| t.contains("sports")));
+        r.register("isSports", 1, |args| {
+            args[0].text().is_some_and(|t| t.contains("sports"))
+        });
         assert!(r.contains("isSports"));
         assert_eq!(r.arity("isSports"), Some(1));
-        assert_eq!(r.apply("isSports", &[&Value::str("sports news")]), Some(true));
+        assert_eq!(
+            r.apply("isSports", &[&Value::str("sports news")]),
+            Some(true)
+        );
     }
 
     #[test]

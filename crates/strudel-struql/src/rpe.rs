@@ -32,7 +32,12 @@ impl EdgeTest {
     /// Whether an edge labeled `label` passes this test. `preds` resolves
     /// predicate names; an unknown predicate matches nothing.
     #[inline]
-    pub fn matches(&self, label: Sym, resolve: &dyn Fn(Sym) -> Value, preds: &PredicateRegistry) -> bool {
+    pub fn matches(
+        &self,
+        label: Sym,
+        resolve: &dyn Fn(Sym) -> Value,
+        preds: &PredicateRegistry,
+    ) -> bool {
         match self {
             EdgeTest::Any => true,
             EdgeTest::Label(l) => *l == label,
@@ -59,13 +64,21 @@ impl Nfa {
     /// Compiles an RPE. Literal labels are interned in `interner` so that
     /// matching is a symbol comparison.
     pub fn compile(rpe: &Rpe, interner: &Interner) -> Nfa {
-        let mut b = Builder { eps: Vec::new(), trans: Vec::new() };
+        let mut b = Builder {
+            eps: Vec::new(),
+            trans: Vec::new(),
+        };
         let frag = b.build(rpe, interner);
         let mut accept = vec![false; b.eps.len()];
         for a in frag.accepts {
             accept[a as usize] = true;
         }
-        Nfa { eps: b.eps, trans: b.trans, start: frag.start, accept }
+        Nfa {
+            eps: b.eps,
+            trans: b.trans,
+            start: frag.start,
+            accept,
+        }
     }
 
     /// Number of states.
@@ -87,7 +100,9 @@ impl Nfa {
     /// Whether the automaton accepts the empty path (the source node itself
     /// is a target, as with `*`).
     pub fn matches_empty(&self) -> bool {
-        self.eps_closure_of(self.start).into_iter().any(|s| self.is_accept(s))
+        self.eps_closure_of(self.start)
+            .into_iter()
+            .any(|s| self.is_accept(s))
     }
 
     /// ε-closure of one state (including itself), as a sorted list.
@@ -138,7 +153,12 @@ impl Nfa {
         }
         let mut accept = vec![false; n + 1];
         accept[self.start as usize] = true;
-        Nfa { eps, trans, start: new_start, accept }
+        Nfa {
+            eps,
+            trans,
+            start: new_start,
+            accept,
+        }
     }
 }
 
@@ -171,7 +191,10 @@ impl Builder {
                 for s in fa.accepts {
                     self.eps[s as usize].push(fb.start);
                 }
-                Frag { start: fa.start, accepts: fb.accepts }
+                Frag {
+                    start: fa.start,
+                    accepts: fb.accepts,
+                }
             }
             Rpe::Alt(a, b) => {
                 let fa = self.build(a, interner);
@@ -190,7 +213,10 @@ impl Builder {
                 for s in fr.accepts {
                     self.eps[s as usize].push(hub);
                 }
-                Frag { start: hub, accepts: vec![hub] }
+                Frag {
+                    start: hub,
+                    accepts: vec![hub],
+                }
             }
             Rpe::Plus(r) => {
                 let fr = self.build(r, interner);
@@ -214,7 +240,10 @@ impl Builder {
         let a = self.new_state();
         let b = self.new_state();
         self.trans[a as usize].push((test, b));
-        Frag { start: a, accepts: vec![b] }
+        Frag {
+            start: a,
+            accepts: vec![b],
+        }
     }
 }
 
@@ -250,10 +279,16 @@ mod tests {
         let preds = PredicateRegistry::with_builtins();
         let nfa = Nfa::compile(rpe, &interner);
         for w in yes {
-            assert!(accepts(&nfa, &interner, &preds, w), "{rpe} should accept {w:?}");
+            assert!(
+                accepts(&nfa, &interner, &preds, w),
+                "{rpe} should accept {w:?}"
+            );
         }
         for w in no {
-            assert!(!accepts(&nfa, &interner, &preds, w), "{rpe} should reject {w:?}");
+            assert!(
+                !accepts(&nfa, &interner, &preds, w),
+                "{rpe} should reject {w:?}"
+            );
         }
     }
 
@@ -284,7 +319,10 @@ mod tests {
     fn seq_alt_star() {
         // ("a" . "b")* | "c"
         let rpe = Rpe::Alt(
-            Box::new(Rpe::Star(Box::new(Rpe::Seq(Box::new(label("a")), Box::new(label("b")))))),
+            Box::new(Rpe::Star(Box::new(Rpe::Seq(
+                Box::new(label("a")),
+                Box::new(label("b")),
+            )))),
             Box::new(label("c")),
         );
         check(
@@ -310,7 +348,9 @@ mod tests {
     fn predicate_edges() {
         // startsWith is binary; use a custom unary predicate for labels.
         let mut preds = PredicateRegistry::new();
-        preds.register("isName", 1, |args| args[0].text().is_some_and(|t| t.starts_with("name")));
+        preds.register("isName", 1, |args| {
+            args[0].text().is_some_and(|t| t.starts_with("name"))
+        });
         let interner = Interner::new();
         let nfa = Nfa::compile(&Rpe::Star(Box::new(Rpe::Pred("isName".into()))), &interner);
         assert!(accepts(&nfa, &interner, &preds, &["name1", "name2"]));
@@ -329,7 +369,10 @@ mod tests {
     #[test]
     fn reversed_recognizes_reverse_language() {
         // "a" . "b"* reversed is "b"* . "a"
-        let rpe = Rpe::Seq(Box::new(label("a")), Box::new(Rpe::Star(Box::new(label("b")))));
+        let rpe = Rpe::Seq(
+            Box::new(label("a")),
+            Box::new(Rpe::Star(Box::new(label("b")))),
+        );
         let interner = Interner::new();
         let preds = PredicateRegistry::with_builtins();
         let nfa = Nfa::compile(&rpe, &interner);
@@ -342,7 +385,11 @@ mod tests {
     #[test]
     fn reversed_preserves_empty_match() {
         let interner = Interner::new();
-        assert!(Nfa::compile(&Rpe::any_path(), &interner).reversed().matches_empty());
-        assert!(!Nfa::compile(&label("x"), &interner).reversed().matches_empty());
+        assert!(Nfa::compile(&Rpe::any_path(), &interner)
+            .reversed()
+            .matches_empty());
+        assert!(!Nfa::compile(&label("x"), &interner)
+            .reversed()
+            .matches_empty());
     }
 }

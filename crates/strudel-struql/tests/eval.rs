@@ -73,12 +73,23 @@ fn fig2_graph() -> Graph {
 }
 
 fn find_node(g: &Graph, name: &str) -> Option<strudel_graph::Oid> {
-    g.nodes().iter().copied().find(|&n| g.node_name(n).as_deref() == Some(name))
+    g.nodes()
+        .iter()
+        .copied()
+        .find(|&n| g.node_name(n).as_deref() == Some(name))
 }
 
 fn out_by_label(g: &Graph, n: strudel_graph::Oid, label: &str) -> Vec<Value> {
-    let sym = g.universe().interner().get(label).unwrap_or(strudel_graph::Sym(u32::MAX));
-    g.out_edges(n).into_iter().filter(|(l, _)| *l == sym).map(|(_, v)| v).collect()
+    let sym = g
+        .universe()
+        .interner()
+        .get(label)
+        .unwrap_or(strudel_graph::Sym(u32::MAX));
+    g.out_edges(n)
+        .into_iter()
+        .filter(|(l, _)| *l == sym)
+        .map(|(_, v)| v)
+        .collect()
 }
 
 #[test]
@@ -100,7 +111,10 @@ fn fig3_builds_fig4_site_graph() {
     let year_links = out_by_label(site, root, "YearPage");
     assert_eq!(year_links.len(), 2);
     assert!(year_links.contains(&Value::Node(y1997)) && year_links.contains(&Value::Node(y1998)));
-    assert_eq!(out_by_label(site, root, "AbstractsPage"), vec![Value::Node(abstracts)]);
+    assert_eq!(
+        out_by_label(site, root, "AbstractsPage"),
+        vec![Value::Node(abstracts)]
+    );
 
     // Root links to three distinct category pages (3 distinct categories).
     assert_eq!(out_by_label(site, root, "CategoryPage").len(), 3);
@@ -129,7 +143,9 @@ fn all_optimizers_agree_on_fig3() {
     let q = parse_query(FIG3).unwrap();
     let mut signatures = Vec::new();
     for opt in [Optimizer::Naive, Optimizer::Heuristic, Optimizer::CostBased] {
-        let out = q.evaluate(&data, &EvalOptions::with_optimizer(opt)).unwrap();
+        let out = q
+            .evaluate(&data, &EvalOptions::with_optimizer(opt))
+            .unwrap();
         let mut edges: Vec<String> = out
             .graph
             .edges()
@@ -141,7 +157,12 @@ fn all_optimizers_agree_on_fig3() {
                     Value::Node(n) => out.graph.node_name(*n).unwrap_or_default().to_string(),
                     other => other.to_string(),
                 };
-                format!("{}--{}-->{}", out.graph.node_name(e.from).unwrap_or_default(), out.graph.resolve(e.label), to)
+                format!(
+                    "{}--{}-->{}",
+                    out.graph.node_name(e.from).unwrap_or_default(),
+                    out.graph.resolve(e.label),
+                    to
+                )
             })
             .collect();
         edges.sort();
@@ -168,9 +189,12 @@ fn postscript_collect_example() {
     let mut g = Graph::standalone();
     let home = g.new_node(Some("home"));
     g.add_to_collection_str("HomePages", Value::Node(home));
-    g.add_edge_str(home, "Paper", Value::file(FileKind::PostScript, "a.ps")).unwrap();
-    g.add_edge_str(home, "Paper", Value::file(FileKind::Text, "b.txt")).unwrap();
-    g.add_edge_str(home, "Other", Value::file(FileKind::PostScript, "c.ps")).unwrap();
+    g.add_edge_str(home, "Paper", Value::file(FileKind::PostScript, "a.ps"))
+        .unwrap();
+    g.add_edge_str(home, "Paper", Value::file(FileKind::Text, "b.txt"))
+        .unwrap();
+    g.add_edge_str(home, "Other", Value::file(FileKind::PostScript, "c.ps"))
+        .unwrap();
 
     let q = parse_query(
         r#"WHERE HomePages(p), p -> "Paper" -> q, isPostScript(q)
@@ -194,9 +218,11 @@ fn text_only_copy_query() {
     g.add_to_collection_str("Root", Value::Node(root));
     g.add_edge_str(root, "to", Value::Node(a)).unwrap();
     g.add_edge_str(a, "to", Value::Node(b)).unwrap();
-    g.add_edge_str(a, "img", Value::file(FileKind::Image, "x.gif")).unwrap();
+    g.add_edge_str(a, "img", Value::file(FileKind::Image, "x.gif"))
+        .unwrap();
     g.add_edge_str(b, "text", "hello").unwrap();
-    g.add_edge_str(unreachable, "to", Value::Node(root)).unwrap();
+    g.add_edge_str(unreachable, "to", Value::Node(root))
+        .unwrap();
 
     let q = parse_query(
         r#"WHERE Root(p), p -> * -> q, q -> l -> q0, not(isImageFile(q0))
@@ -213,9 +239,15 @@ fn text_only_copy_query() {
     assert!(find_node(site, "New(&0)").is_some());
     assert!(find_node(site, "New(&1)").is_some());
     assert!(find_node(site, "New(&2)").is_some());
-    assert!(find_node(site, "New(&3)").is_none(), "unreachable node must not be copied");
+    assert!(
+        find_node(site, "New(&3)").is_none(),
+        "unreachable node must not be copied"
+    );
     let na = find_node(site, "New(&1)").unwrap();
-    assert!(out_by_label(site, na, "img").is_empty(), "image edge must be dropped");
+    assert!(
+        out_by_label(site, na, "img").is_empty(),
+        "image edge must be dropped"
+    );
     assert_eq!(out_by_label(site, na, "to").len(), 1);
     assert_eq!(site.collection_str("TextOnlyRoot").unwrap().len(), 1);
 }
@@ -348,11 +380,17 @@ fn shared_skolem_table_composes_queries() {
     let mut out = Graph::new(std::sync::Arc::clone(data.universe()));
     let mut table = SkolemTable::new();
     let opts = EvalOptions::default();
-    q1.evaluate_into(&data, &mut out, &mut table, &opts).unwrap();
+    q1.evaluate_into(&data, &mut out, &mut table, &opts)
+        .unwrap();
     let nodes_after_q1 = out.node_count();
-    q2.evaluate_into(&data, &mut out, &mut table, &opts).unwrap();
+    q2.evaluate_into(&data, &mut out, &mut table, &opts)
+        .unwrap();
     // q2 reused q1's Page(x) nodes rather than creating new ones.
-    assert_eq!(out.node_count(), nodes_after_q1, "Skolem terms must unify across queries");
+    assert_eq!(
+        out.node_count(),
+        nodes_after_q1,
+        "Skolem terms must unify across queries"
+    );
     let page = find_node(&out, "Page(&0)").unwrap();
     assert_eq!(out_by_label(&out, page, "Title").len(), 1);
 }
@@ -391,7 +429,10 @@ fn negated_collection_membership() {
     g.add_to_collection_str("Banned", Value::Node(b));
     let q = parse_query("WHERE All(x), not(Banned(x)) COLLECT Ok(x)").unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
-    assert_eq!(out.graph.collection_str("Ok").unwrap().items(), &[Value::Node(a)]);
+    assert_eq!(
+        out.graph.collection_str("Ok").unwrap().items(),
+        &[Value::Node(a)]
+    );
 }
 
 #[test]
@@ -401,7 +442,10 @@ fn external_predicate_in_query() {
     preds.register("isProgrammingLanguages", 1, |args| {
         args[0].text().is_some_and(|t| t.contains("Programming"))
     });
-    let opts = EvalOptions { predicates: preds, ..Default::default() };
+    let opts = EvalOptions {
+        predicates: preds,
+        ..Default::default()
+    };
     let q = parse_query(
         r#"WHERE Publications(x), x -> "category" -> c, isProgrammingLanguages(c)
            COLLECT PL(x)"#,
@@ -418,7 +462,10 @@ fn max_rows_guard_fires() {
         let n = g.new_node(None);
         g.add_to_collection_str("C", Value::Node(n));
     }
-    let opts = EvalOptions { max_rows: 100, ..Default::default() };
+    let opts = EvalOptions {
+        max_rows: 100,
+        ..Default::default()
+    };
     // 50 × 50 = 2500 rows > 100.
     let q = parse_query("WHERE C(x), C(y), C(z) COLLECT Out(x)").unwrap();
     let err = q.evaluate(&g, &opts).unwrap_err();
@@ -431,10 +478,14 @@ fn bindings_of_block_computes_governing_conjunction() {
     let q = parse_query(FIG3).unwrap();
     let opts = EvalOptions::default();
     // Block Q2 (BlockId 1): Publications(x), x->l->v — one row per attribute.
-    let b1 = q.bindings_of_block(strudel_struql::BlockId(1), &data, &opts).unwrap();
+    let b1 = q
+        .bindings_of_block(strudel_struql::BlockId(1), &data, &opts)
+        .unwrap();
     assert_eq!(b1.len(), 22); // 12 attrs of pub1 + 10 of pub2
-    // Block Q3 (BlockId 2): … ∧ l = "year" — one row per publication.
-    let b2 = q.bindings_of_block(strudel_struql::BlockId(2), &data, &opts).unwrap();
+                              // Block Q3 (BlockId 2): … ∧ l = "year" — one row per publication.
+    let b2 = q
+        .bindings_of_block(strudel_struql::BlockId(2), &data, &opts)
+        .unwrap();
     assert_eq!(b2.len(), 2);
 }
 
@@ -444,7 +495,10 @@ fn explain_lists_block_plans() {
     let q = parse_query(FIG3).unwrap();
     let text = q.explain(&data, &EvalOptions::default()).unwrap();
     assert!(text.contains("Q2"), "{text}");
-    assert!(text.contains("coll-scan") || text.contains("out-scan"), "{text}");
+    assert!(
+        text.contains("coll-scan") || text.contains("out-scan"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -475,7 +529,10 @@ fn star_includes_source_itself() {
     g.add_to_collection_str("Root", Value::Node(root));
     let q = parse_query("WHERE Root(p), p -> * -> q COLLECT Reached(q)").unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
-    assert_eq!(out.graph.collection_str("Reached").unwrap().items(), &[Value::Node(root)]);
+    assert_eq!(
+        out.graph.collection_str("Reached").unwrap().items(),
+        &[Value::Node(root)]
+    );
 }
 
 #[test]

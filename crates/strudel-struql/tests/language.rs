@@ -44,7 +44,10 @@ fn negated_in_set() {
     )
     .unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
-    assert_eq!(out.graph.collection_str("NonStructural").unwrap().items(), &[Value::str("red")]);
+    assert_eq!(
+        out.graph.collection_str("NonStructural").unwrap().items(),
+        &[Value::str("red")]
+    );
 }
 
 #[test]
@@ -94,7 +97,11 @@ fn merged_queries_preserve_semantics() {
     let merged = Query::merge([&q1, &q2]);
     let out = merged.evaluate(&g, &EvalOptions::default()).unwrap();
     assert_eq!(out.graph.collection_str("All").unwrap().len(), 3);
-    assert_eq!(out.table.len(), 3, "P(x) unifies across the merged children");
+    assert_eq!(
+        out.table.len(),
+        3,
+        "P(x) unifies across the merged children"
+    );
     // Block ids renumbered without collision.
     let ids: Vec<u32> = merged.blocks().iter().map(|b| b.id.0).collect();
     let mut dedup = ids.clone();
@@ -107,7 +114,10 @@ fn skolem_in_where_is_an_error() {
     let g = chain(2);
     let q = parse_query(r#"WHERE Nodes(F(x)) COLLECT Out(x)"#).unwrap();
     let err = q.evaluate(&g, &EvalOptions::default()).unwrap_err();
-    assert!(err.to_string().contains("WHERE") || err.to_string().contains("Skolem"), "{err}");
+    assert!(
+        err.to_string().contains("WHERE") || err.to_string().contains("Skolem"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -135,7 +145,10 @@ fn collect_literal_values() {
     let g = chain(2);
     let q = parse_query(r#"WHERE Nodes(x) COLLECT Marked(x), Constant("tag")"#).unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
-    assert_eq!(out.graph.collection_str("Constant").unwrap().items(), &[Value::str("tag")]);
+    assert_eq!(
+        out.graph.collection_str("Constant").unwrap().items(),
+        &[Value::str("tag")]
+    );
 }
 
 #[test]
@@ -158,7 +171,10 @@ fn arc_variable_joins_two_edges() {
     .unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
     // Only "color" is shared.
-    let common = out.table.lookup("Common", &[Value::Node(a), Value::Node(b)]).unwrap();
+    let common = out
+        .table
+        .lookup("Common", &[Value::Node(a), Value::Node(b)])
+        .unwrap();
     let edges = out.graph.out_edges(common);
     assert_eq!(edges.len(), 1);
     assert_eq!(&*out.graph.resolve(edges[0].0), "color");
@@ -168,7 +184,10 @@ fn arc_variable_joins_two_edges() {
 fn custom_predicate_arity_two_in_rpe_rejected() {
     let mut preds = PredicateRegistry::with_builtins();
     preds.register("pair", 2, |_| true);
-    let opts = EvalOptions { predicates: preds, ..Default::default() };
+    let opts = EvalOptions {
+        predicates: preds,
+        ..Default::default()
+    };
     let g = chain(2);
     let q = parse_query("WHERE Head(x), x -> pair* -> y COLLECT Out(y)").unwrap();
     let err = q.evaluate(&g, &opts).unwrap_err();
@@ -186,7 +205,11 @@ fn seq_and_plus_path_operators() {
     // One or more hops.
     let q = parse_query(r#"WHERE Head(x), x -> "next"+ -> y COLLECT Plus(y)"#).unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
-    assert_eq!(out.graph.collection_str("Plus").unwrap().len(), 4, "head excluded");
+    assert_eq!(
+        out.graph.collection_str("Plus").unwrap().len(),
+        4,
+        "head excluded"
+    );
 }
 
 #[test]
@@ -194,7 +217,11 @@ fn optional_path_operator() {
     let g = chain(3);
     let q = parse_query(r#"WHERE Head(x), x -> "next"? -> y COLLECT ZeroOrOne(y)"#).unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
-    assert_eq!(out.graph.collection_str("ZeroOrOne").unwrap().len(), 2, "self + one hop");
+    assert_eq!(
+        out.graph.collection_str("ZeroOrOne").unwrap().len(),
+        2,
+        "self + one hop"
+    );
 }
 
 #[test]
@@ -213,7 +240,10 @@ fn empty_collection_yields_empty_result_not_error() {
     let q = parse_query("WHERE Ghost(x) CREATE P(x) COLLECT O(P(x))").unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
     assert_eq!(out.graph.node_count(), 0);
-    assert_eq!(out.graph.collection_str("O").map(|c| c.len()).unwrap_or(0), 0);
+    assert_eq!(
+        out.graph.collection_str("O").map(|c| c.len()).unwrap_or(0),
+        0
+    );
 }
 
 #[test]
@@ -221,9 +251,14 @@ fn warnings_surface_in_stats() {
     let mut g = Graph::standalone();
     let a = g.new_node(None);
     g.add_edge_str(a, "e", Value::Node(a)).unwrap();
-    let q = parse_query(r#"WHERE not(p -> l -> q) CREATE f(p), f(q) LINK f(p) -> l -> f(q)"#).unwrap();
+    let q =
+        parse_query(r#"WHERE not(p -> l -> q) CREATE f(p), f(q) LINK f(p) -> l -> f(q)"#).unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
-    assert!(out.stats.warnings.iter().any(|w| w.contains("active-domain")));
+    assert!(out
+        .stats
+        .warnings
+        .iter()
+        .any(|w| w.contains("active-domain")));
 }
 
 // ---- grouping & aggregation (the §5.2 extension) ----
@@ -273,7 +308,10 @@ fn sum_min_max_avg() {
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
     let stats = out.table.lookup("Stats", &[]).unwrap();
     let r = out.graph.reader();
-    let get = |l: &str| r.attr(stats, out.graph.universe().interner().get(l).unwrap()).cloned();
+    let get = |l: &str| {
+        r.attr(stats, out.graph.universe().interner().get(l).unwrap())
+            .cloned()
+    };
     assert_eq!(get("total"), Some(Value::Int(10 + 20 + 30 + 40 + 50)));
     assert_eq!(get("least"), Some(Value::Int(10)));
     assert_eq!(get("most"), Some(Value::Int(50)));
@@ -303,12 +341,12 @@ fn aggregates_are_over_distinct_values() {
 #[test]
 fn aggregate_in_collect() {
     let g = pubs_by_year();
-    let q = parse_query(
-        r#"WHERE Publications(x) COLLECT Sizes(COUNT(x))"#,
-    )
-    .unwrap();
+    let q = parse_query(r#"WHERE Publications(x) COLLECT Sizes(COUNT(x))"#).unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
-    assert_eq!(out.graph.collection_str("Sizes").unwrap().items(), &[Value::Int(5)]);
+    assert_eq!(
+        out.graph.collection_str("Sizes").unwrap().items(),
+        &[Value::Int(5)]
+    );
 }
 
 #[test]
@@ -329,12 +367,18 @@ fn dynamic_site_computes_aggregates_at_click_time() {
            LINK YearPage(y) -> "paperCount" -> COUNT(x)"#,
     )
     .unwrap();
-    let mut site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
-    let page = PageRef { skolem: "YearPage".into(), args: vec![Value::Int(1997)] };
+    let site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+    let page = PageRef {
+        skolem: "YearPage".into(),
+        args: vec![Value::Int(1997)],
+    };
     let links = site.expand(&page).unwrap();
     assert_eq!(links.len(), 1);
     assert_eq!(links[0].label, "paperCount");
-    assert!(matches!(&links[0].target, Target::Value(Value::Int(3))), "{links:?}");
+    assert!(
+        matches!(&links[0].target, Target::Value(Value::Int(3))),
+        "{links:?}"
+    );
 }
 
 // ---- database-level INPUT/OUTPUT resolution ----
@@ -386,7 +430,13 @@ fn run_on_database_requires_names() {
     let mut db = Database::new();
     db.create_graph("G").unwrap();
     let q = parse_query("WHERE C(x) COLLECT O(x)").unwrap();
-    let err = run_on_database(&mut db, &q, &mut SkolemTable::new(), &EvalOptions::default()).unwrap_err();
+    let err = run_on_database(
+        &mut db,
+        &q,
+        &mut SkolemTable::new(),
+        &EvalOptions::default(),
+    )
+    .unwrap_err();
     assert!(err.to_string().contains("INPUT"), "{err}");
 }
 
@@ -410,10 +460,7 @@ fn in_set_as_binder_when_unbound() {
     g.add_edge_str(a, "x", 1i64).unwrap();
     g.add_edge_str(a, "y", 2i64).unwrap();
     g.add_edge_str(a, "z", 3i64).unwrap();
-    let q = parse_query(
-        r#"WHERE C(c), l in {"x", "z"}, c -> l -> v COLLECT Picked(v)"#,
-    )
-    .unwrap();
+    let q = parse_query(r#"WHERE C(c), l in {"x", "z"}, c -> l -> v COLLECT Picked(v)"#).unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
     let picked = out.graph.collection_str("Picked").unwrap();
     assert_eq!(picked.len(), 2);
@@ -441,7 +488,8 @@ fn negated_predicate_filters() {
         g.add_to_collection_str("C", Value::Node(n));
         g.add_edge_str(n, "val", v).unwrap();
     }
-    let q = parse_query(r#"WHERE C(c), c -> "val" -> v, not(isString(v)) COLLECT NonStr(c)"#).unwrap();
+    let q =
+        parse_query(r#"WHERE C(c), c -> "val" -> v, not(isString(v)) COLLECT NonStr(c)"#).unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
     assert_eq!(out.graph.collection_str("NonStr").unwrap().len(), 1);
 }
@@ -480,10 +528,8 @@ fn link_to_literal_target() {
 fn alternation_of_paths_with_different_lengths() {
     let g = chain(4);
     // Either exactly one or exactly three hops from the head.
-    let q = parse_query(
-        r#"WHERE Head(x), x -> "next" | "next"."next"."next" -> y COLLECT Hit(y)"#,
-    )
-    .unwrap();
+    let q = parse_query(r#"WHERE Head(x), x -> "next" | "next"."next"."next" -> y COLLECT Hit(y)"#)
+        .unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
     assert_eq!(out.graph.collection_str("Hit").unwrap().len(), 2); // n1 and n3
 }
@@ -498,7 +544,8 @@ fn create_only_nested_block_multiplicity() {
         g.add_to_collection_str("C", Value::Node(n));
         g.add_edge_str(n, "year", y).unwrap();
     }
-    let q = parse_query(r#"{ WHERE C(x), x -> "year" -> y CREATE Y(y) COLLECT Years(Y(y)) }"#).unwrap();
+    let q =
+        parse_query(r#"{ WHERE C(x), x -> "year" -> y CREATE Y(y) COLLECT Years(Y(y)) }"#).unwrap();
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
     assert_eq!(out.graph.collection_str("Years").unwrap().len(), 2);
 }

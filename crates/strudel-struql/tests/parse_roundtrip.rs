@@ -12,13 +12,47 @@ use strudel_struql::parse_query;
 // names are capitalized, so they can't collide with each other either.
 fn var_name() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9]{0,4}".prop_filter("reserved", |s| {
-        !matches!(s.as_str(), "where" | "create" | "link" | "collect" | "input" | "output" | "in" | "not" | "true" | "false" | "count" | "sum" | "min" | "max" | "avg")
+        !matches!(
+            s.as_str(),
+            "where"
+                | "create"
+                | "link"
+                | "collect"
+                | "input"
+                | "output"
+                | "in"
+                | "not"
+                | "true"
+                | "false"
+                | "count"
+                | "sum"
+                | "min"
+                | "max"
+                | "avg"
+        )
     })
 }
 
 fn cap_name() -> impl Strategy<Value = String> {
     "[A-Z][a-zA-Z0-9]{0,5}".prop_filter("reserved", |s| {
-        !matches!(s.to_ascii_lowercase().as_str(), "count" | "sum" | "min" | "max" | "avg" | "where" | "create" | "link" | "collect" | "input" | "output" | "in" | "not" | "true" | "false")
+        !matches!(
+            s.to_ascii_lowercase().as_str(),
+            "count"
+                | "sum"
+                | "min"
+                | "max"
+                | "avg"
+                | "where"
+                | "create"
+                | "link"
+                | "collect"
+                | "input"
+                | "output"
+                | "in"
+                | "not"
+                | "true"
+                | "false"
+        )
     })
 }
 
@@ -40,7 +74,10 @@ fn literal() -> impl Strategy<Value = Literal> {
 }
 
 fn term() -> impl Strategy<Value = Term> {
-    prop_oneof![var_name().prop_map(Term::Var), literal().prop_map(Term::Lit)]
+    prop_oneof![
+        var_name().prop_map(Term::Var),
+        literal().prop_map(Term::Lit)
+    ]
 }
 
 fn rpe(depth: u32) -> BoxedStrategy<Rpe> {
@@ -73,14 +110,31 @@ fn condition() -> impl Strategy<Value = Condition> {
         (cap_name(), term(), any::<bool>())
             .prop_map(|(name, arg, negated)| Condition::Collection { name, arg, negated }),
         (term(), path_step(), term(), any::<bool>()).prop_map(|(from, step, to, negated)| {
-            Condition::Edge { from, step, to, negated }
+            Condition::Edge {
+                from,
+                step,
+                to,
+                negated,
+            }
         }),
-        (term(), term(), prop_oneof![
-            Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
-            Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)
-        ])
-        .prop_map(|(lhs, rhs, op)| Condition::Compare { lhs, op, rhs }),
-        (var_name(), proptest::collection::vec(literal(), 1..4), any::<bool>())
+        (
+            term(),
+            term(),
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge)
+            ]
+        )
+            .prop_map(|(lhs, rhs, op)| Condition::Compare { lhs, op, rhs }),
+        (
+            var_name(),
+            proptest::collection::vec(literal(), 1..4),
+            any::<bool>()
+        )
             .prop_map(|(var, set, negated)| Condition::In { var, set, negated }),
     ]
 }
@@ -97,8 +151,11 @@ fn link_target() -> impl Strategy<Value = Term> {
         skolem().prop_map(Term::Skolem),
         (
             prop_oneof![
-                Just(AggFunc::Count), Just(AggFunc::Sum), Just(AggFunc::Min),
-                Just(AggFunc::Max), Just(AggFunc::Avg)
+                Just(AggFunc::Count),
+                Just(AggFunc::Sum),
+                Just(AggFunc::Min),
+                Just(AggFunc::Max),
+                Just(AggFunc::Avg)
             ],
             var_name()
         )
@@ -109,7 +166,10 @@ fn link_target() -> impl Strategy<Value = Term> {
 fn link() -> impl Strategy<Value = LinkClause> {
     (
         skolem(),
-        prop_oneof![safe_string().prop_map(LabelTerm::Lit), var_name().prop_map(LabelTerm::Var)],
+        prop_oneof![
+            safe_string().prop_map(LabelTerm::Lit),
+            var_name().prop_map(LabelTerm::Var)
+        ],
         link_target(),
     )
         .prop_map(|(from, label, to)| LinkClause { from, label, to })
@@ -153,13 +213,20 @@ fn renumber(b: &mut Block, next: &mut u32) {
 }
 
 fn query() -> impl Strategy<Value = Query> {
-    (proptest::option::of(cap_name()), proptest::option::of(cap_name()), block(2)).prop_map(
-        |(input, output, mut root)| {
+    (
+        proptest::option::of(cap_name()),
+        proptest::option::of(cap_name()),
+        block(2),
+    )
+        .prop_map(|(input, output, mut root)| {
             let mut next = 0;
             renumber(&mut root, &mut next);
-            Query { input, output, root }
-        },
-    )
+            Query {
+                input,
+                output,
+                root,
+            }
+        })
 }
 
 /// Normalizes constructs whose surface form is genuinely ambiguous, mapping

@@ -15,7 +15,9 @@ pub struct AttrExpr {
 impl AttrExpr {
     /// Builds an attribute expression from path segments.
     pub fn new(path: impl IntoIterator<Item = impl Into<String>>) -> Self {
-        AttrExpr { path: path.into_iter().map(Into::into).collect() }
+        AttrExpr {
+            path: path.into_iter().map(Into::into).collect(),
+        }
     }
 }
 

@@ -18,7 +18,10 @@ pub enum TemplateError {
 
 impl TemplateError {
     pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
-        TemplateError::Parse { line, message: message.into() }
+        TemplateError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn render(message: impl Into<String>) -> Self {

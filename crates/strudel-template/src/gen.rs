@@ -91,7 +91,12 @@ impl TemplateSet {
     }
 
     /// Selects the template for object `n` per the §4 precedence rules.
-    pub fn select<'a>(&'a self, graph: &Graph, reader: &GraphReader<'_>, n: Oid) -> Option<&'a Template> {
+    pub fn select<'a>(
+        &'a self,
+        graph: &Graph,
+        reader: &GraphReader<'_>,
+        n: Oid,
+    ) -> Option<&'a Template> {
         if let Some(t) = self.by_object.get(&n) {
             return Some(t);
         }
@@ -153,7 +158,11 @@ pub struct Generator<'g> {
 impl<'g> Generator<'g> {
     /// Creates a generator over a site graph.
     pub fn new(graph: &'g Graph, templates: &'g TemplateSet) -> Self {
-        Generator { graph, templates, file_resolver: None }
+        Generator {
+            graph,
+            templates,
+            file_resolver: None,
+        }
     }
 
     /// Installs a resolver for embedding text/HTML file contents.
@@ -181,7 +190,12 @@ impl<'g> Generator<'g> {
         }
         while let Some(n) = run.queue.pop() {
             let html = run.render_object(n)?;
-            let file = run.site.page_of.get(&n).expect("queued pages are named").clone();
+            let file = run
+                .site
+                .page_of
+                .get(&n)
+                .expect("queued pages are named")
+                .clone();
             run.site.pages.insert(file, html);
         }
         Ok(run.site)
@@ -221,8 +235,11 @@ impl<'g> Generator<'g> {
     /// pre-assigned deterministically (graph member order) to every object
     /// that has a template, so cross-page links are stable without shared
     /// mutable state. Output is identical to the serial generator except
-    /// when two objects' sanitized names collide (the collision suffix may
-    /// attach to a different member).
+    /// when two objects' sanitized names collide: both generators resolve
+    /// collisions with the same `{base}-{oid}.html` scheme and never drop a
+    /// page, but they may disagree on WHICH colliding member keeps the bare
+    /// `{base}.html` name (the serial generator assigns names in traversal
+    /// order, the parallel one in graph member order).
     pub fn generate_parallel(&self, roots: &[Oid], threads: usize) -> Result<GeneratedSite> {
         let threads = threads.max(1);
         let reader = self.graph.reader();
@@ -232,14 +249,12 @@ impl<'g> Generator<'g> {
         for &n in self.graph.nodes() {
             if self.templates.select(self.graph, &reader, n).is_some() {
                 let base = sanitize(
-                    &reader.name(n).map(str::to_string).unwrap_or_else(|| format!("node{}", n.0)),
+                    &reader
+                        .name(n)
+                        .map(str::to_string)
+                        .unwrap_or_else(|| format!("node{}", n.0)),
                 );
-                let mut file = format!("{base}.html");
-                if !used.insert(file.clone()) {
-                    file = format!("{base}-{}.html", n.0);
-                    used.insert(file.clone());
-                }
-                names.insert(n, file);
+                names.insert(n, assign_unique_name(&mut used, &base, n));
             }
         }
         drop(reader);
@@ -251,7 +266,8 @@ impl<'g> Generator<'g> {
             if names.contains_key(&r) && scheduled.insert(r) {
                 frontier.push(r);
             } else if !names.contains_key(&r) {
-                site.warnings.push(format!("root node {} has no template", r.0));
+                site.warnings
+                    .push(format!("root node {} has no template", r.0));
             }
         }
 
@@ -345,7 +361,12 @@ impl Run<'_, '_> {
         if let Some(f) = self.site.page_of.get(&n) {
             return Some(f.clone());
         }
-        if self.gen.templates.select(self.gen.graph, self.reader, n).is_none() {
+        if self
+            .gen
+            .templates
+            .select(self.gen.graph, self.reader, n)
+            .is_none()
+        {
             self.site.warnings.push(format!(
                 "object {} has no template; rendered as text",
                 self.display_name(n)
@@ -353,18 +374,17 @@ impl Run<'_, '_> {
             return None;
         }
         let base = sanitize(&self.display_name(n));
-        let mut file = format!("{base}.html");
-        if !self.used_names.insert(file.clone()) {
-            file = format!("{base}-{}.html", n.0);
-            self.used_names.insert(file.clone());
-        }
+        let file = assign_unique_name(&mut self.used_names, &base, n);
         self.site.page_of.insert(n, file.clone());
         self.queue.push(n);
         Some(file)
     }
 
     fn display_name(&self, n: Oid) -> String {
-        self.reader.name(n).map(str::to_string).unwrap_or_else(|| format!("node{}", n.0))
+        self.reader
+            .name(n)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("node{}", n.0))
     }
 
     fn render_object(&mut self, n: Oid) -> Result<String> {
@@ -372,18 +392,31 @@ impl Run<'_, '_> {
             .gen
             .templates
             .select(self.gen.graph, self.reader, n)
-            .ok_or_else(|| TemplateError::render(format!("no template for object {}", self.display_name(n))))?;
+            .ok_or_else(|| {
+                TemplateError::render(format!("no template for object {}", self.display_name(n)))
+            })?;
         let mut out = String::new();
         let scope: Scope = Vec::new();
         self.render_nodes(&template.nodes.clone(), n, &scope, &mut out)?;
         Ok(out)
     }
 
-    fn render_nodes(&mut self, nodes: &[Node], ctx: Oid, scope: &Scope, out: &mut String) -> Result<()> {
+    fn render_nodes(
+        &mut self,
+        nodes: &[Node],
+        ctx: Oid,
+        scope: &Scope,
+        out: &mut String,
+    ) -> Result<()> {
         for node in nodes {
             match node {
                 Node::Html(h) => out.push_str(h),
-                Node::Fmt { expr, format, all, opts } => {
+                Node::Fmt {
+                    expr,
+                    format,
+                    all,
+                    opts,
+                } => {
                     let values = self.values_of(expr, ctx, scope);
                     let mut items: Vec<Value> = if *all {
                         values
@@ -393,8 +426,10 @@ impl Run<'_, '_> {
                     if let Some(order) = opts.order {
                         self.sort_values(&mut items, opts.key.as_ref(), order);
                     }
-                    let rendered: Result<Vec<String>> =
-                        items.iter().map(|v| self.render_value(v, format, ctx, scope)).collect();
+                    let rendered: Result<Vec<String>> = items
+                        .iter()
+                        .map(|v| self.render_value(v, format, ctx, scope))
+                        .collect();
                     emit_list(out, &rendered?, opts);
                 }
                 Node::If { cond, then, else_ } => {
@@ -404,7 +439,12 @@ impl Run<'_, '_> {
                         self.render_nodes(else_, ctx, scope, out)?;
                     }
                 }
-                Node::For { var, expr, opts, body } => {
+                Node::For {
+                    var,
+                    expr,
+                    opts,
+                    body,
+                } => {
                     let mut items = self.values_of(expr, ctx, scope);
                     if let Some(order) = opts.order {
                         self.sort_values(&mut items, opts.key.as_ref(), order);
@@ -431,11 +471,12 @@ impl Run<'_, '_> {
     fn values_of(&self, expr: &AttrExpr, ctx: Oid, scope: &Scope) -> Vec<Value> {
         let mut segments = expr.path.iter();
         let first = segments.next().expect("attr paths are non-empty");
-        let mut current: Vec<Value> = if let Some((_, v)) = scope.iter().rev().find(|(name, _)| name == first) {
-            vec![v.clone()]
-        } else {
-            self.attr_values(Value::Node(ctx), first)
-        };
+        let mut current: Vec<Value> =
+            if let Some((_, v)) = scope.iter().rev().find(|(name, _)| name == first) {
+                vec![v.clone()]
+            } else {
+                self.attr_values(Value::Node(ctx), first)
+            };
         for seg in segments {
             let mut next = Vec::new();
             for v in &current {
@@ -447,8 +488,12 @@ impl Run<'_, '_> {
     }
 
     fn attr_values(&self, v: Value, attr: &str) -> Vec<Value> {
-        let Some(n) = v.as_node() else { return Vec::new() };
-        let Some(sym) = self.gen.graph.universe().interner().get(attr) else { return Vec::new() };
+        let Some(n) = v.as_node() else {
+            return Vec::new();
+        };
+        let Some(sym) = self.gen.graph.universe().interner().get(attr) else {
+            return Vec::new();
+        };
         self.reader.attr_values(n, sym).cloned().collect()
     }
 
@@ -502,7 +547,10 @@ impl Run<'_, '_> {
                     // The key path applies to the item itself.
                     let mut vals = vec![v.clone()];
                     for seg in &k.path {
-                        vals = vals.iter().flat_map(|x| self.attr_values(x.clone(), seg)).collect();
+                        vals = vals
+                            .iter()
+                            .flat_map(|x| self.attr_values(x.clone(), seg))
+                            .collect();
                     }
                     vals.into_iter().next().unwrap_or_else(|| v.clone())
                 }
@@ -511,7 +559,8 @@ impl Run<'_, '_> {
         };
         items.sort_by(|a, b| {
             let (ka, kb) = (key_of(a), key_of(b));
-            ka.coerced_cmp(&kb).unwrap_or_else(|| ka.to_string().cmp(&kb.to_string()))
+            ka.coerced_cmp(&kb)
+                .unwrap_or_else(|| ka.to_string().cmp(&kb.to_string()))
         });
         if order == SortOrder::Descend {
             items.reverse();
@@ -521,12 +570,22 @@ impl Run<'_, '_> {
     fn tag_text(&self, tag: &Tag, ctx: Oid, scope: &Scope) -> Option<String> {
         match tag {
             Tag::Str(s) => Some(s.clone()),
-            Tag::Attr(a) => self.values_of(a, ctx, scope).into_iter().next().map(|v| value_text(&v)),
+            Tag::Attr(a) => self
+                .values_of(a, ctx, scope)
+                .into_iter()
+                .next()
+                .map(|v| value_text(&v)),
         }
     }
 
     /// Type-specific rendering rules (§4).
-    fn render_value(&mut self, v: &Value, format: &Format, ctx: Oid, scope: &Scope) -> Result<String> {
+    fn render_value(
+        &mut self,
+        v: &Value,
+        format: &Format,
+        ctx: Oid,
+        scope: &Scope,
+    ) -> Result<String> {
         let tag = match format {
             Format::Link(Some(t)) => self.tag_text(t, ctx, scope),
             _ => None,
@@ -545,7 +604,13 @@ impl Run<'_, '_> {
         })
     }
 
-    fn render_file(&self, kind: FileKind, path: &str, format: &Format, tag: Option<String>) -> String {
+    fn render_file(
+        &self,
+        kind: FileKind,
+        path: &str,
+        format: &Format,
+        tag: Option<String>,
+    ) -> String {
         let embed_contents = |run: &Self| run.gen.file_resolver.as_ref().and_then(|r| r(path));
         match (kind, format) {
             // Text and HTML files embed by default ("the attribute's HTML
@@ -560,7 +625,11 @@ impl Run<'_, '_> {
             },
             (FileKind::Image, Format::Link(_)) => file_link(path, tag.as_deref()),
             (FileKind::Image, _) => {
-                format!("<img src=\"{}\" alt=\"{}\">", escape_attr(path), escape(tag.as_deref().unwrap_or(path)))
+                format!(
+                    "<img src=\"{}\" alt=\"{}\">",
+                    escape_attr(path),
+                    escape(tag.as_deref().unwrap_or(path))
+                )
             }
             // PostScript "should not be realized as strings. For these
             // values, the HTML generator produces an appropriate link".
@@ -568,7 +637,12 @@ impl Run<'_, '_> {
         }
     }
 
-    fn render_node_value(&mut self, n: Oid, format: &Format, tag: Option<String>) -> Result<String> {
+    fn render_node_value(
+        &mut self,
+        n: Oid,
+        format: &Format,
+        tag: Option<String>,
+    ) -> Result<String> {
         match format {
             Format::Embed => {
                 if self.embedding.contains(&n) {
@@ -577,10 +651,16 @@ impl Run<'_, '_> {
                         self.display_name(n)
                     )));
                 }
-                if self.gen.templates.select(self.gen.graph, self.reader, n).is_none() {
-                    self.site
-                        .warnings
-                        .push(format!("EMBED of template-less object {}", self.display_name(n)));
+                if self
+                    .gen
+                    .templates
+                    .select(self.gen.graph, self.reader, n)
+                    .is_none()
+                {
+                    self.site.warnings.push(format!(
+                        "EMBED of template-less object {}",
+                        self.display_name(n)
+                    ));
                     return Ok(escape(&self.display_name(n)));
                 }
                 self.embedding.push(n);
@@ -591,7 +671,11 @@ impl Run<'_, '_> {
             Format::Default | Format::Link(_) => match self.ensure_page(n) {
                 Some(file) => {
                     let text = tag.unwrap_or_else(|| self.display_name(n));
-                    Ok(format!("<a href=\"{}\">{}</a>", escape_attr(&file), escape(&text)))
+                    Ok(format!(
+                        "<a href=\"{}\">{}</a>",
+                        escape_attr(&file),
+                        escape(&text)
+                    ))
                 }
                 None => Ok(escape(&tag.unwrap_or_else(|| self.display_name(n)))),
             },
@@ -620,7 +704,11 @@ fn emit_list(out: &mut String, items: &[String], opts: &EnumOpts) {
 }
 
 fn file_link(path: &str, tag: Option<&str>) -> String {
-    format!("<a href=\"{}\">{}</a>", escape_attr(path), escape(tag.unwrap_or(path)))
+    format!(
+        "<a href=\"{}\">{}</a>",
+        escape_attr(path),
+        escape(tag.unwrap_or(path))
+    )
 }
 
 /// The plain-text form of a value, for link tags.
@@ -655,6 +743,25 @@ fn escape_attr(s: &str) -> String {
 
 /// Sanitizes an object name into a file-name stem: `YearPage(1997)` →
 /// `yearpage_1997`.
+/// Picks a page file name for `n` that is not yet in `used`, inserting it.
+/// Scheme (same for serial and parallel generation): `{base}.html`, then
+/// `{base}-{oid}.html`, then `{base}-{oid}-{k}.html` for k = 2, 3, ... —
+/// looping until the insert actually succeeds, so two colliding objects can
+/// never be assigned the same file.
+fn assign_unique_name(used: &mut FxHashSet<String>, base: &str, n: Oid) -> String {
+    let mut file = format!("{base}.html");
+    if used.insert(file.clone()) {
+        return file;
+    }
+    file = format!("{base}-{}.html", n.0);
+    let mut k = 2usize;
+    while !used.insert(file.clone()) {
+        file = format!("{base}-{}-{k}.html", n.0);
+        k += 1;
+    }
+    file
+}
+
 fn sanitize(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
     let mut last_sep = true;
@@ -685,11 +792,17 @@ mod tests {
         let root = g.new_node(Some("RootPage()"));
         let pub1 = g.new_node(Some("PaperPresentation(pub1)"));
         g.add_edge_str(root, "Paper", Value::Node(pub1)).unwrap();
-        g.add_edge_str(pub1, "title", "Optimizing Regular Paths").unwrap();
+        g.add_edge_str(pub1, "title", "Optimizing Regular Paths")
+            .unwrap();
         g.add_edge_str(pub1, "author", "Mary Fernandez").unwrap();
         g.add_edge_str(pub1, "author", "Dan Suciu").unwrap();
         g.add_edge_str(pub1, "year", 1998i64).unwrap();
-        g.add_edge_str(pub1, "postscript", Value::file(FileKind::PostScript, "papers/icde98.ps.gz")).unwrap();
+        g.add_edge_str(
+            pub1,
+            "postscript",
+            Value::file(FileKind::PostScript, "papers/icde98.ps.gz"),
+        )
+        .unwrap();
         g.add_to_collection_str("Roots", Value::Node(root));
         g.add_to_collection_str("Papers", Value::Node(pub1));
         (g, root, pub1)
@@ -699,7 +812,8 @@ mod tests {
     fn renders_scalar_attributes() {
         let (g, _, pub1) = site();
         let mut ts = TemplateSet::new();
-        ts.set_object_template(pub1, "<h1><SFMT @title></h1> (<SFMT @year>)").unwrap();
+        ts.set_object_template(pub1, "<h1><SFMT @title></h1> (<SFMT @year>)")
+            .unwrap();
         let genr = Generator::new(&g, &ts);
         let html = genr.render_fragment(pub1).unwrap();
         assert_eq!(html, "<h1>Optimizing Regular Paths</h1> (1998)");
@@ -709,7 +823,11 @@ mod tests {
     fn sfor_enumerates_multivalued_attributes() {
         let (g, _, pub1) = site();
         let mut ts = TemplateSet::new();
-        ts.set_object_template(pub1, r#"By <SFOR a IN @author DELIM=", "><SFMT @a></SFOR>."#).unwrap();
+        ts.set_object_template(
+            pub1,
+            r#"By <SFOR a IN @author DELIM=", "><SFMT @a></SFOR>."#,
+        )
+        .unwrap();
         let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
         assert_eq!(html, "By Mary Fernandez, Dan Suciu.");
     }
@@ -718,7 +836,8 @@ mod tests {
     fn sfmt_all_shorthand_equals_sfor() {
         let (g, _, pub1) = site();
         let mut ts = TemplateSet::new();
-        ts.set_object_template(pub1, r#"<SFMT @author ALL DELIM=", ">"#).unwrap();
+        ts.set_object_template(pub1, r#"<SFMT @author ALL DELIM=", ">"#)
+            .unwrap();
         let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
         assert_eq!(html, "Mary Fernandez, Dan Suciu");
     }
@@ -727,16 +846,24 @@ mod tests {
     fn postscript_files_become_links_with_attr_tag() {
         let (g, _, pub1) = site();
         let mut ts = TemplateSet::new();
-        ts.set_object_template(pub1, r#"<SFMT @postscript LINK=@title>"#).unwrap();
+        ts.set_object_template(pub1, r#"<SFMT @postscript LINK=@title>"#)
+            .unwrap();
         let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
-        assert_eq!(html, r#"<a href="papers/icde98.ps.gz">Optimizing Regular Paths</a>"#);
+        assert_eq!(
+            html,
+            r#"<a href="papers/icde98.ps.gz">Optimizing Regular Paths</a>"#
+        );
     }
 
     #[test]
     fn sif_tests_attribute_existence() {
         let (g, _, pub1) = site();
         let mut ts = TemplateSet::new();
-        ts.set_object_template(pub1, r#"<SIF @journal>J: <SFMT @journal><SELSE>no journal</SIF>"#).unwrap();
+        ts.set_object_template(
+            pub1,
+            r#"<SIF @journal>J: <SFMT @journal><SELSE>no journal</SIF>"#,
+        )
+        .unwrap();
         let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
         assert_eq!(html, "no journal");
     }
@@ -745,7 +872,11 @@ mod tests {
     fn sif_comparisons_coerce() {
         let (g, _, pub1) = site();
         let mut ts = TemplateSet::new();
-        ts.set_object_template(pub1, r#"<SIF @year >= 1998>recent</SIF><SIF @year = "1998">!</SIF>"#).unwrap();
+        ts.set_object_template(
+            pub1,
+            r#"<SIF @year >= 1998>recent</SIF><SIF @year = "1998">!</SIF>"#,
+        )
+        .unwrap();
         let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
         assert_eq!(html, "recent!");
     }
@@ -754,12 +885,17 @@ mod tests {
     fn node_references_become_page_links() {
         let (g, root, pub1) = site();
         let mut ts = TemplateSet::new();
-        ts.set_object_template(root, r#"<SFMT @Paper LINK=@Paper.title>"#).unwrap();
+        ts.set_object_template(root, r#"<SFMT @Paper LINK=@Paper.title>"#)
+            .unwrap();
         ts.set_object_template(pub1, "<SFMT @title>").unwrap();
         let out = Generator::new(&g, &ts).generate(&[root]).unwrap();
         assert_eq!(out.pages.len(), 2);
         let root_html = &out.pages[&out.page_of[&root]];
-        assert!(root_html.contains(r#"<a href="paperpresentation_pub1.html">Optimizing Regular Paths</a>"#), "{root_html}");
+        assert!(
+            root_html
+                .contains(r#"<a href="paperpresentation_pub1.html">Optimizing Regular Paths</a>"#),
+            "{root_html}"
+        );
         assert_eq!(out.pages[&out.page_of[&pub1]], "Optimizing Regular Paths");
     }
 
@@ -767,7 +903,8 @@ mod tests {
     fn embed_inlines_instead_of_linking() {
         let (g, root, pub1) = site();
         let mut ts = TemplateSet::new();
-        ts.set_object_template(root, r#"[<SFMT @Paper EMBED>]"#).unwrap();
+        ts.set_object_template(root, r#"[<SFMT @Paper EMBED>]"#)
+            .unwrap();
         ts.set_object_template(pub1, "<SFMT @title>").unwrap();
         let out = Generator::new(&g, &ts).generate(&[root]).unwrap();
         // Only the root page is emitted; pub1 was embedded, not realized.
@@ -793,7 +930,8 @@ mod tests {
     fn collection_templates_give_shared_look() {
         let (g, _, pub1) = site();
         let mut ts = TemplateSet::new();
-        ts.set_collection_template("Papers", "paper: <SFMT @title>").unwrap();
+        ts.set_collection_template("Papers", "paper: <SFMT @title>")
+            .unwrap();
         let html = Generator::new(&g, &ts).render_fragment(pub1).unwrap();
         assert_eq!(html, "paper: Optimizing Regular Paths");
     }
@@ -804,7 +942,10 @@ mod tests {
         let mut ts = TemplateSet::new();
         ts.set_collection_template("Papers", "coll").unwrap();
         ts.set_object_template(pub1, "obj").unwrap();
-        assert_eq!(Generator::new(&g, &ts).render_fragment(pub1).unwrap(), "obj");
+        assert_eq!(
+            Generator::new(&g, &ts).render_fragment(pub1).unwrap(),
+            "obj"
+        );
     }
 
     #[test]
@@ -815,7 +956,10 @@ mod tests {
         let mut ts = TemplateSet::new();
         ts.set_named("special", "special template").unwrap();
         ts.set_default("default template").unwrap();
-        assert_eq!(Generator::new(&g, &ts).render_fragment(n).unwrap(), "special template");
+        assert_eq!(
+            Generator::new(&g, &ts).render_fragment(n).unwrap(),
+            "special template"
+        );
     }
 
     #[test]
@@ -846,15 +990,20 @@ mod tests {
             g.add_edge_str(n, "year", y).unwrap();
         }
         let mut ts = TemplateSet::new();
-        ts.set_object_template(n, r#"<SFMT @year ALL ORDER=descend DELIM=",">"#).unwrap();
-        assert_eq!(Generator::new(&g, &ts).render_fragment(n).unwrap(), "1998,1997,1996");
+        ts.set_object_template(n, r#"<SFMT @year ALL ORDER=descend DELIM=",">"#)
+            .unwrap();
+        assert_eq!(
+            Generator::new(&g, &ts).render_fragment(n).unwrap(),
+            "1998,1997,1996"
+        );
     }
 
     #[test]
     fn text_files_embed_via_resolver() {
         let mut g = Graph::standalone();
         let n = g.new_node(None);
-        g.add_edge_str(n, "abstract", Value::file(FileKind::Text, "abs/x.txt")).unwrap();
+        g.add_edge_str(n, "abstract", Value::file(FileKind::Text, "abs/x.txt"))
+            .unwrap();
         let mut ts = TemplateSet::new();
         ts.set_object_template(n, "<SFMT @abstract>").unwrap();
         let genr = Generator::new(&g, &ts).with_file_resolver(Box::new(|p| {
@@ -867,7 +1016,8 @@ mod tests {
     fn text_files_fall_back_to_links_without_resolver() {
         let mut g = Graph::standalone();
         let n = g.new_node(None);
-        g.add_edge_str(n, "abstract", Value::file(FileKind::Text, "abs/x.txt")).unwrap();
+        g.add_edge_str(n, "abstract", Value::file(FileKind::Text, "abs/x.txt"))
+            .unwrap();
         let mut ts = TemplateSet::new();
         ts.set_object_template(n, "<SFMT @abstract>").unwrap();
         assert_eq!(
@@ -880,7 +1030,8 @@ mod tests {
     fn images_become_img_tags() {
         let mut g = Graph::standalone();
         let n = g.new_node(None);
-        g.add_edge_str(n, "logo", Value::file(FileKind::Image, "logo.png")).unwrap();
+        g.add_edge_str(n, "logo", Value::file(FileKind::Image, "logo.png"))
+            .unwrap();
         let mut ts = TemplateSet::new();
         ts.set_object_template(n, "<SFMT @logo>").unwrap();
         assert_eq!(
@@ -896,14 +1047,18 @@ mod tests {
         g.add_edge_str(n, "t", "a < b & c").unwrap();
         let mut ts = TemplateSet::new();
         ts.set_object_template(n, "<SFMT @t>").unwrap();
-        assert_eq!(Generator::new(&g, &ts).render_fragment(n).unwrap(), "a &lt; b &amp; c");
+        assert_eq!(
+            Generator::new(&g, &ts).render_fragment(n).unwrap(),
+            "a &lt; b &amp; c"
+        );
     }
 
     #[test]
     fn missing_attribute_renders_nothing() {
         let (g, _, pub1) = site();
         let mut ts = TemplateSet::new();
-        ts.set_object_template(pub1, "[<SFMT @nonexistent>]").unwrap();
+        ts.set_object_template(pub1, "[<SFMT @nonexistent>]")
+            .unwrap();
         assert_eq!(Generator::new(&g, &ts).render_fragment(pub1).unwrap(), "[]");
     }
 
@@ -913,7 +1068,9 @@ mod tests {
         let mut ts = TemplateSet::new();
         ts.set_object_template(root, "<SFMT @Paper>").unwrap();
         ts.set_object_template(pub1, "x").unwrap();
-        let out = Generator::new(&g, &ts).generate_from_collection("Roots").unwrap();
+        let out = Generator::new(&g, &ts)
+            .generate_from_collection("Roots")
+            .unwrap();
         assert_eq!(out.pages.len(), 2);
         assert!(out.page_of.contains_key(&root));
     }
@@ -930,7 +1087,12 @@ mod tests {
         let mut ts = TemplateSet::new();
         ts.set_default("<SFMT @next>").unwrap();
         let out = Generator::new(&g, &ts).generate(&[a, b]).unwrap();
-        assert_eq!(out.pages.len(), 2, "collision must be resolved: {:?}", out.pages.keys());
+        assert_eq!(
+            out.pages.len(),
+            2,
+            "collision must be resolved: {:?}",
+            out.pages.keys()
+        );
     }
 
     #[test]
@@ -956,5 +1118,58 @@ mod tests {
         let out = Generator::new(&g, &ts).generate(&[root]).unwrap();
         assert_eq!(out.pages.len(), 1);
         assert!(!out.warnings.is_empty());
+    }
+
+    #[test]
+    fn assign_unique_name_loops_past_taken_fallbacks() {
+        let mut used: FxHashSet<String> = FxHashSet::default();
+        used.insert("a.html".into());
+        used.insert("a-7.html".into());
+        used.insert("a-7-2.html".into());
+        assert_eq!(assign_unique_name(&mut used, "a", Oid(7)), "a-7-3.html");
+        assert!(used.contains("a-7-3.html"));
+        assert_eq!(assign_unique_name(&mut used, "b", Oid(9)), "b.html");
+    }
+
+    #[test]
+    fn colliding_page_names_stay_unique_in_both_generators() {
+        // Three distinct objects whose display names all sanitize to the
+        // same base, and a decoy whose literal name equals the suffixed
+        // name the second collider would naively get.
+        let mut g = Graph::standalone();
+        let root = g.new_node(Some("Root"));
+        let mut ts = TemplateSet::new();
+        ts.set_object_template(root, "<SFMT @Story ALL>").unwrap();
+        let mut stories = Vec::new();
+        for _ in 0..3 {
+            let s = g.new_node(Some("Story Page"));
+            g.add_edge_str(s, "t", "body").unwrap();
+            g.add_edge_str(root, "Story", Value::Node(s)).unwrap();
+            stories.push(s);
+        }
+        let decoy = g.new_node(Some(&format!("story_page-{}", stories[1].0)));
+        g.add_edge_str(decoy, "t", "decoy body").unwrap();
+        g.add_edge_str(root, "Story", Value::Node(decoy)).unwrap();
+        for &s in stories.iter().chain([&decoy]) {
+            ts.set_object_template(s, "<SFMT @t>").unwrap();
+        }
+
+        for out in [
+            Generator::new(&g, &ts).generate(&[root]).unwrap(),
+            Generator::new(&g, &ts)
+                .generate_parallel(&[root], 4)
+                .unwrap(),
+        ] {
+            // 5 objects -> 5 pages; no assignment overwrote another.
+            assert_eq!(out.pages.len(), 5, "{:?}", out.pages.keys());
+            assert_eq!(out.page_of.len(), 5);
+            let mut files: Vec<_> = out.page_of.values().collect();
+            files.sort();
+            files.dedup();
+            assert_eq!(files.len(), 5, "duplicate file assignment: {files:?}");
+            for (n, f) in &out.page_of {
+                assert!(out.pages.contains_key(f), "page_of[{n:?}] = {f} missing");
+            }
+        }
     }
 }

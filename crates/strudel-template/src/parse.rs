@@ -11,9 +11,16 @@ use crate::error::{Result, TemplateError};
 
 /// Parses a template source string.
 pub fn parse_template(src: &str) -> Result<Template> {
-    let mut p = Outer { src, pos: 0, line: 1 };
+    let mut p = Outer {
+        src,
+        pos: 0,
+        line: 1,
+    };
     let nodes = p.parse_nodes(&mut Vec::new())?;
-    Ok(Template { nodes, source: src.to_string() })
+    Ok(Template {
+        nodes,
+        source: src.to_string(),
+    })
 }
 
 /// A frame on the open-directive stack, for error messages and matching.
@@ -63,7 +70,9 @@ impl<'a> Outer<'a> {
                         return Ok(Piece::Html(self.src[start..html_end].to_string()));
                     }
                     self.pos += consumed;
-                    self.line += self.src[html_end..html_end + consumed].matches('\n').count();
+                    self.line += self.src[html_end..html_end + consumed]
+                        .matches('\n')
+                        .count();
                     return Ok(piece);
                 }
             }
@@ -104,8 +113,9 @@ impl<'a> Outer<'a> {
                         continue;
                     }
                     let body_start = prefix.len();
-                    let end = find_tag_end(rest, body_start)
-                        .ok_or_else(|| self.err(line, format!("unterminated {} directive", prefix)))?;
+                    let end = find_tag_end(rest, body_start).ok_or_else(|| {
+                        self.err(line, format!("unterminated {} directive", prefix))
+                    })?;
                     let body = rest[body_start..end].trim().to_string();
                     let piece = match kind {
                         0 => Piece::Fmt(body, line),
@@ -159,7 +169,12 @@ impl<'a> Outer<'a> {
                     let (var, expr, opts) = parse_for_head(&body, line)?;
                     stack.push(Frame::For);
                     let inner = self.parse_nodes(stack)?;
-                    nodes.push(Node::For { var, expr, opts, body: inner });
+                    nodes.push(Node::For {
+                        var,
+                        expr,
+                        opts,
+                        body: inner,
+                    });
                 }
                 Piece::ForClose => match stack.pop() {
                     Some(Frame::For) => return Ok(nodes),
@@ -233,7 +248,10 @@ fn lex_inner(s: &str, line: usize) -> Result<Vec<T>> {
                 let mut path = Vec::new();
                 loop {
                     let start = i;
-                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'-')
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric()
+                            || bytes[i] == b'_'
+                            || bytes[i] == b'-')
                     {
                         i += 1;
                     }
@@ -334,9 +352,14 @@ fn lex_inner(s: &str, line: usize) -> Result<Vec<T>> {
                 }
                 let text = &s[start..i];
                 if is_float {
-                    out.push(T::Float(text.parse().map_err(|_| err(format!("bad float {text:?}")))?));
+                    out.push(T::Float(
+                        text.parse()
+                            .map_err(|_| err(format!("bad float {text:?}")))?,
+                    ));
                 } else {
-                    out.push(T::Int(text.parse().map_err(|_| err(format!("bad int {text:?}")))?));
+                    out.push(T::Int(
+                        text.parse().map_err(|_| err(format!("bad int {text:?}")))?,
+                    ));
                 }
             }
             b if b.is_ascii_alphabetic() || b == b'_' => {
@@ -346,7 +369,12 @@ fn lex_inner(s: &str, line: usize) -> Result<Vec<T>> {
                 }
                 out.push(T::Ident(s[start..i].to_string()));
             }
-            other => return Err(err(format!("unexpected character {:?} in directive", other as char))),
+            other => {
+                return Err(err(format!(
+                    "unexpected character {:?} in directive",
+                    other as char
+                )))
+            }
         }
     }
     Ok(out)
@@ -406,7 +434,11 @@ impl Inner {
             opts.order = Some(match self.bump() {
                 Some(T::Ident(s)) if s.eq_ignore_ascii_case("ascend") => SortOrder::Ascend,
                 Some(T::Ident(s)) if s.eq_ignore_ascii_case("descend") => SortOrder::Descend,
-                other => return Err(self.err(format!("ORDER must be ascend or descend, found {other:?}"))),
+                other => {
+                    return Err(
+                        self.err(format!("ORDER must be ascend or descend, found {other:?}"))
+                    )
+                }
             });
             return Ok(true);
         }
@@ -414,7 +446,11 @@ impl Inner {
             self.expect_eq("KEY")?;
             opts.key = Some(match self.bump() {
                 Some(T::Attr(a)) => a,
-                other => return Err(self.err(format!("KEY must be an @attr expression, found {other:?}"))),
+                other => {
+                    return Err(
+                        self.err(format!("KEY must be an @attr expression, found {other:?}"))
+                    )
+                }
             });
             return Ok(true);
         }
@@ -501,8 +537,12 @@ impl Inner {
             Some(T::Str(s)) => Ok(Expr::Const(Constant::Str(s))),
             Some(T::Int(i)) => Ok(Expr::Const(Constant::Int(i))),
             Some(T::Float(f)) => Ok(Expr::Const(Constant::Float(f))),
-            Some(T::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Expr::Const(Constant::Bool(true))),
-            Some(T::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Expr::Const(Constant::Bool(false))),
+            Some(T::Ident(s)) if s.eq_ignore_ascii_case("true") => {
+                Ok(Expr::Const(Constant::Bool(true)))
+            }
+            Some(T::Ident(s)) if s.eq_ignore_ascii_case("false") => {
+                Ok(Expr::Const(Constant::Bool(false)))
+            }
             Some(T::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Expr::Const(Constant::Null)),
             other => Err(self.err(format!("expected an expression, found {other:?}"))),
         }
@@ -510,10 +550,18 @@ impl Inner {
 }
 
 fn parse_fmt(body: &str, line: usize) -> Result<Node> {
-    let mut p = Inner { toks: lex_inner(body, line)?, pos: 0, line };
+    let mut p = Inner {
+        toks: lex_inner(body, line)?,
+        pos: 0,
+        line,
+    };
     let expr = match p.bump() {
         Some(T::Attr(a)) => a,
-        other => return Err(p.err(format!("SFMT needs an @attr expression first, found {other:?}"))),
+        other => {
+            return Err(p.err(format!(
+                "SFMT needs an @attr expression first, found {other:?}"
+            )))
+        }
     };
     let mut format = Format::Default;
     let mut all = false;
@@ -537,11 +585,20 @@ fn parse_fmt(body: &str, line: usize) -> Result<Node> {
             return Err(p.err(format!("unexpected token in SFMT: {:?}", p.peek())));
         }
     }
-    Ok(Node::Fmt { expr, format, all, opts })
+    Ok(Node::Fmt {
+        expr,
+        format,
+        all,
+        opts,
+    })
 }
 
 fn parse_cond_str(body: &str, line: usize) -> Result<Cond> {
-    let mut p = Inner { toks: lex_inner(body, line)?, pos: 0, line };
+    let mut p = Inner {
+        toks: lex_inner(body, line)?,
+        pos: 0,
+        line,
+    };
     let cond = p.parse_cond()?;
     if let Some(t) = p.peek() {
         return Err(p.err(format!("trailing token in SIF condition: {t:?}")));
@@ -550,7 +607,11 @@ fn parse_cond_str(body: &str, line: usize) -> Result<Cond> {
 }
 
 fn parse_for_head(body: &str, line: usize) -> Result<(String, AttrExpr, EnumOpts)> {
-    let mut p = Inner { toks: lex_inner(body, line)?, pos: 0, line };
+    let mut p = Inner {
+        toks: lex_inner(body, line)?,
+        pos: 0,
+        line,
+    };
     let var = match p.bump() {
         Some(T::Ident(v)) => v,
         other => return Err(p.err(format!("SFOR needs a loop variable, found {other:?}"))),
@@ -586,28 +647,48 @@ mod tests {
     #[test]
     fn sfmt_basic_and_modifiers() {
         let t = parse_template(r#"<SFMT @title>"#).unwrap();
-        assert!(matches!(&t.nodes[0], Node::Fmt { expr, format: Format::Default, all: false, .. }
-            if expr.path == vec!["title".to_string()]));
+        assert!(
+            matches!(&t.nodes[0], Node::Fmt { expr, format: Format::Default, all: false, .. }
+            if expr.path == vec!["title".to_string()])
+        );
 
         let t = parse_template(r#"<SFMT @postscript LINK=@title>"#).unwrap();
-        assert!(matches!(&t.nodes[0], Node::Fmt { format: Format::Link(Some(Tag::Attr(_))), .. }));
+        assert!(matches!(
+            &t.nodes[0],
+            Node::Fmt {
+                format: Format::Link(Some(Tag::Attr(_))),
+                ..
+            }
+        ));
 
         let t = parse_template(r#"<SFMT @Abstract EMBED>"#).unwrap();
-        assert!(matches!(&t.nodes[0], Node::Fmt { format: Format::Embed, .. }));
+        assert!(matches!(
+            &t.nodes[0],
+            Node::Fmt {
+                format: Format::Embed,
+                ..
+            }
+        ));
 
         let t = parse_template(r#"<SFMT @author ALL DELIM=", ">"#).unwrap();
-        assert!(matches!(&t.nodes[0], Node::Fmt { all: true, opts, .. } if opts.delim.as_deref() == Some(", ")));
+        assert!(
+            matches!(&t.nodes[0], Node::Fmt { all: true, opts, .. } if opts.delim.as_deref() == Some(", "))
+        );
     }
 
     #[test]
     fn attr_paths() {
         let t = parse_template("<SFMT @Paper.Name>").unwrap();
-        assert!(matches!(&t.nodes[0], Node::Fmt { expr, .. } if expr.path == vec!["Paper".to_string(), "Name".to_string()]));
+        assert!(
+            matches!(&t.nodes[0], Node::Fmt { expr, .. } if expr.path == vec!["Paper".to_string(), "Name".to_string()])
+        );
     }
 
     #[test]
     fn sif_with_else() {
-        let t = parse_template(r#"<SIF @booktitle>In <SFMT @booktitle><SELSE><SFMT @journal></SIF>"#).unwrap();
+        let t =
+            parse_template(r#"<SIF @booktitle>In <SFMT @booktitle><SELSE><SFMT @journal></SIF>"#)
+                .unwrap();
         match &t.nodes[0] {
             Node::If { cond, then, else_ } => {
                 assert!(matches!(cond, Cond::Test(Expr::Attr(_))));
@@ -646,17 +727,27 @@ mod tests {
     fn null_constant() {
         let t = parse_template(r#"<SIF @sponsor = NULL>unsponsored</SIF>"#).unwrap();
         match &t.nodes[0] {
-            Node::If { cond: Cond::Cmp(_, Op::Eq, Expr::Const(Constant::Null)), .. } => {}
+            Node::If {
+                cond: Cond::Cmp(_, Op::Eq, Expr::Const(Constant::Null)),
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
     fn sfor_with_order_key_list() {
-        let t =
-            parse_template(r#"<SFOR y IN @YearPage ORDER=ascend KEY=@Year LIST=ul><SFMT @y></SFOR>"#).unwrap();
+        let t = parse_template(
+            r#"<SFOR y IN @YearPage ORDER=ascend KEY=@Year LIST=ul><SFMT @y></SFOR>"#,
+        )
+        .unwrap();
         match &t.nodes[0] {
-            Node::For { var, expr, opts, body } => {
+            Node::For {
+                var,
+                expr,
+                opts,
+                body,
+            } => {
                 assert_eq!(var, "y");
                 assert_eq!(expr.path, vec!["YearPage".to_string()]);
                 assert_eq!(opts.order, Some(SortOrder::Ascend));
@@ -670,10 +761,9 @@ mod tests {
 
     #[test]
     fn nested_directives() {
-        let t = parse_template(
-            r#"<SFOR p IN @Paper><SIF @p.year = 1997><SFMT @p.title></SIF></SFOR>"#,
-        )
-        .unwrap();
+        let t =
+            parse_template(r#"<SFOR p IN @Paper><SIF @p.year = 1997><SFMT @p.title></SIF></SFOR>"#)
+                .unwrap();
         assert_eq!(t.directive_count(), 3);
     }
 
@@ -699,7 +789,9 @@ mod tests {
     #[test]
     fn gt_inside_strings_does_not_close_tag() {
         let t = parse_template(r#"<SFMT @x LINK="a > b">"#).unwrap();
-        assert!(matches!(&t.nodes[0], Node::Fmt { format: Format::Link(Some(Tag::Str(s))), .. } if s == "a > b"));
+        assert!(
+            matches!(&t.nodes[0], Node::Fmt { format: Format::Link(Some(Tag::Str(s))), .. } if s == "a > b")
+        );
     }
 
     #[test]

@@ -10,9 +10,11 @@ fn library() -> (Graph, Oid) {
     let root = g.new_node(Some("Library()"));
     let shelf_a = g.new_node(Some("Shelf(a)"));
     let shelf_b = g.new_node(Some("Shelf(b)"));
-    for (shelf, title, year) in
-        [(shelf_a, "UnQL", 1996i64), (shelf_a, "Lorel", 1997), (shelf_b, "StruQL", 1997)]
-    {
+    for (shelf, title, year) in [
+        (shelf_a, "UnQL", 1996i64),
+        (shelf_a, "Lorel", 1997),
+        (shelf_b, "StruQL", 1997),
+    ] {
         let book = g.new_node(None);
         g.add_edge_str(book, "title", title).unwrap();
         g.add_edge_str(book, "year", year).unwrap();
@@ -67,7 +69,10 @@ fn keyword_comparison_operators_in_sif() {
         r#"<SIF @year GT 1996>gt</SIF><SIF @year LT 1998>lt</SIF><SIF @year GE 1997>ge</SIF><SIF @year LE 1997>le</SIF>"#,
     )
     .unwrap();
-    assert_eq!(Generator::new(&g, &ts).render_fragment(n).unwrap(), "gtltgele");
+    assert_eq!(
+        Generator::new(&g, &ts).render_fragment(n).unwrap(),
+        "gtltgele"
+    );
 }
 
 #[test]
@@ -75,16 +80,24 @@ fn attribute_path_through_multiple_hops() {
     let (g, root) = library();
     let mut ts = TemplateSet::new();
     // Root → first Shelf → first Book → title.
-    ts.set_object_template(root, "<SFMT @Shelf.Book.title>").unwrap();
-    assert_eq!(Generator::new(&g, &ts).render_fragment(root).unwrap(), "UnQL");
+    ts.set_object_template(root, "<SFMT @Shelf.Book.title>")
+        .unwrap();
+    assert_eq!(
+        Generator::new(&g, &ts).render_fragment(root).unwrap(),
+        "UnQL"
+    );
 }
 
 #[test]
 fn sfmt_all_over_paths_collects_every_leaf() {
     let (g, root) = library();
     let mut ts = TemplateSet::new();
-    ts.set_object_template(root, r#"<SFMT @Shelf.Book.title ALL DELIM="|">"#).unwrap();
-    assert_eq!(Generator::new(&g, &ts).render_fragment(root).unwrap(), "UnQL|Lorel|StruQL");
+    ts.set_object_template(root, r#"<SFMT @Shelf.Book.title ALL DELIM="|">"#)
+        .unwrap();
+    assert_eq!(
+        Generator::new(&g, &ts).render_fragment(root).unwrap(),
+        "UnQL|Lorel|StruQL"
+    );
 }
 
 #[test]
@@ -103,13 +116,21 @@ fn sort_by_numeric_key_descending() {
 #[test]
 fn multi_page_site_with_shared_and_object_templates() {
     let (mut g, root) = library();
-    let shelves: Vec<Oid> =
-        g.nodes().iter().copied().filter(|n| g.node_name(*n).is_some_and(|s| s.starts_with("Shelf"))).collect();
+    let shelves: Vec<Oid> = g
+        .nodes()
+        .iter()
+        .copied()
+        .filter(|n| g.node_name(*n).is_some_and(|s| s.starts_with("Shelf")))
+        .collect();
     for &s in &shelves {
         g.add_to_collection_str("Shelves", Value::Node(s));
     }
     let mut ts = TemplateSet::new();
-    ts.set_object_template(root, r#"<SFOR s IN @Shelf LIST=ul><SFMT @s LINK=@s.name></SFOR>"#).unwrap();
+    ts.set_object_template(
+        root,
+        r#"<SFOR s IN @Shelf LIST=ul><SFMT @s LINK=@s.name></SFOR>"#,
+    )
+    .unwrap();
     ts.set_collection_template(
         "Shelves",
         r#"<h1>Shelf <SFMT @name></h1><SFOR b IN @Book LIST=ol><SFMT @b.title> (<SFMT @b.year>)</SFOR>"#,
@@ -117,18 +138,29 @@ fn multi_page_site_with_shared_and_object_templates() {
     .unwrap();
     let site = Generator::new(&g, &ts).generate(&[root]).unwrap();
     assert_eq!(site.pages.len(), 3); // root + 2 shelves
-    let shelf_a = site.pages.iter().find(|(k, _)| k.contains("shelf_a")).unwrap().1;
-    assert!(shelf_a.contains("<ol><li>UnQL (1996)</li><li>Lorel (1997)</li></ol>"), "{shelf_a}");
+    let shelf_a = site
+        .pages
+        .iter()
+        .find(|(k, _)| k.contains("shelf_a"))
+        .unwrap()
+        .1;
+    assert!(
+        shelf_a.contains("<ol><li>UnQL (1996)</li><li>Lorel (1997)</li></ol>"),
+        "{shelf_a}"
+    );
 }
 
 #[test]
 fn html_file_embeds_raw_text_file_escapes() {
     let mut g = Graph::standalone();
     let n = g.new_node(None);
-    g.add_edge_str(n, "raw", Value::file(FileKind::Html, "frag.html")).unwrap();
-    g.add_edge_str(n, "txt", Value::file(FileKind::Text, "note.txt")).unwrap();
+    g.add_edge_str(n, "raw", Value::file(FileKind::Html, "frag.html"))
+        .unwrap();
+    g.add_edge_str(n, "txt", Value::file(FileKind::Text, "note.txt"))
+        .unwrap();
     let mut ts = TemplateSet::new();
-    ts.set_object_template(n, "<SFMT @raw>|<SFMT @txt>").unwrap();
+    ts.set_object_template(n, "<SFMT @raw>|<SFMT @txt>")
+        .unwrap();
     let genr = Generator::new(&g, &ts).with_file_resolver(Box::new(|p| {
         Some(match p {
             "frag.html" => "<b>bold</b>".to_string(),
@@ -146,9 +178,15 @@ fn html_file_embeds_raw_text_file_escapes() {
 fn empty_enumerations_render_empty() {
     let (g, root) = library();
     let mut ts = TemplateSet::new();
-    ts.set_object_template(root, r#"[<SFOR x IN @Missing><SFMT @x></SFOR>][<SFMT @Missing ALL LIST=ul>]"#)
-        .unwrap();
-    assert_eq!(Generator::new(&g, &ts).render_fragment(root).unwrap(), "[][<ul></ul>]");
+    ts.set_object_template(
+        root,
+        r#"[<SFOR x IN @Missing><SFMT @x></SFOR>][<SFMT @Missing ALL LIST=ul>]"#,
+    )
+    .unwrap();
+    assert_eq!(
+        Generator::new(&g, &ts).render_fragment(root).unwrap(),
+        "[][<ul></ul>]"
+    );
 }
 
 #[test]
@@ -164,19 +202,30 @@ fn deep_embed_chain_renders() {
     ts.set_object_template(a, "a(<SFMT @next EMBED>)").unwrap();
     ts.set_object_template(b, "b(<SFMT @next EMBED>)").unwrap();
     ts.set_object_template(c, "c(<SFMT @leaf>)").unwrap();
-    assert_eq!(Generator::new(&g, &ts).render_fragment(a).unwrap(), "a(b(c(end)))");
+    assert_eq!(
+        Generator::new(&g, &ts).render_fragment(a).unwrap(),
+        "a(b(c(end)))"
+    );
 }
 
 #[test]
 fn parallel_generation_matches_serial() {
     let (mut g, root) = library();
-    let shelves: Vec<Oid> =
-        g.nodes().iter().copied().filter(|n| g.node_name(*n).is_some_and(|s| s.starts_with("Shelf"))).collect();
+    let shelves: Vec<Oid> = g
+        .nodes()
+        .iter()
+        .copied()
+        .filter(|n| g.node_name(*n).is_some_and(|s| s.starts_with("Shelf")))
+        .collect();
     for &s in &shelves {
         g.add_to_collection_str("Shelves", Value::Node(s));
     }
     let mut ts = TemplateSet::new();
-    ts.set_object_template(root, r#"<SFOR s IN @Shelf LIST=ul><SFMT @s LINK=@s.name></SFOR>"#).unwrap();
+    ts.set_object_template(
+        root,
+        r#"<SFOR s IN @Shelf LIST=ul><SFMT @s LINK=@s.name></SFOR>"#,
+    )
+    .unwrap();
     ts.set_collection_template(
         "Shelves",
         r#"<h1><SFMT @name></h1><SFOR b IN @Book LIST=ol><SFMT @b.title></SFOR>"#,
@@ -184,7 +233,9 @@ fn parallel_generation_matches_serial() {
     .unwrap();
     let serial = Generator::new(&g, &ts).generate(&[root]).unwrap();
     for threads in [1, 2, 8] {
-        let parallel = Generator::new(&g, &ts).generate_parallel(&[root], threads).unwrap();
+        let parallel = Generator::new(&g, &ts)
+            .generate_parallel(&[root], threads)
+            .unwrap();
         assert_eq!(serial.pages, parallel.pages, "threads={threads}");
         assert_eq!(serial.page_of.len(), parallel.page_of.len());
     }
@@ -194,13 +245,18 @@ fn parallel_generation_matches_serial() {
 fn parallel_generation_discovers_deep_chains() {
     // A linked list of pages: each wave discovers exactly one more.
     let mut g = Graph::standalone();
-    let nodes: Vec<Oid> = (0..12).map(|i| g.new_node(Some(&format!("page{i}")))).collect();
+    let nodes: Vec<Oid> = (0..12)
+        .map(|i| g.new_node(Some(&format!("page{i}"))))
+        .collect();
     for w in nodes.windows(2) {
         g.add_edge_str(w[0], "next", Value::Node(w[1])).unwrap();
     }
     let mut ts = TemplateSet::new();
-    ts.set_default(r#"me<SIF @next>, then <SFMT @next></SIF>"#).unwrap();
-    let site = Generator::new(&g, &ts).generate_parallel(&[nodes[0]], 4).unwrap();
+    ts.set_default(r#"me<SIF @next>, then <SFMT @next></SIF>"#)
+        .unwrap();
+    let site = Generator::new(&g, &ts)
+        .generate_parallel(&[nodes[0]], 4)
+        .unwrap();
     assert_eq!(site.pages.len(), 12);
     assert!(site.pages["page0.html"].contains("page1.html"));
 }
@@ -214,6 +270,8 @@ fn parallel_generation_reports_embed_errors() {
     g.add_edge_str(b, "next", Value::Node(a)).unwrap();
     let mut ts = TemplateSet::new();
     ts.set_default("<SFMT @next EMBED>").unwrap();
-    let err = Generator::new(&g, &ts).generate_parallel(&[a], 2).unwrap_err();
+    let err = Generator::new(&g, &ts)
+        .generate_parallel(&[a], 2)
+        .unwrap_err();
     assert!(err.to_string().contains("cycle"), "{err}");
 }

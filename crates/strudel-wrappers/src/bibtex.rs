@@ -14,7 +14,10 @@ use strudel_graph::{FileKind, Graph, GraphError, Value};
 
 /// A parsing error with a line number.
 fn err(line: usize, message: impl Into<String>) -> GraphError {
-    GraphError::DdlParse { line, message: message.into() }
+    GraphError::DdlParse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// One parsed BibTeX entry.
@@ -128,7 +131,12 @@ impl<'a> Scanner<'a> {
                         None => parts.push(name),
                     }
                 }
-                other => return Err(err(self.line, format!("expected a BibTeX value, found {other:?}"))),
+                other => {
+                    return Err(err(
+                        self.line,
+                        format!("expected a BibTeX value, found {other:?}"),
+                    ))
+                }
             }
             self.skip_ws();
             if self.peek() == Some(b'#') {
@@ -148,7 +156,12 @@ fn clean(value: &str) -> String {
 
 /// Parses BibTeX text into entries.
 pub fn parse(src: &str) -> Result<Vec<Entry>, GraphError> {
-    let mut s = Scanner { src, pos: 0, line: 1, strings: HashMap::new() };
+    let mut s = Scanner {
+        src,
+        pos: 0,
+        line: 1,
+        strings: HashMap::new(),
+    };
     let mut entries = Vec::new();
     loop {
         // Skip to the next `@`; everything between entries is a comment.
@@ -223,7 +236,11 @@ pub fn parse(src: &str) -> Result<Vec<Entry>, GraphError> {
                 }
             }
         }
-        entries.push(Entry { entry_type, key, fields });
+        entries.push(Entry {
+            entry_type,
+            key,
+            fields,
+        });
     }
 }
 
@@ -268,17 +285,20 @@ pub fn load_into(g: &mut Graph, src: &str) -> Result<(), GraphError> {
     for entry in entries {
         let node = g.new_node(Some(&entry.key));
         g.add_to_collection(pubs, Value::Node(node));
-        g.add_edge_str(node, "pub-type", Value::str(&entry.entry_type)).expect("member");
+        g.add_edge_str(node, "pub-type", Value::str(&entry.entry_type))
+            .expect("member");
         for (field, value) in &entry.fields {
             if field == "author" || field == "editor" {
                 for person in value.split(" and ") {
                     let person = person.trim();
                     if !person.is_empty() {
-                        g.add_edge_str(node, field, Value::str(person)).expect("member");
+                        g.add_edge_str(node, field, Value::str(person))
+                            .expect("member");
                     }
                 }
             } else {
-                g.add_edge_str(node, field, typed_value(field, value)).expect("member");
+                g.add_edge_str(node, field, typed_value(field, value))
+                    .expect("member");
             }
         }
     }
@@ -320,28 +340,48 @@ mod tests {
         assert_eq!(entries[0].entry_type, "article");
         assert_eq!(entries[0].key, "toplas97");
         assert_eq!(entries[1].entry_type, "inproceedings");
-        let title = &entries[1].fields.iter().find(|(f, _)| f == "title").unwrap().1;
+        let title = &entries[1]
+            .fields
+            .iter()
+            .find(|(f, _)| f == "title")
+            .unwrap()
+            .1;
         assert_eq!(title, "Optimizing Regular Path Expressions");
     }
 
     #[test]
     fn string_macros_expand() {
         let entries = parse(SAMPLE).unwrap();
-        let journal = &entries[0].fields.iter().find(|(f, _)| f == "journal").unwrap().1;
+        let journal = &entries[0]
+            .fields
+            .iter()
+            .find(|(f, _)| f == "journal")
+            .unwrap()
+            .1;
         assert_eq!(journal, "Transactions on Programming Languages and Systems");
     }
 
     #[test]
     fn unknown_month_macros_keep_their_name() {
         let entries = parse(SAMPLE).unwrap();
-        let month = &entries[0].fields.iter().find(|(f, _)| f == "month").unwrap().1;
+        let month = &entries[0]
+            .fields
+            .iter()
+            .find(|(f, _)| f == "month")
+            .unwrap()
+            .1;
         assert_eq!(month, "may");
     }
 
     #[test]
     fn nested_braces_are_stripped() {
         let entries = parse(SAMPLE).unwrap();
-        let cat = &entries[1].fields.iter().find(|(f, _)| f == "category").unwrap().1;
+        let cat = &entries[1]
+            .fields
+            .iter()
+            .find(|(f, _)| f == "category")
+            .unwrap()
+            .1;
         assert_eq!(cat, "Semistructured Data");
     }
 
@@ -363,9 +403,15 @@ mod tests {
         // Authors split and ordered.
         let author = interner.get("author").unwrap();
         let authors: Vec<_> = r.attr_values(n1, author).cloned().collect();
-        assert_eq!(authors, vec![Value::str("Norman Ramsey"), Value::str("Mary Fernandez")]);
+        assert_eq!(
+            authors,
+            vec![Value::str("Norman Ramsey"), Value::str("Mary Fernandez")]
+        );
         // Years are integers; files typed by extension.
-        assert_eq!(r.attr(n1, interner.get("year").unwrap()), Some(&Value::Int(1997)));
+        assert_eq!(
+            r.attr(n1, interner.get("year").unwrap()),
+            Some(&Value::Int(1997))
+        );
         assert_eq!(
             r.attr(n1, interner.get("postscript").unwrap()),
             Some(&Value::file(FileKind::PostScript, "papers/toplas97.ps.gz"))
@@ -374,7 +420,10 @@ mod tests {
             r.attr(n1, interner.get("abstract").unwrap()),
             Some(&Value::file(FileKind::Text, "abstracts/toplas97.txt"))
         );
-        assert_eq!(r.attr(n1, interner.get("pub-type").unwrap()), Some(&Value::str("article")));
+        assert_eq!(
+            r.attr(n1, interner.get("pub-type").unwrap()),
+            Some(&Value::str("article"))
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub fn extract(html: &str) -> PageContent {
                         out.title = Some(normalize(&t));
                     }
                 }
-                (false, "h1" | "h2" | "h3" | "h4" | "h5" | "h6") => capture = Some(("h", String::new())),
+                (false, "h1" | "h2" | "h3" | "h4" | "h5" | "h6") => {
+                    capture = Some(("h", String::new()))
+                }
                 (true, "h1" | "h2" | "h3" | "h4" | "h5" | "h6") => {
                     if let Some((_, t)) = capture.take() {
                         let t = normalize(&t);
@@ -93,7 +95,10 @@ pub fn extract(html: &str) -> PageContent {
             }
             i = end + 1;
         } else {
-            let next_tag = html[i..].find('<').map(|off| i + off).unwrap_or(bytes.len());
+            let next_tag = html[i..]
+                .find('<')
+                .map(|off| i + off)
+                .unwrap_or(bytes.len());
             let chunk = decode_entities(&html[i..next_tag]);
             if skip_until.is_none() {
                 if let Some((_, buf)) = &mut capture {
@@ -130,7 +135,9 @@ fn attr_value(attrs: &str, name: &str) -> Option<String> {
     } else if let Some(stripped) = rest.strip_prefix('\'') {
         stripped.find('\'').map(|end| stripped[..end].to_string())
     } else {
-        let end = rest.find(|c: char| c.is_ascii_whitespace()).unwrap_or(rest.len());
+        let end = rest
+            .find(|c: char| c.is_ascii_whitespace())
+            .unwrap_or(rest.len());
         Some(rest[..end].to_string())
     }
 }
@@ -203,24 +210,33 @@ pub fn load_into(g: &mut Graph, pages: &[(String, String)]) -> Result<(), GraphE
     }
     let find = |href: &str| nodes.iter().find(|(u, _, _)| u == href).map(|(_, n, _)| *n);
     for (url, node, content) in &nodes {
-        g.add_edge_str(*node, "url", Value::url(url)).expect("member");
+        g.add_edge_str(*node, "url", Value::url(url))
+            .expect("member");
         if let Some(t) = &content.title {
-            g.add_edge_str(*node, "title", Value::str(t)).expect("member");
+            g.add_edge_str(*node, "title", Value::str(t))
+                .expect("member");
         }
         for h in &content.headings {
-            g.add_edge_str(*node, "heading", Value::str(h)).expect("member");
+            g.add_edge_str(*node, "heading", Value::str(h))
+                .expect("member");
         }
         if !content.text.is_empty() {
-            g.add_edge_str(*node, "text", Value::str(&content.text)).expect("member");
+            g.add_edge_str(*node, "text", Value::str(&content.text))
+                .expect("member");
         }
         for img in &content.images {
             let kind = FileKind::from_path(img).unwrap_or(FileKind::Image);
-            g.add_edge_str(*node, "image", Value::file(kind, img)).expect("member");
+            g.add_edge_str(*node, "image", Value::file(kind, img))
+                .expect("member");
         }
         for (href, _anchor) in &content.links {
             match find(href) {
-                Some(target) => g.add_edge_str(*node, "link", Value::Node(target)).expect("member"),
-                None => g.add_edge_str(*node, "link", Value::url(href)).expect("member"),
+                Some(target) => g
+                    .add_edge_str(*node, "link", Value::Node(target))
+                    .expect("member"),
+                None => g
+                    .add_edge_str(*node, "link", Value::url(href))
+                    .expect("member"),
             }
         }
     }
@@ -247,7 +263,10 @@ mod tests {
         assert_eq!(c.title.as_deref(), Some("Top Story & More"));
         assert_eq!(c.headings, vec!["Breaking News"]);
         assert_eq!(c.links.len(), 2);
-        assert_eq!(c.links[0], ("story2.html".to_string(), "Related story".to_string()));
+        assert_eq!(
+            c.links[0],
+            ("story2.html".to_string(), "Related story".to_string())
+        );
         assert_eq!(c.images, vec!["photo.jpg"]);
         assert!(c.text.contains("Something happened <today>."), "{}", c.text);
         assert!(!c.text.contains("ignore"), "script content must be skipped");
@@ -256,21 +275,33 @@ mod tests {
 
     #[test]
     fn entity_decoding() {
-        assert_eq!(decode_entities("a &amp; b &#65; &unknown; &"), "a & b A &unknown; &");
+        assert_eq!(
+            decode_entities("a &amp; b &#65; &unknown; &"),
+            "a & b A &unknown; &"
+        );
     }
 
     #[test]
     fn attr_value_quoting_styles() {
-        assert_eq!(attr_value(r#" href="x.html""#, "href"), Some("x.html".into()));
+        assert_eq!(
+            attr_value(r#" href="x.html""#, "href"),
+            Some("x.html".into())
+        );
         assert_eq!(attr_value(" href='y.html'", "href"), Some("y.html".into()));
-        assert_eq!(attr_value(" href=z.html class=q", "href"), Some("z.html".into()));
+        assert_eq!(
+            attr_value(" href=z.html class=q", "href"),
+            Some("z.html".into())
+        );
         assert_eq!(attr_value(" class=q", "href"), None);
     }
 
     #[test]
     fn graph_resolves_internal_links() {
         let pages = vec![
-            ("index.html".to_string(), PAGE.replace("story2.html", "other.html")),
+            (
+                "index.html".to_string(),
+                PAGE.replace("story2.html", "other.html"),
+            ),
             ("other.html".to_string(), "<title>Other</title>".to_string()),
         ];
         let g = to_graph(&pages).unwrap();
@@ -279,9 +310,20 @@ mod tests {
         let r = g.reader();
         let index = g.nodes()[0];
         let other = g.nodes()[1];
-        let links: Vec<_> = r.attr_values(index, interner.get("link").unwrap()).cloned().collect();
-        assert!(links.contains(&Value::Node(other)), "internal link resolves to node");
-        assert!(links.iter().any(|v| matches!(v, Value::Url(u) if u.contains("elsewhere"))), "external stays URL");
+        let links: Vec<_> = r
+            .attr_values(index, interner.get("link").unwrap())
+            .cloned()
+            .collect();
+        assert!(
+            links.contains(&Value::Node(other)),
+            "internal link resolves to node"
+        );
+        assert!(
+            links
+                .iter()
+                .any(|v| matches!(v, Value::Url(u) if u.contains("elsewhere"))),
+            "external stays URL"
+        );
     }
 
     #[test]

@@ -84,7 +84,12 @@ impl Mediator {
     /// Registers a source with *identity* integration: its objects and
     /// collections enter the data graph unchanged.
     pub fn add_source(&mut self, name: &str, source: Box<dyn Source>) {
-        self.sources.push(Registered { name: name.to_string(), source, mappings: Vec::new(), identity: true });
+        self.sources.push(Registered {
+            name: name.to_string(),
+            source,
+            mappings: Vec::new(),
+            identity: true,
+        });
         self.warehouse = None;
     }
 
@@ -171,7 +176,10 @@ fn adopt_all(data: &mut Graph, src: &Graph) -> Result<()> {
 /// Returns an [`Oid`]-named helper: the first node of `g` whose provenance
 /// name equals `name`. Exposed for tests and examples.
 pub fn node_named(g: &Graph, name: &str) -> Option<Oid> {
-    g.nodes().iter().copied().find(|&n| g.node_name(n).as_deref() == Some(name))
+    g.nodes()
+        .iter()
+        .copied()
+        .find(|&n| g.node_name(n).as_deref() == Some(name))
 }
 
 #[cfg(test)]
@@ -194,8 +202,9 @@ mod tests {
     fn people_source() -> Box<dyn Source> {
         Box::new(FnSource(|u: &Arc<Universe>| {
             let mut g = Graph::new(Arc::clone(u));
-            let t = relational::Table::from_csv("People", "id,name\n1,Mary Fernandez\n2,Dan Suciu\n")
-                .map_err(StruqlError::Graph)?;
+            let t =
+                relational::Table::from_csv("People", "id,name\n1,Mary Fernandez\n2,Dan Suciu\n")
+                    .map_err(StruqlError::Graph)?;
             relational::load_into(&mut g, &[t], &[]).map_err(StruqlError::Graph)?;
             Ok(g)
         }))
@@ -269,7 +278,8 @@ mod tests {
         m.add_source("people", people_source());
         assert!(m.is_stale());
         m.refresh().unwrap();
-        m.add_mapping("bib", "WHERE Publications(p) CREATE P(p) COLLECT Ps(P(p))").unwrap();
+        m.add_mapping("bib", "WHERE Publications(p) CREATE P(p) COLLECT Ps(P(p))")
+            .unwrap();
         assert!(m.is_stale());
     }
 
@@ -289,6 +299,9 @@ mod tests {
         let data = m.refresh().unwrap();
         assert!(data.collection_str("Publications").is_some());
         assert_eq!(data.collection_str("AllStaff").unwrap().len(), 2);
-        assert!(data.collection_str("People").is_none(), "mapped source collections do not leak");
+        assert!(
+            data.collection_str("People").is_none(),
+            "mapped source collections do not leak"
+        );
     }
 }

@@ -29,7 +29,10 @@ impl Table {
     pub fn from_csv(name: &str, csv: &str) -> Result<Table, GraphError> {
         let mut records = parse_csv(csv)?;
         if records.is_empty() {
-            return Err(GraphError::DdlParse { line: 1, message: format!("CSV for table {name} has no header") });
+            return Err(GraphError::DdlParse {
+                line: 1,
+                message: format!("CSV for table {name} has no header"),
+            });
         }
         let columns = records.remove(0);
         for (i, row) in records.iter().enumerate() {
@@ -40,7 +43,11 @@ impl Table {
                 });
             }
         }
-        Ok(Table { name: name.to_string(), columns, rows: records })
+        Ok(Table {
+            name: name.to_string(),
+            columns,
+            rows: records,
+        })
     }
 
     /// Index of a column by name.
@@ -79,7 +86,10 @@ fn parse_csv(csv: &str) -> Result<Vec<Vec<String>>, GraphError> {
             match c {
                 '"' => {
                     if !cell.is_empty() {
-                        return Err(GraphError::DdlParse { line, message: "quote inside unquoted cell".into() });
+                        return Err(GraphError::DdlParse {
+                            line,
+                            message: "quote inside unquoted cell".into(),
+                        });
                     }
                     in_quotes = true;
                 }
@@ -97,7 +107,10 @@ fn parse_csv(csv: &str) -> Result<Vec<Vec<String>>, GraphError> {
         }
     }
     if in_quotes {
-        return Err(GraphError::DdlParse { line, message: "unterminated quoted cell".into() });
+        return Err(GraphError::DdlParse {
+            line,
+            message: "unterminated quoted cell".into(),
+        });
     }
     if any && (!cell.is_empty() || !record.is_empty()) {
         record.push(cell);
@@ -170,7 +183,8 @@ pub fn load_into(g: &mut Graph, tables: &[Table], fks: &[ForeignKey]) -> Result<
     }
     // Second pass: attributes, with FK columns resolved.
     let fk_of = |table: &str, column: &str| {
-        fks.iter().find(|fk| fk.table == table && fk.column == column)
+        fks.iter()
+            .find(|fk| fk.table == table && fk.column == column)
     };
     for table in tables {
         for (i, row) in table.rows.iter().enumerate() {
@@ -181,7 +195,11 @@ pub fn load_into(g: &mut Graph, tables: &[Table], fks: &[ForeignKey]) -> Result<
                 }
                 let value = match fk_of(&table.name, col) {
                     Some(fk) => {
-                        match key_index.get(&(fk.target_table.clone(), fk.target_key.clone(), cell.clone())) {
+                        match key_index.get(&(
+                            fk.target_table.clone(),
+                            fk.target_key.clone(),
+                            cell.clone(),
+                        )) {
                             Some(&target) => Value::Node(target),
                             None => {
                                 return Err(GraphError::DdlParse {
@@ -221,7 +239,10 @@ mgmt,Management,3
 ";
 
     fn tables() -> Vec<Table> {
-        vec![Table::from_csv("People", PEOPLE).unwrap(), Table::from_csv("Departments", DEPTS).unwrap()]
+        vec![
+            Table::from_csv("People", PEOPLE).unwrap(),
+            Table::from_csv("Departments", DEPTS).unwrap(),
+        ]
     }
 
     fn fks() -> Vec<ForeignKey> {
@@ -271,8 +292,14 @@ mgmt,Management,3
         let interner = g.universe().interner();
         let r = g.reader();
         let mary = g.nodes()[0];
-        assert_eq!(r.attr(mary, interner.get("name").unwrap()), Some(&Value::str("Mary Fernandez")));
-        assert_eq!(r.attr(mary, interner.get("id").unwrap()), Some(&Value::Int(1)));
+        assert_eq!(
+            r.attr(mary, interner.get("name").unwrap()),
+            Some(&Value::str("Mary Fernandez"))
+        );
+        assert_eq!(
+            r.attr(mary, interner.get("id").unwrap()),
+            Some(&Value::Int(1))
+        );
     }
 
     #[test]
@@ -282,7 +309,9 @@ mgmt,Management,3
         let r = g.reader();
         let dan = g.nodes()[1];
         assert!(r.attr(dan, interner.get("phone").unwrap()).is_none());
-        assert!(r.attr(g.nodes()[0], interner.get("phone").unwrap()).is_some());
+        assert!(r
+            .attr(g.nodes()[0], interner.get("phone").unwrap())
+            .is_some());
     }
 
     #[test]
@@ -291,11 +320,25 @@ mgmt,Management,3
         let interner = g.universe().interner();
         let r = g.reader();
         let mary = g.nodes()[0];
-        let dept = r.attr(mary, interner.get("dept").unwrap()).unwrap().as_node().expect("node ref");
-        assert_eq!(r.attr(dept, interner.get("name").unwrap()), Some(&Value::str("Database Research")));
+        let dept = r
+            .attr(mary, interner.get("dept").unwrap())
+            .unwrap()
+            .as_node()
+            .expect("node ref");
+        assert_eq!(
+            r.attr(dept, interner.get("name").unwrap()),
+            Some(&Value::str("Database Research"))
+        );
         // Cyclic FK: Departments.head → People.
-        let head = r.attr(dept, interner.get("head").unwrap()).unwrap().as_node().expect("node ref");
-        assert_eq!(r.attr(head, interner.get("title").unwrap()), Some(&Value::str("Director")));
+        let head = r
+            .attr(dept, interner.get("head").unwrap())
+            .unwrap()
+            .as_node()
+            .expect("node ref");
+        assert_eq!(
+            r.attr(head, interner.get("title").unwrap()),
+            Some(&Value::str("Director"))
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@
 use strudel_graph::{Graph, GraphError, Oid, Value};
 
 fn err(line: usize, message: impl Into<String>) -> GraphError {
-    GraphError::DdlParse { line, message: message.into() }
+    GraphError::DdlParse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// A parsed XML element (the wrapper's intermediate form).
@@ -126,7 +129,12 @@ impl<'a> Scanner<'a> {
     fn attribute_value(&mut self) -> Result<String, GraphError> {
         let quote = match self.bump() {
             Some(q @ (b'"' | b'\'')) => q,
-            other => return Err(err(self.line, format!("expected a quoted attribute value, found {other:?}"))),
+            other => {
+                return Err(err(
+                    self.line,
+                    format!("expected a quoted attribute value, found {other:?}"),
+                ))
+            }
         };
         let start = self.pos;
         while let Some(b) = self.peek() {
@@ -157,13 +165,21 @@ impl<'a> Scanner<'a> {
                     if self.bump() != Some(b'>') {
                         return Err(err(self.line, "expected `>` after `/`"));
                     }
-                    return Ok(Element { name, attributes, children: Vec::new(), text: String::new() });
+                    return Ok(Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                        text: String::new(),
+                    });
                 }
                 Some(_) => {
                     let attr = self.name()?;
                     self.skip_ws();
                     if self.bump() != Some(b'=') {
-                        return Err(err(self.line, format!("expected `=` after attribute {attr}")));
+                        return Err(err(
+                            self.line,
+                            format!("expected `=` after attribute {attr}"),
+                        ));
                     }
                     self.skip_ws();
                     let value = self.attribute_value()?;
@@ -188,10 +204,18 @@ impl<'a> Scanner<'a> {
                     return Err(err(self.line, "expected `>` in closing tag"));
                 }
                 if close != name {
-                    return Err(err(self.line, format!("mismatched closing tag: <{name}> closed by </{close}>")));
+                    return Err(err(
+                        self.line,
+                        format!("mismatched closing tag: <{name}> closed by </{close}>"),
+                    ));
                 }
                 let text = text.split_whitespace().collect::<Vec<_>>().join(" ");
-                return Ok(Element { name, attributes, children, text });
+                return Ok(Element {
+                    name,
+                    attributes,
+                    children,
+                    text,
+                });
             }
             if self.starts_with("<![CDATA[") {
                 self.advance(9);
@@ -275,7 +299,11 @@ fn decode_entities(s: &str) -> String {
 /// Parses an XML document into its root elements (a fragment may have
 /// several).
 pub fn parse(src: &str) -> Result<Vec<Element>, GraphError> {
-    let mut s = Scanner { src, pos: 0, line: 1 };
+    let mut s = Scanner {
+        src,
+        pos: 0,
+        line: 1,
+    };
     let mut roots = Vec::new();
     loop {
         s.skip_ws();
@@ -312,20 +340,24 @@ fn typed_text(s: &str) -> Value {
 fn build(g: &mut Graph, element: &Element) -> Oid {
     let node = g.new_node(Some(&element.name));
     for (attr, value) in &element.attributes {
-        g.add_edge_str(node, attr, typed_text(value)).expect("member");
+        g.add_edge_str(node, attr, typed_text(value))
+            .expect("member");
     }
     for child in &element.children {
         // Text-only leaf children collapse to atomic values, the OEM idiom:
         // <year>1997</year> becomes an Int edge, not a node.
         if child.children.is_empty() && child.attributes.is_empty() {
-            g.add_edge_str(node, &child.name, typed_text(&child.text)).expect("member");
+            g.add_edge_str(node, &child.name, typed_text(&child.text))
+                .expect("member");
         } else {
             let child_node = build(g, child);
-            g.add_edge_str(node, &child.name, Value::Node(child_node)).expect("member");
+            g.add_edge_str(node, &child.name, Value::Node(child_node))
+                .expect("member");
         }
     }
     if !element.text.is_empty() && !element.children.is_empty() {
-        g.add_edge_str(node, "text", Value::str(&element.text)).expect("member");
+        g.add_edge_str(node, "text", Value::str(&element.text))
+            .expect("member");
     }
     node
 }
@@ -396,7 +428,13 @@ mod tests {
         assert_eq!(bib.name, "bibliography");
         assert_eq!(bib.children.len(), 2);
         let p1 = &bib.children[0];
-        assert_eq!(p1.attributes, vec![("id".to_string(), "pub1".to_string()), ("type".to_string(), "article".to_string())]);
+        assert_eq!(
+            p1.attributes,
+            vec![
+                ("id".to_string(), "pub1".to_string()),
+                ("type".to_string(), "article".to_string())
+            ]
+        );
         assert_eq!(p1.children.len(), 7);
     }
 
@@ -405,7 +443,10 @@ mod tests {
         let roots = parse(SAMPLE).unwrap();
         let bib = &roots[0];
         assert_eq!(bib.children[0].children[0].text, "Specifying & Verifying");
-        assert_eq!(bib.children[1].children[0].text, "Optimizing <Regular> Paths");
+        assert_eq!(
+            bib.children[1].children[0].text,
+            "Optimizing <Regular> Paths"
+        );
     }
 
     #[test]
@@ -422,17 +463,45 @@ mod tests {
         let p1 = pubs.items()[0].as_node().unwrap();
         let interner = g.universe().interner();
         let r = g.reader();
-        assert_eq!(r.attr(p1, interner.get("year").unwrap()), Some(&Value::Int(1997)));
-        assert_eq!(r.attr(p1, interner.get("score").unwrap()), Some(&Value::Float(4.5)));
-        assert_eq!(r.attr(p1, interner.get("open").unwrap()), Some(&Value::Bool(true)));
-        assert_eq!(r.attr(p1, interner.get("id").unwrap()), Some(&Value::str("pub1")));
+        assert_eq!(
+            r.attr(p1, interner.get("year").unwrap()),
+            Some(&Value::Int(1997))
+        );
+        assert_eq!(
+            r.attr(p1, interner.get("score").unwrap()),
+            Some(&Value::Float(4.5))
+        );
+        assert_eq!(
+            r.attr(p1, interner.get("open").unwrap()),
+            Some(&Value::Bool(true))
+        );
+        assert_eq!(
+            r.attr(p1, interner.get("id").unwrap()),
+            Some(&Value::str("pub1"))
+        );
         // Multi-valued children preserve order.
-        let authors: Vec<_> = r.attr_values(p1, interner.get("author").unwrap()).cloned().collect();
-        assert_eq!(authors, vec![Value::str("Norman Ramsey"), Value::str("Mary Fernandez")]);
+        let authors: Vec<_> = r
+            .attr_values(p1, interner.get("author").unwrap())
+            .cloned()
+            .collect();
+        assert_eq!(
+            authors,
+            vec![Value::str("Norman Ramsey"), Value::str("Mary Fernandez")]
+        );
         // Structured children become nodes.
-        let venue = r.attr(p1, interner.get("venue").unwrap()).unwrap().as_node().unwrap();
-        assert_eq!(r.attr(venue, interner.get("name").unwrap()), Some(&Value::str("TOPLAS")));
-        assert_eq!(r.attr(venue, interner.get("kind").unwrap()), Some(&Value::str("journal")));
+        let venue = r
+            .attr(p1, interner.get("venue").unwrap())
+            .unwrap()
+            .as_node()
+            .unwrap();
+        assert_eq!(
+            r.attr(venue, interner.get("name").unwrap()),
+            Some(&Value::str("TOPLAS"))
+        );
+        assert_eq!(
+            r.attr(venue, interner.get("kind").unwrap()),
+            Some(&Value::str("journal"))
+        );
     }
 
     #[test]
@@ -471,6 +540,9 @@ mod tests {
         let r = g.reader();
         let text = r.attr(p, interner.get("text").unwrap()).unwrap();
         assert_eq!(text, &Value::str("hello world"));
-        assert_eq!(r.attr(p, interner.get("b").unwrap()), Some(&Value::str("bold")));
+        assert_eq!(
+            r.attr(p, interner.get("b").unwrap()),
+            Some(&Value::str("bold"))
+        );
     }
 }

@@ -5,26 +5,54 @@
 //! eliminate writing such programs by hand." This module is that support: a
 //! dependency-free HTTP/1.1 server whose pages are computed at click time
 //! by [`DynamicSite::expand`] — only the roots are precomputed, and the
-//! evaluator's cache answers repeat clicks.
+//! evaluator's shared cache answers repeat clicks from any worker thread.
+//!
+//! The server runs a scoped pool of worker threads over one shared
+//! [`DynamicSite`]: the acceptor hands connections to workers through a
+//! channel, each request is read with real HTTP framing (headers up to
+//! `\r\n\r\n`, bounded by [`ServerConfig::max_request_bytes`]) under a
+//! per-request socket timeout, and `/quit` shuts the pool down gracefully.
 //!
 //! URL scheme: `/` lists the precomputed roots; `/page/<Skolem>/<arg>…`
-//! shows one logical page, with arguments encoded by [`encode_value`]
-//! (`n<oid>` for nodes, `i<int>`, `s<urlencoded-string>`, …).
+//! shows one logical page, with the Skolem name percent-encoded and the
+//! arguments encoded by [`encode_value`] (`n<oid>` for nodes, `i<int>`,
+//! `s<urlencoded-string>`, …). `/stats` reports request, latency, and
+//! cache counters as JSON.
 
 use crate::error::Result;
-use std::io::{Read, Write};
+use parking_lot::Mutex;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 use strudel_graph::{FileKind, Oid, Value};
 use strudel_site::{DynamicSite, OutLink, PageRef, Target};
 
 /// Encodes a page reference as a URL path.
 pub fn page_url(p: &PageRef) -> String {
-    let mut url = format!("/page/{}", p.skolem);
+    let mut url = format!("/page/{}", urlencode(&p.skolem));
     for a in &p.args {
         url.push('/');
         url.push_str(&encode_value(a));
     }
     url
+}
+
+/// Parses a `/page/…` URL path back to a page reference (the inverse of
+/// [`page_url`]). Returns `None` for anything malformed.
+pub fn parse_page_url(path: &str) -> Option<PageRef> {
+    let rest = path.strip_prefix("/page/")?;
+    let mut parts = rest.split('/');
+    let skolem = urldecode(parts.next()?)?;
+    if skolem.is_empty() {
+        return None;
+    }
+    let args: Option<Vec<Value>> = parts.map(decode_value).collect();
+    Some(PageRef {
+        skolem,
+        args: args?,
+    })
 }
 
 /// Encodes one value as a URL path segment.
@@ -89,21 +117,112 @@ fn urldecode(s: &str) -> Option<String> {
     String::from_utf8(out).ok()
 }
 
+/// HTML-escapes text, including the quote characters so escaped text is
+/// safe inside attribute values too.
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn render_links(title: &str, links: &[OutLink]) -> String {
     let mut html = format!("<html><body><h1>{}</h1><table>", escape(title));
     for l in links {
         let target = match &l.target {
-            Target::Page(p) => format!("<a href=\"{}\">{}</a>", page_url(p), escape(&p.to_string())),
+            Target::Page(p) => {
+                format!("<a href=\"{}\">{}</a>", page_url(p), escape(&p.to_string()))
+            }
             Target::Value(v) => escape(&v.to_string()),
         };
-        html.push_str(&format!("<tr><td><b>{}</b></td><td>{target}</td></tr>", escape(&l.label)));
+        html.push_str(&format!(
+            "<tr><td><b>{}</b></td><td>{target}</td></tr>",
+            escape(&l.label)
+        ));
     }
     html.push_str("</table><p><a href=\"/\">roots</a></p></body></html>");
     html
+}
+
+// ---- request framing -------------------------------------------------------
+
+/// Outcome of reading one request head off a socket.
+enum RequestRead {
+    /// The full head (up to and including `\r\n\r\n`) arrived.
+    Head(String),
+    /// The peer closed or sent garbage before completing the head.
+    Malformed,
+    /// The head exceeded the configured size cap.
+    TooLarge,
+    /// The socket timed out before the head completed.
+    TimedOut,
+}
+
+/// Reads from `stream` until the `\r\n\r\n` head terminator, a size cap,
+/// EOF, or a timeout. A request is never acted upon from a partial read:
+/// short reads keep the loop going until the terminator arrives.
+fn read_request_head(stream: &mut TcpStream, max_bytes: usize) -> RequestRead {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        // Only the head matters (GET carries no body), so scanning the tail
+        // of what we have is enough.
+        if let Some(end) = find_head_end(&buf) {
+            return RequestRead::Head(String::from_utf8_lossy(&buf[..end]).into_owned());
+        }
+        if buf.len() >= max_bytes {
+            return RequestRead::TooLarge;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return RequestRead::Malformed,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return RequestRead::TimedOut;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return RequestRead::Malformed,
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses the request line of a head. Returns `(method, path)`.
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut it = line.split(' ');
+    let method = it.next()?;
+    let path = it.next()?;
+    let version = it.next()?;
+    if method.is_empty() || !path.starts_with('/') || !version.starts_with("HTTP/") {
+        return None;
+    }
+    Some((method, path))
+}
+
+/// Finishes an errored connection without a TCP reset: half-closes the
+/// write side, then drains whatever the peer already sent so the kernel
+/// does not turn our close into RST while response bytes are in flight.
+fn linger_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut sink = [0u8; 1024];
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
 }
 
 fn respond(stream: &mut TcpStream, status: &str, body: &str) {
@@ -114,19 +233,129 @@ fn respond(stream: &mut TcpStream, status: &str, body: &str) {
     );
 }
 
-/// A running click-time server (single-threaded; the evaluator is `&mut`).
+// ---- metrics ---------------------------------------------------------------
+
+/// How many request latencies the reservoir keeps (most recent wins).
+const LATENCY_WINDOW: usize = 4096;
+
+#[derive(Default)]
+struct Metrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+    next_slot: AtomicU64,
+}
+
+impl Metrics {
+    fn record(&self, latency: Duration, is_error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed) as usize;
+        let mut lat = self.latencies_us.lock();
+        if lat.len() < LATENCY_WINDOW {
+            lat.push(us);
+        } else {
+            lat[slot % LATENCY_WINDOW] = us;
+        }
+    }
+
+    fn snapshot(&self) -> ServeStats {
+        let mut lat = self.latencies_us.lock().clone();
+        lat.sort_unstable();
+        let q = |p: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                lat[((lat.len() - 1) as f64 * p).round() as usize]
+            }
+        };
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            latency_p50_us: q(0.50),
+            latency_p90_us: q(0.90),
+            latency_p99_us: q(0.99),
+            latency_max_us: lat.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// A snapshot of the server's request counters. Latency percentiles are
+/// over a sliding window of the most recent requests.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct ServeStats {
+    /// Requests answered (any status).
+    pub requests: u64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: u64,
+    /// Median request latency, microseconds.
+    pub latency_p50_us: u64,
+    /// 90th-percentile request latency, microseconds.
+    pub latency_p90_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Worst request latency in the window, microseconds.
+    pub latency_max_us: u64,
+}
+
+// ---- server ----------------------------------------------------------------
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads answering requests (minimum 1).
+    pub threads: usize,
+    /// Socket read/write timeout per request.
+    pub request_timeout: Duration,
+    /// Maximum accepted request-head size in bytes.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            request_timeout: Duration::from_secs(5),
+            max_request_bytes: 16 * 1024,
+        }
+    }
+}
+
+/// A running click-time server: a scoped worker pool over one shared
+/// [`DynamicSite`].
 pub struct Server<'g> {
     site: DynamicSite<'g>,
     listener: TcpListener,
     roots: Vec<PageRef>,
+    config: ServerConfig,
+    metrics: Metrics,
 }
 
 impl<'g> Server<'g> {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with the
+    /// default configuration.
     pub fn bind(site: DynamicSite<'g>, addr: &str) -> std::io::Result<Self> {
+        Self::bind_with(site, addr, ServerConfig::default())
+    }
+
+    /// Binds `addr` with an explicit configuration.
+    pub fn bind_with(
+        site: DynamicSite<'g>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let roots = site.roots();
-        Ok(Server { site, listener, roots })
+        Ok(Server {
+            site,
+            listener,
+            roots,
+            config,
+            metrics: Metrics::default(),
+        })
     }
 
     /// The bound address.
@@ -134,76 +363,209 @@ impl<'g> Server<'g> {
         self.listener.local_addr()
     }
 
-    /// Serves requests until `max_requests` have been answered (`None` =
-    /// forever) or a request for `/quit` arrives (always honored, so tests
-    /// and scripts can stop the server remotely).
-    pub fn serve(&mut self, max_requests: Option<usize>) -> Result<()> {
-        let mut served = 0usize;
-        loop {
-            let mut stream = match self.listener.accept() {
-                Ok((s, _)) => s,
-                Err(_) => continue,
-            };
-            let mut buf = [0u8; 4096];
-            let n = stream.read(&mut buf).unwrap_or(0);
-            let request = String::from_utf8_lossy(&buf[..n]);
-            let path = request.split_whitespace().nth(1).unwrap_or("/").to_string();
-            if path == "/quit" {
-                respond(&mut stream, "200 OK", "bye");
-                break;
+    /// The shared evaluator (for cache configuration checks and stats).
+    pub fn site(&self) -> &DynamicSite<'g> {
+        &self.site
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Request counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.metrics.snapshot()
+    }
+
+    /// Serves requests on a pool of [`ServerConfig::threads`] workers until
+    /// `max_requests` connections have been dispatched (`None` = forever)
+    /// or a request for `/quit` arrives (always honored, so tests and
+    /// scripts can stop the server remotely). In-flight requests finish
+    /// before this returns.
+    pub fn serve(&self, max_requests: Option<usize>) -> Result<()> {
+        // Poll accept so the acceptor can notice `/quit` promptly.
+        self.listener
+            .set_nonblocking(true)
+            .map_err(crate::error::StrudelError::Io)?;
+        let shutdown = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+        let workers = self.config.threads.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Take the receiver lock only to pull one connection.
+                    let next = rx.lock().recv();
+                    match next {
+                        Ok(stream) => self.handle_connection(stream, &shutdown),
+                        Err(_) => break, // acceptor gone, queue drained
+                    }
+                });
             }
-            self.handle(&mut stream, &path)?;
-            served += 1;
-            if max_requests.is_some_and(|m| served >= m) {
-                break;
+            let mut dispatched = 0usize;
+            while !shutdown.load(Ordering::Acquire) && max_requests.is_none_or(|m| dispatched < m) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        dispatched += 1;
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => {}
+                }
             }
-        }
+            drop(tx); // lets idle workers exit once the queue drains
+        });
+        self.listener
+            .set_nonblocking(false)
+            .map_err(crate::error::StrudelError::Io)?;
         Ok(())
     }
 
-    fn handle(&mut self, stream: &mut TcpStream, path: &str) -> Result<()> {
+    fn handle_connection(&self, mut stream: TcpStream, shutdown: &AtomicBool) {
+        let start = Instant::now();
+        // The stream may inherit the listener's non-blocking mode on some
+        // platforms; request handling is blocking with socket timeouts.
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(self.config.request_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.request_timeout));
+
+        let head = match read_request_head(&mut stream, self.config.max_request_bytes) {
+            RequestRead::Head(h) => h,
+            RequestRead::Malformed => {
+                respond(
+                    &mut stream,
+                    "400 Bad Request",
+                    "<html><body>malformed request</body></html>",
+                );
+                self.metrics.record(start.elapsed(), true);
+                return;
+            }
+            RequestRead::TooLarge => {
+                respond(
+                    &mut stream,
+                    "431 Request Header Fields Too Large",
+                    "<html><body>request too large</body></html>",
+                );
+                linger_close(&mut stream);
+                self.metrics.record(start.elapsed(), true);
+                return;
+            }
+            RequestRead::TimedOut => {
+                respond(
+                    &mut stream,
+                    "408 Request Timeout",
+                    "<html><body>request timeout</body></html>",
+                );
+                self.metrics.record(start.elapsed(), true);
+                return;
+            }
+        };
+
+        let (status, body) = match parse_request_line(&head) {
+            None => (
+                "400 Bad Request".into(),
+                "<html><body>malformed request line</body></html>".into(),
+            ),
+            Some((method, _)) if method != "GET" => (
+                "405 Method Not Allowed".into(),
+                "<html><body>only GET is supported</body></html>".into(),
+            ),
+            Some((_, "/quit")) => {
+                shutdown.store(true, Ordering::Release);
+                ("200 OK".into(), "bye".into())
+            }
+            Some((_, path)) => self.route(path),
+        };
+        let is_error = !status.starts_with('2');
+        respond(&mut stream, &status, &body);
+        self.metrics.record(start.elapsed(), is_error);
+    }
+
+    /// Computes the `(status, body)` answer for one GET path.
+    fn route(&self, path: &str) -> (String, String) {
         if path == "/" {
             let links: Vec<OutLink> = self
                 .roots
                 .iter()
-                .map(|r| OutLink { label: "root".into(), target: Target::Page(r.clone()) })
+                .map(|r| OutLink {
+                    label: "root".into(),
+                    target: Target::Page(r.clone()),
+                })
                 .collect();
-            respond(stream, "200 OK", &render_links("Site roots (precomputed)", &links));
-            return Ok(());
+            return (
+                "200 OK".into(),
+                render_links("Site roots (precomputed)", &links),
+            );
         }
-        if let Some(rest) = path.strip_prefix("/page/") {
-            let mut parts = rest.split('/');
-            let skolem = parts.next().unwrap_or_default().to_string();
-            let args: Option<Vec<Value>> = parts.map(decode_value).collect();
-            match args {
-                Some(args) => {
-                    let page = PageRef { skolem, args };
-                    let t = std::time::Instant::now();
-                    match self.site.expand(&page) {
-                        Ok(links) => {
-                            let title =
-                                format!("{page} — {} links in {:?} (click time)", links.len(), t.elapsed());
-                            respond(stream, "200 OK", &render_links(&title, &links));
-                        }
-                        Err(e) => respond(
-                            stream,
-                            "500 Internal Server Error",
-                            &format!("<html><body>query error: {}</body></html>", escape(&e.to_string())),
-                        ),
-                    }
+        if path == "/stats" {
+            return ("200 OK".into(), self.stats_json());
+        }
+        if path.starts_with("/page/") {
+            let Some(page) = parse_page_url(path) else {
+                return (
+                    "400 Bad Request".into(),
+                    "<html><body>bad page ref</body></html>".into(),
+                );
+            };
+            return match self.site.expand(&page) {
+                Ok(links) => {
+                    let title = format!("{page} — {} links (click time)", links.len());
+                    ("200 OK".into(), render_links(&title, &links))
                 }
-                None => respond(stream, "400 Bad Request", "<html><body>bad page ref</body></html>"),
-            }
-            return Ok(());
+                Err(e) => (
+                    "500 Internal Server Error".into(),
+                    format!(
+                        "<html><body>query error: {}</body></html>",
+                        escape(&e.to_string())
+                    ),
+                ),
+            };
         }
-        respond(stream, "404 Not Found", "<html><body>no such page</body></html>");
-        Ok(())
+        (
+            "404 Not Found".into(),
+            "<html><body>no such page</body></html>".into(),
+        )
+    }
+
+    /// The `/stats` payload: request counters, latency percentiles, and
+    /// the shared evaluator's cache counters, as JSON.
+    fn stats_json(&self) -> String {
+        let s = self.metrics.snapshot();
+        let d = self.site.stats();
+        format!(
+            concat!(
+                "{{\"requests\":{},\"errors\":{},",
+                "\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"invalidated\":{},",
+                "\"entries\":{},\"bytes\":{},\"expansions\":{},\"clause_queries\":{}}}}}"
+            ),
+            s.requests,
+            s.errors,
+            s.latency_p50_us,
+            s.latency_p90_us,
+            s.latency_p99_us,
+            s.latency_max_us,
+            d.cache_hits,
+            d.cache_misses,
+            d.evictions,
+            d.invalidated,
+            self.site.cache_len(),
+            self.site.cache_bytes(),
+            d.expansions,
+            d.clause_queries,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use strudel_site::CacheConfig;
     use strudel_struql::EvalOptions;
 
     #[test]
@@ -227,12 +589,62 @@ mod tests {
 
     #[test]
     fn page_urls_are_parseable_paths() {
-        let p = PageRef { skolem: "YearPage".into(), args: vec![Value::Int(1997)] };
+        let p = PageRef {
+            skolem: "YearPage".into(),
+            args: vec![Value::Int(1997)],
+        };
         assert_eq!(page_url(&p), "/page/YearPage/i1997");
+        assert_eq!(parse_page_url("/page/YearPage/i1997"), Some(p));
     }
 
     #[test]
-    fn serves_roots_pages_and_errors_over_tcp() {
+    fn page_urls_percent_encode_the_skolem_segment() {
+        // Skolem names normally look like identifiers, but nothing in the
+        // query language forbids exotic ones; the URL must not break.
+        for skolem in ["Year Page", "A/B", "naïve", "q?a=1&b=2", "x\"y'"] {
+            let p = PageRef {
+                skolem: skolem.to_string(),
+                args: vec![Value::Int(3), Value::str("a b/c%d")],
+            };
+            let url = page_url(&p);
+            let tail = &url["/page/".len()..];
+            let encoded_skolem = tail.split('/').next().unwrap();
+            assert!(
+                encoded_skolem
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'%')),
+                "unencoded byte in {url}"
+            );
+            assert_eq!(parse_page_url(&url), Some(p), "{url}");
+        }
+        assert_eq!(parse_page_url("/page/"), None);
+        assert_eq!(parse_page_url("/page/%zz"), None);
+        assert_eq!(parse_page_url("/elsewhere"), None);
+    }
+
+    #[test]
+    fn escape_covers_quotes() {
+        assert_eq!(
+            escape(r#"<a href="x">&'quoted'</a>"#),
+            "&lt;a href=&quot;x&quot;&gt;&amp;&#39;quoted&#39;&lt;/a&gt;"
+        );
+    }
+
+    #[test]
+    fn request_head_framing() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(
+            parse_request_line("GET /x HTTP/1.1\r\nHost: h"),
+            Some(("GET", "/x"))
+        );
+        assert_eq!(parse_request_line("POST /x HTTP/1.0"), Some(("POST", "/x")));
+        assert_eq!(parse_request_line("GET /x"), None);
+        assert_eq!(parse_request_line("GET x HTTP/1.1"), None);
+        assert_eq!(parse_request_line(""), None);
+    }
+
+    fn demo_site() -> (strudel_graph::Graph, strudel_struql::Query) {
         let data = strudel_graph::ddl::parse(
             r#"
 object a1 in Articles { headline "one" section "world" }
@@ -247,23 +659,32 @@ object a2 in Articles { headline "two" section "world" }
                  LINK Page(a) -> l -> v, FrontPage() -> "Story" -> Page(a) }"#,
         )
         .unwrap();
+        (data, query)
+    }
+
+    fn fetch(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn serves_roots_pages_and_errors_over_tcp() {
+        let (data, query) = demo_site();
         let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
-        let mut server = Server::bind(site, "127.0.0.1:0").unwrap();
+        let server = Server::bind(site, "127.0.0.1:0").unwrap();
         let addr = server.addr().unwrap();
 
         let client = std::thread::spawn(move || {
-            let fetch = |path: &str| -> String {
-                let mut s = TcpStream::connect(addr).expect("connect");
-                s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
-                s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes())
-                    .unwrap();
-                let mut buf = String::new();
-                s.read_to_string(&mut buf).unwrap();
-                buf
-            };
-            let root = fetch("/");
+            let root = fetch(addr, "/");
             assert!(root.contains("FrontPage"), "{root}");
-            let front = fetch("/page/FrontPage");
+            let front = fetch(addr, "/page/FrontPage");
             assert!(front.contains("Story"), "{front}");
             assert!(front.contains("/page/Page/n"), "{front}");
             // Follow a story link.
@@ -272,14 +693,176 @@ object a2 in Articles { headline "two" section "world" }
                 .nth(1)
                 .map(|s| format!("/page/Page/{}", &s[..s.find('"').unwrap()]))
                 .expect("a story href");
-            let story = fetch(&href);
+            let story = fetch(addr, &href);
             assert!(story.contains("headline"), "{story}");
-            assert!(fetch("/page/Bad/%%%").contains("400"));
-            assert!(fetch("/nope").contains("404"));
-            let _ = fetch("/quit");
+            assert!(fetch(addr, "/page/Bad/%%%").contains("400"));
+            assert!(fetch(addr, "/nope").contains("404"));
+            let stats = fetch(addr, "/stats");
+            assert!(stats.contains("\"requests\""), "{stats}");
+            assert!(stats.contains("\"p50\""), "{stats}");
+            assert!(stats.contains("\"hits\""), "{stats}");
+            let _ = fetch(addr, "/quit");
         });
 
         server.serve(None).unwrap();
         client.join().unwrap();
+        let stats = server.stats();
+        assert!(stats.requests >= 7, "{stats:?}");
+        assert!(stats.errors >= 2, "{stats:?}"); // the 400 and the 404
+    }
+
+    /// Regression test: a request head arriving in several TCP segments
+    /// must be reassembled, not served from the first partial read (which
+    /// used to fall back to the `/` roots page).
+    #[test]
+    fn split_request_is_reassembled_before_routing() {
+        let (data, query) = demo_site();
+        let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let server = Server::bind(site, "127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            // First flush stops mid-request-line: no terminator, and even
+            // the path is incomplete.
+            s.write_all(b"GET /page/Fro").unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(80));
+            s.write_all(b"ntPage HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).unwrap();
+            assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+            // The FrontPage expansion, not the roots listing.
+            assert!(buf.contains("Story"), "{buf}");
+            assert!(!buf.contains("Site roots"), "{buf}");
+            let _ = fetch(addr, "/quit");
+        });
+        server.serve(None).unwrap();
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_and_silent_requests_are_rejected() {
+        let (data, query) = demo_site();
+        let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let config = ServerConfig {
+            threads: 2,
+            request_timeout: Duration::from_millis(150),
+            max_request_bytes: 512,
+        };
+        let server = Server::bind_with(site, "127.0.0.1:0", config).unwrap();
+        let addr = server.addr().unwrap();
+
+        let client = std::thread::spawn(move || {
+            // Head larger than the cap.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(1024));
+            s.write_all(huge.as_bytes()).unwrap();
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).unwrap();
+            assert!(buf.contains("431"), "{buf}");
+
+            // A client that connects and never speaks: per-request timeout.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).unwrap();
+            assert!(buf.contains("408"), "{buf}");
+
+            // Non-GET methods are refused after full framing.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s.write_all(b"DELETE / HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).unwrap();
+            assert!(buf.contains("405"), "{buf}");
+
+            let _ = fetch(addr, "/quit");
+        });
+        server.serve(None).unwrap();
+        client.join().unwrap();
+        assert!(server.stats().errors >= 3);
+    }
+
+    /// The concurrency smoke test: many threads hammer the pool and every
+    /// response must be well-formed and byte-identical to the serial
+    /// answer for the same path.
+    #[test]
+    fn concurrent_requests_match_serial_answers() {
+        let (data, query) = demo_site();
+        // A small cache so eviction churn happens under load too.
+        let site = DynamicSite::with_cache(
+            &data,
+            &query,
+            EvalOptions::default(),
+            CacheConfig {
+                max_entries: 2,
+                max_bytes: usize::MAX,
+            },
+        )
+        .unwrap();
+        let config = ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind_with(site, "127.0.0.1:0", config).unwrap();
+        let addr = server.addr().unwrap();
+
+        let client = std::thread::spawn(move || {
+            let front = fetch(addr, "/page/FrontPage");
+            let mut paths = vec!["/".to_string(), "/page/FrontPage".to_string()];
+            for part in front.split("href=\"/page/Page/").skip(1) {
+                paths.push(format!("/page/Page/{}", &part[..part.find('"').unwrap()]));
+            }
+            assert!(paths.len() >= 4, "{paths:?}");
+            // Serial reference answers.
+            let expected: Vec<String> = paths.iter().map(|p| fetch(addr, p)).collect();
+
+            const THREADS: usize = 8;
+            const ROUNDS: usize = 12;
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let paths = paths.clone();
+                let expected = expected.clone();
+                handles.push(std::thread::spawn(move || {
+                    for r in 0..ROUNDS {
+                        let i = (t + r) % paths.len();
+                        let got = fetch(addr, &paths[i]);
+                        assert_eq!(got, expected[i], "thread {t} round {r} path {}", paths[i]);
+                        // Well-formed: status line + framed body length.
+                        let (head, body) = got.split_once("\r\n\r\n").expect("framed response");
+                        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+                        let len: usize = head
+                            .lines()
+                            .find_map(|l| l.strip_prefix("Content-Length: "))
+                            .unwrap()
+                            .parse()
+                            .unwrap();
+                        assert_eq!(body.len(), len);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let stats = fetch(addr, "/stats");
+            assert!(stats.contains("\"hits\""), "{stats}");
+            let _ = fetch(addr, "/quit");
+        });
+        server.serve(None).unwrap();
+        client.join().unwrap();
+
+        let stats = server.stats();
+        assert!(stats.requests >= 8 * 12, "{stats:?}");
+        assert_eq!(stats.errors, 0, "{stats:?}");
+        // The shared cache was exercised and stayed within its bound.
+        let dyn_stats = server.site().stats();
+        assert!(dyn_stats.cache_hits > 0, "{dyn_stats:?}");
+        assert!(dyn_stats.evictions > 0, "{dyn_stats:?}");
+        assert!(server.site().cache_len() <= 2);
     }
 }

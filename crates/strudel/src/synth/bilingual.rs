@@ -113,8 +113,15 @@ mod tests {
         let version = build.graph.universe().interner().get("Version").unwrap();
         let reader = build.graph.reader();
         for &en in &build.pages_of("EnPage") {
-            let fr = reader.attr(en, version).and_then(Value::as_node).expect("cross link");
-            assert_eq!(reader.attr(fr, version), Some(&Value::Node(en)), "symmetric cross link");
+            let fr = reader
+                .attr(en, version)
+                .and_then(Value::as_node)
+                .expect("cross link");
+            assert_eq!(
+                reader.attr(fr, version),
+                Some(&Value::Node(en)),
+                "symmetric cross link"
+            );
         }
     }
 
@@ -122,8 +129,18 @@ mod tests {
     fn both_roots_render() {
         let mut s = system(5, 22).unwrap();
         let html = s.generate_site(&["EnglishRoot", "FrenchRoot"]).unwrap();
-        let en = html.pages.iter().find(|(k, _)| k.starts_with("englishroot")).unwrap().1;
-        let fr = html.pages.iter().find(|(k, _)| k.starts_with("frenchroot")).unwrap().1;
+        let en = html
+            .pages
+            .iter()
+            .find(|(k, _)| k.starts_with("englishroot"))
+            .unwrap()
+            .1;
+        let fr = html
+            .pages
+            .iter()
+            .find(|(k, _)| k.starts_with("frenchroot"))
+            .unwrap()
+            .1;
         assert!(en.contains("Rodin Project"));
         assert!(fr.contains("Projet Rodin"));
         // 2 roots + 5 en + 5 fr pages.

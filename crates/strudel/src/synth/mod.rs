@@ -47,14 +47,38 @@ pub(crate) const FIRST_NAMES: &[&str] = &[
 ];
 
 pub(crate) const LAST_NAMES: &[&str] = &[
-    "Fernandez", "Suciu", "Levy", "Florescu", "Kang", "Ramsey", "Abiteboul", "Buneman", "Davidson",
-    "Garcia-Molina", "Widom", "Ullman", "Haas", "Vianu", "Bonner", "Cluet", "Delobel", "Hull",
-    "Srivastava", "Koudas",
+    "Fernandez",
+    "Suciu",
+    "Levy",
+    "Florescu",
+    "Kang",
+    "Ramsey",
+    "Abiteboul",
+    "Buneman",
+    "Davidson",
+    "Garcia-Molina",
+    "Widom",
+    "Ullman",
+    "Haas",
+    "Vianu",
+    "Bonner",
+    "Cluet",
+    "Delobel",
+    "Hull",
+    "Srivastava",
+    "Koudas",
 ];
 
 pub(crate) const TOPICS: &[&str] = &[
-    "Semistructured Data", "Query Optimization", "Web Sites", "Data Integration", "Query Languages",
-    "Programming Languages", "Architecture Specifications", "Information Retrieval", "Transactions",
+    "Semistructured Data",
+    "Query Optimization",
+    "Web Sites",
+    "Data Integration",
+    "Query Languages",
+    "Programming Languages",
+    "Architecture Specifications",
+    "Information Retrieval",
+    "Transactions",
     "Active Databases",
 ];
 

@@ -16,11 +16,23 @@ use std::fmt::Write as _;
 use strudel_template::TemplateSet;
 
 /// The site's sections.
-pub const SECTIONS: &[&str] = &["world", "us", "politics", "sports", "business", "tech", "weather"];
+pub const SECTIONS: &[&str] = &[
+    "world", "us", "politics", "sports", "business", "tech", "weather",
+];
 
 const SUBJECTS: &[&str] = &[
-    "Elections", "Markets", "Championship", "Storm", "Summit", "Merger", "Launch", "Verdict",
-    "Playoffs", "Budget", "Strike", "Discovery",
+    "Elections",
+    "Markets",
+    "Championship",
+    "Storm",
+    "Summit",
+    "Merger",
+    "Launch",
+    "Verdict",
+    "Playoffs",
+    "Budget",
+    "Strike",
+    "Discovery",
 ];
 
 /// Generates `n_articles` articles as a STRUDEL DDL structured file —
@@ -48,7 +60,11 @@ pub fn generate_ddl(n_articles: usize, seed: u64) -> String {
             }
         }
         let _ = writeln!(out, "  editorial_rank {}", r.gen_range(1..100i64));
-        let _ = writeln!(out, "  summary \"In {section} today: {} developments.\"", subject.to_lowercase());
+        let _ = writeln!(
+            out,
+            "  summary \"In {section} today: {} developments.\"",
+            subject.to_lowercase()
+        );
         let _ = writeln!(out, "  body \"articles/art{a}.txt\"");
         if r.gen_bool(0.5) {
             let _ = writeln!(out, "  image \"images/art{a}.jpg\"");
@@ -125,7 +141,11 @@ COLLECT Roots(FrontPage())
 
 /// Non-blank line count of [`SITE_QUERY`].
 pub fn site_query_lines() -> usize {
-    SITE_QUERY.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with("//")).count()
+    SITE_QUERY
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
 }
 
 /// The news templates (the paper's site used nine; shared by the general
@@ -172,7 +192,11 @@ pub fn templates() -> Result<TemplateSet> {
 pub fn system(n_articles: usize, seed: u64, sports_only: bool) -> Result<Strudel> {
     let mut s = Strudel::new();
     s.add_ddl_source("articles", &generate_ddl(n_articles, seed));
-    s.add_site_query(if sports_only { SPORTS_QUERY } else { SITE_QUERY })?;
+    s.add_site_query(if sports_only {
+        SPORTS_QUERY
+    } else {
+        SITE_QUERY
+    })?;
     *s.templates_mut() = templates()?;
     Ok(s)
 }
@@ -225,8 +249,16 @@ mod tests {
         let html = s.generate_site(&["FrontPage"]).unwrap();
         // Summary objects are embedded into section pages, so they are never
         // realized as stand-alone pages.
-        assert!(!html.pages.keys().any(|k| k.starts_with("summary")), "{:?}", html.pages.keys());
-        let section = html.pages.iter().find(|(k, _)| k.starts_with("sectionpage")).unwrap();
+        assert!(
+            !html.pages.keys().any(|k| k.starts_with("summary")),
+            "{:?}",
+            html.pages.keys()
+        );
+        let section = html
+            .pages
+            .iter()
+            .find(|(k, _)| k.starts_with("sectionpage"))
+            .unwrap();
         assert!(section.1.contains("class=\"story\""));
     }
 

@@ -39,7 +39,12 @@ pub struct OrgSource {
     pub n_members: usize,
 }
 
-const TITLES: &[&str] = &["Researcher", "Senior Researcher", "Member of Technical Staff", "Postdoc"];
+const TITLES: &[&str] = &[
+    "Researcher",
+    "Senior Researcher",
+    "Member of Technical Staff",
+    "Postdoc",
+];
 
 /// Generates an organization with `n_members` people, `n/40 + 1`
 /// departments, `~n/8` projects, and `~1.5 n` publications.
@@ -54,12 +59,31 @@ pub fn generate(n_members: usize, seed: u64) -> OrgSource {
     let mut names = Vec::with_capacity(n_members);
     for i in 0..n_members {
         let name = person_name(&mut r);
-        let title = if i < n_depts { "Director" } else { pick(&mut r, TITLES) };
+        let title = if i < n_depts {
+            "Director"
+        } else {
+            pick(&mut r, TITLES)
+        };
         let email = format!("u{i}@research.example.com");
-        let phone = if r.gen_bool(0.9) { format!("555-{:04}", r.gen_range(0..10000)) } else { String::new() };
-        let room = if r.gen_bool(0.8) { format!("{}{:03}", pick(&mut r, &["A", "B", "C"]), r.gen_range(1..400)) } else { String::new() };
+        let phone = if r.gen_bool(0.9) {
+            format!("555-{:04}", r.gen_range(0..10000))
+        } else {
+            String::new()
+        };
+        let room = if r.gen_bool(0.8) {
+            format!(
+                "{}{:03}",
+                pick(&mut r, &["A", "B", "C"]),
+                r.gen_range(1..400)
+            )
+        } else {
+            String::new()
+        };
         let dept = format!("d{}", i % n_depts);
-        let _ = writeln!(people_csv, "{i},\"{name}\",{title},{email},{phone},{room},{dept}");
+        let _ = writeln!(
+            people_csv,
+            "{i},\"{name}\",{title},{email},{phone},{room},{dept}"
+        );
         names.push(name);
     }
 
@@ -78,15 +102,26 @@ pub fn generate(n_members: usize, seed: u64) -> OrgSource {
         let _ = writeln!(projects_ddl, "object proj{p} in Projects {{");
         let _ = writeln!(projects_ddl, "  name \"Project {}\"", pick(&mut r, TOPICS));
         if r.gen_bool(0.8) {
-            let _ = writeln!(projects_ddl, "  synopsis \"Investigating {}.\"", pick(&mut r, TOPICS).to_lowercase());
+            let _ = writeln!(
+                projects_ddl,
+                "  synopsis \"Investigating {}.\"",
+                pick(&mut r, TOPICS).to_lowercase()
+            );
         }
         if r.gen_bool(0.5) {
-            let _ = writeln!(projects_ddl, "  sponsor \"{} Foundation\"", pick(&mut r, &["NSF", "DARPA", "ATT", "EU"]));
+            let _ = writeln!(
+                projects_ddl,
+                "  sponsor \"{} Foundation\"",
+                pick(&mut r, &["NSF", "DARPA", "ATT", "EU"])
+            );
         }
         if r.gen_bool(0.2) {
             let _ = writeln!(projects_ddl, "  proprietary true");
         }
-        let _ = writeln!(projects_ddl, "  homepage \"http://research.example.com/proj{p}\"");
+        let _ = writeln!(
+            projects_ddl,
+            "  homepage \"http://research.example.com/proj{p}\""
+        );
         for _ in 0..r.gen_range(1..4usize) {
             let _ = writeln!(projects_ddl, "  member_id {}", r.gen_range(0..n_members));
         }
@@ -99,14 +134,31 @@ pub fn generate(n_members: usize, seed: u64) -> OrgSource {
     for b in 0..n_pubs {
         let year = 1990 + r.gen_range(0..9i64);
         let n_authors = r.gen_range(1..4usize);
-        let authors: Vec<&str> =
-            (0..n_authors).map(|_| names[r.gen_range(0..names.len())].as_str()).collect();
-        let kind = if r.gen_bool(0.5) { "article" } else { "techreport" };
+        let authors: Vec<&str> = (0..n_authors)
+            .map(|_| names[r.gen_range(0..names.len())].as_str())
+            .collect();
+        let kind = if r.gen_bool(0.5) {
+            "article"
+        } else {
+            "techreport"
+        };
         let _ = writeln!(publications_bib, "@{kind}{{pub{b},");
-        let _ = writeln!(publications_bib, "  title = {{{} in Practice, Part {b}}},", pick(&mut r, TOPICS));
-        let _ = writeln!(publications_bib, "  author = {{{}}},", authors.join(" and "));
+        let _ = writeln!(
+            publications_bib,
+            "  title = {{{} in Practice, Part {b}}},",
+            pick(&mut r, TOPICS)
+        );
+        let _ = writeln!(
+            publications_bib,
+            "  author = {{{}}},",
+            authors.join(" and ")
+        );
         let _ = writeln!(publications_bib, "  year = {year},");
-        let _ = writeln!(publications_bib, "  category = {{{}}},", pick(&mut r, TOPICS));
+        let _ = writeln!(
+            publications_bib,
+            "  category = {{{}}},",
+            pick(&mut r, TOPICS)
+        );
         if r.gen_bool(0.15) {
             let _ = writeln!(publications_bib, "  proprietary = {{yes}},");
         }
@@ -132,7 +184,14 @@ pub fn generate(n_members: usize, seed: u64) -> OrgSource {
         ));
     }
 
-    OrgSource { people_csv, departments_csv, projects_ddl, publications_bib, demo_pages, n_members }
+    OrgSource {
+        people_csv,
+        departments_csv,
+        projects_ddl,
+        publications_bib,
+        demo_pages,
+        n_members,
+    }
 }
 
 /// The internal site-definition query — the reproduction of the "115-line
@@ -461,17 +520,26 @@ mod tests {
     #[test]
     fn site_query_is_paper_scale() {
         let lines = site_query_lines();
-        assert!(lines >= 60, "site query should be paper-scale, got {lines} lines");
+        assert!(
+            lines >= 60,
+            "site query should be paper-scale, got {lines} lines"
+        );
     }
 
     #[test]
     fn irregularities_present() {
         let src = generate(200, 2);
         // Some people lack phones; some projects lack synopses/sponsors.
-        assert!(src.people_csv.lines().any(|l| l.contains(",,")), "missing attributes expected");
+        assert!(
+            src.people_csv.lines().any(|l| l.contains(",,")),
+            "missing attributes expected"
+        );
         assert!(src.projects_ddl.contains("synopsis"));
         let blocks: Vec<&str> = src.projects_ddl.split("object ").skip(1).collect();
-        assert!(blocks.iter().any(|b| !b.contains("sponsor")), "unsponsored projects expected");
+        assert!(
+            blocks.iter().any(|b| !b.contains("sponsor")),
+            "unsponsored projects expected"
+        );
     }
 
     #[test]
@@ -498,11 +566,19 @@ mod tests {
         // because external templates drop some links (e.g. members listed
         // on department pages).
         assert!(external.pages.len() <= internal.pages.len());
-        assert!(external.pages.len() + 8 >= internal.pages.len(), "{} vs {}", external.pages.len(), internal.pages.len());
+        assert!(
+            external.pages.len() + 8 >= internal.pages.len(),
+            "{} vs {}",
+            external.pages.len(),
+            internal.pages.len()
+        );
         // Internal member pages show phone numbers (when the member has
         // one — 90% do, so some page in a 30-member org will).
         assert!(
-            internal.pages.iter().any(|(k, v)| k.starts_with("memberpage") && v.contains("Phone:")),
+            internal
+                .pages
+                .iter()
+                .any(|(k, v)| k.starts_with("memberpage") && v.contains("Phone:")),
             "internal site should expose phones"
         );
         // External member pages never show phone numbers.

@@ -5,7 +5,9 @@ use std::path::Path;
 use std::sync::Arc;
 use strudel_graph::graph::Universe;
 use strudel_graph::{ddl, Graph, Oid, Value};
-use strudel_site::{verify_graph, verify_schema, Constraint, DynamicSite, SiteSchema, Verdict};
+use strudel_site::{
+    verify_graph, verify_schema, CacheConfig, Constraint, DynamicSite, SiteSchema, Verdict,
+};
 use strudel_struql::{parse_query, EvalOptions, EvalStats, Query, SkolemTable};
 use strudel_template::gen::FileResolver;
 use strudel_template::{GeneratedSite, Generator, TemplateSet};
@@ -135,7 +137,8 @@ impl Strudel {
             name,
             Box::new(FnSource(move |u: &Arc<Universe>| {
                 let mut g = Graph::new(Arc::clone(u));
-                relational::load_into(&mut g, &tables, &fks).map_err(strudel_struql::StruqlError::Graph)?;
+                relational::load_into(&mut g, &tables, &fks)
+                    .map_err(strudel_struql::StruqlError::Graph)?;
                 Ok(g)
             })),
         );
@@ -168,7 +171,9 @@ impl Strudel {
 
     /// Adds a GAV mediation mapping over a named source.
     pub fn add_mapping(&mut self, source: &str, query: &str) -> Result<()> {
-        self.mediator.add_mapping(source, query).map_err(StrudelError::Struql)
+        self.mediator
+            .add_mapping(source, query)
+            .map_err(StrudelError::Struql)
     }
 
     /// The integrated data graph, refreshing the warehouse if stale.
@@ -212,7 +217,9 @@ impl Strudel {
     /// as a site-graph collection named after the function.
     pub fn build_site(&mut self) -> Result<SiteBuild> {
         if self.site_queries.is_empty() {
-            return Err(StrudelError::Pipeline("no site-definition query registered".into()));
+            return Err(StrudelError::Pipeline(
+                "no site-definition query registered".into(),
+            ));
         }
         if self.mediator.is_stale() {
             self.mediator.refresh()?;
@@ -227,12 +234,18 @@ impl Strudel {
             stats.push(q.evaluate_into(data, &mut site, &mut table, &opts)?);
         }
         // Register per-function collections for template selection.
-        let entries: Vec<(String, Oid)> =
-            table.iter().map(|(name, _, oid)| (name.to_string(), oid)).collect();
+        let entries: Vec<(String, Oid)> = table
+            .iter()
+            .map(|(name, _, oid)| (name.to_string(), oid))
+            .collect();
         for (name, oid) in entries {
             site.add_to_collection_str(&name, Value::Node(oid));
         }
-        Ok(SiteBuild { graph: site, table, stats })
+        Ok(SiteBuild {
+            graph: site,
+            table,
+            stats,
+        })
     }
 
     /// Builds the site graph and renders it to HTML, starting from the
@@ -260,7 +273,11 @@ impl Strudel {
     /// Like [`Strudel::generate_site`], rendering pages on `threads` worker
     /// threads (page rendering is read-only; see
     /// [`Generator::generate_parallel`]).
-    pub fn generate_site_parallel(&mut self, root_skolems: &[&str], threads: usize) -> Result<GeneratedSite> {
+    pub fn generate_site_parallel(
+        &mut self,
+        root_skolems: &[&str],
+        threads: usize,
+    ) -> Result<GeneratedSite> {
         let build = self.build_site()?;
         let mut roots: Vec<Oid> = Vec::new();
         for name in root_skolems {
@@ -305,15 +322,23 @@ impl Strudel {
     }
 
     /// A click-time evaluator over the current data graph and site queries
-    /// (nothing is materialized; pages expand on demand).
+    /// (nothing is materialized; pages expand on demand). Uses the default
+    /// page-cache bounds; see [`Strudel::dynamic_site_with`] to size the
+    /// cache explicitly.
     pub fn dynamic_site(&mut self) -> Result<DynamicSite<'_>> {
+        self.dynamic_site_with(CacheConfig::default())
+    }
+
+    /// Like [`Strudel::dynamic_site`], but with an explicit bound on the
+    /// click-time page cache (entry count and approximate bytes).
+    pub fn dynamic_site_with(&mut self, cache: CacheConfig) -> Result<DynamicSite<'_>> {
         let merged = self.merged_query();
         let opts = self.opts.clone();
         if self.mediator.is_stale() {
             self.mediator.refresh()?;
         }
         let data = self.mediator.data_graph().expect("refreshed");
-        DynamicSite::new(data, &merged, opts).map_err(StrudelError::Struql)
+        DynamicSite::with_cache(data, &merged, opts, cache).map_err(StrudelError::Struql)
     }
 }
 
@@ -364,10 +389,16 @@ object p3 in Publications { title "StruQL" year 1997 }
         s.templates_mut()
             .set_collection_template("RootPage", r#"<h1>Pubs</h1><SFMT @Paper ALL DELIM=" | ">"#)
             .unwrap();
-        s.templates_mut().set_collection_template("Page", "<SFMT @Title>").unwrap();
+        s.templates_mut()
+            .set_collection_template("Page", "<SFMT @Title>")
+            .unwrap();
         let site = s.generate_site(&["RootPage"]).unwrap();
         assert_eq!(site.pages.len(), 4);
-        let root_file = site.pages.keys().find(|k| k.starts_with("rootpage")).unwrap();
+        let root_file = site
+            .pages
+            .keys()
+            .find(|k| k.starts_with("rootpage"))
+            .unwrap();
         assert!(site.pages[root_file].contains("<h1>Pubs</h1>"));
     }
 
@@ -392,20 +423,28 @@ object p3 in Publications { title "StruQL" year 1997 }
     fn composed_queries_share_skolem_table() {
         let mut s = Strudel::new();
         s.add_ddl_source("pubs", r#"object p1 in Publications { title "A" }"#);
-        s.add_site_query(r#"{ WHERE Publications(x) CREATE Page(x) }"#).unwrap();
+        s.add_site_query(r#"{ WHERE Publications(x) CREATE Page(x) }"#)
+            .unwrap();
         s.add_site_query(
             r#"{ WHERE Publications(x), x -> "title" -> t CREATE Page(x) LINK Page(x) -> "T" -> t }"#,
         )
         .unwrap();
         let build = s.build_site().unwrap();
-        assert_eq!(build.pages_of("Page").len(), 1, "Skolem unification across queries");
+        assert_eq!(
+            build.pages_of("Page").len(),
+            1,
+            "Skolem unification across queries"
+        );
     }
 
     #[test]
     fn verify_combines_schema_and_graph() {
         let mut s = pubs_system();
-        let (schema_v, exact) =
-            s.verify(&Constraint::AllReachableFrom { root: "RootPage".into() }).unwrap();
+        let (schema_v, exact) = s
+            .verify(&Constraint::AllReachableFrom {
+                root: "RootPage".into(),
+            })
+            .unwrap();
         assert_eq!(schema_v, Verdict::Satisfied);
         assert!(exact.is_none());
     }
@@ -413,7 +452,7 @@ object p3 in Publications { title "StruQL" year 1997 }
     #[test]
     fn dynamic_site_expands_root() {
         let mut s = pubs_system();
-        let mut dyn_site = s.dynamic_site().unwrap();
+        let dyn_site = s.dynamic_site().unwrap();
         let roots = dyn_site.roots();
         assert_eq!(roots.len(), 1);
         let links = dyn_site.expand(&roots[0]).unwrap();
@@ -430,6 +469,9 @@ object p3 in Publications { title "StruQL" year 1997 }
     #[test]
     fn missing_roots_is_a_pipeline_error() {
         let mut s = pubs_system();
-        assert!(matches!(s.generate_site(&["Nope"]), Err(StrudelError::Pipeline(_))));
+        assert!(matches!(
+            s.generate_site(&["Nope"]),
+            Err(StrudelError::Pipeline(_))
+        ));
     }
 }

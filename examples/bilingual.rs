@@ -12,10 +12,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut s = bilingual::system(12, 3)?;
     let dir = Path::new("target/site-bilingual");
     let site = s.publish(&["EnglishRoot", "FrenchRoot"], dir)?;
-    println!("bilingual site: {} pages -> {}", site.pages.len(), dir.display());
+    println!(
+        "bilingual site: {} pages -> {}",
+        site.pages.len(),
+        dir.display()
+    );
 
     // Show a cross link pair.
-    let en = site.pages.iter().find(|(k, _)| k.starts_with("enpage")).expect("an English page");
+    let en = site
+        .pages
+        .iter()
+        .find(|(k, _)| k.starts_with("enpage"))
+        .expect("an English page");
     println!("\n--- {} ---\n{}", en.0, en.1);
     Ok(())
 }

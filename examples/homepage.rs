@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Verify structural constraints on the design ([FER 98b]).
     for constraint in [
-        Constraint::AllReachableFrom { root: "RootPage".into() },
+        Constraint::AllReachableFrom {
+            root: "RootPage".into(),
+        },
         Constraint::EveryHasEdge {
             from: "PaperPresentation".into(),
             label: "Abstract".into(),
@@ -42,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Internal version.
     let internal_dir = Path::new("target/site-homepage-internal");
     let internal = s.publish(&["RootPage"], internal_dir)?;
-    println!("internal site: {} pages -> {}", internal.pages.len(), internal_dir.display());
+    println!(
+        "internal site: {} pages -> {}",
+        internal.pages.len(),
+        internal_dir.display()
+    );
 
     // External version: same site graph, different templates (§5.1: "the
     // HTML templates for the external version exclude patents, and any
@@ -50,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     *s.templates_mut() = bib::templates_external()?;
     let external_dir = Path::new("target/site-homepage-external");
     let external = s.publish(&["RootPage"], external_dir)?;
-    println!("external site: {} pages -> {}", external.pages.len(), external_dir.display());
+    println!(
+        "external site: {} pages -> {}",
+        external.pages.len(),
+        external_dir.display()
+    );
 
     println!(
         "\nquery: {} lines (paper's mff query: 48 lines)",

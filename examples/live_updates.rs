@@ -46,12 +46,23 @@ CREATE FrontPage()
     // 1. A breaking story arrives.
     let t = Instant::now();
     let article = data.new_node(Some("breaking"));
-    site.add_edge(&mut data, article, "headline", Value::str("STRUDEL reproduced in Rust"))?;
+    site.add_edge(
+        &mut data,
+        article,
+        "headline",
+        Value::str("STRUDEL reproduced in Rust"),
+    )?;
     site.add_edge(&mut data, article, "section", Value::str("tech"))?;
     site.add_to_collection(&mut data, "Articles", Value::Node(article))?;
     println!("new article propagated in {:?}", t.elapsed());
-    let page = site.table.lookup("ArticlePage", &[Value::Node(article)]).expect("page created");
-    println!("  -> ArticlePage created with {} attributes", site.site.out_edges(page).len());
+    let page = site
+        .table
+        .lookup("ArticlePage", &[Value::Node(article)])
+        .expect("page created");
+    println!(
+        "  -> ArticlePage created with {} attributes",
+        site.site.out_edges(page).len()
+    );
 
     // 2. A correction lands on an existing article.
     let t = Instant::now();
@@ -64,7 +75,9 @@ CREATE FrontPage()
     site.add_edge(&mut data, first, "section", Value::str("opinion"))?;
     println!("cross-listing propagated in {:?}", t.elapsed());
     assert!(
-        site.table.lookup("SectionPage", &[Value::str("opinion")]).is_some(),
+        site.table
+            .lookup("SectionPage", &[Value::str("opinion")])
+            .is_some(),
         "a brand-new section page appeared"
     );
 

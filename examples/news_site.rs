@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut general = news::system(ARTICLES, 7, false)?;
     let dir = Path::new("target/site-news-general");
     let site = general.publish(&["FrontPage"], dir)?;
-    println!("general site: {} pages ({} bytes) -> {}", site.pages.len(), site.total_bytes(), dir.display());
+    println!(
+        "general site: {} pages ({} bytes) -> {}",
+        site.pages.len(),
+        site.total_bytes(),
+        dir.display()
+    );
 
     // Sports-only: "the sports-only query is derived from the original
     // query and only differs in two extra predicates in one where clause.
@@ -31,13 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Click-time evaluation: precompute only the roots, expand on demand.
-    let mut dynamic = general.dynamic_site()?;
+    let dynamic = general.dynamic_site()?;
     let roots = dynamic.roots();
     println!("\ndynamic evaluation: {} precomputed root(s)", roots.len());
     let front_links = dynamic.expand(&roots[0])?;
-    println!("front page expands to {} links at click time", front_links.len());
-    if let Some(strudel::site::OutLink { target: strudel::site::Target::Page(p), .. }) =
-        front_links.iter().find(|l| l.label == "Section")
+    println!(
+        "front page expands to {} links at click time",
+        front_links.len()
+    );
+    if let Some(strudel::site::OutLink {
+        target: strudel::site::Target::Page(p),
+        ..
+    }) = front_links.iter().find(|l| l.label == "Section")
     {
         let section_links = dynamic.expand(p)?;
         println!("clicking into {p} yields {} links", section_links.len());

@@ -13,7 +13,10 @@ use strudel::site::Constraint;
 use strudel::synth::org;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(400);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(400);
     println!("generating an organization with {n} members…");
     let src = org::generate(n, 1997);
     let mut s = org::system(&src)?;
@@ -31,24 +34,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  publication pages: {}", build.pages_of("PubPage").len());
 
     // Structural verification before publishing.
-    let (verdict, exact) = s.verify(&Constraint::AllReachableFrom { root: "RootPage".into() })?;
+    let (verdict, exact) = s.verify(&Constraint::AllReachableFrom {
+        root: "RootPage".into(),
+    })?;
     println!("all pages reachable from root? schema={verdict:?} exact={exact:?}");
 
     // Internal version.
     let t1 = std::time::Instant::now();
     let dir = Path::new("target/site-org-internal");
     let internal = s.publish(&["RootPage"], dir)?;
-    println!("internal: {} pages ({} bytes) in {:?} -> {}",
-        internal.pages.len(), internal.total_bytes(), t1.elapsed(), dir.display());
+    println!(
+        "internal: {} pages ({} bytes) in {:?} -> {}",
+        internal.pages.len(),
+        internal.total_bytes(),
+        t1.elapsed(),
+        dir.display()
+    );
 
     // External version: zero new queries, five replaced templates.
     *s.templates_mut() = org::templates_external()?;
     let t2 = std::time::Instant::now();
     let ext_dir = Path::new("target/site-org-external");
     let external = s.publish(&["RootPage"], ext_dir)?;
-    println!("external: {} pages in {:?} -> {}", external.pages.len(), t2.elapsed(), ext_dir.display());
+    println!(
+        "external: {} pages in {:?} -> {}",
+        external.pages.len(),
+        t2.elapsed(),
+        ext_dir.display()
+    );
 
-    println!("\nquery: {} lines (paper: 115); templates: {} (paper: 17)",
-        org::site_query_lines(), org::template_count());
+    println!(
+        "\nquery: {} lines (paper: 115); templates: {} (paper: 17)",
+        org::site_query_lines(),
+        org::template_count()
+    );
     Ok(())
 }

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let self_test = std::env::args().any(|a| a == "--self-test");
     let mut system = news::system(120, 17, false)?;
     let site = system.dynamic_site()?;
-    let mut server = Server::bind(site, "127.0.0.1:0")?;
+    let server = Server::bind(site, "127.0.0.1:0")?;
     let addr = server.addr()?;
     println!("serving dynamically evaluated site on http://{addr}/ (GET /quit to stop)");
 
@@ -27,19 +27,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(std::thread::spawn(move || {
             let fetch = |path: &str| -> String {
                 let mut s = TcpStream::connect(addr).expect("connect");
-                s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
-                s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes())
-                    .expect("write request");
+                s.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+                    .unwrap();
+                s.write_all(
+                    format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+                        .as_bytes(),
+                )
+                .expect("write request");
                 let mut buf = String::new();
                 s.read_to_string(&mut buf).expect("read response");
                 buf
             };
             let root = fetch("/");
-            assert!(root.contains("FrontPage"), "root page lists the roots: {root}");
+            assert!(
+                root.contains("FrontPage"),
+                "root page lists the roots: {root}"
+            );
             let front = fetch("/page/FrontPage");
             assert!(front.contains("Section"), "front page links sections");
             // Follow the first section link.
-            let href = front.split("href=\"").nth(1).map(|s| s[..s.find('"').unwrap()].to_string());
+            let href = front
+                .split("href=\"")
+                .nth(1)
+                .map(|s| s[..s.find('"').unwrap()].to_string());
             if let Some(href) = href {
                 let section = fetch(&href);
                 assert!(section.contains("200 OK"), "section fetch: {section}");

@@ -13,7 +13,11 @@ fn org_site_structural_constraints() {
     // All pages reachable from the root: the schema alone cannot guarantee
     // it (members are linked through conditional joins), the concrete graph
     // decides.
-    let (schema_v, exact) = s.verify(&Constraint::AllReachableFrom { root: "RootPage".into() }).unwrap();
+    let (schema_v, exact) = s
+        .verify(&Constraint::AllReachableFrom {
+            root: "RootPage".into(),
+        })
+        .unwrap();
     match schema_v {
         Verdict::Satisfied => assert!(exact.is_none()),
         Verdict::Unknown(_) => assert_eq!(exact, Some(Verdict::Satisfied)),
@@ -48,10 +52,13 @@ fn org_site_structural_constraints() {
 fn news_dynamic_site_agrees_with_materialization_everywhere() {
     let mut s = news::system(50, 21, false).unwrap();
     let build = s.build_site().unwrap();
-    let mut dynamic = s.dynamic_site().unwrap();
+    let dynamic = s.dynamic_site().unwrap();
 
     for (name, args, oid) in build.table.iter() {
-        let page = strudel::site::PageRef { skolem: name.to_string(), args: args.to_vec() };
+        let page = strudel::site::PageRef {
+            skolem: name.to_string(),
+            args: args.to_vec(),
+        };
         let links = dynamic.expand(&page).unwrap();
         assert_eq!(
             links.len(),
@@ -64,7 +71,7 @@ fn news_dynamic_site_agrees_with_materialization_everywhere() {
 #[test]
 fn click_path_browsing_without_materialization() {
     let mut s = news::system(120, 22, false).unwrap();
-    let mut dynamic = s.dynamic_site().unwrap();
+    let dynamic = s.dynamic_site().unwrap();
     let roots = dynamic.roots();
     assert_eq!(roots.len(), 1);
 
@@ -105,13 +112,17 @@ fn click_path_browsing_without_materialization() {
 #[test]
 fn repeated_clicks_are_cached() {
     let mut s = news::system(60, 23, false).unwrap();
-    let mut dynamic = s.dynamic_site().unwrap();
+    let dynamic = s.dynamic_site().unwrap();
     let root = dynamic.roots().pop().unwrap();
     dynamic.expand(&root).unwrap();
     let q1 = dynamic.stats().clause_queries;
     dynamic.expand(&root).unwrap();
     dynamic.expand(&root).unwrap();
-    assert_eq!(dynamic.stats().clause_queries, q1, "re-clicks must hit the cache");
+    assert_eq!(
+        dynamic.stats().clause_queries,
+        q1,
+        "re-clicks must hit the cache"
+    );
 }
 
 #[test]
@@ -134,8 +145,12 @@ object p2 in Projects { name "secret" proprietary true }
              CREATE SecretPage(p) }"#,
     )
     .unwrap();
-    let (schema_v, exact) =
-        s.verify(&Constraint::NoneReachable { from: "Root".into(), forbidden: "SecretPage".into() }).unwrap();
+    let (schema_v, exact) = s
+        .verify(&Constraint::NoneReachable {
+            from: "Root".into(),
+            forbidden: "SecretPage".into(),
+        })
+        .unwrap();
     assert_eq!(schema_v, Verdict::Satisfied);
     assert!(exact.is_none(), "the schema alone decides");
 }
@@ -144,9 +159,9 @@ object p2 in Projects { name "secret" proprietary true }
 
 #[test]
 fn recovered_queries_equivalent_for_workloads() {
+    use strudel::graph::ddl;
     use strudel::site::SiteSchema;
     use strudel::struql::{parse_query, EvalOptions};
-    use strudel::graph::ddl;
 
     // News site, aggregate-free fragment (recovery covers the full AST, but
     // comparing output graphs is cleanest on the core fragment).
@@ -169,11 +184,25 @@ fn site_schema_dot_for_org_site_is_complete() {
     let schema = SiteSchema::from_query(&q);
     let dot = schema.to_dot();
     for page_type in [
-        "RootPage", "PeopleIndex", "DeptIndex", "ProjectIndex", "PubIndex", "MemberPage",
-        "DeptPage", "ProjectPage", "PubPage", "PubYearPage", "CategoryPage", "DemoPage",
+        "RootPage",
+        "PeopleIndex",
+        "DeptIndex",
+        "ProjectIndex",
+        "PubIndex",
+        "MemberPage",
+        "DeptPage",
+        "ProjectPage",
+        "PubPage",
+        "PubYearPage",
+        "CategoryPage",
+        "DemoPage",
     ] {
         assert!(dot.contains(page_type), "schema misses {page_type}");
     }
     // The complexity measure the paper suggests: link clauses.
-    assert!(schema.edges().len() >= 20, "{} link kinds", schema.edges().len());
+    assert!(
+        schema.edges().len() >= 20,
+        "{} link kinds",
+        schema.edges().len()
+    );
 }

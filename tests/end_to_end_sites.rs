@@ -17,10 +17,16 @@ fn org_site_at_paper_scale_smoke() {
     let html = s.generate_site(&["RootPage"]).unwrap();
     assert!(html.pages.len() >= 100, "only {} pages", html.pages.len());
     // Every member page carries a name and an email.
-    let member_pages: Vec<&String> =
-        html.pages.iter().filter(|(k, _)| k.starts_with("memberpage")).map(|(_, v)| v).collect();
+    let member_pages: Vec<&String> = html
+        .pages
+        .iter()
+        .filter(|(k, _)| k.starts_with("memberpage"))
+        .map(|(_, v)| v)
+        .collect();
     assert_eq!(member_pages.len(), 100);
-    assert!(member_pages.iter().all(|p| p.contains("@research.example.com")));
+    assert!(member_pages
+        .iter()
+        .all(|p| p.contains("@research.example.com")));
 }
 
 #[test]
@@ -30,13 +36,19 @@ fn org_external_version_hides_proprietary_material() {
     *s.templates_mut() = org::templates_external().unwrap();
     let html = s.generate_site(&["RootPage"]).unwrap();
     for (name, page) in &html.pages {
-        assert!(!page.contains("PROPRIETARY - internal use only"), "{name} leaks proprietary banner");
+        assert!(
+            !page.contains("PROPRIETARY - internal use only"),
+            "{name} leaks proprietary banner"
+        );
         if name.starts_with("memberpage") {
             assert!(!page.contains("Phone:"), "{name} leaks a phone number");
             assert!(!page.contains("Room:"), "{name} leaks a room number");
         }
         if name.starts_with("pubpage") && page.contains("Restricted publication") {
-            assert!(!page.contains(".ps.gz"), "{name} leaks a proprietary download");
+            assert!(
+                !page.contains(".ps.gz"),
+                "{name} leaks a proprietary download"
+            );
         }
     }
 }
@@ -48,13 +60,30 @@ fn news_site_article_multiplicity() {
     // its own page.
     let mut s = news::system(80, 5, false).unwrap();
     let html = s.generate_site(&["FrontPage"]).unwrap();
-    let article_pages = html.pages.keys().filter(|k| k.starts_with("articlepage")).count();
+    let article_pages = html
+        .pages
+        .keys()
+        .filter(|k| k.starts_with("articlepage"))
+        .count();
     assert_eq!(article_pages, 80);
-    let front = html.pages.iter().find(|(k, _)| k.starts_with("frontpage")).unwrap().1;
+    let front = html
+        .pages
+        .iter()
+        .find(|(k, _)| k.starts_with("frontpage"))
+        .unwrap()
+        .1;
     assert!(front.contains("Sections"));
     // Section pages embed summaries which link to full articles.
-    let section = html.pages.iter().find(|(k, _)| k.starts_with("sectionpage")).unwrap().1;
-    assert!(section.contains("articlepage"), "summaries link to full articles");
+    let section = html
+        .pages
+        .iter()
+        .find(|(k, _)| k.starts_with("sectionpage"))
+        .unwrap()
+        .1;
+    assert!(
+        section.contains("articlepage"),
+        "summaries link to full articles"
+    );
 }
 
 #[test]
@@ -88,14 +117,22 @@ fn sports_only_site_contains_only_sports() {
         }
     }
     assert!(full > 0, "sports articles present");
-    assert!(full >= stubs, "mostly real pages ({full} full vs {stubs} stubs)");
+    assert!(
+        full >= stubs,
+        "mostly real pages ({full} full vs {stubs} stubs)"
+    );
 }
 
 #[test]
 fn personal_homepage_has_both_sources() {
     let mut s = bib::system("Alon Levy", 20, 9).unwrap();
     let html = s.generate_site(&["RootPage"]).unwrap();
-    let root = html.pages.iter().find(|(k, _)| k.starts_with("rootpage")).unwrap().1;
+    let root = html
+        .pages
+        .iter()
+        .find(|(k, _)| k.starts_with("rootpage"))
+        .unwrap()
+        .1;
     // From the DDL source:
     assert!(root.contains("alon@research.example.com"));
     assert!(root.contains("Professional activities"));
@@ -181,9 +218,20 @@ fn org_site_integrates_five_source_kinds() {
     assert!(!src.demo_pages.is_empty());
     let mut s = org::system(&src).unwrap();
     let build = s.build_site().unwrap();
-    assert!(!build.pages_of("DemoPage").is_empty(), "HTML-wrapped demos become pages");
+    assert!(
+        !build.pages_of("DemoPage").is_empty(),
+        "HTML-wrapped demos become pages"
+    );
     let html = s.generate_site(&["RootPage"]).unwrap();
-    let demo = html.pages.iter().find(|(k, _)| k.starts_with("demopage")).expect("a demo page").1;
+    let demo = html
+        .pages
+        .iter()
+        .find(|(k, _)| k.starts_with("demopage"))
+        .expect("a demo page")
+        .1;
     assert!(demo.contains("wrapped legacy demo page"));
-    assert!(demo.contains("Demo"), "title extracted by the HTML wrapper: {demo}");
+    assert!(
+        demo.contains("Demo"),
+        "title extracted by the HTML wrapper: {demo}"
+    );
 }

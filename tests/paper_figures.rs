@@ -167,7 +167,11 @@ fn fig5_site_schema() {
     assert_eq!(schema.nodes().len(), 7);
     let year = schema.node_index("YearPage").unwrap();
     let pp = schema.node_index("PaperPresentation").unwrap();
-    let edge = schema.edges().iter().find(|e| e.from == year && e.to == pp).unwrap();
+    let edge = schema
+        .edges()
+        .iter()
+        .find(|e| e.from == year && e.to == pp)
+        .unwrap();
     // The paper labels this edge (Q1 ∧ Q2, "Paper", [v], [x]).
     assert_eq!(edge.label_text(), r#"(Q2 ∧ Q3, "Paper", [v], [x])"#);
 }
@@ -179,20 +183,31 @@ fn fig7_templates_render_browsable_site() {
     let out = q.evaluate(&data, &EvalOptions::default()).unwrap();
     let mut site_graph = out.graph;
     // Register skolem-function collections for template selection.
-    let entries: Vec<(String, strudel::graph::Oid)> =
-        out.table.iter().map(|(n, _, o)| (n.to_string(), o)).collect();
+    let entries: Vec<(String, strudel::graph::Oid)> = out
+        .table
+        .iter()
+        .map(|(n, _, o)| (n.to_string(), o))
+        .collect();
     for (name, oid) in entries {
         site_graph.add_to_collection_str(&name, Value::Node(oid));
     }
     let templates = fig7_templates();
     let abstracts: std::collections::HashMap<String, String> = [
-        ("abstracts/toplas97.txt".to_string(), "We describe machine instructions.".to_string()),
-        ("abstracts/icde98.txt".to_string(), "We optimize path expressions.".to_string()),
+        (
+            "abstracts/toplas97.txt".to_string(),
+            "We describe machine instructions.".to_string(),
+        ),
+        (
+            "abstracts/icde98.txt".to_string(),
+            "We optimize path expressions.".to_string(),
+        ),
     ]
     .into();
     let generator = Generator::new(&site_graph, &templates)
         .with_file_resolver(Box::new(move |p| abstracts.get(p).cloned()));
-    let root = site_graph.collection_str("RootPage").unwrap().items()[0].as_node().unwrap();
+    let root = site_graph.collection_str("RootPage").unwrap().items()[0]
+        .as_node()
+        .unwrap();
     let site = generator.generate(&[root]).unwrap();
 
     // Pages realized: root, abstracts, 2 year, 3 category = 7; the
@@ -208,15 +223,31 @@ fn fig7_templates_render_browsable_site() {
 
     // The year page embeds the paper presentation with a PostScript link
     // tagged by the title.
-    let y97 = site.pages.iter().find(|(k, _)| k.contains("yearpage_1997")).unwrap().1;
-    assert!(y97.contains(r#"<a href="papers/toplas97.ps.gz">Specifying Representations...</a>"#), "{y97}");
+    let y97 = site
+        .pages
+        .iter()
+        .find(|(k, _)| k.contains("yearpage_1997"))
+        .unwrap()
+        .1;
+    assert!(
+        y97.contains(r#"<a href="papers/toplas97.ps.gz">Specifying Representations...</a>"#),
+        "{y97}"
+    );
     assert!(y97.contains("Norman Ramsey, Mary Fernandez"));
     // pub1 is an article: the SIF falls through to the journal branch.
     assert!(y97.contains("Transactions on Programming..."));
 
     // The abstracts page embeds abstract file contents via the resolver.
-    let abstracts_page = site.pages.iter().find(|(k, _)| k.starts_with("abstractspage")).unwrap().1;
-    assert!(abstracts_page.contains("We describe machine instructions."), "{abstracts_page}");
+    let abstracts_page = site
+        .pages
+        .iter()
+        .find(|(k, _)| k.starts_with("abstractspage"))
+        .unwrap()
+        .1;
+    assert!(
+        abstracts_page.contains("We describe machine instructions."),
+        "{abstracts_page}"
+    );
     assert!(abstracts_page.contains("We optimize path expressions."));
 
     // Every href that is a local page resolves to an emitted page.
@@ -224,7 +255,10 @@ fn fig7_templates_render_browsable_site() {
         for href in html.split("href=\"").skip(1) {
             let target = &href[..href.find('"').unwrap()];
             if target.ends_with(".html") {
-                assert!(site.pages.contains_key(target), "{name} links to missing {target}");
+                assert!(
+                    site.pages.contains_key(target),
+                    "{name} links to missing {target}"
+                );
             }
         }
     }

@@ -72,7 +72,11 @@ fn arb_objects() -> impl Strategy<Value = Vec<(String, Vec<(String, String)>)>> 
         objs.into_iter()
             .enumerate()
             .map(|(i, (name, attrs))| {
-                let name = if seen.insert(name.clone()) { name } else { format!("{name}x{i}") };
+                let name = if seen.insert(name.clone()) {
+                    name
+                } else {
+                    format!("{name}x{i}")
+                };
                 (name, attrs)
             })
             .collect()
@@ -120,7 +124,9 @@ fn arb_graph() -> impl Strategy<Value = RandGraph> {
 
 fn build(rg: &RandGraph) -> Graph {
     let mut g = Graph::standalone();
-    let nodes: Vec<_> = (0..rg.n).map(|i| g.new_node(Some(&format!("n{i}")))).collect();
+    let nodes: Vec<_> = (0..rg.n)
+        .map(|i| g.new_node(Some(&format!("n{i}"))))
+        .collect();
     for &n in &nodes {
         g.add_to_collection_str("Nodes", Value::Node(n));
     }
@@ -128,7 +134,8 @@ fn build(rg: &RandGraph) -> Graph {
     let mut seen = std::collections::HashSet::new();
     for &(f, t, l) in &rg.edges {
         if seen.insert((f, t, l)) {
-            g.add_edge_str(nodes[f], labels[l as usize], Value::Node(nodes[t])).unwrap();
+            g.add_edge_str(nodes[f], labels[l as usize], Value::Node(nodes[t]))
+                .unwrap();
         }
     }
     g.add_to_collection_str("Start", Value::Node(nodes[0]));
@@ -309,6 +316,67 @@ proptest! {
             out
         };
         prop_assert_eq!(sig(&inc.site, &inc.table), sig(&rebuilt.graph, &rebuilt.table));
+    }
+}
+
+// ------------------------------------------------- click-time invalidation ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Click-time cache invalidation is sound for any edge insertion: a
+    /// cache warmed on the old graph, invalidated for the delta, and then
+    /// carried to the new graph serves exactly the cold answers. Entries
+    /// that survive invalidation are really still valid.
+    #[test]
+    fn invalidate_then_expand_equals_cold_expand(
+        rg in arb_graph(),
+        insert in (0usize..8, 0usize..8, 0u8..3),
+    ) {
+        use strudel::site::{Delta, DynamicSite};
+        let q = parse_query(
+            r#"{ WHERE Nodes(x), x -> "a" -> y
+                 CREATE P(x)
+                 LINK P(x) -> "hit" -> y
+                 { WHERE y -> "b" -> z
+                   CREATE Q(z) LINK P(x) -> "deep" -> Q(z), Q(z) -> "from" -> y } }"#,
+        )
+        .unwrap();
+        // Replay the same construction script twice so node ids and interned
+        // symbols align; the "new" graph additionally gets the inserted edge.
+        let g_old = build(&rg);
+        let mut g_new = build(&rg);
+        let (f, t, l) = insert;
+        let (f, t) = (f % rg.n, t % rg.n);
+        let label = ["a", "b", "c"][l as usize];
+        let nodes: Vec<_> = g_new.nodes().to_vec();
+        g_new.add_edge_str(nodes[f], label, Value::Node(nodes[t])).unwrap();
+        let delta = Delta::EdgeAdded {
+            from: g_old.nodes()[f],
+            label: g_old.sym(label),
+            to: Value::Node(g_old.nodes()[t]),
+        };
+
+        // Warm every page's clause results on the old graph, then invalidate.
+        let old_site = DynamicSite::new(&g_old, &q, EvalOptions::default()).unwrap();
+        for sk in ["P", "Q"] {
+            for page in old_site.pages_of(sk).unwrap() {
+                old_site.expand(&page).unwrap();
+            }
+        }
+        old_site.invalidate(&delta);
+
+        // Carry the surviving entries to a site over the new graph.
+        let warm = DynamicSite::new(&g_new, &q, EvalOptions::default()).unwrap();
+        warm.cache_restore(old_site.cache_snapshot());
+        let cold = DynamicSite::new(&g_new, &q, EvalOptions::default()).unwrap();
+        for sk in ["P", "Q"] {
+            // Enumerate on the new graph: insertion is monotone, so these
+            // pages are a superset of the pages warmed above.
+            for page in cold.pages_of(sk).unwrap() {
+                prop_assert_eq!(warm.expand(&page).unwrap(), cold.expand(&page).unwrap(), "{}", page);
+            }
+        }
     }
 }
 

@@ -92,7 +92,13 @@ fn html_source_through_the_pipeline() {
     let idx = build.table.lookup(
         "Mirror",
         &[Value::Node(
-            s.data_graph().unwrap().collection_str("Pages").unwrap().items()[0].as_node().unwrap(),
+            s.data_graph()
+                .unwrap()
+                .collection_str("Pages")
+                .unwrap()
+                .items()[0]
+                .as_node()
+                .unwrap(),
         )],
     );
     let idx = idx.expect("mirror of index.html");
@@ -127,7 +133,11 @@ object r3 in Records { kind "machine" name "vax1" }
     )
     .unwrap();
     let build = s.build_site().unwrap();
-    assert_eq!(build.pages_of("Page").len(), 2, "machines filtered out by the GAV mapping");
+    assert_eq!(
+        build.pages_of("Page").len(),
+        2,
+        "machines filtered out by the GAV mapping"
+    );
 }
 
 #[test]
@@ -154,7 +164,12 @@ object p3 in Publications { year 1998 }
         .set_collection_template("YearPage", "<SFMT @Year>: <SFMT @papers> papers")
         .unwrap();
     let site = s.generate_site(&["YearPage"]).unwrap();
-    let y97 = site.pages.iter().find(|(k, _)| k.contains("1997")).unwrap().1;
+    let y97 = site
+        .pages
+        .iter()
+        .find(|(k, _)| k.contains("1997"))
+        .unwrap()
+        .1;
     assert_eq!(y97, "1997: 2 papers");
 }
 
@@ -194,11 +209,18 @@ object p1 in Publications { title "A" abstract "abs/a.txt" }"#,
              CREATE Page(x) LINK Page(x) -> l -> v COLLECT Roots(Page(x)) }"#,
     )
     .unwrap();
-    s.templates_mut().set_collection_template("Page", "<SFMT @abstract>").unwrap();
-    s.set_file_resolver(Box::new(|p| (p == "abs/a.txt").then(|| "THE ABSTRACT".to_string())));
+    s.templates_mut()
+        .set_collection_template("Page", "<SFMT @abstract>")
+        .unwrap();
+    s.set_file_resolver(Box::new(|p| {
+        (p == "abs/a.txt").then(|| "THE ABSTRACT".to_string())
+    }));
     for round in 0..3 {
         let site = s.generate_site(&["Page"]).unwrap();
         let page = site.pages.values().next().unwrap();
-        assert!(page.contains("THE ABSTRACT"), "round {round}: resolver lost: {page}");
+        assert!(
+            page.contains("THE ABSTRACT"),
+            "round {round}: resolver lost: {page}"
+        );
     }
 }
