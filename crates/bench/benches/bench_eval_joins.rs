@@ -1,0 +1,152 @@
+//! Evaluator microbenches: filter-heavy, join-heavy, and RPE-heavy
+//! condition pipelines over fixed data graphs, timed in isolation from
+//! construction and HTML generation.
+//!
+//! Besides the printed table, the harness writes a machine-readable
+//! `BENCH_eval.json` (bench name → median µs) at the repository root so
+//! future changes can track the evaluator's perf trajectory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use strudel::synth::{news, org};
+use strudel_graph::{ddl, Graph};
+use strudel_struql::{parse_query, EvalOptions, Optimizer, Query};
+use strudel_wrappers::{bibtex, relational};
+
+const WARMUP: usize = 3;
+const ITERS: usize = 30;
+
+/// The org data graph (people + departments + publications).
+fn org_graph(n: usize) -> Graph {
+    let src = org::generate(n, 1997);
+    let mut g = Graph::standalone();
+    let people = relational::Table::from_csv("People", &src.people_csv).unwrap();
+    let depts = relational::Table::from_csv("Departments", &src.departments_csv).unwrap();
+    relational::load_into(&mut g, &[people, depts], &[]).unwrap();
+    bibtex::load_into(&mut g, &src.publications_bib).unwrap();
+    g
+}
+
+/// The news data graph (articles with sections, ranks, and related links).
+fn news_graph(n: usize) -> Graph {
+    ddl::parse(&news::generate_ddl(n, 42)).unwrap()
+}
+
+/// Median wall time of one full evaluation, in microseconds. A fresh
+/// `EvalOptions` per iteration keeps the evaluator-lifetime memo caches
+/// cold, so the measurement covers the whole pipeline each time.
+fn run(g: &Graph, q: &Query, optimizer: Optimizer) -> f64 {
+    let mut times: Vec<f64> = Vec::with_capacity(ITERS);
+    for i in 0..WARMUP + ITERS {
+        let opts = EvalOptions::with_optimizer(optimizer);
+        let t0 = Instant::now();
+        let out = q.evaluate(g, &opts).unwrap();
+        let dt = t0.elapsed().as_secs_f64() * 1e6;
+        std::hint::black_box(out.stats.intermediate_rows);
+        if i >= WARMUP {
+            times.push(dt);
+        }
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let mid = times.len() / 2;
+    if times.len().is_multiple_of(2) {
+        (times[mid - 1] + times[mid]) / 2.0
+    } else {
+        times[mid]
+    }
+}
+
+fn main() {
+    let org = org_graph(300);
+    let news = news_graph(400);
+
+    let cases: Vec<(&str, &Graph, Query, Optimizer)> = vec![
+        // Filter-heavy: one binder, then a chain of pure filters applied as
+        // in-place semi-joins over the bindings slab.
+        (
+            "filter_compare_chain",
+            &org,
+            parse_query(
+                r#"WHERE Publications(x), x -> "year" -> y,
+                         y >= 1994, y <= 1997, y != 1995,
+                         x -> "title" -> t, t != "none"
+                   COLLECT Hits(x)"#,
+            )
+            .unwrap(),
+            Optimizer::CostBased,
+        ),
+        (
+            "filter_label_in_set",
+            &news,
+            parse_query(
+                r#"WHERE Articles(a), a -> l -> v,
+                         l in {"section", "byline"}
+                   COLLECT Pairs(a)"#,
+            )
+            .unwrap(),
+            Optimizer::CostBased,
+        ),
+        // Join-heavy: bound-variable equi-joins resolved with probe tables
+        // over edge targets.
+        (
+            "join_two_way_hash",
+            &org,
+            parse_query(
+                r#"WHERE x -> "author" -> a, m -> "name" -> a,
+                         Publications(x), People(m)
+                   COLLECT Pairs(x)"#,
+            )
+            .unwrap(),
+            Optimizer::CostBased,
+        ),
+        (
+            "join_adversarial_naive",
+            &org,
+            parse_query(
+                r#"WHERE x -> "author" -> a, m -> "name" -> a,
+                         m -> "title" -> "Director",
+                         Publications(x), People(m),
+                         x -> "year" -> y, y >= 1996
+                   COLLECT Hits(x)"#,
+            )
+            .unwrap(),
+            Optimizer::Naive,
+        ),
+        // RPE-heavy: compiled-automaton paths with evaluator-wide memo
+        // caches for reachability.
+        (
+            "rpe_star_reachability",
+            &news,
+            parse_query(r#"WHERE Articles(a), a -> ("related")* -> b COLLECT Reach(b)"#).unwrap(),
+            Optimizer::CostBased,
+        ),
+        (
+            "rpe_seq_alt_paths",
+            &news,
+            parse_query(
+                r#"WHERE Articles(a), a -> ("related" . ("section" | "byline")) -> v
+                   COLLECT Ends(v)"#,
+            )
+            .unwrap(),
+            Optimizer::CostBased,
+        ),
+    ];
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    println!("=== evaluator microbenches (median of {ITERS} iters) ===");
+    for (name, g, q, opt) in &cases {
+        let us = run(g, q, *opt);
+        println!("{name:<24} {us:>10.1} µs");
+        rows.push((name.to_string(), us));
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (name, us)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(json, "  \"{name}\": {us:.1}{comma}");
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    std::fs::write(path, &json).unwrap();
+    println!("\nwrote {path}");
+}

@@ -30,6 +30,7 @@ use crate::error::{GraphError, Result};
 use crate::fxhash::FxHashMap;
 use crate::graph::{Graph, NodeId};
 use crate::value::{FileKind, Value};
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
 /// Default value type declared by a `collection` directive.
@@ -57,10 +58,14 @@ impl Directive {
 
 // ---------------------------------------------------------------- lexer ----
 
+/// Tokens borrow from the source text; only string literals containing
+/// escapes own their (unescaped) content. This keeps lexing and parsing
+/// allocation-free on the hot path — DDL is the exchange format every
+/// wrapper and the mediator funnel data through.
 #[derive(Clone, Debug, PartialEq)]
-enum Tok {
-    Ident(String),
-    Str(String),
+enum Tok<'a> {
+    Ident(&'a str),
+    Str(Cow<'a, str>),
     Int(i64),
     Float(f64),
     Bool(bool),
@@ -130,7 +135,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn next_tok(&mut self) -> Result<Option<(Tok, usize)>> {
+    fn next_tok(&mut self) -> Result<Option<(Tok<'a>, usize)>> {
         self.skip_trivia();
         let line = self.line;
         let Some(b) = self.peek_byte() else {
@@ -155,31 +160,51 @@ impl<'a> Lexer<'a> {
             }
             b'"' => {
                 self.bump();
-                let mut s = String::new();
+                let start = self.pos;
+                // Fast path: no escapes — borrow the slice between the
+                // quotes (quote bytes are ASCII, so the slice boundaries
+                // are char boundaries).
+                let mut escaped = false;
                 loop {
-                    match self.bump() {
+                    match self.peek_byte() {
                         None => return Err(self.err("unterminated string literal")),
                         Some(b'"') => break,
-                        Some(b'\\') => match self.bump() {
-                            Some(b'n') => s.push('\n'),
-                            Some(b't') => s.push('\t'),
-                            Some(b'"') => s.push('"'),
-                            Some(b'\\') => s.push('\\'),
-                            other => {
-                                return Err(
-                                    self.err(format!("bad escape: \\{:?}", other.map(char::from)))
-                                )
-                            }
-                        },
-                        Some(c) => s.push(c as char),
+                        Some(b'\\') => {
+                            escaped = true;
+                            break;
+                        }
+                        _ => {
+                            self.bump();
+                        }
                     }
                 }
-                // Re-decode as UTF-8: the byte-wise loop above is only
-                // correct for ASCII, so recover multibyte sequences.
-                let bytes: Vec<u8> = s.chars().map(|c| c as u32 as u8).collect();
-                let s =
-                    String::from_utf8(bytes).map_err(|_| self.err("invalid UTF-8 in string"))?;
-                Tok::Str(s)
+                if !escaped {
+                    let s = &self.src[start..self.pos];
+                    self.bump(); // closing quote
+                    Tok::Str(Cow::Borrowed(s))
+                } else {
+                    let mut bytes: Vec<u8> = self.src.as_bytes()[start..self.pos].to_vec();
+                    loop {
+                        match self.bump() {
+                            None => return Err(self.err("unterminated string literal")),
+                            Some(b'"') => break,
+                            Some(b'\\') => match self.bump() {
+                                Some(b'n') => bytes.push(b'\n'),
+                                Some(b't') => bytes.push(b'\t'),
+                                Some(b'"') => bytes.push(b'"'),
+                                Some(b'\\') => bytes.push(b'\\'),
+                                other => {
+                                    return Err(self
+                                        .err(format!("bad escape: \\{:?}", other.map(char::from))))
+                                }
+                            },
+                            Some(c) => bytes.push(c),
+                        }
+                    }
+                    let s = String::from_utf8(bytes)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    Tok::Str(Cow::Owned(s))
+                }
             }
             b'-' | b'0'..=b'9' => {
                 let start = self.pos;
@@ -217,7 +242,7 @@ impl<'a> Lexer<'a> {
                 match word {
                     "true" => Tok::Bool(true),
                     "false" => Tok::Bool(false),
-                    _ => Tok::Ident(word.to_string()),
+                    _ => Tok::Ident(word),
                 }
             }
             other => return Err(self.err(format!("unexpected character {:?}", other as char))),
@@ -226,7 +251,7 @@ impl<'a> Lexer<'a> {
     }
 }
 
-fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
+fn lex(src: &str) -> Result<Vec<(Tok<'_>, usize)>> {
     let mut lexer = Lexer::new(src);
     let mut out = Vec::new();
     while let Some(t) = lexer.next_tok()? {
@@ -237,18 +262,18 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
 
 // --------------------------------------------------------------- parser ----
 
-struct Parser<'g> {
-    toks: Vec<(Tok, usize)>,
+struct Parser<'a, 'g> {
+    toks: Vec<(Tok<'a>, usize)>,
     pos: usize,
     graph: &'g mut Graph,
-    /// Declared default types: (collection, attribute) → directive.
-    directives: FxHashMap<(String, String), Directive>,
+    /// Declared default types: collection → attribute → directive.
+    directives: FxHashMap<&'a str, FxHashMap<&'a str, Directive>>,
     /// Named objects, created lazily so forward references work.
-    named: FxHashMap<String, NodeId>,
+    named: FxHashMap<&'a str, NodeId>,
     anon_counter: usize,
 }
 
-impl<'g> Parser<'g> {
+impl<'a> Parser<'a, '_> {
     fn line(&self) -> usize {
         self.toks
             .get(self.pos)
@@ -264,11 +289,11 @@ impl<'g> Parser<'g> {
         }
     }
 
-    fn peek(&self) -> Option<&Tok> {
+    fn peek(&self) -> Option<&Tok<'a>> {
         self.toks.get(self.pos).map(|(t, _)| t)
     }
 
-    fn next(&mut self) -> Option<Tok> {
+    fn next(&mut self) -> Option<Tok<'a>> {
         let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
@@ -276,34 +301,34 @@ impl<'g> Parser<'g> {
         t
     }
 
-    fn expect_ident(&mut self, what: &str) -> Result<String> {
+    fn expect_ident(&mut self, what: &str) -> Result<&'a str> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
             other => Err(self.err(format!("expected {what}, found {other:?}"))),
         }
     }
 
-    fn expect(&mut self, tok: Tok) -> Result<()> {
+    fn expect(&mut self, tok: Tok<'a>) -> Result<()> {
         match self.next() {
             Some(t) if t == tok => Ok(()),
             other => Err(self.err(format!("expected {tok:?}, found {other:?}"))),
         }
     }
 
-    fn node_for(&mut self, name: &str) -> NodeId {
+    fn node_for(&mut self, name: &'a str) -> NodeId {
         if let Some(&n) = self.named.get(name) {
             return n;
         }
         let n = self.graph.new_node(Some(name));
-        self.named.insert(name.to_string(), n);
+        self.named.insert(name, n);
         n
     }
 
     fn parse(&mut self) -> Result<()> {
         while let Some(tok) = self.peek() {
             match tok {
-                Tok::Ident(kw) if kw == "collection" => self.parse_collection()?,
-                Tok::Ident(kw) if kw == "object" => self.parse_object()?,
+                Tok::Ident(kw) if *kw == "collection" => self.parse_collection()?,
+                Tok::Ident(kw) if *kw == "object" => self.parse_object()?,
                 other => {
                     return Err(self.err(format!(
                         "expected `collection` or `object`, found {other:?}"
@@ -317,14 +342,14 @@ impl<'g> Parser<'g> {
     fn parse_collection(&mut self) -> Result<()> {
         self.next(); // `collection`
         let name = self.expect_ident("collection name")?;
-        self.graph.ensure_collection(&name);
+        self.graph.ensure_collection(name);
         self.expect(Tok::LBrace)?;
         while self.peek() != Some(&Tok::RBrace) {
             let attr = self.expect_ident("attribute name")?;
             let kind = self.expect_ident("type keyword")?;
-            let dir = Directive::from_keyword(&kind)
+            let dir = Directive::from_keyword(kind)
                 .ok_or_else(|| self.err(format!("unknown type keyword {kind:?}")))?;
-            self.directives.insert((name.clone(), attr), dir);
+            self.directives.entry(name).or_default().insert(attr, dir);
         }
         self.expect(Tok::RBrace)
     }
@@ -332,13 +357,13 @@ impl<'g> Parser<'g> {
     fn parse_object(&mut self) -> Result<()> {
         self.next(); // `object`
         let name = self.expect_ident("object name")?;
-        let node = self.node_for(&name);
+        let node = self.node_for(name);
         let mut colls = Vec::new();
-        if matches!(self.peek(), Some(Tok::Ident(kw)) if kw == "in") {
+        if matches!(self.peek(), Some(Tok::Ident(kw)) if *kw == "in") {
             self.next();
             loop {
                 let coll = self.expect_ident("collection name")?;
-                let sym = self.graph.ensure_collection(&coll);
+                let sym = self.graph.ensure_collection(coll);
                 self.graph.add_to_collection(sym, Value::Node(node));
                 colls.push(coll);
                 if self.peek() == Some(&Tok::Comma) {
@@ -351,12 +376,12 @@ impl<'g> Parser<'g> {
         self.parse_body(node, &colls)
     }
 
-    fn parse_body(&mut self, node: NodeId, colls: &[String]) -> Result<()> {
+    fn parse_body(&mut self, node: NodeId, colls: &[&'a str]) -> Result<()> {
         self.expect(Tok::LBrace)?;
         while self.peek() != Some(&Tok::RBrace) {
             let attr = self.expect_ident("attribute name")?;
-            let value = self.parse_value(&attr, colls)?;
-            let label = self.graph.sym(&attr);
+            let value = self.parse_value(attr, colls)?;
+            let label = self.graph.sym(attr);
             self.graph
                 .add_edge(node, label, value)
                 .expect("node is a member");
@@ -364,13 +389,13 @@ impl<'g> Parser<'g> {
         self.expect(Tok::RBrace)
     }
 
-    fn parse_value(&mut self, attr: &str, colls: &[String]) -> Result<Value> {
+    fn parse_value(&mut self, attr: &str, colls: &[&'a str]) -> Result<Value> {
         match self.next() {
             Some(Tok::Str(s)) => {
                 // Collection directives give string values their default
                 // type; first matching collection wins.
                 for coll in colls {
-                    if let Some(dir) = self.directives.get(&(coll.clone(), attr.to_string())) {
+                    if let Some(dir) = self.directives.get(coll).and_then(|m| m.get(attr)) {
                         return Ok(dir.apply(&s));
                     }
                 }
@@ -381,7 +406,7 @@ impl<'g> Parser<'g> {
             Some(Tok::Bool(b)) => Ok(Value::Bool(b)),
             Some(Tok::Amp) => {
                 let target = self.expect_ident("object name after `&`")?;
-                Ok(Value::Node(self.node_for(&target)))
+                Ok(Value::Node(self.node_for(target)))
             }
             Some(Tok::LBrace) => {
                 // Nested structured value: an anonymous node.
@@ -575,7 +600,7 @@ fn print_attrs(
 mod tests {
     use super::*;
 
-    fn toks(src: &str) -> Vec<Tok> {
+    fn toks(src: &str) -> Vec<Tok<'_>> {
         lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
     }
 

@@ -17,7 +17,23 @@ use crate::symbol::{Interner, Sym};
 use crate::value::Value;
 use parking_lot::RwLock;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Allocator for globally unique graph identities (see [`Graph::cache_stamp`]).
+static GRAPH_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// An identity + version fingerprint of a graph's queryable state. Two equal
+/// stamps guarantee the same graph object with the same nodes, edges,
+/// collections, and index state (and an unchanged universe, so edges added
+/// to shared nodes through *other* graphs are covered too). Query-result
+/// caches key on this to self-invalidate when data changes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheStamp {
+    graph_id: u64,
+    graph_revision: u64,
+    universe_revision: u64,
+}
 
 /// A unique object identifier. Oids are allocated by a [`Universe`] and are
 /// unique across every graph of a database.
@@ -58,6 +74,8 @@ struct NodeSlot {
 pub struct Universe {
     interner: Interner,
     nodes: RwLock<Vec<NodeSlot>>,
+    /// Bumped on every node or edge mutation anywhere in the universe.
+    revision: AtomicU64,
 }
 
 impl Universe {
@@ -66,6 +84,7 @@ impl Universe {
         Arc::new(Universe {
             interner: Interner::new(),
             nodes: RwLock::new(Vec::new()),
+            revision: AtomicU64::new(0),
         })
     }
 
@@ -74,8 +93,14 @@ impl Universe {
         &self.interner
     }
 
+    /// The universe's mutation counter (see [`CacheStamp`]).
+    pub fn revision(&self) -> u64 {
+        self.revision.load(Ordering::Acquire)
+    }
+
     /// Allocates a fresh node, optionally with a provenance name.
     pub fn create_node(&self, name: Option<&str>) -> NodeId {
+        self.revision.fetch_add(1, Ordering::AcqRel);
         let mut nodes = self.nodes.write();
         let id = NodeId(u32::try_from(nodes.len()).expect("oid space exhausted"));
         nodes.push(NodeSlot {
@@ -106,6 +131,7 @@ impl Universe {
     }
 
     fn push_edge(&self, from: NodeId, label: Sym, to: Value) -> Result<()> {
+        self.revision.fetch_add(1, Ordering::AcqRel);
         let mut nodes = self.nodes.write();
         let slot = nodes
             .get_mut(from.0 as usize)
@@ -129,6 +155,7 @@ impl Default for Universe {
         Universe {
             interner: Interner::new(),
             nodes: RwLock::new(Vec::new()),
+            revision: AtomicU64::new(0),
         }
     }
 }
@@ -188,6 +215,10 @@ pub struct Graph {
     collection_order: Vec<Sym>,
     index: Option<GraphIndex>,
     edge_count: usize,
+    /// Globally unique identity of this graph object (see [`CacheStamp`]).
+    id: u64,
+    /// Bumped on every membership/collection/index mutation of this graph.
+    revision: u64,
 }
 
 impl Graph {
@@ -201,6 +232,19 @@ impl Graph {
             collection_order: Vec::new(),
             index: Some(GraphIndex::default()),
             edge_count: 0,
+            id: GRAPH_IDS.fetch_add(1, Ordering::Relaxed),
+            revision: 0,
+        }
+    }
+
+    /// The current identity + version fingerprint of this graph's queryable
+    /// state. Any mutation of the graph (or of its universe, through any
+    /// graph sharing it) yields a different stamp.
+    pub fn cache_stamp(&self) -> CacheStamp {
+        CacheStamp {
+            graph_id: self.id,
+            graph_revision: self.revision,
+            universe_revision: self.universe.revision(),
         }
     }
 
@@ -229,6 +273,7 @@ impl Graph {
     /// index; re-enabling rebuilds it from scratch. Used by the `A-OPT`
     /// ablation benchmarks (indexes on/off, DESIGN.md §4).
     pub fn set_indexing(&mut self, enabled: bool) {
+        self.revision += 1;
         match (enabled, self.index.is_some()) {
             (true, false) => self.rebuild_index(),
             (false, true) => self.index = None,
@@ -248,6 +293,7 @@ impl Graph {
 
     /// Rebuilds all indexes from the current data.
     pub fn rebuild_index(&mut self) {
+        self.revision += 1;
         let mut idx = GraphIndex::default();
         {
             let nodes = self.universe.nodes.read();
@@ -267,6 +313,7 @@ impl Graph {
 
     /// Creates a fresh node in this graph.
     pub fn new_node(&mut self, name: Option<&str>) -> NodeId {
+        self.revision += 1;
         let id = self.universe.create_node(name);
         self.members.insert(id);
         self.member_list.push(id);
@@ -277,6 +324,7 @@ impl Graph {
     /// current edges visible (and indexed) here. Used when a site graph
     /// references data-graph nodes, and by query composition.
     pub fn adopt_node(&mut self, n: NodeId) -> Result<()> {
+        self.revision += 1;
         if n.0 as usize >= self.universe.node_count() {
             return Err(GraphError::UnknownNode(n));
         }
@@ -323,6 +371,7 @@ impl Graph {
 
     /// Adds an edge `from --label--> to`. `from` must be a member node.
     pub fn add_edge(&mut self, from: NodeId, label: Sym, to: Value) -> Result<()> {
+        self.revision += 1;
         if !self.members.contains(&from) {
             return Err(GraphError::NotAMember(from));
         }
@@ -373,6 +422,7 @@ impl Graph {
 
     /// Creates (or gets) a collection by name and returns its symbol.
     pub fn ensure_collection(&mut self, name: &str) -> Sym {
+        self.revision += 1;
         let sym = self.sym(name);
         if let std::collections::hash_map::Entry::Vacant(e) = self.collections.entry(sym) {
             e.insert(Collection::default());
@@ -387,6 +437,7 @@ impl Graph {
     /// Adds `v` to the named collection, creating the collection if needed.
     /// Returns `true` if the value was newly inserted.
     pub fn add_to_collection(&mut self, name: Sym, v: Value) -> bool {
+        self.revision += 1;
         let is_new_coll = !self.collections.contains_key(&name);
         if is_new_coll {
             self.collections.insert(name, Collection::default());

@@ -440,7 +440,7 @@ impl<'g> DynamicSite<'g> {
             let bindings =
                 evaluate_conditions(&c.conditions, self.data, Bindings::unit(), &self.opts)?;
             self.counters.clause_queries.fetch_add(1, Ordering::Relaxed);
-            for row in &bindings.rows {
+            for row in bindings.rows() {
                 let args: Option<Vec<Value>> = c
                     .args
                     .iter()
@@ -593,7 +593,7 @@ impl<'g> DynamicSite<'g> {
                 row.push(val.clone());
             }
         }
-        start.rows.push(row);
+        start.push_row(&row);
         let bindings = evaluate_conditions(&clause.conditions, self.data, start, &self.opts)?;
         self.counters.clause_queries.fetch_add(1, Ordering::Relaxed);
 
@@ -602,7 +602,7 @@ impl<'g> DynamicSite<'g> {
         if let Term::Agg(func, var) = &clause.to {
             let mut groups: FxHashMap<String, strudel_graph::fxhash::FxHashSet<Value>> =
                 FxHashMap::default();
-            for row in &bindings.rows {
+            for row in bindings.rows() {
                 let label = match &clause.label {
                     LabelTerm::Lit(s) => s.clone(),
                     LabelTerm::Var(v) => match bindings.get(row, v).and_then(Value::text) {
@@ -629,7 +629,7 @@ impl<'g> DynamicSite<'g> {
         }
 
         let mut links = Vec::new();
-        for row in &bindings.rows {
+        for row in bindings.rows() {
             let label = match &clause.label {
                 LabelTerm::Lit(s) => s.clone(),
                 LabelTerm::Var(v) => match bindings.get(row, v).and_then(Value::text) {
@@ -700,7 +700,7 @@ fn clause_affected(data: &Graph, clause: &ClauseInfo, delta: &Delta) -> Affected
                     let cons: Vec<Option<Value>> = clause
                         .from_args
                         .iter()
-                        .map(|a| seed.col(a).map(|col| seed.rows[0][col].clone()))
+                        .map(|a| seed.col(a).map(|col| seed.row(0)[col].clone()))
                         .collect();
                     constraints.push(cons);
                 }

@@ -295,10 +295,9 @@ pub(crate) fn seed_bindings(data: &Graph, cond: &Condition, delta: &Delta) -> Op
     let bind = |b: &mut Bindings, var: &str, value: Value| -> bool {
         if let Some(col) = b.col(var) {
             // Repeated variable within the seed: values must agree.
-            b.rows[0].get(col).is_some_and(|v| *v == value)
+            b.row(0).get(col).is_some_and(|v| *v == value)
         } else {
-            b.add_var(var);
-            b.rows[0].push(value);
+            b.add_var_with(var, value);
             true
         }
     };

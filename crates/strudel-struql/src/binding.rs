@@ -5,17 +5,27 @@
 //! attribute for each variable" (§3). Arc variables bind to labels,
 //! represented as [`Value::Str`] so that comparisons like `l = "year"` are
 //! ordinary value comparisons.
+//!
+//! Storage is a single contiguous slab of values with a fixed stride (the
+//! schema width): row *i* is `data[i*width .. (i+1)*width]`. The evaluator's
+//! physical operators append directly into the slab instead of allocating a
+//! `Vec` per emitted row, and deduplication hashes row *slices* against a
+//! hash → row-index table rather than cloning candidate rows into a seen-set.
 
-use strudel_graph::fxhash::FxHashMap;
+use std::hash::{Hash, Hasher};
+use strudel_graph::fxhash::{FxHashMap, FxHasher};
 use strudel_graph::Value;
 
-/// A relation: a variable schema plus rows of values.
+/// A relation: a variable schema plus rows of values, stored in one slab.
 #[derive(Clone, Debug, Default)]
 pub struct Bindings {
     vars: Vec<String>,
     index: FxHashMap<String, usize>,
-    /// The rows. Each row has exactly `vars().len()` values.
-    pub rows: Vec<Vec<Value>>,
+    /// Row count. Tracked explicitly because the zero-width relation (the
+    /// `unit` of condition evaluation) has rows but no values.
+    len: usize,
+    /// The value slab: `len * vars.len()` values, row-major.
+    data: Vec<Value>,
 }
 
 impl Bindings {
@@ -30,9 +40,8 @@ impl Bindings {
     /// conditions creates exactly one node.
     pub fn unit() -> Bindings {
         Bindings {
-            vars: Vec::new(),
-            index: FxHashMap::default(),
-            rows: vec![Vec::new()],
+            len: 1,
+            ..Bindings::default()
         }
     }
 
@@ -46,13 +55,20 @@ impl Bindings {
         Bindings {
             vars,
             index,
-            rows: Vec::new(),
+            len: 0,
+            data: Vec::new(),
         }
     }
 
     /// The schema.
     pub fn vars(&self) -> &[String] {
         &self.vars
+    }
+
+    /// The schema width (values per row).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.vars.len()
     }
 
     /// Column index of `var`, if bound.
@@ -65,16 +81,51 @@ impl Bindings {
         self.index.contains_key(var)
     }
 
-    /// Appends a new variable column, returning its index. The caller must
-    /// push a value for it in every row it adds.
+    /// Appends a new variable column, returning its index. Only valid while
+    /// the relation has no rows (operators build fresh output relations);
+    /// use [`Bindings::add_var_with`] to extend existing rows.
     pub fn add_var(&mut self, var: &str) -> usize {
         debug_assert!(
             !self.index.contains_key(var),
             "variable {var} already bound"
         );
+        debug_assert!(
+            self.len == 0,
+            "add_var on a non-empty relation (use add_var_with)"
+        );
         let i = self.vars.len();
         self.vars.push(var.to_string());
         self.index.insert(var.to_string(), i);
+        i
+    }
+
+    /// Appends a new variable column bound to `value` in every existing row.
+    pub fn add_var_with(&mut self, var: &str, value: Value) -> usize {
+        debug_assert!(
+            !self.index.contains_key(var),
+            "variable {var} already bound"
+        );
+        let old_width = self.vars.len();
+        let i = old_width;
+        self.vars.push(var.to_string());
+        self.index.insert(var.to_string(), i);
+        if self.len > 0 {
+            let mut data = Vec::with_capacity(self.len * (old_width + 1));
+            for row in self.data.chunks(old_width.max(1)) {
+                if old_width > 0 {
+                    data.extend(row.iter().cloned());
+                }
+                data.push(value.clone());
+            }
+            if old_width == 0 {
+                // chunks() above yielded nothing for an empty slab.
+                data.clear();
+                for _ in 0..self.len {
+                    data.push(value.clone());
+                }
+            }
+            self.data = data;
+        }
         i
     }
 
@@ -84,29 +135,163 @@ impl Bindings {
     }
 
     /// Number of rows.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Whether there are no rows.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
+    }
+
+    /// Row `i` as a slice of the slab.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        debug_assert!(i < self.len);
+        let w = self.vars.len();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// Iterates the rows as slab slices.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Value]> + '_ {
+        let w = self.vars.len();
+        (0..self.len).map(move |i| &self.data[i * w..(i + 1) * w])
+    }
+
+    /// Reserves slab capacity for `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data
+            .reserve(additional.saturating_mul(self.vars.len()));
+    }
+
+    /// Appends a row, cloning from a slice.
+    #[inline]
+    pub fn push_row(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.vars.len());
+        self.data.extend(row.iter().cloned());
+        self.len += 1;
+    }
+
+    /// Appends a row made of `base` (cloned) followed by owned `extra`
+    /// values — the widening-operator fast path: no intermediate `Vec`.
+    #[inline]
+    pub fn push_row_extend(&mut self, base: &[Value], extra: impl IntoIterator<Item = Value>) {
+        self.data.extend(base.iter().cloned());
+        self.data.extend(extra);
+        debug_assert_eq!(self.data.len() % self.vars.len().max(1), 0);
+        self.len += 1;
+    }
+
+    /// Appends a row of owned values.
+    #[inline]
+    pub fn push_row_values(&mut self, row: impl IntoIterator<Item = Value>) {
+        let before = self.data.len();
+        self.data.extend(row);
+        debug_assert_eq!(self.data.len() - before, self.vars.len());
+        self.len += 1;
+    }
+
+    /// Keeps only the rows for which `keep` returns true, compacting the
+    /// slab in place (no per-row allocation).
+    pub fn retain_rows(&mut self, mut keep: impl FnMut(&[Value]) -> bool) {
+        let w = self.vars.len();
+        if w == 0 {
+            // Zero-width relation: rows are indistinguishable; `keep` sees
+            // the empty slice once per row.
+            let mut kept = 0;
+            for _ in 0..self.len {
+                if keep(&[]) {
+                    kept += 1;
+                }
+            }
+            self.len = kept;
+            return;
+        }
+        let mut write = 0usize;
+        for read in 0..self.len {
+            let keep_it = keep(&self.data[read * w..(read + 1) * w]);
+            if keep_it {
+                if write != read {
+                    for k in 0..w {
+                        self.data.swap(write * w + k, read * w + k);
+                    }
+                }
+                write += 1;
+            }
+        }
+        self.data.truncate(write * w);
+        self.len = write;
+    }
+
+    /// Drops all rows, keeping the schema and the slab's capacity.
+    pub fn clear_rows(&mut self) {
+        self.data.clear();
+        self.len = 0;
     }
 
     /// Projects onto a subset of variables (deduplicating rows), used when
-    /// handing a parent block's bindings to a nested block.
+    /// handing a parent block's bindings to a nested block. Candidate rows
+    /// are hashed as slices and compared against the output slab — no row is
+    /// cloned twice and rejected duplicates are never materialized.
     pub fn project(&self, keep: &[String]) -> Bindings {
         let cols: Vec<usize> = keep.iter().filter_map(|v| self.col(v)).collect();
         let kept: Vec<String> = keep.iter().filter(|v| self.is_bound(v)).cloned().collect();
         let mut out = Bindings::with_vars(kept);
-        let mut seen = strudel_graph::fxhash::FxHashSet::default();
-        for row in &self.rows {
-            let projected: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
-            if seen.insert(projected.clone()) {
-                out.rows.push(projected);
+        let mut dedup = RowDedup::default();
+        for row in self.rows() {
+            let projected = cols.iter().map(|&c| &row[c]);
+            if dedup.probe(&out, projected.clone()) {
+                out.push_row_extend(&[], projected.cloned());
+                dedup.commit(out.len - 1);
             }
         }
         out
+    }
+}
+
+/// Deduplicates rows of a growing [`Bindings`] slab: a row-hash → row-index
+/// table, with collision resolution by comparing against the slab itself.
+/// Protocol: call [`RowDedup::probe`] with the candidate; if it returns
+/// `true`, push the row and [`RowDedup::commit`] its index.
+#[derive(Default)]
+pub struct RowDedup {
+    table: FxHashMap<u64, Vec<u32>>,
+    pending: u64,
+}
+
+impl RowDedup {
+    /// Whether a row with these values is absent from `b` (among committed
+    /// rows). Remembers the hash for a following [`RowDedup::commit`].
+    pub fn probe<'a>(
+        &mut self,
+        b: &Bindings,
+        row: impl Iterator<Item = &'a Value> + Clone,
+    ) -> bool {
+        let mut h = FxHasher::default();
+        let mut n = 0usize;
+        for v in row.clone() {
+            v.hash(&mut h);
+            n += 1;
+        }
+        n.hash(&mut h);
+        let hash = h.finish();
+        self.pending = hash;
+        match self.table.get(&hash) {
+            None => true,
+            Some(candidates) => !candidates
+                .iter()
+                .any(|&i| b.row(i as usize).iter().eq(row.clone())),
+        }
+    }
+
+    /// Records that the row just probed was pushed at `row_index`.
+    pub fn commit(&mut self, row_index: usize) {
+        self.table
+            .entry(self.pending)
+            .or_default()
+            .push(row_index as u32);
     }
 }
 
@@ -119,24 +304,50 @@ mod tests {
         let u = Bindings::unit();
         assert_eq!(u.len(), 1);
         assert!(u.vars().is_empty());
+        assert_eq!(u.row(0), &[] as &[Value]);
     }
 
     #[test]
     fn add_var_and_get() {
         let mut b = Bindings::unit();
-        let _x = b.add_var("x");
-        b.rows[0].push(Value::Int(7));
-        assert_eq!(b.get(&b.rows[0], "x"), Some(&Value::Int(7)));
-        assert_eq!(b.get(&b.rows[0], "y"), None);
+        let _x = b.add_var_with("x", Value::Int(7));
+        assert_eq!(b.get(b.row(0), "x"), Some(&Value::Int(7)));
+        assert_eq!(b.get(b.row(0), "y"), None);
         assert!(b.is_bound("x"));
+    }
+
+    #[test]
+    fn add_var_with_extends_every_row() {
+        let mut b = Bindings::with_vars(vec!["x".into()]);
+        b.push_row(&[Value::Int(1)]);
+        b.push_row(&[Value::Int(2)]);
+        b.add_var_with("y", Value::str("k"));
+        assert_eq!(b.width(), 2);
+        assert_eq!(b.row(0), &[Value::Int(1), Value::str("k")]);
+        assert_eq!(b.row(1), &[Value::Int(2), Value::str("k")]);
+    }
+
+    #[test]
+    fn retain_rows_compacts() {
+        let mut b = Bindings::with_vars(vec!["x".into()]);
+        for i in 0..10 {
+            b.push_row(&[Value::Int(i)]);
+        }
+        b.retain_rows(|r| matches!(r[0], Value::Int(i) if i % 3 == 0));
+        assert_eq!(b.len(), 4);
+        let got: Vec<_> = b.rows().map(|r| r[0].clone()).collect();
+        assert_eq!(
+            got,
+            vec![Value::Int(0), Value::Int(3), Value::Int(6), Value::Int(9)]
+        );
     }
 
     #[test]
     fn project_deduplicates() {
         let mut b = Bindings::with_vars(vec!["x".into(), "y".into()]);
-        b.rows.push(vec![Value::Int(1), Value::Int(10)]);
-        b.rows.push(vec![Value::Int(1), Value::Int(20)]);
-        b.rows.push(vec![Value::Int(2), Value::Int(30)]);
+        b.push_row(&[Value::Int(1), Value::Int(10)]);
+        b.push_row(&[Value::Int(1), Value::Int(20)]);
+        b.push_row(&[Value::Int(2), Value::Int(30)]);
         let p = b.project(&["x".to_string()]);
         assert_eq!(p.len(), 2);
         assert_eq!(p.vars(), &["x".to_string()]);
@@ -147,5 +358,25 @@ mod tests {
         let b = Bindings::with_vars(vec!["x".into()]);
         let p = b.project(&["x".to_string(), "z".to_string()]);
         assert_eq!(p.vars(), &["x".to_string()]);
+    }
+
+    #[test]
+    fn row_dedup_distinguishes_equal_hashes_by_content() {
+        let mut b = Bindings::with_vars(vec!["x".into(), "y".into()]);
+        let mut dedup = RowDedup::default();
+        let rows = [
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(1), Value::str("b")],
+        ];
+        let mut inserted = 0;
+        for r in &rows {
+            if dedup.probe(&b, r.iter()) {
+                b.push_row(r);
+                dedup.commit(b.len() - 1);
+                inserted += 1;
+            }
+        }
+        assert_eq!(inserted, 2);
     }
 }

@@ -22,11 +22,18 @@ use strudel_graph::{Graph, Oid, Sym, Value};
 
 /// The memo table of Skolem-function applications:
 /// `(function name, argument values) → node`.
+///
+/// Nested maps (name → args → node) so the hot lookup path hashes the
+/// borrowed `&str` and `&[Value]` directly — no `(String, Vec)` key is
+/// allocated per call; allocations happen only on first instantiation.
 #[derive(Default, Debug)]
 pub struct SkolemTable {
-    map: FxHashMap<(String, Vec<Value>), Oid>,
-    /// Edges already emitted into the output graph (set semantics).
-    emitted: FxHashSet<(Oid, Sym, Value)>,
+    map: FxHashMap<String, FxHashMap<Vec<Value>, Oid>>,
+    count: usize,
+    /// Edges already emitted into the output graph (set semantics). Keyed
+    /// by `(from, label)` so duplicate emissions probe without cloning the
+    /// target value.
+    emitted: FxHashMap<(Oid, Sym), FxHashSet<Value>>,
 }
 
 impl SkolemTable {
@@ -37,12 +44,12 @@ impl SkolemTable {
 
     /// Number of distinct Skolem applications instantiated.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.count
     }
 
     /// Whether no applications have been instantiated.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.count == 0
     }
 
     /// Resolves `name(args)` to its node, creating the node in `out` on
@@ -50,8 +57,14 @@ impl SkolemTable {
     /// (`YearPage(1997)`), which the HTML generator later uses for stable
     /// file names.
     pub fn instantiate(&mut self, out: &mut Graph, name: &str, args: &[Value]) -> Oid {
-        if let Some(&oid) = self.map.get(&(name.to_string(), args.to_vec())) {
-            return oid;
+        self.instantiate_tracked(out, name, args).0
+    }
+
+    /// Like [`SkolemTable::instantiate`], also reporting whether the node
+    /// was created by this call.
+    fn instantiate_tracked(&mut self, out: &mut Graph, name: &str, args: &[Value]) -> (Oid, bool) {
+        if let Some(&oid) = self.map.get(name).and_then(|m| m.get(args)) {
+            return (oid, false);
         }
         let mut label = String::with_capacity(name.len() + 8);
         label.push_str(name);
@@ -70,36 +83,42 @@ impl SkolemTable {
         }
         label.push(')');
         let oid = out.new_node(Some(&label));
-        self.map.insert((name.to_string(), args.to_vec()), oid);
-        oid
+        self.map
+            .entry(name.to_string())
+            .or_default()
+            .insert(args.to_vec(), oid);
+        self.count += 1;
+        (oid, true)
     }
 
     /// Looks up an existing application without creating it.
     pub fn lookup(&self, name: &str, args: &[Value]) -> Option<Oid> {
-        self.map.get(&(name.to_string(), args.to_vec())).copied()
+        self.map.get(name).and_then(|m| m.get(args)).copied()
     }
 
     /// Iterates all instantiated applications.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[Value], Oid)> {
-        self.map
-            .iter()
-            .map(|((name, args), &oid)| (name.as_str(), args.as_slice(), oid))
+        self.map.iter().flat_map(|(name, m)| {
+            m.iter()
+                .map(move |(args, &oid)| (name.as_str(), args.as_slice(), oid))
+        })
     }
 
     fn emit_edge(&mut self, out: &mut Graph, from: Oid, label: Sym, to: Value) -> Result<bool> {
-        if self.emitted.insert((from, label, to.clone())) {
-            // Linking to an existing node pulls it (and its attributes)
-            // into the output graph — graphs of a database share objects.
-            if let Value::Node(n) = &to {
-                if !out.contains_node(*n) {
-                    out.adopt_node(*n)?;
-                }
-            }
-            out.add_edge(from, label, to)?;
-            Ok(true)
-        } else {
-            Ok(false)
+        let set = self.emitted.entry((from, label)).or_default();
+        if set.contains(&to) {
+            return Ok(false);
         }
+        set.insert(to.clone());
+        // Linking to an existing node pulls it (and its attributes)
+        // into the output graph — graphs of a database share objects.
+        if let Value::Node(n) = &to {
+            if !out.contains_node(*n) {
+                out.adopt_node(*n)?;
+            }
+        }
+        out.add_edge(from, label, to)?;
+        Ok(true)
     }
 }
 
@@ -112,6 +131,86 @@ pub struct ConstructStats {
     pub edges_created: u64,
     /// Collection insertions (deduplicated).
     pub collected: u64,
+}
+
+/// A Skolem term resolved against a bindings schema: argument variables as
+/// column indexes, so per-row resolution gathers values without name
+/// lookups.
+struct SkPlan<'a> {
+    name: &'a str,
+    cols: Vec<usize>,
+}
+
+impl<'a> SkPlan<'a> {
+    fn of(b: &Bindings, sk: &'a SkolemTerm) -> Result<SkPlan<'a>> {
+        let cols = sk
+            .args
+            .iter()
+            .map(|a| {
+                b.col(a).ok_or_else(|| {
+                    StruqlError::eval(format!(
+                        "Skolem argument `{a}` unbound at construction time"
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+        Ok(SkPlan {
+            name: &sk.name,
+            cols,
+        })
+    }
+
+    fn resolve(
+        &self,
+        table: &mut SkolemTable,
+        out: &mut Graph,
+        row: &[Value],
+        buf: &mut Vec<Value>,
+        stats: &mut ConstructStats,
+    ) -> Oid {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|&c| row[c].clone()));
+        let (oid, created) = table.instantiate_tracked(out, self.name, buf);
+        if created {
+            stats.nodes_created += 1;
+        }
+        oid
+    }
+}
+
+/// A link label resolved against a bindings schema.
+enum LabelPlan<'a> {
+    Lit(Sym),
+    Col(usize, &'a str),
+}
+
+/// A link target / collect argument resolved against a bindings schema.
+enum TargetPlan<'a> {
+    Skolem(SkPlan<'a>),
+    Col(usize),
+    Lit(Value),
+    Agg(usize),
+}
+
+impl<'a> TargetPlan<'a> {
+    fn of(b: &Bindings, term: &'a Term, what: &str) -> Result<TargetPlan<'a>> {
+        match term {
+            Term::Skolem(sk) => Ok(TargetPlan::Skolem(SkPlan::of(b, sk)?)),
+            Term::Var(v) => Ok(TargetPlan::Col(b.col(v).ok_or_else(|| {
+                StruqlError::eval(format!("{what} variable `{v}` unbound"))
+            })?)),
+            Term::Lit(l) => Ok(TargetPlan::Lit(l.to_value())),
+            Term::Agg(_, v) => Ok(TargetPlan::Agg(b.col(v).ok_or_else(|| {
+                StruqlError::eval(format!("aggregate variable `{v}` unbound"))
+            })?)),
+        }
+    }
+}
+
+struct LinkPlan<'a> {
+    from: SkPlan<'a>,
+    label: LabelPlan<'a>,
+    to: TargetPlan<'a>,
 }
 
 /// Runs a block's construction clauses over its bindings relation, writing
@@ -127,20 +226,49 @@ pub fn apply_block(
         return Ok(());
     }
 
-    // Pre-intern literal link labels and pre-resolve collect collections.
-    let link_labels: Vec<Option<Sym>> = block
+    // Nothing to construct from an empty relation (aggregates over an
+    // empty group emit nothing either).
+    if bindings.is_empty() {
+        return Ok(());
+    }
+
+    // Resolve every variable reference against the bindings schema once,
+    // pre-intern literal link labels and pre-resolve collect collections —
+    // the per-row loop then works with column indexes only.
+    let create_plans: Vec<SkPlan<'_>> = block
+        .creates
+        .iter()
+        .map(|sk| SkPlan::of(bindings, sk))
+        .collect::<Result<_>>()?;
+    let link_plans: Vec<LinkPlan<'_>> = block
         .links
         .iter()
-        .map(|l| match &l.label {
-            LabelTerm::Lit(s) => Some(out.sym(s)),
-            LabelTerm::Var(_) => None,
+        .map(|link| {
+            Ok(LinkPlan {
+                from: SkPlan::of(bindings, &link.from)?,
+                label: match &link.label {
+                    LabelTerm::Lit(s) => LabelPlan::Lit(out.sym(s)),
+                    LabelTerm::Var(v) => LabelPlan::Col(
+                        bindings.col(v).ok_or_else(|| {
+                            StruqlError::eval(format!("link label variable `{v}` unbound"))
+                        })?,
+                        v,
+                    ),
+                },
+                to: TargetPlan::of(bindings, &link.to, "link target")?,
+            })
         })
-        .collect();
+        .collect::<Result<_>>()?;
     let collect_syms: Vec<Sym> = block
         .collects
         .iter()
         .map(|c| out.ensure_collection(&c.name))
         .collect();
+    let coll_plans: Vec<TargetPlan<'_>> = block
+        .collects
+        .iter()
+        .map(|c| TargetPlan::of(bindings, &c.arg, "collect argument"))
+        .collect::<Result<_>>()?;
 
     // Aggregation accumulators (§5.2 extension): link targets group by
     // (link clause, source node, label); collect arguments aggregate over
@@ -148,45 +276,20 @@ pub fn apply_block(
     let mut agg_links: FxHashMap<(usize, Oid, Sym), FxHashSet<Value>> = FxHashMap::default();
     let mut agg_collects: FxHashMap<usize, FxHashSet<Value>> = FxHashMap::default();
 
-    for row_idx in 0..bindings.rows.len() {
-        let resolve_skolem =
-            |table: &mut SkolemTable, out: &mut Graph, sk: &SkolemTerm| -> Result<Oid> {
-                let mut args = Vec::with_capacity(sk.args.len());
-                let row = &bindings.rows[row_idx];
-                for a in &sk.args {
-                    let v = bindings.get(row, a).ok_or_else(|| {
-                        StruqlError::eval(format!(
-                            "Skolem argument `{a}` unbound at construction time"
-                        ))
-                    })?;
-                    args.push(v.clone());
-                }
-                let before = table.len();
-                let oid = table.instantiate(out, &sk.name, &args);
-                if table.len() > before {
-                    // freshly created
-                }
-                Ok(oid)
-            };
+    let mut args: Vec<Value> = Vec::new();
+    for row_idx in 0..bindings.len() {
+        let row = bindings.row(row_idx);
 
-        for sk in &block.creates {
-            let before = table.len();
-            resolve_skolem(table, out, sk)?;
-            if table.len() > before {
-                stats.nodes_created += 1;
-            }
+        for plan in &create_plans {
+            plan.resolve(table, out, row, &mut args, stats);
         }
 
-        for (link_idx, (link, lit_label)) in block.links.iter().zip(&link_labels).enumerate() {
-            let before_nodes = table.len();
-            let from = resolve_skolem(table, out, &link.from)?;
-            let label = match (&link.label, lit_label) {
-                (_, Some(sym)) => *sym,
-                (LabelTerm::Var(v), None) => {
-                    let row = &bindings.rows[row_idx];
-                    let value = bindings.get(row, v).ok_or_else(|| {
-                        StruqlError::eval(format!("link label variable `{v}` unbound"))
-                    })?;
+        for (link_idx, lp) in link_plans.iter().enumerate() {
+            let from = lp.from.resolve(table, out, row, &mut args, stats);
+            let label = match &lp.label {
+                LabelPlan::Lit(sym) => *sym,
+                LabelPlan::Col(c, v) => {
+                    let value = &row[*c];
                     match value.text() {
                         Some(t) => out.sym(&t),
                         None => {
@@ -196,74 +299,45 @@ pub fn apply_block(
                         }
                     }
                 }
-                (LabelTerm::Lit(_), None) => unreachable!("literal labels pre-interned"),
             };
-            let to: Value = match &link.to {
-                Term::Skolem(sk) => Value::Node(resolve_skolem(table, out, sk)?),
-                Term::Var(v) => {
-                    let row = &bindings.rows[row_idx];
-                    bindings
-                        .get(row, v)
-                        .ok_or_else(|| {
-                            StruqlError::eval(format!("link target variable `{v}` unbound"))
-                        })?
-                        .clone()
-                }
-                Term::Lit(l) => l.to_value(),
-                Term::Agg(_, v) => {
+            let to: Value = match &lp.to {
+                TargetPlan::Skolem(p) => Value::Node(p.resolve(table, out, row, &mut args, stats)),
+                TargetPlan::Col(c) => row[*c].clone(),
+                TargetPlan::Lit(v) => v.clone(),
+                TargetPlan::Agg(c) => {
                     // Accumulate the group; the edge is emitted after the
                     // row loop.
-                    let row = &bindings.rows[row_idx];
-                    let value = bindings.get(row, v).ok_or_else(|| {
-                        StruqlError::eval(format!("aggregate variable `{v}` unbound"))
-                    })?;
-                    stats.nodes_created += (table.len() - before_nodes) as u64;
                     agg_links
                         .entry((link_idx, from, label))
                         .or_default()
-                        .insert(value.clone());
+                        .insert(row[*c].clone());
                     continue;
                 }
             };
-            stats.nodes_created += (table.len() - before_nodes) as u64;
             if table.emit_edge(out, from, label, to)? {
                 stats.edges_created += 1;
             }
         }
 
-        for (coll_idx, (coll, &sym)) in block.collects.iter().zip(&collect_syms).enumerate() {
-            let before_nodes = table.len();
-            let value: Value = match &coll.arg {
-                Term::Skolem(sk) => Value::Node(resolve_skolem(table, out, sk)?),
-                Term::Var(v) => {
-                    let row = &bindings.rows[row_idx];
-                    bindings
-                        .get(row, v)
-                        .ok_or_else(|| {
-                            StruqlError::eval(format!("collect argument `{v}` unbound"))
-                        })?
-                        .clone()
-                }
-                Term::Lit(l) => l.to_value(),
-                Term::Agg(_, v) => {
-                    let row = &bindings.rows[row_idx];
-                    let value = bindings.get(row, v).ok_or_else(|| {
-                        StruqlError::eval(format!("aggregate variable `{v}` unbound"))
-                    })?;
+        for (coll_idx, cp) in coll_plans.iter().enumerate() {
+            let value: Value = match cp {
+                TargetPlan::Skolem(p) => Value::Node(p.resolve(table, out, row, &mut args, stats)),
+                TargetPlan::Col(c) => row[*c].clone(),
+                TargetPlan::Lit(v) => v.clone(),
+                TargetPlan::Agg(c) => {
                     agg_collects
                         .entry(coll_idx)
                         .or_default()
-                        .insert(value.clone());
+                        .insert(row[*c].clone());
                     continue;
                 }
             };
-            stats.nodes_created += (table.len() - before_nodes) as u64;
             if let Value::Node(n) = &value {
                 if !out.contains_node(*n) {
                     out.adopt_node(*n)?;
                 }
             }
-            if out.add_to_collection(sym, value) {
+            if out.add_to_collection(collect_syms[coll_idx], value) {
                 stats.collected += 1;
             }
         }

@@ -10,6 +10,28 @@
 //! gives queries like the graph-complement example of §3 their well-defined
 //! meaning).
 //!
+//! The executor is vectorized over the slab-backed [`Bindings`] relation:
+//!
+//! * *Widening* operators append base-row slices plus new columns directly
+//!   into the output slab ([`Bindings::push_row_extend`]) — no `Vec` is
+//!   allocated per emitted row.
+//! * *Filters* (no new variables) are semi-joins applied in place with
+//!   [`Bindings::retain_rows`]; they never materialize a second relation.
+//! * When an edge condition joins a bound variable against the whole edge
+//!   set (`arc_edge_scan` with a bound target), a hash probe table over the
+//!   edge targets is built once per condition and each row probes it —
+//!   replacing the O(rows·edges) nested loop. Row-independent match sets
+//!   (unbound or literal targets) are computed once and cross-joined.
+//! * Regular-path work is memoized in an evaluator-lifetime [`PathCache`]
+//!   shared through [`EvalOptions`]: compiled (and reversed) automata,
+//!   per-start reachability sets, and the materialized reverse adjacency
+//!   for unindexed graphs all persist across rows, blocks and click-time
+//!   re-expansions, validated against the graph's
+//!   [`CacheStamp`](strudel_graph::graph::CacheStamp) on every access.
+//! * Single-label path steps (`x -> "author" -> a`) bypass the automaton
+//!   entirely: label matching is an interned-symbol comparison, so they run
+//!   as direct adjacency filters.
+//!
 //! A nested block starts from its parent's bindings, so the conjunction of
 //! ancestor `WHERE` clauses is evaluated exactly once — the paper's nested
 //! blocks are both sugar and a shared-prefix optimization here.
@@ -17,7 +39,10 @@
 //! Equality semantics: `Compare`/`In` conditions and *literals* use the data
 //! model's dynamic coercion ([`strudel_graph::Value::coerced_eq`]); joins of
 //! two bound variables and index probes use strict equality (indexes are
-//! exact). This is documented behaviour of this reproduction.
+//! exact). Hash probe tables are therefore only built for strict-equality
+//! joins; label comparisons group edges by symbol and compare the distinct
+//! label values with coercion. This is documented behaviour of this
+//! reproduction.
 
 use crate::analyze::analyze;
 use crate::ast::*;
@@ -28,10 +53,18 @@ use crate::optimize::{plan, Optimizer};
 use crate::pred::PredicateRegistry;
 use crate::rpe::Nfa;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use strudel_graph::fxhash::{FxHashMap, FxHashSet};
-use strudel_graph::graph::GraphReader;
+use strudel_graph::graph::{CacheStamp, GraphReader};
 use strudel_graph::{Graph, Oid, Sym, Value};
+
+/// Reverse adjacency / probe-table shape: edge target value → the
+/// `(source, label)` pairs of edges arriving at it.
+type RevAdj = FxHashMap<Value, Vec<(Oid, Sym)>>;
+
+/// Row-independent arc-edge matches grouped by (label value, edges),
+/// where each edge carries the target to bind (if any).
+type ArcLabelGroups = Vec<(Value, Vec<(Oid, Option<Value>)>)>;
 
 pub use crate::optimize::Optimizer as OptimizerChoice;
 
@@ -47,6 +80,9 @@ pub struct EvalOptions {
     pub max_rows: usize,
     /// Record per-block plan descriptions in the stats.
     pub explain: bool,
+    /// Memo caches for regular-path work, shared by every evaluation using
+    /// (a clone of) these options and invalidated by graph mutation.
+    pub path_cache: Arc<PathCache>,
 }
 
 impl Default for EvalOptions {
@@ -56,6 +92,7 @@ impl Default for EvalOptions {
             predicates: PredicateRegistry::with_builtins(),
             max_rows: 10_000_000,
             explain: false,
+            path_cache: Arc::new(PathCache::default()),
         }
     }
 }
@@ -68,6 +105,65 @@ impl EvalOptions {
             ..Default::default()
         }
     }
+}
+
+/// Evaluator-lifetime memo caches for regular-path-expression work.
+///
+/// Cloning [`EvalOptions`] shares the cache, so a site server reuses
+/// reachability results across clicks and blocks. Every access validates the
+/// stored [`CacheStamp`] against the graph being evaluated; any mutation of
+/// the graph (or of its universe) clears the cache, so stale entries can
+/// never be observed.
+#[derive(Default)]
+pub struct PathCache {
+    inner: Mutex<PathCacheInner>,
+}
+
+impl PathCache {
+    /// Drops all cached state (useful for benchmarks isolating cold costs).
+    pub fn clear(&self) {
+        *self.lock() = PathCacheInner::default();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PathCacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[derive(Default)]
+struct PathCacheInner {
+    /// The graph state the entries below were computed against.
+    stamp: Option<CacheStamp>,
+    /// RPE (display form) → compiled automaton.
+    compiled: FxHashMap<String, Arc<Nfa>>,
+    /// Every automaton that keys a memo entry, kept alive so the pointer
+    /// keys below can never be reused by a new allocation while entries
+    /// referencing them exist.
+    pinned: FxHashMap<usize, Arc<Nfa>>,
+    /// Forward automaton (by address) → reversed automaton.
+    reversed: FxHashMap<usize, Arc<Nfa>>,
+    /// (automaton, start) → values reachable along a matching path.
+    forward: FxHashMap<(usize, Value), Arc<Reach>>,
+    /// (reversed automaton, target) → values a matching path reaches it from.
+    backward: FxHashMap<(usize, Value), Arc<Reach>>,
+    /// Materialized reverse adjacency for unindexed graphs, built at most
+    /// once per cache lifetime.
+    reverse_adj: Option<Arc<RevAdj>>,
+}
+
+impl PathCacheInner {
+    fn pin(&mut self, nfa: &Arc<Nfa>) {
+        self.pinned
+            .entry(Arc::as_ptr(nfa) as usize)
+            .or_insert_with(|| Arc::clone(nfa));
+    }
+}
+
+/// A reachability result: values in BFS emission order plus the same values
+/// as a set for O(1) membership probes.
+struct Reach {
+    order: Vec<Value>,
+    set: FxHashSet<Value>,
 }
 
 /// Counters and plan descriptions from one evaluation.
@@ -151,13 +247,10 @@ impl Query {
         opts: &EvalOptions,
     ) -> Result<Bindings> {
         let analyzed = analyze(self, &opts.predicates)?;
-        let conds: Vec<Condition> = analyzed
+        let conds = analyzed
             .query
             .governing_conditions(id)
-            .ok_or_else(|| StruqlError::eval(format!("no block {id}")))?
-            .into_iter()
-            .cloned()
-            .collect();
+            .ok_or_else(|| StruqlError::eval(format!("no block {id}")))?;
         let mut ev = Ev {
             graph: input,
             opts,
@@ -245,7 +338,7 @@ pub fn evaluate_conditions(
     }
     let bound: FxHashSet<&str> = start.vars().iter().map(String::as_str).collect();
     let p = plan(conds, &bound, input, opts.optimizer);
-    let ordered: Vec<Condition> = p.order.iter().map(|&i| conds[i].clone()).collect();
+    let ordered: Vec<&Condition> = p.order.iter().map(|&i| &conds[i]).collect();
     ev.eval_conditions(&ordered, start, &arc_vars)
 }
 
@@ -280,6 +373,85 @@ struct Ev<'g> {
 }
 
 impl<'g> Ev<'g> {
+    /// Locks the shared path cache, clearing it first if the graph (or its
+    /// universe) has changed since the entries were computed.
+    fn cache(&self) -> MutexGuard<'_, PathCacheInner> {
+        let mut c = self.opts.path_cache.lock();
+        let stamp = self.graph.cache_stamp();
+        if c.stamp != Some(stamp) {
+            *c = PathCacheInner {
+                stamp: Some(stamp),
+                ..PathCacheInner::default()
+            };
+        }
+        c
+    }
+
+    /// The compiled automaton for `rpe`, from the cache.
+    fn compiled_nfa(&self, rpe: &Rpe) -> Arc<Nfa> {
+        let key = rpe.to_string();
+        {
+            let c = self.cache();
+            if let Some(n) = c.compiled.get(&key) {
+                return Arc::clone(n);
+            }
+        }
+        let nfa = Arc::new(Nfa::compile(rpe, self.graph.universe().interner()));
+        let mut c = self.cache();
+        let n = Arc::clone(c.compiled.entry(key).or_insert(nfa));
+        c.pin(&n);
+        n
+    }
+
+    /// The reversed automaton for `nfa`, from the cache.
+    fn reversed_nfa(&self, nfa: &Arc<Nfa>) -> Arc<Nfa> {
+        let key = Arc::as_ptr(nfa) as usize;
+        {
+            let c = self.cache();
+            if let Some(r) = c.reversed.get(&key) {
+                return Arc::clone(r);
+            }
+        }
+        let rev = Arc::new(nfa.reversed());
+        let mut c = self.cache();
+        c.pin(nfa);
+        let r = Arc::clone(c.reversed.entry(key).or_insert(rev));
+        c.pin(&r);
+        r
+    }
+
+    /// Values reachable from `start` along a path matching `nfa`, memoized
+    /// across rows, blocks and evaluations.
+    fn forward_reach(&self, reader: &GraphReader<'_>, nfa: &Arc<Nfa>, start: &Value) -> Arc<Reach> {
+        let key = (Arc::as_ptr(nfa) as usize, start.clone());
+        {
+            let c = self.cache();
+            if let Some(r) = c.forward.get(&key) {
+                return Arc::clone(r);
+            }
+        }
+        let r = Arc::new(self.rpe_forward(reader, nfa, start));
+        let mut c = self.cache();
+        c.pin(nfa);
+        Arc::clone(c.forward.entry(key).or_insert(r))
+    }
+
+    /// Values from which a path matching the (forward) automaton reaches
+    /// `start`, traversed over `rev`/`adj`, memoized like `forward_reach`.
+    fn backward_reach(&self, rev: &Arc<Nfa>, adj: &ReverseAdj<'_>, start: &Value) -> Arc<Reach> {
+        let key = (Arc::as_ptr(rev) as usize, start.clone());
+        {
+            let c = self.cache();
+            if let Some(r) = c.backward.get(&key) {
+                return Arc::clone(r);
+            }
+        }
+        let r = Arc::new(self.rpe_backward(rev, adj, start));
+        let mut c = self.cache();
+        c.pin(rev);
+        Arc::clone(c.backward.entry(key).or_insert(r))
+    }
+
     fn label_value(&self, sym: Sym) -> Value {
         Value::Str(self.graph.universe().interner().resolve(sym))
     }
@@ -302,8 +474,7 @@ impl<'g> Ev<'g> {
                     .plans
                     .push(format!("{}:\n{}", block.id, p.describe(&block.where_)));
             }
-            let ordered: Vec<Condition> =
-                p.order.iter().map(|&i| block.where_[i].clone()).collect();
+            let ordered: Vec<&Condition> = p.order.iter().map(|&i| &block.where_[i]).collect();
             self.eval_conditions(&ordered, parent.clone(), arc_vars)?
         };
         apply_block(block, &bindings, out, table, &mut self.stats.construct)?;
@@ -315,7 +486,7 @@ impl<'g> Ev<'g> {
 
     fn eval_conditions(
         &mut self,
-        conds: &[Condition],
+        conds: &[&Condition],
         start: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
@@ -376,24 +547,6 @@ impl<'g> Ev<'g> {
         }
     }
 
-    /// The value of a term in a row, if available.
-    fn term_value<'r>(
-        b: &Bindings,
-        row: &'r [Value],
-        term: &Term,
-    ) -> Result<Option<ValueOrOwned<'r>>> {
-        match term {
-            Term::Var(v) => Ok(b.get(row, v).map(ValueOrOwned::Ref)),
-            Term::Lit(l) => Ok(Some(ValueOrOwned::Owned(l.to_value()))),
-            Term::Skolem(s) => Err(StruqlError::eval(format!(
-                "Skolem term `{s}` cannot appear in WHERE"
-            ))),
-            Term::Agg(f, v) => Err(StruqlError::eval(format!(
-                "aggregate `{f}({v})` cannot appear in WHERE"
-            ))),
-        }
-    }
-
     /// Active-domain values for a variable: all labels if it is an arc
     /// variable, else all member nodes (documented choice; see module docs).
     fn active_domain(&self, var: &str, arc_vars: &FxHashSet<String>) -> Vec<Value> {
@@ -420,20 +573,18 @@ impl<'g> Ev<'g> {
                 continue;
             }
             let domain = self.active_domain(var, arc_vars);
-            let mut out = Bindings::with_vars(b.vars().to_vec());
-            out.add_var(var);
-            out.rows.reserve(b.len().saturating_mul(domain.len()));
-            for row in &b.rows {
-                for v in &domain {
-                    let mut r = row.clone();
-                    r.push(v.clone());
-                    out.rows.push(r);
-                }
-            }
-            if out.rows.len() > self.opts.max_rows {
+            if b.len().saturating_mul(domain.len()) > self.opts.max_rows {
                 return Err(StruqlError::eval(format!(
                     "active-domain expansion of `{var}` exceeded max_rows"
                 )));
+            }
+            let mut out = Bindings::with_vars(b.vars().to_vec());
+            out.add_var(var);
+            out.reserve_rows(b.len().saturating_mul(domain.len()));
+            for row in b.rows() {
+                for v in &domain {
+                    out.push_row_extend(row, [v.clone()]);
+                }
             }
             b = out;
         }
@@ -445,43 +596,37 @@ impl<'g> Ev<'g> {
         name: &str,
         arg: &Term,
         negated: bool,
-        input: Bindings,
+        mut input: Bindings,
     ) -> Result<Bindings> {
         let coll = self.graph.collection_str(name);
         match arg {
             Term::Var(v) if input.is_bound(v) => {
                 let col = input.col(v).expect("bound");
-                let mut out = Bindings::with_vars(input.vars().to_vec());
-                out.rows.extend(input.rows.into_iter().filter(|row| {
-                    let present = coll.is_some_and(|c| c.contains(&row[col]));
-                    present != negated
-                }));
-                Ok(out)
+                input.retain_rows(|row| coll.is_some_and(|c| c.contains(&row[col])) != negated);
+                Ok(input)
             }
             Term::Var(v) => {
-                let mut out = Bindings::with_vars(input.vars().to_vec());
-                out.add_var(v);
-                if !negated {
-                    let Some(coll) = coll else { return Ok(out) };
-                    out.rows.reserve(input.rows.len() * coll.len());
-                    for row in &input.rows {
-                        for item in coll.items() {
-                            let mut r = row.clone();
-                            r.push(item.clone());
-                            out.rows.push(r);
-                        }
+                // The emitted domain is row-independent: the collection's
+                // extent, or (negated) its complement over the member nodes.
+                let domain: Vec<Value> = if !negated {
+                    match coll {
+                        Some(c) => c.items().to_vec(),
+                        None => Vec::new(),
                     }
                 } else {
-                    // Active domain: nodes not in the collection.
-                    for row in &input.rows {
-                        for &n in self.graph.nodes() {
-                            let v = Value::Node(n);
-                            if !coll.is_some_and(|c| c.contains(&v)) {
-                                let mut r = row.clone();
-                                r.push(v);
-                                out.rows.push(r);
-                            }
-                        }
+                    self.graph
+                        .nodes()
+                        .iter()
+                        .map(|&n| Value::Node(n))
+                        .filter(|v| !coll.is_some_and(|c| c.contains(v)))
+                        .collect()
+                };
+                let mut out = Bindings::with_vars(input.vars().to_vec());
+                out.add_var(v);
+                out.reserve_rows(input.len().saturating_mul(domain.len()));
+                for row in input.rows() {
+                    for item in &domain {
+                        out.push_row_extend(row, [item.clone()]);
                     }
                 }
                 Ok(out)
@@ -489,12 +634,10 @@ impl<'g> Ev<'g> {
             Term::Lit(l) => {
                 let val = l.to_value();
                 let present = coll.is_some_and(|c| c.contains(&val));
-                let keep = present != negated;
-                let mut out = Bindings::with_vars(input.vars().to_vec());
-                if keep {
-                    out.rows = input.rows;
+                if present == negated {
+                    input.clear_rows();
                 }
-                Ok(out)
+                Ok(input)
             }
             Term::Skolem(s) => Err(StruqlError::eval(format!(
                 "Skolem term `{s}` cannot appear in WHERE"
@@ -528,19 +671,16 @@ impl<'g> Ev<'g> {
             } else {
                 (lhs.as_var().expect("unbound side is a var"), rhs)
             };
+            let slot = TermSlot::of(&input, bound_term)?;
             let mut out = Bindings::with_vars(input.vars().to_vec());
             out.add_var(var);
-            for row in &input.rows {
-                let val = Self::term_value(&input, row, bound_term)?
-                    .expect("bound")
-                    .into_owned();
-                let mut r = row.clone();
-                r.push(val);
-                out.rows.push(r);
+            out.reserve_rows(input.len());
+            for row in input.rows() {
+                out.push_row_extend(row, [slot.value(row).clone()]);
             }
             return Ok(out);
         }
-        // General case: expand any unbound vars, then filter.
+        // General case: expand any unbound vars, then filter in place.
         let mut need: Vec<&str> = Vec::new();
         for t in [lhs, rhs] {
             if let Term::Var(v) = t {
@@ -549,16 +689,11 @@ impl<'g> Ev<'g> {
                 }
             }
         }
-        let b = self.expand_active(input, &need, arc_vars)?;
-        let mut out = Bindings::with_vars(b.vars().to_vec());
-        for row in &b.rows {
-            let l = Self::term_value(&b, row, lhs)?.expect("expanded");
-            let r = Self::term_value(&b, row, rhs)?.expect("expanded");
-            if compare(l.as_ref(), op, r.as_ref()) {
-                out.rows.push(row.clone());
-            }
-        }
-        Ok(out)
+        let mut b = self.expand_active(input, &need, arc_vars)?;
+        let ls = TermSlot::of(&b, lhs)?;
+        let rs = TermSlot::of(&b, rhs)?;
+        b.retain_rows(|row| compare(ls.value(row), op, rs.value(row)));
+        Ok(b)
     }
 
     fn apply_in(
@@ -566,26 +701,22 @@ impl<'g> Ev<'g> {
         var: &str,
         set: &[Literal],
         negated: bool,
-        input: Bindings,
+        mut input: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
         if input.is_bound(var) {
             let col = input.col(var).expect("bound");
             let vals: Vec<Value> = set.iter().map(Literal::to_value).collect();
-            let mut out = Bindings::with_vars(input.vars().to_vec());
-            out.rows.extend(input.rows.into_iter().filter(|row| {
-                let member = vals.iter().any(|v| v.coerced_eq(&row[col]));
-                member != negated
-            }));
-            Ok(out)
+            input.retain_rows(|row| vals.iter().any(|v| v.coerced_eq(&row[col])) != negated);
+            Ok(input)
         } else if !negated {
+            let vals: Vec<Value> = set.iter().map(Literal::to_value).collect();
             let mut out = Bindings::with_vars(input.vars().to_vec());
             out.add_var(var);
-            for row in &input.rows {
-                for lit in set {
-                    let mut r = row.clone();
-                    r.push(lit.to_value());
-                    out.rows.push(r);
+            out.reserve_rows(input.len().saturating_mul(vals.len()));
+            for row in input.rows() {
+                for v in &vals {
+                    out.push_row_extend(row, [v.clone()]);
                 }
             }
             Ok(out)
@@ -608,24 +739,27 @@ impl<'g> Ev<'g> {
             .filter_map(|t| t.as_var())
             .filter(|v| !input.is_bound(v))
             .collect();
-        let b = self.expand_active(input, &need, arc_vars)?;
-        let mut out = Bindings::with_vars(b.vars().to_vec());
-        for row in &b.rows {
-            let mut resolved: Vec<ValueOrOwned<'_>> = Vec::with_capacity(args.len());
-            for a in args {
-                resolved.push(Self::term_value(&b, row, a)?.expect("expanded"));
+        let mut b = self.expand_active(input, &need, arc_vars)?;
+        let slots: Vec<TermSlot> = args
+            .iter()
+            .map(|a| TermSlot::of(&b, a))
+            .collect::<Result<_>>()?;
+        let preds = &self.opts.predicates;
+        let mut unknown = false;
+        b.retain_rows(|row| {
+            let refs: Vec<&Value> = slots.iter().map(|s| s.value(row)).collect();
+            match preds.apply(name, &refs) {
+                Some(holds) => holds != negated,
+                None => {
+                    unknown = true;
+                    false
+                }
             }
-            let refs: Vec<&Value> = resolved.iter().map(|v| v.as_ref()).collect();
-            let holds = self
-                .opts
-                .predicates
-                .apply(name, &refs)
-                .ok_or_else(|| StruqlError::eval(format!("unknown predicate `{name}`")))?;
-            if holds != negated {
-                out.rows.push(row.clone());
-            }
+        });
+        if unknown {
+            return Err(StruqlError::eval(format!("unknown predicate `{name}`")));
         }
-        Ok(out)
+        Ok(b)
     }
 
     /// `from -> l -> to` with `l` an arc variable: single-edge conditions.
@@ -650,19 +784,23 @@ impl<'g> Ev<'g> {
             if !input.is_bound(l) {
                 need.push(l);
             }
-            let b = self.expand_active(input, &need, arc_vars)?;
+            let mut b = self.expand_active(input, &need, arc_vars)?;
             let reader = self.graph.reader();
-            let mut out = Bindings::with_vars(b.vars().to_vec());
-            for row in &b.rows {
-                let f = Self::term_value(&b, row, from)?.expect("expanded");
-                let lv = b.get(row, l).expect("expanded").clone();
-                let t = Self::term_value(&b, row, to)?.expect("expanded");
-                let exists = self.edge_exists(&reader, f.as_ref(), Some(&lv), t.as_ref());
-                if !exists {
-                    out.rows.push(row.clone());
-                }
-            }
-            return Ok(out);
+            let fs = TermSlot::of(&b, from)?;
+            let ts = TermSlot::of(&b, to)?;
+            let l_col = b.col(l).expect("expanded");
+            let mut labels = LabelCache::default();
+            let ev = &*self;
+            b.retain_rows(|row| {
+                !ev.edge_exists(
+                    &reader,
+                    &mut labels,
+                    fs.value(row),
+                    Some(&row[l_col]),
+                    ts.value(row),
+                )
+            });
+            return Ok(b);
         }
 
         let from_bound = match from {
@@ -691,56 +829,56 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
-        let l_bound = input.is_bound(l);
+        let l_col = input.col(l);
         let to_unbound_var = match to {
             Term::Var(v) if !input.is_bound(v) => Some(v.as_str()),
             _ => None,
         };
+        let to_mode = ToMode::of(&input, to)?;
+        let fs = TermSlot::of(&input, from)?;
         let mut out = Bindings::with_vars(input.vars().to_vec());
-        if !l_bound {
+        if l_col.is_none() {
             out.add_var(l);
         }
         if let Some(v) = to_unbound_var {
             out.add_var(v);
         }
         let reader = self.graph.reader();
-        for row in &input.rows {
-            let f = Self::term_value(&input, row, from)?.expect("bound");
-            let Some(n) = f.as_ref().as_node() else {
+        let mut labels = LabelCache::default();
+        for row in input.rows() {
+            let Some(n) = fs.value(row).as_node() else {
                 continue;
             };
             for (sym, target) in reader.out(n) {
-                let lv = self.label_value(*sym);
-                if l_bound {
-                    let bound_l = input.get(row, l).expect("bound");
-                    if !lv.coerced_eq(bound_l) {
+                if let Some(c) = l_col {
+                    if !labels.get(self.graph, *sym).coerced_eq(&row[c]) {
                         continue;
                     }
                 }
-                match (to_unbound_var, to) {
-                    (Some(_), _) => {}
-                    (None, Term::Var(v)) => {
-                        if input.get(row, v).expect("bound") != target {
+                match &to_mode {
+                    ToMode::Unbound => {}
+                    ToMode::BoundCol(c) => {
+                        if &row[*c] != target {
                             continue;
                         }
                     }
-                    (None, Term::Lit(lit)) => {
-                        if !lit.to_value().coerced_eq(target) {
+                    ToMode::Lit(lv) => {
+                        if !lv.coerced_eq(target) {
                             continue;
                         }
                     }
-                    (None, Term::Skolem(_) | Term::Agg(..)) => {
-                        unreachable!("checked by term_value")
+                }
+                match (l_col.is_some(), to_unbound_var.is_some()) {
+                    (true, true) => out.push_row_extend(row, [target.clone()]),
+                    (true, false) => out.push_row(row),
+                    (false, true) => out.push_row_extend(
+                        row,
+                        [labels.get(self.graph, *sym).clone(), target.clone()],
+                    ),
+                    (false, false) => {
+                        out.push_row_extend(row, [labels.get(self.graph, *sym).clone()])
                     }
                 }
-                let mut r = row.clone();
-                if !l_bound {
-                    r.push(lv);
-                }
-                if to_unbound_var.is_some() {
-                    r.push(target.clone());
-                }
-                out.rows.push(r);
             }
         }
         Ok(out)
@@ -754,41 +892,41 @@ impl<'g> Ev<'g> {
         input: Bindings,
     ) -> Result<Bindings> {
         let idx = self.graph.index().expect("checked indexed");
-        let l_bound = input.is_bound(l);
+        let l_col = input.col(l);
         let from_var = from.as_var().expect("from is an unbound var here");
+        let ts = TermSlot::of(&input, to)?;
         let mut out = Bindings::with_vars(input.vars().to_vec());
-        if !l_bound {
+        if l_col.is_none() {
             out.add_var(l);
         }
         out.add_var(from_var);
-        for row in &input.rows {
-            let t = Self::term_value(&input, row, to)?
-                .expect("bound")
-                .into_owned();
-            let incoming: &[(Oid, Sym)] = match &t {
+        let mut labels = LabelCache::default();
+        for row in input.rows() {
+            let incoming: &[(Oid, Sym)] = match ts.value(row) {
                 Value::Node(n) => idx.edges_to_node(*n),
                 atomic => idx.edges_to_value(atomic),
             };
             for (src, sym) in incoming {
-                let lv = self.label_value(*sym);
-                if l_bound {
-                    let bound_l = input.get(row, l).expect("bound");
-                    if !lv.coerced_eq(bound_l) {
+                if let Some(c) = l_col {
+                    if !labels.get(self.graph, *sym).coerced_eq(&row[c]) {
                         continue;
                     }
+                    out.push_row_extend(row, [Value::Node(*src)]);
+                } else {
+                    out.push_row_extend(
+                        row,
+                        [labels.get(self.graph, *sym).clone(), Value::Node(*src)],
+                    );
                 }
-                let mut r = row.clone();
-                if !l_bound {
-                    r.push(lv);
-                }
-                r.push(Value::Node(*src));
-                out.rows.push(r);
             }
         }
         Ok(out)
     }
 
-    /// Full edge scan: `from` unbound and no usable reverse index.
+    /// Full edge scan: `from` unbound and no usable reverse index. A bound
+    /// target turns this into a hash join (probe table over edge targets,
+    /// built once); unbound/literal targets have a row-independent match set
+    /// computed once and cross-joined with the input.
     fn arc_edge_scan(
         &mut self,
         from: &Term,
@@ -797,7 +935,7 @@ impl<'g> Ev<'g> {
         input: Bindings,
     ) -> Result<Bindings> {
         let from_var = from.as_var().expect("from is an unbound var here");
-        let l_bound = input.is_bound(l);
+        let l_col = input.col(l);
         let to_state = match to {
             Term::Var(v) if !input.is_bound(v) => ToState::Unbound(v.as_str()),
             Term::Var(v) => ToState::BoundVar(v.as_str()),
@@ -813,44 +951,105 @@ impl<'g> Ev<'g> {
                 )))
             }
         };
+        // `x -> l -> x` with one unbound variable on both ends binds it to
+        // self-loop sources only, in a single column.
+        let same_var = matches!(&to_state, ToState::Unbound(v) if *v == from_var);
         let mut out = Bindings::with_vars(input.vars().to_vec());
         out.add_var(from_var);
-        if !l_bound {
+        if l_col.is_none() {
             out.add_var(l);
         }
-        if let ToState::Unbound(v) = to_state {
-            out.add_var(v);
+        if !same_var {
+            if let ToState::Unbound(v) = to_state {
+                out.add_var(v);
+            }
         }
         let reader = self.graph.reader();
-        for row in &input.rows {
+        let mut labels = LabelCache::default();
+        if let ToState::BoundVar(v) = &to_state {
+            // Hash join: joins of two bound variables use strict equality,
+            // so a probe table keyed by edge target is exact.
+            let tcol = input.col(v).expect("bound");
+            let mut by_target: RevAdj = FxHashMap::default();
             for &n in self.graph.nodes() {
                 for (sym, target) in reader.out(n) {
-                    let lv = self.label_value(*sym);
-                    if l_bound && !lv.coerced_eq(input.get(row, l).expect("bound")) {
+                    by_target.entry(target.clone()).or_default().push((n, *sym));
+                }
+            }
+            for row in input.rows() {
+                let Some(candidates) = by_target.get(&row[tcol]) else {
+                    continue;
+                };
+                for (n, sym) in candidates {
+                    if let Some(c) = l_col {
+                        if !labels.get(self.graph, *sym).coerced_eq(&row[c]) {
+                            continue;
+                        }
+                        out.push_row_extend(row, [Value::Node(*n)]);
+                    } else {
+                        out.push_row_extend(
+                            row,
+                            [Value::Node(*n), labels.get(self.graph, *sym).clone()],
+                        );
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        // Row-independent match set (target unbound or a literal).
+        let lit = match &to_state {
+            ToState::Lit(v) => Some(v),
+            _ => None,
+        };
+        let emit_target = !same_var && matches!(to_state, ToState::Unbound(_));
+        let mut matches: Vec<(Oid, Sym, Option<Value>)> = Vec::new();
+        for &n in self.graph.nodes() {
+            for (sym, target) in reader.out(n) {
+                if let Some(lv) = lit {
+                    if !lv.coerced_eq(target) {
                         continue;
                     }
-                    match &to_state {
-                        ToState::Unbound(_) => {}
-                        ToState::BoundVar(v) => {
-                            if input.get(row, v).expect("bound") != target {
-                                continue;
-                            }
+                }
+                if same_var && *target != Value::Node(n) {
+                    continue;
+                }
+                matches.push((n, *sym, emit_target.then(|| target.clone())));
+            }
+        }
+        if let Some(c) = l_col {
+            // Group matches by label symbol and compare each row's bound
+            // label against the distinct label values (coerced, as literal
+            // label comparisons are).
+            let mut by_label: FxHashMap<Sym, Vec<(Oid, Option<Value>)>> = FxHashMap::default();
+            for (n, sym, tv) in matches {
+                by_label.entry(sym).or_default().push((n, tv));
+            }
+            let groups: ArcLabelGroups = by_label
+                .into_iter()
+                .map(|(sym, es)| (labels.get(self.graph, sym).clone(), es))
+                .collect();
+            for row in input.rows() {
+                for (lv, es) in &groups {
+                    if !lv.coerced_eq(&row[c]) {
+                        continue;
+                    }
+                    for (n, tv) in es {
+                        match tv {
+                            Some(t) => out.push_row_extend(row, [Value::Node(*n), t.clone()]),
+                            None => out.push_row_extend(row, [Value::Node(*n)]),
                         }
-                        ToState::Lit(lit) => {
-                            if !lit.coerced_eq(target) {
-                                continue;
-                            }
-                        }
                     }
-                    let mut r = row.clone();
-                    r.push(Value::Node(n));
-                    if !l_bound {
-                        r.push(lv);
+                }
+            }
+        } else {
+            out.reserve_rows(input.len().saturating_mul(matches.len()));
+            for row in input.rows() {
+                for (n, sym, tv) in &matches {
+                    let lv = labels.get(self.graph, *sym).clone();
+                    match tv {
+                        Some(t) => out.push_row_extend(row, [Value::Node(*n), lv, t.clone()]),
+                        None => out.push_row_extend(row, [Value::Node(*n), lv]),
                     }
-                    if matches!(to_state, ToState::Unbound(_)) {
-                        r.push(target.clone());
-                    }
-                    out.rows.push(r);
                 }
             }
         }
@@ -861,6 +1060,7 @@ impl<'g> Ev<'g> {
     fn edge_exists(
         &self,
         reader: &GraphReader<'_>,
+        labels: &mut LabelCache,
         from: &Value,
         label: Option<&Value>,
         to: &Value,
@@ -870,7 +1070,7 @@ impl<'g> Ev<'g> {
         };
         reader.out(n).iter().any(|(sym, target)| {
             if let Some(lv) = label {
-                if !self.label_value(*sym).coerced_eq(lv) {
+                if !labels.get(self.graph, *sym).coerced_eq(lv) {
                     return false;
                 }
             }
@@ -888,8 +1088,13 @@ impl<'g> Ev<'g> {
         input: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
-        let interner = self.graph.universe().interner();
-        let nfa = Nfa::compile(rpe, interner);
+        // Single-label fast path: `Rpe::Label` matching is an interned-symbol
+        // comparison ([`crate::rpe::EdgeTest::Label`]), so the product
+        // automaton reduces to a direct adjacency filter.
+        if let Rpe::Label(name) = rpe {
+            return self.apply_label_edge(name, from, to, negated, input, arc_vars);
+        }
+        let nfa = self.compiled_nfa(rpe);
 
         if negated {
             let mut need: Vec<&str> = Vec::new();
@@ -900,25 +1105,16 @@ impl<'g> Ev<'g> {
                     }
                 }
             }
-            let b = self.expand_active(input, &need, arc_vars)?;
-            let mut memo: FxHashMap<Value, FxHashSet<Value>> = FxHashMap::default();
+            let mut b = self.expand_active(input, &need, arc_vars)?;
             let reader = self.graph.reader();
-            let mut out = Bindings::with_vars(b.vars().to_vec());
-            for row in &b.rows {
-                let f = Self::term_value(&b, row, from)?
-                    .expect("expanded")
-                    .into_owned();
-                let t = Self::term_value(&b, row, to)?
-                    .expect("expanded")
-                    .into_owned();
-                let targets = memo
-                    .entry(f.clone())
-                    .or_insert_with(|| self.rpe_forward(&reader, &nfa, &f).into_iter().collect());
-                if !targets.contains(&t) {
-                    out.rows.push(row.clone());
-                }
-            }
-            return Ok(out);
+            let fs = TermSlot::of(&b, from)?;
+            let ts = TermSlot::of(&b, to)?;
+            let ev = &*self;
+            b.retain_rows(|row| {
+                let reach = ev.forward_reach(&reader, &nfa, fs.value(row));
+                !reach.set.contains(ts.value(row))
+            });
+            return Ok(b);
         }
 
         let from_bound = match from {
@@ -937,51 +1133,241 @@ impl<'g> Ev<'g> {
         }
     }
 
+    /// `from -> "label" -> to`: the automaton-free single-label path.
+    /// Semantics match the general path exactly, including the per-source
+    /// target deduplication the BFS result set performs.
+    fn apply_label_edge(
+        &mut self,
+        name: &str,
+        from: &Term,
+        to: &Term,
+        negated: bool,
+        input: Bindings,
+        arc_vars: &FxHashSet<String>,
+    ) -> Result<Bindings> {
+        let want = self.graph.universe().interner().get(name);
+        let reader = self.graph.reader();
+
+        if negated {
+            let mut need: Vec<&str> = Vec::new();
+            for t in [from, to] {
+                if let Term::Var(v) = t {
+                    if !input.is_bound(v) {
+                        need.push(v);
+                    }
+                }
+            }
+            let mut b = self.expand_active(input, &need, arc_vars)?;
+            let fs = TermSlot::of(&b, from)?;
+            let ts = TermSlot::of(&b, to)?;
+            b.retain_rows(|row| {
+                let Some(w) = want else { return true };
+                let Some(n) = fs.value(row).as_node() else {
+                    return true;
+                };
+                let t = ts.value(row);
+                !reader
+                    .out(n)
+                    .iter()
+                    .any(|(sym, target)| *sym == w && target == t)
+            });
+            return Ok(b);
+        }
+
+        let from_bound = match from {
+            Term::Var(v) => input.is_bound(v),
+            _ => true,
+        };
+        if from_bound {
+            let fs = TermSlot::of(&input, from)?;
+            let to_mode = ToMode::of(&input, to)?;
+            match to_mode {
+                ToMode::Unbound => {
+                    let to_var = to.as_var().expect("unbound to is a var");
+                    let mut out = Bindings::with_vars(input.vars().to_vec());
+                    out.add_var(to_var);
+                    let Some(w) = want else { return Ok(out) };
+                    let mut emitted: Vec<&Value> = Vec::new();
+                    for row in input.rows() {
+                        let Some(n) = fs.value(row).as_node() else {
+                            continue;
+                        };
+                        emitted.clear();
+                        for (sym, target) in reader.out(n) {
+                            if *sym != w || emitted.contains(&target) {
+                                continue;
+                            }
+                            emitted.push(target);
+                            out.push_row_extend(row, [target.clone()]);
+                        }
+                    }
+                    Ok(out)
+                }
+                ToMode::BoundCol(c) => {
+                    let mut input = input;
+                    input.retain_rows(|row| {
+                        let Some(w) = want else { return false };
+                        let Some(n) = fs.value(row).as_node() else {
+                            return false;
+                        };
+                        reader
+                            .out(n)
+                            .iter()
+                            .any(|(sym, target)| *sym == w && target == &row[c])
+                    });
+                    Ok(input)
+                }
+                ToMode::Lit(lv) => {
+                    let mut input = input;
+                    input.retain_rows(|row| {
+                        let Some(w) = want else { return false };
+                        let Some(n) = fs.value(row).as_node() else {
+                            return false;
+                        };
+                        reader
+                            .out(n)
+                            .iter()
+                            .any(|(sym, target)| *sym == w && lv.coerced_eq(target))
+                    });
+                    Ok(input)
+                }
+            }
+        } else {
+            let to_bound = match to {
+                Term::Var(v) => input.is_bound(v),
+                _ => true,
+            };
+            let from_var = from.as_var().expect("unbound from");
+            if to_bound {
+                // Probe the reverse adjacency (index or cached materialized
+                // map) and filter by symbol — the hash-join backward path.
+                let adj = self.reverse_adjacency();
+                let ts = TermSlot::of(&input, to)?;
+                let mut out = Bindings::with_vars(input.vars().to_vec());
+                out.add_var(from_var);
+                let Some(w) = want else { return Ok(out) };
+                let mut emitted: Vec<Oid> = Vec::new();
+                for row in input.rows() {
+                    emitted.clear();
+                    for (src, sym) in adj.incoming(ts.value(row)) {
+                        if *sym != w || emitted.contains(src) {
+                            continue;
+                        }
+                        emitted.push(*src);
+                        out.push_row_extend(row, [Value::Node(*src)]);
+                    }
+                }
+                Ok(out)
+            } else {
+                // Both unbound: the pair set is row-independent.
+                let to_state = match to {
+                    Term::Var(v) => ToState::Unbound(v.as_str()),
+                    Term::Lit(lit) => ToState::Lit(lit.to_value()),
+                    Term::Skolem(s) => {
+                        return Err(StruqlError::eval(format!(
+                            "Skolem term `{s}` cannot appear in WHERE"
+                        )))
+                    }
+                    Term::Agg(f, v) => {
+                        return Err(StruqlError::eval(format!(
+                            "aggregate `{f}({v})` cannot appear in WHERE"
+                        )))
+                    }
+                };
+                // `x -> l -> x` with one unbound variable on both ends
+                // binds it to self-loop sources only, in a single column.
+                let same_var = matches!(&to_state, ToState::Unbound(v) if *v == from_var);
+                let mut out = Bindings::with_vars(input.vars().to_vec());
+                out.add_var(from_var);
+                if !same_var {
+                    if let ToState::Unbound(v) = to_state {
+                        out.add_var(v);
+                    }
+                }
+                let Some(w) = want else { return Ok(out) };
+                let mut pairs: Vec<(Oid, Value)> = Vec::new();
+                let mut emitted: Vec<&Value> = Vec::new();
+                for &n in self.graph.nodes() {
+                    emitted.clear();
+                    for (sym, target) in reader.out(n) {
+                        if *sym != w || emitted.contains(&target) {
+                            continue;
+                        }
+                        emitted.push(target);
+                        if let ToState::Lit(lv) = &to_state {
+                            if !lv.coerced_eq(target) {
+                                continue;
+                            }
+                        }
+                        if same_var && *target != Value::Node(n) {
+                            continue;
+                        }
+                        pairs.push((n, target.clone()));
+                    }
+                }
+                let emit_target = !same_var && matches!(to_state, ToState::Unbound(_));
+                out.reserve_rows(input.len().saturating_mul(pairs.len()));
+                for row in input.rows() {
+                    for (n, t) in &pairs {
+                        if emit_target {
+                            out.push_row_extend(row, [Value::Node(*n), t.clone()]);
+                        } else {
+                            out.push_row_extend(row, [Value::Node(*n)]);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
     fn rpe_from_bound(
         &mut self,
-        nfa: &Nfa,
+        nfa: &Arc<Nfa>,
         from: &Term,
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
         let to_unbound_var = match to {
-            Term::Var(v) if !input.is_bound(v) => Some(v.to_string()),
+            Term::Var(v) if !input.is_bound(v) => Some(v.as_str()),
             _ => None,
         };
+        let to_mode = ToMode::of(&input, to)?;
+        let fs = TermSlot::of(&input, from)?;
         let mut out = Bindings::with_vars(input.vars().to_vec());
-        if let Some(v) = &to_unbound_var {
+        if let Some(v) = to_unbound_var {
             out.add_var(v);
         }
         let reader = self.graph.reader();
-        let mut memo: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
-        for row in &input.rows {
-            let f = Self::term_value(&input, row, from)?
-                .expect("bound")
-                .into_owned();
-            let targets = memo
-                .entry(f.clone())
-                .or_insert_with(|| self.rpe_forward(&reader, nfa, &f));
-            match (&to_unbound_var, to) {
-                (Some(_), _) => {
-                    for t in targets.iter() {
-                        let mut r = row.clone();
-                        r.push(t.clone());
-                        out.rows.push(r);
+        // Consecutive rows often share the source value; remember the last
+        // reach set to skip the cache lock.
+        let mut last: Option<(Value, Arc<Reach>)> = None;
+        for row in input.rows() {
+            let f = fs.value(row);
+            let reach = match &last {
+                Some((lf, r)) if lf == f => Arc::clone(r),
+                _ => {
+                    let r = self.forward_reach(&reader, nfa, f);
+                    last = Some((f.clone(), Arc::clone(&r)));
+                    r
+                }
+            };
+            match &to_mode {
+                ToMode::Unbound => {
+                    for t in &reach.order {
+                        out.push_row_extend(row, [t.clone()]);
                     }
                 }
-                (None, Term::Var(v)) => {
-                    let bound = input.get(row, v).expect("bound");
-                    if targets.iter().any(|t| t == bound) {
-                        out.rows.push(row.clone());
+                ToMode::BoundCol(c) => {
+                    if reach.set.contains(&row[*c]) {
+                        out.push_row(row);
                     }
                 }
-                (None, Term::Lit(lit)) => {
-                    let lv = lit.to_value();
-                    if targets.iter().any(|t| lv.coerced_eq(t)) {
-                        out.rows.push(row.clone());
+                ToMode::Lit(lv) => {
+                    if reach.order.iter().any(|t| lv.coerced_eq(t)) {
+                        out.push_row(row);
                     }
                 }
-                (None, Term::Skolem(_) | Term::Agg(..)) => unreachable!("checked by term_value"),
             }
         }
         Ok(out)
@@ -989,30 +1375,32 @@ impl<'g> Ev<'g> {
 
     fn rpe_to_bound(
         &mut self,
-        nfa: &Nfa,
+        nfa: &Arc<Nfa>,
         from: &Term,
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
         let from_var = from.as_var().expect("unbound from");
-        let rev = nfa.reversed();
+        let rev = self.reversed_nfa(nfa);
         let reverse_adj = self.reverse_adjacency();
+        let ts = TermSlot::of(&input, to)?;
         let mut out = Bindings::with_vars(input.vars().to_vec());
         out.add_var(from_var);
-        let mut memo: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
-        for row in &input.rows {
-            let t = Self::term_value(&input, row, to)?
-                .expect("bound")
-                .into_owned();
-            let sources = memo
-                .entry(t.clone())
-                .or_insert_with(|| self.rpe_backward(&rev, &reverse_adj, &t));
-            for s in sources.iter() {
-                // Sources are nodes (edges originate at nodes); keep atomics
-                // only when the empty path matched (s == t).
-                let mut r = row.clone();
-                r.push(s.clone());
-                out.rows.push(r);
+        let mut last: Option<(Value, Arc<Reach>)> = None;
+        for row in input.rows() {
+            let t = ts.value(row);
+            let sources = match &last {
+                Some((lt, r)) if lt == t => Arc::clone(r),
+                _ => {
+                    let r = self.backward_reach(&rev, &reverse_adj, t);
+                    last = Some((t.clone(), Arc::clone(&r)));
+                    r
+                }
+            };
+            // Sources are nodes (edges originate at nodes); keep atomics
+            // only when the empty path matched (s == t).
+            for s in &sources.order {
+                out.push_row_extend(row, [s.clone()]);
             }
         }
         Ok(out)
@@ -1020,7 +1408,7 @@ impl<'g> Ev<'g> {
 
     fn rpe_both_unbound(
         &mut self,
-        nfa: &Nfa,
+        nfa: &Arc<Nfa>,
         from: &Term,
         to: &Term,
         input: Bindings,
@@ -1040,36 +1428,46 @@ impl<'g> Ev<'g> {
                 )))
             }
         };
+        // `x -> rpe -> x` with one unbound variable on both ends binds it
+        // to cyclic sources only, in a single column.
+        let same_var = matches!(&to_state, ToState::Unbound(v) if *v == from_var);
         let mut out = Bindings::with_vars(input.vars().to_vec());
         out.add_var(from_var);
-        if let ToState::Unbound(v) = to_state {
-            out.add_var(v);
+        if !same_var {
+            if let ToState::Unbound(v) = to_state {
+                out.add_var(v);
+            }
         }
         let reader = self.graph.reader();
         // Sources range over the member nodes (the active domain choice).
         let mut pairs: Vec<(Value, Value)> = Vec::new();
         for &n in self.graph.nodes() {
             let f = Value::Node(n);
-            for t in self.rpe_forward(&reader, nfa, &f) {
+            let reach = self.forward_reach(&reader, nfa, &f);
+            for t in &reach.order {
+                if same_var && *t != f {
+                    continue;
+                }
                 match &to_state {
-                    ToState::Unbound(_) => pairs.push((f.clone(), t)),
+                    ToState::Unbound(_) => pairs.push((f.clone(), t.clone())),
                     ToState::Lit(lit) => {
-                        if lit.coerced_eq(&t) {
-                            pairs.push((f.clone(), t));
+                        if lit.coerced_eq(t) {
+                            pairs.push((f.clone(), t.clone()));
                         }
                     }
                     ToState::BoundVar(_) => unreachable!("to is unbound here"),
                 }
             }
         }
-        for row in &input.rows {
+        let emit_target = !same_var && matches!(to_state, ToState::Unbound(_));
+        out.reserve_rows(input.len().saturating_mul(pairs.len()));
+        for row in input.rows() {
             for (f, t) in &pairs {
-                let mut r = row.clone();
-                r.push(f.clone());
-                if matches!(to_state, ToState::Unbound(_)) {
-                    r.push(t.clone());
+                if emit_target {
+                    out.push_row_extend(row, [f.clone(), t.clone()]);
+                } else {
+                    out.push_row_extend(row, [f.clone()]);
                 }
-                out.rows.push(r);
             }
         }
         Ok(out)
@@ -1077,7 +1475,7 @@ impl<'g> Ev<'g> {
 
     /// Product-automaton BFS, forward. Returns every value reachable from
     /// `start` along a path matching the automaton.
-    fn rpe_forward(&self, reader: &GraphReader<'_>, nfa: &Nfa, start: &Value) -> Vec<Value> {
+    fn rpe_forward(&self, reader: &GraphReader<'_>, nfa: &Nfa, start: &Value) -> Reach {
         let interner = self.graph.universe().interner();
         let resolve = |s: Sym| Value::Str(interner.resolve(s));
         let mut results: Vec<Value> = Vec::new();
@@ -1107,12 +1505,15 @@ impl<'g> Ev<'g> {
                 }
             }
         }
-        results
+        Reach {
+            order: results,
+            set: result_set,
+        }
     }
 
     /// Product-automaton BFS over reverse edges: every value from which a
     /// matching path reaches `start`.
-    fn rpe_backward(&self, rev: &Nfa, adj: &ReverseAdj<'_>, start: &Value) -> Vec<Value> {
+    fn rpe_backward(&self, rev: &Nfa, adj: &ReverseAdj<'_>, start: &Value) -> Reach {
         let interner = self.graph.universe().interner();
         let resolve = |s: Sym| Value::Str(interner.resolve(s));
         let mut results: Vec<Value> = Vec::new();
@@ -1130,9 +1531,9 @@ impl<'g> Ev<'g> {
             }
             for (src, sym) in adj.incoming(&v) {
                 for (test, t) in rev.transitions(s) {
-                    if test.matches(sym, &resolve, &self.opts.predicates) {
+                    if test.matches(*sym, &resolve, &self.opts.predicates) {
                         for u in rev.eps_closure_of(*t) {
-                            let key = (Value::Node(src), u);
+                            let key = (Value::Node(*src), u);
                             if visited.insert(key.clone()) {
                                 queue.push_back(key);
                             }
@@ -1141,23 +1542,102 @@ impl<'g> Ev<'g> {
                 }
             }
         }
-        results
+        Reach {
+            order: results,
+            set: result_set,
+        }
     }
 
-    /// Reverse adjacency: from the index when available, else materialized.
+    /// Reverse adjacency: from the index when available, else materialized
+    /// at most once per cache lifetime and shared across evaluations.
     fn reverse_adjacency(&self) -> ReverseAdj<'g> {
         if let Some(idx) = self.graph.index() {
-            ReverseAdj::Indexed(idx)
-        } else {
-            let mut map: FxHashMap<Value, Vec<(Oid, Sym)>> = FxHashMap::default();
-            let reader = self.graph.reader();
-            for &n in self.graph.nodes() {
-                for (sym, target) in reader.out(n) {
-                    map.entry(target.clone()).or_default().push((n, *sym));
-                }
-            }
-            ReverseAdj::Materialized(map)
+            return ReverseAdj::Indexed(idx);
         }
+        {
+            let c = self.cache();
+            if let Some(map) = &c.reverse_adj {
+                return ReverseAdj::Materialized(Arc::clone(map));
+            }
+        }
+        let mut map: RevAdj = FxHashMap::default();
+        let reader = self.graph.reader();
+        for &n in self.graph.nodes() {
+            for (sym, target) in reader.out(n) {
+                map.entry(target.clone()).or_default().push((n, *sym));
+            }
+        }
+        let map = Arc::new(map);
+        self.cache().reverse_adj = Some(Arc::clone(&map));
+        ReverseAdj::Materialized(map)
+    }
+}
+
+/// A term resolved against a schema: either a column of the relation or a
+/// constant. Lets filters run over row slices without re-resolving names.
+enum TermSlot {
+    Col(usize),
+    Const(Value),
+}
+
+impl TermSlot {
+    fn of(b: &Bindings, term: &Term) -> Result<TermSlot> {
+        match term {
+            Term::Var(v) => Ok(TermSlot::Col(b.col(v).expect("variable bound by now"))),
+            Term::Lit(l) => Ok(TermSlot::Const(l.to_value())),
+            Term::Skolem(s) => Err(StruqlError::eval(format!(
+                "Skolem term `{s}` cannot appear in WHERE"
+            ))),
+            Term::Agg(f, v) => Err(StruqlError::eval(format!(
+                "aggregate `{f}({v})` cannot appear in WHERE"
+            ))),
+        }
+    }
+
+    #[inline]
+    fn value<'r>(&'r self, row: &'r [Value]) -> &'r Value {
+        match self {
+            TermSlot::Col(i) => &row[*i],
+            TermSlot::Const(v) => v,
+        }
+    }
+}
+
+/// How the target term of a forward edge/path step is interpreted.
+enum ToMode {
+    Unbound,
+    BoundCol(usize),
+    Lit(Value),
+}
+
+impl ToMode {
+    fn of(b: &Bindings, to: &Term) -> Result<ToMode> {
+        match to {
+            Term::Var(v) => match b.col(v) {
+                Some(c) => Ok(ToMode::BoundCol(c)),
+                None => Ok(ToMode::Unbound),
+            },
+            Term::Lit(lit) => Ok(ToMode::Lit(lit.to_value())),
+            Term::Skolem(s) => Err(StruqlError::eval(format!(
+                "Skolem term `{s}` cannot appear in WHERE"
+            ))),
+            Term::Agg(f, v) => Err(StruqlError::eval(format!(
+                "aggregate `{f}({v})` cannot appear in WHERE"
+            ))),
+        }
+    }
+}
+
+/// Memoizes label-symbol → [`Value::Str`] resolution so hot loops do not
+/// take the interner's lock per edge.
+#[derive(Default)]
+struct LabelCache(FxHashMap<Sym, Value>);
+
+impl LabelCache {
+    fn get(&mut self, graph: &Graph, sym: Sym) -> &Value {
+        self.0
+            .entry(sym)
+            .or_insert_with(|| Value::Str(graph.universe().interner().resolve(sym)))
     }
 }
 
@@ -1169,39 +1649,17 @@ enum ToState<'a> {
 
 enum ReverseAdj<'g> {
     Indexed(&'g strudel_graph::index::GraphIndex),
-    Materialized(FxHashMap<Value, Vec<(Oid, Sym)>>),
+    Materialized(Arc<RevAdj>),
 }
 
 impl ReverseAdj<'_> {
-    fn incoming(&self, v: &Value) -> Vec<(Oid, Sym)> {
+    fn incoming(&self, v: &Value) -> &[(Oid, Sym)] {
         match self {
             ReverseAdj::Indexed(idx) => match v {
-                Value::Node(n) => idx.edges_to_node(*n).to_vec(),
-                atomic => idx.edges_to_value(atomic).to_vec(),
+                Value::Node(n) => idx.edges_to_node(*n),
+                atomic => idx.edges_to_value(atomic),
             },
-            ReverseAdj::Materialized(map) => map.get(v).cloned().unwrap_or_default(),
-        }
-    }
-}
-
-/// A value that is either borrowed from a row or owned (a literal).
-enum ValueOrOwned<'a> {
-    Ref(&'a Value),
-    Owned(Value),
-}
-
-impl ValueOrOwned<'_> {
-    fn as_ref(&self) -> &Value {
-        match self {
-            ValueOrOwned::Ref(v) => v,
-            ValueOrOwned::Owned(v) => v,
-        }
-    }
-
-    fn into_owned(self) -> Value {
-        match self {
-            ValueOrOwned::Ref(v) => v.clone(),
-            ValueOrOwned::Owned(v) => v,
+            ReverseAdj::Materialized(map) => map.get(v).map_or(&[], Vec::as_slice),
         }
     }
 }

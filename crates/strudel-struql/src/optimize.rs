@@ -197,10 +197,11 @@ fn multiplier(
                             if stats.indexed {
                                 (stats.avg_degree().max(1.0), "rev-index")
                             } else {
-                                (stats.edges.max(1.0), "edge-scan")
+                                // Probe table over edge targets, built once.
+                                (stats.avg_degree().max(1.0), "hash-join")
                             }
                         }
-                        (false, false) => (stats.edges.max(1.0), "edge-scan"),
+                        (false, false) => (stats.edges.max(1.0), "cross-emit"),
                     }
                 }
                 PathStep::Rpe(Rpe::Label(l)) => {
@@ -212,14 +213,15 @@ fn multiplier(
                             if stats.indexed {
                                 ((card / stats.nodes.max(1.0)).max(0.5), "rev-index")
                             } else {
-                                (card.max(1.0), "label-scan")
+                                // Cached materialized reverse adjacency.
+                                ((card / stats.nodes.max(1.0)).max(0.5), "hash-join")
                             }
                         }
                         (false, false) => {
                             if stats.indexed {
                                 (card.max(1.0), "label-index")
                             } else {
-                                (stats.edges.max(1.0), "edge-scan")
+                                (card.max(1.0), "cross-emit")
                             }
                         }
                     }
@@ -241,7 +243,9 @@ fn multiplier(
                             if stats.indexed {
                                 (reach, "rev-path-traverse")
                             } else {
-                                (reach * 4.0, "path-scan")
+                                // Memoized backward traversal over the cached
+                                // materialized reverse adjacency.
+                                (reach * 1.5, "rev-path-hash")
                             }
                         }
                         (false, false) => (stats.nodes.max(1.0) * reach, "path-scan"),

@@ -388,16 +388,19 @@ impl Run<'_, '_> {
     }
 
     fn render_object(&mut self, n: Oid) -> Result<String> {
-        let template = self
-            .gen
+        // Pull the generator reference out of `self` so the selected template
+        // borrows the `'a` template set, not `&mut self` — this lets the
+        // template be rendered without cloning its AST.
+        let gen = self.gen;
+        let template = gen
             .templates
-            .select(self.gen.graph, self.reader, n)
+            .select(gen.graph, self.reader, n)
             .ok_or_else(|| {
                 TemplateError::render(format!("no template for object {}", self.display_name(n)))
             })?;
         let mut out = String::new();
-        let scope: Scope = Vec::new();
-        self.render_nodes(&template.nodes.clone(), n, &scope, &mut out)?;
+        let mut scope: Scope = Vec::new();
+        self.render_nodes(&template.nodes, n, &mut scope, &mut out)?;
         Ok(out)
     }
 
@@ -405,7 +408,7 @@ impl Run<'_, '_> {
         &mut self,
         nodes: &[Node],
         ctx: Oid,
-        scope: &Scope,
+        scope: &mut Scope,
         out: &mut String,
     ) -> Result<()> {
         for node in nodes {
@@ -426,11 +429,11 @@ impl Run<'_, '_> {
                     if let Some(order) = opts.order {
                         self.sort_values(&mut items, opts.key.as_ref(), order);
                     }
-                    let rendered: Result<Vec<String>> = items
-                        .iter()
-                        .map(|v| self.render_value(v, format, ctx, scope))
-                        .collect();
-                    emit_list(out, &rendered?, opts);
+                    let mut rendered = Vec::with_capacity(items.len());
+                    for v in &items {
+                        rendered.push(self.render_value(v, format, ctx, scope)?);
+                    }
+                    emit_list(out, &rendered, opts);
                 }
                 Node::If { cond, then, else_ } => {
                     if self.eval_cond(cond, ctx, scope)? {
@@ -451,10 +454,11 @@ impl Run<'_, '_> {
                     }
                     let mut rendered = Vec::with_capacity(items.len());
                     for item in items {
-                        let mut inner_scope = scope.clone();
-                        inner_scope.push((var.clone(), item));
+                        scope.push((var.clone(), item));
                         let mut buf = String::new();
-                        self.render_nodes(body, ctx, &inner_scope, &mut buf)?;
+                        let r = self.render_nodes(body, ctx, scope, &mut buf);
+                        scope.pop();
+                        r?;
                         rendered.push(buf);
                     }
                     emit_list(out, &rendered, opts);
@@ -698,7 +702,12 @@ fn emit_list(out: &mut String, items: &[String], opts: &EnumOpts) {
         }
         None => {
             let delim = opts.delim.as_deref().unwrap_or("");
-            out.push_str(&items.join(delim));
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(delim);
+                }
+                out.push_str(item);
+            }
         }
     }
 }
@@ -722,18 +731,29 @@ fn value_text(v: &Value) -> String {
     }
 }
 
-/// HTML-escapes text content.
+/// HTML-escapes text content. Clean strings (the common case) are copied in
+/// one shot; otherwise unescaped runs are appended as whole slices.
 pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            _ => out.push(c),
-        }
+    let needs = |b: u8| matches!(b, b'&' | b'<' | b'>' | b'"');
+    let Some(first) = s.bytes().position(needs) else {
+        return s.to_string();
+    };
+    let mut out = String::with_capacity(s.len() + 8);
+    out.push_str(&s[..first]);
+    let mut run = first;
+    for (i, b) in s.bytes().enumerate().skip(first) {
+        let rep = match b {
+            b'&' => "&amp;",
+            b'<' => "&lt;",
+            b'>' => "&gt;",
+            b'"' => "&quot;",
+            _ => continue,
+        };
+        out.push_str(&s[run..i]);
+        out.push_str(rep);
+        run = i + 1;
     }
+    out.push_str(&s[run..]);
     out
 }
 
