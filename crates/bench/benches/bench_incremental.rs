@@ -146,13 +146,127 @@ fn bench_incremental_maintenance(c: &mut Criterion) {
                 });
             },
         );
+        group.bench_with_input(
+            BenchmarkId::new("insert_delete_pair_incremental", n),
+            &n,
+            |b, _| {
+                let mut data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
+                let mut inc =
+                    strudel::site::IncrementalSite::new(&data, &query, EvalOptions::default())
+                        .unwrap();
+                let article = data.nodes()[0];
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let v = strudel::graph::Value::Int(i as i64);
+                    inc.add_edge(&mut data, article, "tag", v.clone()).unwrap();
+                    inc.remove_edge(&mut data, article, "tag", &v).unwrap();
+                    black_box(inc.site.edge_count())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("insert_delete_pair_full_rebuild", n),
+            &n,
+            |b, _| {
+                let mut data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
+                let article = data.nodes()[0];
+                let opts = EvalOptions::default();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let v = strudel::graph::Value::Int(i as i64);
+                    data.add_edge_str(article, "tag", v.clone()).unwrap();
+                    black_box(query.evaluate(&data, &opts).unwrap().graph.edge_count());
+                    data.remove_edge_str(article, "tag", &v).unwrap();
+                    black_box(query.evaluate(&data, &opts).unwrap().graph.edge_count())
+                });
+            },
+        );
         let _ = data;
     }
     group.finish();
 }
 
+fn median_us(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// A-INC2 report: median per-change latency of incremental propagation vs a
+/// full rebuild, for insertions *and* deletions on the Fig. 8 news corpus.
+/// Writes `BENCH_incremental.json` at the repository root.
+fn report_maintenance() {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+    use strudel::graph::Value;
+
+    let query = parse_query(MAINTAINABLE_QUERY).unwrap();
+    let opts = EvalOptions::default();
+    println!("=== A-INC2: per-change maintenance, delta vs rebuild (median µs) ===");
+    let mut rows: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
+    for &n in &[200usize, 800] {
+        let mut data = ddl::parse(&news::generate_ddl(n, 7)).unwrap();
+        let mut inc =
+            strudel::site::IncrementalSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let article = data.nodes()[0];
+
+        let (mut d_ins, mut d_del) = (Vec::new(), Vec::new());
+        for i in 0..40i64 {
+            let v = Value::Int(i);
+            let t = Instant::now();
+            inc.add_edge(&mut data, article, "tag", v.clone()).unwrap();
+            d_ins.push(t.elapsed().as_secs_f64() * 1e6);
+            let t = Instant::now();
+            inc.remove_edge(&mut data, article, "tag", &v).unwrap();
+            d_del.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+
+        let (mut r_ins, mut r_del) = (Vec::new(), Vec::new());
+        for i in 0..9i64 {
+            let v = Value::Int(1000 + i);
+            data.add_edge_str(article, "tag", v.clone()).unwrap();
+            let t = Instant::now();
+            black_box(query.evaluate(&data, &opts).unwrap().graph.edge_count());
+            r_ins.push(t.elapsed().as_secs_f64() * 1e6);
+            data.remove_edge_str(article, "tag", &v).unwrap();
+            let t = Instant::now();
+            black_box(query.evaluate(&data, &opts).unwrap().graph.edge_count());
+            r_del.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+
+        let row = (
+            n,
+            median_us(d_ins),
+            median_us(d_del),
+            median_us(r_ins),
+            median_us(r_del),
+        );
+        println!(
+            "  n={:<5} delta insert={:>9.1}  delta delete={:>9.1}  rebuild insert={:>9.1}  rebuild delete={:>9.1}",
+            row.0, row.1, row.2, row.3, row.4
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::from("{\n");
+    for (i, (n, di, dd, ri, rd)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "  \"n{n}\": {{\"delta_insert_us\": {di:.1}, \"delta_delete_us\": {dd:.1}, \
+             \"rebuild_insert_us\": {ri:.1}, \"rebuild_delete_us\": {rd:.1}}}{comma}"
+        );
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    std::fs::write(path, &json).unwrap();
+    println!("\nwrote {path}\n");
+}
+
 fn benches_with_report(c: &mut Criterion) {
     report_crossover();
+    report_maintenance();
     bench_materialize_vs_click(c);
     bench_incremental_maintenance(c);
 }

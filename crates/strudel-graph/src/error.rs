@@ -21,6 +21,12 @@ pub enum GraphError {
         /// Description of what went wrong.
         message: String,
     },
+    /// A storage-layer failure: I/O errors, corrupt or truncated snapshot
+    /// files, and graphs too large for the on-disk format.
+    Storage {
+        /// Description of what went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -33,6 +39,7 @@ impl fmt::Display for GraphError {
             GraphError::DdlParse { line, message } => {
                 write!(f, "DDL parse error at line {line}: {message}")
             }
+            GraphError::Storage { message } => write!(f, "storage error: {message}"),
         }
     }
 }

@@ -140,6 +140,23 @@ impl Universe {
         Ok(())
     }
 
+    /// Removes one occurrence of `from --label--> to`, preserving the order
+    /// of the remaining edges. Returns whether an edge was removed.
+    fn pop_edge(&self, from: NodeId, label: Sym, to: &Value) -> Result<bool> {
+        self.revision.fetch_add(1, Ordering::AcqRel);
+        let mut nodes = self.nodes.write();
+        let slot = nodes
+            .get_mut(from.0 as usize)
+            .ok_or(GraphError::UnknownNode(from))?;
+        match slot.out.iter().position(|(l, t)| *l == label && t == to) {
+            Some(pos) => {
+                slot.out.remove(pos);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     /// Clones the outgoing edges of `n`. Prefer [`Graph::reader`] in loops.
     pub fn out_edges(&self, n: NodeId) -> Vec<(Sym, Value)> {
         self.nodes
@@ -199,6 +216,17 @@ impl Collection {
     fn insert(&mut self, v: Value) -> bool {
         if self.set.insert(v.clone()) {
             self.items.push(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove(&mut self, v: &Value) -> bool {
+        if self.set.remove(v) {
+            if let Some(pos) = self.items.iter().position(|x| x == v) {
+                self.items.remove(pos);
+            }
             true
         } else {
             false
@@ -389,6 +417,68 @@ impl Graph {
         self.add_edge(from, l, to.into())
     }
 
+    /// Removes one occurrence of the edge `from --label--> to`. `from` must
+    /// be a member node. Returns whether an edge was actually removed
+    /// (set semantics: removing an absent edge is a no-op, not an error).
+    pub fn remove_edge(&mut self, from: NodeId, label: Sym, to: &Value) -> Result<bool> {
+        self.revision += 1;
+        if !self.members.contains(&from) {
+            return Err(GraphError::NotAMember(from));
+        }
+        let removed = self.universe.pop_edge(from, label, to)?;
+        if removed {
+            self.edge_count -= 1;
+            if let Some(idx) = &mut self.index {
+                idx.unindex_edge(from, label, to);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Convenience: removes an edge by string label. An un-interned label
+    /// means no such edge exists anywhere, so this returns `Ok(false)`.
+    pub fn remove_edge_str(&mut self, from: NodeId, label: &str, to: &Value) -> Result<bool> {
+        match self.universe.interner.get(label) {
+            Some(l) => self.remove_edge(from, l, to),
+            None => Ok(false),
+        }
+    }
+
+    /// Whether the edge `from --label--> to` is present (on a member node).
+    pub fn has_edge(&self, from: NodeId, label: Sym, to: &Value) -> bool {
+        if !self.members.contains(&from) {
+            return false;
+        }
+        let nodes = self.universe.nodes.read();
+        nodes
+            .get(from.0 as usize)
+            .is_some_and(|s| s.out.iter().any(|(l, t)| *l == label && t == to))
+    }
+
+    /// Removes `n` from this graph's membership (the node itself — and edges
+    /// *into* it from other members — stay in the universe; its outgoing
+    /// edges stop counting toward this graph). Returns whether `n` was a
+    /// member. The mirror of [`Graph::adopt_node`].
+    pub fn remove_member(&mut self, n: NodeId) -> bool {
+        self.revision += 1;
+        if !self.members.remove(&n) {
+            return false;
+        }
+        self.member_list.retain(|m| *m != n);
+        let nodes = self.universe.nodes.read();
+        let out = nodes
+            .get(n.0 as usize)
+            .map(|s| s.out.as_slice())
+            .unwrap_or(&[]);
+        self.edge_count -= out.len();
+        if let Some(idx) = &mut self.index {
+            for (label, to) in out {
+                idx.unindex_edge(n, *label, to);
+            }
+        }
+        true
+    }
+
     /// Clones the outgoing edges of `n`. For bulk traversal use [`Graph::reader`].
     pub fn out_edges(&self, n: NodeId) -> Vec<(Sym, Value)> {
         self.universe.out_edges(n)
@@ -459,6 +549,31 @@ impl Graph {
     pub fn add_to_collection_str(&mut self, name: &str, v: impl Into<Value>) -> bool {
         let sym = self.sym(name);
         self.add_to_collection(sym, v.into())
+    }
+
+    /// Removes `v` from the named collection. Returns whether it was a
+    /// member. The (empty) collection itself stays registered.
+    pub fn remove_from_collection(&mut self, name: Sym, v: &Value) -> bool {
+        self.revision += 1;
+        let Some(coll) = self.collections.get_mut(&name) else {
+            return false;
+        };
+        let removed = coll.remove(v);
+        if removed {
+            if let Some(idx) = &mut self.index {
+                let len = self.collections[&name].len();
+                idx.index_collection(name, len);
+            }
+        }
+        removed
+    }
+
+    /// Convenience: removes from a collection by string name.
+    pub fn remove_from_collection_str(&mut self, name: &str, v: &Value) -> bool {
+        match self.universe.interner.get(name) {
+            Some(sym) => self.remove_from_collection(sym, v),
+            None => false,
+        }
     }
 
     /// Looks up a collection by symbol.
@@ -700,5 +815,105 @@ mod tests {
         let g = small();
         assert_eq!(g.node_name(g.nodes()[0]).as_deref(), Some("pub1"));
         assert_eq!(g.node_name(g.nodes()[1]).as_deref(), Some("pub2"));
+    }
+
+    #[test]
+    fn remove_edge_updates_counts_and_index() {
+        let mut g = small();
+        let p1 = g.nodes()[0];
+        let year = g.universe().interner().get("year").unwrap();
+        let stamp = g.cache_stamp();
+        assert!(g.remove_edge(p1, year, &Value::Int(1997)).unwrap());
+        assert_ne!(g.cache_stamp(), stamp, "removal must invalidate caches");
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.index().unwrap().edges_with_label(year).len(), 1);
+        assert!(!g.has_edge(p1, year, &Value::Int(1997)));
+        // Removing again is a no-op, not an error.
+        assert!(!g.remove_edge(p1, year, &Value::Int(1997)).unwrap());
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn remove_edge_drops_emptied_label_from_schema() {
+        let mut g = small();
+        let p1 = g.nodes()[0];
+        let title = g.universe().interner().get("title").unwrap();
+        g.remove_edge(p1, title, &Value::str("Specifying Representations"))
+            .unwrap();
+        // "title" still on pub2, so it survives the schema scan...
+        assert!(g.labels().contains(&title));
+        let p2 = g.nodes()[1];
+        g.remove_edge(p2, title, &Value::str("Optimizing Regular"))
+            .unwrap();
+        // ...but vanishes once its extension empties, with and without index.
+        let mut with: Vec<_> = g.labels();
+        g.set_indexing(false);
+        let mut without: Vec<_> = g.labels();
+        with.sort();
+        without.sort();
+        assert!(!with.contains(&title));
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn remove_edge_only_removes_one_occurrence() {
+        let mut g = Graph::standalone();
+        let n = g.new_node(None);
+        g.add_edge_str(n, "k", 7i64).unwrap();
+        g.add_edge_str(n, "k", 7i64).unwrap();
+        let k = g.universe().interner().get("k").unwrap();
+        assert!(g.remove_edge(n, k, &Value::Int(7)).unwrap());
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(n, k, &Value::Int(7)));
+    }
+
+    #[test]
+    fn remove_edge_on_non_member_fails() {
+        let mut g = Graph::standalone();
+        let other = g.universe().create_node(None);
+        let l = g.sym("x");
+        assert!(matches!(
+            g.remove_edge(other, l, &Value::Int(1)),
+            Err(GraphError::NotAMember(_))
+        ));
+        assert!(!g
+            .remove_edge_str(other, "never-interned", &Value::Int(1))
+            .unwrap());
+    }
+
+    #[test]
+    fn remove_member_mirrors_adopt() {
+        let uni = Universe::new();
+        let mut a = Graph::new(Arc::clone(&uni));
+        let n = a.new_node(Some("n"));
+        a.add_edge_str(n, "k", 1i64).unwrap();
+        let mut b = Graph::new(Arc::clone(&uni));
+        b.adopt_node(n).unwrap();
+        assert_eq!((b.node_count(), b.edge_count()), (1, 1));
+        assert!(b.remove_member(n));
+        assert!(!b.remove_member(n));
+        assert_eq!((b.node_count(), b.edge_count()), (0, 0));
+        let k = uni.interner().get("k").unwrap();
+        assert!(b.index().unwrap().edges_with_label(k).is_empty());
+        // The node and its edges are untouched in the owning graph.
+        assert_eq!((a.node_count(), a.edge_count()), (1, 1));
+    }
+
+    #[test]
+    fn remove_from_collection_keeps_order_and_registration() {
+        let mut g = small();
+        let pubs = g.universe().interner().get("Publications").unwrap();
+        let (p1, p2) = (g.nodes()[0], g.nodes()[1]);
+        assert!(g.remove_from_collection(pubs, &Value::Node(p1)));
+        assert!(!g.remove_from_collection(pubs, &Value::Node(p1)));
+        let coll = g.collection(pubs).unwrap();
+        assert_eq!(coll.items(), &[Value::Node(p2)]);
+        assert!(!coll.contains(&Value::Node(p1)));
+        assert_eq!(g.index().unwrap().collection_cardinality(pubs), Some(1));
+        // Emptied collections stay registered (same as ensure_collection).
+        assert!(g.remove_from_collection_str("Publications", &Value::Node(p2)));
+        assert!(g.collection(pubs).unwrap().is_empty());
+        assert!(g.collection_names().contains(&pubs));
+        assert!(!g.remove_from_collection_str("NoSuch", &Value::Int(0)));
     }
 }

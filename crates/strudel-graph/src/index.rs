@@ -56,6 +56,45 @@ impl GraphIndex {
         self.edge_count += 1;
     }
 
+    /// Removes one occurrence of an edge from every applicable index. The
+    /// mirror of [`GraphIndex::index_edge`]; when a label's extension becomes
+    /// empty the label is also dropped from the schema scan order so indexed
+    /// and unindexed [`crate::graph::Graph::labels`] stay in agreement.
+    pub(crate) fn unindex_edge(&mut self, from: NodeId, label: Sym, to: &Value) {
+        if let Some(ext) = self.label_ext.get_mut(&label) {
+            if let Some(pos) = ext.iter().position(|(f, t)| *f == from && t == to) {
+                ext.remove(pos);
+                self.edge_count -= 1;
+            }
+            if ext.is_empty() {
+                self.label_ext.remove(&label);
+                self.label_order.retain(|l| *l != label);
+            }
+        }
+        match to {
+            Value::Node(n) => {
+                if let Some(back) = self.in_edges.get_mut(n) {
+                    if let Some(pos) = back.iter().position(|(f, l)| *f == from && *l == label) {
+                        back.remove(pos);
+                    }
+                    if back.is_empty() {
+                        self.in_edges.remove(n);
+                    }
+                }
+            }
+            atomic => {
+                if let Some(back) = self.value_ext.get_mut(atomic) {
+                    if let Some(pos) = back.iter().position(|(f, l)| *f == from && *l == label) {
+                        back.remove(pos);
+                    }
+                    if back.is_empty() {
+                        self.value_ext.remove(atomic);
+                    }
+                }
+            }
+        }
+    }
+
     /// Records (or updates) a collection's cardinality in the schema index.
     pub(crate) fn index_collection(&mut self, name: Sym, cardinality: usize) {
         self.coll_card.insert(name, cardinality);

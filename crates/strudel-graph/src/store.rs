@@ -25,17 +25,21 @@ use std::io::{self, Read, Write};
 const MAGIC: &[u8; 8] = b"STRUDEL1";
 
 fn io_err(e: io::Error) -> GraphError {
-    GraphError::DdlParse {
-        line: 0,
-        message: format!("storage I/O error: {e}"),
+    GraphError::Storage {
+        message: format!("I/O error: {e}"),
     }
 }
 
 fn corrupt(message: impl Into<String>) -> GraphError {
-    GraphError::DdlParse {
-        line: 0,
+    GraphError::Storage {
         message: message.into(),
     }
+}
+
+/// Checks a count fits the on-disk `u32` representation; oversized graphs
+/// fail loudly instead of silently writing a corrupt file.
+fn checked_count(n: usize, what: &str) -> Result<u32> {
+    u32::try_from(n).map_err(|_| corrupt(format!("{what} count {n} exceeds format limit")))
 }
 
 // ------------------------------------------------------------- primitives ----
@@ -204,9 +208,10 @@ pub fn save(graph: &Graph, w: &mut impl Write) -> Result<()> {
 
     // Dense node numbering.
     let members = graph.nodes();
+    checked_count(members.len(), "node")?;
     let mut dense = std::collections::HashMap::with_capacity(members.len());
     for (i, &n) in members.iter().enumerate() {
-        dense.insert(n, i as u32);
+        dense.insert(n, u32::try_from(i).expect("node count checked above"));
     }
     let remap = |n: NodeId| -> u32 { *dense.get(&n).unwrap_or(&u32::MAX) };
 
@@ -216,19 +221,20 @@ pub fn save(graph: &Graph, w: &mut impl Write) -> Result<()> {
     let reader = graph.reader();
     for &n in members {
         for (l, _) in reader.out(n) {
-            sym_of.entry(*l).or_insert_with(|| {
+            if !sym_of.contains_key(l) {
+                let idx = checked_count(sym_index.len(), "symbol")?;
                 sym_index.push(*l);
-                (sym_index.len() - 1) as u32
-            });
+                sym_of.insert(*l, idx);
+            }
         }
     }
-    write_u32(w, sym_index.len() as u32)?;
+    write_u32(w, checked_count(sym_index.len(), "symbol")?)?;
     for &s in &sym_index {
         write_str(w, &graph.resolve(s))?;
     }
 
     // Node table.
-    write_u32(w, members.len() as u32)?;
+    write_u32(w, checked_count(members.len(), "node")?)?;
     for &n in members {
         match reader.name(n) {
             Some(name) => {
@@ -249,7 +255,7 @@ pub fn save(graph: &Graph, w: &mut impl Write) -> Result<()> {
                 }
             }
         }
-        write_u32(w, out.len() as u32)?;
+        write_u32(w, checked_count(out.len(), "out-edge")?)?;
         for (l, v) in out {
             write_u32(w, sym_of[l])?;
             write_value(w, v, &remap)?;
@@ -258,7 +264,7 @@ pub fn save(graph: &Graph, w: &mut impl Write) -> Result<()> {
 
     // Collections.
     let colls = graph.collection_names().to_vec();
-    write_u32(w, colls.len() as u32)?;
+    write_u32(w, checked_count(colls.len(), "collection")?)?;
     for c in colls {
         write_str(w, &graph.resolve(c))?;
         let items = graph.collection(c).expect("listed").items();
@@ -269,7 +275,7 @@ pub fn save(graph: &Graph, w: &mut impl Write) -> Result<()> {
                 }
             }
         }
-        write_u32(w, items.len() as u32)?;
+        write_u32(w, checked_count(items.len(), "collection item")?)?;
         for item in items {
             write_value(w, item, &remap)?;
         }
@@ -469,7 +475,10 @@ object pub2 in Publications {
         let mut buf = Vec::new();
         save(&sample(), &mut buf).unwrap();
         buf[0] = b'X';
-        assert!(load(&mut buf.as_slice()).is_err());
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(GraphError::Storage { .. })
+        ));
     }
 
     #[test]
@@ -477,8 +486,19 @@ object pub2 in Publications {
         let mut buf = Vec::new();
         save(&sample(), &mut buf).unwrap();
         for cut in [4usize, 9, buf.len() / 2, buf.len() - 1] {
-            assert!(load(&mut &buf[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                matches!(load(&mut &buf[..cut]), Err(GraphError::Storage { .. })),
+                "cut at {cut}"
+            );
         }
+    }
+
+    #[test]
+    fn io_errors_surface_as_storage() {
+        let path = std::env::temp_dir().join("strudel_store_definitely_missing.bin");
+        let err = load_from_file(&path).unwrap_err();
+        assert!(matches!(err, GraphError::Storage { .. }));
+        assert!(err.to_string().starts_with("storage error:"), "{err}");
     }
 
     #[test]

@@ -15,10 +15,10 @@
 //! The cache is shared: all methods take `&self`, so one `DynamicSite` can
 //! serve many threads concurrently. It is bounded (entry count and
 //! approximate bytes, see [`CacheConfig`]) with least-recently-used
-//! eviction, and supports *invalidation*: after a data-graph insertion,
-//! [`DynamicSite::invalidate`] drops exactly the cached clause results the
-//! change can affect, reusing the semi-naive dependency analysis of
-//! [`crate::incremental`].
+//! eviction, and supports *invalidation*: after a data-graph insertion or
+//! deletion, [`DynamicSite::invalidate`] drops exactly the cached clause
+//! results the change can affect, reusing the semi-naive dependency
+//! analysis of [`crate::incremental`].
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -514,17 +514,18 @@ impl<'g> DynamicSite<'g> {
         Ok(out)
     }
 
-    /// Drops the cached results a data-graph change can affect; the data
-    /// graph must already reflect the change. Returns the number of
-    /// entries dropped.
+    /// Drops the cached results a data-graph change — an insertion *or a
+    /// removal* — can affect. Additions should be applied to the data graph
+    /// before invalidating; removal deltas may be applied before or after
+    /// the data mutation (seed matching needs only the interner, not the
+    /// edge's presence). Returns the number of entries dropped.
     ///
     /// Granularity: a cached `(clause, args)` entry is dropped when one of
     /// the clause's conditions can match the delta (the seed analysis of
     /// [`crate::incremental`]) *and* the seed's bindings are consistent
     /// with the entry's Skolem arguments. Clauses with negated conditions
-    /// or multi-edge path expressions — where an insertion can affect
-    /// bindings without matching any single condition — are dropped
-    /// wholesale.
+    /// or multi-edge path expressions — where a change can affect bindings
+    /// without matching any single condition — are dropped wholesale.
     pub fn invalidate(&self, delta: &Delta) -> u64 {
         let affected: Vec<Affected> = self
             .clauses
@@ -1072,6 +1073,53 @@ object p3 in Publications { title "C" year 1997 }
         });
         assert!(dropped_year > 0);
         assert!(site.cache_len() < before_1997);
+    }
+
+    #[test]
+    fn removal_delta_invalidates_matching_entries() {
+        let mut g = data();
+        let q = parse_query(FIG3).unwrap();
+        let p1 = g.nodes()[0];
+        let year = g.sym("year");
+        let site = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        let y1997 = PageRef {
+            skolem: "YearPage".into(),
+            args: vec![Value::Int(1997)],
+        };
+        let y1998 = PageRef {
+            skolem: "YearPage".into(),
+            args: vec![Value::Int(1998)],
+        };
+        // Warm both year caches, then retract p1's 1997 edge.
+        let links_before = site.expand(&y1997).unwrap();
+        site.expand(&y1998).unwrap();
+        assert_eq!(
+            links_before.iter().filter(|l| l.label == "Paper").count(),
+            2
+        );
+
+        let dropped = site.invalidate(&Delta::EdgeRemoved {
+            from: p1,
+            label: year,
+            to: Value::Int(1997),
+        });
+        assert!(dropped > 0, "1997 entries must be dropped");
+
+        // Recompute on the mutated graph through a fresh borrow, carrying
+        // the invalidated cache over: 1997 loses a paper, 1998 is served
+        // from the surviving warm entries.
+        let snap = site.cache_snapshot();
+        g.remove_edge(p1, year, &Value::Int(1997)).unwrap();
+        let site2 = DynamicSite::new(&g, &q, EvalOptions::default()).unwrap();
+        site2.cache_restore(snap);
+        let links_after = site2.expand(&y1997).unwrap();
+        assert_eq!(links_after.iter().filter(|l| l.label == "Paper").count(), 1);
+        site2.expand(&y1998).unwrap();
+        let s = site2.stats();
+        assert!(
+            s.cache_hits > 0,
+            "1998 entries survived invalidation: {s:?}"
+        );
     }
 
     #[test]

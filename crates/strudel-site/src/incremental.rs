@@ -7,11 +7,20 @@
 //! are single-edge tests (literal labels or arc variables — which, per
 //! §5.2, is what real site-definition queries look like: "the
 //! site-definition queries rarely used the closure operator"), insertions
-//! into the data graph are propagated to the materialized site graph by
-//! **semi-naive evaluation**: each inserted edge or collection member seeds
-//! the conditions it can satisfy, the rest of the governing conjunction is
-//! evaluated around the seed, and only the new bindings' constructions run.
-//! Skolem identity and edge set-semantics make re-derivations harmless.
+//! insertions into **and deletions from** the data graph are propagated to
+//! the materialized site graph by **semi-naive evaluation**: each changed
+//! edge or collection member seeds the conditions it can satisfy, the rest
+//! of the governing conjunction is evaluated around the seed, and only the
+//! affected bindings' constructions run (or are retracted).
+//!
+//! Each binding row is derived exactly once: when a delta could seed
+//! several conditions of one rule, rows are kept only at the *first*
+//! position the delta matches (the classic delta-rule expansion
+//! `Δ(C₁∧…∧Cₙ) = Σᵢ C₁…Cᵢ₋₁ ∧ ΔCᵢ ∧ Cᵢ₊₁…Cₙ`). Construction therefore
+//! counts one derivation per row — the DRed-style support counts kept by
+//! [`SkolemTable`] — and a deletion seeds the *same* rows over the
+//! pre-removal graph and retracts them, deleting an edge, member, or page
+//! only when its last supporting derivation goes.
 //!
 //! Queries outside the fragment are detected up front and reported as
 //! [`IncrementalError::Negation`] or [`IncrementalError::PathExpression`];
@@ -22,7 +31,7 @@ use strudel_graph::{Graph, Oid, Sym, Value};
 use strudel_struql::analyze::analyze;
 use strudel_struql::ast::{Block, Condition, PathStep, Query, Rpe, Term};
 use strudel_struql::binding::Bindings;
-use strudel_struql::construct::{apply_block, ConstructStats, SkolemTable};
+use strudel_struql::construct::{apply_block, retract_block, ConstructStats, SkolemTable};
 use strudel_struql::{evaluate_conditions, EvalOptions, StruqlError};
 
 /// Why a query cannot be maintained incrementally.
@@ -71,8 +80,11 @@ impl From<StruqlError> for IncrementalError {
     }
 }
 
-/// A change applied to the data graph (after the fact — apply the change to
-/// the graph first, then notify the maintainer).
+/// A change to the data graph. Additions are propagated *after* the data
+/// graph reflects them; removals are propagated *before* the edge or member
+/// leaves the data graph, so the retracted bindings can still be derived
+/// (the [`IncrementalSite::add_edge`] / [`IncrementalSite::remove_edge`]
+/// conveniences get this ordering right).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Delta {
     /// An edge `from --label--> to` was added.
@@ -91,6 +103,32 @@ pub enum Delta {
         /// The new member.
         value: Value,
     },
+    /// The edge `from --label--> to` is being removed.
+    EdgeRemoved {
+        /// Source node.
+        from: Oid,
+        /// Label (interned in the data graph's universe).
+        label: Sym,
+        /// Target value.
+        to: Value,
+    },
+    /// `value` is leaving the named collection.
+    CollectionRemoved {
+        /// Collection name.
+        name: String,
+        /// The departing member.
+        value: Value,
+    },
+}
+
+impl Delta {
+    /// Whether this delta retracts data (as opposed to adding it).
+    pub fn is_removal(&self) -> bool {
+        matches!(
+            self,
+            Delta::EdgeRemoved { .. } | Delta::CollectionRemoved { .. }
+        )
+    }
 }
 
 /// One flattened rule: the governing conjunction plus the construction
@@ -110,11 +148,14 @@ pub struct IncStats {
     pub seeded_evaluations: u64,
     /// New bindings derived.
     pub new_bindings: u64,
+    /// Bindings retracted by removal deltas.
+    pub retracted_bindings: u64,
     /// Construction counters.
     pub construct: ConstructStats,
 }
 
-/// Maintains a materialized site graph under data-graph insertions.
+/// Maintains a materialized site graph under data-graph insertions and
+/// deletions.
 pub struct IncrementalSite {
     rules: Vec<Rule>,
     opts: EvalOptions,
@@ -135,11 +176,24 @@ impl IncrementalSite {
         flatten(&analyzed.query.root, &mut Vec::new(), &mut rules);
         let mut site = Graph::new(std::sync::Arc::clone(data.universe()));
         let mut table = SkolemTable::new();
-        let stats = IncStats::default();
-        analyzed
-            .query
-            .evaluate_into(data, &mut site, &mut table, &opts)
+        let mut stats = IncStats::default();
+        // Cold-build the site from the flattened rules rather than through
+        // the nested engine: both produce the same site graph (set
+        // semantics), but the flattened evaluation takes exactly one
+        // derivation count per binding row — the same accounting the
+        // per-delta propagation uses, which retraction depends on.
+        for rule in &rules {
+            let bindings = evaluate_conditions(&rule.conditions, data, Bindings::unit(), &opts)
+                .map_err(IncrementalError::from)?;
+            apply_block(
+                &rule.construct,
+                &bindings,
+                &mut site,
+                &mut table,
+                &mut stats.construct,
+            )
             .map_err(IncrementalError::from)?;
+        }
         Ok(IncrementalSite {
             rules,
             opts,
@@ -154,20 +208,34 @@ impl IncrementalSite {
         self.stats
     }
 
-    /// Propagates one delta. `data` must already reflect the change.
+    /// Propagates one delta. For additions, `data` must already reflect the
+    /// change; for removals, `data` must *still contain* the removed edge or
+    /// member (propagate first, then mutate the data graph), so the
+    /// retracted bindings evaluate to exactly the rows their insertions
+    /// derived. Retracting a binding that was never derived (out-of-order or
+    /// duplicate removal deltas) is reported as [`IncrementalError::Eval`].
     pub fn apply(&mut self, data: &Graph, delta: &Delta) -> Result<(), IncrementalError> {
         self.stats.deltas += 1;
         let rules = self.rules.clone();
         for rule in &rules {
-            for (i, cond) in rule.conditions.iter().enumerate() {
-                let Some(seed) = seed_bindings(data, cond, delta) else {
+            // Seeds for every condition position up front: position `i`
+            // contributes only rows the delta does not already seed at an
+            // earlier position, so each affected row is derived (and
+            // counted) exactly once — the delta-rule expansion
+            // `Δ(C₁∧…∧Cₙ) = Σᵢ C₁…Cᵢ₋₁ ∧ ΔCᵢ ∧ Cᵢ₊₁…Cₙ`.
+            let seeds: Vec<Option<Bindings>> = rule
+                .conditions
+                .iter()
+                .map(|c| seed_bindings(data, c, delta))
+                .collect();
+            for (i, seed) in seeds.iter().enumerate() {
+                let Some(seed) = seed else {
                     continue;
                 };
                 self.stats.seeded_evaluations += 1;
                 // Evaluate the remaining conjunction around the seed. The
                 // seeded condition itself is skipped: the delta satisfies it
-                // by construction (but other conditions may re-match the new
-                // edge too — semi-naive over-derivation is harmless).
+                // by construction.
                 let rest: Vec<Condition> = rule
                     .conditions
                     .iter()
@@ -175,24 +243,59 @@ impl IncrementalSite {
                     .filter(|(j, _)| *j != i)
                     .map(|(_, c)| c.clone())
                     .collect();
-                let bindings = evaluate_conditions(&rest, data, seed, &self.opts)?;
+                let mut bindings = evaluate_conditions(&rest, data, seed.clone(), &self.opts)?;
+                // Drop rows where an earlier condition is also matched by
+                // the delta: those rows belong to that earlier seed.
+                let earlier: Vec<Vec<(usize, Value)>> = seeds[..i]
+                    .iter()
+                    .filter_map(|s| s.as_ref())
+                    .map(|s| {
+                        s.vars()
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(c, v)| {
+                                bindings.col(v).map(|col| (col, s.row(0)[c].clone()))
+                            })
+                            .collect()
+                    })
+                    .collect();
+                if !earlier.is_empty() {
+                    bindings.retain_rows(|row| {
+                        !earlier
+                            .iter()
+                            .any(|cols| cols.iter().all(|(col, v)| row[*col] == *v))
+                    });
+                }
                 if bindings.is_empty() {
                     continue;
                 }
-                self.stats.new_bindings += bindings.len() as u64;
-                apply_block(
-                    &rule.construct,
-                    &bindings,
-                    &mut self.site,
-                    &mut self.table,
-                    &mut self.stats.construct,
-                )?;
+                if delta.is_removal() {
+                    self.stats.retracted_bindings += bindings.len() as u64;
+                    retract_block(
+                        &rule.construct,
+                        &bindings,
+                        &mut self.site,
+                        &mut self.table,
+                        &mut self.stats.construct,
+                    )?;
+                } else {
+                    self.stats.new_bindings += bindings.len() as u64;
+                    apply_block(
+                        &rule.construct,
+                        &bindings,
+                        &mut self.site,
+                        &mut self.table,
+                        &mut self.stats.construct,
+                    )?;
+                }
             }
         }
         Ok(())
     }
 
-    /// Convenience: adds an edge to `data` *and* propagates it.
+    /// Convenience: adds an edge to `data` *and* propagates it. A no-op if
+    /// the edge is already present (the maintained pipeline keeps the data
+    /// graph set-semantic, which the derivation counts rely on).
     pub fn add_edge(
         &mut self,
         data: &mut Graph,
@@ -201,6 +304,9 @@ impl IncrementalSite {
         to: Value,
     ) -> Result<(), IncrementalError> {
         let sym = data.sym(label);
+        if data.has_edge(from, sym, &to) {
+            return Ok(());
+        }
         data.add_edge(from, sym, to.clone())
             .map_err(|e| IncrementalError::Eval(e.to_string()))?;
         self.apply(
@@ -214,13 +320,16 @@ impl IncrementalSite {
     }
 
     /// Convenience: adds a collection member to `data` *and* propagates it.
+    /// A no-op if the value is already a member.
     pub fn add_to_collection(
         &mut self,
         data: &mut Graph,
         name: &str,
         value: Value,
     ) -> Result<(), IncrementalError> {
-        data.add_to_collection_str(name, value.clone());
+        if !data.add_to_collection_str(name, value.clone()) {
+            return Ok(());
+        }
         self.apply(
             data,
             &Delta::CollectionAdded {
@@ -228,6 +337,62 @@ impl IncrementalSite {
                 value,
             },
         )
+    }
+
+    /// Convenience: retracts an edge's derivations *and* removes it from
+    /// `data`. The retraction is propagated over the pre-removal graph (so
+    /// the withdrawn bindings evaluate to exactly the rows insertion
+    /// derived), then the edge leaves the data graph. A no-op if the edge
+    /// is absent.
+    pub fn remove_edge(
+        &mut self,
+        data: &mut Graph,
+        from: Oid,
+        label: &str,
+        to: &Value,
+    ) -> Result<(), IncrementalError> {
+        let Some(sym) = data.universe().interner().get(label) else {
+            return Ok(());
+        };
+        if !data.has_edge(from, sym, to) {
+            return Ok(());
+        }
+        self.apply(
+            data,
+            &Delta::EdgeRemoved {
+                from,
+                label: sym,
+                to: to.clone(),
+            },
+        )?;
+        data.remove_edge(from, sym, to)
+            .map_err(|e| IncrementalError::Eval(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Convenience: retracts a collection member's derivations *and*
+    /// removes it from `data` (propagate first, then mutate, as with
+    /// [`IncrementalSite::remove_edge`]). A no-op if the value is not a
+    /// member.
+    pub fn remove_from_collection(
+        &mut self,
+        data: &mut Graph,
+        name: &str,
+        value: &Value,
+    ) -> Result<(), IncrementalError> {
+        let present = data.collection_str(name).is_some_and(|c| c.contains(value));
+        if !present {
+            return Ok(());
+        }
+        self.apply(
+            data,
+            &Delta::CollectionRemoved {
+                name: name.to_string(),
+                value: value.clone(),
+            },
+        )?;
+        data.remove_from_collection_str(name, value);
+        Ok(())
     }
 }
 
@@ -313,6 +478,11 @@ pub(crate) fn seed_bindings(data: &Graph, cond: &Condition, delta: &Delta) -> Op
                 from: df,
                 label: dl,
                 to: dt,
+            }
+            | Delta::EdgeRemoved {
+                from: df,
+                label: dl,
+                to: dt,
             },
         ) => {
             match step {
@@ -358,7 +528,8 @@ pub(crate) fn seed_bindings(data: &Graph, cond: &Condition, delta: &Delta) -> Op
                 arg,
                 negated: false,
             },
-            Delta::CollectionAdded { name: dn, value },
+            Delta::CollectionAdded { name: dn, value }
+            | Delta::CollectionRemoved { name: dn, value },
         ) => {
             if name != dn {
                 return None;
@@ -583,6 +754,150 @@ CREATE FrontPage()
             Ok(_) => panic!("path expressions must be rejected"),
         };
         assert!(matches!(err, IncrementalError::PathExpression(_)), "{err}");
+    }
+
+    #[test]
+    fn insert_then_remove_restores_site() {
+        let mut data = base_data();
+        let query = parse_query(NEWS_QUERY).unwrap();
+        let mut inc = IncrementalSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let before = site_sig(&inc.site);
+
+        let a = data.new_node(Some("a_new"));
+        inc.add_edge(&mut data, a, "headline", Value::str("breaking"))
+            .unwrap();
+        inc.add_edge(&mut data, a, "section", Value::str("sports"))
+            .unwrap();
+        inc.add_to_collection(&mut data, "Articles", Value::Node(a))
+            .unwrap();
+        assert!(site_sig(&inc.site) > before);
+
+        // Retract everything in a different order than it arrived.
+        inc.remove_edge(&mut data, a, "section", &Value::str("sports"))
+            .unwrap();
+        assert!(
+            inc.table
+                .lookup("SectionPage", &[Value::str("sports")])
+                .is_none(),
+            "sports page lost its last story"
+        );
+        inc.remove_from_collection(&mut data, "Articles", &Value::Node(a))
+            .unwrap();
+        inc.remove_edge(&mut data, a, "headline", &Value::str("breaking"))
+            .unwrap();
+        assert_eq!(site_sig(&inc.site), before);
+        assert_eq!(site_sig(&inc.site), full_rebuild(&data, &query));
+        assert!(inc.table.lookup("ArticlePage", &[Value::Node(a)]).is_none());
+    }
+
+    #[test]
+    fn shared_pages_survive_partial_retraction() {
+        // Both a0 and a1 sit in "world": retracting one story must keep the
+        // section page (its support has not dropped to zero).
+        let mut data = base_data();
+        let query = parse_query(NEWS_QUERY).unwrap();
+        let mut inc = IncrementalSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let (a0, a1) = (data.nodes()[0], data.nodes()[1]);
+
+        inc.remove_edge(&mut data, a0, "section", &Value::str("world"))
+            .unwrap();
+        let wp = inc
+            .table
+            .lookup("SectionPage", &[Value::str("world")])
+            .expect("world page still supported by a1, a2");
+        let story = inc.site.universe().interner().get("Story").unwrap();
+        assert_eq!(inc.site.reader().attr_values(wp, story).count(), 2);
+        assert_eq!(site_sig(&inc.site), full_rebuild(&data, &query));
+
+        inc.remove_edge(&mut data, a1, "section", &Value::str("world"))
+            .unwrap();
+        let a2 = data.nodes()[2];
+        inc.remove_edge(&mut data, a2, "section", &Value::str("world"))
+            .unwrap();
+        assert!(inc
+            .table
+            .lookup("SectionPage", &[Value::str("world")])
+            .is_none());
+        assert_eq!(site_sig(&inc.site), full_rebuild(&data, &query));
+    }
+
+    #[test]
+    fn collection_retraction_removes_article_pages() {
+        let mut data = base_data();
+        let query = parse_query(NEWS_QUERY).unwrap();
+        let mut inc = IncrementalSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let a0 = data.nodes()[0];
+        assert!(inc
+            .table
+            .lookup("ArticlePage", &[Value::Node(a0)])
+            .is_some());
+        inc.remove_from_collection(&mut data, "Articles", &Value::Node(a0))
+            .unwrap();
+        assert!(inc
+            .table
+            .lookup("ArticlePage", &[Value::Node(a0)])
+            .is_none());
+        assert_eq!(site_sig(&inc.site), full_rebuild(&data, &query));
+        // Removing a non-member is a no-op.
+        let before = site_sig(&inc.site);
+        inc.remove_from_collection(&mut data, "Articles", &Value::Node(a0))
+            .unwrap();
+        assert_eq!(site_sig(&inc.site), before);
+    }
+
+    #[test]
+    fn join_retraction_fires_on_either_side() {
+        let query = parse_query(
+            r#"{ WHERE People(m), m -> "name" -> n, x -> "author" -> n
+                 CREATE Wrote(m, x) LINK Wrote(m, x) -> "who" -> m, Wrote(m, x) -> "what" -> x
+                 COLLECT W(Wrote(m, x)) }"#,
+        )
+        .unwrap();
+        let mut data = Graph::standalone();
+        let m = data.new_node(Some("mary"));
+        data.add_to_collection_str("People", Value::Node(m));
+        data.add_edge_str(m, "name", "Mary").unwrap();
+        let paper = data.new_node(Some("paper"));
+        data.add_edge_str(paper, "author", Value::str("Mary"))
+            .unwrap();
+        let mut inc = IncrementalSite::new(&data, &query, EvalOptions::default()).unwrap();
+        assert_eq!(inc.site.collection_str("W").unwrap().len(), 1);
+
+        // Retract one side of the join; the derived row must go.
+        inc.remove_edge(&mut data, paper, "author", &Value::str("Mary"))
+            .unwrap();
+        assert!(inc.site.collection_str("W").unwrap().is_empty());
+        assert!(inc
+            .table
+            .lookup("Wrote", &[Value::Node(m), Value::Node(paper)])
+            .is_none());
+
+        // Reinsert, then retract the other side.
+        inc.add_edge(&mut data, paper, "author", Value::str("Mary"))
+            .unwrap();
+        assert_eq!(inc.site.collection_str("W").unwrap().len(), 1);
+        inc.remove_edge(&mut data, m, "name", &Value::str("Mary"))
+            .unwrap();
+        assert!(inc.site.collection_str("W").unwrap().is_empty());
+    }
+
+    #[test]
+    fn over_retraction_is_a_typed_error() {
+        let data = base_data();
+        let query = parse_query(NEWS_QUERY).unwrap();
+        let mut inc = IncrementalSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let a0 = data.nodes()[0];
+        let sym = data.universe().interner().get("headline").unwrap();
+        let delta = Delta::EdgeRemoved {
+            from: a0,
+            label: sym,
+            to: Value::str("story 0"),
+        };
+        // First raw retraction is fine (the edge is still in `data`)...
+        inc.apply(&data, &delta).unwrap();
+        // ...but replaying it retracts derivations that no longer exist.
+        let err = inc.apply(&data, &delta).unwrap_err();
+        assert!(matches!(err, IncrementalError::Eval(_)), "{err}");
     }
 
     #[test]

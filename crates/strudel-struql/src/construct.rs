@@ -26,14 +26,27 @@ use strudel_graph::{Graph, Oid, Sym, Value};
 /// Nested maps (name → args → node) so the hot lookup path hashes the
 /// borrowed `&str` and `&[Value]` directly — no `(String, Vec)` key is
 /// allocated per call; allocations happen only on first instantiation.
+/// The table also carries the *derivation counts* behind DRed-style
+/// incremental maintenance: every emitted edge, collection member, and node
+/// reference remembers how many construction-row derivations support it, so
+/// retracting a binding only deletes site structure whose support drops to
+/// zero (multiple rows constructing the same edge keep it alive).
 #[derive(Default, Debug)]
 pub struct SkolemTable {
     map: FxHashMap<String, FxHashMap<Vec<Value>, Oid>>,
+    /// Reverse lookup for retraction: Skolem node → its application.
+    skolem_of: FxHashMap<Oid, (String, Vec<Value>)>,
     count: usize,
-    /// Edges already emitted into the output graph (set semantics). Keyed
-    /// by `(from, label)` so duplicate emissions probe without cloning the
-    /// target value.
-    emitted: FxHashMap<(Oid, Sym), FxHashSet<Value>>,
+    /// Emitted edges with derivation counts (set semantics in the graph: the
+    /// edge exists while its count is positive). Keyed by `(from, label)` so
+    /// duplicate emissions probe without cloning the target value.
+    emitted: FxHashMap<(Oid, Sym), FxHashMap<Value, u32>>,
+    /// Collection members with derivation counts, keyed by collection.
+    collected: FxHashMap<Sym, FxHashMap<Value, u32>>,
+    /// Reference counts per output-graph node: one per Skolem resolution,
+    /// per Node-valued edge emission, and per Node-valued collect. A node
+    /// leaves the site graph only when its last reference is released.
+    node_refs: FxHashMap<Oid, u32>,
 }
 
 impl SkolemTable {
@@ -64,6 +77,7 @@ impl SkolemTable {
     /// was created by this call.
     fn instantiate_tracked(&mut self, out: &mut Graph, name: &str, args: &[Value]) -> (Oid, bool) {
         if let Some(&oid) = self.map.get(name).and_then(|m| m.get(args)) {
+            *self.node_refs.entry(oid).or_insert(0) += 1;
             return (oid, false);
         }
         let mut label = String::with_capacity(name.len() + 8);
@@ -87,7 +101,10 @@ impl SkolemTable {
             .entry(name.to_string())
             .or_default()
             .insert(args.to_vec(), oid);
+        self.skolem_of
+            .insert(oid, (name.to_string(), args.to_vec()));
         self.count += 1;
+        *self.node_refs.entry(oid).or_insert(0) += 1;
         (oid, true)
     }
 
@@ -105,11 +122,15 @@ impl SkolemTable {
     }
 
     fn emit_edge(&mut self, out: &mut Graph, from: Oid, label: Sym, to: Value) -> Result<bool> {
-        let set = self.emitted.entry((from, label)).or_default();
-        if set.contains(&to) {
+        if let Value::Node(n) = &to {
+            *self.node_refs.entry(*n).or_insert(0) += 1;
+        }
+        let support = self.emitted.entry((from, label)).or_default();
+        if let Some(n) = support.get_mut(&to) {
+            *n += 1;
             return Ok(false);
         }
-        set.insert(to.clone());
+        support.insert(to.clone(), 1);
         // Linking to an existing node pulls it (and its attributes)
         // into the output graph — graphs of a database share objects.
         if let Value::Node(n) = &to {
@@ -118,6 +139,112 @@ impl SkolemTable {
             }
         }
         out.add_edge(from, label, to)?;
+        Ok(true)
+    }
+
+    /// Withdraws one derivation of `from --label--> to`; the edge leaves the
+    /// graph only when its support count reaches zero. Returns whether the
+    /// edge was physically removed. Errors on a derivation that was never
+    /// emitted (an over-retraction — the caller's deltas are inconsistent).
+    fn retract_edge(&mut self, out: &mut Graph, from: Oid, label: Sym, to: &Value) -> Result<bool> {
+        let support = self
+            .emitted
+            .get_mut(&(from, label))
+            .and_then(|m| m.get_mut(to))
+            .ok_or_else(|| StruqlError::eval("retraction of an edge that was never derived"))?;
+        *support -= 1;
+        let gone = *support == 0;
+        if gone {
+            let by_target = self.emitted.get_mut(&(from, label)).expect("present above");
+            by_target.remove(to);
+            if by_target.is_empty() {
+                self.emitted.remove(&(from, label));
+            }
+            out.remove_edge(from, label, to)?;
+        }
+        if let Value::Node(n) = to {
+            self.release_node(out, *n)?;
+        }
+        Ok(gone)
+    }
+
+    fn emit_collect(&mut self, out: &mut Graph, coll: Sym, value: Value) -> Result<bool> {
+        if let Value::Node(n) = &value {
+            *self.node_refs.entry(*n).or_insert(0) += 1;
+            if !out.contains_node(*n) {
+                out.adopt_node(*n)?;
+            }
+        }
+        let support = self.collected.entry(coll).or_default();
+        if let Some(n) = support.get_mut(&value) {
+            *n += 1;
+            return Ok(false);
+        }
+        support.insert(value.clone(), 1);
+        out.add_to_collection(coll, value);
+        Ok(true)
+    }
+
+    /// Withdraws one derivation of a collection membership; the member is
+    /// removed only when its support count reaches zero. Returns whether it
+    /// was physically removed.
+    fn retract_collect(&mut self, out: &mut Graph, coll: Sym, value: &Value) -> Result<bool> {
+        let support = self
+            .collected
+            .get_mut(&coll)
+            .and_then(|m| m.get_mut(value))
+            .ok_or_else(|| {
+                StruqlError::eval("retraction of a collection member that was never derived")
+            })?;
+        *support -= 1;
+        let gone = *support == 0;
+        if gone {
+            self.collected
+                .get_mut(&coll)
+                .expect("present above")
+                .remove(value);
+            out.remove_from_collection(coll, value);
+        }
+        if let Value::Node(n) = value {
+            self.release_node(out, *n)?;
+        }
+        Ok(gone)
+    }
+
+    /// Looks up the node a Skolem application resolved to, for retraction.
+    fn resolve_existing(&self, name: &str, args: &[Value]) -> Result<Oid> {
+        self.lookup(name, args).ok_or_else(|| {
+            StruqlError::eval(format!(
+                "retraction references uninstantiated Skolem term {name}(..)"
+            ))
+        })
+    }
+
+    /// Releases one reference to a site-graph node. When the last reference
+    /// goes, the node leaves the graph: a Skolem page is dropped from the
+    /// table (so a later re-derivation mints a fresh node) and an adopted
+    /// data node merely loses its site membership. Returns whether the node
+    /// was removed from the graph.
+    fn release_node(&mut self, out: &mut Graph, n: Oid) -> Result<bool> {
+        let refs = self
+            .node_refs
+            .get_mut(&n)
+            .ok_or_else(|| StruqlError::eval("node reference underflow during retraction"))?;
+        *refs -= 1;
+        if *refs > 0 {
+            return Ok(false);
+        }
+        self.node_refs.remove(&n);
+        if let Some((name, args)) = self.skolem_of.remove(&n) {
+            if let Some(by_args) = self.map.get_mut(&name) {
+                by_args.remove(&args);
+                if by_args.is_empty() {
+                    self.map.remove(&name);
+                }
+            }
+            self.count -= 1;
+        }
+        out.remove_member(n);
         Ok(true)
     }
 }
@@ -131,6 +258,12 @@ pub struct ConstructStats {
     pub edges_created: u64,
     /// Collection insertions (deduplicated).
     pub collected: u64,
+    /// Edges whose support dropped to zero and left the graph.
+    pub edges_removed: u64,
+    /// Collection members whose support dropped to zero.
+    pub collect_removed: u64,
+    /// Nodes whose last reference was released.
+    pub nodes_removed: u64,
 }
 
 /// A Skolem term resolved against a bindings schema: argument variables as
@@ -175,6 +308,19 @@ impl<'a> SkPlan<'a> {
             stats.nodes_created += 1;
         }
         oid
+    }
+
+    /// Resolves the application this plan produced when it was applied,
+    /// without creating it (and without taking a node reference).
+    fn resolve_existing(
+        &self,
+        table: &SkolemTable,
+        row: &[Value],
+        buf: &mut Vec<Value>,
+    ) -> Result<Oid> {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|&c| row[c].clone()));
+        table.resolve_existing(self.name, buf)
     }
 }
 
@@ -332,12 +478,7 @@ pub fn apply_block(
                     continue;
                 }
             };
-            if let Value::Node(n) = &value {
-                if !out.contains_node(*n) {
-                    out.adopt_node(*n)?;
-                }
-            }
-            if out.add_to_collection(collect_syms[coll_idx], value) {
+            if table.emit_collect(out, collect_syms[coll_idx], value)? {
                 stats.collected += 1;
             }
         }
@@ -365,8 +506,152 @@ pub fn apply_block(
             unreachable!("accumulated from Agg")
         };
         if let Some(result) = aggregate(*func, &agg_collects[&coll_idx]) {
-            if out.add_to_collection(collect_syms[coll_idx], result) {
+            if table.emit_collect(out, collect_syms[coll_idx], result)? {
                 stats.collected += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Withdraws a block's construction clauses for a retracted bindings
+/// relation: the exact mirror of [`apply_block`], decrementing the
+/// derivation counts taken when the same rows were applied. Edges,
+/// collection members, and nodes leave `out` only when their last
+/// supporting derivation goes.
+///
+/// The caller owes the contract that `bindings` is a sub-relation of rows
+/// previously applied with this table — in the incremental-maintenance
+/// fragment that means evaluating the retracted seed over the *pre-removal*
+/// data graph. Aggregate targets are outside the fragment and are rejected.
+pub fn retract_block(
+    block: &Block,
+    bindings: &Bindings,
+    out: &mut Graph,
+    table: &mut SkolemTable,
+    stats: &mut ConstructStats,
+) -> Result<()> {
+    if block.creates.is_empty() && block.links.is_empty() && block.collects.is_empty() {
+        return Ok(());
+    }
+    if bindings.is_empty() {
+        return Ok(());
+    }
+
+    let create_plans: Vec<SkPlan<'_>> = block
+        .creates
+        .iter()
+        .map(|sk| SkPlan::of(bindings, sk))
+        .collect::<Result<_>>()?;
+    let link_plans: Vec<LinkPlan<'_>> = block
+        .links
+        .iter()
+        .map(|link| {
+            Ok(LinkPlan {
+                from: SkPlan::of(bindings, &link.from)?,
+                label: match &link.label {
+                    LabelTerm::Lit(s) => LabelPlan::Lit(out.sym(s)),
+                    LabelTerm::Var(v) => LabelPlan::Col(
+                        bindings.col(v).ok_or_else(|| {
+                            StruqlError::eval(format!("link label variable `{v}` unbound"))
+                        })?,
+                        v,
+                    ),
+                },
+                to: TargetPlan::of(bindings, &link.to, "link target")?,
+            })
+        })
+        .collect::<Result<_>>()?;
+    let collect_syms: Vec<Sym> = block
+        .collects
+        .iter()
+        .map(|c| out.ensure_collection(&c.name))
+        .collect();
+    let coll_plans: Vec<TargetPlan<'_>> = block
+        .collects
+        .iter()
+        .map(|c| TargetPlan::of(bindings, &c.arg, "collect argument"))
+        .collect::<Result<_>>()?;
+    if link_plans
+        .iter()
+        .any(|lp| matches!(lp.to, TargetPlan::Agg(_)))
+        || coll_plans.iter().any(|cp| matches!(cp, TargetPlan::Agg(_)))
+    {
+        return Err(StruqlError::eval(
+            "aggregate constructions cannot be retracted incrementally",
+        ));
+    }
+
+    let mut args: Vec<Value> = Vec::new();
+    for row_idx in 0..bindings.len() {
+        let row = bindings.row(row_idx);
+
+        for lp in &link_plans {
+            let from = lp.from.resolve_existing(table, row, &mut args)?;
+            let label = match &lp.label {
+                LabelPlan::Lit(sym) => *sym,
+                LabelPlan::Col(c, v) => {
+                    let value = &row[*c];
+                    match value.text() {
+                        Some(t) => out.sym(&t),
+                        None => {
+                            return Err(StruqlError::eval(format!(
+                                "link label variable `{v}` is bound to non-label value {value}"
+                            )))
+                        }
+                    }
+                }
+            };
+            let to_skolem = match &lp.to {
+                TargetPlan::Skolem(p) => Some(p.resolve_existing(table, row, &mut args)?),
+                _ => None,
+            };
+            let to: Value = match &lp.to {
+                TargetPlan::Skolem(_) => Value::Node(to_skolem.expect("just resolved")),
+                TargetPlan::Col(c) => row[*c].clone(),
+                TargetPlan::Lit(v) => v.clone(),
+                TargetPlan::Agg(_) => unreachable!("rejected above"),
+            };
+            if table.retract_edge(out, from, label, &to)? {
+                stats.edges_removed += 1;
+            }
+            // Mirror the Skolem resolution reference the apply path took for
+            // the target, then the one it took for the source.
+            if let Some(t) = to_skolem {
+                if table.release_node(out, t)? {
+                    stats.nodes_removed += 1;
+                }
+            }
+            if table.release_node(out, from)? {
+                stats.nodes_removed += 1;
+            }
+        }
+
+        for (coll_idx, cp) in coll_plans.iter().enumerate() {
+            let skolem = match cp {
+                TargetPlan::Skolem(p) => Some(p.resolve_existing(table, row, &mut args)?),
+                _ => None,
+            };
+            let value: Value = match cp {
+                TargetPlan::Skolem(_) => Value::Node(skolem.expect("just resolved")),
+                TargetPlan::Col(c) => row[*c].clone(),
+                TargetPlan::Lit(v) => v.clone(),
+                TargetPlan::Agg(_) => unreachable!("rejected above"),
+            };
+            if table.retract_collect(out, collect_syms[coll_idx], &value)? {
+                stats.collect_removed += 1;
+            }
+            if let Some(s) = skolem {
+                if table.release_node(out, s)? {
+                    stats.nodes_removed += 1;
+                }
+            }
+        }
+
+        for plan in &create_plans {
+            let oid = plan.resolve_existing(table, row, &mut args)?;
+            if table.release_node(out, oid)? {
+                stats.nodes_removed += 1;
             }
         }
     }

@@ -160,9 +160,20 @@ fn decode_entities(s: &str) -> String {
                     "apos" => out.push('\''),
                     "nbsp" => out.push(' '),
                     _ if entity.starts_with('#') => {
-                        if let Ok(code) = entity[1..].parse::<u32>() {
-                            if let Some(c) = char::from_u32(code) {
-                                out.push(c);
+                        let digits = &entity[1..];
+                        let code = match digits.strip_prefix(['x', 'X']) {
+                            Some(hex) => u32::from_str_radix(hex, 16).ok(),
+                            None => digits.parse::<u32>().ok(),
+                        };
+                        match code.and_then(char::from_u32) {
+                            Some(c) => out.push(c),
+                            // Lenient fallback: an unparsable or invalid
+                            // numeric reference stays literal text rather
+                            // than vanishing.
+                            None => {
+                                out.push('&');
+                                out.push_str(entity);
+                                out.push(';');
                             }
                         }
                     }
@@ -279,6 +290,26 @@ mod tests {
             decode_entities("a &amp; b &#65; &unknown; &"),
             "a & b A &unknown; &"
         );
+    }
+
+    #[test]
+    fn hex_and_named_entities_decode() {
+        // Hexadecimal character references, both case markers.
+        assert_eq!(decode_entities("&#x41;&#X42;&#x6a;"), "ABj");
+        // Mixed with decimal and named forms in one run.
+        assert_eq!(decode_entities("&apos;&#x27;&#39;"), "'''");
+        assert_eq!(decode_entities("caf&#xE9;"), "café");
+    }
+
+    #[test]
+    fn malformed_numeric_references_stay_literal() {
+        // Unparsable digits, out-of-range code points, and surrogates
+        // fall back to the literal text instead of disappearing.
+        assert_eq!(decode_entities("&#xZZ;"), "&#xZZ;");
+        assert_eq!(decode_entities("&#abc;"), "&#abc;");
+        assert_eq!(decode_entities("&#xD800;"), "&#xD800;");
+        // A lone ampersand before a distant semicolon is untouched.
+        assert_eq!(decode_entities("fish & chips; tea"), "fish & chips; tea");
     }
 
     #[test]

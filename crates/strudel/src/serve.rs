@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use strudel_graph::{FileKind, Oid, Value};
-use strudel_site::{DynamicSite, OutLink, PageRef, Target};
+use strudel_site::{Delta, DynamicSite, OutLink, PageRef, Target};
 
 /// Encodes a page reference as a URL path.
 pub fn page_url(p: &PageRef) -> String {
@@ -378,6 +378,18 @@ impl<'g> Server<'g> {
         self.metrics.snapshot()
     }
 
+    /// Notifies the server of a data-graph change: forwards `delta` to the
+    /// shared evaluator's cache invalidation and returns the number of
+    /// cached expansions dropped. Insertions and removals are handled
+    /// symmetrically; a removal delta may be delivered before or after the
+    /// underlying graph mutation (seed matching needs only the interner,
+    /// not the edge's presence). The next request for an affected page
+    /// recomputes it; untouched entries keep answering from the warm cache
+    /// (the `invalidated` counter is visible under `/stats`).
+    pub fn notify(&self, delta: &Delta) -> u64 {
+        self.site.invalidate(delta)
+    }
+
     /// Serves requests on a pool of [`ServerConfig::threads`] workers until
     /// `max_requests` connections have been dispatched (`None` = forever)
     /// or a request for `/quit` arrives (always honored, so tests and
@@ -709,6 +721,82 @@ object a2 in Articles { headline "two" section "world" }
         let stats = server.stats();
         assert!(stats.requests >= 7, "{stats:?}");
         assert!(stats.errors >= 2, "{stats:?}"); // the 400 and the 404
+    }
+
+    /// End-to-end live update with a *deletion*: serve and warm the cache,
+    /// deliver a removal delta through [`Server::notify`], carry the
+    /// surviving cache entries across a rebind with snapshot/restore, and
+    /// check the served HTML reflects the deletion while untouched pages
+    /// still answer from the warm cache.
+    #[test]
+    fn deletion_notify_invalidates_served_pages_across_rebind() {
+        let (mut data, query) = demo_site();
+        let find = |g: &strudel_graph::Graph, name: &str| {
+            g.nodes()
+                .iter()
+                .copied()
+                .find(|n| g.node_name(*n).as_deref() == Some(name))
+                .unwrap()
+        };
+        let a1 = find(&data, "a1");
+        let a2 = find(&data, "a2");
+        let headline = data.sym("headline");
+        let url1 = page_url(&PageRef {
+            skolem: "Page".into(),
+            args: vec![Value::Node(a1)],
+        });
+        let url2 = page_url(&PageRef {
+            skolem: "Page".into(),
+            args: vec![Value::Node(a2)],
+        });
+
+        // Phase 1: warm both story pages, then notify the removal.
+        let snap = {
+            let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+            let server = Server::bind(site, "127.0.0.1:0").unwrap();
+            let addr = server.addr().unwrap();
+            let (u1, u2) = (url1.clone(), url2.clone());
+            let client = std::thread::spawn(move || {
+                assert!(fetch(addr, &u1).contains("one"));
+                assert!(fetch(addr, &u2).contains("two"));
+                let _ = fetch(addr, "/quit");
+            });
+            server.serve(None).unwrap();
+            client.join().unwrap();
+
+            let dropped = server.notify(&Delta::EdgeRemoved {
+                from: a1,
+                label: headline,
+                to: Value::str("one"),
+            });
+            assert!(dropped >= 1, "removal delta dropped {dropped} entries");
+            server.site().cache_snapshot()
+        };
+
+        // The server is gone; apply the mutation the delta described.
+        assert!(data.remove_edge(a1, headline, &Value::str("one")).unwrap());
+
+        // Phase 2: rebind over the mutated graph with the surviving cache.
+        let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        site.cache_restore(snap);
+        let server = Server::bind(site, "127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+        let (u1, u2) = (url1.clone(), url2.clone());
+        let client = std::thread::spawn(move || {
+            let story1 = fetch(addr, &u1);
+            assert!(!story1.contains("one"), "{story1}");
+            assert!(story1.contains("world"), "{story1}"); // section edge intact
+            assert!(fetch(addr, &u2).contains("two"));
+            let _ = fetch(addr, "/quit");
+        });
+        server.serve(None).unwrap();
+        client.join().unwrap();
+        let d = server.site().stats();
+        assert!(d.cache_hits >= 1, "untouched page should stay warm: {d:?}");
+        assert!(
+            d.cache_misses >= 1,
+            "invalidated page must recompute: {d:?}"
+        );
     }
 
     /// Regression test: a request head arriving in several TCP segments

@@ -52,7 +52,7 @@ CREATE FrontPage()
         "headline",
         Value::str("STRUDEL reproduced in Rust"),
     )?;
-    site.add_edge(&mut data, article, "section", Value::str("tech"))?;
+    site.add_edge(&mut data, article, "section", Value::str("exclusive"))?;
     site.add_to_collection(&mut data, "Articles", Value::Node(article))?;
     println!("new article propagated in {:?}", t.elapsed());
     let page = site
@@ -79,6 +79,42 @@ CREATE FrontPage()
             .lookup("SectionPage", &[Value::str("opinion")])
             .is_some(),
         "a brand-new section page appeared"
+    );
+
+    // 4. The correction is withdrawn — deletions retract exactly the
+    //    derivations they supported (DRed-style counting).
+    let t = Instant::now();
+    site.remove_edge(
+        &mut data,
+        first,
+        "correction",
+        &Value::str("updated byline"),
+    )?;
+    println!("correction withdrawal propagated in {:?}", t.elapsed());
+
+    // 5. The breaking story is retracted entirely: memberships and
+    //    attributes go, and its ArticlePage vanishes with them.
+    let t = Instant::now();
+    site.remove_from_collection(&mut data, "Articles", &Value::Node(article))?;
+    site.remove_edge(
+        &mut data,
+        article,
+        "headline",
+        &Value::str("STRUDEL reproduced in Rust"),
+    )?;
+    site.remove_edge(&mut data, article, "section", &Value::str("exclusive"))?;
+    println!("article retraction propagated in {:?}", t.elapsed());
+    assert!(
+        site.table
+            .lookup("ArticlePage", &[Value::Node(article)])
+            .is_none(),
+        "the retracted article's page is gone"
+    );
+    assert!(
+        site.table
+            .lookup("SectionPage", &[Value::str("exclusive")])
+            .is_none(),
+        "the section page it alone supported is gone too"
     );
 
     // Equivalence check against a from-scratch rebuild.

@@ -319,6 +319,155 @@ proptest! {
     }
 }
 
+/// Full signature of a maintained site: every Skolem page with its sorted
+/// out-edges (node targets resolved through the Skolem table so maintained
+/// and rebuilt graphs compare by *logical* page identity, not by oid), plus
+/// every non-empty collection. Empty collections are skipped because a cold
+/// evaluation never registers one, while the maintained site keeps an
+/// emptied collection registered.
+fn site_signature(g: &Graph, table: &strudel::struql::SkolemTable) -> Vec<String> {
+    use std::collections::HashMap;
+    let mut page_name: HashMap<strudel::graph::Oid, String> = HashMap::new();
+    for (name, args, oid) in table.iter() {
+        let args: Vec<String> = args.iter().map(ToString::to_string).collect();
+        page_name.insert(oid, format!("{name}({})", args.join(",")));
+    }
+    let key = |v: &Value| match v {
+        Value::Node(n) => page_name
+            .get(n)
+            .cloned()
+            .or_else(|| g.node_name(*n).map(|s| s.to_string()))
+            .unwrap_or_else(|| format!("{n:?}")),
+        other => other.to_string(),
+    };
+    let mut out: Vec<String> = table
+        .iter()
+        .map(|(_, _, oid)| {
+            let mut edges: Vec<String> = g
+                .out_edges(oid)
+                .into_iter()
+                .map(|(l, v)| format!("{}->{}", g.resolve(l), key(&v)))
+                .collect();
+            edges.sort();
+            format!("{} {{{}}}", page_name[&oid], edges.join(";"))
+        })
+        .collect();
+    for &cname in g.collection_names() {
+        let coll = g.collection(cname).expect("registered collection");
+        if coll.is_empty() {
+            continue;
+        }
+        let mut items: Vec<String> = coll.items().iter().map(key).collect();
+        items.sort();
+        out.push(format!("coll {}: [{}]", g.resolve(cname), items.join(",")));
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Deletion-aware maintenance: any interleaving of edge/collection
+    /// insertions and deletions against the news-site query leaves the
+    /// maintained site graph equal to a cold rebuild *after every step*.
+    #[test]
+    fn insert_delete_interleaving_equals_rebuild(
+        ops in proptest::collection::vec((0u8..4, 0usize..5, 0u8..3, 0u8..4), 1..24),
+    ) {
+        let q = parse_query(
+            r#"CREATE FrontPage()
+               { WHERE Articles(a), a -> l -> v
+                 CREATE ArticlePage(a)
+                 LINK ArticlePage(a) -> l -> v,
+                      FrontPage() -> "Article" -> ArticlePage(a)
+                 COLLECT Pages(ArticlePage(a))
+                 { WHERE l = "section"
+                   CREATE SectionPage(v)
+                   LINK SectionPage(v) -> "Story" -> ArticlePage(a),
+                        FrontPage() -> "Section" -> SectionPage(v) } }"#,
+        )
+        .unwrap();
+        let labels = ["headline", "section", "topic"];
+        let values = ["world", "sports", "local", "x"];
+
+        let mut data = Graph::standalone();
+        let arts: Vec<_> = (0..5)
+            .map(|i| data.new_node(Some(&format!("art{i}"))))
+            .collect();
+        // A non-trivial starting site: two member articles, one shared section.
+        for &a in &arts[..2] {
+            data.add_to_collection_str("Articles", Value::Node(a));
+            data.add_edge_str(a, "section", Value::str("world")).unwrap();
+        }
+        let mut inc =
+            strudel::site::IncrementalSite::new(&data, &q, EvalOptions::default()).unwrap();
+
+        for (step, &(kind, a, l, v)) in ops.iter().enumerate() {
+            let (node, label) = (arts[a], labels[l as usize]);
+            let val = Value::str(values[v as usize]);
+            match kind {
+                0 => inc.add_edge(&mut data, node, label, val).unwrap(),
+                1 => inc.remove_edge(&mut data, node, label, &val).unwrap(),
+                2 => inc
+                    .add_to_collection(&mut data, "Articles", Value::Node(node))
+                    .unwrap(),
+                _ => inc
+                    .remove_from_collection(&mut data, "Articles", &Value::Node(node))
+                    .unwrap(),
+            }
+            let rebuilt = q.evaluate(&data, &EvalOptions::default()).unwrap();
+            prop_assert_eq!(
+                site_signature(&inc.site, &inc.table),
+                site_signature(&rebuilt.graph, &rebuilt.table),
+                "divergence after step {} {:?}",
+                step,
+                (kind, a, l, v)
+            );
+        }
+    }
+}
+
+/// Queries outside the maintainable fragment are rejected up front with a
+/// typed error, and the caller's fallback — a full rebuild per change —
+/// still observes deletions.
+#[test]
+fn out_of_fragment_deletions_fall_back_to_rebuild() {
+    use strudel::site::{IncrementalError, IncrementalSite};
+    let mut data = Graph::standalone();
+    for i in 0..3 {
+        let a = data.new_node(Some(&format!("a{i}")));
+        data.add_to_collection_str("Articles", Value::Node(a));
+    }
+    let agg = parse_query(
+        r#"CREATE FrontPage()
+           { WHERE Articles(a) LINK FrontPage() -> "count" -> COUNT(a) }"#,
+    )
+    .unwrap();
+    match IncrementalSite::new(&data, &agg, EvalOptions::default()) {
+        Err(IncrementalError::Aggregate(_)) => {}
+        Err(other) => panic!("expected Aggregate rejection, got {other:?}"),
+        Ok(_) => panic!("aggregate query must be rejected up front"),
+    }
+
+    let count_of = |g: &Graph| {
+        let out = agg.evaluate(g, &EvalOptions::default()).unwrap();
+        let (_, _, front) = out.table.iter().next().expect("FrontPage");
+        out.graph
+            .out_edges(front)
+            .into_iter()
+            .find_map(|(l, v)| (&*out.graph.resolve(l) == "count").then_some(v))
+            .expect("count edge")
+    };
+    assert!(count_of(&data).coerced_eq(&Value::Int(3)));
+    let gone = data.nodes()[0];
+    assert!(data.remove_from_collection_str("Articles", &Value::Node(gone)));
+    assert!(
+        count_of(&data).coerced_eq(&Value::Int(2)),
+        "rebuild sees the deletion"
+    );
+}
+
 // ------------------------------------- reference-evaluator equivalence ----
 //
 // The vectorized engine (slab bindings, hash joins, memo caches) must be

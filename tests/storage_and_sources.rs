@@ -53,6 +53,76 @@ fn site_graph_can_be_saved_and_reloaded() {
 }
 
 #[test]
+fn storage_failures_surface_as_typed_storage_errors() {
+    use strudel::graph::GraphError;
+
+    // I/O failure while writing: a sink that always refuses.
+    struct Refuse;
+    impl std::io::Write for Refuse {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let data = strudel::graph::ddl::parse(r#"object p in Ps { k "v" }"#).unwrap();
+    let err = store::save(&data, &mut Refuse).unwrap_err();
+    assert!(matches!(err, GraphError::Storage { .. }), "{err}");
+    assert!(err.to_string().starts_with("storage error:"), "{err}");
+
+    // A truncated snapshot and a missing file are storage errors too, not
+    // misreported DDL parse failures.
+    let mut buf = Vec::new();
+    store::save(&data, &mut buf).unwrap();
+    buf.truncate(buf.len() / 2);
+    assert!(matches!(
+        store::load_slice(&buf),
+        Err(GraphError::Storage { .. })
+    ));
+    assert!(matches!(
+        store::load_from_file(std::path::Path::new("/nonexistent/strudel.snapshot")),
+        Err(GraphError::Storage { .. })
+    ));
+}
+
+#[test]
+fn round_trip_after_deletions_preserves_the_mutated_graph() {
+    // The on-disk format must reflect removals: delete an edge and a
+    // collection member, save, load, and compare against the live graph.
+    let mut data = strudel::graph::ddl::parse(
+        r#"
+object p1 in Publications { title "UnQL" year 1996 }
+object p2 in Publications { title "StruQL" year 1997 }
+"#,
+    )
+    .unwrap();
+    let p1 = data
+        .nodes()
+        .iter()
+        .copied()
+        .find(|n| data.node_name(*n).as_deref() == Some("p1"))
+        .unwrap();
+    assert!(data.remove_edge_str(p1, "year", &Value::Int(1996)).unwrap());
+    assert!(data.remove_from_collection_str("Publications", &Value::Node(p1)));
+
+    let mut buf = Vec::new();
+    store::save(&data, &mut buf).unwrap();
+    let loaded = store::load_slice(&buf).unwrap();
+    assert_eq!(loaded.node_count(), data.node_count());
+    assert_eq!(loaded.edge_count(), data.edge_count());
+    assert_eq!(loaded.collection_str("Publications").unwrap().len(), 1);
+    let p1_loaded = loaded
+        .nodes()
+        .iter()
+        .copied()
+        .find(|n| loaded.node_name(*n).as_deref() == Some("p1"))
+        .unwrap();
+    assert!(!loaded.has_edge(p1_loaded, loaded.sym("year"), &Value::Int(1996)));
+    assert!(loaded.has_edge(p1_loaded, loaded.sym("title"), &Value::str("UnQL")));
+}
+
+#[test]
 fn html_source_through_the_pipeline() {
     let mut s = Strudel::new();
     s.add_html_source(
