@@ -1,0 +1,133 @@
+//! Experiment A-PAR: data-parallel evaluation and multi-threaded site
+//! generation, sweeping the job count over whole-site builds.
+//!
+//! Three workloads, all end-to-end (warehouse warm; evaluate + construct +
+//! render): the Fig. 8 news corpus at 800 articles / complexity level 4,
+//! the T-ATT organization site at 400 members, and the T-CNN news site at
+//! 300 articles. Each runs at jobs ∈ {1, 2, 4}; jobs=1 is the unchanged
+//! sequential path, and every job count produces byte-identical output
+//! (see `parallel_full_build_matches_sequential` in tests/properties.rs).
+//!
+//! Writes `BENCH_parallel.json` at the repository root. Note: wall-clock
+//! speedup requires physical cores — on a single-core host the sweep
+//! records parity (the point of the determinism design is that the
+//! parallel path is safe to leave on everywhere).
+
+use bench::fig8;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use strudel::synth::{news, org};
+use strudel::Strudel;
+
+const WARMUP: usize = 2;
+const ITERS: usize = 11;
+
+fn median_us(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// Median full-build latency (µs) of a system at one job count.
+fn measure(s: &mut Strudel, roots: &[&str], jobs: usize) -> f64 {
+    s.set_jobs(jobs);
+    s.data_graph().unwrap(); // warehouse warm; measure the site pipeline
+    for _ in 0..WARMUP {
+        black_box(s.generate_site(roots).unwrap().pages.len());
+    }
+    let mut samples = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let t = std::time::Instant::now();
+        black_box(s.generate_site(roots).unwrap().pages.len());
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    median_us(samples)
+}
+
+fn report_sweep() {
+    use std::fmt::Write as _;
+
+    let workloads: Vec<(&str, Strudel, &[&str])> = vec![
+        (
+            "fig8_800_L4",
+            fig8::strudel_system(800, 7, fig8::MAX_LEVEL).unwrap(),
+            &["FrontPage"],
+        ),
+        (
+            "t_att_400",
+            org::system(&org::generate(400, 1997)).unwrap(),
+            &["RootPage"],
+        ),
+        (
+            "t_cnn_300",
+            news::system(300, 7, false).unwrap(),
+            &["FrontPage"],
+        ),
+    ];
+
+    println!(
+        "=== A-PAR: whole-site build, jobs sweep (median µs over {ITERS} iters; \
+         {} hardware threads) ===",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let mut rows: Vec<(&str, [f64; 3])> = Vec::new();
+    for (name, mut s, roots) in workloads {
+        let us = [
+            measure(&mut s, roots, 1),
+            measure(&mut s, roots, 2),
+            measure(&mut s, roots, 4),
+        ];
+        println!(
+            "  {name:<12} jobs=1 {:>10.1}  jobs=2 {:>10.1}  jobs=4 {:>10.1}  (x{:.2} at 4)",
+            us[0],
+            us[1],
+            us[2],
+            us[0] / us[2]
+        );
+        rows.push((name, us));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    for (i, (name, us)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "  \"{name}\": {{\"jobs1_us\": {:.1}, \"jobs2_us\": {:.1}, \"jobs4_us\": {:.1}, \
+             \"speedup_jobs4\": {:.2}}}{comma}",
+            us[0],
+            us[1],
+            us[2],
+            us[0] / us[2]
+        );
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, &json).unwrap();
+    println!("\nwrote {path}\n");
+}
+
+fn bench_jobs_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_build");
+    group.sample_size(10);
+    for &jobs in &[1usize, 2, 4] {
+        let mut s = fig8::strudel_system(800, 7, fig8::MAX_LEVEL).unwrap();
+        s.set_jobs(jobs);
+        s.data_graph().unwrap();
+        group.bench_with_input(BenchmarkId::new("fig8_800_L4", jobs), &jobs, move |b, _| {
+            b.iter(|| black_box(s.generate_site(&["FrontPage"]).unwrap().pages.len()));
+        });
+    }
+    group.finish();
+}
+
+fn benches_with_report(c: &mut Criterion) {
+    report_sweep();
+    bench_jobs_sweep(c);
+}
+
+criterion_group!(benches, benches_with_report);
+criterion_main!(benches);

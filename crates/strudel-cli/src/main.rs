@@ -2,7 +2,7 @@
 //! management system.
 //!
 //! ```text
-//! strudel-cli build   <site.spec>                 generate the browsable site
+//! strudel-cli build   <site.spec> [--jobs N]      generate the browsable site
 //! strudel-cli schema  <site.spec>                 print the site schema (DOT)
 //! strudel-cli explain <site.spec>                 show optimizer plans per block
 //! strudel-cli verify  <site.spec> <constraint>    check a structural constraint
@@ -30,7 +30,7 @@ use strudel::{Strudel, StrudelError};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("build") if args.len() == 2 => cmd_build(Path::new(&args[1])),
+        Some("build") if args.len() >= 2 => cmd_build(Path::new(&args[1]), &args[2..]),
         Some("schema") if args.len() == 2 => cmd_schema(Path::new(&args[1])),
         Some("explain") if args.len() == 2 => cmd_explain(Path::new(&args[1])),
         Some("verify") if args.len() >= 3 => cmd_verify(Path::new(&args[1]), &args[2..].join(" ")),
@@ -38,7 +38,7 @@ fn main() -> ExitCode {
         Some("serve") if args.len() >= 2 => cmd_serve(Path::new(&args[1]), &args[2..]),
         Some("demo") if args.len() == 2 => cmd_demo(Path::new(&args[1])),
         _ => {
-            eprintln!("usage:\n  strudel-cli build   <site.spec>\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec>\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin)> <query.struql>\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N]\n  strudel-cli demo    <dir>");
+            eprintln!("usage:\n  strudel-cli build   <site.spec> [--jobs N]\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec>\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin)> <query.struql>\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N]\n  strudel-cli demo    <dir>");
             return ExitCode::from(2);
         }
     };
@@ -114,8 +114,26 @@ fn load_system(spec_path: &Path) -> Result<(Strudel, spec::Spec), AnyError> {
     Ok((s, sp))
 }
 
-fn cmd_build(spec_path: &Path) -> Result<(), AnyError> {
+/// `rest` holds everything after the spec path: an optional `--jobs N`
+/// flag (worker threads for evaluation, construction and rendering;
+/// defaults to the machine's available parallelism).
+fn cmd_build(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs {v}: {e}"))?
+                    .max(1);
+            }
+            s => return Err(format!("unknown argument {s}").into()),
+        }
+    }
     let (mut s, sp) = load_system(spec_path)?;
+    s.set_jobs(jobs);
     let roots: Vec<&str> = sp.roots.iter().map(String::as_str).collect();
     let out = sp
         .output
@@ -124,10 +142,11 @@ fn cmd_build(spec_path: &Path) -> Result<(), AnyError> {
     let t = std::time::Instant::now();
     let site = s.publish(&roots, &out)?;
     println!(
-        "built {} pages ({} bytes) in {:?} -> {}",
+        "built {} pages ({} bytes) in {:?} with {} jobs -> {}",
         site.pages.len(),
         site.total_bytes(),
         t.elapsed(),
+        jobs,
         out.display()
     );
     for w in &site.warnings {

@@ -394,6 +394,13 @@ impl<'g> DynamicSite<'g> {
         }
     }
 
+    /// Aggregated hit/miss/invalidation counters of the regular-path memo
+    /// cache these options evaluate with (main cache plus every per-worker
+    /// cache; see [`strudel_struql::PathCache::stats`]).
+    pub fn path_cache_stats(&self) -> strudel_struql::PathCacheStats {
+        self.opts.path_cache.stats()
+    }
+
     /// Number of live cache entries.
     pub fn cache_len(&self) -> usize {
         self.cache.lock().len()

@@ -231,6 +231,16 @@ impl Bindings {
         self.len = 0;
     }
 
+    /// Moves every row of `other` (which must have the same schema) to the
+    /// end of this relation. This is the ordered-merge step of parallel
+    /// evaluation: per-chunk output relations concatenated in chunk order
+    /// reproduce the sequential row order exactly.
+    pub fn append(&mut self, other: Bindings) {
+        debug_assert_eq!(self.vars, other.vars, "append of mismatched schemas");
+        self.data.extend(other.data);
+        self.len += other.len;
+    }
+
     /// Projects onto a subset of variables (deduplicating rows), used when
     /// handing a parent block's bindings to a nested block. Candidate rows
     /// are hashed as slices and compared against the output slab — no row is

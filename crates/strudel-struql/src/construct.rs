@@ -359,34 +359,27 @@ struct LinkPlan<'a> {
     to: TargetPlan<'a>,
 }
 
-/// Runs a block's construction clauses over its bindings relation, writing
-/// into `out`.
-pub fn apply_block(
-    block: &Block,
+/// Every construction plan of a block resolved against a bindings schema:
+/// variable references as column indexes, literal link labels pre-interned,
+/// collect collections pre-resolved.
+struct BlockPlans<'a> {
+    creates: Vec<SkPlan<'a>>,
+    links: Vec<LinkPlan<'a>>,
+    collect_syms: Vec<Sym>,
+    collects: Vec<TargetPlan<'a>>,
+}
+
+fn block_plans<'a>(
+    block: &'a Block,
     bindings: &Bindings,
     out: &mut Graph,
-    table: &mut SkolemTable,
-    stats: &mut ConstructStats,
-) -> Result<()> {
-    if block.creates.is_empty() && block.links.is_empty() && block.collects.is_empty() {
-        return Ok(());
-    }
-
-    // Nothing to construct from an empty relation (aggregates over an
-    // empty group emit nothing either).
-    if bindings.is_empty() {
-        return Ok(());
-    }
-
-    // Resolve every variable reference against the bindings schema once,
-    // pre-intern literal link labels and pre-resolve collect collections —
-    // the per-row loop then works with column indexes only.
-    let create_plans: Vec<SkPlan<'_>> = block
+) -> Result<BlockPlans<'a>> {
+    let creates: Vec<SkPlan<'_>> = block
         .creates
         .iter()
         .map(|sk| SkPlan::of(bindings, sk))
         .collect::<Result<_>>()?;
-    let link_plans: Vec<LinkPlan<'_>> = block
+    let links: Vec<LinkPlan<'_>> = block
         .links
         .iter()
         .map(|link| {
@@ -410,27 +403,101 @@ pub fn apply_block(
         .iter()
         .map(|c| out.ensure_collection(&c.name))
         .collect();
-    let coll_plans: Vec<TargetPlan<'_>> = block
+    let collects: Vec<TargetPlan<'_>> = block
         .collects
         .iter()
         .map(|c| TargetPlan::of(bindings, &c.arg, "collect argument"))
         .collect::<Result<_>>()?;
+    Ok(BlockPlans {
+        creates,
+        links,
+        collect_syms,
+        collects,
+    })
+}
 
-    // Aggregation accumulators (§5.2 extension): link targets group by
-    // (link clause, source node, label); collect arguments aggregate over
-    // the whole bindings relation. Distinct values only.
-    let mut agg_links: FxHashMap<(usize, Oid, Sym), FxHashSet<Value>> = FxHashMap::default();
-    let mut agg_collects: FxHashMap<usize, FxHashSet<Value>> = FxHashMap::default();
+/// The aggregation accumulators of one `apply_block` pass (§5.2 extension):
+/// link targets group by (link clause, source node, label); collect
+/// arguments aggregate over the whole bindings relation. Distinct values
+/// only.
+#[derive(Default)]
+struct AggAcc {
+    links: FxHashMap<(usize, Oid, Sym), FxHashSet<Value>>,
+    collects: FxHashMap<usize, FxHashSet<Value>>,
+}
+
+/// Emits the aggregated links and collections accumulated by a row pass, in
+/// sorted key order (deterministic regardless of accumulation order).
+fn emit_aggregates(
+    block: &Block,
+    collect_syms: &[Sym],
+    agg: AggAcc,
+    out: &mut Graph,
+    table: &mut SkolemTable,
+    stats: &mut ConstructStats,
+) -> Result<()> {
+    let mut agg_link_keys: Vec<(usize, Oid, Sym)> = agg.links.keys().copied().collect();
+    agg_link_keys.sort_unstable_by_key(|(i, o, s)| (*i, o.0, s.0));
+    for key in agg_link_keys {
+        let (link_idx, from, label) = key;
+        let values = &agg.links[&key];
+        let Term::Agg(func, _) = &block.links[link_idx].to else {
+            unreachable!("accumulated from Agg")
+        };
+        if let Some(result) = aggregate(*func, values) {
+            if table.emit_edge(out, from, label, result)? {
+                stats.edges_created += 1;
+            }
+        }
+    }
+    let mut agg_coll_keys: Vec<usize> = agg.collects.keys().copied().collect();
+    agg_coll_keys.sort_unstable();
+    for coll_idx in agg_coll_keys {
+        let Term::Agg(func, _) = &block.collects[coll_idx].arg else {
+            unreachable!("accumulated from Agg")
+        };
+        if let Some(result) = aggregate(*func, &agg.collects[&coll_idx]) {
+            if table.emit_collect(out, collect_syms[coll_idx], result)? {
+                stats.collected += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs a block's construction clauses over its bindings relation, writing
+/// into `out`.
+pub fn apply_block(
+    block: &Block,
+    bindings: &Bindings,
+    out: &mut Graph,
+    table: &mut SkolemTable,
+    stats: &mut ConstructStats,
+) -> Result<()> {
+    if block.creates.is_empty() && block.links.is_empty() && block.collects.is_empty() {
+        return Ok(());
+    }
+
+    // Nothing to construct from an empty relation (aggregates over an
+    // empty group emit nothing either).
+    if bindings.is_empty() {
+        return Ok(());
+    }
+
+    // Resolve every variable reference against the bindings schema once —
+    // the per-row loop then works with column indexes only.
+    let plans = block_plans(block, bindings, out)?;
+    let mut agg = AggAcc::default();
 
     let mut args: Vec<Value> = Vec::new();
     for row_idx in 0..bindings.len() {
         let row = bindings.row(row_idx);
 
-        for plan in &create_plans {
+        for plan in &plans.creates {
             plan.resolve(table, out, row, &mut args, stats);
         }
 
-        for (link_idx, lp) in link_plans.iter().enumerate() {
+        for (link_idx, lp) in plans.links.iter().enumerate() {
             let from = lp.from.resolve(table, out, row, &mut args, stats);
             let label = match &lp.label {
                 LabelPlan::Lit(sym) => *sym,
@@ -453,7 +520,7 @@ pub fn apply_block(
                 TargetPlan::Agg(c) => {
                     // Accumulate the group; the edge is emitted after the
                     // row loop.
-                    agg_links
+                    agg.links
                         .entry((link_idx, from, label))
                         .or_default()
                         .insert(row[*c].clone());
@@ -465,53 +532,214 @@ pub fn apply_block(
             }
         }
 
-        for (coll_idx, cp) in coll_plans.iter().enumerate() {
+        for (coll_idx, cp) in plans.collects.iter().enumerate() {
             let value: Value = match cp {
                 TargetPlan::Skolem(p) => Value::Node(p.resolve(table, out, row, &mut args, stats)),
                 TargetPlan::Col(c) => row[*c].clone(),
                 TargetPlan::Lit(v) => v.clone(),
                 TargetPlan::Agg(c) => {
-                    agg_collects
+                    agg.collects
                         .entry(coll_idx)
                         .or_default()
                         .insert(row[*c].clone());
                     continue;
                 }
             };
-            if table.emit_collect(out, collect_syms[coll_idx], value)? {
+            if table.emit_collect(out, plans.collect_syms[coll_idx], value)? {
                 stats.collected += 1;
             }
         }
     }
 
-    // Emit aggregated links and collections.
-    let mut agg_link_keys: Vec<(usize, Oid, Sym)> = agg_links.keys().copied().collect();
-    agg_link_keys.sort_unstable_by_key(|(i, o, s)| (*i, o.0, s.0));
-    for key in agg_link_keys {
-        let (link_idx, from, label) = key;
-        let values = &agg_links[&key];
-        let Term::Agg(func, _) = &block.links[link_idx].to else {
-            unreachable!("accumulated from Agg")
-        };
-        if let Some(result) = aggregate(*func, values) {
-            if table.emit_edge(out, from, label, result)? {
+    emit_aggregates(block, &plans.collect_syms, agg, out, table, stats)
+}
+
+/// Minimum rows per partition before block construction is split across
+/// worker threads; below this the sequential path wins.
+const PAR_MIN_CONSTRUCT_ROWS: usize = 512;
+
+/// A link/collect target resolved to concrete values by a gather worker,
+/// awaiting replay against the graph and table.
+enum TargetVal {
+    /// Arguments of a Skolem application to instantiate at replay time.
+    Skolem(Vec<Value>),
+    /// A finished value.
+    Val(Value),
+    /// A value to fold into the aggregate accumulator.
+    Agg(Value),
+}
+
+/// One row's construction actions, resolved to values only — no graph or
+/// table access — so rows can be gathered in parallel.
+struct RowActions {
+    /// Argument vectors, one per `CREATE` plan.
+    creates: Vec<Vec<Value>>,
+    /// Per `LINK` plan: source Skolem arguments, the label value when the
+    /// label is a bound variable (`None` for pre-interned literals —
+    /// variable labels are interned at replay time, in row order, so symbol
+    /// numbering matches the sequential pass exactly), and the target.
+    links: Vec<(Vec<Value>, Option<Value>, TargetVal)>,
+    /// One target per `COLLECT` plan.
+    collects: Vec<TargetVal>,
+}
+
+fn gather_row(plans: &BlockPlans<'_>, row: &[Value]) -> RowActions {
+    let gather_args =
+        |p: &SkPlan<'_>| -> Vec<Value> { p.cols.iter().map(|&c| row[c].clone()).collect() };
+    let gather_target = |tp: &TargetPlan<'_>| match tp {
+        TargetPlan::Skolem(p) => TargetVal::Skolem(gather_args(p)),
+        TargetPlan::Col(c) => TargetVal::Val(row[*c].clone()),
+        TargetPlan::Lit(v) => TargetVal::Val(v.clone()),
+        TargetPlan::Agg(c) => TargetVal::Agg(row[*c].clone()),
+    };
+    RowActions {
+        creates: plans.creates.iter().map(&gather_args).collect(),
+        links: plans
+            .links
+            .iter()
+            .map(|lp| {
+                let label = match &lp.label {
+                    LabelPlan::Lit(_) => None,
+                    LabelPlan::Col(c, _) => Some(row[*c].clone()),
+                };
+                (gather_args(&lp.from), label, gather_target(&lp.to))
+            })
+            .collect(),
+        collects: plans.collects.iter().map(&gather_target).collect(),
+    }
+}
+
+/// Like [`apply_block`], but with the per-row value resolution (Skolem
+/// argument vectors, link labels and targets, collect values) gathered in
+/// parallel over contiguous row partitions. The partitions are then
+/// *replayed* against the graph and table on the calling thread, in row
+/// order — the replay performs exactly the same `instantiate`/`emit` calls
+/// in exactly the same order as the sequential pass, so Skolem node
+/// numbering, derivation counts, symbol interning and error behaviour are
+/// all byte-identical to [`apply_block`] at any worker count.
+pub fn apply_block_jobs(
+    block: &Block,
+    bindings: &Bindings,
+    out: &mut Graph,
+    table: &mut SkolemTable,
+    stats: &mut ConstructStats,
+    jobs: usize,
+) -> Result<()> {
+    let workers = if jobs <= 1 {
+        1
+    } else {
+        jobs.min(bindings.len() / PAR_MIN_CONSTRUCT_ROWS).max(1)
+    };
+    if workers <= 1 {
+        return apply_block(block, bindings, out, table, stats);
+    }
+    if block.creates.is_empty() && block.links.is_empty() && block.collects.is_empty() {
+        return Ok(());
+    }
+
+    let plans = block_plans(block, bindings, out)?;
+
+    // Phase 1 (parallel): gather every row's actions — pure value cloning,
+    // no shared mutable state.
+    let chunk = bindings.len().div_ceil(workers);
+    let plans_ref = &plans;
+    let parts: Vec<Vec<RowActions>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..bindings.len())
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(bindings.len());
+                scope.spawn(move || {
+                    (start..end)
+                        .map(|i| gather_row(plans_ref, bindings.row(i)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("construction worker panicked"))
+            .collect()
+    });
+
+    // Phase 2 (sequential): replay the partitions in row order.
+    let mut agg = AggAcc::default();
+    for ra in parts.into_iter().flatten() {
+        for (create_idx, args) in ra.creates.into_iter().enumerate() {
+            let (_, created) =
+                table.instantiate_tracked(out, plans.creates[create_idx].name, &args);
+            if created {
+                stats.nodes_created += 1;
+            }
+        }
+
+        for (link_idx, (from_args, label_val, to_val)) in ra.links.into_iter().enumerate() {
+            let lp = &plans.links[link_idx];
+            let (from, created) = table.instantiate_tracked(out, lp.from.name, &from_args);
+            if created {
+                stats.nodes_created += 1;
+            }
+            let label = match (&lp.label, label_val) {
+                (LabelPlan::Lit(sym), _) => *sym,
+                (LabelPlan::Col(_, v), Some(value)) => match value.text() {
+                    Some(t) => out.sym(&t),
+                    None => {
+                        return Err(StruqlError::eval(format!(
+                            "link label variable `{v}` is bound to non-label value {value}"
+                        )))
+                    }
+                },
+                (LabelPlan::Col(..), None) => unreachable!("gathered from Col"),
+            };
+            let to: Value = match to_val {
+                TargetVal::Skolem(args) => {
+                    let TargetPlan::Skolem(p) = &lp.to else {
+                        unreachable!("gathered from Skolem")
+                    };
+                    let (oid, created) = table.instantiate_tracked(out, p.name, &args);
+                    if created {
+                        stats.nodes_created += 1;
+                    }
+                    Value::Node(oid)
+                }
+                TargetVal::Val(v) => v,
+                TargetVal::Agg(v) => {
+                    agg.links
+                        .entry((link_idx, from, label))
+                        .or_default()
+                        .insert(v);
+                    continue;
+                }
+            };
+            if table.emit_edge(out, from, label, to)? {
                 stats.edges_created += 1;
             }
         }
-    }
-    let mut agg_coll_keys: Vec<usize> = agg_collects.keys().copied().collect();
-    agg_coll_keys.sort_unstable();
-    for coll_idx in agg_coll_keys {
-        let Term::Agg(func, _) = &block.collects[coll_idx].arg else {
-            unreachable!("accumulated from Agg")
-        };
-        if let Some(result) = aggregate(*func, &agg_collects[&coll_idx]) {
-            if table.emit_collect(out, collect_syms[coll_idx], result)? {
+
+        for (coll_idx, tv) in ra.collects.into_iter().enumerate() {
+            let value: Value = match tv {
+                TargetVal::Skolem(args) => {
+                    let TargetPlan::Skolem(p) = &plans.collects[coll_idx] else {
+                        unreachable!("gathered from Skolem")
+                    };
+                    let (oid, created) = table.instantiate_tracked(out, p.name, &args);
+                    if created {
+                        stats.nodes_created += 1;
+                    }
+                    Value::Node(oid)
+                }
+                TargetVal::Val(v) => v,
+                TargetVal::Agg(v) => {
+                    agg.collects.entry(coll_idx).or_default().insert(v);
+                    continue;
+                }
+            };
+            if table.emit_collect(out, plans.collect_syms[coll_idx], value)? {
                 stats.collected += 1;
             }
         }
     }
-    Ok(())
+
+    emit_aggregates(block, &plans.collect_syms, agg, out, table, stats)
 }
 
 /// Withdraws a block's construction clauses for a retracted bindings

@@ -47,13 +47,14 @@
 use crate::analyze::analyze;
 use crate::ast::*;
 use crate::binding::Bindings;
-use crate::construct::{apply_block, ConstructStats, SkolemTable};
+use crate::construct::{apply_block_jobs, ConstructStats, SkolemTable};
 use crate::error::{Result, StruqlError};
 use crate::optimize::{plan, Optimizer};
 use crate::pred::PredicateRegistry;
 use crate::rpe::Nfa;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use strudel_graph::fxhash::{FxHashMap, FxHashSet};
 use strudel_graph::graph::{CacheStamp, GraphReader};
 use strudel_graph::{Graph, Oid, Sym, Value};
@@ -65,6 +66,10 @@ type RevAdj = FxHashMap<Value, Vec<(Oid, Sym)>>;
 /// Row-independent arc-edge matches grouped by (label value, edges),
 /// where each edge carries the target to bind (if any).
 type ArcLabelGroups = Vec<(Value, Vec<(Oid, Option<Value>)>)>;
+
+/// Minimum rows a parallel worker must receive before an operator is
+/// chunked across threads; smaller inputs stay on the calling thread.
+const PAR_MIN_CHUNK: usize = 128;
 
 pub use crate::optimize::Optimizer as OptimizerChoice;
 
@@ -83,6 +88,11 @@ pub struct EvalOptions {
     /// Memo caches for regular-path work, shared by every evaluation using
     /// (a clone of) these options and invalidated by graph mutation.
     pub path_cache: Arc<PathCache>,
+    /// Worker threads for data-parallel operators. `1` runs every operator
+    /// on the calling thread (the unchanged sequential path); higher values
+    /// chunk large row loops across a scoped thread pool. The output is
+    /// byte-identical at every setting.
+    pub jobs: usize,
 }
 
 impl Default for EvalOptions {
@@ -93,6 +103,7 @@ impl Default for EvalOptions {
             max_rows: 10_000_000,
             explain: false,
             path_cache: Arc::new(PathCache::default()),
+            jobs: default_jobs(),
         }
     }
 }
@@ -105,6 +116,29 @@ impl EvalOptions {
             ..Default::default()
         }
     }
+
+    /// Options evaluating with the given worker count, otherwise defaults.
+    pub fn with_jobs(jobs: usize) -> Self {
+        EvalOptions {
+            jobs: jobs.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// The default worker count: the `STRUDEL_JOBS` environment variable when
+/// set (CI forces the parallel paths across the whole test suite with
+/// `STRUDEL_JOBS=2`), else 1 — parallelism is opt-in for library callers;
+/// the CLI passes `available_parallelism` explicitly via `--jobs`.
+fn default_jobs() -> usize {
+    static JOBS: OnceLock<usize> = OnceLock::new();
+    *JOBS.get_or_init(|| {
+        std::env::var("STRUDEL_JOBS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&j| j >= 1)
+            .unwrap_or(1)
+    })
 }
 
 /// Evaluator-lifetime memo caches for regular-path-expression work.
@@ -117,16 +151,72 @@ impl EvalOptions {
 #[derive(Default)]
 pub struct PathCache {
     inner: Mutex<PathCacheInner>,
+    /// Observability counters. Outside the inner mutex (and never reset by
+    /// invalidation) so they survive stamp-mismatch wipes and can be read
+    /// without contending with evaluation.
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    /// Per-worker caches handed out to parallel operator workers, kept here
+    /// so they stay warm across conditions, blocks and evaluations.
+    workers: Mutex<Vec<Arc<PathCache>>>,
+}
+
+/// A snapshot of [`PathCache`] counters, aggregated over the cache itself
+/// and every per-worker cache it has handed out.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathCacheStats {
+    /// Memo lookups answered from the cache.
+    pub hits: u64,
+    /// Memo lookups that had to compute (and then cached) their result.
+    pub misses: u64,
+    /// Times a graph mutation (stamp mismatch) wiped cached entries.
+    pub invalidations: u64,
 }
 
 impl PathCache {
-    /// Drops all cached state (useful for benchmarks isolating cold costs).
+    /// Drops all cached state, including the per-worker caches (useful for
+    /// benchmarks isolating cold costs). Counters are kept: they report
+    /// cache behaviour over the cache's whole lifetime.
     pub fn clear(&self) {
         *self.lock() = PathCacheInner::default();
+        for w in self.workers().iter() {
+            *w.lock() = PathCacheInner::default();
+        }
+    }
+
+    /// Aggregated hit/miss/invalidation counters: this cache plus every
+    /// per-worker cache.
+    pub fn stats(&self) -> PathCacheStats {
+        let mut s = PathCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        };
+        for w in self.workers().iter() {
+            s.hits += w.hits.load(Ordering::Relaxed);
+            s.misses += w.misses.load(Ordering::Relaxed);
+            s.invalidations += w.invalidations.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// The cache for worker slot `i`, created on first use. Worker caches
+    /// never hand out workers of their own — parallel operators do not nest.
+    fn worker(&self, i: usize) -> Arc<PathCache> {
+        let mut ws = self.workers();
+        while ws.len() <= i {
+            ws.push(Arc::new(PathCache::default()));
+        }
+        Arc::clone(&ws[i])
     }
 
     fn lock(&self) -> MutexGuard<'_, PathCacheInner> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn workers(&self) -> MutexGuard<'_, Vec<Arc<PathCache>>> {
+        self.workers.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -222,6 +312,7 @@ impl Query {
         let mut ev = Ev {
             graph: input,
             opts,
+            path_cache: opts.path_cache.as_ref(),
             stats: EvalStats::default(),
         };
         ev.stats.warnings = analyzed.warnings;
@@ -254,6 +345,7 @@ impl Query {
         let mut ev = Ev {
             graph: input,
             opts,
+            path_cache: opts.path_cache.as_ref(),
             stats: EvalStats::default(),
         };
         let arc_vars = arc_vars_of(&analyzed.query);
@@ -324,6 +416,7 @@ pub fn evaluate_conditions(
     let mut ev = Ev {
         graph: input,
         opts,
+        path_cache: opts.path_cache.as_ref(),
         stats: EvalStats::default(),
     };
     let mut arc_vars = FxHashSet::default();
@@ -369,16 +462,25 @@ fn arc_vars_of(q: &Query) -> FxHashSet<String> {
 struct Ev<'g> {
     graph: &'g Graph,
     opts: &'g EvalOptions,
+    /// The path cache this evaluator consults: the shared cache from the
+    /// options on the calling thread, a per-worker cache inside parallel
+    /// operator workers (so workers never contend on one mutex).
+    path_cache: &'g PathCache,
     stats: EvalStats,
 }
 
 impl<'g> Ev<'g> {
-    /// Locks the shared path cache, clearing it first if the graph (or its
-    /// universe) has changed since the entries were computed.
+    /// Locks this evaluator's path cache, clearing it first if the graph
+    /// (or its universe) has changed since the entries were computed.
     fn cache(&self) -> MutexGuard<'_, PathCacheInner> {
-        let mut c = self.opts.path_cache.lock();
+        let mut c = self.path_cache.lock();
         let stamp = self.graph.cache_stamp();
         if c.stamp != Some(stamp) {
+            if c.stamp.is_some() {
+                self.path_cache
+                    .invalidations
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             *c = PathCacheInner {
                 stamp: Some(stamp),
                 ..PathCacheInner::default()
@@ -387,15 +489,25 @@ impl<'g> Ev<'g> {
         c
     }
 
+    fn cache_hit(&self) {
+        self.path_cache.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn cache_miss(&self) {
+        self.path_cache.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The compiled automaton for `rpe`, from the cache.
     fn compiled_nfa(&self, rpe: &Rpe) -> Arc<Nfa> {
         let key = rpe.to_string();
         {
             let c = self.cache();
             if let Some(n) = c.compiled.get(&key) {
+                self.cache_hit();
                 return Arc::clone(n);
             }
         }
+        self.cache_miss();
         let nfa = Arc::new(Nfa::compile(rpe, self.graph.universe().interner()));
         let mut c = self.cache();
         let n = Arc::clone(c.compiled.entry(key).or_insert(nfa));
@@ -409,9 +521,11 @@ impl<'g> Ev<'g> {
         {
             let c = self.cache();
             if let Some(r) = c.reversed.get(&key) {
+                self.cache_hit();
                 return Arc::clone(r);
             }
         }
+        self.cache_miss();
         let rev = Arc::new(nfa.reversed());
         let mut c = self.cache();
         c.pin(nfa);
@@ -427,9 +541,11 @@ impl<'g> Ev<'g> {
         {
             let c = self.cache();
             if let Some(r) = c.forward.get(&key) {
+                self.cache_hit();
                 return Arc::clone(r);
             }
         }
+        self.cache_miss();
         let r = Arc::new(self.rpe_forward(reader, nfa, start));
         let mut c = self.cache();
         c.pin(nfa);
@@ -443,9 +559,11 @@ impl<'g> Ev<'g> {
         {
             let c = self.cache();
             if let Some(r) = c.backward.get(&key) {
+                self.cache_hit();
                 return Arc::clone(r);
             }
         }
+        self.cache_miss();
         let r = Arc::new(self.rpe_backward(rev, adj, start));
         let mut c = self.cache();
         c.pin(rev);
@@ -454,6 +572,150 @@ impl<'g> Ev<'g> {
 
     fn label_value(&self, sym: Sym) -> Value {
         Value::Str(self.graph.universe().interner().resolve(sym))
+    }
+
+    // ---- data-parallel row drivers ----
+
+    /// Worker count for an input of `rows` rows: capped so every chunk has
+    /// at least [`PAR_MIN_CHUNK`] rows (below that, thread startup dominates
+    /// the row loop), and 1 when the options are sequential.
+    fn jobs_for(&self, rows: usize) -> usize {
+        if self.opts.jobs <= 1 {
+            1
+        } else {
+            self.opts.jobs.min(rows / PAR_MIN_CHUNK).max(1)
+        }
+    }
+
+    /// Runs a per-row emitter over `input`, chunked across a scoped worker
+    /// pool when the options ask for parallelism.
+    ///
+    /// `emit` must append to the output exactly what the sequential loop
+    /// would emit for that row (each output row may only depend on its input
+    /// row and row-independent captured state). Every chunk writes its own
+    /// relation with `proto`'s schema and the chunks are concatenated in
+    /// chunk order, so the merged slab is byte-identical to a sequential
+    /// pass. Workers evaluate through their own [`Ev`] with a per-worker
+    /// path cache (validated by the same graph stamp) and a fresh `scratch`;
+    /// scratches only memoize deterministic per-row state, so they cannot
+    /// influence the output.
+    fn run_rows<S, MS, F>(
+        &self,
+        input: &Bindings,
+        proto: Bindings,
+        make_scratch: MS,
+        emit: F,
+    ) -> Bindings
+    where
+        MS: Fn() -> S + Sync,
+        F: for<'e> Fn(&Ev<'e>, &mut S, &[Value], &mut Bindings) + Sync,
+    {
+        let jobs = self.jobs_for(input.len());
+        if jobs <= 1 {
+            let mut out = proto;
+            let mut scratch = make_scratch();
+            for row in input.rows() {
+                emit(self, &mut scratch, row, &mut out);
+            }
+            return out;
+        }
+        let chunk = input.len().div_ceil(jobs);
+        let graph = self.graph;
+        let opts = self.opts;
+        let mut parts = std::thread::scope(|scope| {
+            let proto = &proto;
+            let make_scratch = &make_scratch;
+            let emit = &emit;
+            let handles: Vec<_> = (0..input.len())
+                .step_by(chunk)
+                .enumerate()
+                .map(|(wi, start)| {
+                    let end = (start + chunk).min(input.len());
+                    let wcache = self.path_cache.worker(wi);
+                    scope.spawn(move || {
+                        let ev = Ev {
+                            graph,
+                            opts,
+                            path_cache: &wcache,
+                            stats: EvalStats::default(),
+                        };
+                        let mut out = proto.clone();
+                        let mut scratch = make_scratch();
+                        for i in start..end {
+                            emit(&ev, &mut scratch, input.row(i), &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluation worker panicked"))
+                .collect::<Vec<Bindings>>()
+        });
+        let mut out = parts.remove(0);
+        for part in parts {
+            out.append(part);
+        }
+        out
+    }
+
+    /// Applies a pure row filter in place, computing the keep mask in
+    /// parallel chunks when the options ask for it. Compaction always runs
+    /// in row order against the mask, so the surviving rows and their order
+    /// match the sequential filter exactly.
+    fn par_retain<S, MS, F>(&self, b: &mut Bindings, make_scratch: MS, keep: F)
+    where
+        MS: Fn() -> S + Sync,
+        F: for<'e> Fn(&Ev<'e>, &mut S, &[Value]) -> bool + Sync,
+    {
+        let jobs = self.jobs_for(b.len());
+        if jobs <= 1 {
+            let mut scratch = make_scratch();
+            b.retain_rows(|row| keep(self, &mut scratch, row));
+            return;
+        }
+        let chunk = b.len().div_ceil(jobs);
+        let graph = self.graph;
+        let opts = self.opts;
+        let mask: Vec<bool> = {
+            let input = &*b;
+            std::thread::scope(|scope| {
+                let make_scratch = &make_scratch;
+                let keep = &keep;
+                let handles: Vec<_> = (0..input.len())
+                    .step_by(chunk)
+                    .enumerate()
+                    .map(|(wi, start)| {
+                        let end = (start + chunk).min(input.len());
+                        let wcache = self.path_cache.worker(wi);
+                        scope.spawn(move || {
+                            let ev = Ev {
+                                graph,
+                                opts,
+                                path_cache: &wcache,
+                                stats: EvalStats::default(),
+                            };
+                            let mut scratch = make_scratch();
+                            (start..end)
+                                .map(|i| keep(&ev, &mut scratch, input.row(i)))
+                                .collect::<Vec<bool>>()
+                        })
+                    })
+                    .collect();
+                let mut mask = Vec::with_capacity(input.len());
+                for h in handles {
+                    mask.extend(h.join().expect("evaluation worker panicked"));
+                }
+                mask
+            })
+        };
+        let mut i = 0;
+        b.retain_rows(|_| {
+            let k = mask[i];
+            i += 1;
+            k
+        });
     }
 
     fn eval_block(
@@ -477,7 +739,14 @@ impl<'g> Ev<'g> {
             let ordered: Vec<&Condition> = p.order.iter().map(|&i| &block.where_[i]).collect();
             self.eval_conditions(&ordered, parent.clone(), arc_vars)?
         };
-        apply_block(block, &bindings, out, table, &mut self.stats.construct)?;
+        apply_block_jobs(
+            block,
+            &bindings,
+            out,
+            table,
+            &mut self.stats.construct,
+            self.opts.jobs,
+        )?;
         for child in &block.children {
             self.eval_block(child, &bindings, out, table, arc_vars)?;
         }
@@ -578,15 +847,20 @@ impl<'g> Ev<'g> {
                     "active-domain expansion of `{var}` exceeded max_rows"
                 )));
             }
-            let mut out = Bindings::with_vars(b.vars().to_vec());
-            out.add_var(var);
-            out.reserve_rows(b.len().saturating_mul(domain.len()));
-            for row in b.rows() {
-                for v in &domain {
-                    out.push_row_extend(row, [v.clone()]);
-                }
-            }
-            b = out;
+            let mut proto = Bindings::with_vars(b.vars().to_vec());
+            proto.add_var(var);
+            proto.reserve_rows(b.len().saturating_mul(domain.len()));
+            let domain = &domain;
+            b = self.run_rows(
+                &b,
+                proto,
+                || (),
+                |_, _, row, out| {
+                    for v in domain {
+                        out.push_row_extend(row, [v.clone()]);
+                    }
+                },
+            );
         }
         Ok(b)
     }
@@ -602,7 +876,11 @@ impl<'g> Ev<'g> {
         match arg {
             Term::Var(v) if input.is_bound(v) => {
                 let col = input.col(v).expect("bound");
-                input.retain_rows(|row| coll.is_some_and(|c| c.contains(&row[col])) != negated);
+                self.par_retain(
+                    &mut input,
+                    || (),
+                    |_, _, row| coll.is_some_and(|c| c.contains(&row[col])) != negated,
+                );
                 Ok(input)
             }
             Term::Var(v) => {
@@ -621,14 +899,20 @@ impl<'g> Ev<'g> {
                         .filter(|v| !coll.is_some_and(|c| c.contains(v)))
                         .collect()
                 };
-                let mut out = Bindings::with_vars(input.vars().to_vec());
-                out.add_var(v);
-                out.reserve_rows(input.len().saturating_mul(domain.len()));
-                for row in input.rows() {
-                    for item in &domain {
-                        out.push_row_extend(row, [item.clone()]);
-                    }
-                }
+                let mut proto = Bindings::with_vars(input.vars().to_vec());
+                proto.add_var(v);
+                proto.reserve_rows(input.len().saturating_mul(domain.len()));
+                let domain = &domain;
+                let out = self.run_rows(
+                    &input,
+                    proto,
+                    || (),
+                    |_, _, row, out| {
+                        for item in domain {
+                            out.push_row_extend(row, [item.clone()]);
+                        }
+                    },
+                );
                 Ok(out)
             }
             Term::Lit(l) => {
@@ -672,12 +956,18 @@ impl<'g> Ev<'g> {
                 (lhs.as_var().expect("unbound side is a var"), rhs)
             };
             let slot = TermSlot::of(&input, bound_term)?;
-            let mut out = Bindings::with_vars(input.vars().to_vec());
-            out.add_var(var);
-            out.reserve_rows(input.len());
-            for row in input.rows() {
-                out.push_row_extend(row, [slot.value(row).clone()]);
-            }
+            let mut proto = Bindings::with_vars(input.vars().to_vec());
+            proto.add_var(var);
+            proto.reserve_rows(input.len());
+            let slot = &slot;
+            let out = self.run_rows(
+                &input,
+                proto,
+                || (),
+                |_, _, row, out| {
+                    out.push_row_extend(row, [slot.value(row).clone()]);
+                },
+            );
             return Ok(out);
         }
         // General case: expand any unbound vars, then filter in place.
@@ -692,7 +982,12 @@ impl<'g> Ev<'g> {
         let mut b = self.expand_active(input, &need, arc_vars)?;
         let ls = TermSlot::of(&b, lhs)?;
         let rs = TermSlot::of(&b, rhs)?;
-        b.retain_rows(|row| compare(ls.value(row), op, rs.value(row)));
+        let (ls, rs) = (&ls, &rs);
+        self.par_retain(
+            &mut b,
+            || (),
+            |_, _, row| compare(ls.value(row), op, rs.value(row)),
+        );
         Ok(b)
     }
 
@@ -707,18 +1002,29 @@ impl<'g> Ev<'g> {
         if input.is_bound(var) {
             let col = input.col(var).expect("bound");
             let vals: Vec<Value> = set.iter().map(Literal::to_value).collect();
-            input.retain_rows(|row| vals.iter().any(|v| v.coerced_eq(&row[col])) != negated);
+            let vals = &vals;
+            self.par_retain(
+                &mut input,
+                || (),
+                |_, _, row| vals.iter().any(|v| v.coerced_eq(&row[col])) != negated,
+            );
             Ok(input)
         } else if !negated {
             let vals: Vec<Value> = set.iter().map(Literal::to_value).collect();
-            let mut out = Bindings::with_vars(input.vars().to_vec());
-            out.add_var(var);
-            out.reserve_rows(input.len().saturating_mul(vals.len()));
-            for row in input.rows() {
-                for v in &vals {
-                    out.push_row_extend(row, [v.clone()]);
-                }
-            }
+            let mut proto = Bindings::with_vars(input.vars().to_vec());
+            proto.add_var(var);
+            proto.reserve_rows(input.len().saturating_mul(vals.len()));
+            let vals = &vals;
+            let out = self.run_rows(
+                &input,
+                proto,
+                || (),
+                |_, _, row, out| {
+                    for v in vals {
+                        out.push_row_extend(row, [v.clone()]);
+                    }
+                },
+            );
             Ok(out)
         } else {
             let b = self.expand_active(input, &[var], arc_vars)?;
@@ -745,18 +1051,24 @@ impl<'g> Ev<'g> {
             .map(|a| TermSlot::of(&b, a))
             .collect::<Result<_>>()?;
         let preds = &self.opts.predicates;
-        let mut unknown = false;
-        b.retain_rows(|row| {
-            let refs: Vec<&Value> = slots.iter().map(|s| s.value(row)).collect();
-            match preds.apply(name, &refs) {
-                Some(holds) => holds != negated,
-                None => {
-                    unknown = true;
-                    false
+        let unknown = AtomicBool::new(false);
+        let slots = &slots;
+        let unknown_ref = &unknown;
+        self.par_retain(
+            &mut b,
+            || (),
+            |_, _, row| {
+                let refs: Vec<&Value> = slots.iter().map(|s| s.value(row)).collect();
+                match preds.apply(name, &refs) {
+                    Some(holds) => holds != negated,
+                    None => {
+                        unknown_ref.store(true, Ordering::Relaxed);
+                        false
+                    }
                 }
-            }
-        });
-        if unknown {
+            },
+        );
+        if unknown.load(Ordering::Relaxed) {
             return Err(StruqlError::eval(format!("unknown predicate `{name}`")));
         }
         Ok(b)
@@ -789,12 +1101,11 @@ impl<'g> Ev<'g> {
             let fs = TermSlot::of(&b, from)?;
             let ts = TermSlot::of(&b, to)?;
             let l_col = b.col(l).expect("expanded");
-            let mut labels = LabelCache::default();
-            let ev = &*self;
-            b.retain_rows(|row| {
+            let (reader, fs, ts) = (&reader, &fs, &ts);
+            self.par_retain(&mut b, LabelCache::default, |ev, labels, row| {
                 !ev.edge_exists(
-                    &reader,
-                    &mut labels,
+                    reader,
+                    labels,
                     fs.value(row),
                     Some(&row[l_col]),
                     ts.value(row),
@@ -836,51 +1147,57 @@ impl<'g> Ev<'g> {
         };
         let to_mode = ToMode::of(&input, to)?;
         let fs = TermSlot::of(&input, from)?;
-        let mut out = Bindings::with_vars(input.vars().to_vec());
+        let mut proto = Bindings::with_vars(input.vars().to_vec());
         if l_col.is_none() {
-            out.add_var(l);
+            proto.add_var(l);
         }
         if let Some(v) = to_unbound_var {
-            out.add_var(v);
+            proto.add_var(v);
         }
         let reader = self.graph.reader();
-        let mut labels = LabelCache::default();
-        for row in input.rows() {
-            let Some(n) = fs.value(row).as_node() else {
-                continue;
-            };
-            for (sym, target) in reader.out(n) {
-                if let Some(c) = l_col {
-                    if !labels.get(self.graph, *sym).coerced_eq(&row[c]) {
-                        continue;
-                    }
-                }
-                match &to_mode {
-                    ToMode::Unbound => {}
-                    ToMode::BoundCol(c) => {
-                        if &row[*c] != target {
+        let (reader, fs, to_mode) = (&reader, &fs, &to_mode);
+        let emit_target = to_unbound_var.is_some();
+        let out = self.run_rows(
+            &input,
+            proto,
+            LabelCache::default,
+            |ev, labels, row, out| {
+                let Some(n) = fs.value(row).as_node() else {
+                    return;
+                };
+                for (sym, target) in reader.out(n) {
+                    if let Some(c) = l_col {
+                        if !labels.get(ev.graph, *sym).coerced_eq(&row[c]) {
                             continue;
                         }
                     }
-                    ToMode::Lit(lv) => {
-                        if !lv.coerced_eq(target) {
-                            continue;
+                    match to_mode {
+                        ToMode::Unbound => {}
+                        ToMode::BoundCol(c) => {
+                            if &row[*c] != target {
+                                continue;
+                            }
+                        }
+                        ToMode::Lit(lv) => {
+                            if !lv.coerced_eq(target) {
+                                continue;
+                            }
+                        }
+                    }
+                    match (l_col.is_some(), emit_target) {
+                        (true, true) => out.push_row_extend(row, [target.clone()]),
+                        (true, false) => out.push_row(row),
+                        (false, true) => out.push_row_extend(
+                            row,
+                            [labels.get(ev.graph, *sym).clone(), target.clone()],
+                        ),
+                        (false, false) => {
+                            out.push_row_extend(row, [labels.get(ev.graph, *sym).clone()])
                         }
                     }
                 }
-                match (l_col.is_some(), to_unbound_var.is_some()) {
-                    (true, true) => out.push_row_extend(row, [target.clone()]),
-                    (true, false) => out.push_row(row),
-                    (false, true) => out.push_row_extend(
-                        row,
-                        [labels.get(self.graph, *sym).clone(), target.clone()],
-                    ),
-                    (false, false) => {
-                        out.push_row_extend(row, [labels.get(self.graph, *sym).clone()])
-                    }
-                }
-            }
-        }
+            },
+        );
         Ok(out)
     }
 
@@ -895,31 +1212,36 @@ impl<'g> Ev<'g> {
         let l_col = input.col(l);
         let from_var = from.as_var().expect("from is an unbound var here");
         let ts = TermSlot::of(&input, to)?;
-        let mut out = Bindings::with_vars(input.vars().to_vec());
+        let mut proto = Bindings::with_vars(input.vars().to_vec());
         if l_col.is_none() {
-            out.add_var(l);
+            proto.add_var(l);
         }
-        out.add_var(from_var);
-        let mut labels = LabelCache::default();
-        for row in input.rows() {
-            let incoming: &[(Oid, Sym)] = match ts.value(row) {
-                Value::Node(n) => idx.edges_to_node(*n),
-                atomic => idx.edges_to_value(atomic),
-            };
-            for (src, sym) in incoming {
-                if let Some(c) = l_col {
-                    if !labels.get(self.graph, *sym).coerced_eq(&row[c]) {
-                        continue;
+        proto.add_var(from_var);
+        let ts = &ts;
+        let out = self.run_rows(
+            &input,
+            proto,
+            LabelCache::default,
+            |ev, labels, row, out| {
+                let incoming: &[(Oid, Sym)] = match ts.value(row) {
+                    Value::Node(n) => idx.edges_to_node(*n),
+                    atomic => idx.edges_to_value(atomic),
+                };
+                for (src, sym) in incoming {
+                    if let Some(c) = l_col {
+                        if !labels.get(ev.graph, *sym).coerced_eq(&row[c]) {
+                            continue;
+                        }
+                        out.push_row_extend(row, [Value::Node(*src)]);
+                    } else {
+                        out.push_row_extend(
+                            row,
+                            [labels.get(ev.graph, *sym).clone(), Value::Node(*src)],
+                        );
                     }
-                    out.push_row_extend(row, [Value::Node(*src)]);
-                } else {
-                    out.push_row_extend(
-                        row,
-                        [labels.get(self.graph, *sym).clone(), Value::Node(*src)],
-                    );
                 }
-            }
-        }
+            },
+        );
         Ok(out)
     }
 
@@ -954,21 +1276,22 @@ impl<'g> Ev<'g> {
         // `x -> l -> x` with one unbound variable on both ends binds it to
         // self-loop sources only, in a single column.
         let same_var = matches!(&to_state, ToState::Unbound(v) if *v == from_var);
-        let mut out = Bindings::with_vars(input.vars().to_vec());
-        out.add_var(from_var);
+        let mut proto = Bindings::with_vars(input.vars().to_vec());
+        proto.add_var(from_var);
         if l_col.is_none() {
-            out.add_var(l);
+            proto.add_var(l);
         }
         if !same_var {
             if let ToState::Unbound(v) = to_state {
-                out.add_var(v);
+                proto.add_var(v);
             }
         }
         let reader = self.graph.reader();
         let mut labels = LabelCache::default();
         if let ToState::BoundVar(v) = &to_state {
             // Hash join: joins of two bound variables use strict equality,
-            // so a probe table keyed by edge target is exact.
+            // so a probe table keyed by edge target is exact. The probe
+            // table is built once, sequentially; rows probe it in parallel.
             let tcol = input.col(v).expect("bound");
             let mut by_target: RevAdj = FxHashMap::default();
             for &n in self.graph.nodes() {
@@ -976,24 +1299,30 @@ impl<'g> Ev<'g> {
                     by_target.entry(target.clone()).or_default().push((n, *sym));
                 }
             }
-            for row in input.rows() {
-                let Some(candidates) = by_target.get(&row[tcol]) else {
-                    continue;
-                };
-                for (n, sym) in candidates {
-                    if let Some(c) = l_col {
-                        if !labels.get(self.graph, *sym).coerced_eq(&row[c]) {
-                            continue;
+            let by_target = &by_target;
+            let out = self.run_rows(
+                &input,
+                proto,
+                LabelCache::default,
+                |ev, labels, row, out| {
+                    let Some(candidates) = by_target.get(&row[tcol]) else {
+                        return;
+                    };
+                    for (n, sym) in candidates {
+                        if let Some(c) = l_col {
+                            if !labels.get(ev.graph, *sym).coerced_eq(&row[c]) {
+                                continue;
+                            }
+                            out.push_row_extend(row, [Value::Node(*n)]);
+                        } else {
+                            out.push_row_extend(
+                                row,
+                                [Value::Node(*n), labels.get(ev.graph, *sym).clone()],
+                            );
                         }
-                        out.push_row_extend(row, [Value::Node(*n)]);
-                    } else {
-                        out.push_row_extend(
-                            row,
-                            [Value::Node(*n), labels.get(self.graph, *sym).clone()],
-                        );
                     }
-                }
-            }
+                },
+            );
             return Ok(out);
         }
         // Row-independent match set (target unbound or a literal).
@@ -1028,32 +1357,45 @@ impl<'g> Ev<'g> {
                 .into_iter()
                 .map(|(sym, es)| (labels.get(self.graph, sym).clone(), es))
                 .collect();
-            for row in input.rows() {
-                for (lv, es) in &groups {
-                    if !lv.coerced_eq(&row[c]) {
-                        continue;
-                    }
-                    for (n, tv) in es {
-                        match tv {
-                            Some(t) => out.push_row_extend(row, [Value::Node(*n), t.clone()]),
-                            None => out.push_row_extend(row, [Value::Node(*n)]),
+            let groups = &groups;
+            let out = self.run_rows(
+                &input,
+                proto,
+                || (),
+                |_, _, row, out| {
+                    for (lv, es) in groups {
+                        if !lv.coerced_eq(&row[c]) {
+                            continue;
+                        }
+                        for (n, tv) in es {
+                            match tv {
+                                Some(t) => out.push_row_extend(row, [Value::Node(*n), t.clone()]),
+                                None => out.push_row_extend(row, [Value::Node(*n)]),
+                            }
                         }
                     }
-                }
-            }
+                },
+            );
+            Ok(out)
         } else {
-            out.reserve_rows(input.len().saturating_mul(matches.len()));
-            for row in input.rows() {
-                for (n, sym, tv) in &matches {
-                    let lv = labels.get(self.graph, *sym).clone();
-                    match tv {
-                        Some(t) => out.push_row_extend(row, [Value::Node(*n), lv, t.clone()]),
-                        None => out.push_row_extend(row, [Value::Node(*n), lv]),
+            proto.reserve_rows(input.len().saturating_mul(matches.len()));
+            let matches = &matches;
+            let out = self.run_rows(
+                &input,
+                proto,
+                LabelCache::default,
+                |ev, labels, row, out| {
+                    for (n, sym, tv) in matches {
+                        let lv = labels.get(ev.graph, *sym).clone();
+                        match tv {
+                            Some(t) => out.push_row_extend(row, [Value::Node(*n), lv, t.clone()]),
+                            None => out.push_row_extend(row, [Value::Node(*n), lv]),
+                        }
                     }
-                }
-            }
+                },
+            );
+            Ok(out)
         }
-        Ok(out)
     }
 
     /// Whether an edge `from --l?--> to` exists (all values known).
@@ -1109,11 +1451,15 @@ impl<'g> Ev<'g> {
             let reader = self.graph.reader();
             let fs = TermSlot::of(&b, from)?;
             let ts = TermSlot::of(&b, to)?;
-            let ev = &*self;
-            b.retain_rows(|row| {
-                let reach = ev.forward_reach(&reader, &nfa, fs.value(row));
-                !reach.set.contains(ts.value(row))
-            });
+            let (reader, nfa, fs, ts) = (&reader, &nfa, &fs, &ts);
+            self.par_retain(
+                &mut b,
+                || (),
+                |ev, _, row| {
+                    let reach = ev.forward_reach(reader, nfa, fs.value(row));
+                    !reach.set.contains(ts.value(row))
+                },
+            );
             return Ok(b);
         }
 
@@ -1160,17 +1506,22 @@ impl<'g> Ev<'g> {
             let mut b = self.expand_active(input, &need, arc_vars)?;
             let fs = TermSlot::of(&b, from)?;
             let ts = TermSlot::of(&b, to)?;
-            b.retain_rows(|row| {
-                let Some(w) = want else { return true };
-                let Some(n) = fs.value(row).as_node() else {
-                    return true;
-                };
-                let t = ts.value(row);
-                !reader
-                    .out(n)
-                    .iter()
-                    .any(|(sym, target)| *sym == w && target == t)
-            });
+            let (reader, fs, ts) = (&reader, &fs, &ts);
+            self.par_retain(
+                &mut b,
+                || (),
+                |_, _, row| {
+                    let Some(w) = want else { return true };
+                    let Some(n) = fs.value(row).as_node() else {
+                        return true;
+                    };
+                    let t = ts.value(row);
+                    !reader
+                        .out(n)
+                        .iter()
+                        .any(|(sym, target)| *sym == w && target == t)
+                },
+            );
             return Ok(b);
         }
 
@@ -1184,51 +1535,69 @@ impl<'g> Ev<'g> {
             match to_mode {
                 ToMode::Unbound => {
                     let to_var = to.as_var().expect("unbound to is a var");
-                    let mut out = Bindings::with_vars(input.vars().to_vec());
-                    out.add_var(to_var);
-                    let Some(w) = want else { return Ok(out) };
-                    let mut emitted: Vec<&Value> = Vec::new();
-                    for row in input.rows() {
-                        let Some(n) = fs.value(row).as_node() else {
-                            continue;
-                        };
-                        emitted.clear();
-                        for (sym, target) in reader.out(n) {
-                            if *sym != w || emitted.contains(&target) {
-                                continue;
+                    let mut proto = Bindings::with_vars(input.vars().to_vec());
+                    proto.add_var(to_var);
+                    let Some(w) = want else { return Ok(proto) };
+                    let (reader, fs) = (&reader, &fs);
+                    // The per-row target dedup buffer is worker-local
+                    // scratch: it is cleared for every row, so per-worker
+                    // instances emit exactly what one shared one would.
+                    let out = self.run_rows(
+                        &input,
+                        proto,
+                        Vec::new,
+                        |_, emitted: &mut Vec<&Value>, row, out| {
+                            let Some(n) = fs.value(row).as_node() else {
+                                return;
+                            };
+                            emitted.clear();
+                            for (sym, target) in reader.out(n) {
+                                if *sym != w || emitted.contains(&target) {
+                                    continue;
+                                }
+                                emitted.push(target);
+                                out.push_row_extend(row, [target.clone()]);
                             }
-                            emitted.push(target);
-                            out.push_row_extend(row, [target.clone()]);
-                        }
-                    }
+                        },
+                    );
                     Ok(out)
                 }
                 ToMode::BoundCol(c) => {
                     let mut input = input;
-                    input.retain_rows(|row| {
-                        let Some(w) = want else { return false };
-                        let Some(n) = fs.value(row).as_node() else {
-                            return false;
-                        };
-                        reader
-                            .out(n)
-                            .iter()
-                            .any(|(sym, target)| *sym == w && target == &row[c])
-                    });
+                    let (reader, fs) = (&reader, &fs);
+                    self.par_retain(
+                        &mut input,
+                        || (),
+                        |_, _, row| {
+                            let Some(w) = want else { return false };
+                            let Some(n) = fs.value(row).as_node() else {
+                                return false;
+                            };
+                            reader
+                                .out(n)
+                                .iter()
+                                .any(|(sym, target)| *sym == w && target == &row[c])
+                        },
+                    );
                     Ok(input)
                 }
                 ToMode::Lit(lv) => {
                     let mut input = input;
-                    input.retain_rows(|row| {
-                        let Some(w) = want else { return false };
-                        let Some(n) = fs.value(row).as_node() else {
-                            return false;
-                        };
-                        reader
-                            .out(n)
-                            .iter()
-                            .any(|(sym, target)| *sym == w && lv.coerced_eq(target))
-                    });
+                    let (reader, fs, lv) = (&reader, &fs, &lv);
+                    self.par_retain(
+                        &mut input,
+                        || (),
+                        |_, _, row| {
+                            let Some(w) = want else { return false };
+                            let Some(n) = fs.value(row).as_node() else {
+                                return false;
+                            };
+                            reader
+                                .out(n)
+                                .iter()
+                                .any(|(sym, target)| *sym == w && lv.coerced_eq(target))
+                        },
+                    );
                     Ok(input)
                 }
             }
@@ -1241,22 +1610,29 @@ impl<'g> Ev<'g> {
             if to_bound {
                 // Probe the reverse adjacency (index or cached materialized
                 // map) and filter by symbol — the hash-join backward path.
+                // The materialized map is built once, sequentially, before
+                // rows probe it in parallel.
                 let adj = self.reverse_adjacency();
                 let ts = TermSlot::of(&input, to)?;
-                let mut out = Bindings::with_vars(input.vars().to_vec());
-                out.add_var(from_var);
-                let Some(w) = want else { return Ok(out) };
-                let mut emitted: Vec<Oid> = Vec::new();
-                for row in input.rows() {
-                    emitted.clear();
-                    for (src, sym) in adj.incoming(ts.value(row)) {
-                        if *sym != w || emitted.contains(src) {
-                            continue;
+                let mut proto = Bindings::with_vars(input.vars().to_vec());
+                proto.add_var(from_var);
+                let Some(w) = want else { return Ok(proto) };
+                let (adj, ts) = (&adj, &ts);
+                let out = self.run_rows(
+                    &input,
+                    proto,
+                    Vec::new,
+                    |_, emitted: &mut Vec<Oid>, row, out| {
+                        emitted.clear();
+                        for (src, sym) in adj.incoming(ts.value(row)) {
+                            if *sym != w || emitted.contains(src) {
+                                continue;
+                            }
+                            emitted.push(*src);
+                            out.push_row_extend(row, [Value::Node(*src)]);
                         }
-                        emitted.push(*src);
-                        out.push_row_extend(row, [Value::Node(*src)]);
-                    }
-                }
+                    },
+                );
                 Ok(out)
             } else {
                 // Both unbound: the pair set is row-independent.
@@ -1277,14 +1653,14 @@ impl<'g> Ev<'g> {
                 // `x -> l -> x` with one unbound variable on both ends
                 // binds it to self-loop sources only, in a single column.
                 let same_var = matches!(&to_state, ToState::Unbound(v) if *v == from_var);
-                let mut out = Bindings::with_vars(input.vars().to_vec());
-                out.add_var(from_var);
+                let mut proto = Bindings::with_vars(input.vars().to_vec());
+                proto.add_var(from_var);
                 if !same_var {
                     if let ToState::Unbound(v) = to_state {
-                        out.add_var(v);
+                        proto.add_var(v);
                     }
                 }
-                let Some(w) = want else { return Ok(out) };
+                let Some(w) = want else { return Ok(proto) };
                 let mut pairs: Vec<(Oid, Value)> = Vec::new();
                 let mut emitted: Vec<&Value> = Vec::new();
                 for &n in self.graph.nodes() {
@@ -1306,16 +1682,22 @@ impl<'g> Ev<'g> {
                     }
                 }
                 let emit_target = !same_var && matches!(to_state, ToState::Unbound(_));
-                out.reserve_rows(input.len().saturating_mul(pairs.len()));
-                for row in input.rows() {
-                    for (n, t) in &pairs {
-                        if emit_target {
-                            out.push_row_extend(row, [Value::Node(*n), t.clone()]);
-                        } else {
-                            out.push_row_extend(row, [Value::Node(*n)]);
+                proto.reserve_rows(input.len().saturating_mul(pairs.len()));
+                let pairs = &pairs;
+                let out = self.run_rows(
+                    &input,
+                    proto,
+                    || (),
+                    |_, _, row, out| {
+                        for (n, t) in pairs {
+                            if emit_target {
+                                out.push_row_extend(row, [Value::Node(*n), t.clone()]);
+                            } else {
+                                out.push_row_extend(row, [Value::Node(*n)]);
+                            }
                         }
-                    }
-                }
+                    },
+                );
                 Ok(out)
             }
         }
@@ -1334,42 +1716,47 @@ impl<'g> Ev<'g> {
         };
         let to_mode = ToMode::of(&input, to)?;
         let fs = TermSlot::of(&input, from)?;
-        let mut out = Bindings::with_vars(input.vars().to_vec());
+        let mut proto = Bindings::with_vars(input.vars().to_vec());
         if let Some(v) = to_unbound_var {
-            out.add_var(v);
+            proto.add_var(v);
         }
         let reader = self.graph.reader();
-        // Consecutive rows often share the source value; remember the last
-        // reach set to skip the cache lock.
-        let mut last: Option<(Value, Arc<Reach>)> = None;
-        for row in input.rows() {
-            let f = fs.value(row);
-            let reach = match &last {
-                Some((lf, r)) if lf == f => Arc::clone(r),
-                _ => {
-                    let r = self.forward_reach(&reader, nfa, f);
-                    last = Some((f.clone(), Arc::clone(&r)));
-                    r
-                }
-            };
-            match &to_mode {
-                ToMode::Unbound => {
-                    for t in &reach.order {
-                        out.push_row_extend(row, [t.clone()]);
+        let (reader, fs, to_mode) = (&reader, &fs, &to_mode);
+        // Consecutive rows often share the source value; each worker
+        // remembers its last reach set to skip the cache lock.
+        let out = self.run_rows(
+            &input,
+            proto,
+            || None,
+            |ev, last: &mut Option<(Value, Arc<Reach>)>, row, out| {
+                let f = fs.value(row);
+                let reach = match &*last {
+                    Some((lf, r)) if lf == f => Arc::clone(r),
+                    _ => {
+                        let r = ev.forward_reach(reader, nfa, f);
+                        *last = Some((f.clone(), Arc::clone(&r)));
+                        r
+                    }
+                };
+                match to_mode {
+                    ToMode::Unbound => {
+                        for t in &reach.order {
+                            out.push_row_extend(row, [t.clone()]);
+                        }
+                    }
+                    ToMode::BoundCol(c) => {
+                        if reach.set.contains(&row[*c]) {
+                            out.push_row(row);
+                        }
+                    }
+                    ToMode::Lit(lv) => {
+                        if reach.order.iter().any(|t| lv.coerced_eq(t)) {
+                            out.push_row(row);
+                        }
                     }
                 }
-                ToMode::BoundCol(c) => {
-                    if reach.set.contains(&row[*c]) {
-                        out.push_row(row);
-                    }
-                }
-                ToMode::Lit(lv) => {
-                    if reach.order.iter().any(|t| lv.coerced_eq(t)) {
-                        out.push_row(row);
-                    }
-                }
-            }
-        }
+            },
+        );
         Ok(out)
     }
 
@@ -1384,25 +1771,30 @@ impl<'g> Ev<'g> {
         let rev = self.reversed_nfa(nfa);
         let reverse_adj = self.reverse_adjacency();
         let ts = TermSlot::of(&input, to)?;
-        let mut out = Bindings::with_vars(input.vars().to_vec());
-        out.add_var(from_var);
-        let mut last: Option<(Value, Arc<Reach>)> = None;
-        for row in input.rows() {
-            let t = ts.value(row);
-            let sources = match &last {
-                Some((lt, r)) if lt == t => Arc::clone(r),
-                _ => {
-                    let r = self.backward_reach(&rev, &reverse_adj, t);
-                    last = Some((t.clone(), Arc::clone(&r)));
-                    r
+        let mut proto = Bindings::with_vars(input.vars().to_vec());
+        proto.add_var(from_var);
+        let (rev, reverse_adj, ts) = (&rev, &reverse_adj, &ts);
+        let out = self.run_rows(
+            &input,
+            proto,
+            || None,
+            |ev, last: &mut Option<(Value, Arc<Reach>)>, row, out| {
+                let t = ts.value(row);
+                let sources = match &*last {
+                    Some((lt, r)) if lt == t => Arc::clone(r),
+                    _ => {
+                        let r = ev.backward_reach(rev, reverse_adj, t);
+                        *last = Some((t.clone(), Arc::clone(&r)));
+                        r
+                    }
+                };
+                // Sources are nodes (edges originate at nodes); keep atomics
+                // only when the empty path matched (s == t).
+                for s in &sources.order {
+                    out.push_row_extend(row, [s.clone()]);
                 }
-            };
-            // Sources are nodes (edges originate at nodes); keep atomics
-            // only when the empty path matched (s == t).
-            for s in &sources.order {
-                out.push_row_extend(row, [s.clone()]);
-            }
-        }
+            },
+        );
         Ok(out)
     }
 
@@ -1431,11 +1823,11 @@ impl<'g> Ev<'g> {
         // `x -> rpe -> x` with one unbound variable on both ends binds it
         // to cyclic sources only, in a single column.
         let same_var = matches!(&to_state, ToState::Unbound(v) if *v == from_var);
-        let mut out = Bindings::with_vars(input.vars().to_vec());
-        out.add_var(from_var);
+        let mut proto = Bindings::with_vars(input.vars().to_vec());
+        proto.add_var(from_var);
         if !same_var {
             if let ToState::Unbound(v) = to_state {
-                out.add_var(v);
+                proto.add_var(v);
             }
         }
         let reader = self.graph.reader();
@@ -1460,16 +1852,22 @@ impl<'g> Ev<'g> {
             }
         }
         let emit_target = !same_var && matches!(to_state, ToState::Unbound(_));
-        out.reserve_rows(input.len().saturating_mul(pairs.len()));
-        for row in input.rows() {
-            for (f, t) in &pairs {
-                if emit_target {
-                    out.push_row_extend(row, [f.clone(), t.clone()]);
-                } else {
-                    out.push_row_extend(row, [f.clone()]);
+        proto.reserve_rows(input.len().saturating_mul(pairs.len()));
+        let pairs = &pairs;
+        let out = self.run_rows(
+            &input,
+            proto,
+            || (),
+            |_, _, row, out| {
+                for (f, t) in pairs {
+                    if emit_target {
+                        out.push_row_extend(row, [f.clone(), t.clone()]);
+                    } else {
+                        out.push_row_extend(row, [f.clone()]);
+                    }
                 }
-            }
-        }
+            },
+        );
         Ok(out)
     }
 
@@ -1557,9 +1955,11 @@ impl<'g> Ev<'g> {
         {
             let c = self.cache();
             if let Some(map) = &c.reverse_adj {
+                self.cache_hit();
                 return ReverseAdj::Materialized(Arc::clone(map));
             }
         }
+        self.cache_miss();
         let mut map: RevAdj = FxHashMap::default();
         let reader = self.graph.reader();
         for &n in self.graph.nodes() {

@@ -74,7 +74,10 @@ pub use ast::{Block, BlockId, Condition, LabelTerm, Query, Rpe, SkolemTerm, Term
 pub use binding::Bindings;
 pub use construct::SkolemTable;
 pub use error::{Result, StruqlError};
-pub use eval::{evaluate_conditions, run_on_database, EvalOptions, EvalOutput, EvalStats};
+pub use eval::{
+    evaluate_conditions, run_on_database, EvalOptions, EvalOutput, EvalStats, PathCache,
+    PathCacheStats,
+};
 pub use optimize::Optimizer;
 pub use parse::parse_query;
 pub use pred::PredicateRegistry;

@@ -272,39 +272,45 @@ impl<'g> Generator<'g> {
         }
 
         while !frontier.is_empty() {
-            let chunk_size = frontier.len().div_ceil(threads);
             type Rendered = (Oid, String, Vec<Oid>, Vec<String>);
-            let results: Result<Vec<Rendered>> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for chunk in frontier.chunks(chunk_size) {
-                    let names = &names;
-                    handles.push(scope.spawn(move || -> Result<Vec<Rendered>> {
-                        let reader = self.graph.reader();
-                        let mut out = Vec::with_capacity(chunk.len());
-                        for &n in chunk {
-                            let mut run = Run {
-                                gen: self,
-                                reader: &reader,
-                                site: GeneratedSite::default(),
-                                used_names: FxHashSet::default(),
-                                queue: Vec::new(),
-                                embedding: Vec::new(),
-                                precomputed: Some(names),
-                                discovered: Vec::new(),
-                            };
-                            let html = run.render_object(n)?;
-                            out.push((n, html, run.discovered, run.site.warnings));
-                        }
-                        Ok(out)
-                    }));
+            let render_chunk = |chunk: &[Oid]| -> Result<Vec<Rendered>> {
+                let reader = self.graph.reader();
+                let mut out = Vec::with_capacity(chunk.len());
+                for &n in chunk {
+                    let mut run = Run {
+                        gen: self,
+                        reader: &reader,
+                        site: GeneratedSite::default(),
+                        used_names: FxHashSet::default(),
+                        queue: Vec::new(),
+                        embedding: Vec::new(),
+                        precomputed: Some(&names),
+                        discovered: Vec::new(),
+                    };
+                    let html = run.render_object(n)?;
+                    out.push((n, html, run.discovered, run.site.warnings));
                 }
-                let mut all = Vec::new();
-                for h in handles {
-                    all.extend(h.join().expect("render worker panicked")?);
-                }
-                Ok(all)
-            });
-            let results = results?;
+                Ok(out)
+            };
+            let results: Vec<Rendered> = if threads <= 1 {
+                // One worker: render the wave inline — same precomputed-name
+                // code path, no thread spawns.
+                render_chunk(&frontier)?
+            } else {
+                let chunk_size = frontier.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let render_chunk = &render_chunk;
+                    let handles: Vec<_> = frontier
+                        .chunks(chunk_size)
+                        .map(|chunk| scope.spawn(move || render_chunk(chunk)))
+                        .collect();
+                    let mut all = Vec::new();
+                    for h in handles {
+                        all.extend(h.join().expect("render worker panicked")?);
+                    }
+                    Ok(all)
+                })?
+            };
             frontier.clear();
             for (n, html, discovered, warnings) in results {
                 let file = names[&n].clone();

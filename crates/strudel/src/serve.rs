@@ -317,7 +317,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            threads: 4,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             request_timeout: Duration::from_secs(5),
             max_request_bytes: 16 * 1024,
         }
@@ -549,12 +549,14 @@ impl<'g> Server<'g> {
     fn stats_json(&self) -> String {
         let s = self.metrics.snapshot();
         let d = self.site.stats();
+        let p = self.site.path_cache_stats();
         format!(
             concat!(
                 "{{\"requests\":{},\"errors\":{},",
                 "\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"invalidated\":{},",
-                "\"entries\":{},\"bytes\":{},\"expansions\":{},\"clause_queries\":{}}}}}"
+                "\"entries\":{},\"bytes\":{},\"expansions\":{},\"clause_queries\":{}}},",
+                "\"path_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}}}}"
             ),
             s.requests,
             s.errors,
@@ -570,6 +572,9 @@ impl<'g> Server<'g> {
             self.site.cache_bytes(),
             d.expansions,
             d.clause_queries,
+            p.hits,
+            p.misses,
+            p.invalidations,
         )
     }
 }

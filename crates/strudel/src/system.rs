@@ -77,6 +77,19 @@ impl Strudel {
         &mut self.opts
     }
 
+    /// Sets the worker count used by query evaluation, block construction
+    /// and page rendering (clamped to at least 1; 1 = fully sequential).
+    /// Defaults to the `STRUDEL_JOBS` environment variable, else 1.
+    pub fn set_jobs(&mut self, jobs: usize) -> &mut Self {
+        self.opts.jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured worker count (see [`Strudel::set_jobs`]).
+    pub fn jobs(&self) -> usize {
+        self.opts.jobs
+    }
+
     /// The mediator, for advanced source management.
     pub fn mediator_mut(&mut self) -> &mut Mediator {
         &mut self.mediator
@@ -249,36 +262,35 @@ impl Strudel {
     }
 
     /// Builds the site graph and renders it to HTML, starting from the
-    /// pages of the named root Skolem functions.
+    /// pages of the named root Skolem functions. Uses the configured worker
+    /// count ([`Strudel::set_jobs`]): at 1 the serial generator runs; above
+    /// 1 independent pages render concurrently.
     pub fn generate_site(&mut self, root_skolems: &[&str]) -> Result<GeneratedSite> {
+        let jobs = self.opts.jobs;
         let build = self.build_site()?;
-        let mut roots: Vec<Oid> = Vec::new();
-        for name in root_skolems {
-            roots.extend(build.pages_of(name));
-        }
-        if roots.is_empty() {
-            return Err(StrudelError::Pipeline(format!(
-                "no root pages: none of {root_skolems:?} has instances"
-            )));
-        }
-        let mut generator = Generator::new(&build.graph, &self.templates);
-        if let Some(resolver) = &self.file_resolver {
-            let resolver = Arc::clone(resolver);
-            generator = generator.with_file_resolver(Box::new(move |p| resolver(p)));
-        }
-        let site = generator.generate(&roots)?;
-        Ok(site)
+        self.render_site(&build, root_skolems, (jobs > 1).then_some(jobs))
     }
 
     /// Like [`Strudel::generate_site`], rendering pages on `threads` worker
-    /// threads (page rendering is read-only; see
-    /// [`Generator::generate_parallel`]).
+    /// threads regardless of the configured job count (page rendering is
+    /// read-only; see [`Generator::generate_parallel`]).
     pub fn generate_site_parallel(
         &mut self,
         root_skolems: &[&str],
         threads: usize,
     ) -> Result<GeneratedSite> {
         let build = self.build_site()?;
+        self.render_site(&build, root_skolems, Some(threads))
+    }
+
+    /// Renders a built site from the named roots; `threads` is `None` for
+    /// the serial generator, `Some(n)` for the wave-parallel one.
+    fn render_site(
+        &self,
+        build: &SiteBuild,
+        root_skolems: &[&str],
+        threads: Option<usize>,
+    ) -> Result<GeneratedSite> {
         let mut roots: Vec<Oid> = Vec::new();
         for name in root_skolems {
             roots.extend(build.pages_of(name));
@@ -293,7 +305,10 @@ impl Strudel {
             let resolver = Arc::clone(resolver);
             generator = generator.with_file_resolver(Box::new(move |p| resolver(p)));
         }
-        let site = generator.generate_parallel(&roots, threads)?;
+        let site = match threads {
+            Some(n) => generator.generate_parallel(&roots, n)?,
+            None => generator.generate(&roots)?,
+        };
         Ok(site)
     }
 
