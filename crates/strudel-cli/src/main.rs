@@ -2,15 +2,27 @@
 //! management system.
 //!
 //! ```text
-//! strudel-cli build   <site.spec> [--jobs N]      generate the browsable site
+//! strudel-cli build   <site.spec> [--jobs N] [--timings]  generate the browsable site
 //! strudel-cli schema  <site.spec>                 print the site schema (DOT)
-//! strudel-cli explain <site.spec>                 show optimizer plans per block
+//! strudel-cli explain <site.spec> [--profile [--json]]  optimizer plans per block
 //! strudel-cli verify  <site.spec> <constraint>    check a structural constraint
-//! strudel-cli query   <data.(ddl|bin)> <q.struql> run an ad-hoc query, print DDL
+//! strudel-cli query   <data.(ddl|bin)> <q.struql> [--profile [--json]]
+//!                                                 run an ad-hoc query, print DDL
 //! strudel-cli serve   <site.spec> [addr]          click-time evaluation over HTTP
 //!     [--threads N] [--cache-entries N] [--cache-bytes N]
 //! strudel-cli demo    <dir>                       write a ready-to-build demo site
 //! ```
+//!
+//! Observability flags:
+//!
+//! * `--profile` records one line per applied condition (rows in/out, the
+//!   physical strategy, path-cache hits/misses, per-worker chunk timings).
+//!   `query` prints the table to stderr so stdout stays pipeable DDL;
+//!   `explain` appends it to the plans. With `--json` the profile is
+//!   printed to stdout as a JSON document instead.
+//! * `--timings` makes `build` print a phase-breakdown JSON object
+//!   (refresh → evaluate → render → write, microseconds) with the slowest
+//!   pages, instead of the human summary line.
 //!
 //! Constraint syntax for `verify`:
 //!
@@ -32,13 +44,15 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("build") if args.len() >= 2 => cmd_build(Path::new(&args[1]), &args[2..]),
         Some("schema") if args.len() == 2 => cmd_schema(Path::new(&args[1])),
-        Some("explain") if args.len() == 2 => cmd_explain(Path::new(&args[1])),
+        Some("explain") if args.len() >= 2 => cmd_explain(Path::new(&args[1]), &args[2..]),
         Some("verify") if args.len() >= 3 => cmd_verify(Path::new(&args[1]), &args[2..].join(" ")),
-        Some("query") if args.len() == 3 => cmd_query(Path::new(&args[1]), Path::new(&args[2])),
+        Some("query") if args.len() >= 3 => {
+            cmd_query(Path::new(&args[1]), Path::new(&args[2]), &args[3..])
+        }
         Some("serve") if args.len() >= 2 => cmd_serve(Path::new(&args[1]), &args[2..]),
         Some("demo") if args.len() == 2 => cmd_demo(Path::new(&args[1])),
         _ => {
-            eprintln!("usage:\n  strudel-cli build   <site.spec> [--jobs N]\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec>\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin)> <query.struql>\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N]\n  strudel-cli demo    <dir>");
+            eprintln!("usage:\n  strudel-cli build   <site.spec> [--jobs N] [--timings]\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec> [--profile [--json]]\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin)> <query.struql> [--profile [--json]]\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N]\n  strudel-cli demo    <dir>");
             return ExitCode::from(2);
         }
     };
@@ -52,6 +66,31 @@ fn main() -> ExitCode {
 }
 
 type AnyError = Box<dyn std::error::Error>;
+
+/// How `--profile [--json]` asks for the per-condition execution profile.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProfileMode {
+    Off,
+    Table,
+    Json,
+}
+
+fn parse_profile_flags(rest: &[String]) -> Result<ProfileMode, AnyError> {
+    let (mut profile, mut json) = (false, false);
+    for arg in rest {
+        match arg.as_str() {
+            "--profile" => profile = true,
+            "--json" => json = true,
+            s => return Err(format!("unknown argument {s}").into()),
+        }
+    }
+    match (profile, json) {
+        (false, false) => Ok(ProfileMode::Off),
+        (true, false) => Ok(ProfileMode::Table),
+        (true, true) => Ok(ProfileMode::Json),
+        (false, true) => Err("--json requires --profile".into()),
+    }
+}
 
 fn read(path: &Path) -> Result<String, AnyError> {
     std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()).into())
@@ -116,9 +155,11 @@ fn load_system(spec_path: &Path) -> Result<(Strudel, spec::Spec), AnyError> {
 
 /// `rest` holds everything after the spec path: an optional `--jobs N`
 /// flag (worker threads for evaluation, construction and rendering;
-/// defaults to the machine's available parallelism).
+/// defaults to the machine's available parallelism) and `--timings`
+/// (print a phase-breakdown JSON object instead of the summary line).
 fn cmd_build(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut timings = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -129,6 +170,7 @@ fn cmd_build(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
                     .map_err(|e| format!("--jobs {v}: {e}"))?
                     .max(1);
             }
+            "--timings" => timings = true,
             s => return Err(format!("unknown argument {s}").into()),
         }
     }
@@ -139,6 +181,33 @@ fn cmd_build(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
         .output
         .clone()
         .unwrap_or_else(|| Path::new("site-out").to_path_buf());
+    if timings {
+        let (site, phases) = s.publish_timed(&roots, &out)?;
+        let mut slow: Vec<(String, u64)> = site.render_us.clone();
+        slow.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        slow.truncate(5);
+        let slow_json = slow
+            .iter()
+            .map(|(f, us)| {
+                format!(
+                    "{{\"file\":\"{}\",\"us\":{us}}}",
+                    strudel::obs::json::escape(f)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "{{\"phases\":{},\"total_us\":{},\"jobs\":{jobs},\"pages\":{},\"bytes\":{},\"slowest_pages\":[{slow_json}]}}",
+            phases.to_json(),
+            phases.total_us(),
+            site.pages.len(),
+            site.total_bytes(),
+        );
+        for w in &site.warnings {
+            eprintln!("warning: {w}");
+        }
+        return Ok(());
+    }
     let t = std::time::Instant::now();
     let site = s.publish(&roots, &out)?;
     println!(
@@ -161,15 +230,31 @@ fn cmd_schema(spec_path: &Path) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn cmd_explain(spec_path: &Path) -> Result<(), AnyError> {
+fn cmd_explain(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
+    let mode = parse_profile_flags(rest)?;
     let (mut s, _) = load_system(spec_path)?;
     let merged = s.merged_query();
-    let opts = s.options_mut().clone();
+    let mut opts = s.options_mut().clone();
     let data = s.data_graph()?;
-    println!(
-        "{}",
-        merged.explain(data, &opts).map_err(StrudelError::Struql)?
-    );
+    let plans = merged.explain(data, &opts).map_err(StrudelError::Struql)?;
+    if mode == ProfileMode::Off {
+        println!("{plans}");
+        return Ok(());
+    }
+    // The plans say what the optimizer *chose*; the profile says what the
+    // operators *did* on this data.
+    opts.profile = true;
+    let out = merged.evaluate(data, &opts).map_err(StrudelError::Struql)?;
+    match mode {
+        ProfileMode::Table => {
+            println!("{plans}");
+            print!("{}", strudel::obs::render_profile_table(&out.stats.profile));
+        }
+        _ => println!(
+            "{{\"profile\":{}}}",
+            strudel::obs::render_profile_json(&out.stats.profile)
+        ),
+    }
     Ok(())
 }
 
@@ -214,15 +299,20 @@ fn cmd_verify(spec_path: &Path, constraint_text: &str) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn cmd_query(data_path: &Path, query_path: &Path) -> Result<(), AnyError> {
+fn cmd_query(data_path: &Path, query_path: &Path, rest: &[String]) -> Result<(), AnyError> {
+    let mode = parse_profile_flags(rest)?;
     let data = if data_path.extension().is_some_and(|e| e == "bin") {
         strudel::graph::store::load_from_file(data_path)?
     } else {
         strudel::graph::ddl::parse(&read(data_path)?)?
     };
     let q = strudel::struql::parse_query(&read(query_path)?)?;
+    let opts = strudel::struql::EvalOptions {
+        profile: mode != ProfileMode::Off,
+        ..Default::default()
+    };
     let t = std::time::Instant::now();
-    let out = q.evaluate(&data, &strudel::struql::EvalOptions::default())?;
+    let out = q.evaluate(&data, &opts)?;
     eprintln!(
         "evaluated in {:?}: {} nodes, {} edges, {} rows examined",
         t.elapsed(),
@@ -230,7 +320,18 @@ fn cmd_query(data_path: &Path, query_path: &Path) -> Result<(), AnyError> {
         out.graph.edge_count(),
         out.stats.intermediate_rows
     );
-    print!("{}", strudel::graph::ddl::print(&out.graph));
+    match mode {
+        // Stdout stays pipeable DDL; the table rides the diagnostics stream.
+        ProfileMode::Off => print!("{}", strudel::graph::ddl::print(&out.graph)),
+        ProfileMode::Table => {
+            print!("{}", strudel::graph::ddl::print(&out.graph));
+            eprint!("{}", strudel::obs::render_profile_table(&out.stats.profile));
+        }
+        ProfileMode::Json => println!(
+            "{{\"profile\":{}}}",
+            strudel::obs::render_profile_json(&out.stats.profile)
+        ),
+    }
     Ok(())
 }
 

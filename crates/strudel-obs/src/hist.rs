@@ -1,0 +1,244 @@
+//! A lock-free fixed-bucket latency histogram.
+//!
+//! Replaces the serve-side "clone + sort a 4096-sample reservoir" quantile
+//! estimator: recording is a few relaxed atomic adds (no mutex, no slot
+//! index to race on), reading is O(buckets), and memory is constant
+//! regardless of traffic. Quantiles become *estimates* — the upper bound of
+//! the bucket the requested rank falls in, clamped to the exact observed
+//! maximum — which is the standard Prometheus-histogram trade-off and is
+//! documented in docs/OBSERVABILITY.md.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (inclusive, microseconds) of the finite buckets. Chosen to
+/// give ~2–2.5× resolution steps from 100µs to 5s, bracketing everything
+/// from a cache-hit page expansion to a pathological cold click; an
+/// implicit +Inf bucket catches the rest.
+pub const BUCKET_BOUNDS_US: [u64; 15] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+];
+
+const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1; // + the +Inf bucket
+
+/// A fixed-bucket histogram of microsecond durations.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration. Lock-free: concurrent recorders only issue
+    /// relaxed atomic adds, so no interleaving can lose or overwrite a
+    /// sample. A value exactly equal to a bucket bound counts into that
+    /// bucket (`le` semantics).
+    pub fn record(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US.partition_point(|&b| b < us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts and aggregates. The total
+    /// count is derived from the bucket counts themselves, so the snapshot's
+    /// `count` always equals the sum of its `buckets` even while recorders
+    /// are running.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A consistent read of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; index `i` holds samples with
+    /// `value <= BUCKET_BOUNDS_US[i]` (and above the previous bound), the
+    /// final slot is the +Inf bucket.
+    pub buckets: [u64; BUCKETS],
+    /// Total samples (always the sum of `buckets`).
+    pub count: u64,
+    /// Sum of all recorded durations, microseconds.
+    pub sum_us: u64,
+    /// Largest recorded duration, microseconds (exact, not bucketed).
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Quantile estimate in microseconds. `q` is clamped to `[0, 1]`.
+    ///
+    /// Returns 0 for an empty histogram. Otherwise: the rank
+    /// `ceil(q · count)` (at least 1) is located in the cumulative bucket
+    /// counts and the answer is that bucket's upper bound, clamped to the
+    /// exact observed maximum — so a histogram holding a single sample
+    /// reports that sample's bucket (or the sample itself if its bucket
+    /// bound exceeds it) at every quantile, and the estimate can never
+    /// exceed the true maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let upper = BUCKET_BOUNDS_US.get(i).copied().unwrap_or(self.max_us);
+                return upper.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Cumulative counts per finite bucket bound, plus the +Inf total —
+    /// `(bound_us, samples ≤ bound)` pairs in the Prometheus `le` shape.
+    pub fn cumulative(&self) -> impl Iterator<Item = (Option<u64>, u64)> + '_ {
+        let mut cum = 0u64;
+        self.buckets.iter().enumerate().map(move |(i, &c)| {
+            cum += c;
+            (BUCKET_BOUNDS_US.get(i).copied(), cum)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum_us, 0);
+        assert_eq!(s.max_us, 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn single_sample_reports_itself_at_every_quantile() {
+        let h = Histogram::new();
+        h.record(300);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum_us, 300);
+        assert_eq!(s.max_us, 300);
+        // 300µs falls in the (250, 500] bucket; the max clamp turns the
+        // bucket's 500µs upper bound back into the exact sample.
+        for q in [0.0, 0.5, 0.9, 1.0] {
+            assert_eq!(s.quantile(q), 300);
+        }
+    }
+
+    #[test]
+    fn values_on_an_exact_bucket_bound_stay_in_that_bucket() {
+        let h = Histogram::new();
+        for &b in &BUCKET_BOUNDS_US {
+            h.record(b);
+        }
+        let s = h.snapshot();
+        // One sample per finite bucket, none spilled to +Inf.
+        assert_eq!(s.count, BUCKET_BOUNDS_US.len() as u64);
+        assert_eq!(s.buckets[BUCKETS - 1], 0);
+        for c in &s.buckets[..BUCKETS - 1] {
+            assert_eq!(*c, 1);
+        }
+        // Quantiles land on the bounds themselves.
+        assert_eq!(s.quantile(1.0 / 15.0), 100);
+        assert_eq!(s.quantile(1.0), 5_000_000);
+    }
+
+    #[test]
+    fn overflow_goes_to_the_inf_bucket_with_exact_max() {
+        let h = Histogram::new();
+        h.record(9_999_999);
+        h.record(50);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[BUCKETS - 1], 1);
+        assert_eq!(s.max_us, 9_999_999);
+        // The +Inf bucket has no finite bound; the estimate is the max.
+        assert_eq!(s.quantile(1.0), 9_999_999);
+        assert_eq!(s.quantile(0.25), 100);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_distribution() {
+        let h = Histogram::new();
+        // 90 fast samples, 10 slow ones.
+        for _ in 0..90 {
+            h.record(80); // ≤ 100 bucket
+        }
+        for _ in 0..10 {
+            h.record(40_000); // (25_000, 50_000] bucket
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.quantile(0.5), 100);
+        assert_eq!(s.quantile(0.90), 100);
+        assert_eq!(s.quantile(0.91), 40_000); // clamped to max
+        assert_eq!(s.quantile(1.0), 40_000);
+        let cum: Vec<(Option<u64>, u64)> = s.cumulative().collect();
+        assert_eq!(cum[0], (Some(100), 90));
+        assert_eq!(cum.last().unwrap(), &(None, 100));
+    }
+
+    /// The reservoir this histogram replaced kept a 4096-slot window whose
+    /// fill phase raced slot assignment against pushes. The histogram has no
+    /// window to wrap: record exactly one "window" of samples and one more,
+    /// and every sample is still accounted for.
+    #[test]
+    fn exact_window_wrap_loses_nothing() {
+        let h = Histogram::new();
+        const WINDOW: u64 = 4096;
+        for i in 0..WINDOW {
+            h.record(i % 700);
+        }
+        assert_eq!(h.snapshot().count, WINDOW);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.count, WINDOW + 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), WINDOW + 1);
+    }
+
+    #[test]
+    fn concurrent_recorders_never_lose_samples() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let h = std::sync::Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    h.record((t * 131 + i) % 3_000);
+                }
+            }));
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 8_000);
+    }
+}

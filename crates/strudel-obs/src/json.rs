@@ -1,0 +1,31 @@
+//! Minimal JSON string escaping for the hand-rolled JSON the workspace
+//! emits (`/stats`, `build --timings`, profile output). No serializer —
+//! callers assemble objects themselves and only need string safety.
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        assert_eq!(super::escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(super::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(super::escape("\u{1}"), "\\u0001");
+        assert_eq!(super::escape("naïve"), "naïve");
+    }
+}

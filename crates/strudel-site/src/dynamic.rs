@@ -401,6 +401,11 @@ impl<'g> DynamicSite<'g> {
         self.opts.path_cache.stats()
     }
 
+    /// The effective `jobs` setting clause evaluations run with.
+    pub fn jobs(&self) -> usize {
+        self.opts.jobs
+    }
+
     /// Number of live cache entries.
     pub fn cache_len(&self) -> usize {
         self.cache.lock().len()

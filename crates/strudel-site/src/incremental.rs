@@ -146,6 +146,9 @@ pub struct IncStats {
     pub deltas: u64,
     /// (rule, seed-condition) evaluations performed.
     pub seeded_evaluations: u64,
+    /// Seeded evaluations whose bindings were non-empty, i.e. rules that
+    /// actually fired construction or retraction.
+    pub rules_fired: u64,
     /// New bindings derived.
     pub new_bindings: u64,
     /// Bindings retracted by removal deltas.
@@ -269,6 +272,7 @@ impl IncrementalSite {
                 if bindings.is_empty() {
                     continue;
                 }
+                self.stats.rules_fired += 1;
                 if delta.is_removal() {
                     self.stats.retracted_bindings += bindings.len() as u64;
                     retract_block(

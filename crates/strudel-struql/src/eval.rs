@@ -58,6 +58,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use strudel_graph::fxhash::{FxHashMap, FxHashSet};
 use strudel_graph::graph::{CacheStamp, GraphReader};
 use strudel_graph::{Graph, Oid, Sym, Value};
+use strudel_obs::{CondProfile, Timer};
 
 /// Reverse adjacency / probe-table shape: edge target value → the
 /// `(source, label)` pairs of edges arriving at it.
@@ -85,6 +86,11 @@ pub struct EvalOptions {
     pub max_rows: usize,
     /// Record per-block plan descriptions in the stats.
     pub explain: bool,
+    /// Record a per-condition execution profile ([`EvalStats::profile`]):
+    /// rows in/out, strategy chosen, path-cache hits/misses and per-worker
+    /// chunk timings. Off by default; the disabled path costs one branch
+    /// per *condition*, never per row.
+    pub profile: bool,
     /// Memo caches for regular-path work, shared by every evaluation using
     /// (a clone of) these options and invalidated by graph mutation.
     pub path_cache: Arc<PathCache>,
@@ -102,6 +108,7 @@ impl Default for EvalOptions {
             predicates: PredicateRegistry::with_builtins(),
             max_rows: 10_000_000,
             explain: false,
+            profile: false,
             path_cache: Arc::new(PathCache::default()),
             jobs: default_jobs(),
         }
@@ -269,6 +276,12 @@ pub struct EvalStats {
     pub plans: Vec<String>,
     /// Analyzer warnings (active-domain fallbacks etc.).
     pub warnings: Vec<String>,
+    /// Per-condition execution profile, in application order (only when
+    /// [`EvalOptions::profile`] is set).
+    pub profile: Vec<CondProfile>,
+    /// Per-block construction counters `(block id, delta)` (only when
+    /// [`EvalOptions::profile`] is set).
+    pub block_construct: Vec<(String, ConstructStats)>,
 }
 
 /// The result of evaluating a query: the output graph plus statistics.
@@ -309,12 +322,7 @@ impl Query {
         opts: &EvalOptions,
     ) -> Result<EvalStats> {
         let analyzed = analyze(self, &opts.predicates)?;
-        let mut ev = Ev {
-            graph: input,
-            opts,
-            path_cache: opts.path_cache.as_ref(),
-            stats: EvalStats::default(),
-        };
+        let mut ev = Ev::new(input, opts, opts.path_cache.as_ref());
         ev.stats.warnings = analyzed.warnings;
         let arc_vars = arc_vars_of(&analyzed.query);
         ev.eval_block(
@@ -342,12 +350,7 @@ impl Query {
             .query
             .governing_conditions(id)
             .ok_or_else(|| StruqlError::eval(format!("no block {id}")))?;
-        let mut ev = Ev {
-            graph: input,
-            opts,
-            path_cache: opts.path_cache.as_ref(),
-            stats: EvalStats::default(),
-        };
+        let mut ev = Ev::new(input, opts, opts.path_cache.as_ref());
         let arc_vars = arc_vars_of(&analyzed.query);
         ev.eval_conditions(&conds, Bindings::unit(), &arc_vars)
     }
@@ -413,12 +416,7 @@ pub fn evaluate_conditions(
     start: Bindings,
     opts: &EvalOptions,
 ) -> Result<Bindings> {
-    let mut ev = Ev {
-        graph: input,
-        opts,
-        path_cache: opts.path_cache.as_ref(),
-        stats: EvalStats::default(),
-    };
+    let mut ev = Ev::new(input, opts, opts.path_cache.as_ref());
     let mut arc_vars = FxHashSet::default();
     for cond in conds {
         if let Condition::Edge {
@@ -467,9 +465,30 @@ struct Ev<'g> {
     /// operator workers (so workers never contend on one mutex).
     path_cache: &'g PathCache,
     stats: EvalStats,
+    /// The physical strategy the most recent operator chose. Written
+    /// unconditionally (a pointer store), read only when profiling.
+    strategy: &'static str,
+    /// Per-worker `(worker, µs)` chunk timings of the most recent operator;
+    /// written by pool workers only when profiling is on.
+    chunk_us: Mutex<Vec<(usize, u64)>>,
 }
 
 impl<'g> Ev<'g> {
+    fn new(graph: &'g Graph, opts: &'g EvalOptions, path_cache: &'g PathCache) -> Self {
+        Ev {
+            graph,
+            opts,
+            path_cache,
+            stats: EvalStats::default(),
+            strategy: "",
+            chunk_us: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn chunk_sink(&self) -> MutexGuard<'_, Vec<(usize, u64)>> {
+        self.chunk_us.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Locks this evaluator's path cache, clearing it first if the graph
     /// (or its universe) has changed since the entries were computed.
     fn cache(&self) -> MutexGuard<'_, PathCacheInner> {
@@ -622,6 +641,8 @@ impl<'g> Ev<'g> {
         let chunk = input.len().div_ceil(jobs);
         let graph = self.graph;
         let opts = self.opts;
+        let profiling = opts.profile;
+        let chunk_sink = &self.chunk_us;
         let mut parts = std::thread::scope(|scope| {
             let proto = &proto;
             let make_scratch = &make_scratch;
@@ -633,16 +654,18 @@ impl<'g> Ev<'g> {
                     let end = (start + chunk).min(input.len());
                     let wcache = self.path_cache.worker(wi);
                     scope.spawn(move || {
-                        let ev = Ev {
-                            graph,
-                            opts,
-                            path_cache: &wcache,
-                            stats: EvalStats::default(),
-                        };
+                        let t = Timer::start_if(profiling);
+                        let ev = Ev::new(graph, opts, &wcache);
                         let mut out = proto.clone();
                         let mut scratch = make_scratch();
                         for i in start..end {
                             emit(&ev, &mut scratch, input.row(i), &mut out);
+                        }
+                        if profiling {
+                            chunk_sink
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .push((wi, t.elapsed_us()));
                         }
                         out
                     })
@@ -678,6 +701,8 @@ impl<'g> Ev<'g> {
         let chunk = b.len().div_ceil(jobs);
         let graph = self.graph;
         let opts = self.opts;
+        let profiling = opts.profile;
+        let chunk_sink = &self.chunk_us;
         let mask: Vec<bool> = {
             let input = &*b;
             std::thread::scope(|scope| {
@@ -690,16 +715,19 @@ impl<'g> Ev<'g> {
                         let end = (start + chunk).min(input.len());
                         let wcache = self.path_cache.worker(wi);
                         scope.spawn(move || {
-                            let ev = Ev {
-                                graph,
-                                opts,
-                                path_cache: &wcache,
-                                stats: EvalStats::default(),
-                            };
+                            let t = Timer::start_if(profiling);
+                            let ev = Ev::new(graph, opts, &wcache);
                             let mut scratch = make_scratch();
-                            (start..end)
+                            let kept = (start..end)
                                 .map(|i| keep(&ev, &mut scratch, input.row(i)))
-                                .collect::<Vec<bool>>()
+                                .collect::<Vec<bool>>();
+                            if profiling {
+                                chunk_sink
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .push((wi, t.elapsed_us()));
+                            }
+                            kept
                         })
                     })
                     .collect();
@@ -737,8 +765,14 @@ impl<'g> Ev<'g> {
                     .push(format!("{}:\n{}", block.id, p.describe(&block.where_)));
             }
             let ordered: Vec<&Condition> = p.order.iter().map(|&i| &block.where_[i]).collect();
-            self.eval_conditions(&ordered, parent.clone(), arc_vars)?
+            let profiled_from = self.stats.profile.len();
+            let bindings = self.eval_conditions(&ordered, parent.clone(), arc_vars)?;
+            for prof in &mut self.stats.profile[profiled_from..] {
+                prof.block = block.id.to_string();
+            }
+            bindings
         };
+        let construct_before = self.stats.construct;
         apply_block_jobs(
             block,
             &bindings,
@@ -747,6 +781,12 @@ impl<'g> Ev<'g> {
             &mut self.stats.construct,
             self.opts.jobs,
         )?;
+        if self.opts.profile {
+            self.stats.block_construct.push((
+                block.id.to_string(),
+                self.stats.construct.delta_since(&construct_before),
+            ));
+        }
         for child in &block.children {
             self.eval_block(child, &bindings, out, table, arc_vars)?;
         }
@@ -761,7 +801,31 @@ impl<'g> Ev<'g> {
     ) -> Result<Bindings> {
         let mut b = start;
         for cond in conds {
-            b = self.apply(cond, b, arc_vars)?;
+            if self.opts.profile {
+                let rows_in = b.len() as u64;
+                let before = self.path_cache.stats();
+                let t = Timer::start();
+                self.strategy = "";
+                self.chunk_sink().clear();
+                b = self.apply(cond, b, arc_vars)?;
+                let elapsed_us = t.elapsed_us();
+                let after = self.path_cache.stats();
+                let mut chunks = std::mem::take(&mut *self.chunk_sink());
+                chunks.sort_unstable();
+                self.stats.profile.push(CondProfile {
+                    block: String::new(),
+                    condition: cond.to_string(),
+                    strategy: self.strategy,
+                    rows_in,
+                    rows_out: b.len() as u64,
+                    elapsed_us,
+                    cache_hits: after.hits.saturating_sub(before.hits),
+                    cache_misses: after.misses.saturating_sub(before.misses),
+                    chunks,
+                });
+            } else {
+                b = self.apply(cond, b, arc_vars)?;
+            }
             self.stats.conditions_applied += 1;
             self.stats.intermediate_rows += b.len() as u64;
             if b.len() > self.opts.max_rows {
@@ -875,6 +939,7 @@ impl<'g> Ev<'g> {
         let coll = self.graph.collection_str(name);
         match arg {
             Term::Var(v) if input.is_bound(v) => {
+                self.strategy = "collection-semijoin";
                 let col = input.col(v).expect("bound");
                 self.par_retain(
                     &mut input,
@@ -884,6 +949,7 @@ impl<'g> Ev<'g> {
                 Ok(input)
             }
             Term::Var(v) => {
+                self.strategy = "collection-scan";
                 // The emitted domain is row-independent: the collection's
                 // extent, or (negated) its complement over the member nodes.
                 let domain: Vec<Value> = if !negated {
@@ -916,6 +982,7 @@ impl<'g> Ev<'g> {
                 Ok(out)
             }
             Term::Lit(l) => {
+                self.strategy = "collection-const";
                 let val = l.to_value();
                 let present = coll.is_some_and(|c| c.contains(&val));
                 if present == negated {
@@ -950,6 +1017,7 @@ impl<'g> Ev<'g> {
         };
         // Assignment: `v = <bound>` binds v.
         if op == CmpOp::Eq && (lb ^ rb) {
+            self.strategy = "compare-bind";
             let (var, bound_term) = if lb {
                 (rhs.as_var().expect("unbound side is a var"), lhs)
             } else {
@@ -971,6 +1039,7 @@ impl<'g> Ev<'g> {
             return Ok(out);
         }
         // General case: expand any unbound vars, then filter in place.
+        self.strategy = "compare-filter";
         let mut need: Vec<&str> = Vec::new();
         for t in [lhs, rhs] {
             if let Term::Var(v) = t {
@@ -1000,6 +1069,7 @@ impl<'g> Ev<'g> {
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
         if input.is_bound(var) {
+            self.strategy = "in-semijoin";
             let col = input.col(var).expect("bound");
             let vals: Vec<Value> = set.iter().map(Literal::to_value).collect();
             let vals = &vals;
@@ -1010,6 +1080,7 @@ impl<'g> Ev<'g> {
             );
             Ok(input)
         } else if !negated {
+            self.strategy = "in-expand";
             let vals: Vec<Value> = set.iter().map(Literal::to_value).collect();
             let mut proto = Bindings::with_vars(input.vars().to_vec());
             proto.add_var(var);
@@ -1040,6 +1111,7 @@ impl<'g> Ev<'g> {
         input: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
+        self.strategy = "predicate-filter";
         let need: Vec<&str> = args
             .iter()
             .filter_map(|t| t.as_var())
@@ -1085,6 +1157,7 @@ impl<'g> Ev<'g> {
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
         if negated {
+            self.strategy = "neg-edge-semijoin";
             let mut need: Vec<&str> = Vec::new();
             for t in [from, to] {
                 if let Term::Var(v) = t {
@@ -1140,6 +1213,7 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
+        self.strategy = "arc-forward";
         let l_col = input.col(l);
         let to_unbound_var = match to {
             Term::Var(v) if !input.is_bound(v) => Some(v.as_str()),
@@ -1208,6 +1282,7 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
+        self.strategy = "arc-reverse-index";
         let idx = self.graph.index().expect("checked indexed");
         let l_col = input.col(l);
         let from_var = from.as_var().expect("from is an unbound var here");
@@ -1256,6 +1331,7 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
+        self.strategy = "arc-scan";
         let from_var = from.as_var().expect("from is an unbound var here");
         let l_col = input.col(l);
         let to_state = match to {
@@ -1289,6 +1365,7 @@ impl<'g> Ev<'g> {
         let reader = self.graph.reader();
         let mut labels = LabelCache::default();
         if let ToState::BoundVar(v) = &to_state {
+            self.strategy = "arc-hash-join";
             // Hash join: joins of two bound variables use strict equality,
             // so a probe table keyed by edge target is exact. The probe
             // table is built once, sequentially; rows probe it in parallel.
@@ -1439,6 +1516,7 @@ impl<'g> Ev<'g> {
         let nfa = self.compiled_nfa(rpe);
 
         if negated {
+            self.strategy = "neg-rpe-semijoin";
             let mut need: Vec<&str> = Vec::new();
             for t in [from, to] {
                 if let Term::Var(v) = t {
@@ -1495,6 +1573,7 @@ impl<'g> Ev<'g> {
         let reader = self.graph.reader();
 
         if negated {
+            self.strategy = "neg-label-semijoin";
             let mut need: Vec<&str> = Vec::new();
             for t in [from, to] {
                 if let Term::Var(v) = t {
@@ -1534,6 +1613,7 @@ impl<'g> Ev<'g> {
             let to_mode = ToMode::of(&input, to)?;
             match to_mode {
                 ToMode::Unbound => {
+                    self.strategy = "label-forward";
                     let to_var = to.as_var().expect("unbound to is a var");
                     let mut proto = Bindings::with_vars(input.vars().to_vec());
                     proto.add_var(to_var);
@@ -1563,6 +1643,7 @@ impl<'g> Ev<'g> {
                     Ok(out)
                 }
                 ToMode::BoundCol(c) => {
+                    self.strategy = "label-semijoin";
                     let mut input = input;
                     let (reader, fs) = (&reader, &fs);
                     self.par_retain(
@@ -1582,6 +1663,7 @@ impl<'g> Ev<'g> {
                     Ok(input)
                 }
                 ToMode::Lit(lv) => {
+                    self.strategy = "label-semijoin";
                     let mut input = input;
                     let (reader, fs, lv) = (&reader, &fs, &lv);
                     self.par_retain(
@@ -1612,6 +1694,11 @@ impl<'g> Ev<'g> {
                 // map) and filter by symbol — the hash-join backward path.
                 // The materialized map is built once, sequentially, before
                 // rows probe it in parallel.
+                self.strategy = if self.graph.is_indexed() {
+                    "label-reverse-index"
+                } else {
+                    "label-hash-join"
+                };
                 let adj = self.reverse_adjacency();
                 let ts = TermSlot::of(&input, to)?;
                 let mut proto = Bindings::with_vars(input.vars().to_vec());
@@ -1636,6 +1723,7 @@ impl<'g> Ev<'g> {
                 Ok(out)
             } else {
                 // Both unbound: the pair set is row-independent.
+                self.strategy = "label-scan";
                 let to_state = match to {
                     Term::Var(v) => ToState::Unbound(v.as_str()),
                     Term::Lit(lit) => ToState::Lit(lit.to_value()),
@@ -1710,6 +1798,7 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
+        self.strategy = "rpe-forward";
         let to_unbound_var = match to {
             Term::Var(v) if !input.is_bound(v) => Some(v.as_str()),
             _ => None,
@@ -1767,6 +1856,7 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
+        self.strategy = "rpe-reverse";
         let from_var = from.as_var().expect("unbound from");
         let rev = self.reversed_nfa(nfa);
         let reverse_adj = self.reverse_adjacency();
@@ -1805,6 +1895,7 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
+        self.strategy = "rpe-scan";
         let from_var = from.as_var().expect("unbound from");
         let to_state = match to {
             Term::Var(v) => ToState::Unbound(v.as_str()),

@@ -559,3 +559,59 @@ fn cyclic_graphs_terminate() {
     let out = q.evaluate(&g, &EvalOptions::default()).unwrap();
     assert_eq!(out.graph.collection_str("Reached").unwrap().len(), 2);
 }
+
+#[test]
+fn profile_reports_strategies_rows_and_blocks() {
+    let data = fig2_graph();
+    let q = parse_query(FIG3).unwrap();
+    let opts = EvalOptions {
+        profile: true,
+        ..EvalOptions::default()
+    };
+    let out = q.evaluate(&data, &opts).unwrap();
+    let profile = &out.stats.profile;
+    assert!(!profile.is_empty());
+    for p in profile {
+        assert!(!p.strategy.is_empty(), "untagged operator: {p:?}");
+        assert!(!p.block.is_empty(), "untagged block: {p:?}");
+        assert!(!p.condition.is_empty());
+    }
+    // The outer block scans the Publications collection, then walks arcs
+    // forward from the bound source; the inner blocks filter on `l`.
+    assert!(profile.iter().any(|p| p.strategy == "collection-scan"));
+    let arc = profile
+        .iter()
+        .find(|p| p.strategy == "arc-forward")
+        .expect("arc-forward");
+    assert!(arc.rows_out >= arc.rows_in);
+    assert!(profile.iter().any(|p| p.strategy == "compare-filter"));
+
+    // Profiling changes observability only, never the result; and the
+    // disabled path records nothing.
+    let plain = q.evaluate(&data, &EvalOptions::default()).unwrap();
+    assert_eq!(out.graph.edge_count(), plain.graph.edge_count());
+    assert!(plain.stats.profile.is_empty());
+}
+
+#[test]
+fn profile_sees_path_cache_and_strategy_shift() {
+    // An RPE over an indexed graph memoizes reach sets: repeated sources
+    // hit the PathCache. With the index off, the reverse strategies shift.
+    let data = fig2_graph();
+    let q = parse_query(r#"WHERE Publications(x), x -> * -> v COLLECT Reached(v)"#).unwrap();
+    let opts = EvalOptions {
+        profile: true,
+        ..EvalOptions::default()
+    };
+    let out = q.evaluate(&data, &opts).unwrap();
+    let rpe = out
+        .stats
+        .profile
+        .iter()
+        .find(|p| p.strategy == "rpe-forward")
+        .expect("rpe-forward");
+    assert!(
+        rpe.cache_hits + rpe.cache_misses > 0,
+        "path cache untouched: {rpe:?}"
+    );
+}

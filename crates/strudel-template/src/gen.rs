@@ -130,6 +130,10 @@ pub struct GeneratedSite {
     pub page_of: FxHashMap<Oid, String>,
     /// Non-fatal generation warnings.
     pub warnings: Vec<String>,
+    /// Per-page render wall-clock times `(file name, microseconds)`, in
+    /// emission order. Populated only when [`Generator::with_timings`] was
+    /// enabled; empty otherwise (the disabled path never reads the clock).
+    pub render_us: Vec<(String, u64)>,
 }
 
 impl GeneratedSite {
@@ -153,6 +157,7 @@ pub struct Generator<'g> {
     graph: &'g Graph,
     templates: &'g TemplateSet,
     file_resolver: Option<FileResolver>,
+    timings: bool,
 }
 
 impl<'g> Generator<'g> {
@@ -162,12 +167,19 @@ impl<'g> Generator<'g> {
             graph,
             templates,
             file_resolver: None,
+            timings: false,
         }
     }
 
     /// Installs a resolver for embedding text/HTML file contents.
     pub fn with_file_resolver(mut self, resolver: FileResolver) -> Self {
         self.file_resolver = Some(resolver);
+        self
+    }
+
+    /// Records per-page render times into [`GeneratedSite::render_us`].
+    pub fn with_timings(mut self, on: bool) -> Self {
+        self.timings = on;
         self
     }
 
@@ -189,6 +201,7 @@ impl<'g> Generator<'g> {
             run.ensure_page(r);
         }
         while let Some(n) = run.queue.pop() {
+            let t = self.timings.then(std::time::Instant::now);
             let html = run.render_object(n)?;
             let file = run
                 .site
@@ -196,6 +209,11 @@ impl<'g> Generator<'g> {
                 .get(&n)
                 .expect("queued pages are named")
                 .clone();
+            if let Some(t) = t {
+                run.site
+                    .render_us
+                    .push((file.clone(), t.elapsed().as_micros() as u64));
+            }
             run.site.pages.insert(file, html);
         }
         Ok(run.site)
@@ -272,7 +290,7 @@ impl<'g> Generator<'g> {
         }
 
         while !frontier.is_empty() {
-            type Rendered = (Oid, String, Vec<Oid>, Vec<String>);
+            type Rendered = (Oid, String, Vec<Oid>, Vec<String>, u64);
             let render_chunk = |chunk: &[Oid]| -> Result<Vec<Rendered>> {
                 let reader = self.graph.reader();
                 let mut out = Vec::with_capacity(chunk.len());
@@ -287,8 +305,10 @@ impl<'g> Generator<'g> {
                         precomputed: Some(&names),
                         discovered: Vec::new(),
                     };
+                    let t = self.timings.then(std::time::Instant::now);
                     let html = run.render_object(n)?;
-                    out.push((n, html, run.discovered, run.site.warnings));
+                    let us = t.map_or(0, |t| t.elapsed().as_micros() as u64);
+                    out.push((n, html, run.discovered, run.site.warnings, us));
                 }
                 Ok(out)
             };
@@ -312,9 +332,12 @@ impl<'g> Generator<'g> {
                 })?
             };
             frontier.clear();
-            for (n, html, discovered, warnings) in results {
+            for (n, html, discovered, warnings, us) in results {
                 let file = names[&n].clone();
                 site.page_of.insert(n, file.clone());
+                if self.timings {
+                    site.render_us.push((file.clone(), us));
+                }
                 site.pages.insert(file, html);
                 site.warnings.extend(warnings);
                 for d in discovered {

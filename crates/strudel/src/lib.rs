@@ -66,6 +66,7 @@ pub use system::{SiteBuild, Strudel};
 
 // Re-export the subsystem crates under short names.
 pub use strudel_graph as graph;
+pub use strudel_obs as obs;
 pub use strudel_site as site;
 pub use strudel_struql as struql;
 pub use strudel_template as template;

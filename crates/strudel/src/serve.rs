@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use strudel_graph::{FileKind, Oid, Value};
+use strudel_obs::{Histogram, PromText};
 use strudel_site::{Delta, DynamicSite, OutLink, PageRef, Target};
 
 /// Encodes a page reference as a URL path.
@@ -225,25 +226,35 @@ fn linger_close(stream: &mut TcpStream) {
     }
 }
 
-fn respond(stream: &mut TcpStream, status: &str, body: &str) {
+/// Content types the server emits.
+const CT_HTML: &str = "text/html; charset=utf-8";
+const CT_JSON: &str = "application/json";
+/// The Prometheus text exposition format, version 0.0.4.
+const CT_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
     let _ = write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: text/html; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
 }
 
 // ---- metrics ---------------------------------------------------------------
 
-/// How many request latencies the reservoir keeps (most recent wins).
-const LATENCY_WINDOW: usize = 4096;
-
+/// Request counters and the latency histogram.
+///
+/// Latencies land in a lock-free fixed-bucket [`Histogram`] rather than the
+/// earlier mutex-guarded reservoir, whose fill phase raced the slot counter
+/// against pushes (a slot index taken before the lock could overwrite a
+/// fresher sample, and wrap-around forgot everything older than the
+/// window). Recording is now a few relaxed atomic adds, covers the server's
+/// whole lifetime, and feeds `/metrics` directly.
 #[derive(Default)]
 struct Metrics {
     requests: AtomicU64,
     errors: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
-    next_slot: AtomicU64,
+    latency: Histogram,
 }
 
 impl Metrics {
@@ -252,52 +263,39 @@ impl Metrics {
         if is_error {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed) as usize;
-        let mut lat = self.latencies_us.lock();
-        if lat.len() < LATENCY_WINDOW {
-            lat.push(us);
-        } else {
-            lat[slot % LATENCY_WINDOW] = us;
-        }
+        self.latency
+            .record(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
     }
 
     fn snapshot(&self) -> ServeStats {
-        let mut lat = self.latencies_us.lock().clone();
-        lat.sort_unstable();
-        let q = |p: f64| -> u64 {
-            if lat.is_empty() {
-                0
-            } else {
-                lat[((lat.len() - 1) as f64 * p).round() as usize]
-            }
-        };
+        let lat = self.latency.snapshot();
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
-            latency_p50_us: q(0.50),
-            latency_p90_us: q(0.90),
-            latency_p99_us: q(0.99),
-            latency_max_us: lat.last().copied().unwrap_or(0),
+            latency_p50_us: lat.quantile(0.50),
+            latency_p90_us: lat.quantile(0.90),
+            latency_p99_us: lat.quantile(0.99),
+            latency_max_us: lat.max_us,
         }
     }
 }
 
 /// A snapshot of the server's request counters. Latency percentiles are
-/// over a sliding window of the most recent requests.
+/// histogram estimates (the matching bucket's upper bound, clamped to the
+/// exact observed maximum) over every request since the server bound.
 #[derive(Default, Clone, Copy, Debug)]
 pub struct ServeStats {
     /// Requests answered (any status).
     pub requests: u64,
     /// Requests answered with a 4xx/5xx status.
     pub errors: u64,
-    /// Median request latency, microseconds.
+    /// Median request latency, microseconds (bucket estimate).
     pub latency_p50_us: u64,
-    /// 90th-percentile request latency, microseconds.
+    /// 90th-percentile request latency, microseconds (bucket estimate).
     pub latency_p90_us: u64,
-    /// 99th-percentile request latency, microseconds.
+    /// 99th-percentile request latency, microseconds (bucket estimate).
     pub latency_p99_us: u64,
-    /// Worst request latency in the window, microseconds.
+    /// Worst request latency observed, microseconds (exact).
     pub latency_max_us: u64,
 }
 
@@ -332,6 +330,7 @@ pub struct Server<'g> {
     roots: Vec<PageRef>,
     config: ServerConfig,
     metrics: Metrics,
+    started: Instant,
 }
 
 impl<'g> Server<'g> {
@@ -355,6 +354,7 @@ impl<'g> Server<'g> {
             roots,
             config,
             metrics: Metrics::default(),
+            started: Instant::now(),
         })
     }
 
@@ -452,6 +452,7 @@ impl<'g> Server<'g> {
                 respond(
                     &mut stream,
                     "400 Bad Request",
+                    CT_HTML,
                     "<html><body>malformed request</body></html>",
                 );
                 self.metrics.record(start.elapsed(), true);
@@ -461,6 +462,7 @@ impl<'g> Server<'g> {
                 respond(
                     &mut stream,
                     "431 Request Header Fields Too Large",
+                    CT_HTML,
                     "<html><body>request too large</body></html>",
                 );
                 linger_close(&mut stream);
@@ -471,6 +473,7 @@ impl<'g> Server<'g> {
                 respond(
                     &mut stream,
                     "408 Request Timeout",
+                    CT_HTML,
                     "<html><body>request timeout</body></html>",
                 );
                 self.metrics.record(start.elapsed(), true);
@@ -478,28 +481,30 @@ impl<'g> Server<'g> {
             }
         };
 
-        let (status, body) = match parse_request_line(&head) {
+        let (status, content_type, body) = match parse_request_line(&head) {
             None => (
                 "400 Bad Request".into(),
+                CT_HTML,
                 "<html><body>malformed request line</body></html>".into(),
             ),
             Some((method, _)) if method != "GET" => (
                 "405 Method Not Allowed".into(),
+                CT_HTML,
                 "<html><body>only GET is supported</body></html>".into(),
             ),
             Some((_, "/quit")) => {
                 shutdown.store(true, Ordering::Release);
-                ("200 OK".into(), "bye".into())
+                ("200 OK".into(), CT_HTML, "bye".into())
             }
             Some((_, path)) => self.route(path),
         };
         let is_error = !status.starts_with('2');
-        respond(&mut stream, &status, &body);
+        respond(&mut stream, &status, content_type, &body);
         self.metrics.record(start.elapsed(), is_error);
     }
 
-    /// Computes the `(status, body)` answer for one GET path.
-    fn route(&self, path: &str) -> (String, String) {
+    /// Computes the `(status, content-type, body)` answer for one GET path.
+    fn route(&self, path: &str) -> (String, &'static str, String) {
         if path == "/" {
             let links: Vec<OutLink> = self
                 .roots
@@ -511,26 +516,32 @@ impl<'g> Server<'g> {
                 .collect();
             return (
                 "200 OK".into(),
+                CT_HTML,
                 render_links("Site roots (precomputed)", &links),
             );
         }
         if path == "/stats" {
-            return ("200 OK".into(), self.stats_json());
+            return ("200 OK".into(), CT_JSON, self.stats_json());
+        }
+        if path == "/metrics" {
+            return ("200 OK".into(), CT_PROM, self.metrics_text());
         }
         if path.starts_with("/page/") {
             let Some(page) = parse_page_url(path) else {
                 return (
                     "400 Bad Request".into(),
+                    CT_HTML,
                     "<html><body>bad page ref</body></html>".into(),
                 );
             };
             return match self.site.expand(&page) {
                 Ok(links) => {
                     let title = format!("{page} — {} links (click time)", links.len());
-                    ("200 OK".into(), render_links(&title, &links))
+                    ("200 OK".into(), CT_HTML, render_links(&title, &links))
                 }
                 Err(e) => (
                     "500 Internal Server Error".into(),
+                    CT_HTML,
                     format!(
                         "<html><body>query error: {}</body></html>",
                         escape(&e.to_string())
@@ -540,12 +551,14 @@ impl<'g> Server<'g> {
         }
         (
             "404 Not Found".into(),
+            CT_HTML,
             "<html><body>no such page</body></html>".into(),
         )
     }
 
-    /// The `/stats` payload: request counters, latency percentiles, and
-    /// the shared evaluator's cache counters, as JSON.
+    /// The `/stats` payload: request counters, latency percentiles,
+    /// server vitals (uptime, worker threads, evaluator jobs), and the
+    /// shared evaluator's cache counters, as JSON.
     fn stats_json(&self) -> String {
         let s = self.metrics.snapshot();
         let d = self.site.stats();
@@ -553,6 +566,7 @@ impl<'g> Server<'g> {
         format!(
             concat!(
                 "{{\"requests\":{},\"errors\":{},",
+                "\"uptime_seconds\":{},\"threads\":{},\"jobs\":{},",
                 "\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"invalidated\":{},",
                 "\"entries\":{},\"bytes\":{},\"expansions\":{},\"clause_queries\":{}}},",
@@ -560,6 +574,9 @@ impl<'g> Server<'g> {
             ),
             s.requests,
             s.errors,
+            self.started.elapsed().as_secs(),
+            self.config.threads.max(1),
+            self.site.jobs(),
             s.latency_p50_us,
             s.latency_p90_us,
             s.latency_p99_us,
@@ -576,6 +593,101 @@ impl<'g> Server<'g> {
             p.misses,
             p.invalidations,
         )
+    }
+
+    /// The `/metrics` payload: the same counters as `/stats`, in the
+    /// Prometheus text exposition format (version 0.0.4) — counters,
+    /// gauges, and the request-latency histogram in seconds.
+    fn metrics_text(&self) -> String {
+        let d = self.site.stats();
+        let p = self.site.path_cache_stats();
+        let mut m = PromText::new();
+        m.counter(
+            "strudel_requests_total",
+            "Requests answered (any status).",
+            self.metrics.requests.load(Ordering::Relaxed),
+        );
+        m.counter(
+            "strudel_request_errors_total",
+            "Requests answered with a 4xx/5xx status.",
+            self.metrics.errors.load(Ordering::Relaxed),
+        );
+        m.histogram_seconds(
+            "strudel_request_duration_seconds",
+            "Request latency from accept to response written.",
+            &self.metrics.latency.snapshot(),
+        );
+        m.gauge(
+            "strudel_uptime_seconds",
+            "Seconds since the server bound its listener.",
+            self.started.elapsed().as_secs_f64(),
+        );
+        m.gauge(
+            "strudel_worker_threads",
+            "Worker threads answering requests.",
+            self.config.threads.max(1) as f64,
+        );
+        m.gauge(
+            "strudel_eval_jobs",
+            "Effective evaluator worker count for click-time expansion.",
+            self.site.jobs() as f64,
+        );
+        m.counter(
+            "strudel_page_cache_hits_total",
+            "Click-time expansions answered from the page cache.",
+            d.cache_hits,
+        );
+        m.counter(
+            "strudel_page_cache_misses_total",
+            "Click-time expansions computed by query evaluation.",
+            d.cache_misses,
+        );
+        m.counter(
+            "strudel_page_cache_evictions_total",
+            "Page-cache entries evicted by the size bound.",
+            d.evictions,
+        );
+        m.counter(
+            "strudel_page_cache_invalidated_total",
+            "Page-cache entries dropped by data-change deltas.",
+            d.invalidated,
+        );
+        m.gauge(
+            "strudel_page_cache_entries",
+            "Pages currently cached.",
+            self.site.cache_len() as f64,
+        );
+        m.gauge(
+            "strudel_page_cache_bytes",
+            "Approximate bytes held by the page cache.",
+            self.site.cache_bytes() as f64,
+        );
+        m.counter(
+            "strudel_expansions_total",
+            "Logical page expansions requested.",
+            d.expansions,
+        );
+        m.counter(
+            "strudel_clause_queries_total",
+            "Seeded clause evaluations run at click time.",
+            d.clause_queries,
+        );
+        m.counter(
+            "strudel_path_cache_hits_total",
+            "Regular-path-expression memo-cache hits.",
+            p.hits,
+        );
+        m.counter(
+            "strudel_path_cache_misses_total",
+            "Regular-path-expression memo-cache misses.",
+            p.misses,
+        );
+        m.counter(
+            "strudel_path_cache_invalidations_total",
+            "Regular-path-expression memo-cache invalidations.",
+            p.invalidations,
+        );
+        m.finish()
     }
 }
 
@@ -726,6 +838,99 @@ object a2 in Articles { headline "two" section "world" }
         let stats = server.stats();
         assert!(stats.requests >= 7, "{stats:?}");
         assert!(stats.errors >= 2, "{stats:?}"); // the 400 and the 404
+    }
+
+    /// `/metrics` over a live server: well-formed Prometheus text
+    /// exposition whose counters agree with the traffic just sent.
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (data, query) = demo_site();
+        let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let server = Server::bind(site, "127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+
+        let client = std::thread::spawn(move || {
+            assert!(fetch(addr, "/page/FrontPage").contains("Story"));
+            assert!(fetch(addr, "/page/FrontPage").contains("Story")); // cache hit
+            assert!(fetch(addr, "/nope").contains("404"));
+
+            let resp = fetch(addr, "/metrics");
+            let (head, body) = resp.split_once("\r\n\r\n").expect("framed response");
+            assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+            assert!(
+                head.contains("Content-Type: text/plain; version=0.0.4"),
+                "{head}"
+            );
+
+            // Every family the endpoint promises is declared with HELP+TYPE.
+            for (name, kind) in [
+                ("strudel_requests_total", "counter"),
+                ("strudel_request_errors_total", "counter"),
+                ("strudel_request_duration_seconds", "histogram"),
+                ("strudel_uptime_seconds", "gauge"),
+                ("strudel_worker_threads", "gauge"),
+                ("strudel_eval_jobs", "gauge"),
+                ("strudel_page_cache_hits_total", "counter"),
+                ("strudel_page_cache_misses_total", "counter"),
+                ("strudel_page_cache_entries", "gauge"),
+                ("strudel_path_cache_hits_total", "counter"),
+            ] {
+                assert!(body.contains(&format!("# HELP {name} ")), "{name}");
+                assert!(body.contains(&format!("# TYPE {name} {kind}\n")), "{name}");
+            }
+
+            // Exposition is line-structured: every non-comment line is
+            // `name[{labels}] value` with a legal metric name and a value
+            // that parses.
+            for line in body.lines().filter(|l| !l.starts_with('#')) {
+                let (lhs, value) = line.rsplit_once(' ').expect(line);
+                let name = lhs.split('{').next().unwrap();
+                assert!(strudel_obs::valid_metric_name(name), "{line}");
+                value.parse::<f64>().expect(line);
+            }
+
+            // Histogram shape: cumulative buckets ending at +Inf, matching
+            // the _count; at least the four requests above are in it.
+            let inf: u64 = body
+                .lines()
+                .find(|l| l.contains("_bucket{le=\"+Inf\"}"))
+                .and_then(|l| l.rsplit(' ').next())
+                .unwrap()
+                .parse()
+                .unwrap();
+            let count: u64 = body
+                .lines()
+                .find(|l| l.starts_with("strudel_request_duration_seconds_count"))
+                .and_then(|l| l.rsplit(' ').next())
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(inf, count);
+            assert!(count >= 3, "{count}");
+
+            // Counters agree with the traffic: 2 expansions of the same
+            // page → ≥1 page-cache hit; the 404 shows as an error.
+            let value_of = |name: &str| -> f64 {
+                body.lines()
+                    .find(|l| l.starts_with(name) && !l.starts_with('#'))
+                    .and_then(|l| l.rsplit(' ').next())
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            };
+            assert!(value_of("strudel_page_cache_hits_total") >= 1.0);
+            assert!(value_of("strudel_request_errors_total") >= 1.0);
+
+            // /stats carries the new vitals and is served as JSON.
+            let stats = fetch(addr, "/stats");
+            assert!(stats.contains("Content-Type: application/json"), "{stats}");
+            for key in ["\"uptime_seconds\":", "\"threads\":", "\"jobs\":"] {
+                assert!(stats.contains(key), "{stats}");
+            }
+            let _ = fetch(addr, "/quit");
+        });
+        server.serve(None).unwrap();
+        client.join().unwrap();
     }
 
     /// End-to-end live update with a *deletion*: serve and warm the cache,

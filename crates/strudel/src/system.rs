@@ -5,6 +5,7 @@ use std::path::Path;
 use std::sync::Arc;
 use strudel_graph::graph::Universe;
 use strudel_graph::{ddl, Graph, Oid, Value};
+use strudel_obs::{Phases, Timer};
 use strudel_site::{
     verify_graph, verify_schema, CacheConfig, Constraint, DynamicSite, SiteSchema, Verdict,
 };
@@ -268,7 +269,31 @@ impl Strudel {
     pub fn generate_site(&mut self, root_skolems: &[&str]) -> Result<GeneratedSite> {
         let jobs = self.opts.jobs;
         let build = self.build_site()?;
-        self.render_site(&build, root_skolems, (jobs > 1).then_some(jobs))
+        self.render_site(&build, root_skolems, (jobs > 1).then_some(jobs), false)
+    }
+
+    /// Like [`Strudel::generate_site`], but records a wall-clock breakdown
+    /// of the pipeline phases (`refresh` → `evaluate` → `render`) and
+    /// per-page render times ([`GeneratedSite::render_us`]) — the data
+    /// behind `strudel-cli build --timings`.
+    pub fn generate_site_timed(
+        &mut self,
+        root_skolems: &[&str],
+    ) -> Result<(GeneratedSite, Phases)> {
+        let mut phases = Phases::new();
+        if self.mediator.is_stale() {
+            let t = Timer::start();
+            self.mediator.refresh()?;
+            phases.add("refresh", t.elapsed_us());
+        }
+        let jobs = self.opts.jobs;
+        let t = Timer::start();
+        let build = self.build_site()?;
+        phases.add("evaluate", t.elapsed_us());
+        let t = Timer::start();
+        let site = self.render_site(&build, root_skolems, (jobs > 1).then_some(jobs), true)?;
+        phases.add("render", t.elapsed_us());
+        Ok((site, phases))
     }
 
     /// Like [`Strudel::generate_site`], rendering pages on `threads` worker
@@ -280,16 +305,18 @@ impl Strudel {
         threads: usize,
     ) -> Result<GeneratedSite> {
         let build = self.build_site()?;
-        self.render_site(&build, root_skolems, Some(threads))
+        self.render_site(&build, root_skolems, Some(threads), false)
     }
 
     /// Renders a built site from the named roots; `threads` is `None` for
-    /// the serial generator, `Some(n)` for the wave-parallel one.
+    /// the serial generator, `Some(n)` for the wave-parallel one. With
+    /// `timings`, per-page render durations are collected.
     fn render_site(
         &self,
         build: &SiteBuild,
         root_skolems: &[&str],
         threads: Option<usize>,
+        timings: bool,
     ) -> Result<GeneratedSite> {
         let mut roots: Vec<Oid> = Vec::new();
         for name in root_skolems {
@@ -300,7 +327,7 @@ impl Strudel {
                 "no root pages: none of {root_skolems:?} has instances"
             )));
         }
-        let mut generator = Generator::new(&build.graph, &self.templates);
+        let mut generator = Generator::new(&build.graph, &self.templates).with_timings(timings);
         if let Some(resolver) = &self.file_resolver {
             let resolver = Arc::clone(resolver);
             generator = generator.with_file_resolver(Box::new(move |p| resolver(p)));
@@ -317,6 +344,20 @@ impl Strudel {
         let site = self.generate_site(root_skolems)?;
         site.write_to_dir(dir)?;
         Ok(site)
+    }
+
+    /// Like [`Strudel::publish`], but returns the phase breakdown
+    /// (`refresh` → `evaluate` → `render` → `write`) alongside the site.
+    pub fn publish_timed(
+        &mut self,
+        root_skolems: &[&str],
+        dir: &Path,
+    ) -> Result<(GeneratedSite, Phases)> {
+        let (site, mut phases) = self.generate_site_timed(root_skolems)?;
+        let t = Timer::start();
+        site.write_to_dir(dir)?;
+        phases.add("write", t.elapsed_us());
+        Ok((site, phases))
     }
 
     // ---- verification & dynamic evaluation ----
@@ -472,6 +513,29 @@ object p3 in Publications { title "StruQL" year 1997 }
         assert_eq!(roots.len(), 1);
         let links = dyn_site.expand(&roots[0]).unwrap();
         assert_eq!(links.len(), 3);
+    }
+
+    #[test]
+    fn timed_build_reports_phases_and_page_times() {
+        let mut s = pubs_system();
+        s.templates_mut()
+            .set_collection_template("RootPage", r#"<SFMT @Paper ALL DELIM=" ">"#)
+            .unwrap();
+        s.templates_mut()
+            .set_collection_template("Page", "<SFMT @Title>")
+            .unwrap();
+        let (site, phases) = s.generate_site_timed(&["RootPage"]).unwrap();
+        assert_eq!(site.pages.len(), 4);
+        let names: Vec<&str> = phases.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["refresh", "evaluate", "render"]);
+        assert_eq!(site.render_us.len(), site.pages.len());
+        assert!(phases.to_json().starts_with(r#"{"refresh":"#));
+        // A second timed build reuses the fresh warehouse: no refresh phase.
+        let (_, phases) = s.generate_site_timed(&["RootPage"]).unwrap();
+        let names: Vec<&str> = phases.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["evaluate", "render"]);
+        // The untimed path stays free of per-page timing.
+        assert!(s.generate_site(&["RootPage"]).unwrap().render_us.is_empty());
     }
 
     #[test]
