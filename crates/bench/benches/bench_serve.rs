@@ -12,6 +12,9 @@
 //! * `post_invalidation` — a data-graph edge delta invalidates the affected
 //!   keys before every request (the steady state of a site whose sources
 //!   keep changing).
+//! * `keepalive` — like `hot`, but over one reused HTTP/1.1 connection:
+//!   no connect/close per request, the event loop's keep-alive path
+//!   (DESIGN.md §11). The delta against `hot` is the TCP setup cost.
 //!
 //! Each regime runs on a 1-thread and a 4-thread worker pool. On a single
 //! CPU the pools perform alike for a lone client; the 4-thread numbers only
@@ -47,6 +50,41 @@ fn fetch(addr: &str, path: &str) -> usize {
     let mut body = Vec::new();
     stream.read_to_end(&mut body).unwrap();
     body.len()
+}
+
+/// One request/response on an already-open keep-alive connection; returns
+/// the response size in bytes. The response is `Content-Length`-framed, so
+/// read exactly head + body and leave the connection reusable.
+fn fetch_keepalive(stream: &mut TcpStream, path: &str) -> usize {
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let need = loop {
+        if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buf[..end]).unwrap();
+            let len: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap()
+                .parse()
+                .unwrap();
+            break end + 4 + len;
+        }
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "eof mid head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    while buf.len() < need {
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "eof mid body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    assert_eq!(
+        buf.len(),
+        need,
+        "pipelined leftovers on a serial connection"
+    );
+    need
 }
 
 /// A delta that re-adds an existing article edge: the invalidation analysis
@@ -89,6 +127,15 @@ fn bench_request_latency(c: &mut Criterion) {
             fetch(&addr, &front); // warm cache + pool
             group.bench_with_input(BenchmarkId::new("hot", threads), &threads, |b, _| {
                 b.iter(|| black_box(fetch(&addr, &front)));
+            });
+            group.bench_with_input(BenchmarkId::new("keepalive", threads), &threads, |b, _| {
+                let mut conn = TcpStream::connect(&addr).unwrap();
+                b.iter(|| black_box(fetch_keepalive(&mut conn, &front)));
+                write!(
+                    conn,
+                    "GET / HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+                )
+                .unwrap();
             });
             group.bench_with_input(BenchmarkId::new("cold", threads), &threads, |b, _| {
                 b.iter(|| {
@@ -148,12 +195,24 @@ fn report_serve_latencies() {
                 t0.elapsed() / rounds
             };
             let hot = time(&|| {});
+            let ka = {
+                let mut conn = TcpStream::connect(&addr).unwrap();
+                let t0 = std::time::Instant::now();
+                for _ in 0..rounds {
+                    fetch_keepalive(&mut conn, &front);
+                }
+                t0.elapsed() / rounds
+            };
             let cold = time(&|| server.site().cache_clear());
             fetch(&addr, &front);
             let inval = time(&|| {
                 server.site().invalidate(&delta);
             });
             println!("{:<20} {:>8} {:>12?} {:>12}", "hot", threads, hot, bytes);
+            println!(
+                "{:<20} {:>8} {:>12?} {:>12}",
+                "keepalive", threads, ka, bytes
+            );
             println!("{:<20} {:>8} {:>12?} {:>12}", "cold", threads, cold, bytes);
             println!(
                 "{:<20} {:>8} {:>12?} {:>12}",

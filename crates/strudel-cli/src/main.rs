@@ -9,7 +9,10 @@
 //! strudel-cli query   <data.(ddl|bin)> <q.struql> [--profile [--json]]
 //!                                                 run an ad-hoc query, print DDL
 //! strudel-cli serve   <site.spec> [addr]          click-time evaluation over HTTP
-//!     [--threads N] [--cache-entries N] [--cache-bytes N]
+//!     [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded]
+//! strudel-cli loadtest <site.spec>                zipfian load against the server
+//!     [--conns A,B] [--duration-ms N] [--zipf S] [--threads N] [--max-urls N]
+//!     [--pipeline-depth N] [--seed N] [--out FILE] [--threaded]
 //! strudel-cli demo    <dir>                       write a ready-to-build demo site
 //! ```
 //!
@@ -32,6 +35,7 @@
 //! none-reachable Root SecretPage
 //! ```
 
+mod loadtest;
 mod spec;
 
 use std::path::Path;
@@ -50,9 +54,10 @@ fn main() -> ExitCode {
             cmd_query(Path::new(&args[1]), Path::new(&args[2]), &args[3..])
         }
         Some("serve") if args.len() >= 2 => cmd_serve(Path::new(&args[1]), &args[2..]),
+        Some("loadtest") if args.len() >= 2 => loadtest::run(Path::new(&args[1]), &args[2..]),
         Some("demo") if args.len() == 2 => cmd_demo(Path::new(&args[1])),
         _ => {
-            eprintln!("usage:\n  strudel-cli build   <site.spec> [--jobs N] [--timings]\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec> [--profile [--json]]\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin)> <query.struql> [--profile [--json]]\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N]\n  strudel-cli demo    <dir>");
+            eprintln!("usage:\n  strudel-cli build   <site.spec> [--jobs N] [--timings]\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec> [--profile [--json]]\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin)> <query.struql> [--profile [--json]]\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded]\n  strudel-cli loadtest <site.spec> [--conns A,B] [--duration-ms N] [--zipf S] [--threads N]\n                       [--max-urls N] [--pipeline-depth N] [--seed N] [--out FILE] [--threaded]\n  strudel-cli demo    <dir>");
             return ExitCode::from(2);
         }
     };
@@ -357,6 +362,7 @@ fn cmd_serve(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
             "--threads" => config.threads = flag_value("--threads")?.max(1),
             "--cache-entries" => cache.max_entries = flag_value("--cache-entries")?,
             "--cache-bytes" => cache.max_bytes = flag_value("--cache-bytes")?,
+            "--threaded" => config.mode = strudel::serve::ServeMode::Threaded,
             s if s.starts_with("--") => return Err(format!("unknown flag {s}").into()),
             s => addr = s.to_string(),
         }

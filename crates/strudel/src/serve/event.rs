@@ -1,0 +1,566 @@
+//! The event-driven serving mode: one readiness loop owning every socket,
+//! a worker pool owning every page expansion.
+//!
+//! The loop (this module) runs on the thread that called
+//! [`Server::serve`]; it accepts connections, pumps non-blocking reads
+//! and writes through each [`Conn`] state machine, enforces whole-request
+//! deadlines and admission control, and never computes a page. Complete
+//! requests are handed to the worker pool over a channel; workers run the
+//! router (which may expand pages through the shared [`DynamicSite`]
+//! cache), encode the response, and hand the bytes back with
+//! [`Poller::notify`] as the doorbell. One request is in flight per
+//! connection at a time, so pipelined requests are answered strictly in
+//! arrival order; their bytes simply wait in the connection's read buffer
+//! (and the kernel's) until the previous response has drained.
+//!
+//! [`DynamicSite`]: strudel_site::DynamicSite
+
+use super::conn::{Conn, ConnState, Fill, Flush};
+use super::http::{self, AcceptBackoff, Method, Parsed, Request};
+use super::Server;
+use parking_lot::Mutex;
+use polling::{Event, Poller};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Poller key of the listening socket; connections use `slot + 1`.
+const KEY_LISTENER: usize = 0;
+
+/// Fallback poll period when nothing imposes a deadline. Completions
+/// arrive via [`Poller::notify`], so this only bounds recovery from lost
+/// wakeups.
+const IDLE_TICK: Duration = Duration::from_millis(500);
+
+/// A parsed request on its way to the worker pool.
+struct Job {
+    slot: usize,
+    generation: u64,
+    req: Request,
+}
+
+/// An encoded response on its way back from a worker.
+struct Completion {
+    slot: usize,
+    generation: u64,
+    bytes: Vec<u8>,
+    is_error: bool,
+    close_after: bool,
+}
+
+/// Runs the event-driven serving mode. See [`Server::serve`] for the
+/// `max_conns` contract.
+pub(super) fn run(server: &Server<'_>, max_conns: Option<usize>) -> crate::error::Result<()> {
+    let io_err = crate::error::StrudelError::Io;
+    server.listener.set_nonblocking(true).map_err(io_err)?;
+    let poller = Poller::new().map_err(io_err)?;
+    poller
+        .add(&server.listener, Event::readable(KEY_LISTENER))
+        .map_err(io_err)?;
+
+    let shutdown = AtomicBool::new(false);
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let job_rx = Mutex::new(job_rx);
+    let (done_tx, done_rx) = mpsc::channel::<Completion>();
+    let workers = server.config.threads.max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let done_tx = done_tx.clone();
+            let (shutdown, job_rx, poller) = (&shutdown, &job_rx, &poller);
+            scope.spawn(move || {
+                // Take the receiver lock only to pull one job.
+                while let Ok(job) = { job_rx.lock().recv() } {
+                    let (status, content_type, body) = server.route_request(&job.req, shutdown);
+                    let is_error = !status.starts_with('2');
+                    let keep = job.req.keep_alive && !shutdown.load(Ordering::Acquire);
+                    let bytes = http::encode_response(
+                        &status,
+                        content_type,
+                        &body,
+                        keep,
+                        job.req.method == Method::Head,
+                    );
+                    if done_tx
+                        .send(Completion {
+                            slot: job.slot,
+                            generation: job.generation,
+                            bytes,
+                            is_error,
+                            close_after: !keep,
+                        })
+                        .is_err()
+                    {
+                        break; // loop gone
+                    }
+                    let _ = poller.notify();
+                }
+            });
+        }
+        drop(done_tx);
+
+        EventLoop {
+            server,
+            poller: &poller,
+            shutdown: &shutdown,
+            job_tx,
+            done_rx,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_generation: 0,
+            accepted: 0,
+            accept_limit: max_conns,
+            draining: false,
+            accepting: true,
+            accept_resume_at: None,
+            backoff: AcceptBackoff::new(),
+        }
+        .run();
+    });
+
+    server.listener.set_nonblocking(false).map_err(io_err)?;
+    Ok(())
+}
+
+struct EventLoop<'s, 'g> {
+    server: &'s Server<'g>,
+    poller: &'s Poller,
+    shutdown: &'s AtomicBool,
+    job_tx: mpsc::Sender<Job>,
+    done_rx: mpsc::Receiver<Completion>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_generation: u64,
+    accepted: usize,
+    accept_limit: Option<usize>,
+    /// Stop accepting, close idle connections, finish in-flight work, exit.
+    draining: bool,
+    /// Whether the listener is currently registered with the poller.
+    accepting: bool,
+    /// When accept-error backoff ends and the listener re-registers.
+    accept_resume_at: Option<Instant>,
+    backoff: AcceptBackoff,
+}
+
+impl EventLoop<'_, '_> {
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                self.enter_drain();
+            }
+            if self.draining && self.open_count() == 0 {
+                break;
+            }
+            events.clear();
+            let _ = self.poller.wait(&mut events, Some(self.next_timeout()));
+
+            // Worker completions first: they free connections for the
+            // readiness events processed right after.
+            while let Ok(done) = self.done_rx.try_recv() {
+                self.complete(done);
+            }
+            for &ev in &events {
+                if ev.key == KEY_LISTENER {
+                    self.accept_ready();
+                } else {
+                    self.conn_ready(ev.key - 1, ev);
+                }
+            }
+            let now = Instant::now();
+            self.sweep_deadlines(now);
+            self.resume_accept(now);
+            if self.shutdown.load(Ordering::Acquire) {
+                self.enter_drain();
+            }
+            self.publish_gauges();
+        }
+        // Close whatever drain left behind (nothing, unless a worker died).
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.close(slot);
+            }
+        }
+        self.publish_gauges();
+        if self.accepting {
+            let _ = self.poller.delete(&self.server.listener);
+        }
+    }
+
+    // ---- accept path -------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        while self.accepting {
+            match self.server.listener.accept() {
+                Ok((stream, _)) => {
+                    self.backoff.on_success();
+                    self.accepted += 1;
+                    self.admit(stream);
+                    if self.accept_limit.is_some_and(|m| self.accepted >= m) {
+                        self.enter_drain();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // EMFILE and friends: re-entering accept immediately
+                    // would busy-spin at 100% CPU. Unregister the listener
+                    // and come back after an exponentially growing pause.
+                    self.server.metrics.accept_errors.inc();
+                    let pause = self.backoff.on_error();
+                    self.accept_resume_at = Some(Instant::now() + pause);
+                    self.unregister_listener();
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: std::net::TcpStream) {
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let mut conn = Conn::new(stream, generation, self.server.config.request_timeout);
+        let overloaded = self.open_count() >= self.server.config.max_connections.max(1);
+        if overloaded {
+            self.server.metrics.admission_rejected.inc();
+            conn.rejected = true;
+            conn.queue_response(http::overload_response(), true, true);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.conns[s] = Some(conn);
+                s
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        };
+        if self
+            .poller
+            .add(
+                &self.conns[slot].as_ref().unwrap().stream,
+                Event::none(slot + 1),
+            )
+            .is_err()
+        {
+            self.conns[slot] = None;
+            self.free.push(slot);
+            return;
+        }
+        if overloaded {
+            self.pump_write(slot);
+        } else {
+            self.set_interest(slot, Event::readable(slot + 1));
+        }
+    }
+
+    fn unregister_listener(&mut self) {
+        if self.accepting {
+            let _ = self.poller.delete(&self.server.listener);
+            self.accepting = false;
+        }
+    }
+
+    fn resume_accept(&mut self, now: Instant) {
+        if let Some(at) = self.accept_resume_at {
+            if now >= at && !self.draining {
+                self.accept_resume_at = None;
+                if !self.accepting
+                    && self
+                        .poller
+                        .add(&self.server.listener, Event::readable(KEY_LISTENER))
+                        .is_ok()
+                {
+                    self.accepting = true;
+                }
+                // The pause may have swallowed the readiness edge.
+                self.accept_ready();
+            }
+        }
+    }
+
+    // ---- connection I/O ----------------------------------------------------
+
+    fn conn_ready(&mut self, slot: usize, ev: Event) {
+        let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else {
+            return; // already closed this tick
+        };
+        match conn.state {
+            ConnState::Idle | ConnState::Reading if ev.readable => self.read_ready(slot),
+            ConnState::Writing if ev.writable => self.pump_write(slot),
+            _ => {} // Dispatched, or a spurious direction: nothing to do
+        }
+    }
+
+    fn read_ready(&mut self, slot: usize) {
+        let cap = self.server.config.max_request_bytes + 65536;
+        let conn = self.conns[slot].as_mut().unwrap();
+        match conn.fill(cap) {
+            Fill::Progress => {
+                if conn.state == ConnState::Idle {
+                    // First byte of a request: arm the whole-request
+                    // deadline exactly once. Later reads do NOT re-arm it.
+                    conn.state = ConnState::Reading;
+                    conn.req_started = Instant::now();
+                    conn.deadline = Some(conn.req_started + self.server.config.request_timeout);
+                }
+                self.advance(slot);
+            }
+            Fill::Blocked => {}
+            Fill::PeerClosed => {
+                if conn.has_partial() {
+                    // Peer half-closed mid-head; it can still read our 400.
+                    self.respond_inline(
+                        slot,
+                        "400 Bad Request",
+                        "<html><body>malformed request</body></html>",
+                    );
+                } else {
+                    // A connection that opened and closed without a byte
+                    // (port scan, health probe): silent, separate counter,
+                    // never an "error" — the old 400-per-probe skewed the
+                    // error rate. Reused keep-alive connections closing
+                    // between requests are plain lifecycle, not aborts.
+                    if conn.served == 0 {
+                        self.server.metrics.aborted.inc();
+                    }
+                    self.close(slot);
+                }
+            }
+            Fill::Broken => {
+                if self.conns[slot].as_ref().unwrap().served == 0 {
+                    self.server.metrics.aborted.inc();
+                }
+                self.close(slot);
+            }
+        }
+    }
+
+    /// Parses and dispatches from the read buffer. Callable only in
+    /// `Idle`/`Reading`.
+    fn advance(&mut self, slot: usize) {
+        let max_head = self.server.config.max_request_bytes;
+        let conn = self.conns[slot].as_mut().unwrap();
+        match http::parse_request(&conn.rbuf) {
+            Parsed::Incomplete => {
+                if conn.rbuf.len() > max_head {
+                    self.respond_inline(
+                        slot,
+                        "431 Request Header Fields Too Large",
+                        "<html><body>request too large</body></html>",
+                    );
+                } else {
+                    self.set_interest(slot, Event::readable(slot + 1));
+                }
+            }
+            Parsed::Malformed => {
+                self.respond_inline(
+                    slot,
+                    "400 Bad Request",
+                    "<html><body>malformed request line</body></html>",
+                );
+            }
+            Parsed::Request(_, consumed) if consumed > max_head => {
+                self.respond_inline(
+                    slot,
+                    "431 Request Header Fields Too Large",
+                    "<html><body>request too large</body></html>",
+                );
+            }
+            Parsed::Request(req, consumed) => {
+                conn.rbuf.drain(..consumed);
+                if req.has_body {
+                    self.respond_inline(
+                        slot,
+                        "400 Bad Request",
+                        "<html><body>request bodies are not supported</body></html>",
+                    );
+                    return;
+                }
+                if conn.served > 0 {
+                    self.server.metrics.keepalive_reuses.inc();
+                }
+                conn.state = ConnState::Dispatched;
+                conn.deadline = None;
+                let job = Job {
+                    slot,
+                    generation: conn.generation,
+                    req,
+                };
+                self.set_interest(slot, Event::none(slot + 1));
+                if self.job_tx.send(job).is_err() {
+                    self.close(slot); // workers gone (only after a panic)
+                }
+            }
+        }
+    }
+
+    /// Queues a loop-generated error response (4xx) and starts flushing.
+    /// The connection always closes afterwards: the request stream is not
+    /// trustworthy past a framing error.
+    fn respond_inline(&mut self, slot: usize, status: &str, body: &str) {
+        let bytes = http::encode_response(status, http::CT_HTML, body, false, false);
+        let conn = self.conns[slot].as_mut().unwrap();
+        conn.queue_response(bytes, true, true);
+        self.pump_write(slot);
+    }
+
+    fn complete(&mut self, done: Completion) {
+        let Some(conn) = self.conns.get_mut(done.slot).and_then(Option::as_mut) else {
+            return; // connection died while the worker computed
+        };
+        if conn.generation != done.generation || conn.state != ConnState::Dispatched {
+            return; // slot was recycled; response belongs to a dead conn
+        }
+        conn.queue_response(done.bytes, done.is_error, done.close_after);
+        self.pump_write(done.slot);
+    }
+
+    fn pump_write(&mut self, slot: usize) {
+        let conn = self.conns[slot].as_mut().unwrap();
+        match conn.flush() {
+            Flush::Done => self.finish_response(slot),
+            // The kernel buffer is full: only now is writability worth
+            // polling for (the common case flushes in one call with no
+            // interest churn).
+            Flush::Blocked => self.set_interest(slot, Event::writable(slot + 1)),
+            Flush::Broken => {
+                // The request was processed even if the peer vanished
+                // before the bytes landed; keep the counters honest.
+                let conn = self.conns[slot].as_ref().unwrap();
+                if !conn.rejected {
+                    self.server
+                        .metrics
+                        .record(conn.req_started.elapsed(), conn.pending_is_error);
+                }
+                self.close(slot);
+            }
+        }
+    }
+
+    fn finish_response(&mut self, slot: usize) {
+        let conn = self.conns[slot].as_mut().unwrap();
+        if !conn.rejected {
+            self.server
+                .metrics
+                .record(conn.req_started.elapsed(), conn.pending_is_error);
+        }
+        conn.served += 1;
+        if conn.close_after_write || self.draining {
+            self.close(slot);
+            return;
+        }
+        conn.state = ConnState::Idle;
+        conn.req_started = Instant::now();
+        conn.deadline = Some(conn.req_started + self.server.config.keepalive_timeout);
+        if conn.has_partial() {
+            // Pipelined successor already buffered: it began "arriving"
+            // now for deadline purposes.
+            conn.state = ConnState::Reading;
+            conn.deadline = Some(conn.req_started + self.server.config.request_timeout);
+            self.advance(slot);
+        } else {
+            self.set_interest(slot, Event::readable(slot + 1));
+        }
+    }
+
+    // ---- deadlines and drain -----------------------------------------------
+
+    fn sweep_deadlines(&mut self, now: Instant) {
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                continue;
+            };
+            let Some(deadline) = conn.deadline else {
+                continue;
+            };
+            if now < deadline {
+                continue;
+            }
+            match conn.state {
+                // Keep-alive connection resting between requests: expiry
+                // is normal lifecycle, close silently.
+                ConnState::Idle if conn.served > 0 => self.close(slot),
+                // Never spoke, or dribbled a partial head past the
+                // whole-request deadline (the slow-loris cut): 408.
+                ConnState::Idle | ConnState::Reading => {
+                    self.respond_inline(
+                        slot,
+                        "408 Request Timeout",
+                        "<html><body>request timeout</body></html>",
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn enter_drain(&mut self) {
+        if !self.draining {
+            self.draining = true;
+            self.accept_resume_at = None;
+            self.unregister_listener();
+        }
+        // In-flight requests (Dispatched/Writing) finish; waiting
+        // connections are cut loose.
+        for slot in 0..self.conns.len() {
+            if let Some(conn) = self.conns[slot].as_ref() {
+                if matches!(conn.state, ConnState::Idle | ConnState::Reading) {
+                    self.close(slot);
+                }
+            }
+        }
+    }
+
+    // ---- bookkeeping -------------------------------------------------------
+
+    fn set_interest(&self, slot: usize, interest: Event) {
+        if let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) {
+            let _ = self.poller.modify(&conn.stream, interest);
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.delete(&conn.stream);
+            self.free.push(slot);
+        }
+    }
+
+    fn open_count(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    fn next_timeout(&self) -> Duration {
+        let now = Instant::now();
+        let mut next: Option<Instant> = self.accept_resume_at;
+        for conn in self.conns.iter().flatten() {
+            if let Some(d) = conn.deadline {
+                next = Some(next.map_or(d, |n| n.min(d)));
+            }
+        }
+        match next {
+            Some(at) => at.saturating_duration_since(now).min(IDLE_TICK),
+            None => IDLE_TICK,
+        }
+    }
+
+    fn publish_gauges(&self) {
+        let (mut open, mut idle, mut reading, mut writing) = (0u64, 0u64, 0u64, 0u64);
+        for conn in self.conns.iter().flatten() {
+            open += 1;
+            match conn.state {
+                ConnState::Idle => idle += 1,
+                ConnState::Reading => reading += 1,
+                ConnState::Writing => writing += 1,
+                ConnState::Dispatched => {}
+            }
+        }
+        self.server
+            .metrics
+            .set_conn_gauges(open, idle, reading, writing);
+    }
+}

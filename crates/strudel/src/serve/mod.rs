@@ -1,0 +1,607 @@
+//! Serving a dynamically evaluated site over HTTP (§6).
+//!
+//! "In practice, dynamic generation is supported by often large groups of
+//! loosely related CGI programs. Supporting dynamic evaluation would
+//! eliminate writing such programs by hand." This module is that support: a
+//! dependency-free HTTP/1.1 server whose pages are computed at click time
+//! by [`DynamicSite::expand`] — only the roots are precomputed, and the
+//! evaluator's shared cache answers repeat clicks from any worker thread.
+//!
+//! The serving tier has two modes (see [`ServeMode`]):
+//!
+//! * **Event** (default): one readiness loop (`event`) owns every socket
+//!   through a vendored epoll stand-in, driving non-blocking connections
+//!   with HTTP/1.1 keep-alive, request pipelining, whole-request deadlines,
+//!   and admission control; page expansion runs on a scoped worker pool
+//!   over the shared [`DynamicSite`].
+//! * **Threaded**: the original blocking pool (`threaded`) — one worker
+//!   owns one connection for one request, then closes it.
+//!
+//! Both modes share the HTTP framing (`http`), the router (`router`), the
+//! URL scheme (`url`), and the metrics (`metrics`), so `/`, `/stats`,
+//! `/metrics`, `/page/…`, and `/quit` behave identically; the modes differ
+//! only in connection lifecycle.
+
+mod conn;
+mod event;
+mod http;
+mod metrics;
+mod router;
+mod threaded;
+mod url;
+
+pub use self::metrics::ServeStats;
+pub use self::url::{decode_value, encode_value, page_url, parse_page_url};
+
+use crate::error::Result;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+use strudel_site::{Delta, DynamicSite, PageRef};
+
+/// How the server drives its connections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Event-driven: one readiness loop multiplexes every socket with
+    /// keep-alive, pipelining, and admission control; workers only expand
+    /// pages.
+    #[default]
+    Event,
+    /// Thread-per-connection: a blocking worker reads one request, answers
+    /// it, and closes the connection (no keep-alive).
+    Threaded,
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads answering requests (minimum 1).
+    pub threads: usize,
+    /// Whole-request deadline: the time allowed from a request's first
+    /// byte until its head completes (and, in threaded mode, the socket
+    /// write timeout).
+    pub request_timeout: Duration,
+    /// How long an idle keep-alive connection may rest between requests
+    /// before the server closes it (event mode only).
+    pub keepalive_timeout: Duration,
+    /// Maximum accepted request-head size in bytes.
+    pub max_request_bytes: usize,
+    /// Admission control: connections beyond this many already open are
+    /// answered with a static 503 and closed (event mode only).
+    pub max_connections: usize,
+    /// Connection-handling mode.
+    pub mode: ServeMode,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            request_timeout: Duration::from_secs(5),
+            keepalive_timeout: Duration::from_secs(5),
+            max_request_bytes: 16 * 1024,
+            max_connections: 1024,
+            mode: ServeMode::Event,
+        }
+    }
+}
+
+/// A running click-time server over one shared [`DynamicSite`].
+pub struct Server<'g> {
+    site: DynamicSite<'g>,
+    listener: TcpListener,
+    roots: Vec<PageRef>,
+    config: ServerConfig,
+    metrics: metrics::Metrics,
+    started: Instant,
+}
+
+impl<'g> Server<'g> {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with the
+    /// default configuration.
+    pub fn bind(site: DynamicSite<'g>, addr: &str) -> std::io::Result<Self> {
+        Self::bind_with(site, addr, ServerConfig::default())
+    }
+
+    /// Binds `addr` with an explicit configuration.
+    pub fn bind_with(
+        site: DynamicSite<'g>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let roots = site.roots();
+        Ok(Server {
+            site,
+            listener,
+            roots,
+            config,
+            metrics: metrics::Metrics::default(),
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared evaluator (for cache configuration checks and stats).
+    pub fn site(&self) -> &DynamicSite<'g> {
+        &self.site
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Request counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.metrics.snapshot()
+    }
+
+    /// Notifies the server of a data-graph change: forwards `delta` to the
+    /// shared evaluator's cache invalidation and returns the number of
+    /// cached expansions dropped. Insertions and removals are handled
+    /// symmetrically; a removal delta may be delivered before or after the
+    /// underlying graph mutation (seed matching needs only the interner,
+    /// not the edge's presence). The next request for an affected page
+    /// recomputes it; untouched entries keep answering from the warm cache
+    /// (the `invalidated` counter is visible under `/stats`).
+    pub fn notify(&self, delta: &Delta) -> u64 {
+        self.site.invalidate(delta)
+    }
+
+    /// Serves until `max_conns` connections have been accepted (`None` =
+    /// forever) or a request for `/quit` arrives (always honored, so tests
+    /// and scripts can stop the server remotely). In-flight requests
+    /// finish before this returns. In event mode one accepted keep-alive
+    /// connection may carry many requests; in threaded mode a connection
+    /// is exactly one request.
+    pub fn serve(&self, max_conns: Option<usize>) -> Result<()> {
+        match self.config.mode {
+            ServeMode::Event => event::run(self, max_conns),
+            ServeMode::Threaded => threaded::run(self, max_conns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use strudel_graph::Value;
+    use strudel_site::CacheConfig;
+    use strudel_struql::EvalOptions;
+
+    fn demo_site() -> (strudel_graph::Graph, strudel_struql::Query) {
+        let data = strudel_graph::ddl::parse(
+            r#"
+object a1 in Articles { headline "one" section "world" }
+object a2 in Articles { headline "two" section "world" }
+"#,
+        )
+        .unwrap();
+        let query = strudel_struql::parse_query(
+            r#"CREATE FrontPage()
+               { WHERE Articles(a), a -> l -> v
+                 CREATE Page(a)
+                 LINK Page(a) -> l -> v, FrontPage() -> "Story" -> Page(a) }"#,
+        )
+        .unwrap();
+        (data, query)
+    }
+
+    fn fetch(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        buf
+    }
+
+    /// Runs one test body against a server in each mode: the routing and
+    /// framing behavior must not depend on the connection layer.
+    fn in_both_modes(test: impl Fn(ServeMode)) {
+        test(ServeMode::Event);
+        test(ServeMode::Threaded);
+    }
+
+    #[test]
+    fn serves_roots_pages_and_errors_over_tcp() {
+        in_both_modes(|mode| {
+            let (data, query) = demo_site();
+            let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+            let config = ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            };
+            let server = Server::bind_with(site, "127.0.0.1:0", config).unwrap();
+            let addr = server.addr().unwrap();
+
+            let client = std::thread::spawn(move || {
+                let root = fetch(addr, "/");
+                assert!(root.contains("FrontPage"), "{root}");
+                let front = fetch(addr, "/page/FrontPage");
+                assert!(front.contains("Story"), "{front}");
+                assert!(front.contains("/page/Page/n"), "{front}");
+                // Follow a story link.
+                let href = front
+                    .split("href=\"/page/Page/")
+                    .nth(1)
+                    .map(|s| format!("/page/Page/{}", &s[..s.find('"').unwrap()]))
+                    .expect("a story href");
+                let story = fetch(addr, &href);
+                assert!(story.contains("headline"), "{story}");
+                assert!(fetch(addr, "/page/Bad/%%%").contains("400"));
+                assert!(fetch(addr, "/nope").contains("404"));
+                let stats = fetch(addr, "/stats");
+                assert!(stats.contains("\"requests\""), "{stats}");
+                assert!(stats.contains("\"p50\""), "{stats}");
+                assert!(stats.contains("\"hits\""), "{stats}");
+                let _ = fetch(addr, "/quit");
+            });
+
+            server.serve(None).unwrap();
+            client.join().unwrap();
+            let stats = server.stats();
+            assert!(stats.requests >= 7, "{mode:?}: {stats:?}");
+            assert!(stats.errors >= 2, "{mode:?}: {stats:?}"); // the 400 and the 404
+        });
+    }
+
+    /// `/metrics` over a live server: well-formed Prometheus text
+    /// exposition whose counters agree with the traffic just sent.
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (data, query) = demo_site();
+        let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let server = Server::bind(site, "127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+
+        let client = std::thread::spawn(move || {
+            assert!(fetch(addr, "/page/FrontPage").contains("Story"));
+            assert!(fetch(addr, "/page/FrontPage").contains("Story")); // cache hit
+            assert!(fetch(addr, "/nope").contains("404"));
+
+            let resp = fetch(addr, "/metrics");
+            let (head, body) = resp.split_once("\r\n\r\n").expect("framed response");
+            assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+            assert!(
+                head.contains("Content-Type: text/plain; version=0.0.4"),
+                "{head}"
+            );
+
+            // Every family the endpoint promises is declared with HELP+TYPE.
+            for (name, kind) in [
+                ("strudel_requests_total", "counter"),
+                ("strudel_request_errors_total", "counter"),
+                ("strudel_request_duration_seconds", "histogram"),
+                ("strudel_uptime_seconds", "gauge"),
+                ("strudel_worker_threads", "gauge"),
+                ("strudel_eval_jobs", "gauge"),
+                ("strudel_accept_errors_total", "counter"),
+                ("strudel_connections_aborted_total", "counter"),
+                ("strudel_admission_rejected_total", "counter"),
+                ("strudel_keepalive_reuses_total", "counter"),
+                ("strudel_connections_open", "gauge"),
+                ("strudel_connections_idle", "gauge"),
+                ("strudel_connections_reading", "gauge"),
+                ("strudel_connections_writing", "gauge"),
+                ("strudel_page_cache_hits_total", "counter"),
+                ("strudel_page_cache_misses_total", "counter"),
+                ("strudel_page_cache_entries", "gauge"),
+                ("strudel_path_cache_hits_total", "counter"),
+            ] {
+                assert!(body.contains(&format!("# HELP {name} ")), "{name}");
+                assert!(body.contains(&format!("# TYPE {name} {kind}\n")), "{name}");
+            }
+
+            // Exposition is line-structured: every non-comment line is
+            // `name[{labels}] value` with a legal metric name and a value
+            // that parses.
+            for line in body.lines().filter(|l| !l.starts_with('#')) {
+                let (lhs, value) = line.rsplit_once(' ').expect(line);
+                let name = lhs.split('{').next().unwrap();
+                assert!(strudel_obs::valid_metric_name(name), "{line}");
+                value.parse::<f64>().expect(line);
+            }
+
+            // Histogram shape: cumulative buckets ending at +Inf, matching
+            // the _count; at least the four requests above are in it.
+            let inf: u64 = body
+                .lines()
+                .find(|l| l.contains("_bucket{le=\"+Inf\"}"))
+                .and_then(|l| l.rsplit(' ').next())
+                .unwrap()
+                .parse()
+                .unwrap();
+            let count: u64 = body
+                .lines()
+                .find(|l| l.starts_with("strudel_request_duration_seconds_count"))
+                .and_then(|l| l.rsplit(' ').next())
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(inf, count);
+            assert!(count >= 3, "{count}");
+
+            // Counters agree with the traffic: 2 expansions of the same
+            // page → ≥1 page-cache hit; the 404 shows as an error.
+            let value_of = |name: &str| -> f64 {
+                body.lines()
+                    .find(|l| l.starts_with(name) && !l.starts_with('#'))
+                    .and_then(|l| l.rsplit(' ').next())
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            };
+            assert!(value_of("strudel_page_cache_hits_total") >= 1.0);
+            assert!(value_of("strudel_request_errors_total") >= 1.0);
+
+            // /stats carries the vitals and connection block as JSON.
+            let stats = fetch(addr, "/stats");
+            assert!(stats.contains("Content-Type: application/json"), "{stats}");
+            for key in [
+                "\"uptime_seconds\":",
+                "\"threads\":",
+                "\"jobs\":",
+                "\"connections\":",
+                "\"keepalive_reuses\":",
+                "\"admission_rejected\":",
+                "\"accept_errors\":",
+            ] {
+                assert!(stats.contains(key), "{stats}");
+            }
+            let _ = fetch(addr, "/quit");
+        });
+        server.serve(None).unwrap();
+        client.join().unwrap();
+    }
+
+    /// End-to-end live update with a *deletion*: serve and warm the cache,
+    /// deliver a removal delta through [`Server::notify`], carry the
+    /// surviving cache entries across a rebind with snapshot/restore, and
+    /// check the served HTML reflects the deletion while untouched pages
+    /// still answer from the warm cache.
+    #[test]
+    fn deletion_notify_invalidates_served_pages_across_rebind() {
+        let (mut data, query) = demo_site();
+        let find = |g: &strudel_graph::Graph, name: &str| {
+            g.nodes()
+                .iter()
+                .copied()
+                .find(|n| g.node_name(*n).as_deref() == Some(name))
+                .unwrap()
+        };
+        let a1 = find(&data, "a1");
+        let a2 = find(&data, "a2");
+        let headline = data.sym("headline");
+        let url1 = page_url(&PageRef {
+            skolem: "Page".into(),
+            args: vec![Value::Node(a1)],
+        });
+        let url2 = page_url(&PageRef {
+            skolem: "Page".into(),
+            args: vec![Value::Node(a2)],
+        });
+
+        // Phase 1: warm both story pages, then notify the removal.
+        let snap = {
+            let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+            let server = Server::bind(site, "127.0.0.1:0").unwrap();
+            let addr = server.addr().unwrap();
+            let (u1, u2) = (url1.clone(), url2.clone());
+            let client = std::thread::spawn(move || {
+                assert!(fetch(addr, &u1).contains("one"));
+                assert!(fetch(addr, &u2).contains("two"));
+                let _ = fetch(addr, "/quit");
+            });
+            server.serve(None).unwrap();
+            client.join().unwrap();
+
+            let dropped = server.notify(&Delta::EdgeRemoved {
+                from: a1,
+                label: headline,
+                to: Value::str("one"),
+            });
+            assert!(dropped >= 1, "removal delta dropped {dropped} entries");
+            server.site().cache_snapshot()
+        };
+
+        // The server is gone; apply the mutation the delta described.
+        assert!(data.remove_edge(a1, headline, &Value::str("one")).unwrap());
+
+        // Phase 2: rebind over the mutated graph with the surviving cache.
+        let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        site.cache_restore(snap);
+        let server = Server::bind(site, "127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+        let (u1, u2) = (url1.clone(), url2.clone());
+        let client = std::thread::spawn(move || {
+            let story1 = fetch(addr, &u1);
+            assert!(!story1.contains("one"), "{story1}");
+            assert!(story1.contains("world"), "{story1}"); // section edge intact
+            assert!(fetch(addr, &u2).contains("two"));
+            let _ = fetch(addr, "/quit");
+        });
+        server.serve(None).unwrap();
+        client.join().unwrap();
+        let d = server.site().stats();
+        assert!(d.cache_hits >= 1, "untouched page should stay warm: {d:?}");
+        assert!(
+            d.cache_misses >= 1,
+            "invalidated page must recompute: {d:?}"
+        );
+    }
+
+    /// Regression test: a request head arriving in several TCP segments
+    /// must be reassembled, not served from the first partial read (which
+    /// used to fall back to the `/` roots page).
+    #[test]
+    fn split_request_is_reassembled_before_routing() {
+        in_both_modes(|mode| {
+            let (data, query) = demo_site();
+            let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+            let config = ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            };
+            let server = Server::bind_with(site, "127.0.0.1:0", config).unwrap();
+            let addr = server.addr().unwrap();
+
+            let client = std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                // First flush stops mid-request-line: no terminator, and even
+                // the path is incomplete.
+                s.write_all(b"GET /page/Fro").unwrap();
+                s.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(80));
+                s.write_all(b"ntPage HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+                    .unwrap();
+                let mut buf = String::new();
+                s.read_to_string(&mut buf).unwrap();
+                assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+                // The FrontPage expansion, not the roots listing.
+                assert!(buf.contains("Story"), "{buf}");
+                assert!(!buf.contains("Site roots"), "{buf}");
+                let _ = fetch(addr, "/quit");
+            });
+            server.serve(None).unwrap();
+            client.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn oversized_and_silent_requests_are_rejected() {
+        in_both_modes(|mode| {
+            let (data, query) = demo_site();
+            let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+            let config = ServerConfig {
+                threads: 2,
+                request_timeout: Duration::from_millis(150),
+                max_request_bytes: 512,
+                mode,
+                ..ServerConfig::default()
+            };
+            let server = Server::bind_with(site, "127.0.0.1:0", config).unwrap();
+            let addr = server.addr().unwrap();
+
+            let client = std::thread::spawn(move || {
+                // Head larger than the cap.
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(1024));
+                s.write_all(huge.as_bytes()).unwrap();
+                let mut buf = String::new();
+                s.read_to_string(&mut buf).unwrap();
+                assert!(buf.contains("431"), "{mode:?}: {buf}");
+
+                // A client that connects and never speaks: per-request timeout.
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                let mut buf = String::new();
+                s.read_to_string(&mut buf).unwrap();
+                assert!(buf.contains("408"), "{mode:?}: {buf}");
+
+                // Non-GET/HEAD methods are refused after full framing.
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                s.write_all(b"DELETE / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+                    .unwrap();
+                let mut buf = String::new();
+                s.read_to_string(&mut buf).unwrap();
+                assert!(buf.contains("405"), "{mode:?}: {buf}");
+
+                let _ = fetch(addr, "/quit");
+            });
+            server.serve(None).unwrap();
+            client.join().unwrap();
+            assert!(server.stats().errors >= 3, "{mode:?}");
+        });
+    }
+
+    /// The concurrency smoke test: many threads hammer the pool and every
+    /// response must be well-formed and byte-identical to the serial
+    /// answer for the same path.
+    #[test]
+    fn concurrent_requests_match_serial_answers() {
+        let (data, query) = demo_site();
+        // A small cache so eviction churn happens under load too.
+        let site = DynamicSite::with_cache(
+            &data,
+            &query,
+            EvalOptions::default(),
+            CacheConfig {
+                max_entries: 2,
+                max_bytes: usize::MAX,
+            },
+        )
+        .unwrap();
+        let config = ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind_with(site, "127.0.0.1:0", config).unwrap();
+        let addr = server.addr().unwrap();
+
+        let client = std::thread::spawn(move || {
+            let front = fetch(addr, "/page/FrontPage");
+            let mut paths = vec!["/".to_string(), "/page/FrontPage".to_string()];
+            for part in front.split("href=\"/page/Page/").skip(1) {
+                paths.push(format!("/page/Page/{}", &part[..part.find('"').unwrap()]));
+            }
+            assert!(paths.len() >= 4, "{paths:?}");
+            // Serial reference answers.
+            let expected: Vec<String> = paths.iter().map(|p| fetch(addr, p)).collect();
+
+            const THREADS: usize = 8;
+            const ROUNDS: usize = 12;
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let paths = paths.clone();
+                let expected = expected.clone();
+                handles.push(std::thread::spawn(move || {
+                    for r in 0..ROUNDS {
+                        let i = (t + r) % paths.len();
+                        let got = fetch(addr, &paths[i]);
+                        assert_eq!(got, expected[i], "thread {t} round {r} path {}", paths[i]);
+                        // Well-formed: status line + framed body length.
+                        let (head, body) = got.split_once("\r\n\r\n").expect("framed response");
+                        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+                        let len: usize = head
+                            .lines()
+                            .find_map(|l| l.strip_prefix("Content-Length: "))
+                            .unwrap()
+                            .parse()
+                            .unwrap();
+                        assert_eq!(body.len(), len);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let stats = fetch(addr, "/stats");
+            assert!(stats.contains("\"hits\""), "{stats}");
+            let _ = fetch(addr, "/quit");
+        });
+        server.serve(None).unwrap();
+        client.join().unwrap();
+
+        let stats = server.stats();
+        assert!(stats.requests >= 8 * 12, "{stats:?}");
+        assert_eq!(stats.errors, 0, "{stats:?}");
+        // The shared cache was exercised and stayed within its bound.
+        let dyn_stats = server.site().stats();
+        assert!(dyn_stats.cache_hits > 0, "{dyn_stats:?}");
+        assert!(dyn_stats.evictions > 0, "{dyn_stats:?}");
+        assert!(server.site().cache_len() <= 2);
+    }
+}

@@ -1,0 +1,283 @@
+//! Routing: mapping a parsed request to `(status, content-type, body)`,
+//! plus the `/stats` JSON and `/metrics` Prometheus payloads.
+//!
+//! Both serving modes call [`Server::route_request`] from worker threads;
+//! everything here is `&self` over the shared [`DynamicSite`] and the
+//! lock-free metrics, so routing needs no coordination with the
+//! connection layer.
+//!
+//! [`DynamicSite`]: strudel_site::DynamicSite
+
+use super::http::{Method, Request, CT_HTML, CT_JSON, CT_PROM};
+use super::url::{escape, parse_page_url, render_links};
+use super::Server;
+use std::sync::atomic::{AtomicBool, Ordering};
+use strudel_obs::PromText;
+use strudel_site::{OutLink, Target};
+
+impl Server<'_> {
+    /// Answers one fully parsed request. `HEAD` routes exactly like `GET`
+    /// (the connection layer drops the body when serializing); other
+    /// methods are refused. `/quit` flips the shared shutdown flag.
+    pub(super) fn route_request(
+        &self,
+        req: &Request,
+        shutdown: &AtomicBool,
+    ) -> (String, &'static str, String) {
+        match req.method {
+            Method::Other => (
+                "405 Method Not Allowed".into(),
+                CT_HTML,
+                "<html><body>only GET and HEAD are supported</body></html>".into(),
+            ),
+            Method::Get | Method::Head => {
+                if req.path == "/quit" {
+                    shutdown.store(true, Ordering::Release);
+                    ("200 OK".into(), CT_HTML, "bye".into())
+                } else {
+                    self.route(&req.path)
+                }
+            }
+        }
+    }
+
+    /// Computes the `(status, content-type, body)` answer for one path.
+    fn route(&self, path: &str) -> (String, &'static str, String) {
+        if path == "/" {
+            let links: Vec<OutLink> = self
+                .roots
+                .iter()
+                .map(|r| OutLink {
+                    label: "root".into(),
+                    target: Target::Page(r.clone()),
+                })
+                .collect();
+            return (
+                "200 OK".into(),
+                CT_HTML,
+                render_links("Site roots (precomputed)", &links),
+            );
+        }
+        if path == "/stats" {
+            return ("200 OK".into(), CT_JSON, self.stats_json());
+        }
+        if path == "/metrics" {
+            return ("200 OK".into(), CT_PROM, self.metrics_text());
+        }
+        if path.starts_with("/page/") {
+            let Some(page) = parse_page_url(path) else {
+                return (
+                    "400 Bad Request".into(),
+                    CT_HTML,
+                    "<html><body>bad page ref</body></html>".into(),
+                );
+            };
+            return match self.site.expand(&page) {
+                Ok(links) => {
+                    let title = format!("{page} — {} links (click time)", links.len());
+                    ("200 OK".into(), CT_HTML, render_links(&title, &links))
+                }
+                Err(e) => (
+                    "500 Internal Server Error".into(),
+                    CT_HTML,
+                    format!(
+                        "<html><body>query error: {}</body></html>",
+                        escape(&e.to_string())
+                    ),
+                ),
+            };
+        }
+        (
+            "404 Not Found".into(),
+            CT_HTML,
+            "<html><body>no such page</body></html>".into(),
+        )
+    }
+
+    /// The `/stats` payload: request counters, latency percentiles,
+    /// server vitals (uptime, worker threads, evaluator jobs), the
+    /// connection layer's counters and gauges, and the shared evaluator's
+    /// cache counters, as JSON.
+    fn stats_json(&self) -> String {
+        let s = self.metrics.snapshot();
+        let d = self.site.stats();
+        let p = self.site.path_cache_stats();
+        format!(
+            concat!(
+                "{{\"requests\":{},\"errors\":{},",
+                "\"uptime_seconds\":{},\"threads\":{},\"jobs\":{},",
+                "\"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},",
+                "\"connections\":{{\"open\":{},\"idle\":{},\"reading\":{},\"writing\":{},",
+                "\"aborted\":{},\"keepalive_reuses\":{},\"admission_rejected\":{},",
+                "\"accept_errors\":{}}},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"invalidated\":{},",
+                "\"entries\":{},\"bytes\":{},\"expansions\":{},\"clause_queries\":{}}},",
+                "\"path_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}}}}"
+            ),
+            s.requests,
+            s.errors,
+            self.started.elapsed().as_secs(),
+            self.config.threads.max(1),
+            self.site.jobs(),
+            s.latency_p50_us,
+            s.latency_p90_us,
+            s.latency_p99_us,
+            s.latency_max_us,
+            s.connections_open,
+            s.connections_idle,
+            s.connections_reading,
+            s.connections_writing,
+            s.connections_aborted,
+            s.keepalive_reuses,
+            s.admission_rejected,
+            s.accept_errors,
+            d.cache_hits,
+            d.cache_misses,
+            d.evictions,
+            d.invalidated,
+            self.site.cache_len(),
+            self.site.cache_bytes(),
+            d.expansions,
+            d.clause_queries,
+            p.hits,
+            p.misses,
+            p.invalidations,
+        )
+    }
+
+    /// The `/metrics` payload: the same counters as `/stats`, in the
+    /// Prometheus text exposition format (version 0.0.4) — counters,
+    /// gauges, and the request-latency histogram in seconds.
+    fn metrics_text(&self) -> String {
+        let s = self.metrics.snapshot();
+        let d = self.site.stats();
+        let p = self.site.path_cache_stats();
+        let mut m = PromText::new();
+        m.counter(
+            "strudel_requests_total",
+            "Requests answered (any status).",
+            s.requests,
+        );
+        m.counter(
+            "strudel_request_errors_total",
+            "Requests answered with a 4xx/5xx status.",
+            s.errors,
+        );
+        m.histogram_seconds(
+            "strudel_request_duration_seconds",
+            "Request latency from first byte to response written.",
+            &self.metrics.latency.snapshot(),
+        );
+        m.gauge(
+            "strudel_uptime_seconds",
+            "Seconds since the server bound its listener.",
+            self.started.elapsed().as_secs_f64(),
+        );
+        m.gauge(
+            "strudel_worker_threads",
+            "Worker threads answering requests.",
+            self.config.threads.max(1) as f64,
+        );
+        m.gauge(
+            "strudel_eval_jobs",
+            "Effective evaluator worker count for click-time expansion.",
+            self.site.jobs() as f64,
+        );
+        m.counter(
+            "strudel_accept_errors_total",
+            "accept(2) failures; each pauses the acceptor with backoff.",
+            s.accept_errors,
+        );
+        m.counter(
+            "strudel_connections_aborted_total",
+            "Connections closed without sending a byte (not errors).",
+            s.connections_aborted,
+        );
+        m.counter(
+            "strudel_admission_rejected_total",
+            "Connections answered 503 by admission control.",
+            s.admission_rejected,
+        );
+        m.counter(
+            "strudel_keepalive_reuses_total",
+            "Requests served on a reused keep-alive connection.",
+            s.keepalive_reuses,
+        );
+        m.gauge(
+            "strudel_connections_open",
+            "Connections currently open.",
+            s.connections_open as f64,
+        );
+        m.gauge(
+            "strudel_connections_idle",
+            "Open connections waiting between requests.",
+            s.connections_idle as f64,
+        );
+        m.gauge(
+            "strudel_connections_reading",
+            "Open connections mid-request-head.",
+            s.connections_reading as f64,
+        );
+        m.gauge(
+            "strudel_connections_writing",
+            "Open connections with response bytes still to flush.",
+            s.connections_writing as f64,
+        );
+        m.counter(
+            "strudel_page_cache_hits_total",
+            "Click-time expansions answered from the page cache.",
+            d.cache_hits,
+        );
+        m.counter(
+            "strudel_page_cache_misses_total",
+            "Click-time expansions computed by query evaluation.",
+            d.cache_misses,
+        );
+        m.counter(
+            "strudel_page_cache_evictions_total",
+            "Page-cache entries evicted by the size bound.",
+            d.evictions,
+        );
+        m.counter(
+            "strudel_page_cache_invalidated_total",
+            "Page-cache entries dropped by data-change deltas.",
+            d.invalidated,
+        );
+        m.gauge(
+            "strudel_page_cache_entries",
+            "Pages currently cached.",
+            self.site.cache_len() as f64,
+        );
+        m.gauge(
+            "strudel_page_cache_bytes",
+            "Approximate bytes held by the page cache.",
+            self.site.cache_bytes() as f64,
+        );
+        m.counter(
+            "strudel_expansions_total",
+            "Logical page expansions requested.",
+            d.expansions,
+        );
+        m.counter(
+            "strudel_clause_queries_total",
+            "Seeded clause evaluations run at click time.",
+            d.clause_queries,
+        );
+        m.counter(
+            "strudel_path_cache_hits_total",
+            "Regular-path-expression memo-cache hits.",
+            p.hits,
+        );
+        m.counter(
+            "strudel_path_cache_misses_total",
+            "Regular-path-expression memo-cache misses.",
+            p.misses,
+        );
+        m.counter(
+            "strudel_path_cache_invalidations_total",
+            "Regular-path-expression memo-cache invalidations.",
+            p.invalidations,
+        );
+        m.finish()
+    }
+}

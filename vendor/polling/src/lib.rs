@@ -1,0 +1,545 @@
+//! Offline stand-in for the `polling` crate: the subset of its API this
+//! workspace uses, namely a level-triggered readiness poller over
+//! registered sockets plus a cross-thread wakeup.
+//!
+//! Two backends:
+//!
+//! * **epoll** (`x86_64` Linux): the real thing, via raw syscalls — the
+//!   build environment has no crates.io access, so there is no `libc` to
+//!   lean on; `epoll_create1`/`epoll_ctl`/`epoll_wait`/`eventfd2` are
+//!   invoked directly with inline assembly. [`Poller::wait`] blocks in the
+//!   kernel until a registered socket is ready, a deadline passes, or
+//!   [`Poller::notify`] is called.
+//! * **pseudo-ready fallback** (everything else): registered keys are
+//!   reported ready on every short-bounded wait. Callers already have to
+//!   treat readiness as a *hint* (level-triggered pollers are allowed
+//!   spurious wakeups, and non-blocking I/O answers `WouldBlock` when the
+//!   hint was wrong), so the fallback is slower but observably equivalent.
+//!
+//! Like the real crate, readiness is a permission to *try*, never a
+//! guarantee; sources must be in non-blocking mode.
+
+use std::io;
+use std::os::fd::AsRawFd;
+use std::time::Duration;
+
+/// Interest in, or readiness of, one registered source, identified by the
+/// caller-chosen `key` passed at registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The key the source was registered under.
+    pub key: usize,
+    /// Readable (or closed/errored, which reads report).
+    pub readable: bool,
+    /// Writable (or errored, which writes report).
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in readability only.
+    pub fn readable(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    pub fn writable(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No I/O interest (hangup/error conditions may still surface).
+    pub fn none(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// The key the poller reserves for its internal notify channel; user
+/// registrations must stay below it.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    //! Raw epoll on x86_64 Linux, without libc.
+
+    use super::{Event, NOTIFY_KEY};
+    use std::arch::asm;
+    use std::io;
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::time::Duration;
+
+    const SYS_READ: u64 = 0;
+    const SYS_WRITE: u64 = 1;
+    const SYS_CLOSE: u64 = 3;
+    const SYS_EPOLL_WAIT: u64 = 232;
+    const SYS_EPOLL_CTL: u64 = 233;
+    const SYS_EVENTFD2: u64 = 290;
+    const SYS_EPOLL_CREATE1: u64 = 291;
+
+    const EPOLL_CLOEXEC: u64 = 0o2000000;
+    const EFD_CLOEXEC: u64 = 0o2000000;
+    const EFD_NONBLOCK: u64 = 0o4000;
+
+    const EPOLL_CTL_ADD: u64 = 1;
+    const EPOLL_CTL_DEL: u64 = 2;
+    const EPOLL_CTL_MOD: u64 = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EINTR: i64 = 4;
+
+    /// One x86-64 Linux syscall. Caller guarantees the arguments are valid
+    /// for the syscall number (pointers live, fds owned).
+    unsafe fn syscall4(n: u64, a1: u64, a2: u64, a3: u64, a4: u64) -> i64 {
+        let ret: i64;
+        asm!(
+            "syscall",
+            inlateout("rax") n as i64 => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: i64) -> io::Result<i64> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// `struct epoll_event` — packed on x86-64 (and only there).
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    pub struct Poller {
+        epfd: RawFd,
+        eventfd: RawFd,
+    }
+
+    // Both fds are plain kernel handles; every operation on them is
+    // thread-safe at the syscall level.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    fn interest_bits(interest: Event) -> u32 {
+        let mut bits = EPOLLRDHUP; // always learn about peer half-close
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            let epfd =
+                check(unsafe { syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) })? as RawFd;
+            let eventfd =
+                match check(unsafe { syscall4(SYS_EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0) })
+                {
+                    Ok(fd) => fd as RawFd,
+                    Err(e) => {
+                        unsafe { syscall4(SYS_CLOSE, epfd as u64, 0, 0, 0) };
+                        return Err(e);
+                    }
+                };
+            let poller = Poller { epfd, eventfd };
+            let ev = EpollEvent {
+                events: EPOLLIN,
+                data: NOTIFY_KEY as u64,
+            };
+            poller.ctl(EPOLL_CTL_ADD, poller.eventfd, Some(ev))?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: u64, fd: RawFd, ev: Option<EpollEvent>) -> io::Result<()> {
+            let ptr = ev.as_ref().map_or(std::ptr::null(), std::ptr::from_ref) as u64;
+            check(unsafe { syscall4(SYS_EPOLL_CTL, self.epfd as u64, op, fd as u64, ptr) })?;
+            Ok(())
+        }
+
+        pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            let ev = EpollEvent {
+                events: interest_bits(interest),
+                data: interest.key as u64,
+            };
+            self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(ev))
+        }
+
+        pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            let ev = EpollEvent {
+                events: interest_bits(interest),
+                data: interest.key as u64,
+            };
+            self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(ev))
+        }
+
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            const CAP: usize = 256;
+            let mut buf = [EpollEvent { events: 0, data: 0 }; CAP];
+            let timeout_ms: i64 = match timeout {
+                None => -1,
+                // Round up so a 100µs deadline does not busy-loop at 0ms.
+                Some(t) => {
+                    i64::try_from(t.as_millis().min(i32::MAX as u128)).unwrap_or(i64::MAX)
+                        + i64::from(t.subsec_micros() % 1000 != 0)
+                }
+            };
+            let n = loop {
+                let ret = unsafe {
+                    syscall4(
+                        SYS_EPOLL_WAIT,
+                        self.epfd as u64,
+                        buf.as_mut_ptr() as u64,
+                        CAP as u64,
+                        timeout_ms as u64,
+                    )
+                };
+                if ret == -EINTR {
+                    continue;
+                }
+                break check(ret)? as usize;
+            };
+            let mut reported = 0;
+            for raw in &buf[..n] {
+                let (bits, key) = (raw.events, raw.data as usize);
+                if key == NOTIFY_KEY {
+                    self.drain_notify();
+                    continue;
+                }
+                events.push(Event {
+                    key,
+                    readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+                reported += 1;
+            }
+            Ok(reported)
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            // A full eventfd counter (EAGAIN) already means "wakeup pending".
+            let ret = unsafe {
+                syscall4(
+                    SYS_WRITE,
+                    self.eventfd as u64,
+                    std::ptr::from_ref(&one) as u64,
+                    8,
+                    0,
+                )
+            };
+            if ret < 0 && ret != -11 {
+                return Err(io::Error::from_raw_os_error(-ret as i32));
+            }
+            Ok(())
+        }
+
+        fn drain_notify(&self) {
+            let mut buf = [0u8; 8];
+            unsafe { syscall4(SYS_READ, self.eventfd as u64, buf.as_mut_ptr() as u64, 8, 0) };
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                syscall4(SYS_CLOSE, self.eventfd as u64, 0, 0, 0);
+                syscall4(SYS_CLOSE, self.epfd as u64, 0, 0, 0);
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod sys {
+    //! Pseudo-ready fallback: every registered key is reported ready after
+    //! a short bounded sleep (or immediately on [`Poller::notify`]).
+    //! Spurious readiness is legal for a level-triggered poller; callers'
+    //! non-blocking I/O sorts fact from hint.
+
+    use super::Event;
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::os::fd::AsRawFd;
+    use std::sync::{Condvar, Mutex};
+    use std::time::Duration;
+
+    /// How long one `wait` may sleep before re-reporting readiness; bounds
+    /// the latency of I/O the fallback cannot actually observe.
+    const TICK: Duration = Duration::from_millis(2);
+
+    #[derive(Default)]
+    struct State {
+        interest: BTreeMap<i32, Event>,
+        notified: bool,
+    }
+
+    pub struct Poller {
+        state: Mutex<State>,
+        cond: Condvar,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            Ok(Poller {
+                state: Mutex::new(State::default()),
+                cond: Condvar::new(),
+            })
+        }
+
+        pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            self.state
+                .lock()
+                .unwrap()
+                .interest
+                .insert(source.as_raw_fd(), interest);
+            Ok(())
+        }
+
+        pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            self.add(source, interest)
+        }
+
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            self.state
+                .lock()
+                .unwrap()
+                .interest
+                .remove(&source.as_raw_fd());
+            Ok(())
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let mut state = self.state.lock().unwrap();
+            if !state.notified {
+                let sleep = timeout.unwrap_or(TICK).min(TICK);
+                let (guard, _) = self.cond.wait_timeout(state, sleep).unwrap();
+                state = guard;
+            }
+            state.notified = false;
+            let mut reported = 0;
+            for ev in state.interest.values() {
+                if ev.readable || ev.writable {
+                    events.push(*ev);
+                    reported += 1;
+                }
+            }
+            Ok(reported)
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            self.state.lock().unwrap().notified = true;
+            self.cond.notify_all();
+            Ok(())
+        }
+    }
+}
+
+/// A readiness poller for non-blocking sockets.
+///
+/// Register sources with [`Poller::add`] under distinct `key`s, adjust
+/// interest with [`Poller::modify`], and block in [`Poller::wait`] until
+/// something is ready (or a timeout/notify). Keys `usize::MAX` is reserved
+/// for the internal wakeup channel.
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// A new poller with no registrations.
+    pub fn new() -> io::Result<Self> {
+        Ok(Poller {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Registers `source` under `interest.key` with the given interest.
+    /// The source must already be in non-blocking mode.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        assert_ne!(interest.key, NOTIFY_KEY, "key reserved for notify");
+        self.inner.add(source, interest)
+    }
+
+    /// Replaces the interest set of an already-registered source.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        assert_ne!(interest.key, NOTIFY_KEY, "key reserved for notify");
+        self.inner.modify(source, interest)
+    }
+
+    /// Removes a source from the poller.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.inner.delete(source)
+    }
+
+    /// Blocks until at least one registered source is ready, `timeout`
+    /// elapses (`None` = forever), or another thread calls
+    /// [`Poller::notify`]. Ready events are appended to `events`; the
+    /// return value is how many were appended (0 on timeout/notify).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        self.inner.wait(events, timeout)
+    }
+
+    /// Wakes up a concurrent (or the next) [`Poller::wait`] from any
+    /// thread, without registering any source.
+    pub fn notify(&self) -> io::Result<()> {
+        self.inner.notify()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_event_arrives_with_the_registered_key() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(7)).unwrap();
+
+        a.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        // The write may take a moment to become visible to the poller.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.key == 7 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no readable event: {events:?}");
+        }
+        let mut buf = [0u8; 8];
+        let mut b = b;
+        assert_eq!(b.read(&mut buf).unwrap(), 1);
+    }
+
+    #[test]
+    fn timeout_returns_without_events() {
+        let (_a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::readable(1)).unwrap();
+        let mut events = Vec::new();
+        let t0 = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        // Epoll returns empty at the deadline; the fallback may report the
+        // (unreadable) key — either way we must get control back promptly.
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        let t0 = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "notify should cut the 30s timeout short"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn modify_switches_interest_and_delete_unregisters() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&b, Event::none(3)).unwrap();
+        poller.modify(&b, Event::writable(3)).unwrap();
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.key == 3 && e.writable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "socket should be writable");
+        }
+        poller.delete(&b).unwrap();
+        a.write_all(b"y").unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(
+            events.iter().all(|e| e.key != 3),
+            "deleted source still reported: {events:?}"
+        );
+    }
+}
