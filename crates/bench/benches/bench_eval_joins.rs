@@ -9,8 +9,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use strudel::synth::{news, org};
-use strudel_graph::{ddl, Graph};
-use strudel_struql::{parse_query, EvalOptions, Optimizer, Query};
+use strudel_graph::fxhash::FxHashSet;
+use strudel_graph::{ddl, Graph, Value};
+use strudel_struql::{parse_query, EvalOptions, Optimizer, PhysicalPlan, PlanCache, Query};
 use strudel_wrappers::{bibtex, relational};
 
 const WARMUP: usize = 3;
@@ -32,13 +33,62 @@ fn news_graph(n: usize) -> Graph {
     ddl::parse(&news::generate_ddl(n, 42)).unwrap()
 }
 
-/// Median wall time of one full evaluation, in microseconds. A fresh
-/// `EvalOptions` per iteration keeps the evaluator-lifetime memo caches
-/// cold, so the measurement covers the whole pipeline each time.
-fn run(g: &Graph, q: &Query, optimizer: Optimizer) -> f64 {
+/// A skewed "hub" graph whose per-label averages mislead the static
+/// planner. The `Big` collection holds only the 10 hub nodes, whose `a`
+/// fan-out (200) dwarfs the label's global average (~1.1, dragged down by
+/// 20k one-edge filler nodes), so the estimated row count after the first
+/// expansion is off by ~200×. The two follow-up labels are inverted the
+/// same way: `x1` looks cheap (avg ~3.6) but expands 30× on the rows that
+/// actually flow, while `x2` looks expensive (avg ~5) but filters them to
+/// 5%. A static cost-based plan therefore runs `x1` before `x2`; adaptive
+/// re-optimization measures the true multipliers and swaps them.
+fn skew_graph() -> Graph {
+    let mut g = Graph::standalone();
+    for h in 0..10 {
+        let hub = g.new_node(Some(&format!("hub{h}")));
+        g.add_to_collection_str("Big", Value::Node(hub));
+        for t in 0..200 {
+            let tgt = g.new_node(Some(&format!("t{h}_{t}")));
+            g.add_edge_str(hub, "a", Value::Node(tgt)).unwrap();
+            for u in 0..30 {
+                g.add_edge_str(tgt, "x1", Value::str(format!("u{h}_{t}_{u}")))
+                    .unwrap();
+            }
+            if t % 20 == 0 {
+                g.add_edge_str(tgt, "x2", Value::str("hit")).unwrap();
+            }
+        }
+    }
+    for i in 0..20_000 {
+        let f = g.new_node(Some(&format!("f{i}")));
+        g.add_edge_str(f, "a", Value::str("fa")).unwrap();
+        g.add_edge_str(f, "x1", Value::str("fx")).unwrap();
+        for j in 0..5 {
+            g.add_edge_str(f, "x2", Value::str(format!("w{j}")))
+                .unwrap();
+        }
+    }
+    g
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.total_cmp(b));
+    let mid = times.len() / 2;
+    if times.len().is_multiple_of(2) {
+        (times[mid - 1] + times[mid]) / 2.0
+    } else {
+        times[mid]
+    }
+}
+
+/// Median wall time of one full evaluation, in microseconds, with options
+/// built fresh per iteration by `mk` so the evaluator-lifetime memo caches
+/// (and, unless `mk` shares one, the plan cache) stay cold and the
+/// measurement covers the whole pipeline each time.
+fn run_with(g: &Graph, q: &Query, mk: impl Fn() -> EvalOptions) -> f64 {
     let mut times: Vec<f64> = Vec::with_capacity(ITERS);
     for i in 0..WARMUP + ITERS {
-        let opts = EvalOptions::with_optimizer(optimizer);
+        let opts = mk();
         let t0 = Instant::now();
         let out = q.evaluate(g, &opts).unwrap();
         let dt = t0.elapsed().as_secs_f64() * 1e6;
@@ -47,13 +97,51 @@ fn run(g: &Graph, q: &Query, optimizer: Optimizer) -> f64 {
             times.push(dt);
         }
     }
-    times.sort_by(|a, b| a.total_cmp(b));
-    let mid = times.len() / 2;
-    if times.len().is_multiple_of(2) {
-        (times[mid - 1] + times[mid]) / 2.0
-    } else {
-        times[mid]
+    median(times)
+}
+
+fn run(g: &Graph, q: &Query, optimizer: Optimizer) -> f64 {
+    run_with(g, q, || EvalOptions::with_optimizer(optimizer))
+}
+
+/// Planner microbench: the per-conjunction cost of a cold cost-based
+/// compile (statistics + DP join ordering + operator selection) versus a
+/// warm plan-cache probe, in microseconds. Timed in batches of `REPS` so
+/// sub-microsecond probes still resolve.
+fn bench_planner(g: &Graph, q: &Query) -> (f64, f64) {
+    const REPS: usize = 100;
+    let conds = &q.root.where_;
+    let bound = FxHashSet::default();
+
+    let mut cold: Vec<f64> = Vec::new();
+    for i in 0..WARMUP + ITERS {
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            std::hint::black_box(PhysicalPlan::compile(
+                conds,
+                &bound,
+                g,
+                Optimizer::CostBased,
+            ));
+        }
+        if i >= WARMUP {
+            cold.push(t0.elapsed().as_secs_f64() * 1e6 / REPS as f64);
+        }
     }
+
+    let cache = PlanCache::default();
+    cache.get_or_compile(conds, &bound, g, Optimizer::CostBased);
+    let mut warm: Vec<f64> = Vec::new();
+    for i in 0..WARMUP + ITERS {
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            std::hint::black_box(cache.get_or_compile(conds, &bound, g, Optimizer::CostBased));
+        }
+        if i >= WARMUP {
+            warm.push(t0.elapsed().as_secs_f64() * 1e6 / REPS as f64);
+        }
+    }
+    (median(cold), median(warm))
 }
 
 fn main() {
@@ -139,6 +227,40 @@ fn main() {
         println!("{name:<24} {us:>10.1} µs");
         rows.push((name.to_string(), us));
     }
+
+    // Adaptive-vs-static regime: a hub-skewed graph where per-label
+    // averages mislead every static plan (heuristic and cost-based alike);
+    // adaptive re-optimization recovers from runtime row counts.
+    let skew = skew_graph();
+    let skew_q = parse_query(
+        r#"WHERE Big(x), x -> "a" -> y, y -> "x1" -> u, y -> "x2" -> w
+           COLLECT Hits(x)"#,
+    )
+    .unwrap();
+    let skew_at = |opt: Optimizer, adaptive: bool| {
+        run_with(&skew, &skew_q, || {
+            let mut o = EvalOptions::with_optimizer(opt);
+            o.adaptive = adaptive;
+            o
+        })
+    };
+    for (name, opt, adaptive) in [
+        ("skew_heuristic", Optimizer::Heuristic, false),
+        ("skew_cost_static", Optimizer::CostBased, false),
+        ("skew_cost_adaptive", Optimizer::CostBased, true),
+    ] {
+        let us = skew_at(opt, adaptive);
+        println!("{name:<24} {us:>10.1} µs");
+        rows.push((name.to_string(), us));
+    }
+
+    // Plan-compile vs plan-cache-hit regime on the widest query (7
+    // conditions, so the DP join-order search really runs).
+    let (compile_us, hit_us) = bench_planner(&org, &cases[3].2);
+    println!("{:<24} {compile_us:>10.1} µs", "plan_compile_cold");
+    println!("{:<24} {hit_us:>10.1} µs", "plan_cache_hit");
+    rows.push(("plan_compile_cold".to_string(), compile_us));
+    rows.push(("plan_cache_hit".to_string(), hit_us));
 
     let mut json = String::from("{\n");
     for (i, (name, us)) in rows.iter().enumerate() {

@@ -246,13 +246,20 @@ fn cmd_explain(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
         println!("{plans}");
         return Ok(());
     }
-    // The plans say what the optimizer *chose*; the profile says what the
-    // operators *did* on this data.
+    // The static plans say what the optimizer *chose*; executing with
+    // explain + profile shows the plan as run (observed rows per node,
+    // adaptive re-optimizations included) plus the operator-level profile.
     opts.profile = true;
+    opts.explain = true;
     let out = merged.evaluate(data, &opts).map_err(StrudelError::Struql)?;
     match mode {
         ProfileMode::Table => {
-            println!("{plans}");
+            for plan in &out.stats.plans {
+                println!("{plan}");
+            }
+            if out.stats.plan_replans > 0 {
+                println!("adaptive re-optimizations: {}", out.stats.plan_replans);
+            }
             print!("{}", strudel::obs::render_profile_table(&out.stats.profile));
         }
         _ => println!(

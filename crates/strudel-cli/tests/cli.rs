@@ -81,10 +81,12 @@ fn explain_shows_plans() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8_lossy(&out.stdout);
+    // Plans print the compiled physical operator per node plus estimates.
     assert!(
-        text.contains("coll-scan") || text.contains("out-scan"),
+        text.contains("collection-scan") || text.contains("label-forward"),
         "{text}"
     );
+    assert!(text.contains("est"), "{text}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -15,6 +15,7 @@ use crate::fxhash::FxHashMap;
 use crate::graph::NodeId;
 use crate::symbol::Sym;
 use crate::value::Value;
+use std::sync::Mutex;
 
 /// The complete index set of one graph.
 #[derive(Default, Debug)]
@@ -31,6 +32,37 @@ pub struct GraphIndex {
     /// Schema index: collection name → extent cardinality.
     coll_card: FxHashMap<Sym, usize>,
     edge_count: usize,
+    /// Degree statistics per label (see [`LabelDegreeStats`]), materialized
+    /// lazily: a label's tallies are first built by scanning its extension
+    /// when the planner asks for them, and kept up to date under add/remove
+    /// from then on. Graphs nobody plans against — the *output* graphs that
+    /// construction populates through [`crate::graph::Graph::adopt_node`] —
+    /// therefore pay almost nothing per indexed edge. Behind a mutex so the
+    /// read-side accessors can materialize on a shared reference.
+    degree: Mutex<FxHashMap<Sym, LabelDegreeStats>>,
+}
+
+/// Distinct-endpoint tallies for one label. `srcs.len()` is the label's
+/// distinct-source count (`cardinality / distinct_sources` is the average
+/// out-degree *among nodes that actually carry the label* — the statistic
+/// the cost-based planner uses instead of a whole-graph average degree);
+/// `tgts.len()` is the distinct-target count behind the reverse-probe
+/// fan-in estimate. Targets are keyed by a 64-bit content fingerprint, not
+/// the value itself: maintaining the tally never clones a value or compares
+/// string keys, and a (vanishingly unlikely) fingerprint collision merges
+/// two targets in the *statistic* only, never in query results.
+#[derive(Default, Debug)]
+struct LabelDegreeStats {
+    srcs: FxHashMap<NodeId, u32>,
+    tgts: FxHashMap<u64, u32>,
+}
+
+/// The strict-equality content fingerprint used by [`LabelDegreeStats`].
+fn value_fingerprint(v: &Value) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = crate::fxhash::FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
 }
 
 impl GraphIndex {
@@ -53,6 +85,10 @@ impl GraphIndex {
                 .or_default()
                 .push((from, label)),
         }
+        if let Some(deg) = self.degree.get_mut().unwrap().get_mut(&label) {
+            *deg.srcs.entry(from).or_insert(0) += 1;
+            *deg.tgts.entry(value_fingerprint(to)).or_insert(0) += 1;
+        }
         self.edge_count += 1;
     }
 
@@ -61,14 +97,36 @@ impl GraphIndex {
     /// empty the label is also dropped from the schema scan order so indexed
     /// and unindexed [`crate::graph::Graph::labels`] stay in agreement.
     pub(crate) fn unindex_edge(&mut self, from: NodeId, label: Sym, to: &Value) {
+        let mut removed = false;
         if let Some(ext) = self.label_ext.get_mut(&label) {
             if let Some(pos) = ext.iter().position(|(f, t)| *f == from && t == to) {
                 ext.remove(pos);
                 self.edge_count -= 1;
+                removed = true;
             }
             if ext.is_empty() {
                 self.label_ext.remove(&label);
                 self.label_order.retain(|l| *l != label);
+            }
+        }
+        if removed {
+            if let Some(deg) = self.degree.get_mut().unwrap().get_mut(&label) {
+                if let Some(n) = deg.srcs.get_mut(&from) {
+                    *n -= 1;
+                    if *n == 0 {
+                        deg.srcs.remove(&from);
+                    }
+                }
+                let fp = value_fingerprint(to);
+                if let Some(n) = deg.tgts.get_mut(&fp) {
+                    *n -= 1;
+                    if *n == 0 {
+                        deg.tgts.remove(&fp);
+                    }
+                }
+                if deg.srcs.is_empty() && deg.tgts.is_empty() {
+                    self.degree.get_mut().unwrap().remove(&label);
+                }
             }
         }
         match to {
@@ -142,6 +200,36 @@ impl GraphIndex {
     pub fn label_count(&self) -> usize {
         self.label_order.len()
     }
+
+    /// Number of distinct nodes with at least one outgoing `label` edge.
+    /// `label_cardinality / label_distinct_sources` is the average
+    /// out-degree among nodes carrying the label — a much sharper fan-out
+    /// estimate than the whole-graph average degree.
+    pub fn label_distinct_sources(&self, label: Sym) -> usize {
+        self.with_degree(label, |d| d.srcs.len())
+    }
+
+    /// Number of distinct values with at least one incoming `label` edge.
+    /// `label_cardinality / label_distinct_targets` is the average fan-in a
+    /// reverse-index probe on a bound target of this label returns.
+    pub fn label_distinct_targets(&self, label: Sym) -> usize {
+        self.with_degree(label, |d| d.tgts.len())
+    }
+
+    /// Runs `f` over the label's degree tallies, materializing them from
+    /// the extension index on first use.
+    fn with_degree<T>(&self, label: Sym, f: impl FnOnce(&LabelDegreeStats) -> T) -> T {
+        let mut deg = self.degree.lock().unwrap();
+        let d = deg.entry(label).or_insert_with(|| {
+            let mut d = LabelDegreeStats::default();
+            for (from, to) in self.label_ext.get(&label).map(Vec::as_slice).unwrap_or(&[]) {
+                *d.srcs.entry(*from).or_insert(0) += 1;
+                *d.tgts.entry(value_fingerprint(to)).or_insert(0) += 1;
+            }
+            d
+        });
+        f(d)
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +290,37 @@ mod tests {
         let g = indexed_graph();
         assert!(g.index().unwrap().edges_with_label(Sym(4242)).is_empty());
         assert!(g.index().unwrap().edges_to_value(&Value::Int(0)).is_empty());
+    }
+
+    #[test]
+    fn degree_statistics_track_distinct_endpoints() {
+        let g = indexed_graph();
+        let idx = g.index().unwrap();
+        let year = g.universe().interner().get("year").unwrap();
+        // Three `year` edges from two sources onto two distinct values.
+        assert_eq!(idx.label_cardinality(year), 3);
+        assert_eq!(idx.label_distinct_sources(year), 2);
+        assert_eq!(idx.label_distinct_targets(year), 2);
+        let knows = g.universe().interner().get("knows").unwrap();
+        assert_eq!(idx.label_distinct_sources(knows), 1);
+        assert_eq!(idx.label_distinct_targets(knows), 1);
+        assert_eq!(idx.label_distinct_sources(Sym(4242)), 0);
+        assert_eq!(idx.label_distinct_targets(Sym(4242)), 0);
+    }
+
+    #[test]
+    fn degree_statistics_survive_removal_and_rebuild() {
+        let mut g = indexed_graph();
+        let b = g.nodes()[1];
+        g.remove_edge_str(b, "year", &Value::Int(1998)).unwrap();
+        let year = g.universe().interner().get("year").unwrap();
+        assert_eq!(g.index().unwrap().label_distinct_sources(year), 2);
+        assert_eq!(g.index().unwrap().label_distinct_targets(year), 1);
+        g.remove_edge_str(b, "year", &Value::Int(1997)).unwrap();
+        assert_eq!(g.index().unwrap().label_distinct_sources(year), 1);
+        g.rebuild_index();
+        assert_eq!(g.index().unwrap().label_distinct_sources(year), 1);
+        assert_eq!(g.index().unwrap().label_distinct_targets(year), 1);
     }
 
     #[test]

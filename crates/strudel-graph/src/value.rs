@@ -183,6 +183,39 @@ impl Value {
             _ => None,
         }
     }
+
+    /// A *total* order over all values, with no coercion: values of
+    /// different types order by a fixed type rank, values of the same type
+    /// by their content (floats by `total_cmp`, so NaNs are ordered too).
+    /// `Equal` holds exactly for [`PartialEq`]-identical values. This is not
+    /// a semantic comparison — [`Value::coerced_cmp`] is — it exists so
+    /// relations of values can be put in one canonical order regardless of
+    /// how they were produced (the evaluator sorts every final bindings
+    /// relation with it, making query output independent of the physical
+    /// plan that computed it).
+    pub fn canonical_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Node(_) => 0,
+                Int(_) => 1,
+                Float(_) => 2,
+                Bool(_) => 3,
+                Str(_) => 4,
+                Url(_) => 5,
+                File(..) => 6,
+            }
+        }
+        match (self, other) {
+            (Node(a), Node(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) | (Url(a), Url(b)) => a.cmp(b),
+            (File(ka, a), File(kb, b)) => ka.cmp(kb).then_with(|| a.cmp(b)),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
 }
 
 /// Compares the text `t` (lhs) against the numeric value `num` (rhs),

@@ -401,6 +401,14 @@ impl<'g> DynamicSite<'g> {
         self.opts.path_cache.stats()
     }
 
+    /// Hit/miss/invalidation counters of the compiled-plan cache these
+    /// options evaluate with (see [`strudel_struql::PlanCache::stats`]).
+    /// Click-time expansions of an unchanged graph should be all hits after
+    /// each link clause's first evaluation.
+    pub fn plan_cache_stats(&self) -> strudel_struql::PlanCacheStats {
+        self.opts.plan_cache.stats()
+    }
+
     /// The effective `jobs` setting clause evaluations run with.
     pub fn jobs(&self) -> usize {
         self.opts.jobs

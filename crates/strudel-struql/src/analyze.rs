@@ -272,6 +272,17 @@ fn check_block(
     block_vars(block, &mut mentioned);
     positively_bound(block, &mut positive);
 
+    // Planner diagnostics: a block this wide forces the cost-based planner
+    // off the exhaustive DP join-order search and onto the greedy ordering.
+    if block.where_.len() > crate::optimize::DP_LIMIT {
+        warnings.push(format!(
+            "{}: WHERE has {} conditions (> {}); the cost-based planner will fall back to greedy join ordering",
+            block.id,
+            block.where_.len(),
+            crate::optimize::DP_LIMIT
+        ));
+    }
+
     // Active-domain diagnostics.
     for v in mentioned.iter() {
         if !positive.contains(v) {
@@ -464,6 +475,21 @@ mod tests {
         let a = analyze(&q, &builtin()).unwrap();
         assert!(
             a.warnings.iter().any(|w| w.contains("active-domain")),
+            "{:?}",
+            a.warnings
+        );
+    }
+
+    #[test]
+    fn wide_where_warns_about_dp_fallback() {
+        // One condition over the DP join-order limit triggers the warning.
+        let conds: Vec<String> = (0..=crate::optimize::DP_LIMIT)
+            .map(|i| format!("x -> \"l{i}\" -> v{i}"))
+            .collect();
+        let q = parse_query(&format!("WHERE C(x), {} COLLECT Out(x)", conds.join(", "))).unwrap();
+        let a = analyze(&q, &builtin()).unwrap();
+        assert!(
+            a.warnings.iter().any(|w| w.contains("greedy")),
             "{:?}",
             a.warnings
         );

@@ -241,6 +241,64 @@ impl Bindings {
         self.len += other.len;
     }
 
+    /// Sorts the rows into the canonical relation order: columns compared
+    /// in variable-name order (so the order is a property of the *schema*,
+    /// not of the column positions a particular plan happened to produce),
+    /// rows by [`Value::canonical_cmp`]. Any two plans for the same
+    /// conjunction produce the same row *set*; after this sort they produce
+    /// the same row *sequence* — which is what makes constructed output
+    /// (node creation order, page bytes) independent of the physical plan.
+    pub fn canonical_sort(&mut self) {
+        let w = self.vars.len();
+        let n = self.len;
+        if n <= 1 || w == 0 {
+            return;
+        }
+        let mut cols: Vec<usize> = (0..w).collect();
+        cols.sort_by(|&a, &b| self.vars[a].cmp(&self.vars[b]));
+        // Caching an order-preserving digest of each row's primary column
+        // keeps almost every comparison inside this contiguous array of
+        // `(u64, u32)` pairs; only digest ties pay a full row comparison.
+        let primary = cols[0];
+        let mut order: Vec<(u64, u32)> = (0..n)
+            .map(|r| (sort_digest(&self.data[r * w + primary]), r as u32))
+            .collect();
+        let data = &self.data;
+        // Unstable is fine: `canonical_cmp` returns `Equal` only for
+        // identical values, so ties are entirely identical rows.
+        order.sort_unstable_by(|&(ka, ra), &(kb, rb)| {
+            ka.cmp(&kb).then_with(|| {
+                let (ra, rb) = (ra as usize, rb as usize);
+                for &c in &cols {
+                    match data[ra * w + c].canonical_cmp(&data[rb * w + c]) {
+                        std::cmp::Ordering::Equal => {}
+                        o => return o,
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+        });
+        if order.iter().enumerate().all(|(i, &(_, r))| i == r as usize) {
+            return;
+        }
+        // Apply the permutation with in-place row swaps: no value clones, so
+        // no refcount traffic on the `Arc`-backed strings. `inv[src] = dest`;
+        // the swap loop applies the inverse of `inv`, i.e. `order` itself.
+        let mut inv = vec![0u32; n];
+        for (dest, &(_, src)) in order.iter().enumerate() {
+            inv[src as usize] = dest as u32;
+        }
+        for i in 0..n {
+            while inv[i] as usize != i {
+                let j = inv[i] as usize;
+                for k in 0..w {
+                    self.data.swap(i * w + k, j * w + k);
+                }
+                inv.swap(i, j);
+            }
+        }
+    }
+
     /// Projects onto a subset of variables (deduplicating rows), used when
     /// handing a parent block's bindings to a nested block. Candidate rows
     /// are hashed as slices and compared against the output slab — no row is
@@ -259,6 +317,39 @@ impl Bindings {
         }
         out
     }
+}
+
+/// An order-preserving 64-bit digest of a value: comparing digests never
+/// contradicts [`Value::canonical_cmp`], and unequal digests imply the same
+/// strict order. Equal digests say nothing (low bits of large integers and
+/// string tails past 7 bytes are dropped), so ties must fall back to the
+/// full comparison. The top byte is the `canonical_cmp` type rank; the low
+/// 56 bits are a monotone compression of the content.
+fn sort_digest(v: &Value) -> u64 {
+    fn prefix7(s: &str) -> u64 {
+        let mut k = 0u64;
+        for i in 0..7 {
+            k = (k << 8) | *s.as_bytes().get(i).unwrap_or(&0) as u64;
+        }
+        k
+    }
+    let (rank, body) = match v {
+        Value::Node(n) => (0u64, n.0 as u64),
+        Value::Int(i) => (1, (*i as u64 ^ (1 << 63)) >> 8),
+        Value::Float(f) => {
+            // The IEEE-754 total-order trick: flip all bits of negatives,
+            // set the sign bit of non-negatives, and the unsigned bit
+            // patterns sort exactly like `f64::total_cmp`.
+            let b = f.to_bits();
+            let k = if b >> 63 == 1 { !b } else { b | (1 << 63) };
+            (2, k >> 8)
+        }
+        Value::Bool(b) => (3, *b as u64),
+        Value::Str(s) => (4, prefix7(s)),
+        Value::Url(s) => (5, prefix7(s)),
+        Value::File(kind, s) => (6, ((*kind as u64) << 48) | (prefix7(s) >> 8)),
+    };
+    (rank << 56) | body
 }
 
 /// Deduplicates rows of a growing [`Bindings`] slab: a row-hash → row-index
@@ -368,6 +459,31 @@ mod tests {
         let b = Bindings::with_vars(vec!["x".into()]);
         let p = b.project(&["x".to_string(), "z".to_string()]);
         assert_eq!(p.vars(), &["x".to_string()]);
+    }
+
+    #[test]
+    fn canonical_sort_orders_by_var_name_then_value() {
+        // Schema order y,x — canonical order still compares column x first.
+        let mut b = Bindings::with_vars(vec!["y".into(), "x".into()]);
+        b.push_row(&[Value::Int(1), Value::Int(2)]);
+        b.push_row(&[Value::Int(9), Value::Int(1)]);
+        b.push_row(&[Value::Int(0), Value::Int(2)]);
+        b.canonical_sort();
+        let got: Vec<_> = b.rows().map(|r| (r[0].clone(), r[1].clone())).collect();
+        assert_eq!(
+            got,
+            vec![
+                (Value::Int(9), Value::Int(1)),
+                (Value::Int(0), Value::Int(2)),
+                (Value::Int(1), Value::Int(2)),
+            ]
+        );
+        // Mixed types order by rank: nodes < ints < strings.
+        let mut m = Bindings::with_vars(vec!["v".into()]);
+        m.push_row(&[Value::str("s")]);
+        m.push_row(&[Value::Int(5)]);
+        m.canonical_sort();
+        assert_eq!(m.row(0), &[Value::Int(5)]);
     }
 
     #[test]

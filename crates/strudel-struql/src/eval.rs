@@ -49,7 +49,8 @@ use crate::ast::*;
 use crate::binding::Bindings;
 use crate::construct::{apply_block_jobs, ConstructStats, SkolemTable};
 use crate::error::{Result, StruqlError};
-use crate::optimize::{plan, Optimizer};
+use crate::optimize::{eligible, multiplier, vars_of, GraphStats, Optimizer};
+use crate::plan::{choose_op, replan_suffix, PhysOp, PhysicalPlan, PlanCache, PlanNode};
 use crate::pred::PredicateRegistry;
 use crate::rpe::Nfa;
 use std::collections::VecDeque;
@@ -94,6 +95,22 @@ pub struct EvalOptions {
     /// Memo caches for regular-path work, shared by every evaluation using
     /// (a clone of) these options and invalidated by graph mutation.
     pub path_cache: Arc<PathCache>,
+    /// Memo of compiled physical plans, shared like [`EvalOptions::path_cache`]
+    /// and validated against the graph revision
+    /// ([`strudel_graph::graph::CacheStamp::same_graph`]).
+    pub plan_cache: Arc<PlanCache>,
+    /// Whether to consult [`EvalOptions::plan_cache`]. Off compiles a fresh
+    /// plan per conjunction per evaluation (useful for benchmarks isolating
+    /// planning cost); results are identical either way.
+    pub use_plan_cache: bool,
+    /// Re-optimize the remaining plan suffix when an executed node's observed
+    /// rows-out diverges from its estimate by more than
+    /// [`EvalOptions::adapt_factor`] (see [`crate::plan::replan_suffix`]).
+    pub adaptive: bool,
+    /// Divergence factor that triggers adaptive re-optimization: a node must
+    /// produce more than `adapt_factor ×` its estimated rows (and at least
+    /// 128 rows, with ≥ 2 conditions left) before the suffix is re-planned.
+    pub adapt_factor: f64,
     /// Worker threads for data-parallel operators. `1` runs every operator
     /// on the calling thread (the unchanged sequential path); higher values
     /// chunk large row loops across a scoped thread pool. The output is
@@ -110,6 +127,10 @@ impl Default for EvalOptions {
             explain: false,
             profile: false,
             path_cache: Arc::new(PathCache::default()),
+            plan_cache: Arc::new(PlanCache::default()),
+            use_plan_cache: true,
+            adaptive: true,
+            adapt_factor: 8.0,
             jobs: default_jobs(),
         }
     }
@@ -270,6 +291,9 @@ pub struct EvalStats {
     pub conditions_applied: u64,
     /// Total rows produced by all intermediate relations.
     pub intermediate_rows: u64,
+    /// Times adaptive execution re-optimized a running plan's suffix from
+    /// sampled runtime cardinalities.
+    pub plan_replans: u64,
     /// Construction-stage counters.
     pub construct: ConstructStats,
     /// Per-block plan descriptions (only when `explain` is set).
@@ -346,25 +370,53 @@ impl Query {
         opts: &EvalOptions,
     ) -> Result<Bindings> {
         let analyzed = analyze(self, &opts.predicates)?;
-        let conds = analyzed
+        let conds: Vec<Condition> = analyzed
             .query
             .governing_conditions(id)
-            .ok_or_else(|| StruqlError::eval(format!("no block {id}")))?;
+            .ok_or_else(|| StruqlError::eval(format!("no block {id}")))?
+            .into_iter()
+            .cloned()
+            .collect();
         let mut ev = Ev::new(input, opts, opts.path_cache.as_ref());
         let arc_vars = arc_vars_of(&analyzed.query);
-        ev.eval_conditions(&conds, Bindings::unit(), &arc_vars)
+        let plan = plan_for(opts, &conds, &FxHashSet::default(), input);
+        ev.eval_conditions(&conds, &plan, Bindings::unit(), &arc_vars)
     }
 
-    /// Returns the plans the optimizer would choose for every block, without
-    /// executing the query.
+    /// Returns the compiled physical plan for every block, without executing
+    /// the query. Each block is compiled against the variables its ancestors
+    /// bind, so the printed operators are the ones evaluation would execute.
     pub fn explain(&self, input: &Graph, opts: &EvalOptions) -> Result<String> {
+        fn walk<'q>(
+            block: &'q Block,
+            bound: &FxHashSet<&'q str>,
+            input: &Graph,
+            opts: &EvalOptions,
+            out: &mut String,
+        ) {
+            if !block.where_.is_empty() {
+                let p = PhysicalPlan::compile(&block.where_, bound, input, opts.optimizer);
+                out.push_str(&format!("{}:\n{}", block.id, p.describe(&block.where_)));
+            }
+            let mut child_bound = bound.clone();
+            for cond in &block.where_ {
+                for v in vars_of(cond) {
+                    child_bound.insert(v);
+                }
+            }
+            for child in &block.children {
+                walk(child, &child_bound, input, opts, out);
+            }
+        }
         let analyzed = analyze(self, &opts.predicates)?;
         let mut out = String::new();
-        for block in analyzed.query.blocks() {
-            let bound: FxHashSet<&str> = FxHashSet::default();
-            let p = plan(&block.where_, &bound, input, opts.optimizer);
-            out.push_str(&format!("{}:\n{}", block.id, p.describe(&block.where_)));
-        }
+        walk(
+            &analyzed.query.root,
+            &FxHashSet::default(),
+            input,
+            opts,
+            &mut out,
+        );
         Ok(out)
     }
 }
@@ -428,9 +480,24 @@ pub fn evaluate_conditions(
         }
     }
     let bound: FxHashSet<&str> = start.vars().iter().map(String::as_str).collect();
-    let p = plan(conds, &bound, input, opts.optimizer);
-    let ordered: Vec<&Condition> = p.order.iter().map(|&i| &conds[i]).collect();
-    ev.eval_conditions(&ordered, start, &arc_vars)
+    let plan = plan_for(opts, conds, &bound, input);
+    ev.eval_conditions(conds, &plan, start, &arc_vars)
+}
+
+/// The compiled plan for a conjunction: from the shared
+/// [`EvalOptions::plan_cache`] when enabled, else compiled directly.
+fn plan_for(
+    opts: &EvalOptions,
+    conds: &[Condition],
+    bound: &FxHashSet<&str>,
+    graph: &Graph,
+) -> Arc<PhysicalPlan> {
+    if opts.use_plan_cache {
+        opts.plan_cache
+            .get_or_compile(conds, bound, graph, opts.optimizer)
+    } else {
+        Arc::new(PhysicalPlan::compile(conds, bound, graph, opts.optimizer))
+    }
 }
 
 /// The set of arc variables of a query (variables appearing in arc position
@@ -465,9 +532,14 @@ struct Ev<'g> {
     /// operator workers (so workers never contend on one mutex).
     path_cache: &'g PathCache,
     stats: EvalStats,
-    /// The physical strategy the most recent operator chose. Written
+    /// The operator tag of the most recently executed plan node. Written
     /// unconditionally (a pointer store), read only when profiling.
     strategy: &'static str,
+    /// The plan nodes the most recent `eval_conditions` executed (in final,
+    /// possibly re-optimized order) with observed rows-out; unexecuted tail
+    /// nodes (empty-relation short-circuit) carry `None`. Recorded only when
+    /// [`EvalOptions::explain`] is set.
+    last_exec: Vec<(PlanNode, Option<u64>)>,
     /// Per-worker `(worker, µs)` chunk timings of the most recent operator;
     /// written by pool workers only when profiling is on.
     chunk_us: Mutex<Vec<(usize, u64)>>,
@@ -481,6 +553,7 @@ impl<'g> Ev<'g> {
             path_cache,
             stats: EvalStats::default(),
             strategy: "",
+            last_exec: Vec::new(),
             chunk_us: Mutex::new(Vec::new()),
         }
     }
@@ -758,17 +831,29 @@ impl<'g> Ev<'g> {
             parent.clone()
         } else {
             let bound: FxHashSet<&str> = parent.vars().iter().map(String::as_str).collect();
-            let p = plan(&block.where_, &bound, self.graph, self.opts.optimizer);
-            if self.opts.explain {
-                self.stats
-                    .plans
-                    .push(format!("{}:\n{}", block.id, p.describe(&block.where_)));
-            }
-            let ordered: Vec<&Condition> = p.order.iter().map(|&i| &block.where_[i]).collect();
+            let p = plan_for(self.opts, &block.where_, &bound, self.graph);
             let profiled_from = self.stats.profile.len();
-            let bindings = self.eval_conditions(&ordered, parent.clone(), arc_vars)?;
+            let bindings = self.eval_conditions(&block.where_, &p, parent.clone(), arc_vars)?;
             for prof in &mut self.stats.profile[profiled_from..] {
                 prof.block = block.id.to_string();
+            }
+            if self.opts.explain {
+                // Render the plan as executed: adaptive re-optimization may
+                // have reordered the suffix, and each executed node carries
+                // its observed rows next to the estimate.
+                let exec = std::mem::take(&mut self.last_exec);
+                let shown = PhysicalPlan {
+                    nodes: exec.iter().map(|(n, _)| n.clone()).collect(),
+                    est_cost: p.est_cost,
+                    optimizer: p.optimizer,
+                    dp_fallback: p.dp_fallback,
+                };
+                let observed: Vec<Option<u64>> = exec.iter().map(|(_, o)| *o).collect();
+                self.stats.plans.push(format!(
+                    "{}:\n{}",
+                    block.id,
+                    shown.render(&block.where_, &observed)
+                ));
             }
             bindings
         };
@@ -793,21 +878,40 @@ impl<'g> Ev<'g> {
         Ok(())
     }
 
+    /// Executes a compiled plan over `conds`, starting from `start`.
+    ///
+    /// When [`EvalOptions::adaptive`] is set and an executed node's observed
+    /// rows-out exceeds its estimate by more than
+    /// [`EvalOptions::adapt_factor`], the remaining suffix is re-optimized:
+    /// each pending condition's result multiplier is *measured* on a small
+    /// sample of the live relation and [`replan_suffix`] reorders what is
+    /// left using those measurements. The output relation is canonically
+    /// sorted, so the row sequence (hence construction order, node identity
+    /// and final page bytes) is independent of the physical plan executed.
     fn eval_conditions(
         &mut self,
-        conds: &[&Condition],
+        conds: &[Condition],
+        plan: &PhysicalPlan,
         start: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
+        let mut nodes: Vec<PlanNode> = plan.nodes.clone();
+        if self.opts.explain {
+            self.last_exec.clear();
+        }
         let mut b = start;
-        for cond in conds {
+        let mut replans = 0u32;
+        let mut k = 0;
+        while k < nodes.len() {
+            let node = nodes[k].clone();
+            let cond = &conds[node.cond];
+            let rows_in = b.len() as u64;
             if self.opts.profile {
-                let rows_in = b.len() as u64;
                 let before = self.path_cache.stats();
                 let t = Timer::start();
                 self.strategy = "";
                 self.chunk_sink().clear();
-                b = self.apply(cond, b, arc_vars)?;
+                b = self.execute_op(node.op, cond, b, arc_vars)?;
                 let elapsed_us = t.elapsed_us();
                 let after = self.path_cache.stats();
                 let mut chunks = std::mem::take(&mut *self.chunk_sink());
@@ -824,10 +928,13 @@ impl<'g> Ev<'g> {
                     chunks,
                 });
             } else {
-                b = self.apply(cond, b, arc_vars)?;
+                b = self.execute_op(node.op, cond, b, arc_vars)?;
             }
             self.stats.conditions_applied += 1;
             self.stats.intermediate_rows += b.len() as u64;
+            if self.opts.explain {
+                self.last_exec.push((node.clone(), Some(b.len() as u64)));
+            }
             if b.len() > self.opts.max_rows {
                 return Err(StruqlError::eval(format!(
                     "intermediate result exceeded max_rows ({} rows) at condition `{cond}`",
@@ -836,48 +943,191 @@ impl<'g> Ev<'g> {
             }
             if b.is_empty() {
                 // Short-circuit: the conjunction is unsatisfiable.
+                if self.opts.explain {
+                    for n in &nodes[k + 1..] {
+                        self.last_exec.push((n.clone(), None));
+                    }
+                }
                 break;
             }
+            // Adaptive re-optimization: only when the estimate was badly
+            // wrong on a relation big enough for the divergence to matter,
+            // with enough plan left for a different order to pay off.
+            let observed = b.len() as f64;
+            let expected = (node.est_mult * rows_in as f64).max(1.0);
+            if self.opts.adaptive
+                && replans < 2
+                && nodes.len() - k > 2
+                && b.len() >= 128
+                && observed > expected * self.opts.adapt_factor
+            {
+                let remaining: Vec<usize> = nodes[k + 1..].iter().map(|n| n.cond).collect();
+                let measured = self.sample_multipliers(conds, &remaining, &b, arc_vars);
+                if !measured.is_empty() {
+                    let bound: FxHashSet<&str> = b.vars().iter().map(String::as_str).collect();
+                    let suffix =
+                        replan_suffix(conds, &remaining, &bound, self.graph, observed, &measured);
+                    nodes.truncate(k + 1);
+                    nodes.extend(suffix);
+                    self.stats.plan_replans += 1;
+                    replans += 1;
+                }
+            }
+            k += 1;
         }
+        // Canonical order: columns were fixed by the schema, rows are sorted
+        // by a total order over values, so the same result relation is
+        // byte-identical whatever plan produced it.
+        b.canonical_sort();
         Ok(b)
+    }
+
+    /// Measures result multipliers for the pending conditions by running
+    /// each one over a sample of the live relation through the real
+    /// operators. Conditions that are not yet eligible (their active-domain
+    /// expansion would race a later binder), whose estimated output would
+    /// make the sample itself expensive, or that error are skipped — the
+    /// re-planner falls back to static estimates for those.
+    fn sample_multipliers(
+        &mut self,
+        conds: &[Condition],
+        remaining: &[usize],
+        b: &Bindings,
+        arc_vars: &FxHashSet<String>,
+    ) -> FxHashMap<usize, f64> {
+        const SAMPLE_ROWS: usize = 16;
+        const SAMPLE_OUT_BUDGET: f64 = 50_000.0;
+        let n = b.len().min(SAMPLE_ROWS);
+        let mut sample = Bindings::with_vars(b.vars().to_vec());
+        for i in 0..n {
+            sample.push_row(b.row(i));
+        }
+        let stats = GraphStats::of(self.graph);
+        let bound: FxHashSet<&str> = b.vars().iter().map(String::as_str).collect();
+        let rem_refs: Vec<&Condition> = remaining.iter().map(|&i| &conds[i]).collect();
+        let mut measured = FxHashMap::default();
+        for &i in remaining {
+            let cond = &conds[i];
+            if !eligible(cond, &bound, &rem_refs) {
+                continue;
+            }
+            let (static_mult, _) = multiplier(cond, &bound, self.graph, &stats);
+            if static_mult * n as f64 > SAMPLE_OUT_BUDGET {
+                continue;
+            }
+            if let Ok(out) = self.apply(cond, sample.clone(), arc_vars) {
+                measured.insert(i, (out.len() as f64 / n as f64).max(1e-6));
+            }
+        }
+        measured
     }
 
     // ---- the physical operators ----
 
+    /// Executes one plan node's operator. This is the single dispatch point:
+    /// the strategy tag is set from the operator (nowhere else), and both the
+    /// plan-driven path and the boundness-driven [`Ev::apply`] go through it.
+    fn execute_op(
+        &mut self,
+        op: PhysOp,
+        cond: &Condition,
+        input: Bindings,
+        arc_vars: &FxHashSet<String>,
+    ) -> Result<Bindings> {
+        self.strategy = op.tag();
+        let mismatch = || {
+            StruqlError::eval(format!(
+                "plan operator `{}` does not apply to condition `{cond}`",
+                op.tag()
+            ))
+        };
+        match cond {
+            Condition::Collection { name, arg, negated } => match op {
+                PhysOp::CollectionSemijoin => self.collection_semijoin(name, arg, *negated, input),
+                PhysOp::CollectionScan => self.collection_scan(name, arg, *negated, input),
+                PhysOp::CollectionConst => self.collection_const(name, arg, *negated, input),
+                _ => Err(mismatch()),
+            },
+            Condition::Compare { lhs, op: cmp, rhs } => match op {
+                PhysOp::CompareBind => self.compare_bind(lhs, rhs, input),
+                PhysOp::CompareFilter => self.compare_filter(lhs, *cmp, rhs, input, arc_vars),
+                _ => Err(mismatch()),
+            },
+            Condition::In { var, set, negated } => match op {
+                PhysOp::InSemijoin => self.in_semijoin(var, set, *negated, input, arc_vars),
+                PhysOp::InExpand => self.in_expand(var, set, input),
+                _ => Err(mismatch()),
+            },
+            Condition::Predicate {
+                name,
+                args,
+                negated,
+            } => match op {
+                PhysOp::PredicateFilter => {
+                    self.predicate_filter(name, args, *negated, input, arc_vars)
+                }
+                _ => Err(mismatch()),
+            },
+            Condition::Edge { from, step, to, .. } => match (op, step) {
+                (PhysOp::NegEdgeSemijoin, PathStep::ArcVar(l)) => {
+                    self.neg_edge_semijoin(from, l, to, input, arc_vars)
+                }
+                (PhysOp::ArcForward, PathStep::ArcVar(l)) => {
+                    self.arc_edge_forward(from, l, to, input)
+                }
+                (PhysOp::ArcReverseIndex, PathStep::ArcVar(l)) => {
+                    self.arc_edge_backward(from, l, to, input)
+                }
+                (PhysOp::ArcHashJoin | PhysOp::ArcScan, PathStep::ArcVar(l)) => {
+                    self.arc_edge_scan(from, l, to, input)
+                }
+                (PhysOp::NegLabelSemijoin, PathStep::Rpe(Rpe::Label(name))) => {
+                    self.neg_label_semijoin(name, from, to, input, arc_vars)
+                }
+                (PhysOp::LabelForward | PhysOp::LabelSemijoin, PathStep::Rpe(Rpe::Label(name))) => {
+                    self.label_from_bound(name, from, to, input)
+                }
+                (
+                    PhysOp::LabelReverseIndex | PhysOp::LabelHashJoin,
+                    PathStep::Rpe(Rpe::Label(name)),
+                ) => self.label_to_bound(name, from, to, input),
+                (PhysOp::LabelScan, PathStep::Rpe(Rpe::Label(name))) => {
+                    self.label_scan(name, from, to, input)
+                }
+                (PhysOp::NegRpeSemijoin, PathStep::Rpe(rpe)) => {
+                    self.neg_rpe_semijoin(rpe, from, to, input, arc_vars)
+                }
+                (PhysOp::RpeForward, PathStep::Rpe(rpe)) => {
+                    let nfa = self.compiled_nfa(rpe);
+                    self.rpe_from_bound(&nfa, from, to, input)
+                }
+                (PhysOp::RpeReverse, PathStep::Rpe(rpe)) => {
+                    let nfa = self.compiled_nfa(rpe);
+                    self.rpe_to_bound(&nfa, from, to, input)
+                }
+                (PhysOp::RpeScan, PathStep::Rpe(rpe)) => {
+                    let nfa = self.compiled_nfa(rpe);
+                    self.rpe_both_unbound(&nfa, from, to, input)
+                }
+                (PhysOp::BareEdge, PathStep::Bare(name)) => Err(StruqlError::eval(format!(
+                    "unresolved bare path step `{name}` (query was not analyzed)"
+                ))),
+                _ => Err(mismatch()),
+            },
+        }
+    }
+
+    /// Chooses the operator from the *runtime* schema and executes it — the
+    /// pre-compiled-plan dispatch, kept for one-off applications (adaptive
+    /// sampling) where compiling a plan would cost more than it saves.
     fn apply(
         &mut self,
         cond: &Condition,
         input: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
-        match cond {
-            Condition::Collection { name, arg, negated } => {
-                self.apply_collection(name, arg, *negated, input)
-            }
-            Condition::Compare { lhs, op, rhs } => {
-                self.apply_compare(lhs, *op, rhs, input, arc_vars)
-            }
-            Condition::In { var, set, negated } => {
-                self.apply_in(var, set, *negated, input, arc_vars)
-            }
-            Condition::Predicate {
-                name,
-                args,
-                negated,
-            } => self.apply_predicate(name, args, *negated, input, arc_vars),
-            Condition::Edge {
-                from,
-                step,
-                to,
-                negated,
-            } => match step {
-                PathStep::ArcVar(l) => self.apply_arc_edge(from, l, to, *negated, input, arc_vars),
-                PathStep::Rpe(rpe) => self.apply_rpe_edge(from, rpe, to, *negated, input, arc_vars),
-                PathStep::Bare(name) => Err(StruqlError::eval(format!(
-                    "unresolved bare path step `{name}` (query was not analyzed)"
-                ))),
-            },
-        }
+        let op = choose_op(cond, &|v| input.is_bound(v), self.graph.is_indexed());
+        self.execute_op(op, cond, input, arc_vars)
     }
 
     /// Active-domain values for a variable: all labels if it is an arc
@@ -929,7 +1179,78 @@ impl<'g> Ev<'g> {
         Ok(b)
     }
 
-    fn apply_collection(
+    /// Membership filter of a bound variable against the collection extent.
+    fn collection_semijoin(
+        &mut self,
+        name: &str,
+        arg: &Term,
+        negated: bool,
+        mut input: Bindings,
+    ) -> Result<Bindings> {
+        let coll = self.graph.collection_str(name);
+        let Term::Var(v) = arg else {
+            return Err(StruqlError::eval(format!(
+                "collection semijoin needs a variable argument, got `{arg}`"
+            )));
+        };
+        let col = input.col(v).expect("bound");
+        self.par_retain(
+            &mut input,
+            || (),
+            |_, _, row| coll.is_some_and(|c| c.contains(&row[col])) != negated,
+        );
+        Ok(input)
+    }
+
+    /// Cross-join of the input with the collection's extent (or, negated,
+    /// its complement over the member nodes), binding a fresh variable.
+    fn collection_scan(
+        &mut self,
+        name: &str,
+        arg: &Term,
+        negated: bool,
+        input: Bindings,
+    ) -> Result<Bindings> {
+        let coll = self.graph.collection_str(name);
+        let Term::Var(v) = arg else {
+            return Err(StruqlError::eval(format!(
+                "collection scan needs a variable argument, got `{arg}`"
+            )));
+        };
+        // The emitted domain is row-independent: the collection's
+        // extent, or (negated) its complement over the member nodes.
+        let domain: Vec<Value> = if !negated {
+            match coll {
+                Some(c) => c.items().to_vec(),
+                None => Vec::new(),
+            }
+        } else {
+            self.graph
+                .nodes()
+                .iter()
+                .map(|&n| Value::Node(n))
+                .filter(|v| !coll.is_some_and(|c| c.contains(v)))
+                .collect()
+        };
+        let mut proto = Bindings::with_vars(input.vars().to_vec());
+        proto.add_var(v);
+        proto.reserve_rows(input.len().saturating_mul(domain.len()));
+        let domain = &domain;
+        let out = self.run_rows(
+            &input,
+            proto,
+            || (),
+            |_, _, row, out| {
+                for item in domain {
+                    out.push_row_extend(row, [item.clone()]);
+                }
+            },
+        );
+        Ok(out)
+    }
+
+    /// Constant membership test of a literal: keeps or empties the input.
+    fn collection_const(
         &mut self,
         name: &str,
         arg: &Term,
@@ -938,51 +1259,7 @@ impl<'g> Ev<'g> {
     ) -> Result<Bindings> {
         let coll = self.graph.collection_str(name);
         match arg {
-            Term::Var(v) if input.is_bound(v) => {
-                self.strategy = "collection-semijoin";
-                let col = input.col(v).expect("bound");
-                self.par_retain(
-                    &mut input,
-                    || (),
-                    |_, _, row| coll.is_some_and(|c| c.contains(&row[col])) != negated,
-                );
-                Ok(input)
-            }
-            Term::Var(v) => {
-                self.strategy = "collection-scan";
-                // The emitted domain is row-independent: the collection's
-                // extent, or (negated) its complement over the member nodes.
-                let domain: Vec<Value> = if !negated {
-                    match coll {
-                        Some(c) => c.items().to_vec(),
-                        None => Vec::new(),
-                    }
-                } else {
-                    self.graph
-                        .nodes()
-                        .iter()
-                        .map(|&n| Value::Node(n))
-                        .filter(|v| !coll.is_some_and(|c| c.contains(v)))
-                        .collect()
-                };
-                let mut proto = Bindings::with_vars(input.vars().to_vec());
-                proto.add_var(v);
-                proto.reserve_rows(input.len().saturating_mul(domain.len()));
-                let domain = &domain;
-                let out = self.run_rows(
-                    &input,
-                    proto,
-                    || (),
-                    |_, _, row, out| {
-                        for item in domain {
-                            out.push_row_extend(row, [item.clone()]);
-                        }
-                    },
-                );
-                Ok(out)
-            }
             Term::Lit(l) => {
-                self.strategy = "collection-const";
                 let val = l.to_value();
                 let present = coll.is_some_and(|c| c.contains(&val));
                 if present == negated {
@@ -990,6 +1267,9 @@ impl<'g> Ev<'g> {
                 }
                 Ok(input)
             }
+            Term::Var(v) => Err(StruqlError::eval(format!(
+                "collection const got variable `{v}`"
+            ))),
             Term::Skolem(s) => Err(StruqlError::eval(format!(
                 "Skolem term `{s}` cannot appear in WHERE"
             ))),
@@ -999,7 +1279,36 @@ impl<'g> Ev<'g> {
         }
     }
 
-    fn apply_compare(
+    /// Assignment `v = <bound term>`: binds the unbound side, one row out
+    /// per row in.
+    fn compare_bind(&mut self, lhs: &Term, rhs: &Term, input: Bindings) -> Result<Bindings> {
+        let lb = match lhs {
+            Term::Var(v) => input.is_bound(v),
+            _ => true,
+        };
+        let (var, bound_term) = if lb {
+            (rhs.as_var().expect("unbound side is a var"), lhs)
+        } else {
+            (lhs.as_var().expect("unbound side is a var"), rhs)
+        };
+        let slot = TermSlot::of(&input, bound_term)?;
+        let mut proto = Bindings::with_vars(input.vars().to_vec());
+        proto.add_var(var);
+        proto.reserve_rows(input.len());
+        let slot = &slot;
+        let out = self.run_rows(
+            &input,
+            proto,
+            || (),
+            |_, _, row, out| {
+                out.push_row_extend(row, [slot.value(row).clone()]);
+            },
+        );
+        Ok(out)
+    }
+
+    /// General comparison: expand any unbound vars, then filter in place.
+    fn compare_filter(
         &mut self,
         lhs: &Term,
         op: CmpOp,
@@ -1007,39 +1316,6 @@ impl<'g> Ev<'g> {
         input: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
-        let lb = match lhs {
-            Term::Var(v) => input.is_bound(v),
-            _ => true,
-        };
-        let rb = match rhs {
-            Term::Var(v) => input.is_bound(v),
-            _ => true,
-        };
-        // Assignment: `v = <bound>` binds v.
-        if op == CmpOp::Eq && (lb ^ rb) {
-            self.strategy = "compare-bind";
-            let (var, bound_term) = if lb {
-                (rhs.as_var().expect("unbound side is a var"), lhs)
-            } else {
-                (lhs.as_var().expect("unbound side is a var"), rhs)
-            };
-            let slot = TermSlot::of(&input, bound_term)?;
-            let mut proto = Bindings::with_vars(input.vars().to_vec());
-            proto.add_var(var);
-            proto.reserve_rows(input.len());
-            let slot = &slot;
-            let out = self.run_rows(
-                &input,
-                proto,
-                || (),
-                |_, _, row, out| {
-                    out.push_row_extend(row, [slot.value(row).clone()]);
-                },
-            );
-            return Ok(out);
-        }
-        // General case: expand any unbound vars, then filter in place.
-        self.strategy = "compare-filter";
         let mut need: Vec<&str> = Vec::new();
         for t in [lhs, rhs] {
             if let Term::Var(v) = t {
@@ -1060,50 +1336,55 @@ impl<'g> Ev<'g> {
         Ok(b)
     }
 
-    fn apply_in(
+    /// `v IN {…}` membership filter. An unbound variable (only reachable
+    /// negated — the planner routes positive unbound `IN` to
+    /// [`Ev::in_expand`]) is expanded over its active domain first.
+    fn in_semijoin(
         &mut self,
         var: &str,
         set: &[Literal],
         negated: bool,
-        mut input: Bindings,
+        input: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
-        if input.is_bound(var) {
-            self.strategy = "in-semijoin";
-            let col = input.col(var).expect("bound");
-            let vals: Vec<Value> = set.iter().map(Literal::to_value).collect();
-            let vals = &vals;
-            self.par_retain(
-                &mut input,
-                || (),
-                |_, _, row| vals.iter().any(|v| v.coerced_eq(&row[col])) != negated,
-            );
-            Ok(input)
-        } else if !negated {
-            self.strategy = "in-expand";
-            let vals: Vec<Value> = set.iter().map(Literal::to_value).collect();
-            let mut proto = Bindings::with_vars(input.vars().to_vec());
-            proto.add_var(var);
-            proto.reserve_rows(input.len().saturating_mul(vals.len()));
-            let vals = &vals;
-            let out = self.run_rows(
-                &input,
-                proto,
-                || (),
-                |_, _, row, out| {
-                    for v in vals {
-                        out.push_row_extend(row, [v.clone()]);
-                    }
-                },
-            );
-            Ok(out)
+        let mut input = if input.is_bound(var) {
+            input
         } else {
-            let b = self.expand_active(input, &[var], arc_vars)?;
-            self.apply_in(var, set, negated, b, arc_vars)
-        }
+            self.expand_active(input, &[var], arc_vars)?
+        };
+        let col = input.col(var).expect("bound");
+        let vals: Vec<Value> = set.iter().map(Literal::to_value).collect();
+        let vals = &vals;
+        self.par_retain(
+            &mut input,
+            || (),
+            |_, _, row| vals.iter().any(|v| v.coerced_eq(&row[col])) != negated,
+        );
+        Ok(input)
     }
 
-    fn apply_predicate(
+    /// `v IN {…}` enumeration: binds `v` to each set element.
+    fn in_expand(&mut self, var: &str, set: &[Literal], input: Bindings) -> Result<Bindings> {
+        let vals: Vec<Value> = set.iter().map(Literal::to_value).collect();
+        let mut proto = Bindings::with_vars(input.vars().to_vec());
+        proto.add_var(var);
+        proto.reserve_rows(input.len().saturating_mul(vals.len()));
+        let vals = &vals;
+        let out = self.run_rows(
+            &input,
+            proto,
+            || (),
+            |_, _, row, out| {
+                for v in vals {
+                    out.push_row_extend(row, [v.clone()]);
+                }
+            },
+        );
+        Ok(out)
+    }
+
+    /// Built-in/external predicate filter (expanding unbound args first).
+    fn predicate_filter(
         &mut self,
         name: &str,
         args: &[Term],
@@ -1111,7 +1392,6 @@ impl<'g> Ev<'g> {
         input: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
-        self.strategy = "predicate-filter";
         let need: Vec<&str> = args
             .iter()
             .filter_map(|t| t.as_var())
@@ -1146,64 +1426,43 @@ impl<'g> Ev<'g> {
         Ok(b)
     }
 
-    /// `from -> l -> to` with `l` an arc variable: single-edge conditions.
-    fn apply_arc_edge(
+    /// Negated `from -> l -> to` (arc variable): anti-semijoin against the
+    /// edge set, expanding any unbound variables over the active domain.
+    fn neg_edge_semijoin(
         &mut self,
         from: &Term,
         l: &str,
         to: &Term,
-        negated: bool,
         input: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
-        if negated {
-            self.strategy = "neg-edge-semijoin";
-            let mut need: Vec<&str> = Vec::new();
-            for t in [from, to] {
-                if let Term::Var(v) = t {
-                    if !input.is_bound(v) {
-                        need.push(v);
-                    }
+        let mut need: Vec<&str> = Vec::new();
+        for t in [from, to] {
+            if let Term::Var(v) = t {
+                if !input.is_bound(v) {
+                    need.push(v);
                 }
             }
-            if !input.is_bound(l) {
-                need.push(l);
-            }
-            let mut b = self.expand_active(input, &need, arc_vars)?;
-            let reader = self.graph.reader();
-            let fs = TermSlot::of(&b, from)?;
-            let ts = TermSlot::of(&b, to)?;
-            let l_col = b.col(l).expect("expanded");
-            let (reader, fs, ts) = (&reader, &fs, &ts);
-            self.par_retain(&mut b, LabelCache::default, |ev, labels, row| {
-                !ev.edge_exists(
-                    reader,
-                    labels,
-                    fs.value(row),
-                    Some(&row[l_col]),
-                    ts.value(row),
-                )
-            });
-            return Ok(b);
         }
-
-        let from_bound = match from {
-            Term::Var(v) => input.is_bound(v),
-            _ => true,
-        };
-        if from_bound {
-            self.arc_edge_forward(from, l, to, input)
-        } else {
-            let to_bound = match to {
-                Term::Var(v) => input.is_bound(v),
-                _ => true,
-            };
-            if to_bound && self.graph.is_indexed() {
-                self.arc_edge_backward(from, l, to, input)
-            } else {
-                self.arc_edge_scan(from, l, to, input)
-            }
+        if !input.is_bound(l) {
+            need.push(l);
         }
+        let mut b = self.expand_active(input, &need, arc_vars)?;
+        let reader = self.graph.reader();
+        let fs = TermSlot::of(&b, from)?;
+        let ts = TermSlot::of(&b, to)?;
+        let l_col = b.col(l).expect("expanded");
+        let (reader, fs, ts) = (&reader, &fs, &ts);
+        self.par_retain(&mut b, LabelCache::default, |ev, labels, row| {
+            !ev.edge_exists(
+                reader,
+                labels,
+                fs.value(row),
+                Some(&row[l_col]),
+                ts.value(row),
+            )
+        });
+        Ok(b)
     }
 
     fn arc_edge_forward(
@@ -1213,7 +1472,6 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
-        self.strategy = "arc-forward";
         let l_col = input.col(l);
         let to_unbound_var = match to {
             Term::Var(v) if !input.is_bound(v) => Some(v.as_str()),
@@ -1282,7 +1540,6 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
-        self.strategy = "arc-reverse-index";
         let idx = self.graph.index().expect("checked indexed");
         let l_col = input.col(l);
         let from_var = from.as_var().expect("from is an unbound var here");
@@ -1331,7 +1588,6 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
-        self.strategy = "arc-scan";
         let from_var = from.as_var().expect("from is an unbound var here");
         let l_col = input.col(l);
         let to_state = match to {
@@ -1365,7 +1621,6 @@ impl<'g> Ev<'g> {
         let reader = self.graph.reader();
         let mut labels = LabelCache::default();
         if let ToState::BoundVar(v) = &to_state {
-            self.strategy = "arc-hash-join";
             // Hash join: joins of two bound variables use strict equality,
             // so a probe table keyed by edge target is exact. The probe
             // table is built once, sequentially; rows probe it in parallel.
@@ -1497,123 +1752,104 @@ impl<'g> Ev<'g> {
         })
     }
 
-    /// `from -> R -> to` with a regular path expression `R`.
-    fn apply_rpe_edge(
+    /// Negated `from -> R -> to`: anti-semijoin over memoized reachability
+    /// sets, expanding any unbound endpoints over the active domain.
+    fn neg_rpe_semijoin(
         &mut self,
-        from: &Term,
         rpe: &Rpe,
+        from: &Term,
         to: &Term,
-        negated: bool,
         input: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
-        // Single-label fast path: `Rpe::Label` matching is an interned-symbol
-        // comparison ([`crate::rpe::EdgeTest::Label`]), so the product
-        // automaton reduces to a direct adjacency filter.
-        if let Rpe::Label(name) = rpe {
-            return self.apply_label_edge(name, from, to, negated, input, arc_vars);
-        }
         let nfa = self.compiled_nfa(rpe);
-
-        if negated {
-            self.strategy = "neg-rpe-semijoin";
-            let mut need: Vec<&str> = Vec::new();
-            for t in [from, to] {
-                if let Term::Var(v) = t {
-                    if !input.is_bound(v) {
-                        need.push(v);
-                    }
+        let mut need: Vec<&str> = Vec::new();
+        for t in [from, to] {
+            if let Term::Var(v) = t {
+                if !input.is_bound(v) {
+                    need.push(v);
                 }
             }
-            let mut b = self.expand_active(input, &need, arc_vars)?;
-            let reader = self.graph.reader();
-            let fs = TermSlot::of(&b, from)?;
-            let ts = TermSlot::of(&b, to)?;
-            let (reader, nfa, fs, ts) = (&reader, &nfa, &fs, &ts);
-            self.par_retain(
-                &mut b,
-                || (),
-                |ev, _, row| {
-                    let reach = ev.forward_reach(reader, nfa, fs.value(row));
-                    !reach.set.contains(ts.value(row))
-                },
-            );
-            return Ok(b);
         }
-
-        let from_bound = match from {
-            Term::Var(v) => input.is_bound(v),
-            _ => true,
-        };
-        let to_bound = match to {
-            Term::Var(v) => input.is_bound(v),
-            _ => true,
-        };
-
-        match (from_bound, to_bound) {
-            (true, _) => self.rpe_from_bound(&nfa, from, to, input),
-            (false, true) => self.rpe_to_bound(&nfa, from, to, input),
-            (false, false) => self.rpe_both_unbound(&nfa, from, to, input),
-        }
+        let mut b = self.expand_active(input, &need, arc_vars)?;
+        let reader = self.graph.reader();
+        let fs = TermSlot::of(&b, from)?;
+        let ts = TermSlot::of(&b, to)?;
+        let (reader, nfa, fs, ts) = (&reader, &nfa, &fs, &ts);
+        self.par_retain(
+            &mut b,
+            || (),
+            |ev, _, row| {
+                let reach = ev.forward_reach(reader, nfa, fs.value(row));
+                !reach.set.contains(ts.value(row))
+            },
+        );
+        Ok(b)
     }
 
-    /// `from -> "label" -> to`: the automaton-free single-label path.
-    /// Semantics match the general path exactly, including the per-source
-    /// target deduplication the BFS result set performs.
-    fn apply_label_edge(
+    /// Negated `from -> "label" -> to`: automaton-free anti-semijoin against
+    /// the label's adjacency, expanding unbound endpoints first. Semantics
+    /// match the general negated path exactly.
+    fn neg_label_semijoin(
         &mut self,
         name: &str,
         from: &Term,
         to: &Term,
-        negated: bool,
         input: Bindings,
         arc_vars: &FxHashSet<String>,
     ) -> Result<Bindings> {
         let want = self.graph.universe().interner().get(name);
         let reader = self.graph.reader();
-
-        if negated {
-            self.strategy = "neg-label-semijoin";
-            let mut need: Vec<&str> = Vec::new();
-            for t in [from, to] {
-                if let Term::Var(v) = t {
-                    if !input.is_bound(v) {
-                        need.push(v);
-                    }
+        let mut need: Vec<&str> = Vec::new();
+        for t in [from, to] {
+            if let Term::Var(v) = t {
+                if !input.is_bound(v) {
+                    need.push(v);
                 }
             }
-            let mut b = self.expand_active(input, &need, arc_vars)?;
-            let fs = TermSlot::of(&b, from)?;
-            let ts = TermSlot::of(&b, to)?;
-            let (reader, fs, ts) = (&reader, &fs, &ts);
-            self.par_retain(
-                &mut b,
-                || (),
-                |_, _, row| {
-                    let Some(w) = want else { return true };
-                    let Some(n) = fs.value(row).as_node() else {
-                        return true;
-                    };
-                    let t = ts.value(row);
-                    !reader
-                        .out(n)
-                        .iter()
-                        .any(|(sym, target)| *sym == w && target == t)
-                },
-            );
-            return Ok(b);
         }
+        let mut b = self.expand_active(input, &need, arc_vars)?;
+        let fs = TermSlot::of(&b, from)?;
+        let ts = TermSlot::of(&b, to)?;
+        let (reader, fs, ts) = (&reader, &fs, &ts);
+        self.par_retain(
+            &mut b,
+            || (),
+            |_, _, row| {
+                let Some(w) = want else { return true };
+                let Some(n) = fs.value(row).as_node() else {
+                    return true;
+                };
+                let t = ts.value(row);
+                !reader
+                    .out(n)
+                    .iter()
+                    .any(|(sym, target)| *sym == w && target == t)
+            },
+        );
+        Ok(b)
+    }
 
-        let from_bound = match from {
-            Term::Var(v) => input.is_bound(v),
-            _ => true,
-        };
-        if from_bound {
+    /// `from -> "label" -> to` with `from` bound: an out-adjacency expansion
+    /// binding a fresh target (plan op `label-forward`) or an adjacency
+    /// semijoin against a bound/literal target (`label-semijoin`) — the
+    /// branch is determined by the same target boundness the planner used.
+    /// Semantics match the general path exactly, including the per-source
+    /// target deduplication the BFS result set performs.
+    fn label_from_bound(
+        &mut self,
+        name: &str,
+        from: &Term,
+        to: &Term,
+        input: Bindings,
+    ) -> Result<Bindings> {
+        let want = self.graph.universe().interner().get(name);
+        let reader = self.graph.reader();
+        {
             let fs = TermSlot::of(&input, from)?;
             let to_mode = ToMode::of(&input, to)?;
             match to_mode {
                 ToMode::Unbound => {
-                    self.strategy = "label-forward";
                     let to_var = to.as_var().expect("unbound to is a var");
                     let mut proto = Bindings::with_vars(input.vars().to_vec());
                     proto.add_var(to_var);
@@ -1643,7 +1879,6 @@ impl<'g> Ev<'g> {
                     Ok(out)
                 }
                 ToMode::BoundCol(c) => {
-                    self.strategy = "label-semijoin";
                     let mut input = input;
                     let (reader, fs) = (&reader, &fs);
                     self.par_retain(
@@ -1663,7 +1898,6 @@ impl<'g> Ev<'g> {
                     Ok(input)
                 }
                 ToMode::Lit(lv) => {
-                    self.strategy = "label-semijoin";
                     let mut input = input;
                     let (reader, fs, lv) = (&reader, &fs, &lv);
                     self.par_retain(
@@ -1683,111 +1917,128 @@ impl<'g> Ev<'g> {
                     Ok(input)
                 }
             }
-        } else {
-            let to_bound = match to {
-                Term::Var(v) => input.is_bound(v),
-                _ => true,
-            };
-            let from_var = from.as_var().expect("unbound from");
-            if to_bound {
-                // Probe the reverse adjacency (index or cached materialized
-                // map) and filter by symbol — the hash-join backward path.
-                // The materialized map is built once, sequentially, before
-                // rows probe it in parallel.
-                self.strategy = if self.graph.is_indexed() {
-                    "label-reverse-index"
-                } else {
-                    "label-hash-join"
-                };
-                let adj = self.reverse_adjacency();
-                let ts = TermSlot::of(&input, to)?;
-                let mut proto = Bindings::with_vars(input.vars().to_vec());
-                proto.add_var(from_var);
-                let Some(w) = want else { return Ok(proto) };
-                let (adj, ts) = (&adj, &ts);
-                let out = self.run_rows(
-                    &input,
-                    proto,
-                    Vec::new,
-                    |_, emitted: &mut Vec<Oid>, row, out| {
-                        emitted.clear();
-                        for (src, sym) in adj.incoming(ts.value(row)) {
-                            if *sym != w || emitted.contains(src) {
-                                continue;
-                            }
-                            emitted.push(*src);
-                            out.push_row_extend(row, [Value::Node(*src)]);
-                        }
-                    },
-                );
-                Ok(out)
-            } else {
-                // Both unbound: the pair set is row-independent.
-                self.strategy = "label-scan";
-                let to_state = match to {
-                    Term::Var(v) => ToState::Unbound(v.as_str()),
-                    Term::Lit(lit) => ToState::Lit(lit.to_value()),
-                    Term::Skolem(s) => {
-                        return Err(StruqlError::eval(format!(
-                            "Skolem term `{s}` cannot appear in WHERE"
-                        )))
-                    }
-                    Term::Agg(f, v) => {
-                        return Err(StruqlError::eval(format!(
-                            "aggregate `{f}({v})` cannot appear in WHERE"
-                        )))
-                    }
-                };
-                // `x -> l -> x` with one unbound variable on both ends
-                // binds it to self-loop sources only, in a single column.
-                let same_var = matches!(&to_state, ToState::Unbound(v) if *v == from_var);
-                let mut proto = Bindings::with_vars(input.vars().to_vec());
-                proto.add_var(from_var);
-                if !same_var {
-                    if let ToState::Unbound(v) = to_state {
-                        proto.add_var(v);
-                    }
-                }
-                let Some(w) = want else { return Ok(proto) };
-                let mut pairs: Vec<(Oid, Value)> = Vec::new();
-                let mut emitted: Vec<&Value> = Vec::new();
-                for &n in self.graph.nodes() {
+        }
+    }
+
+    /// `from -> "label" -> to` with `from` unbound onto a bound target:
+    /// probes the reverse adjacency and filters by symbol — the backward
+    /// path. The plan op recorded whether the probe uses the graph index
+    /// (`label-reverse-index`) or the materialized map (`label-hash-join`);
+    /// both route through [`Ev::reverse_adjacency`], which makes the same
+    /// choice from the same graph state. The materialized map is built once,
+    /// sequentially, before rows probe it in parallel.
+    fn label_to_bound(
+        &mut self,
+        name: &str,
+        from: &Term,
+        to: &Term,
+        input: Bindings,
+    ) -> Result<Bindings> {
+        let want = self.graph.universe().interner().get(name);
+        let from_var = from.as_var().expect("unbound from");
+        {
+            let adj = self.reverse_adjacency();
+            let ts = TermSlot::of(&input, to)?;
+            let mut proto = Bindings::with_vars(input.vars().to_vec());
+            proto.add_var(from_var);
+            let Some(w) = want else { return Ok(proto) };
+            let (adj, ts) = (&adj, &ts);
+            let out = self.run_rows(
+                &input,
+                proto,
+                Vec::new,
+                |_, emitted: &mut Vec<Oid>, row, out| {
                     emitted.clear();
-                    for (sym, target) in reader.out(n) {
-                        if *sym != w || emitted.contains(&target) {
+                    for (src, sym) in adj.incoming(ts.value(row)) {
+                        if *sym != w || emitted.contains(src) {
                             continue;
                         }
-                        emitted.push(target);
-                        if let ToState::Lit(lv) = &to_state {
-                            if !lv.coerced_eq(target) {
-                                continue;
-                            }
-                        }
-                        if same_var && *target != Value::Node(n) {
-                            continue;
-                        }
-                        pairs.push((n, target.clone()));
+                        emitted.push(*src);
+                        out.push_row_extend(row, [Value::Node(*src)]);
                     }
+                },
+            );
+            Ok(out)
+        }
+    }
+
+    /// `from -> "label" -> to` with both ends unbound: the label's pair set
+    /// is row-independent — computed once (with per-source target dedup,
+    /// matching the BFS result-set semantics) and cross-joined.
+    fn label_scan(
+        &mut self,
+        name: &str,
+        from: &Term,
+        to: &Term,
+        input: Bindings,
+    ) -> Result<Bindings> {
+        let want = self.graph.universe().interner().get(name);
+        let reader = self.graph.reader();
+        let from_var = from.as_var().expect("unbound from");
+        {
+            let to_state = match to {
+                Term::Var(v) => ToState::Unbound(v.as_str()),
+                Term::Lit(lit) => ToState::Lit(lit.to_value()),
+                Term::Skolem(s) => {
+                    return Err(StruqlError::eval(format!(
+                        "Skolem term `{s}` cannot appear in WHERE"
+                    )))
                 }
-                let emit_target = !same_var && matches!(to_state, ToState::Unbound(_));
-                proto.reserve_rows(input.len().saturating_mul(pairs.len()));
-                let pairs = &pairs;
-                let out = self.run_rows(
-                    &input,
-                    proto,
-                    || (),
-                    |_, _, row, out| {
-                        for (n, t) in pairs {
-                            if emit_target {
-                                out.push_row_extend(row, [Value::Node(*n), t.clone()]);
-                            } else {
-                                out.push_row_extend(row, [Value::Node(*n)]);
-                            }
-                        }
-                    },
-                );
-                Ok(out)
+                Term::Agg(f, v) => {
+                    return Err(StruqlError::eval(format!(
+                        "aggregate `{f}({v})` cannot appear in WHERE"
+                    )))
+                }
+            };
+            // `x -> l -> x` with one unbound variable on both ends
+            // binds it to self-loop sources only, in a single column.
+            let same_var = matches!(&to_state, ToState::Unbound(v) if *v == from_var);
+            let mut proto = Bindings::with_vars(input.vars().to_vec());
+            proto.add_var(from_var);
+            if !same_var {
+                if let ToState::Unbound(v) = to_state {
+                    proto.add_var(v);
+                }
             }
+            let Some(w) = want else { return Ok(proto) };
+            let mut pairs: Vec<(Oid, Value)> = Vec::new();
+            let mut emitted: Vec<&Value> = Vec::new();
+            for &n in self.graph.nodes() {
+                emitted.clear();
+                for (sym, target) in reader.out(n) {
+                    if *sym != w || emitted.contains(&target) {
+                        continue;
+                    }
+                    emitted.push(target);
+                    if let ToState::Lit(lv) = &to_state {
+                        if !lv.coerced_eq(target) {
+                            continue;
+                        }
+                    }
+                    if same_var && *target != Value::Node(n) {
+                        continue;
+                    }
+                    pairs.push((n, target.clone()));
+                }
+            }
+            let emit_target = !same_var && matches!(to_state, ToState::Unbound(_));
+            proto.reserve_rows(input.len().saturating_mul(pairs.len()));
+            let pairs = &pairs;
+            let out = self.run_rows(
+                &input,
+                proto,
+                || (),
+                |_, _, row, out| {
+                    for (n, t) in pairs {
+                        if emit_target {
+                            out.push_row_extend(row, [Value::Node(*n), t.clone()]);
+                        } else {
+                            out.push_row_extend(row, [Value::Node(*n)]);
+                        }
+                    }
+                },
+            );
+            Ok(out)
         }
     }
 
@@ -1798,7 +2049,6 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
-        self.strategy = "rpe-forward";
         let to_unbound_var = match to {
             Term::Var(v) if !input.is_bound(v) => Some(v.as_str()),
             _ => None,
@@ -1856,7 +2106,6 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
-        self.strategy = "rpe-reverse";
         let from_var = from.as_var().expect("unbound from");
         let rev = self.reversed_nfa(nfa);
         let reverse_adj = self.reverse_adjacency();
@@ -1895,7 +2144,6 @@ impl<'g> Ev<'g> {
         to: &Term,
         input: Bindings,
     ) -> Result<Bindings> {
-        self.strategy = "rpe-scan";
         let from_var = from.as_var().expect("unbound from");
         let to_state = match to {
             Term::Var(v) => ToState::Unbound(v.as_str()),

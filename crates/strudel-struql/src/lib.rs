@@ -67,6 +67,7 @@ pub mod eval;
 pub mod lex;
 pub mod optimize;
 pub mod parse;
+pub mod plan;
 pub mod pred;
 pub mod rpe;
 
@@ -78,6 +79,7 @@ pub use eval::{
     evaluate_conditions, run_on_database, EvalOptions, EvalOutput, EvalStats, PathCache,
     PathCacheStats,
 };
-pub use optimize::Optimizer;
+pub use optimize::{planner_dp_fallbacks, Optimizer};
 pub use parse::parse_query;
+pub use plan::{PhysOp, PhysicalPlan, PlanCache, PlanCacheStats};
 pub use pred::PredicateRegistry;

@@ -25,6 +25,18 @@ use crate::ast::{CmpOp, Condition, PathStep, Rpe, Term};
 use std::fmt::Write as _;
 use strudel_graph::fxhash::FxHashSet;
 use strudel_graph::Graph;
+use strudel_obs::Counter;
+
+/// How many times the cost-based planner has fallen back to the greedy
+/// heuristic because a block had more than [`DP_LIMIT`] conditions. The
+/// fallback used to be silent; it is surfaced in `/stats`, `/metrics` and
+/// `explain` so oversized blocks are visible in production.
+static PLANNER_DP_FALLBACKS: Counter = Counter::new();
+
+/// Process-lifetime count of silent DP→greedy planner fallbacks.
+pub fn planner_dp_fallbacks() -> u64 {
+    PLANNER_DP_FALLBACKS.get()
+}
 
 /// Which plan-selection strategy to use.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -38,6 +50,17 @@ pub enum Optimizer {
     /// (the \[FLO 97\] cost-based optimizer).
     #[default]
     CostBased,
+}
+
+impl Optimizer {
+    /// Short name, used in plan renderings and plan-cache fingerprints.
+    pub fn name(self) -> &'static str {
+        match self {
+            Optimizer::Naive => "naive",
+            Optimizer::Heuristic => "heuristic",
+            Optimizer::CostBased => "cost-based",
+        }
+    }
 }
 
 /// Beyond this many conditions the cost-based optimizer falls back to the
@@ -75,6 +98,43 @@ impl GraphStats {
             0.0
         }
     }
+
+    /// Per-label degree statistics from the index, when available. These
+    /// replace the uniform [`GraphStats::avg_degree`] assumption for
+    /// single-label path steps: fan-out is averaged over the nodes that
+    /// actually carry the label, and fan-in over the values the label
+    /// actually reaches — so a probe into a low-cardinality hub target
+    /// (five `section` values shared by hundreds of articles) is costed at
+    /// its real fan-in instead of an optimistic whole-graph average.
+    pub fn label_degrees(graph: &Graph, label: &str) -> Option<LabelDegrees> {
+        let sym = graph.universe().interner().get(label)?;
+        let idx = graph.index()?;
+        let card = idx.label_cardinality(sym) as f64;
+        let src = idx.label_distinct_sources(sym) as f64;
+        let tgt = idx.label_distinct_targets(sym) as f64;
+        if src <= 0.0 || tgt <= 0.0 {
+            return None;
+        }
+        Some(LabelDegrees {
+            cardinality: card,
+            out_degree: card / src,
+            fan_in: card / tgt,
+        })
+    }
+}
+
+/// Degree statistics of one label (see [`GraphStats::label_degrees`]).
+#[derive(Clone, Copy, Debug)]
+pub struct LabelDegrees {
+    /// Number of edges carrying the label.
+    pub cardinality: f64,
+    /// Average out-degree among distinct sources of the label (under the
+    /// containment assumption: a bound source is assumed to come from the
+    /// label's source set, the usual case in join chains).
+    pub out_degree: f64,
+    /// Average fan-in among distinct targets of the label (the expected
+    /// rows a reverse probe on a bound target returns).
+    pub fan_in: f64,
 }
 
 /// Cardinality of a label's extension, if the index can tell us.
@@ -87,8 +147,13 @@ fn collection_card(graph: &Graph, name: &str) -> Option<f64> {
     graph.collection_str(name).map(|c| c.len() as f64)
 }
 
-/// The variables a condition can *bind* (positive occurrences).
-fn vars_of(cond: &Condition) -> Vec<&str> {
+/// The variables a condition can *bind* (positive occurrences). For every
+/// condition kind these are exactly the variables bound in the relation
+/// after the condition is applied (filters on bound variables add nothing;
+/// negated and filter conditions bind their unbound variables too, via
+/// active-domain expansion) — which is why static bound-set tracking during
+/// plan compilation agrees with the evaluator's runtime `is_bound`.
+pub(crate) fn vars_of(cond: &Condition) -> Vec<&str> {
     let mut out = Vec::new();
     match cond {
         Condition::Collection { arg, .. } => {
@@ -138,7 +203,7 @@ fn rpe_has_star(rpe: &Rpe) -> bool {
 /// Estimated *result multiplier* of applying `cond` when `bound` variables
 /// are already bound: < 1 for filters, the fan-out for binders. Also returns
 /// a short access-method tag for plan explanations.
-fn multiplier(
+pub(crate) fn multiplier(
     cond: &Condition,
     bound: &FxHashSet<&str>,
     graph: &Graph,
@@ -206,15 +271,30 @@ fn multiplier(
                 }
                 PathStep::Rpe(Rpe::Label(l)) => {
                     let card = label_card(graph, l).unwrap_or(stats.edges);
+                    let degrees = GraphStats::label_degrees(graph, l);
+                    // Whole-graph fallback when the index can't supply
+                    // per-label degree statistics.
+                    let uniform = (card / stats.nodes.max(1.0)).max(0.5);
                     match (fb, tb) {
                         (true, true) => (0.3, "edge-probe"),
-                        (true, false) => ((card / stats.nodes.max(1.0)).max(0.5), "out-scan"),
+                        (true, false) => {
+                            // Containment assumption: a bound source comes
+                            // from the label's source set, so fan-out is the
+                            // average out-degree among labeled sources.
+                            let m = degrees.map(|d| d.out_degree).unwrap_or(uniform);
+                            (m.max(0.5), "out-scan")
+                        }
                         (false, true) => {
+                            // Reverse probe: expected rows per bound target is
+                            // the label's fan-in — card / distinct targets. A
+                            // hub target (400 edges onto 5 section values)
+                            // returns 80 rows per probe, not card/nodes ≈ 1.
+                            let m = degrees.map(|d| d.fan_in).unwrap_or(uniform);
                             if stats.indexed {
-                                ((card / stats.nodes.max(1.0)).max(0.5), "rev-index")
+                                (m.max(0.5), "rev-index")
                             } else {
                                 // Cached materialized reverse adjacency.
-                                ((card / stats.nodes.max(1.0)).max(0.5), "hash-join")
+                                (m.max(0.5), "hash-join")
                             }
                         }
                         (false, false) => {
@@ -405,7 +485,11 @@ fn binder_vars(cond: &Condition) -> Vec<&str> {
 /// Whether `cond` may be scheduled now: none of the variables it would
 /// enumerate over the active domain can still be bound exactly by a
 /// remaining condition.
-fn eligible(cond: &Condition, bound: &FxHashSet<&str>, remaining: &[&Condition]) -> bool {
+pub(crate) fn eligible(
+    cond: &Condition,
+    bound: &FxHashSet<&str>,
+    remaining: &[&Condition],
+) -> bool {
     let exp = expansion_vars(cond, bound);
     if exp.is_empty() {
         return true;
@@ -423,8 +507,14 @@ pub struct Plan {
     pub order: Vec<usize>,
     /// Access-method tags, parallel to `order`.
     pub methods: Vec<&'static str>,
+    /// Estimated per-step result multipliers, parallel to `order` (the
+    /// physical-plan compiler turns these into per-node row estimates).
+    pub mults: Vec<f64>,
     /// Estimated total intermediate rows.
     pub est_cost: f64,
+    /// Whether the cost-based planner fell back to the greedy heuristic
+    /// because the block exceeded [`DP_LIMIT`] conditions.
+    pub dp_fallback: bool,
 }
 
 impl Plan {
@@ -453,7 +543,10 @@ pub fn plan(
             if conditions.len() <= DP_LIMIT {
                 plan_dp(conditions, bound, graph)
             } else {
-                plan_greedy(conditions, bound, graph)
+                PLANNER_DP_FALLBACKS.inc();
+                let mut p = plan_greedy(conditions, bound, graph);
+                p.dp_fallback = true;
+                p
             }
         }
     }
@@ -462,7 +555,7 @@ pub fn plan(
 /// Selects the next condition from `remaining` (indices into `conditions`):
 /// the best according to `score` among eligible candidates, falling back to
 /// the best overall if mutual waiting leaves none eligible.
-fn pick_next(
+pub(crate) fn pick_next(
     conditions: &[Condition],
     remaining: &[usize],
     bound: &FxHashSet<&str>,
@@ -491,6 +584,7 @@ fn plan_naive(conditions: &[Condition], bound: &FxHashSet<&str>, graph: &Graph) 
     let mut remaining: Vec<usize> = (0..conditions.len()).collect();
     let mut order = Vec::with_capacity(conditions.len());
     let mut methods = Vec::with_capacity(conditions.len());
+    let mut mults = Vec::with_capacity(conditions.len());
     let mut rows = 1.0f64;
     let mut cost = 0.0f64;
     while !remaining.is_empty() {
@@ -506,11 +600,14 @@ fn plan_naive(conditions: &[Condition], bound: &FxHashSet<&str>, graph: &Graph) 
         }
         order.push(i);
         methods.push(method);
+        mults.push(m);
     }
     Plan {
         order,
         methods,
+        mults,
         est_cost: cost,
+        dp_fallback: false,
     }
 }
 
@@ -520,6 +617,7 @@ fn plan_greedy(conditions: &[Condition], bound: &FxHashSet<&str>, graph: &Graph)
     let mut remaining: Vec<usize> = (0..conditions.len()).collect();
     let mut order = Vec::with_capacity(conditions.len());
     let mut methods = Vec::with_capacity(conditions.len());
+    let mut mults = Vec::with_capacity(conditions.len());
     let mut rows = 1.0f64;
     let mut cost = 0.0f64;
     while !remaining.is_empty() {
@@ -535,11 +633,14 @@ fn plan_greedy(conditions: &[Condition], bound: &FxHashSet<&str>, graph: &Graph)
         }
         order.push(i);
         methods.push(method);
+        mults.push(m);
     }
     Plan {
         order,
         methods,
+        mults,
         est_cost: cost,
+        dp_fallback: false,
     }
 }
 
@@ -550,7 +651,9 @@ fn plan_dp(conditions: &[Condition], initial_bound: &FxHashSet<&str>, graph: &Gr
         return Plan {
             order: vec![],
             methods: vec![],
+            mults: vec![],
             est_cost: 0.0,
+            dp_fallback: false,
         };
     }
 
@@ -645,12 +748,14 @@ fn plan_dp(conditions: &[Condition], initial_bound: &FxHashSet<&str>, graph: &Gr
     }
     order.reverse();
 
-    // Recompute method tags along the chosen order.
+    // Recompute method tags and multipliers along the chosen order.
     let mut bound: FxHashSet<&str> = initial_bound.clone();
     let mut methods = Vec::with_capacity(n);
+    let mut mults = Vec::with_capacity(n);
     for &i in &order {
-        let (_, method) = multiplier(&conditions[i], &bound, graph, &stats);
+        let (m, method) = multiplier(&conditions[i], &bound, graph, &stats);
         methods.push(method);
+        mults.push(m);
         for v in vars_of(&conditions[i]) {
             bound.insert(v);
         }
@@ -658,7 +763,9 @@ fn plan_dp(conditions: &[Condition], initial_bound: &FxHashSet<&str>, graph: &Gr
     Plan {
         order,
         methods,
+        mults,
         est_cost: final_cost,
+        dp_fallback: false,
     }
 }
 

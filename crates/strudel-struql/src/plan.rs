@@ -1,0 +1,594 @@
+//! Compiled physical plans: the logical→physical layer between the
+//! optimizer's condition ordering ([`crate::optimize`]) and the evaluator's
+//! operators ([`crate::eval`]).
+//!
+//! The paper's cost-based optimizer "can enumerate plans that exploit
+//! indexes on the data and the schema" (§2.4, \[FLO 97\]). Through PR 5 this
+//! repository ordered conditions at plan time but re-made every *physical*
+//! decision — semijoin vs hash probe vs scan vs reverse-index vs RPE
+//! variant — inside `eval.rs` on every evaluation of every block. This
+//! module compiles each conjunction once into an explicit [`PhysicalPlan`]
+//! whose nodes name the concrete operator ([`PhysOp`], one variant per tag
+//! of the PR 5 strategy catalog) and carry cardinality estimates from the
+//! index statistics; the evaluator then executes the plan directly.
+//!
+//! Why the operator choice can be made statically: every dispatch decision
+//! in the evaluator depends only on (a) which variables are bound when the
+//! condition runs, (b) the shape of the condition's terms, and (c) whether
+//! the graph is indexed. Boundness at each plan position is fully determined
+//! by the start bindings and the conditions applied before it
+//! ([`crate::optimize::vars_of`] is exactly the bound-after set), the term
+//! shapes are static, and indexedness is part of the plan-cache stamp. So a
+//! plan compiled once is valid for every evaluation of the same conjunction
+//! from the same starting schema against the same graph state.
+//!
+//! [`PlanCache`] memoizes compiled plans keyed by a query fingerprint and
+//! validated by [`CacheStamp::same_graph`] — graph identity and graph
+//! revision, deliberately ignoring the universe revision: constructing
+//! output nodes bumps the shared universe on every build, but plan validity
+//! only depends on the *input* graph's edges, collections and indexedness,
+//! all covered by the graph revision. Dynamic page expansion, incremental
+//! delta rules and multi-block builds therefore stop re-planning the same
+//! conjunctions.
+//!
+//! Adaptivity: when an executed node's observed rows-out diverges from its
+//! estimate by more than a configurable factor, the evaluator calls
+//! [`replan_suffix`] with multipliers *measured* on a sample of the live
+//! bindings (see `eval.rs`). Re-planning with the same static cost model
+//! would reproduce the same order — the point of the runtime feedback loop
+//! is that sampled multipliers replace the estimates that were wrong.
+
+use crate::ast::{CmpOp, Condition, PathStep, Rpe, Term};
+use crate::optimize::{multiplier, pick_next, plan, vars_of, GraphStats, Optimizer};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use strudel_graph::fxhash::{FxHashMap, FxHashSet};
+use strudel_graph::graph::CacheStamp;
+use strudel_graph::Graph;
+
+/// The concrete physical operator a plan node executes. One variant per
+/// strategy tag of the PR 5 catalog — [`PhysOp::tag`] returns exactly the
+/// string the profiler records, so plans, profiles and `/metrics` all speak
+/// the same operator vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PhysOp {
+    /// Membership filter of a bound variable against a collection extent.
+    CollectionSemijoin,
+    /// Cross-join with a collection extent (or its complement, negated).
+    CollectionScan,
+    /// Constant membership test of a literal: keeps or empties the input.
+    CollectionConst,
+    /// `v = <bound>`: binds the unbound side, one row out per row in.
+    CompareBind,
+    /// Comparison filter (expanding any still-unbound variables first).
+    CompareFilter,
+    /// `v IN {…}` membership filter of a bound (or expanded) variable.
+    InSemijoin,
+    /// `v IN {…}` enumeration: binds `v` to each set element.
+    InExpand,
+    /// Built-in predicate filter (expanding unbound arguments first).
+    PredicateFilter,
+    /// Negated single-edge condition as an anti-semijoin.
+    NegEdgeSemijoin,
+    /// Arc-variable edge from a bound source: out-adjacency expansion.
+    ArcForward,
+    /// Arc-variable edge onto a bound target via the reverse index.
+    ArcReverseIndex,
+    /// Arc-variable edge onto a bound target via a one-shot probe table.
+    ArcHashJoin,
+    /// Arc-variable edge with both ends unbound: full edge scan.
+    ArcScan,
+    /// Negated single-label path as an anti-semijoin.
+    NegLabelSemijoin,
+    /// Single-label path from a bound source binding a fresh target.
+    LabelForward,
+    /// Single-label path between bound endpoints: adjacency semijoin.
+    LabelSemijoin,
+    /// Single-label path onto a bound target via the reverse index.
+    LabelReverseIndex,
+    /// Single-label path onto a bound target via the materialized
+    /// reverse-adjacency map (unindexed graphs).
+    LabelHashJoin,
+    /// Single-label path with both ends unbound: label-pair scan.
+    LabelScan,
+    /// Negated regular path as an anti-semijoin over reachability sets.
+    NegRpeSemijoin,
+    /// Regular path from a bound source: memoized forward BFS.
+    RpeForward,
+    /// Regular path onto a bound target: reversed automaton backward BFS.
+    RpeReverse,
+    /// Regular path with both ends unbound: per-node reachability scan.
+    RpeScan,
+    /// Unresolved bare path step — only reachable on unanalyzed queries;
+    /// executing it reports the analysis error.
+    BareEdge,
+}
+
+impl PhysOp {
+    /// The strategy tag the profiler records for this operator.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PhysOp::CollectionSemijoin => "collection-semijoin",
+            PhysOp::CollectionScan => "collection-scan",
+            PhysOp::CollectionConst => "collection-const",
+            PhysOp::CompareBind => "compare-bind",
+            PhysOp::CompareFilter => "compare-filter",
+            PhysOp::InSemijoin => "in-semijoin",
+            PhysOp::InExpand => "in-expand",
+            PhysOp::PredicateFilter => "predicate-filter",
+            PhysOp::NegEdgeSemijoin => "neg-edge-semijoin",
+            PhysOp::ArcForward => "arc-forward",
+            PhysOp::ArcReverseIndex => "arc-reverse-index",
+            PhysOp::ArcHashJoin => "arc-hash-join",
+            PhysOp::ArcScan => "arc-scan",
+            PhysOp::NegLabelSemijoin => "neg-label-semijoin",
+            PhysOp::LabelForward => "label-forward",
+            PhysOp::LabelSemijoin => "label-semijoin",
+            PhysOp::LabelReverseIndex => "label-reverse-index",
+            PhysOp::LabelHashJoin => "label-hash-join",
+            PhysOp::LabelScan => "label-scan",
+            PhysOp::NegRpeSemijoin => "neg-rpe-semijoin",
+            PhysOp::RpeForward => "rpe-forward",
+            PhysOp::RpeReverse => "rpe-reverse",
+            PhysOp::RpeScan => "rpe-scan",
+            PhysOp::BareEdge => "bare-edge",
+        }
+    }
+}
+
+/// Chooses the physical operator for `cond` given which variables are bound
+/// and whether the graph is indexed. This is THE operator-selection function:
+/// the evaluator's `apply` calls it with runtime boundness, the compiler
+/// calls it with statically tracked boundness, and the two agree because
+/// static tracking mirrors the runtime schema exactly (see module docs).
+pub fn choose_op(cond: &Condition, bound: &dyn Fn(&str) -> bool, indexed: bool) -> PhysOp {
+    // Non-variable terms count as "bound": literals are constants, and
+    // Skolem/aggregate terms fail inside the operator with a typed error —
+    // the same branch the interpreted dispatch took.
+    let term_bound = |t: &Term| match t {
+        Term::Var(v) => bound(v),
+        _ => true,
+    };
+    match cond {
+        Condition::Collection { arg, .. } => match arg {
+            Term::Var(v) if bound(v) => PhysOp::CollectionSemijoin,
+            Term::Var(_) => PhysOp::CollectionScan,
+            _ => PhysOp::CollectionConst,
+        },
+        Condition::Compare { lhs, op, rhs } => {
+            if *op == CmpOp::Eq && (term_bound(lhs) ^ term_bound(rhs)) {
+                PhysOp::CompareBind
+            } else {
+                PhysOp::CompareFilter
+            }
+        }
+        Condition::In { var, negated, .. } => {
+            // A negated `IN` over an unbound variable expands the active
+            // domain and then filters — the semijoin with a built-in expand.
+            if bound(var) || *negated {
+                PhysOp::InSemijoin
+            } else {
+                PhysOp::InExpand
+            }
+        }
+        Condition::Predicate { .. } => PhysOp::PredicateFilter,
+        Condition::Edge {
+            from,
+            step,
+            to,
+            negated,
+        } => match step {
+            PathStep::ArcVar(_) => {
+                if *negated {
+                    PhysOp::NegEdgeSemijoin
+                } else if term_bound(from) {
+                    PhysOp::ArcForward
+                } else if term_bound(to) && indexed {
+                    PhysOp::ArcReverseIndex
+                } else if matches!(to, Term::Var(v) if bound(v)) {
+                    PhysOp::ArcHashJoin
+                } else {
+                    PhysOp::ArcScan
+                }
+            }
+            PathStep::Rpe(Rpe::Label(_)) => {
+                if *negated {
+                    PhysOp::NegLabelSemijoin
+                } else if term_bound(from) {
+                    match to {
+                        Term::Var(v) if !bound(v) => PhysOp::LabelForward,
+                        _ => PhysOp::LabelSemijoin,
+                    }
+                } else if term_bound(to) {
+                    if indexed {
+                        PhysOp::LabelReverseIndex
+                    } else {
+                        PhysOp::LabelHashJoin
+                    }
+                } else {
+                    PhysOp::LabelScan
+                }
+            }
+            PathStep::Rpe(_) => {
+                if *negated {
+                    PhysOp::NegRpeSemijoin
+                } else if term_bound(from) {
+                    PhysOp::RpeForward
+                } else if term_bound(to) {
+                    PhysOp::RpeReverse
+                } else {
+                    PhysOp::RpeScan
+                }
+            }
+            PathStep::Bare(_) => PhysOp::BareEdge,
+        },
+    }
+}
+
+/// One node of a compiled plan: which condition to run, with which physical
+/// operator, and what the cost model expects it to produce.
+#[derive(Clone, Debug)]
+pub struct PlanNode {
+    /// Index into the governing condition slice.
+    pub cond: usize,
+    /// The physical operator chosen at compile time.
+    pub op: PhysOp,
+    /// Estimated result multiplier (rows out per row in).
+    pub est_mult: f64,
+    /// Estimated cumulative rows after this node, from a one-row start.
+    pub est_rows: f64,
+}
+
+/// A compiled physical plan for one conjunction of conditions.
+#[derive(Clone, Debug)]
+pub struct PhysicalPlan {
+    /// Nodes in execution order.
+    pub nodes: Vec<PlanNode>,
+    /// Estimated total intermediate rows.
+    pub est_cost: f64,
+    /// The optimizer that ordered the conditions.
+    pub optimizer: Optimizer,
+    /// Whether the cost-based planner fell back to the greedy heuristic
+    /// (block exceeded `DP_LIMIT` conditions).
+    pub dp_fallback: bool,
+}
+
+impl PhysicalPlan {
+    /// Compiles `conds` into a physical plan: orders them with the chosen
+    /// optimizer, then fixes each node's operator from the statically
+    /// tracked bound-variable set and annotates it with the cost model's
+    /// cardinality estimates.
+    pub fn compile(
+        conds: &[Condition],
+        bound: &FxHashSet<&str>,
+        graph: &Graph,
+        optimizer: Optimizer,
+    ) -> PhysicalPlan {
+        let p = plan(conds, bound, graph, optimizer);
+        let indexed = graph.is_indexed();
+        let mut b: FxHashSet<&str> = bound.clone();
+        let mut rows = 1.0f64;
+        let mut nodes = Vec::with_capacity(p.order.len());
+        for (k, &i) in p.order.iter().enumerate() {
+            let op = choose_op(&conds[i], &|v| b.contains(v), indexed);
+            rows *= p.mults[k];
+            nodes.push(PlanNode {
+                cond: i,
+                op,
+                est_mult: p.mults[k],
+                est_rows: rows,
+            });
+            for v in vars_of(&conds[i]) {
+                b.insert(v);
+            }
+        }
+        PhysicalPlan {
+            nodes,
+            est_cost: p.est_cost,
+            optimizer,
+            dp_fallback: p.dp_fallback,
+        }
+    }
+
+    /// Renders the plan tree, one node per line with its physical operator
+    /// and estimated rows.
+    pub fn describe(&self, conds: &[Condition]) -> String {
+        self.render(conds, &[])
+    }
+
+    /// Like [`PhysicalPlan::describe`], additionally printing observed rows
+    /// for the nodes `observed` covers (parallel to `nodes`; the evaluator
+    /// records them when profiling).
+    pub fn render(&self, conds: &[Condition], observed: &[Option<u64>]) -> String {
+        let mut s = String::new();
+        for (rank, node) in self.nodes.iter().enumerate() {
+            let _ = write!(
+                s,
+                "  {rank}. [{}] {}  est {:.1} rows",
+                node.op.tag(),
+                conds[node.cond],
+                node.est_rows
+            );
+            if let Some(o) = observed.get(rank).copied().flatten() {
+                let _ = write!(s, ", obs {o} rows");
+            }
+            s.push('\n');
+        }
+        let _ = writeln!(
+            s,
+            "  est. cost: {:.1} ({}{})",
+            self.est_cost,
+            self.optimizer.name(),
+            if self.dp_fallback {
+                ", dp-fallback to greedy"
+            } else {
+                ""
+            }
+        );
+        s
+    }
+}
+
+/// Re-plans the remaining suffix of a running plan using *measured* result
+/// multipliers where available (`measured` maps condition index → observed
+/// multiplier from sampling) and static estimates elsewhere. The greedy
+/// reorder respects the same active-domain eligibility rules as the
+/// planners, so any order it emits is result-equivalent.
+pub(crate) fn replan_suffix(
+    conds: &[Condition],
+    remaining: &[usize],
+    bound: &FxHashSet<&str>,
+    graph: &Graph,
+    rows_now: f64,
+    measured: &FxHashMap<usize, f64>,
+) -> Vec<PlanNode> {
+    let stats = GraphStats::of(graph);
+    let indexed = graph.is_indexed();
+    let mut bound: FxHashSet<&str> = bound.clone();
+    let mut remaining: Vec<usize> = remaining.to_vec();
+    let mut nodes = Vec::with_capacity(remaining.len());
+    let mut rows = rows_now.max(1.0);
+    while !remaining.is_empty() {
+        let est = |i: usize, bound: &FxHashSet<&str>| {
+            measured
+                .get(&i)
+                .copied()
+                .unwrap_or_else(|| multiplier(&conds[i], bound, graph, &stats).0)
+        };
+        let i = pick_next(conds, &remaining, &bound, |i| est(i, &bound));
+        remaining.retain(|&j| j != i);
+        let m = est(i, &bound);
+        let op = choose_op(&conds[i], &|v| bound.contains(v), indexed);
+        rows *= m;
+        nodes.push(PlanNode {
+            cond: i,
+            op,
+            est_mult: m,
+            est_rows: rows,
+        });
+        for v in vars_of(&conds[i]) {
+            bound.insert(v);
+        }
+    }
+    nodes
+}
+
+/// A snapshot of [`PlanCache`] counters.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Evaluations that reused a cached plan.
+    pub hits: u64,
+    /// Fingerprints planned for the first time.
+    pub misses: u64,
+    /// Cached plans discarded because the graph changed (stamp mismatch).
+    pub invalidations: u64,
+}
+
+/// A memo of compiled plans keyed by query fingerprint and validated against
+/// the graph's cache stamp. Shared through `EvalOptions` (cloning the
+/// options shares the cache), so dynamic page expansion, incremental delta
+/// rules, and repeated multi-block builds stop re-planning identical
+/// conjunctions. Thread-safe; the map lock is never held while compiling.
+#[derive(Default)]
+pub struct PlanCache {
+    inner: Mutex<FxHashMap<String, CachedPlan>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+struct CachedPlan {
+    stamp: CacheStamp,
+    plan: Arc<PhysicalPlan>,
+}
+
+impl PlanCache {
+    fn lock(&self) -> MutexGuard<'_, FxHashMap<String, CachedPlan>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Hit/miss/invalidation counters over the cache's lifetime.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all cached plans (counters are kept — they describe lifetime
+    /// behaviour, like the path cache's).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Number of currently cached plans.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache currently holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// The cache key for a conjunction: optimizer, start schema (sorted, so
+    /// hash-set iteration order cannot split identical queries), and the
+    /// conditions in written order. Graph state is *not* part of the key —
+    /// it is the validation stamp, so a mutated graph replaces the entry
+    /// instead of growing the map.
+    pub fn fingerprint(
+        conds: &[Condition],
+        bound: &FxHashSet<&str>,
+        optimizer: Optimizer,
+    ) -> String {
+        let mut key = String::from(optimizer.name());
+        let mut bv: Vec<&str> = bound.iter().copied().collect();
+        bv.sort_unstable();
+        for v in bv {
+            key.push('\u{1}');
+            key.push_str(v);
+        }
+        key.push('\u{2}');
+        for c in conds {
+            let _ = write!(key, "\u{1}{c}");
+        }
+        key
+    }
+
+    /// The compiled plan for this conjunction against this graph state:
+    /// from the cache when the stored stamp still matches
+    /// ([`CacheStamp::same_graph`] — graph id and graph revision; universe
+    /// churn from constructing output does not invalidate plans), compiled
+    /// and inserted otherwise.
+    pub fn get_or_compile(
+        &self,
+        conds: &[Condition],
+        bound: &FxHashSet<&str>,
+        graph: &Graph,
+        optimizer: Optimizer,
+    ) -> Arc<PhysicalPlan> {
+        let key = Self::fingerprint(conds, bound, optimizer);
+        let stamp = graph.cache_stamp();
+        let stale = {
+            let map = self.lock();
+            match map.get(&key) {
+                Some(c) if c.stamp.same_graph(&stamp) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(&c.plan);
+                }
+                Some(_) => true,
+                None => false,
+            }
+        };
+        if stale {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let plan = Arc::new(PhysicalPlan::compile(conds, bound, graph, optimizer));
+        self.lock().insert(
+            key,
+            CachedPlan {
+                stamp,
+                plan: Arc::clone(&plan),
+            },
+        );
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use strudel_graph::Value;
+
+    fn graph() -> Graph {
+        let mut g = Graph::standalone();
+        for i in 0..20 {
+            let n = g.new_node(None);
+            g.add_to_collection_str("Big", Value::Node(n));
+            g.add_edge_str(n, "k", i as i64).unwrap();
+            if i < 2 {
+                g.add_to_collection_str("Small", Value::Node(n));
+            }
+        }
+        g
+    }
+
+    fn conds(src: &str) -> Vec<Condition> {
+        let q = parse_query(src).unwrap();
+        let a =
+            crate::analyze::analyze(&q, &crate::pred::PredicateRegistry::with_builtins()).unwrap();
+        a.query.root.where_.clone()
+    }
+
+    #[test]
+    fn compile_fixes_operators_and_estimates() {
+        let g = graph();
+        let cs = conds(r#"WHERE Small(x), x -> "k" -> v COLLECT Out(x)"#);
+        let p = PhysicalPlan::compile(&cs, &FxHashSet::default(), &g, Optimizer::CostBased);
+        assert_eq!(p.nodes.len(), 2);
+        assert_eq!(p.nodes[0].op, PhysOp::CollectionScan);
+        assert_eq!(p.nodes[1].op, PhysOp::LabelForward);
+        assert!(p.nodes[0].est_rows > 0.0);
+        assert!((p.nodes[1].est_rows - p.nodes[0].est_rows * p.nodes[1].est_mult).abs() < 1e-9);
+        let desc = p.describe(&cs);
+        assert!(desc.contains("collection-scan"), "{desc}");
+        assert!(desc.contains("est. cost"), "{desc}");
+    }
+
+    #[test]
+    fn choose_op_tracks_boundness_and_indexing() {
+        let cs = conds(r#"WHERE x -> "k" -> v COLLECT Out(x)"#);
+        let unbound = |_: &str| false;
+        let all_bound = |_: &str| true;
+        assert_eq!(choose_op(&cs[0], &unbound, true), PhysOp::LabelScan);
+        assert_eq!(choose_op(&cs[0], &all_bound, true), PhysOp::LabelSemijoin);
+        let only_v = |s: &str| s == "v";
+        assert_eq!(choose_op(&cs[0], &only_v, true), PhysOp::LabelReverseIndex);
+        assert_eq!(choose_op(&cs[0], &only_v, false), PhysOp::LabelHashJoin);
+        let only_x = |s: &str| s == "x";
+        assert_eq!(choose_op(&cs[0], &only_x, true), PhysOp::LabelForward);
+    }
+
+    #[test]
+    fn plan_cache_hits_then_invalidates_on_mutation() {
+        let mut g = graph();
+        let cs = conds(r#"WHERE Big(x) COLLECT Out(x)"#);
+        let cache = PlanCache::default();
+        let bound = FxHashSet::default();
+        let p1 = cache.get_or_compile(&cs, &bound, &g, Optimizer::CostBased);
+        let p2 = cache.get_or_compile(&cs, &bound, &g, Optimizer::CostBased);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 1,
+                misses: 1,
+                invalidations: 0
+            }
+        );
+        let n = g.nodes()[0];
+        g.add_edge_str(n, "extra", 1i64).unwrap();
+        let _ = cache.get_or_compile(&cs, &bound, &g, Optimizer::CostBased);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.len(), 1, "stale entry replaced, not duplicated");
+    }
+
+    #[test]
+    fn fingerprint_separates_optimizer_bound_set_and_conditions() {
+        let cs = conds(r#"WHERE Big(x) COLLECT Out(x)"#);
+        let empty = FxHashSet::default();
+        let mut with_x = FxHashSet::default();
+        with_x.insert("x");
+        let a = PlanCache::fingerprint(&cs, &empty, Optimizer::CostBased);
+        let b = PlanCache::fingerprint(&cs, &with_x, Optimizer::CostBased);
+        let c = PlanCache::fingerprint(&cs, &empty, Optimizer::Naive);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, PlanCache::fingerprint(&cs, &empty, Optimizer::CostBased));
+    }
+}

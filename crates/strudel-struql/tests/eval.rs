@@ -495,10 +495,14 @@ fn explain_lists_block_plans() {
     let q = parse_query(FIG3).unwrap();
     let text = q.explain(&data, &EvalOptions::default()).unwrap();
     assert!(text.contains("Q2"), "{text}");
+    // Explain prints the compiled physical plan: concrete operator tags
+    // plus per-node row estimates.
     assert!(
-        text.contains("coll-scan") || text.contains("out-scan"),
+        text.contains("collection-scan") || text.contains("label-forward"),
         "{text}"
     );
+    assert!(text.contains("arc-forward"), "{text}");
+    assert!(text.contains("est. cost"), "{text}");
 }
 
 #[test]

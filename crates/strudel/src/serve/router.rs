@@ -102,6 +102,7 @@ impl Server<'_> {
         let s = self.metrics.snapshot();
         let d = self.site.stats();
         let p = self.site.path_cache_stats();
+        let q = self.site.plan_cache_stats();
         format!(
             concat!(
                 "{{\"requests\":{},\"errors\":{},",
@@ -112,7 +113,9 @@ impl Server<'_> {
                 "\"accept_errors\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"invalidated\":{},",
                 "\"entries\":{},\"bytes\":{},\"expansions\":{},\"clause_queries\":{}}},",
-                "\"path_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}}}}"
+                "\"path_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},",
+                "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},",
+                "\"planner_dp_fallbacks\":{}}}"
             ),
             s.requests,
             s.errors,
@@ -142,6 +145,10 @@ impl Server<'_> {
             p.hits,
             p.misses,
             p.invalidations,
+            q.hits,
+            q.misses,
+            q.invalidations,
+            strudel_struql::planner_dp_fallbacks(),
         )
     }
 
@@ -277,6 +284,28 @@ impl Server<'_> {
             "strudel_path_cache_invalidations_total",
             "Regular-path-expression memo-cache invalidations.",
             p.invalidations,
+        );
+        let q = self.site.plan_cache_stats();
+        m.counter(
+            "strudel_plan_cache_hits_total",
+            "Evaluations answered with a cached compiled physical plan.",
+            q.hits,
+        );
+        m.counter(
+            "strudel_plan_cache_misses_total",
+            "Conjunctions compiled into a physical plan for the first time.",
+            q.misses,
+        );
+        m.counter(
+            "strudel_plan_cache_invalidations_total",
+            "Cached plans discarded because the graph changed.",
+            q.invalidations,
+        );
+        m.counter(
+            "strudel_planner_dp_fallbacks_total",
+            "Cost-based plans that fell back to the greedy ordering because \
+             the block exceeded the DP join-order limit.",
+            strudel_struql::planner_dp_fallbacks(),
         );
         m.finish()
     }

@@ -1403,6 +1403,134 @@ fn parallel_full_build_matches_sequential() {
     }
 }
 
+// -------------------------------------------------- compiled plan layer ----
+//
+// PR 7 compiles each conjunction into an explicit physical plan (operator
+// choice + cardinality estimates) that is cached across evaluations and
+// adaptively re-optimized from runtime row counts. None of that machinery
+// may change *what* is computed: every planner/cache/adaptive configuration
+// must be set-equal to the reference interpreter, and whole-site builds
+// must stay byte-identical.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Executing the compiled physical plan — under every optimizer, with
+    /// the plan cache on or off, and with adaptive re-optimization forced
+    /// eager (`adapt_factor = 1.0`) or disabled — is set-equal to the
+    /// tuple-at-a-time reference interpreter.
+    #[test]
+    fn compiled_plans_match_reference(
+        rg in arb_graph(),
+        specs in proptest::collection::vec(
+            (0u8..9, 0u8..8, 0u8..8, 0u8..8, 0u8..9, 0u8..4, 0u8..4, -3i64..6),
+            0..6,
+        ),
+    ) {
+        use strudel::struql::{evaluate_conditions, Bindings};
+        let g = build_rich(&rg);
+        let conds = lower_conditions(&specs);
+        let expect = reference::canon(reference::evaluate(&g, &conds).iter());
+        for opt in [Optimizer::Naive, Optimizer::Heuristic, Optimizer::CostBased] {
+            for (cache, adaptive) in [(true, true), (true, false), (false, true), (false, false)] {
+                let mut opts = EvalOptions::with_optimizer(opt);
+                opts.use_plan_cache = cache;
+                opts.adaptive = adaptive;
+                opts.adapt_factor = 1.0; // replan on any estimate divergence
+                let got = evaluate_conditions(&conds, &g, Bindings::unit(), &opts).unwrap();
+                prop_assert_eq!(
+                    engine_row_set(&got),
+                    expect.clone(),
+                    "optimizer {:?} cache {} adaptive {}",
+                    opt,
+                    cache,
+                    adaptive
+                );
+            }
+        }
+    }
+}
+
+/// Whole-site builds are byte-identical across all three optimizers and
+/// with the plan cache on or off: same site-graph DDL, same rendered page
+/// bytes. The canonical binding order makes construction order (hence oid
+/// assignment and page text) plan-independent.
+#[test]
+fn optimizer_and_plan_cache_are_byte_invisible() {
+    let build_at = |opt: Optimizer, cache: bool| {
+        let mut s = strudel::synth::news::system(60, 7, false).unwrap();
+        s.options_mut().optimizer = opt;
+        s.options_mut().use_plan_cache = cache;
+        let build = s.build_site().unwrap();
+        let graph_ddl = ddl::print(&build.graph);
+        let site = s.generate_site(&["FrontPage"]).unwrap();
+        let mut pages: Vec<(String, String)> = site
+            .pages
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        pages.sort();
+        (graph_ddl, pages)
+    };
+    let baseline = build_at(Optimizer::CostBased, true);
+    for (opt, cache) in [
+        (Optimizer::Naive, true),
+        (Optimizer::Heuristic, true),
+        (Optimizer::CostBased, false),
+        (Optimizer::Naive, false),
+    ] {
+        let other = build_at(opt, cache);
+        assert_eq!(
+            other.0, baseline.0,
+            "site graph diverges under {opt:?} cache={cache}"
+        );
+        assert_eq!(
+            other.1, baseline.1,
+            "pages diverge under {opt:?} cache={cache}"
+        );
+    }
+}
+
+/// Plan-cache lifecycle regression: the first evaluation compiles (miss),
+/// re-evaluating the same query against the unchanged graph hits without
+/// recompiling, and mutating the graph invalidates the stale entry.
+#[test]
+fn plan_cache_hits_then_invalidates() {
+    let mut g = Graph::standalone();
+    let n = g.new_node(Some("n0"));
+    g.add_to_collection_str("Nodes", Value::Node(n));
+    g.add_edge_str(n, "a", Value::str("x")).unwrap();
+    let q = parse_query(r#"WHERE Nodes(x), x -> "a" -> y COLLECT Out(y)"#).unwrap();
+    let opts = EvalOptions::default();
+
+    q.evaluate(&g, &opts).unwrap();
+    let s1 = opts.plan_cache.stats();
+    assert!(s1.misses >= 1, "first evaluation must compile: {s1:?}");
+    assert_eq!(s1.hits, 0, "{s1:?}");
+
+    q.evaluate(&g, &opts).unwrap();
+    let s2 = opts.plan_cache.stats();
+    assert_eq!(s2.misses, s1.misses, "re-evaluation must not recompile");
+    assert!(s2.hits > 0, "re-evaluation must hit the plan cache: {s2:?}");
+
+    g.add_edge_str(n, "a", Value::str("y")).unwrap();
+    q.evaluate(&g, &opts).unwrap();
+    let s3 = opts.plan_cache.stats();
+    // A stale entry counts as an invalidation (recompile), not a miss.
+    assert!(
+        s3.invalidations > s2.invalidations,
+        "graph mutation must invalidate the cached plan: {s3:?}"
+    );
+    assert_eq!(s3.misses, s2.misses, "{s3:?}");
+
+    q.evaluate(&g, &opts).unwrap();
+    let s4 = opts.plan_cache.stats();
+    assert!(
+        s4.hits > s2.hits,
+        "recompiled plan must be reusable: {s4:?}"
+    );
+}
+
 // ------------------------------------------------------------- templates ----
 
 proptest! {
