@@ -1,0 +1,147 @@
+//! Durable-storage benchmark: the paged store's commit path, crash
+//! recovery, and cold-open cost against a full rebuild from DDL text.
+//!
+//! Reported numbers (written to `BENCH_storage.json` at the repo root):
+//! - `commit_us` — median / p99 latency of a durable single-node commit
+//!   (WAL append + commit record + fsync).
+//! - `recovery_ms` — time for `PagedStore::open` to replay a log of
+//!   `wal_txns` committed transactions after a simulated kill.
+//! - `cold_open_ms` vs `rebuild_ms` — opening a checkpointed store versus
+//!   re-parsing the equivalent DDL corpus.
+//! - `checkpoint_ms` / `compact_ms` — folding the log into pages and
+//!   rewriting the file at its minimal size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+use strudel::synth::news;
+use strudel_graph::store::{PagedStore, WireValue};
+use strudel_graph::{ddl, Graph};
+
+fn corpus(n: usize) -> (String, Graph) {
+    let text = news::generate_ddl(n, 3);
+    let graph = ddl::parse(&text).unwrap();
+    (text, graph)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strudel_bench_storage_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn commit_one(store: &mut PagedStore, i: i64) {
+    let mut txn = store.begin();
+    let node = txn.add_node(None);
+    txn.add_edge(node, "seq", WireValue::Int(i));
+    txn.commit().unwrap();
+}
+
+fn percentile(mut v: Vec<f64>, p: f64) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[((v.len() - 1) as f64 * p) as usize]
+}
+
+fn bench_paged(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paged_storage");
+    group.sample_size(10);
+    for &n in &[100usize, 1000] {
+        let (_, g) = corpus(n);
+        let path = scratch(&format!("crit_{n}.pdb"));
+        let _ = std::fs::remove_file(&path);
+        let mut store = PagedStore::import(&path, &g).unwrap();
+        store.set_wal_limit(u64::MAX);
+        let mut i = 0i64;
+        group.bench_with_input(BenchmarkId::new("durable_commit", n), &n, |b, _| {
+            b.iter(|| {
+                i += 1;
+                commit_one(&mut store, i);
+                black_box(store.revision())
+            });
+        });
+        store.checkpoint().unwrap();
+        drop(store);
+        group.bench_with_input(BenchmarkId::new("cold_open", n), &path, |b, path| {
+            b.iter(|| black_box(PagedStore::open(path).unwrap().revision()));
+        });
+    }
+    group.finish();
+}
+
+fn report() {
+    use std::fmt::Write as _;
+    println!("=== Durable storage: commit, recovery, cold open ===");
+    let mut json = String::from("{\n");
+    let sizes = [100usize, 1000];
+    for (si, &n) in sizes.iter().enumerate() {
+        let (text, g) = corpus(n);
+
+        // Durable commit latency over a fresh store.
+        let path = scratch(&format!("report_{n}.pdb"));
+        let _ = std::fs::remove_file(&path);
+        let mut store = PagedStore::import(&path, &g).unwrap();
+        store.set_wal_limit(u64::MAX);
+        let mut lat = Vec::new();
+        for i in 0..200i64 {
+            let t = Instant::now();
+            commit_one(&mut store, i);
+            lat.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        let (commit_med, commit_p99) = (percentile(lat.clone(), 0.5), percentile(lat, 0.99));
+
+        // Recovery: kill with 200 txns in the log, time the replay.
+        let wal_txns = 200usize;
+        let wal_bytes = store.wal_size();
+        drop(store);
+        let t = Instant::now();
+        let mut store = PagedStore::open(&path).unwrap();
+        let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Checkpoint, then cold-open vs full DDL rebuild.
+        let t = Instant::now();
+        store.checkpoint().unwrap();
+        let checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let report = store.compact().unwrap();
+        let compact_ms = t.elapsed().as_secs_f64() * 1e3;
+        drop(store);
+        let t = Instant::now();
+        black_box(PagedStore::open(&path).unwrap().graph().edge_count());
+        let cold_open_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        black_box(ddl::parse(&text).unwrap().edge_count());
+        let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        println!(
+            "  n={n:<5} commit med={commit_med:>7.1}µs p99={commit_p99:>7.1}µs   \
+             recovery({wal_txns} txns, {wal_bytes}B wal)={recovery_ms:>7.2}ms   \
+             cold open={cold_open_ms:>6.2}ms vs rebuild={rebuild_ms:>6.2}ms   \
+             checkpoint={checkpoint_ms:.2}ms compact={compact_ms:.2}ms \
+             ({}->{} pages)",
+            report.pages_before, report.pages_after
+        );
+        let comma = if si + 1 < sizes.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "  \"n{n}\": {{\"commit_median_us\": {commit_med:.1}, \"commit_p99_us\": {commit_p99:.1}, \
+             \"wal_txns\": {wal_txns}, \"wal_bytes\": {wal_bytes}, \"recovery_ms\": {recovery_ms:.2}, \
+             \"cold_open_ms\": {cold_open_ms:.2}, \"rebuild_ms\": {rebuild_ms:.2}, \
+             \"checkpoint_ms\": {checkpoint_ms:.2}, \"compact_ms\": {compact_ms:.2}, \
+             \"pages_before_compact\": {}, \"pages_after_compact\": {}}}{comma}",
+            report.pages_before, report.pages_after
+        );
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_storage.json");
+    std::fs::write(path, &json).unwrap();
+    println!("\nwrote {path}\n");
+}
+
+fn benches_with_report(c: &mut Criterion) {
+    report();
+    bench_paged(c);
+}
+
+criterion_group!(benches, benches_with_report);
+criterion_main!(benches);

@@ -2,19 +2,26 @@
 //! management system.
 //!
 //! ```text
-//! strudel-cli build   <site.spec> [--jobs N] [--timings]  generate the browsable site
+//! strudel-cli build   <site.spec> [--jobs N] [--timings] [--data FILE]
+//!                                                 generate the browsable site
 //! strudel-cli schema  <site.spec>                 print the site schema (DOT)
 //! strudel-cli explain <site.spec> [--profile [--json]]  optimizer plans per block
 //! strudel-cli verify  <site.spec> <constraint>    check a structural constraint
-//! strudel-cli query   <data.(ddl|bin)> <q.struql> [--profile [--json]]
+//! strudel-cli query   <data.(ddl|bin|pdb)> <q.struql> [--profile [--json]]
 //!                                                 run an ad-hoc query, print DDL
 //! strudel-cli serve   <site.spec> [addr]          click-time evaluation over HTTP
-//!     [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded]
+//!     [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded] [--data FILE]
 //! strudel-cli loadtest <site.spec>                zipfian load against the server
 //!     [--conns A,B] [--duration-ms N] [--zipf S] [--threads N] [--max-urls N]
 //!     [--pipeline-depth N] [--seed N] [--out FILE] [--threaded]
+//! strudel-cli store   import <data.(ddl|bin)> <store.pdb>   seed a paged store
+//! strudel-cli store   info <store.pdb>            revision, pages, WAL, contents
+//! strudel-cli store   compact <store.pdb>         checkpoint + rewrite minimal
 //! strudel-cli demo    <dir>                       write a ready-to-build demo site
 //! ```
+//!
+//! `--data FILE` registers a paged graph store (crash-recovered on open) as
+//! an extra data source named `store` alongside the spec's sources.
 //!
 //! Observability flags:
 //!
@@ -55,9 +62,10 @@ fn main() -> ExitCode {
         }
         Some("serve") if args.len() >= 2 => cmd_serve(Path::new(&args[1]), &args[2..]),
         Some("loadtest") if args.len() >= 2 => loadtest::run(Path::new(&args[1]), &args[2..]),
+        Some("store") if args.len() >= 2 => cmd_store(&args[1], &args[2..]),
         Some("demo") if args.len() == 2 => cmd_demo(Path::new(&args[1])),
         _ => {
-            eprintln!("usage:\n  strudel-cli build   <site.spec> [--jobs N] [--timings]\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec> [--profile [--json]]\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin)> <query.struql> [--profile [--json]]\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded]\n  strudel-cli loadtest <site.spec> [--conns A,B] [--duration-ms N] [--zipf S] [--threads N]\n                       [--max-urls N] [--pipeline-depth N] [--seed N] [--out FILE] [--threaded]\n  strudel-cli demo    <dir>");
+            eprintln!("usage:\n  strudel-cli build   <site.spec> [--jobs N] [--timings] [--data FILE]\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec> [--profile [--json]]\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin|pdb)> <query.struql> [--profile [--json]]\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded] [--data FILE]\n  strudel-cli loadtest <site.spec> [--conns A,B] [--duration-ms N] [--zipf S] [--threads N]\n                       [--max-urls N] [--pipeline-depth N] [--seed N] [--out FILE] [--threaded]\n  strudel-cli store   import <data.(ddl|bin)> <store.pdb> | info <store.pdb> | compact <store.pdb>\n  strudel-cli demo    <dir>");
             return ExitCode::from(2);
         }
     };
@@ -131,6 +139,7 @@ fn load_system(spec_path: &Path) -> Result<(Strudel, spec::Spec), AnyError> {
                 s.add_html_source(name, vec![(path.display().to_string(), html)]);
             }
             "xml" => s.add_xml_source(name, &read(path)?),
+            "store" => s.add_store_source(name, path),
             _ => unreachable!("validated by spec parser"),
         }
     }
@@ -160,11 +169,13 @@ fn load_system(spec_path: &Path) -> Result<(Strudel, spec::Spec), AnyError> {
 
 /// `rest` holds everything after the spec path: an optional `--jobs N`
 /// flag (worker threads for evaluation, construction and rendering;
-/// defaults to the machine's available parallelism) and `--timings`
-/// (print a phase-breakdown JSON object instead of the summary line).
+/// defaults to the machine's available parallelism), `--timings`
+/// (print a phase-breakdown JSON object instead of the summary line), and
+/// `--data FILE` (mount a paged graph store as an extra source).
 fn cmd_build(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut timings = false;
+    let mut data: Option<String> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -176,10 +187,14 @@ fn cmd_build(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
                     .max(1);
             }
             "--timings" => timings = true,
+            "--data" => data = Some(it.next().ok_or("--data needs a file")?.clone()),
             s => return Err(format!("unknown argument {s}").into()),
         }
     }
     let (mut s, sp) = load_system(spec_path)?;
+    if let Some(store_path) = &data {
+        s.add_store_source("store", Path::new(store_path));
+    }
     s.set_jobs(jobs);
     let roots: Vec<&str> = sp.roots.iter().map(String::as_str).collect();
     let out = sp
@@ -315,6 +330,12 @@ fn cmd_query(data_path: &Path, query_path: &Path, rest: &[String]) -> Result<(),
     let mode = parse_profile_flags(rest)?;
     let data = if data_path.extension().is_some_and(|e| e == "bin") {
         strudel::graph::store::load_from_file(data_path)?
+    } else if data_path.extension().is_some_and(|e| e == "pdb") {
+        // A paged store: open (running crash recovery if the last writer
+        // died) and query its current revision.
+        let store = strudel::graph::store::PagedStore::open(data_path)?;
+        let bytes = store.serialize()?;
+        strudel::graph::store::load_slice(&bytes)?
     } else {
         strudel::graph::ddl::parse(&read(data_path)?)?
     };
@@ -358,6 +379,7 @@ fn cmd_serve(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
     let mut addr = "127.0.0.1:8017".to_string();
     let mut config = strudel::serve::ServerConfig::default();
     let mut cache = strudel::site::CacheConfig::default();
+    let mut data: Option<String> = None;
 
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -370,12 +392,16 @@ fn cmd_serve(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
             "--cache-entries" => cache.max_entries = flag_value("--cache-entries")?,
             "--cache-bytes" => cache.max_bytes = flag_value("--cache-bytes")?,
             "--threaded" => config.mode = strudel::serve::ServeMode::Threaded,
+            "--data" => data = Some(it.next().ok_or("--data needs a file")?.clone()),
             s if s.starts_with("--") => return Err(format!("unknown flag {s}").into()),
             s => addr = s.to_string(),
         }
     }
 
     let (mut s, _) = load_system(spec_path)?;
+    if let Some(store_path) = &data {
+        s.add_store_source("store", Path::new(store_path));
+    }
     let dynamic = s.dynamic_site_with(cache)?;
     let server = strudel::serve::Server::bind_with(dynamic, &addr, config)?;
     println!(
@@ -387,9 +413,67 @@ fn cmd_serve(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
+/// `strudel-cli store import|info|compact` — manage paged graph stores.
+fn cmd_store(verb: &str, rest: &[String]) -> Result<(), AnyError> {
+    use strudel::graph::store::PagedStore;
+    match (verb, rest) {
+        ("import", [data, dest]) => {
+            let data_path = Path::new(data);
+            let graph = if data_path.extension().is_some_and(|e| e == "bin") {
+                strudel::graph::store::load_from_file(data_path)?
+            } else {
+                strudel::graph::ddl::parse(&read(data_path)?)?
+            };
+            let store = PagedStore::import(Path::new(dest), &graph)?;
+            println!(
+                "imported {} nodes / {} edges into {} (revision {}, {} pages)",
+                graph.node_count(),
+                graph.edge_count(),
+                dest,
+                store.revision(),
+                store.page_count(),
+            );
+            Ok(())
+        }
+        ("info", [path]) => {
+            let store = PagedStore::open(Path::new(path))?;
+            let g = store.graph();
+            println!(
+                "revision {}: {} nodes, {} edges, {} collections",
+                store.revision(),
+                g.node_count(),
+                g.edge_count(),
+                g.collection_names().len(),
+            );
+            println!(
+                "pages {} ({} bytes), {} leaked; wal {} bytes",
+                store.page_count(),
+                store.page_count() as u64 * 4096,
+                store.leaked_pages(),
+                store.wal_size(),
+            );
+            Ok(())
+        }
+        ("compact", [path]) => {
+            let mut store = PagedStore::open(Path::new(path))?;
+            let report = store.compact()?;
+            println!(
+                "compacted {}: {} -> {} pages",
+                path, report.pages_before, report.pages_after
+            );
+            Ok(())
+        }
+        _ => Err("usage: strudel-cli store import <data.(ddl|bin)> <store.pdb> | info <store.pdb> | compact <store.pdb>".into()),
+    }
+}
+
 fn cmd_demo(dir: &Path) -> Result<(), AnyError> {
     std::fs::create_dir_all(dir)?;
-    let write = |name: &str, contents: &str| std::fs::write(dir.join(name), contents);
+    // Atomic per-file publication (same helper the site generator uses):
+    // an interrupted demo write never leaves a torn file behind.
+    let write = |name: &str, contents: &str| {
+        strudel::graph::fsio::atomic_write_in(dir, name, contents.as_bytes())
+    };
     write(
         "papers.bib",
         r#"@article{toplas97,
@@ -437,6 +521,7 @@ COLLECT Roots(HomePage())
         "demo.site",
         "source bibtex bibliography papers.bib\nquery site.struql\ntemplate HomePage home.tmpl\ntemplate Paper paper.tmpl\nroot HomePage\noutput out/\n",
     )?;
+    strudel::graph::fsio::fsync_dir(dir)?;
     println!(
         "demo written; try: strudel-cli build {}",
         dir.join("demo.site").display()

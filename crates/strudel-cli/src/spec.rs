@@ -25,7 +25,9 @@ use std::path::{Path, PathBuf};
 /// A parsed site specification.
 #[derive(Debug, Default)]
 pub struct Spec {
-    /// `(kind, name, path)` — kind ∈ bibtex | ddl | csv | html.
+    /// `(kind, name, path)` — kind ∈ bibtex | ddl | csv | html | xml | store
+    /// (`store` opens a paged graph store file, e.g. one written by
+    /// `strudel-cli store import`).
     pub sources: Vec<(String, String, PathBuf)>,
     /// Foreign keys for CSV sources: `(table, column, target_table, key)`.
     pub fks: Vec<(String, String, String, String)>,
@@ -70,8 +72,8 @@ pub fn parse(text: &str, base: &Path) -> Result<Spec, String> {
                 let [kind, name, path] = rest[..] else {
                     return Err(err("expected `source <kind> <name> <path>`"));
                 };
-                if !matches!(kind, "bibtex" | "ddl" | "csv" | "html" | "xml") {
-                    return Err(err("source kind must be bibtex|ddl|csv|html|xml"));
+                if !matches!(kind, "bibtex" | "ddl" | "csv" | "html" | "xml" | "store") {
+                    return Err(err("source kind must be bibtex|ddl|csv|html|xml|store"));
                 }
                 spec.sources
                     .push((kind.to_string(), name.to_string(), resolve(path)));
@@ -176,6 +178,23 @@ output out/
         assert_eq!(spec.queries, vec![PathBuf::from("/base/site.struql")]);
         assert_eq!(spec.roots, vec!["RootPage", "AbstractsPage"]);
         assert_eq!(spec.output, Some(PathBuf::from("/base/out/")));
+    }
+
+    #[test]
+    fn store_source_kind_accepted() {
+        let spec = parse(
+            "source store warehouse data.pdb\nquery q\nroot R",
+            Path::new("/base"),
+        )
+        .unwrap();
+        assert_eq!(
+            spec.sources,
+            vec![(
+                "store".to_string(),
+                "warehouse".to_string(),
+                PathBuf::from("/base/data.pdb")
+            )]
+        );
     }
 
     #[test]

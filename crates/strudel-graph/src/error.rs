@@ -21,10 +21,25 @@ pub enum GraphError {
         /// Description of what went wrong.
         message: String,
     },
-    /// A storage-layer failure: I/O errors, corrupt or truncated snapshot
-    /// files, and graphs too large for the on-disk format.
+    /// A storage-layer I/O failure (the operating system refused or lost a
+    /// read/write; the data itself is not known to be bad).
     Storage {
         /// Description of what went wrong.
+        message: String,
+    },
+    /// On-disk data failed validation: bad magic, checksum mismatch, an
+    /// out-of-range count or index, truncation, or trailing garbage. The
+    /// bytes cannot be trusted and were not loaded.
+    StorageCorrupt {
+        /// Description of what failed to validate, with context.
+        message: String,
+    },
+    /// Crash recovery could not restore a consistent revision: the
+    /// write-ahead log and the page file disagree (e.g. the log is ahead of
+    /// the base snapshot), or a committed delta no longer applies. Nothing
+    /// was loaded — recovery never yields a silently wrong graph.
+    StorageRecovery {
+        /// Description of the recovery invariant that failed.
         message: String,
     },
 }
@@ -40,11 +55,25 @@ impl fmt::Display for GraphError {
                 write!(f, "DDL parse error at line {line}: {message}")
             }
             GraphError::Storage { message } => write!(f, "storage error: {message}"),
+            GraphError::StorageCorrupt { message } => {
+                write!(f, "storage corruption: {message}")
+            }
+            GraphError::StorageRecovery { message } => {
+                write!(f, "storage recovery failed: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Storage {
+            message: format!("I/O error: {e}"),
+        }
+    }
+}
 
 /// Result alias for repository operations.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -23,21 +23,32 @@
 //! The crate also implements STRUDEL's data-definition language ([`ddl`]),
 //! the common exchange format between wrappers and the repository (the
 //! `collection … { } object … in … { }` syntax of Fig. 2 of the paper).
+//!
+//! Durability lives in three layers: [`fsio`] (atomic, fsynced file
+//! replacement), [`pager`] + [`wal`] (a checksummed page file and
+//! write-ahead log), and [`store`] (the graph codec plus the
+//! [`store::PagedStore`] transactional store with MVCC snapshots). See
+//! `docs/STORAGE.md` for formats and the crash-safety argument.
 
 #![warn(missing_docs)]
 
 pub mod database;
 pub mod ddl;
 pub mod error;
+pub mod fsio;
 pub mod fxhash;
 pub mod graph;
 pub mod index;
+pub mod pager;
+pub mod stats;
 pub mod store;
 pub mod symbol;
 pub mod value;
+pub mod wal;
 
 pub use database::Database;
 pub use error::{GraphError, Result};
 pub use graph::{Edge, Graph, NodeId as Oid};
+pub use stats::{storage_stats, StorageStats};
 pub use symbol::{Interner, Sym};
 pub use value::{FileKind, Value};

@@ -1,0 +1,126 @@
+//! Process-wide storage-layer counters.
+//!
+//! The pager and write-ahead log count their work into one static set of
+//! relaxed atomics, mirroring how `strudel_struql::planner_dp_fallbacks`
+//! surfaces planner events: the serving tier scrapes a [`StorageStats`]
+//! snapshot into `/stats` and `/metrics` without needing a handle to any
+//! particular [`crate::store::PagedStore`] instance. Counters are
+//! monotonic over the process lifetime (Prometheus `_total` semantics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One relaxed monotonic counter.
+#[derive(Default)]
+pub(crate) struct Cell(AtomicU64);
+
+impl Cell {
+    pub(crate) fn inc(&self) {
+        self.add(1);
+    }
+
+    pub(crate) fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The storage-layer counter set (see [`storage_stats`]).
+#[derive(Default)]
+pub(crate) struct StorageCounters {
+    /// Pages read from a page file (cache misses included).
+    pub page_reads: Cell,
+    /// Pages written to a page file (chain pages and header slots).
+    pub page_writes: Cell,
+    /// Page reads answered from the in-memory page cache.
+    pub page_cache_hits: Cell,
+    /// Page reads that had to touch the file.
+    pub page_cache_misses: Cell,
+    /// Pages lost to header-freelist overflow (reclaimed by `compact`).
+    pub pages_leaked: Cell,
+    /// Frames appended to a write-ahead log.
+    pub wal_appended_frames: Cell,
+    /// Commit records made durable (fsynced) in a write-ahead log.
+    pub wal_commits: Cell,
+    /// Bytes appended to a write-ahead log.
+    pub wal_bytes: Cell,
+    /// Checkpoints: WAL contents folded into the page file.
+    pub wal_checkpoints: Cell,
+    /// Store opens that replayed at least one committed WAL frame.
+    pub wal_recoveries: Cell,
+    /// Committed frames replayed into the graph during recovery.
+    pub wal_recovered_frames: Cell,
+    /// Torn WAL tails detected (and truncated) during recovery.
+    pub wal_torn_tails: Cell,
+    /// Store compactions (page file rewritten minimal).
+    pub compactions: Cell,
+}
+
+pub(crate) static STORAGE: StorageCounters = StorageCounters {
+    page_reads: Cell(AtomicU64::new(0)),
+    page_writes: Cell(AtomicU64::new(0)),
+    page_cache_hits: Cell(AtomicU64::new(0)),
+    page_cache_misses: Cell(AtomicU64::new(0)),
+    pages_leaked: Cell(AtomicU64::new(0)),
+    wal_appended_frames: Cell(AtomicU64::new(0)),
+    wal_commits: Cell(AtomicU64::new(0)),
+    wal_bytes: Cell(AtomicU64::new(0)),
+    wal_checkpoints: Cell(AtomicU64::new(0)),
+    wal_recoveries: Cell(AtomicU64::new(0)),
+    wal_recovered_frames: Cell(AtomicU64::new(0)),
+    wal_torn_tails: Cell(AtomicU64::new(0)),
+    compactions: Cell(AtomicU64::new(0)),
+};
+
+/// A snapshot of the process-wide storage counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Pages read from page files.
+    pub page_reads: u64,
+    /// Pages written to page files.
+    pub page_writes: u64,
+    /// Page reads answered from the page cache.
+    pub page_cache_hits: u64,
+    /// Page reads that missed the page cache.
+    pub page_cache_misses: u64,
+    /// Pages lost to freelist overflow (reclaimed by compaction).
+    pub pages_leaked: u64,
+    /// WAL frames appended.
+    pub wal_appended_frames: u64,
+    /// WAL commit records made durable.
+    pub wal_commits: u64,
+    /// WAL bytes appended.
+    pub wal_bytes: u64,
+    /// Checkpoints performed.
+    pub wal_checkpoints: u64,
+    /// Opens that replayed committed WAL frames.
+    pub wal_recoveries: u64,
+    /// Committed WAL frames replayed during recovery.
+    pub wal_recovered_frames: u64,
+    /// Torn WAL tails detected and truncated.
+    pub wal_torn_tails: u64,
+    /// Store compactions.
+    pub compactions: u64,
+}
+
+/// Snapshots the process-wide storage counters (page cache, WAL, recovery).
+pub fn storage_stats() -> StorageStats {
+    let c = &STORAGE;
+    StorageStats {
+        page_reads: c.page_reads.get(),
+        page_writes: c.page_writes.get(),
+        page_cache_hits: c.page_cache_hits.get(),
+        page_cache_misses: c.page_cache_misses.get(),
+        pages_leaked: c.pages_leaked.get(),
+        wal_appended_frames: c.wal_appended_frames.get(),
+        wal_commits: c.wal_commits.get(),
+        wal_bytes: c.wal_bytes.get(),
+        wal_checkpoints: c.wal_checkpoints.get(),
+        wal_recoveries: c.wal_recoveries.get(),
+        wal_recovered_frames: c.wal_recovered_frames.get(),
+        wal_torn_tails: c.wal_torn_tails.get(),
+        compactions: c.compactions.get(),
+    }
+}

@@ -1,4 +1,5 @@
-//! Binary persistence for the data repository.
+//! Persistence for the data repository: the flat snapshot codec and the
+//! paged, WAL-backed store built on top of it.
 //!
 //! §6 of the paper lists "designing efficient storage representations for
 //! semistructured data" among the open problems: "traditional database
@@ -15,12 +16,25 @@
 //! deliberately dependency-free (no serde): the point of the exercise is
 //! the *layout*, mirroring how the 1997 prototype would have had to store
 //! graphs.
+//!
+//! On top of the codec sits [`PagedStore`]: snapshots live in a
+//! [`crate::pager`] page file, commits are logged as typed [`DeltaOp`]s in
+//! a [`crate::wal`] write-ahead log and replayed on open, and readers take
+//! [`Snapshot`]s — immutable materialized revisions that stay consistent
+//! while the writer keeps committing. See `docs/STORAGE.md` for the file
+//! formats and the crash-safety argument.
 
 use crate::error::{GraphError, Result};
+use crate::fsio;
 use crate::graph::{Graph, NodeId};
+use crate::pager::Pager;
+use crate::stats::STORAGE;
 use crate::symbol::Sym;
 use crate::value::{FileKind, Value};
+use crate::wal::Wal;
 use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"STRUDEL1";
 
@@ -31,7 +45,13 @@ fn io_err(e: io::Error) -> GraphError {
 }
 
 fn corrupt(message: impl Into<String>) -> GraphError {
-    GraphError::Storage {
+    GraphError::StorageCorrupt {
+        message: message.into(),
+    }
+}
+
+fn recovery(message: impl Into<String>) -> GraphError {
+    GraphError::StorageRecovery {
         message: message.into(),
     }
 }
@@ -130,6 +150,25 @@ const TAG_STR: u8 = 4;
 const TAG_URL: u8 = 5;
 const TAG_FILE: u8 = 6;
 
+fn file_kind_tag(kind: &FileKind) -> u8 {
+    match kind {
+        FileKind::Text => 0,
+        FileKind::Html => 1,
+        FileKind::Image => 2,
+        FileKind::PostScript => 3,
+    }
+}
+
+fn file_kind_of(tag: u8) -> Result<FileKind> {
+    Ok(match tag {
+        0 => FileKind::Text,
+        1 => FileKind::Html,
+        2 => FileKind::Image,
+        3 => FileKind::PostScript,
+        other => return Err(corrupt(format!("unknown file kind {other}"))),
+    })
+}
+
 fn write_value(w: &mut impl Write, v: &Value, remap: &dyn Fn(NodeId) -> u32) -> Result<()> {
     match v {
         Value::Node(n) => {
@@ -154,13 +193,8 @@ fn write_value(w: &mut impl Write, v: &Value, remap: &dyn Fn(NodeId) -> u32) -> 
             write_str(w, s)
         }
         Value::File(kind, path) => {
-            let k = match kind {
-                FileKind::Text => 0u8,
-                FileKind::Html => 1,
-                FileKind::Image => 2,
-                FileKind::PostScript => 3,
-            };
-            w.write_all(&[TAG_FILE, k]).map_err(io_err)?;
+            w.write_all(&[TAG_FILE, file_kind_tag(kind)])
+                .map_err(io_err)?;
             write_str(w, path)
         }
     }
@@ -182,13 +216,7 @@ fn read_value(r: &mut In<'_>, nodes: &[NodeId]) -> Result<Value> {
         TAG_STR => Value::str(r.str()?),
         TAG_URL => Value::url(r.str()?),
         TAG_FILE => {
-            let kind = match r.u8()? {
-                0 => FileKind::Text,
-                1 => FileKind::Html,
-                2 => FileKind::Image,
-                3 => FileKind::PostScript,
-                other => return Err(corrupt(format!("unknown file kind {other}"))),
-            };
+            let kind = file_kind_of(r.u8()?)?;
             Value::file(kind, r.str()?)
         }
         other => return Err(corrupt(format!("unknown value tag {other}"))),
@@ -295,12 +323,26 @@ pub fn load(reader: &mut impl Read) -> Result<Graph> {
 }
 
 /// Deserializes a graph from an in-memory buffer.
+///
+/// The buffer must contain exactly one graph: trailing bytes after the last
+/// collection record are rejected as [`GraphError::StorageCorrupt`] (a file
+/// that "loads fine" but carries unread data is evidence of truncated or
+/// mixed-up writes, not something to serve from).
 pub fn load_slice(buf: &[u8]) -> Result<Graph> {
+    let mut g = Graph::standalone();
+    load_slice_into(&mut g, buf)?;
+    Ok(g)
+}
+
+/// Deserializes a graph from a buffer into `g` — typically a fresh graph,
+/// either standalone or attached to a shared universe (how the serving tier
+/// materializes a store into its mediated universe). Same strictness as
+/// [`load_slice`], including the trailing-garbage check.
+pub fn load_slice_into(g: &mut Graph, buf: &[u8]) -> Result<()> {
     let mut r = In { buf, pos: 0 };
     if r.take(8)? != MAGIC {
         return Err(corrupt("not a STRUDEL graph file"));
     }
-    let mut g = Graph::standalone();
 
     // Each symbol record is at least its 4-byte length prefix.
     let n_syms = r.count(4)?;
@@ -348,15 +390,21 @@ pub fn load_slice(buf: &[u8]) -> Result<Graph> {
             g.add_to_collection(sym, v);
         }
     }
-    Ok(g)
+    if r.remaining() != 0 {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the last collection record",
+            r.remaining()
+        )));
+    }
+    Ok(())
 }
 
-/// Saves a graph to a file.
+/// Saves a graph to a file **atomically**: the bytes go to a temp file in
+/// the same directory, are fsynced, and are renamed over `path` (with a
+/// directory fsync). A crash or error mid-save leaves any existing file at
+/// `path` byte-identical; the new file, once this returns, is durable.
 pub fn save_to_file(graph: &Graph, path: &std::path::Path) -> Result<()> {
-    let file = std::fs::File::create(path).map_err(io_err)?;
-    let mut w = std::io::BufWriter::new(file);
-    save(graph, &mut w)?;
-    w.flush().map_err(io_err)
+    fsio::atomic_write_with(path, |w| save(graph, w))
 }
 
 /// Loads a graph from a file.
@@ -364,6 +412,706 @@ pub fn load_from_file(path: &std::path::Path) -> Result<Graph> {
     let file = std::fs::File::open(path).map_err(io_err)?;
     let mut r = std::io::BufReader::new(file);
     load(&mut r)
+}
+
+// ------------------------------------------------------------ delta ops ----
+
+/// A [`Value`] in wire form: node references are **dense indexes** into the
+/// store's member order (`graph.nodes()[i]`), which is stable across
+/// save/load/replay — the form deltas use in the write-ahead log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireValue {
+    /// Reference to the `i`-th member node of the graph.
+    Node(u32),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+    /// A URL.
+    Url(String),
+    /// An external file of the given kind.
+    File(FileKind, String),
+}
+
+impl WireValue {
+    /// Resolves this wire value against a graph's member order.
+    fn to_value(&self, nodes: &[NodeId]) -> Result<Value> {
+        Ok(match self {
+            WireValue::Node(i) => {
+                Value::Node(*nodes.get(*i as usize).ok_or_else(|| {
+                    corrupt(format!("delta references node index {i} out of range"))
+                })?)
+            }
+            WireValue::Int(i) => Value::Int(*i),
+            WireValue::Float(f) => Value::Float(*f),
+            WireValue::Bool(b) => Value::Bool(*b),
+            WireValue::Str(s) => Value::str(s.clone()),
+            WireValue::Url(s) => Value::url(s.clone()),
+            WireValue::File(k, p) => Value::file(*k, p.clone()),
+        })
+    }
+
+    fn encode(&self, w: &mut impl Write) -> Result<()> {
+        match self {
+            WireValue::Node(i) => {
+                w.write_all(&[TAG_NODE]).map_err(io_err)?;
+                write_u32(w, *i)
+            }
+            WireValue::Int(i) => {
+                w.write_all(&[TAG_INT]).map_err(io_err)?;
+                write_u64(w, *i as u64)
+            }
+            WireValue::Float(f) => {
+                w.write_all(&[TAG_FLOAT]).map_err(io_err)?;
+                write_u64(w, f.to_bits())
+            }
+            WireValue::Bool(b) => w.write_all(&[TAG_BOOL, u8::from(*b)]).map_err(io_err),
+            WireValue::Str(s) => {
+                w.write_all(&[TAG_STR]).map_err(io_err)?;
+                write_str(w, s)
+            }
+            WireValue::Url(s) => {
+                w.write_all(&[TAG_URL]).map_err(io_err)?;
+                write_str(w, s)
+            }
+            WireValue::File(k, p) => {
+                w.write_all(&[TAG_FILE, file_kind_tag(k)]).map_err(io_err)?;
+                write_str(w, p)
+            }
+        }
+    }
+
+    fn decode(r: &mut In<'_>) -> Result<WireValue> {
+        Ok(match r.u8()? {
+            TAG_NODE => WireValue::Node(r.u32()?),
+            TAG_INT => WireValue::Int(r.u64()? as i64),
+            TAG_FLOAT => WireValue::Float(f64::from_bits(r.u64()?)),
+            TAG_BOOL => WireValue::Bool(r.u8()? != 0),
+            TAG_STR => WireValue::Str(r.str()?),
+            TAG_URL => WireValue::Url(r.str()?),
+            TAG_FILE => {
+                let kind = file_kind_of(r.u8()?)?;
+                WireValue::File(kind, r.str()?)
+            }
+            other => return Err(corrupt(format!("unknown wire value tag {other}"))),
+        })
+    }
+}
+
+/// One logical mutation in a store transaction — what gets logged to the
+/// write-ahead log and replayed on crash recovery. Node references use
+/// dense member indexes (see [`WireValue::Node`]); a node created by
+/// [`DeltaOp::AddNode`] receives the next dense index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// Create a member node (optionally named).
+    AddNode {
+        /// Node name, if any.
+        name: Option<String>,
+    },
+    /// Add edge `node --label--> value`.
+    AddEdge {
+        /// Dense index of the source node.
+        node: u32,
+        /// Edge label.
+        label: String,
+        /// Edge target.
+        value: WireValue,
+    },
+    /// Remove edge `node --label--> value` (a no-op if absent).
+    RemoveEdge {
+        /// Dense index of the source node.
+        node: u32,
+        /// Edge label.
+        label: String,
+        /// Edge target.
+        value: WireValue,
+    },
+    /// Create a collection if it does not exist.
+    EnsureCollection {
+        /// Collection name.
+        name: String,
+    },
+    /// Add a value to a collection (created if missing; duplicate adds are
+    /// no-ops, which keeps replay deterministic).
+    AddToCollection {
+        /// Collection name.
+        collection: String,
+        /// Value to add.
+        value: WireValue,
+    },
+    /// Remove a value from a collection (a no-op if absent).
+    RemoveFromCollection {
+        /// Collection name.
+        collection: String,
+        /// Value to remove.
+        value: WireValue,
+    },
+}
+
+const OP_ADD_NODE: u8 = 1;
+const OP_ADD_EDGE: u8 = 2;
+const OP_REMOVE_EDGE: u8 = 3;
+const OP_ENSURE_COLLECTION: u8 = 4;
+const OP_ADD_TO_COLLECTION: u8 = 5;
+const OP_REMOVE_FROM_COLLECTION: u8 = 6;
+
+fn encode_op(op: &DeltaOp) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let w = &mut buf;
+    let r: Result<()> = (|| {
+        match op {
+            DeltaOp::AddNode { name } => {
+                w.write_all(&[OP_ADD_NODE]).map_err(io_err)?;
+                match name {
+                    Some(n) => {
+                        w.write_all(&[1]).map_err(io_err)?;
+                        write_str(w, n)?;
+                    }
+                    None => w.write_all(&[0]).map_err(io_err)?,
+                }
+            }
+            DeltaOp::AddEdge { node, label, value } => {
+                w.write_all(&[OP_ADD_EDGE]).map_err(io_err)?;
+                write_u32(w, *node)?;
+                write_str(w, label)?;
+                value.encode(w)?;
+            }
+            DeltaOp::RemoveEdge { node, label, value } => {
+                w.write_all(&[OP_REMOVE_EDGE]).map_err(io_err)?;
+                write_u32(w, *node)?;
+                write_str(w, label)?;
+                value.encode(w)?;
+            }
+            DeltaOp::EnsureCollection { name } => {
+                w.write_all(&[OP_ENSURE_COLLECTION]).map_err(io_err)?;
+                write_str(w, name)?;
+            }
+            DeltaOp::AddToCollection { collection, value } => {
+                w.write_all(&[OP_ADD_TO_COLLECTION]).map_err(io_err)?;
+                write_str(w, collection)?;
+                value.encode(w)?;
+            }
+            DeltaOp::RemoveFromCollection { collection, value } => {
+                w.write_all(&[OP_REMOVE_FROM_COLLECTION]).map_err(io_err)?;
+                write_str(w, collection)?;
+                value.encode(w)?;
+            }
+        }
+        Ok(())
+    })();
+    r.expect("Vec<u8> writes cannot fail");
+    buf
+}
+
+fn decode_op(buf: &[u8]) -> Result<DeltaOp> {
+    let mut r = In { buf, pos: 0 };
+    let op = match r.u8()? {
+        OP_ADD_NODE => DeltaOp::AddNode {
+            name: if r.u8()? == 1 { Some(r.str()?) } else { None },
+        },
+        OP_ADD_EDGE => DeltaOp::AddEdge {
+            node: r.u32()?,
+            label: r.str()?,
+            value: WireValue::decode(&mut r)?,
+        },
+        OP_REMOVE_EDGE => DeltaOp::RemoveEdge {
+            node: r.u32()?,
+            label: r.str()?,
+            value: WireValue::decode(&mut r)?,
+        },
+        OP_ENSURE_COLLECTION => DeltaOp::EnsureCollection { name: r.str()? },
+        OP_ADD_TO_COLLECTION => DeltaOp::AddToCollection {
+            collection: r.str()?,
+            value: WireValue::decode(&mut r)?,
+        },
+        OP_REMOVE_FROM_COLLECTION => DeltaOp::RemoveFromCollection {
+            collection: r.str()?,
+            value: WireValue::decode(&mut r)?,
+        },
+        other => return Err(corrupt(format!("unknown delta op tag {other}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(corrupt("trailing bytes after delta op"));
+    }
+    Ok(op)
+}
+
+fn apply_op(g: &mut Graph, op: &DeltaOp) -> Result<()> {
+    let node_at = |g: &Graph, i: u32| -> Result<NodeId> {
+        g.nodes()
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| corrupt(format!("delta references node index {i} out of range")))
+    };
+    match op {
+        DeltaOp::AddNode { name } => {
+            g.new_node(name.as_deref());
+        }
+        DeltaOp::AddEdge { node, label, value } => {
+            let n = node_at(g, *node)?;
+            let v = value.to_value(g.nodes())?;
+            let sym = g.sym(label);
+            g.add_edge(n, sym, v)?;
+        }
+        DeltaOp::RemoveEdge { node, label, value } => {
+            let n = node_at(g, *node)?;
+            let v = value.to_value(g.nodes())?;
+            let sym = g.sym(label);
+            g.remove_edge(n, sym, &v)?;
+        }
+        DeltaOp::EnsureCollection { name } => {
+            g.ensure_collection(name);
+        }
+        DeltaOp::AddToCollection { collection, value } => {
+            let v = value.to_value(g.nodes())?;
+            let sym = g.ensure_collection(collection);
+            g.add_to_collection(sym, v);
+        }
+        DeltaOp::RemoveFromCollection { collection, value } => {
+            let v = value.to_value(g.nodes())?;
+            let sym = g.ensure_collection(collection);
+            g.remove_from_collection(sym, &v);
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------- paged store ----
+
+/// WAL size (bytes) past which a successful commit triggers an automatic
+/// checkpoint.
+pub const DEFAULT_WAL_LIMIT: u64 = 4 << 20;
+
+/// The write-ahead log lives next to the page file as `<path>.wal`.
+pub fn wal_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".wal");
+    PathBuf::from(os)
+}
+
+/// An immutable, fully materialized graph revision. Cheap to clone (the
+/// graph is shared); stays exactly as it was no matter what the writer
+/// commits afterwards.
+#[derive(Clone)]
+pub struct Snapshot {
+    revision: u64,
+    graph: Arc<Graph>,
+}
+
+impl Snapshot {
+    /// The revision this snapshot materializes.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The snapshot's graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = Graph;
+
+    fn deref(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+/// What [`PagedStore::compact`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Pages in the file before compaction.
+    pub pages_before: u32,
+    /// Pages in the file after compaction.
+    pub pages_after: u32,
+}
+
+/// The durable graph store: a [`Pager`] page file holding the last
+/// checkpointed snapshot, a [`Wal`] logging committed [`DeltaOp`]
+/// transactions since that checkpoint, and an in-memory working graph at
+/// the current revision.
+///
+/// Crash safety: a transaction is durable exactly when its WAL commit
+/// record is (fsync on commit); opening the store replays committed
+/// transactions on top of the checkpoint and discards any torn tail, so a
+/// crash at any point yields the last committed revision — or a typed
+/// [`GraphError::StorageCorrupt`] / [`GraphError::StorageRecovery`], never
+/// a silently wrong graph.
+pub struct PagedStore {
+    pager: Pager,
+    wal: Wal,
+    graph: Graph,
+    revision: u64,
+    cached_snapshot: Option<Snapshot>,
+    wal_limit: u64,
+}
+
+impl std::fmt::Debug for PagedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedStore")
+            .field("path", &self.path())
+            .field("revision", &self.revision)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PagedStore {
+    /// Creates an empty store at `path` (revision 0), truncating any
+    /// existing page file and log.
+    pub fn create(path: &Path) -> Result<Self> {
+        let pager = Pager::create(path)?;
+        let wal = Wal::create(&wal_path(path), 0)?;
+        fsio::fsync_dir(&parent_of(path))?;
+        Ok(PagedStore {
+            pager,
+            wal,
+            graph: Graph::standalone(),
+            revision: 0,
+            cached_snapshot: None,
+            wal_limit: DEFAULT_WAL_LIMIT,
+        })
+    }
+
+    /// Creates a store at `path` seeded with `graph` as revision 1.
+    pub fn import(path: &Path, graph: &Graph) -> Result<Self> {
+        let mut bytes = Vec::new();
+        save(graph, &mut bytes)?;
+        let mut pager = Pager::create(path)?;
+        pager.commit_chain(&bytes, 1)?;
+        let wal = Wal::create(&wal_path(path), 1)?;
+        fsio::fsync_dir(&parent_of(path))?;
+        // Reload from the serialized form so the working graph's member
+        // order (the dense numbering deltas use) matches what any future
+        // open reconstructs.
+        Ok(PagedStore {
+            pager,
+            wal,
+            graph: load_slice(&bytes)?,
+            revision: 1,
+            cached_snapshot: None,
+            wal_limit: DEFAULT_WAL_LIMIT,
+        })
+    }
+
+    /// Opens the store at `path`, running crash recovery: validates the
+    /// page file, replays committed WAL transactions (counting and
+    /// truncating any torn tail), and discards a stale log left behind by
+    /// a crash between checkpoint and log reset.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut pager = Pager::open(path)?;
+        let mut graph = if pager.chain_len() == 0 {
+            Graph::standalone()
+        } else {
+            let bytes = pager.read_chain()?;
+            load_slice(&bytes)?
+        };
+        let mut revision = pager.revision();
+        let wp = wal_path(path);
+        let wal = if wp.exists() {
+            let (wal, txns) = Wal::open(&wp, revision)?;
+            if wal.base_revision() < revision {
+                // Crash after a durable checkpoint but before the log
+                // reset: everything in this log is already in the page
+                // file. Start a fresh log.
+                drop(wal);
+                Wal::create(&wp, revision)?
+            } else if wal.base_revision() > revision {
+                return Err(recovery(format!(
+                    "write-ahead log base revision {} is ahead of page file revision {revision}",
+                    wal.base_revision()
+                )));
+            } else {
+                let mut replayed = 0u64;
+                for txn in &txns {
+                    if txn.revision != revision + 1 {
+                        return Err(recovery(format!(
+                            "log commits revision {} on top of revision {revision}",
+                            txn.revision
+                        )));
+                    }
+                    for delta in &txn.deltas {
+                        let op = decode_op(delta)?;
+                        apply_op(&mut graph, &op).map_err(|e| {
+                            recovery(format!("replaying revision {}: {e}", txn.revision))
+                        })?;
+                        replayed += 1;
+                    }
+                    revision = txn.revision;
+                }
+                if replayed > 0 {
+                    STORAGE.wal_recoveries.inc();
+                    STORAGE.wal_recovered_frames.add(replayed);
+                }
+                wal
+            }
+        } else {
+            Wal::create(&wp, revision)?
+        };
+        Ok(PagedStore {
+            pager,
+            wal,
+            graph,
+            revision,
+            cached_snapshot: None,
+            wal_limit: DEFAULT_WAL_LIMIT,
+        })
+    }
+
+    /// The page file path.
+    pub fn path(&self) -> &Path {
+        self.pager.path()
+    }
+
+    /// The current committed revision.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The working graph at the current revision (read-only; mutate through
+    /// [`PagedStore::begin`]).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Pages in the page file (header slots included).
+    pub fn page_count(&self) -> u32 {
+        self.pager.page_count()
+    }
+
+    /// Pages lost to freelist overflow, reclaimable by compaction.
+    pub fn leaked_pages(&self) -> u64 {
+        self.pager.leaked()
+    }
+
+    /// Bytes in the write-ahead log (header included).
+    pub fn wal_size(&self) -> u64 {
+        self.wal.size_bytes()
+    }
+
+    /// Sets the WAL size past which commits auto-checkpoint.
+    pub fn set_wal_limit(&mut self, bytes: u64) {
+        self.wal_limit = bytes;
+    }
+
+    /// Serializes the current revision to the flat snapshot format.
+    pub fn serialize(&self) -> Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        save(&self.graph, &mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// Starts a transaction. Ops are buffered in the [`Txn`] and nothing
+    /// changes until [`Txn::commit`].
+    pub fn begin(&mut self) -> Txn<'_> {
+        let base_nodes = self.graph.nodes().len() as u32;
+        Txn {
+            store: self,
+            ops: Vec::new(),
+            base_nodes,
+            added_nodes: 0,
+        }
+    }
+
+    /// Applies and durably commits a batch of ops as one transaction,
+    /// returning the new revision. On failure the store is rolled back to
+    /// the last committed revision (by reloading from durable state) —
+    /// all-or-nothing, in memory and on disk.
+    pub fn commit_ops(&mut self, ops: &[DeltaOp]) -> Result<u64> {
+        if ops.is_empty() {
+            return Ok(self.revision);
+        }
+        for op in ops {
+            if let Err(e) = apply_op(&mut self.graph, op) {
+                self.reload_from_durable()?;
+                return Err(e);
+            }
+        }
+        let target = self.revision + 1;
+        let logged: Result<()> = (|| {
+            for op in ops {
+                self.wal.append_delta(&encode_op(op))?;
+            }
+            self.wal.commit(target)
+        })();
+        if let Err(e) = logged {
+            self.reload_from_durable()?;
+            return Err(e);
+        }
+        self.revision = target;
+        self.cached_snapshot = None;
+        if self.wal.size_bytes() > self.wal_limit {
+            self.checkpoint()?;
+        }
+        Ok(self.revision)
+    }
+
+    /// Discards in-memory state and reloads from the durable files —
+    /// the rollback path when a commit fails partway.
+    fn reload_from_durable(&mut self) -> Result<()> {
+        let path = self.pager.path().to_path_buf();
+        *self = PagedStore::open(&path)?;
+        Ok(())
+    }
+
+    /// A consistent snapshot of the current revision. The snapshot is a
+    /// standalone materialized graph: later commits to this store leave it
+    /// untouched. Snapshots of the same revision are shared.
+    pub fn snapshot(&mut self) -> Result<Snapshot> {
+        if let Some(s) = &self.cached_snapshot {
+            if s.revision == self.revision {
+                return Ok(s.clone());
+            }
+        }
+        let bytes = self.serialize()?;
+        let snap = Snapshot {
+            revision: self.revision,
+            graph: Arc::new(load_slice(&bytes)?),
+        };
+        self.cached_snapshot = Some(snap.clone());
+        Ok(snap)
+    }
+
+    /// Folds the log into the page file: writes the current revision as a
+    /// new copy-on-write snapshot chain and resets the WAL on top of it.
+    /// A crash anywhere in between leaves a recoverable store (the old
+    /// header slot survives until the new chain is durable; a stale log is
+    /// detected and discarded on open).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.pager.revision() == self.revision && self.wal.size_bytes() == self.wal_size_empty()
+        {
+            return Ok(());
+        }
+        let bytes = self.serialize()?;
+        self.pager.commit_chain(&bytes, self.revision)?;
+        self.wal = Wal::create(&wal_path(self.pager.path()), self.revision)?;
+        STORAGE.wal_checkpoints.inc();
+        Ok(())
+    }
+
+    fn wal_size_empty(&self) -> u64 {
+        24 // WAL header only — no frames since the last reset
+    }
+
+    /// Checkpoints, then rewrites the page file minimally (dropping free
+    /// and leaked pages) with an atomic replace. Returns the before/after
+    /// page counts.
+    pub fn compact(&mut self) -> Result<CompactReport> {
+        self.checkpoint()?;
+        let pages_before = self.pager.page_count();
+        let bytes = self.serialize()?;
+        let path = self.pager.path().to_path_buf();
+        let tmp = path.with_extension("pdb.compact");
+        {
+            let mut fresh = Pager::create(&tmp)?;
+            if self.revision > 0 || !bytes.is_empty() {
+                fresh.commit_chain(&bytes, self.revision)?;
+            }
+        }
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        let _ = fsio::fsync_dir(&parent_of(&path));
+        self.pager = Pager::open(&path)?;
+        STORAGE.compactions.inc();
+        Ok(CompactReport {
+            pages_before,
+            pages_after: self.pager.page_count(),
+        })
+    }
+}
+
+fn parent_of(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// A buffered transaction on a [`PagedStore`]. Build up ops, then
+/// [`Txn::commit`]; dropping the transaction without committing discards
+/// it entirely.
+pub struct Txn<'a> {
+    store: &'a mut PagedStore,
+    ops: Vec<DeltaOp>,
+    base_nodes: u32,
+    added_nodes: u32,
+}
+
+impl Txn<'_> {
+    /// Creates a node, returning its dense index (usable in later ops of
+    /// this same transaction).
+    pub fn add_node(&mut self, name: Option<&str>) -> u32 {
+        let id = self.base_nodes + self.added_nodes;
+        self.added_nodes += 1;
+        self.ops.push(DeltaOp::AddNode {
+            name: name.map(str::to_owned),
+        });
+        id
+    }
+
+    /// Adds edge `node --label--> value`.
+    pub fn add_edge(&mut self, node: u32, label: &str, value: WireValue) {
+        self.ops.push(DeltaOp::AddEdge {
+            node,
+            label: label.to_owned(),
+            value,
+        });
+    }
+
+    /// Removes edge `node --label--> value` (no-op if absent).
+    pub fn remove_edge(&mut self, node: u32, label: &str, value: WireValue) {
+        self.ops.push(DeltaOp::RemoveEdge {
+            node,
+            label: label.to_owned(),
+            value,
+        });
+    }
+
+    /// Ensures a collection exists.
+    pub fn ensure_collection(&mut self, name: &str) {
+        self.ops.push(DeltaOp::EnsureCollection {
+            name: name.to_owned(),
+        });
+    }
+
+    /// Adds a value to a collection (created if missing).
+    pub fn add_to_collection(&mut self, collection: &str, value: WireValue) {
+        self.ops.push(DeltaOp::AddToCollection {
+            collection: collection.to_owned(),
+            value,
+        });
+    }
+
+    /// Removes a value from a collection (no-op if absent).
+    pub fn remove_from_collection(&mut self, collection: &str, value: WireValue) {
+        self.ops.push(DeltaOp::RemoveFromCollection {
+            collection: collection.to_owned(),
+            value,
+        });
+    }
+
+    /// Number of ops buffered so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the transaction is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Commits the transaction durably, returning the new revision.
+    pub fn commit(self) -> Result<u64> {
+        let ops = self.ops;
+        self.store.commit_ops(&ops)
+    }
 }
 
 #[cfg(test)]
@@ -471,13 +1219,46 @@ object pub2 in Publications {
     }
 
     #[test]
+    fn interrupted_save_leaves_old_file_byte_identical() {
+        // The atomic-save regression: a save that errors partway (here: a
+        // dangling node reference discovered mid-serialization, after the
+        // magic and symbol table have already been produced) must leave the
+        // previously saved file untouched.
+        let dir = std::env::temp_dir().join(format!("strudel_atomic_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.bin");
+        save_to_file(&sample(), &path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        let bad = {
+            let mut g = Graph::standalone();
+            let n = g.new_node(Some("n"));
+            let ghost = g.universe().create_node(None);
+            g.add_edge_str(n, "to", Value::Node(ghost)).unwrap();
+            g
+        };
+        assert!(save_to_file(&bad, &path).is_err());
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            before,
+            "failed save must not touch the destination"
+        );
+        // And no temp litter either.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let g2 = load_from_file(&path).unwrap();
+        assert_eq!(g2.edge_count(), sample().edge_count());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let mut buf = Vec::new();
         save(&sample(), &mut buf).unwrap();
         buf[0] = b'X';
         assert!(matches!(
             load(&mut buf.as_slice()),
-            Err(GraphError::Storage { .. })
+            Err(GraphError::StorageCorrupt { .. })
         ));
     }
 
@@ -487,9 +1268,29 @@ object pub2 in Publications {
         save(&sample(), &mut buf).unwrap();
         for cut in [4usize, 9, buf.len() / 2, buf.len() - 1] {
             assert!(
-                matches!(load(&mut &buf[..cut]), Err(GraphError::Storage { .. })),
+                matches!(
+                    load(&mut &buf[..cut]),
+                    Err(GraphError::StorageCorrupt { .. })
+                ),
                 "cut at {cut}"
             );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut buf = Vec::new();
+        save(&sample(), &mut buf).unwrap();
+        load_slice(&buf).unwrap();
+        for junk in [&b"x"[..], &b"\0\0\0\0"[..], MAGIC] {
+            let mut tainted = buf.clone();
+            tainted.extend_from_slice(junk);
+            let err = load_slice(&tainted).unwrap_err();
+            assert!(
+                matches!(err, GraphError::StorageCorrupt { .. }),
+                "junk {junk:?}: {err}"
+            );
+            assert!(err.to_string().contains("trailing"), "{err}");
         }
     }
 
@@ -530,5 +1331,261 @@ object pub2 in Publications {
         // Collection membership + attribute lookup.
         let pubs = g2.collection_str("Publications").unwrap();
         assert!(pubs.items().iter().all(Value::is_node));
+    }
+
+    // ------------------------------------------------------ paged store ----
+
+    fn store_path(tag: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("strudel_paged_{tag}_{}.pdb", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(wal_path(&p));
+        p
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(wal_path(p));
+    }
+
+    fn graph_bytes(g: &Graph) -> Vec<u8> {
+        let mut b = Vec::new();
+        save(g, &mut b).unwrap();
+        b
+    }
+
+    #[test]
+    fn paged_commit_and_reopen() {
+        let p = store_path("basic");
+        {
+            let mut store = PagedStore::create(&p).unwrap();
+            let mut txn = store.begin();
+            let a = txn.add_node(Some("alice"));
+            let b = txn.add_node(Some("bob"));
+            txn.add_edge(a, "knows", WireValue::Node(b));
+            txn.add_edge(a, "age", WireValue::Int(31));
+            txn.add_to_collection("People", WireValue::Node(a));
+            txn.add_to_collection("People", WireValue::Node(b));
+            assert_eq!(txn.commit().unwrap(), 1);
+            let mut txn = store.begin();
+            txn.remove_edge(0, "age", WireValue::Int(31));
+            txn.add_edge(0, "age", WireValue::Int(32));
+            assert_eq!(txn.commit().unwrap(), 2);
+        }
+        let store = PagedStore::open(&p).unwrap();
+        assert_eq!(store.revision(), 2);
+        let g = store.graph();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.collection_str("People").unwrap().len(), 2);
+        let age = g.universe().interner().get("age").unwrap();
+        assert_eq!(g.reader().attr(g.nodes()[0], age), Some(&Value::Int(32)));
+        cleanup(&p);
+    }
+
+    #[test]
+    fn paged_import_then_delta() {
+        let p = store_path("import");
+        {
+            let mut store = PagedStore::import(&p, &sample()).unwrap();
+            assert_eq!(store.revision(), 1);
+            let mut txn = store.begin();
+            let n = txn.add_node(Some("pub3"));
+            txn.add_edge(n, "title", WireValue::Str("Third".into()));
+            txn.add_to_collection("Publications", WireValue::Node(n));
+            assert_eq!(txn.commit().unwrap(), 2);
+        }
+        let store = PagedStore::open(&p).unwrap();
+        assert_eq!(store.revision(), 2);
+        assert_eq!(store.graph().node_count(), 3);
+        assert_eq!(
+            store.graph().collection_str("Publications").unwrap().len(),
+            3
+        );
+        cleanup(&p);
+    }
+
+    #[test]
+    fn snapshot_isolation_across_commits() {
+        let p = store_path("mvcc");
+        let mut store = PagedStore::import(&p, &sample()).unwrap();
+        let before = store.snapshot().unwrap();
+        assert_eq!(before.revision(), 1);
+        let mut txn = store.begin();
+        let n = txn.add_node(Some("late"));
+        txn.add_to_collection("Publications", WireValue::Node(n));
+        txn.commit().unwrap();
+        // The old snapshot still serves revision 1.
+        assert_eq!(before.node_count(), 2);
+        assert_eq!(before.collection_str("Publications").unwrap().len(), 2);
+        let after = store.snapshot().unwrap();
+        assert_eq!(after.revision(), 2);
+        assert_eq!(after.node_count(), 3);
+        // Same-revision snapshots share the materialized graph.
+        let again = store.snapshot().unwrap();
+        assert!(Arc::ptr_eq(&after.graph, &again.graph));
+        cleanup(&p);
+    }
+
+    #[test]
+    fn checkpoint_folds_wal_and_survives_reopen() {
+        let p = store_path("ckpt");
+        {
+            let mut store = PagedStore::import(&p, &sample()).unwrap();
+            let mut txn = store.begin();
+            let n = txn.add_node(Some("extra"));
+            txn.add_edge(n, "title", WireValue::Str("E".into()));
+            txn.commit().unwrap();
+            store.checkpoint().unwrap();
+            assert_eq!(store.wal_size(), 24, "wal reset after checkpoint");
+        }
+        let store = PagedStore::open(&p).unwrap();
+        assert_eq!(store.revision(), 2);
+        assert_eq!(store.graph().node_count(), 3);
+        cleanup(&p);
+    }
+
+    #[test]
+    fn reopened_store_is_byte_identical_to_working_copy() {
+        let p = store_path("ident");
+        let expected = {
+            let mut store = PagedStore::import(&p, &sample()).unwrap();
+            let mut txn = store.begin();
+            let n = txn.add_node(None);
+            txn.add_edge(n, "score", WireValue::Float(2.5));
+            txn.add_edge(0, "flag", WireValue::Bool(false));
+            txn.commit().unwrap();
+            graph_bytes(store.graph())
+        };
+        let store = PagedStore::open(&p).unwrap();
+        assert_eq!(graph_bytes(store.graph()), expected);
+        cleanup(&p);
+    }
+
+    #[test]
+    fn failed_apply_rolls_back_to_committed_state() {
+        let p = store_path("rollback");
+        let mut store = PagedStore::import(&p, &sample()).unwrap();
+        let expected = graph_bytes(store.graph());
+        let err = store
+            .commit_ops(&[
+                DeltaOp::AddNode { name: None },
+                DeltaOp::AddEdge {
+                    node: 999,
+                    label: "broken".into(),
+                    value: WireValue::Int(1),
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::StorageCorrupt { .. }), "{err}");
+        // Fully rolled back — including the AddNode that preceded the bad op.
+        assert_eq!(store.revision(), 1);
+        assert_eq!(graph_bytes(store.graph()), expected);
+        // And the store still takes commits.
+        let mut txn = store.begin();
+        txn.add_node(Some("ok"));
+        assert_eq!(txn.commit().unwrap(), 2);
+        cleanup(&p);
+    }
+
+    #[test]
+    fn stale_wal_after_checkpoint_crash_is_discarded() {
+        let p = store_path("stale");
+        {
+            let mut store = PagedStore::import(&p, &sample()).unwrap();
+            let mut txn = store.begin();
+            txn.add_node(Some("kept"));
+            txn.commit().unwrap();
+            store.checkpoint().unwrap();
+        }
+        // Simulate the crash window: checkpoint durable, but the old log
+        // (base 1, with the now-folded txn) never got reset.
+        {
+            let mut old = Wal::create(&wal_path(&p), 1).unwrap();
+            old.append_delta(&encode_op(&DeltaOp::AddNode {
+                name: Some("kept".into()),
+            }))
+            .unwrap();
+            old.commit(2).unwrap();
+        }
+        let store = PagedStore::open(&p).unwrap();
+        assert_eq!(store.revision(), 2);
+        assert_eq!(store.graph().node_count(), 3, "txn applied exactly once");
+        cleanup(&p);
+    }
+
+    #[test]
+    fn wal_ahead_of_page_file_is_recovery_error() {
+        let p = store_path("ahead");
+        {
+            PagedStore::import(&p, &sample()).unwrap();
+        }
+        Wal::create(&wal_path(&p), 7).unwrap();
+        let err = PagedStore::open(&p).unwrap_err();
+        assert!(matches!(err, GraphError::StorageRecovery { .. }), "{err}");
+        cleanup(&p);
+    }
+
+    #[test]
+    fn compact_shrinks_the_file() {
+        let p = store_path("compact");
+        let mut store = PagedStore::import(&p, &sample()).unwrap();
+        // Grow the file: big payloads across several checkpoints.
+        for round in 0..6 {
+            let mut txn = store.begin();
+            let n = txn.add_node(None);
+            txn.add_edge(n, "blob", WireValue::Str("x".repeat(20_000)));
+            let _ = round;
+            txn.commit().unwrap();
+            store.checkpoint().unwrap();
+        }
+        let expected = graph_bytes(store.graph());
+        let report = store.compact().unwrap();
+        assert!(
+            report.pages_after < report.pages_before,
+            "compaction should shrink {} -> {}",
+            report.pages_before,
+            report.pages_after
+        );
+        assert_eq!(store.leaked_pages(), 0);
+        drop(store);
+        let store = PagedStore::open(&p).unwrap();
+        assert_eq!(graph_bytes(store.graph()), expected);
+        cleanup(&p);
+    }
+
+    #[test]
+    fn delta_ops_roundtrip_through_encoding() {
+        let ops = vec![
+            DeltaOp::AddNode { name: None },
+            DeltaOp::AddNode {
+                name: Some("x".into()),
+            },
+            DeltaOp::AddEdge {
+                node: 0,
+                label: "l".into(),
+                value: WireValue::File(FileKind::PostScript, "a.ps".into()),
+            },
+            DeltaOp::RemoveEdge {
+                node: 1,
+                label: "m".into(),
+                value: WireValue::Url("http://e".into()),
+            },
+            DeltaOp::EnsureCollection { name: "C".into() },
+            DeltaOp::AddToCollection {
+                collection: "C".into(),
+                value: WireValue::Float(1.5),
+            },
+            DeltaOp::RemoveFromCollection {
+                collection: "C".into(),
+                value: WireValue::Bool(true),
+            },
+        ];
+        for op in &ops {
+            assert_eq!(&decode_op(&encode_op(op)).unwrap(), op);
+        }
+        assert!(matches!(
+            decode_op(&[99]),
+            Err(GraphError::StorageCorrupt { .. })
+        ));
     }
 }

@@ -143,12 +143,17 @@ impl GeneratedSite {
     }
 
     /// Writes every page into `dir` (created if missing).
+    ///
+    /// Each page is published atomically (temp file + rename), so a crash
+    /// or concurrent reader mid-republication sees either the old page or
+    /// the new one — never a torn or empty file; one directory fsync at the
+    /// end makes the batch durable.
     pub fn write_to_dir(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         for (name, html) in &self.pages {
-            std::fs::write(dir.join(name), html)?;
+            strudel_graph::fsio::atomic_write_in(dir, name, html.as_bytes())?;
         }
-        Ok(())
+        strudel_graph::fsio::fsync_dir(dir)
     }
 }
 

@@ -297,6 +297,19 @@ object a2 in Articles { headline "two" section "world" }
                 ("strudel_page_cache_misses_total", "counter"),
                 ("strudel_page_cache_entries", "gauge"),
                 ("strudel_path_cache_hits_total", "counter"),
+                ("strudel_store_page_reads_total", "counter"),
+                ("strudel_store_page_writes_total", "counter"),
+                ("strudel_store_page_cache_hits_total", "counter"),
+                ("strudel_store_page_cache_misses_total", "counter"),
+                ("strudel_store_pages_leaked_total", "counter"),
+                ("strudel_store_compactions_total", "counter"),
+                ("strudel_wal_frames_total", "counter"),
+                ("strudel_wal_commits_total", "counter"),
+                ("strudel_wal_bytes_total", "counter"),
+                ("strudel_wal_checkpoints_total", "counter"),
+                ("strudel_wal_recoveries_total", "counter"),
+                ("strudel_wal_recovered_frames_total", "counter"),
+                ("strudel_wal_torn_tails_total", "counter"),
             ] {
                 assert!(body.contains(&format!("# HELP {name} ")), "{name}");
                 assert!(body.contains(&format!("# TYPE {name} {kind}\n")), "{name}");

@@ -103,6 +103,7 @@ impl Server<'_> {
         let d = self.site.stats();
         let p = self.site.path_cache_stats();
         let q = self.site.plan_cache_stats();
+        let st = strudel_graph::storage_stats();
         format!(
             concat!(
                 "{{\"requests\":{},\"errors\":{},",
@@ -115,6 +116,11 @@ impl Server<'_> {
                 "\"entries\":{},\"bytes\":{},\"expansions\":{},\"clause_queries\":{}}},",
                 "\"path_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},",
                 "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},",
+                "\"storage\":{{\"page_reads\":{},\"page_writes\":{},",
+                "\"page_cache_hits\":{},\"page_cache_misses\":{},\"pages_leaked\":{},",
+                "\"wal_frames\":{},\"wal_commits\":{},\"wal_bytes\":{},",
+                "\"wal_checkpoints\":{},\"wal_recoveries\":{},",
+                "\"wal_recovered_frames\":{},\"wal_torn_tails\":{},\"compactions\":{}}},",
                 "\"planner_dp_fallbacks\":{}}}"
             ),
             s.requests,
@@ -148,6 +154,19 @@ impl Server<'_> {
             q.hits,
             q.misses,
             q.invalidations,
+            st.page_reads,
+            st.page_writes,
+            st.page_cache_hits,
+            st.page_cache_misses,
+            st.pages_leaked,
+            st.wal_appended_frames,
+            st.wal_commits,
+            st.wal_bytes,
+            st.wal_checkpoints,
+            st.wal_recoveries,
+            st.wal_recovered_frames,
+            st.wal_torn_tails,
+            st.compactions,
             strudel_struql::planner_dp_fallbacks(),
         )
     }
@@ -306,6 +325,76 @@ impl Server<'_> {
             "Cost-based plans that fell back to the greedy ordering because \
              the block exceeded the DP join-order limit.",
             strudel_struql::planner_dp_fallbacks(),
+        );
+        // Durable storage: the pager's page cache and the write-ahead log
+        // (process-wide counters from strudel-graph's storage layer; the
+        // strudel_store_* prefix keeps them distinct from the serving
+        // tier's HTML page cache above).
+        let st = strudel_graph::storage_stats();
+        m.counter(
+            "strudel_store_page_reads_total",
+            "Pages read from graph-store page files.",
+            st.page_reads,
+        );
+        m.counter(
+            "strudel_store_page_writes_total",
+            "Pages written to graph-store page files.",
+            st.page_writes,
+        );
+        m.counter(
+            "strudel_store_page_cache_hits_total",
+            "Store page reads answered from the in-memory page cache.",
+            st.page_cache_hits,
+        );
+        m.counter(
+            "strudel_store_page_cache_misses_total",
+            "Store page reads that had to touch the file.",
+            st.page_cache_misses,
+        );
+        m.counter(
+            "strudel_store_pages_leaked_total",
+            "Store pages lost to freelist overflow (reclaimed by compact).",
+            st.pages_leaked,
+        );
+        m.counter(
+            "strudel_wal_frames_total",
+            "Frames appended to write-ahead logs.",
+            st.wal_appended_frames,
+        );
+        m.counter(
+            "strudel_wal_commits_total",
+            "Transactions made durable by a fsynced WAL commit record.",
+            st.wal_commits,
+        );
+        m.counter(
+            "strudel_wal_bytes_total",
+            "Bytes appended to write-ahead logs.",
+            st.wal_bytes,
+        );
+        m.counter(
+            "strudel_wal_checkpoints_total",
+            "Checkpoints folding the WAL into the page file.",
+            st.wal_checkpoints,
+        );
+        m.counter(
+            "strudel_wal_recoveries_total",
+            "Store opens that replayed at least one committed WAL frame.",
+            st.wal_recoveries,
+        );
+        m.counter(
+            "strudel_wal_recovered_frames_total",
+            "Committed WAL frames replayed during crash recovery.",
+            st.wal_recovered_frames,
+        );
+        m.counter(
+            "strudel_wal_torn_tails_total",
+            "Torn WAL tails detected and truncated during recovery.",
+            st.wal_torn_tails,
+        );
+        m.counter(
+            "strudel_store_compactions_total",
+            "Store compactions (page file rewritten minimal).",
+            st.compactions,
         );
         m.finish()
     }

@@ -171,6 +171,29 @@ impl Strudel {
         );
     }
 
+    /// Registers a paged graph store (see `strudel_graph::store::PagedStore`)
+    /// as a data source. Each warehouse refresh reopens the store — running
+    /// crash recovery if needed — and materializes its current revision into
+    /// the mediated universe, so a rebuilt or restarted server picks up
+    /// whatever the last committed revision was without re-wrapping sources.
+    pub fn add_store_source(&mut self, name: &str, path: &std::path::Path) {
+        let path = path.to_path_buf();
+        self.mediator.add_source(
+            name,
+            Box::new(FnSource(move |u: &Arc<Universe>| {
+                let store = strudel_graph::store::PagedStore::open(&path)
+                    .map_err(strudel_struql::StruqlError::Graph)?;
+                let bytes = store
+                    .serialize()
+                    .map_err(strudel_struql::StruqlError::Graph)?;
+                let mut g = Graph::new(Arc::clone(u));
+                strudel_graph::store::load_slice_into(&mut g, &bytes)
+                    .map_err(strudel_struql::StruqlError::Graph)?;
+                Ok(g)
+            })),
+        );
+    }
+
     /// Registers a source of wrapped HTML pages (`(url, html)` pairs).
     pub fn add_html_source(&mut self, name: &str, pages: Vec<(String, String)>) {
         self.mediator.add_source(

@@ -71,19 +71,104 @@ fn storage_failures_surface_as_typed_storage_errors() {
     assert!(matches!(err, GraphError::Storage { .. }), "{err}");
     assert!(err.to_string().starts_with("storage error:"), "{err}");
 
-    // A truncated snapshot and a missing file are storage errors too, not
-    // misreported DDL parse failures.
+    // A truncated snapshot is typed corruption (the bytes failed
+    // validation), while a missing file is a plain storage (I/O) error —
+    // neither is a misreported DDL parse failure.
     let mut buf = Vec::new();
     store::save(&data, &mut buf).unwrap();
-    buf.truncate(buf.len() / 2);
+    let mut truncated = buf.clone();
+    truncated.truncate(truncated.len() / 2);
     assert!(matches!(
-        store::load_slice(&buf),
-        Err(GraphError::Storage { .. })
+        store::load_slice(&truncated),
+        Err(GraphError::StorageCorrupt { .. })
     ));
     assert!(matches!(
         store::load_from_file(std::path::Path::new("/nonexistent/strudel.snapshot")),
         Err(GraphError::Storage { .. })
     ));
+
+    // A valid snapshot followed by junk must not load: unread trailing
+    // bytes mean the file is not what the writer produced.
+    let mut tainted = buf.clone();
+    tainted.extend_from_slice(b"JUNKJUNK");
+    let err = store::load_slice(&tainted).unwrap_err();
+    assert!(matches!(err, GraphError::StorageCorrupt { .. }), "{err}");
+    assert!(err.to_string().contains("trailing"), "{err}");
+}
+
+#[test]
+fn interrupted_save_to_file_preserves_the_old_snapshot() {
+    // Crash-safety regression for save_to_file: a save that fails partway
+    // (mid-serialization, after bytes have already been produced) must
+    // leave the previous file loadable and byte-identical.
+    let dir = std::env::temp_dir().join(format!("strudel_it_atomic_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("data.bin");
+
+    let data = strudel::graph::ddl::parse(r#"object p in Ps { k "v" }"#).unwrap();
+    store::save_to_file(&data, &path).unwrap();
+    let before = std::fs::read(&path).unwrap();
+
+    // A graph that serializes partially and then errors: an edge to a node
+    // outside the graph is discovered only mid-write.
+    let bad = {
+        let mut g = Graph::standalone();
+        let n = g.new_node(Some("n"));
+        let ghost = g.universe().create_node(None);
+        g.add_edge_str(n, "to", Value::Node(ghost)).unwrap();
+        g
+    };
+    assert!(store::save_to_file(&bad, &path).is_err());
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        before,
+        "failed save must leave the destination byte-identical"
+    );
+    let reloaded = store::load_from_file(&path).unwrap();
+    assert_eq!(reloaded.edge_count(), data.edge_count());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn paged_store_snapshot_feeds_the_full_pipeline() {
+    use strudel::graph::store::{PagedStore, WireValue};
+
+    // Import a data graph into the paged store, mutate it transactionally,
+    // and run the site query against a snapshot — the paged store is a
+    // first-class source for the pipeline, not just a byte archive.
+    let dir = std::env::temp_dir().join(format!("strudel_it_paged_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("data.pdb");
+
+    let data = strudel::graph::ddl::parse(
+        r#"
+object p1 in Publications { title "UnQL" year 1996 }
+object p2 in Publications { title "StruQL" year 1997 }
+"#,
+    )
+    .unwrap();
+    let mut paged = PagedStore::import(&path, &data).unwrap();
+    let mut txn = paged.begin();
+    let p3 = txn.add_node(Some("p3"));
+    txn.add_edge(p3, "title", WireValue::Str("Lorel".into()));
+    txn.add_edge(p3, "year", WireValue::Int(1998));
+    txn.add_to_collection("Publications", WireValue::Node(p3));
+    txn.commit().unwrap();
+
+    // Reopen (recovery path) and query the snapshot.
+    drop(paged);
+    let mut paged = PagedStore::open(&path).unwrap();
+    let snap = paged.snapshot().unwrap();
+    let q = parse_query(
+        r#"WHERE Publications(x), x -> "title" -> t
+           CREATE Page(x) LINK Page(x) -> "T" -> t COLLECT Pages(Page(x))"#,
+    )
+    .unwrap();
+    let out = q.evaluate(snap.graph(), &EvalOptions::default()).unwrap();
+    assert_eq!(out.graph.collection_str("Pages").unwrap().len(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
