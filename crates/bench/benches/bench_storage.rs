@@ -1,23 +1,34 @@
-//! Durable-storage benchmark: the paged store's commit path, crash
-//! recovery, and cold-open cost against a full rebuild from DDL text.
+//! Durable-storage benchmark: the paged store's commit path, group commit
+//! under a write burst, incremental checkpoints, crash recovery, and
+//! cold-open cost against a full rebuild from DDL text.
 //!
 //! Reported numbers (written to `BENCH_storage.json` at the repo root):
-//! - `commit_us` — median / p99 latency of a durable single-node commit
-//!   (WAL append + commit record + fsync).
+//! - `commit_us` — median / p99 latency of a durable commit whose workload
+//!   scales with `n` (one node plus `n/50` edges, so WAL bytes differ
+//!   between corpus sizes and size-dependent commit cost is visible).
+//! - `bytes_per_commit` — WAL bytes appended per committed transaction.
+//! - `burst` — a 100-transaction burst pushed through the [`CommitQueue`]
+//!   (group commit, shared fsyncs) against the same 100 transactions
+//!   committed one fsync at a time; `throughput_ratio` is grouped over
+//!   sequential and `commits_per_fsync` is measured from the storage
+//!   counters, not assumed.
+//! - `dirty_checkpoint_ms` — checkpointing a store of `n` articles after a
+//!   single-edge commit: the incremental path rewrites only the dirty
+//!   segments, so the figure should track the change set, not `n`.
 //! - `recovery_ms` — time for `PagedStore::open` to replay a log of
 //!   `wal_txns` committed transactions after a simulated kill.
-//! - `cold_open_ms` vs `rebuild_ms` — opening a checkpointed store versus
-//!   re-parsing the equivalent DDL corpus.
+//! - `cold_open_ms` vs `rebuild_ms` — opening a checkpointed store (and
+//!   forcing materialization) versus re-parsing the equivalent DDL corpus.
 //! - `checkpoint_ms` / `compact_ms` — folding the log into pages and
 //!   rewriting the file at its minimal size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use strudel::synth::news;
-use strudel_graph::store::{PagedStore, WireValue};
-use strudel_graph::{ddl, Graph};
+use strudel_graph::store::{CommitQueue, PagedStore, WireValue};
+use strudel_graph::{ddl, storage_stats, Graph};
 
 fn corpus(n: usize) -> (String, Graph) {
     let text = news::generate_ddl(n, 3);
@@ -31,16 +42,30 @@ fn scratch(name: &str) -> PathBuf {
     dir.join(name)
 }
 
-fn commit_one(store: &mut PagedStore, i: i64) {
+/// One durable transaction whose size scales with the corpus: a node plus
+/// `edges` attribute edges. The old bench committed a fixed two-op
+/// transaction regardless of `n`, so `wal_bytes` was identical across
+/// sizes and the bench never measured size-dependent commit cost.
+fn commit_scaled(store: &mut PagedStore, i: i64, edges: usize) {
     let mut txn = store.begin();
     let node = txn.add_node(None);
-    txn.add_edge(node, "seq", WireValue::Int(i));
+    for e in 0..edges {
+        txn.add_edge(node, "seq", WireValue::Int(i * edges as i64 + e as i64));
+    }
     txn.commit().unwrap();
+}
+
+fn edges_per_commit(n: usize) -> usize {
+    (n / 50).max(1)
 }
 
 fn percentile(mut v: Vec<f64>, p: f64) -> f64 {
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
     v[((v.len() - 1) as f64 * p) as usize]
+}
+
+fn median(v: Vec<f64>) -> f64 {
+    percentile(v, 0.5)
 }
 
 fn bench_paged(c: &mut Criterion) {
@@ -52,11 +77,12 @@ fn bench_paged(c: &mut Criterion) {
         let _ = std::fs::remove_file(&path);
         let mut store = PagedStore::import(&path, &g).unwrap();
         store.set_wal_limit(u64::MAX);
+        let edges = edges_per_commit(n);
         let mut i = 0i64;
         group.bench_with_input(BenchmarkId::new("durable_commit", n), &n, |b, _| {
             b.iter(|| {
                 i += 1;
-                commit_one(&mut store, i);
+                commit_scaled(&mut store, i, edges);
                 black_box(store.revision())
             });
         });
@@ -69,26 +95,106 @@ fn bench_paged(c: &mut Criterion) {
     group.finish();
 }
 
+/// The group-commit burst: `txns` transactions from 50 writer threads
+/// through the commit queue (leader batches everyone waiting behind one
+/// fsync) versus the same `txns` transactions committed sequentially, one
+/// fsync each. Returns `(sequential_s, grouped_s, commits_per_fsync)`.
+fn burst(path: &PathBuf, txns: usize, window: Duration) -> (f64, f64, f64) {
+    let (_, g) = corpus(100);
+    let _ = std::fs::remove_file(path);
+    let mut store = PagedStore::import(path, &g).unwrap();
+    store.set_wal_limit(u64::MAX);
+
+    // Baseline: one fsync per commit.
+    let t = Instant::now();
+    for i in 0..txns {
+        commit_scaled(&mut store, i as i64, 1);
+    }
+    let sequential_s = t.elapsed().as_secs_f64();
+
+    // Grouped: the same number of transactions, submitted concurrently.
+    // A barrier keeps thread spawn-up out of the timed region — 50 thread
+    // spawns cost on the order of a couple of batches.
+    store.set_group_commit_window(window);
+    let queue = CommitQueue::new(store);
+    let threads = 50;
+    let before = storage_stats();
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let mut grouped_s = 0.0;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            let queue = &queue;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                for i in 0..txns / threads {
+                    let mut txn = queue.begin();
+                    let node = txn.add_node(None);
+                    txn.add_edge(node, "burst", WireValue::Int((w * txns + i) as i64));
+                    txn.commit().unwrap();
+                }
+            }));
+        }
+        barrier.wait();
+        let t = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        grouped_s = t.elapsed().as_secs_f64();
+    });
+    let after = storage_stats();
+    let fsyncs = (after.wal_fsyncs - before.wal_fsyncs).max(1);
+    let commits_per_fsync = txns as f64 / fsyncs as f64;
+    drop(queue.into_store().unwrap());
+    (sequential_s, grouped_s, commits_per_fsync)
+}
+
+/// Times an incremental checkpoint after a single-edge commit on a store
+/// of `n` articles: median over `rounds` commit+checkpoint cycles, plus
+/// the page-write counter delta for the last cycle. Proportional-to-delta
+/// means this figure stays flat as `n` grows.
+fn dirty_checkpoint(path: &PathBuf, n: usize, rounds: usize) -> (f64, u64) {
+    let (_, g) = corpus(n);
+    let _ = std::fs::remove_file(path);
+    let mut store = PagedStore::import(path, &g).unwrap();
+    store.set_wal_limit(u64::MAX);
+    let mut times = Vec::new();
+    let mut pages_written = 0u64;
+    for i in 0..rounds {
+        commit_scaled(&mut store, i as i64, 1);
+        let before = storage_stats();
+        let t = Instant::now();
+        store.checkpoint().unwrap();
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+        pages_written = storage_stats().checkpoint_pages_written - before.checkpoint_pages_written;
+    }
+    (median(times), pages_written)
+}
+
 fn report() {
     use std::fmt::Write as _;
-    println!("=== Durable storage: commit, recovery, cold open ===");
+    println!("=== Durable storage: commit, group commit, checkpoints, recovery ===");
     let mut json = String::from("{\n");
     let sizes = [100usize, 1000];
-    for (si, &n) in sizes.iter().enumerate() {
+    for &n in &sizes {
         let (text, g) = corpus(n);
+        let edges = edges_per_commit(n);
 
-        // Durable commit latency over a fresh store.
+        // Durable commit latency over a fresh store, workload scaled to n.
         let path = scratch(&format!("report_{n}.pdb"));
         let _ = std::fs::remove_file(&path);
         let mut store = PagedStore::import(&path, &g).unwrap();
         store.set_wal_limit(u64::MAX);
+        let wal_before = store.wal_size();
         let mut lat = Vec::new();
         for i in 0..200i64 {
             let t = Instant::now();
-            commit_one(&mut store, i);
+            commit_scaled(&mut store, i, edges);
             lat.push(t.elapsed().as_secs_f64() * 1e6);
         }
         let (commit_med, commit_p99) = (percentile(lat.clone(), 0.5), percentile(lat, 0.99));
+        let bytes_per_commit = (store.wal_size() - wal_before) as f64 / 200.0;
 
         // Recovery: kill with 200 txns in the log, time the replay.
         let wal_txns = 200usize;
@@ -96,6 +202,7 @@ fn report() {
         drop(store);
         let t = Instant::now();
         let mut store = PagedStore::open(&path).unwrap();
+        store.graph().unwrap();
         let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
 
         // Checkpoint, then cold-open vs full DDL rebuild.
@@ -107,31 +214,70 @@ fn report() {
         let compact_ms = t.elapsed().as_secs_f64() * 1e3;
         drop(store);
         let t = Instant::now();
-        black_box(PagedStore::open(&path).unwrap().graph().edge_count());
+        black_box(
+            PagedStore::open(&path)
+                .unwrap()
+                .graph()
+                .unwrap()
+                .edge_count(),
+        );
         let cold_open_ms = t.elapsed().as_secs_f64() * 1e3;
         let t = Instant::now();
         black_box(ddl::parse(&text).unwrap().edge_count());
         let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
 
+        // Incremental checkpoint cost for a single-edge change set.
+        let dirty_path = scratch(&format!("dirty_{n}.pdb"));
+        let (dirty_checkpoint_ms, dirty_pages_written) = dirty_checkpoint(&dirty_path, n, 9);
+
         println!(
-            "  n={n:<5} commit med={commit_med:>7.1}µs p99={commit_p99:>7.1}µs   \
+            "  n={n:<5} commit({edges} edges) med={commit_med:>7.1}µs p99={commit_p99:>7.1}µs \
+             {bytes_per_commit:>6.0}B/commit   \
              recovery({wal_txns} txns, {wal_bytes}B wal)={recovery_ms:>7.2}ms   \
              cold open={cold_open_ms:>6.2}ms vs rebuild={rebuild_ms:>6.2}ms   \
              checkpoint={checkpoint_ms:.2}ms compact={compact_ms:.2}ms \
-             ({}->{} pages)",
+             ({}->{} pages)   dirty checkpoint={dirty_checkpoint_ms:.2}ms \
+             ({dirty_pages_written} pages)",
             report.pages_before, report.pages_after
         );
-        let comma = if si + 1 < sizes.len() { "," } else { "" };
         let _ = writeln!(
             json,
             "  \"n{n}\": {{\"commit_median_us\": {commit_med:.1}, \"commit_p99_us\": {commit_p99:.1}, \
+             \"edges_per_commit\": {edges}, \"bytes_per_commit\": {bytes_per_commit:.1}, \
              \"wal_txns\": {wal_txns}, \"wal_bytes\": {wal_bytes}, \"recovery_ms\": {recovery_ms:.2}, \
              \"cold_open_ms\": {cold_open_ms:.2}, \"rebuild_ms\": {rebuild_ms:.2}, \
              \"checkpoint_ms\": {checkpoint_ms:.2}, \"compact_ms\": {compact_ms:.2}, \
-             \"pages_before_compact\": {}, \"pages_after_compact\": {}}}{comma}",
+             \"dirty_checkpoint_ms\": {dirty_checkpoint_ms:.2}, \
+             \"dirty_checkpoint_pages\": {dirty_pages_written}, \
+             \"pages_before_compact\": {}, \"pages_after_compact\": {}}},",
             report.pages_before, report.pages_after
         );
     }
+
+    // Group-commit burst: 100 concurrent transactions vs one-fsync-each.
+    let burst_txns = 100usize;
+    let window = Duration::from_micros(50);
+    let burst_path = scratch("burst.pdb");
+    let (sequential_s, grouped_s, commits_per_fsync) = burst(&burst_path, burst_txns, window);
+    let sequential_tps = burst_txns as f64 / sequential_s;
+    let grouped_tps = burst_txns as f64 / grouped_s;
+    let throughput_ratio = grouped_tps / sequential_tps;
+    println!(
+        "  burst  {burst_txns} txns: sequential={sequential_tps:>8.0}/s \
+         grouped={grouped_tps:>8.0}/s ({throughput_ratio:.1}x, \
+         {commits_per_fsync:.1} commits/fsync, {}µs window)",
+        window.as_micros()
+    );
+    let _ = writeln!(
+        json,
+        "  \"burst\": {{\"txns\": {burst_txns}, \"window_us\": {}, \
+         \"sequential_txns_per_s\": {sequential_tps:.0}, \
+         \"grouped_txns_per_s\": {grouped_tps:.0}, \
+         \"throughput_ratio\": {throughput_ratio:.2}, \
+         \"commits_per_fsync\": {commits_per_fsync:.2}}}",
+        window.as_micros()
+    );
+
     json.push_str("}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_storage.json");
     std::fs::write(path, &json).unwrap();

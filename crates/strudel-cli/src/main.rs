@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! strudel-cli build   <site.spec> [--jobs N] [--timings] [--data FILE]
-//!                                                 generate the browsable site
+//!                     [--page-cache N]            generate the browsable site
 //! strudel-cli schema  <site.spec>                 print the site schema (DOT)
 //! strudel-cli explain <site.spec> [--profile [--json]]  optimizer plans per block
 //! strudel-cli verify  <site.spec> <constraint>    check a structural constraint
@@ -11,6 +11,7 @@
 //!                                                 run an ad-hoc query, print DDL
 //! strudel-cli serve   <site.spec> [addr]          click-time evaluation over HTTP
 //!     [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded] [--data FILE]
+//!     [--page-cache N] [--group-commit-window MS]
 //! strudel-cli loadtest <site.spec>                zipfian load against the server
 //!     [--conns A,B] [--duration-ms N] [--zipf S] [--threads N] [--max-urls N]
 //!     [--pipeline-depth N] [--seed N] [--out FILE] [--threaded]
@@ -22,6 +23,9 @@
 //!
 //! `--data FILE` registers a paged graph store (crash-recovered on open) as
 //! an extra data source named `store` alongside the spec's sources.
+//! `--page-cache N` caps that store's page cache at N pages and
+//! `--group-commit-window MS` sets how long a group-commit leader waits for
+//! followers before flushing the batch (0 = flush immediately).
 //!
 //! Observability flags:
 //!
@@ -65,7 +69,7 @@ fn main() -> ExitCode {
         Some("store") if args.len() >= 2 => cmd_store(&args[1], &args[2..]),
         Some("demo") if args.len() == 2 => cmd_demo(Path::new(&args[1])),
         _ => {
-            eprintln!("usage:\n  strudel-cli build   <site.spec> [--jobs N] [--timings] [--data FILE]\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec> [--profile [--json]]\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin|pdb)> <query.struql> [--profile [--json]]\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded] [--data FILE]\n  strudel-cli loadtest <site.spec> [--conns A,B] [--duration-ms N] [--zipf S] [--threads N]\n                       [--max-urls N] [--pipeline-depth N] [--seed N] [--out FILE] [--threaded]\n  strudel-cli store   import <data.(ddl|bin)> <store.pdb> | info <store.pdb> | compact <store.pdb>\n  strudel-cli demo    <dir>");
+            eprintln!("usage:\n  strudel-cli build   <site.spec> [--jobs N] [--timings] [--data FILE] [--page-cache N]\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec> [--profile [--json]]\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin|pdb)> <query.struql> [--profile [--json]]\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded]\n                       [--data FILE] [--page-cache N] [--group-commit-window MS]\n  strudel-cli loadtest <site.spec> [--conns A,B] [--duration-ms N] [--zipf S] [--threads N]\n                       [--max-urls N] [--pipeline-depth N] [--seed N] [--out FILE] [--threaded]\n  strudel-cli store   import <data.(ddl|bin)> <store.pdb> | info <store.pdb> | compact <store.pdb>\n  strudel-cli demo    <dir>");
             return ExitCode::from(2);
         }
     };
@@ -170,12 +174,14 @@ fn load_system(spec_path: &Path) -> Result<(Strudel, spec::Spec), AnyError> {
 /// `rest` holds everything after the spec path: an optional `--jobs N`
 /// flag (worker threads for evaluation, construction and rendering;
 /// defaults to the machine's available parallelism), `--timings`
-/// (print a phase-breakdown JSON object instead of the summary line), and
-/// `--data FILE` (mount a paged graph store as an extra source).
+/// (print a phase-breakdown JSON object instead of the summary line),
+/// `--data FILE` (mount a paged graph store as an extra source) and
+/// `--page-cache N` (cap that store's page cache at N pages).
 fn cmd_build(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut timings = false;
     let mut data: Option<String> = None;
+    let mut tune = strudel::StoreTuning::default();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -188,12 +194,16 @@ fn cmd_build(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
             }
             "--timings" => timings = true,
             "--data" => data = Some(it.next().ok_or("--data needs a file")?.clone()),
+            "--page-cache" => {
+                let v = it.next().ok_or("--page-cache needs a value")?;
+                tune.page_cache = Some(v.parse().map_err(|e| format!("--page-cache {v}: {e}"))?);
+            }
             s => return Err(format!("unknown argument {s}").into()),
         }
     }
     let (mut s, sp) = load_system(spec_path)?;
     if let Some(store_path) = &data {
-        s.add_store_source("store", Path::new(store_path));
+        s.add_store_source_with("store", Path::new(store_path), tune);
     }
     s.set_jobs(jobs);
     let roots: Vec<&str> = sp.roots.iter().map(String::as_str).collect();
@@ -333,7 +343,7 @@ fn cmd_query(data_path: &Path, query_path: &Path, rest: &[String]) -> Result<(),
     } else if data_path.extension().is_some_and(|e| e == "pdb") {
         // A paged store: open (running crash recovery if the last writer
         // died) and query its current revision.
-        let store = strudel::graph::store::PagedStore::open(data_path)?;
+        let mut store = strudel::graph::store::PagedStore::open(data_path)?;
         let bytes = store.serialize()?;
         strudel::graph::store::load_slice(&bytes)?
     } else {
@@ -380,6 +390,7 @@ fn cmd_serve(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
     let mut config = strudel::serve::ServerConfig::default();
     let mut cache = strudel::site::CacheConfig::default();
     let mut data: Option<String> = None;
+    let mut tune = strudel::StoreTuning::default();
 
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -393,6 +404,11 @@ fn cmd_serve(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
             "--cache-bytes" => cache.max_bytes = flag_value("--cache-bytes")?,
             "--threaded" => config.mode = strudel::serve::ServeMode::Threaded,
             "--data" => data = Some(it.next().ok_or("--data needs a file")?.clone()),
+            "--page-cache" => tune.page_cache = Some(flag_value("--page-cache")?),
+            "--group-commit-window" => {
+                let ms = flag_value("--group-commit-window")?;
+                tune.group_commit_window = Some(std::time::Duration::from_millis(ms as u64));
+            }
             s if s.starts_with("--") => return Err(format!("unknown flag {s}").into()),
             s => addr = s.to_string(),
         }
@@ -400,7 +416,7 @@ fn cmd_serve(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
 
     let (mut s, _) = load_system(spec_path)?;
     if let Some(store_path) = &data {
-        s.add_store_source("store", Path::new(store_path));
+        s.add_store_source_with("store", Path::new(store_path), tune);
     }
     let dynamic = s.dynamic_site_with(cache)?;
     let server = strudel::serve::Server::bind_with(dynamic, &addr, config)?;
@@ -436,21 +452,32 @@ fn cmd_store(verb: &str, rest: &[String]) -> Result<(), AnyError> {
             Ok(())
         }
         ("info", [path]) => {
-            let store = PagedStore::open(Path::new(path))?;
-            let g = store.graph();
+            let mut store = PagedStore::open(Path::new(path))?;
+            let (nodes, edges, collections) = {
+                let g = store.graph()?;
+                (g.node_count(), g.edge_count(), g.collection_names().len())
+            };
             println!(
                 "revision {}: {} nodes, {} edges, {} collections",
                 store.revision(),
-                g.node_count(),
-                g.edge_count(),
-                g.collection_names().len(),
+                nodes,
+                edges,
+                collections,
             );
             println!(
-                "pages {} ({} bytes), {} leaked; wal {} bytes",
+                "pages {} ({} bytes), {} free, {} leaked; dirty since checkpoint: {} pages in {} segments",
                 store.page_count(),
                 store.page_count() as u64 * 4096,
+                store.freelist_len(),
                 store.leaked_pages(),
+                store.dirty_pages(),
+                store.dirty_segments(),
+            );
+            println!(
+                "wal {} bytes, age {}s; group-commit window {:?}",
                 store.wal_size(),
+                store.wal_age_seconds(),
+                store.group_commit_window(),
             );
             Ok(())
         }

@@ -7,14 +7,19 @@
 //! page 2.. data pages (4 KiB): [checksum][next][len][kind] + payload
 //! ```
 //!
-//! A committed **revision** is a chain of snapshot pages (each page names
-//! its successor) holding the graph's serialized bytes, rooted in a header
-//! slot. Commits are copy-on-write: new chains are written only into pages
-//! referenced by *neither* valid header (the in-header freelist plus file
-//! growth), then the older header slot is rewritten to describe the new
-//! revision. If the header write tears, the untouched newer slot still
-//! describes the previous revision — opening picks the valid slot with the
-//! highest revision, so a crash at any byte leaves a loadable store.
+//! A committed **revision** is rooted in a header slot: the header's root
+//! chain (each page names its successor) plus any number of auxiliary
+//! *blob* chains the root's contents point at — the store keeps its
+//! checkpoint manifest in the root chain and one blob chain per graph
+//! segment, so an incremental checkpoint rewrites only the chains whose
+//! segment changed ([`Pager::commit_segments`]). Commits are copy-on-write:
+//! new chains are written only into pages referenced by *neither* valid
+//! header (the in-header freelist plus file growth), then the older header
+//! slot is rewritten to describe the new revision. If the header write
+//! tears, the untouched newer slot still describes the previous revision —
+//! opening picks the valid slot with the highest revision, so a crash at
+//! any byte leaves a loadable store, and pages shared with the previous
+//! revision are never touched.
 //!
 //! Every page carries a checksum over its own number, link, length, kind
 //! and payload; a bit flip anywhere in live data fails validation with a
@@ -41,7 +46,12 @@ pub const PAGE_PAYLOAD: usize = PAGE_SIZE - 16;
 pub const FREE_CAP: usize = (PAGE_SIZE - HEADER_FIXED - 8) / 4;
 
 const MAGIC: &[u8; 8] = b"STRUPGD1";
-const VERSION: u32 = 1;
+/// Format version 2: the root chain may be a segment manifest whose
+/// entries name blob chains elsewhere in the file (incremental
+/// checkpoints). Version-1 files (single flat chain) are not migrated.
+const VERSION: u32 = 2;
+/// Default page-cache capacity, in pages.
+pub const DEFAULT_CACHE_PAGES: usize = 1024;
 /// Fixed header-slot fields before the freelist entries.
 const HEADER_FIXED: usize = 56;
 /// Page kind tag for snapshot-chain pages.
@@ -186,12 +196,26 @@ impl PageCache {
             match self.order.pop_front() {
                 Some(old) => {
                     self.map.remove(&old);
+                    STORAGE.page_cache_evictions.inc();
                 }
                 None => break,
             }
         }
         if self.map.insert(page, bytes).is_none() {
             self.order.push_back(page);
+        }
+    }
+
+    fn set_cap(&mut self, cap: usize) {
+        self.cap = cap.max(8);
+        while self.map.len() > self.cap {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                    STORAGE.page_cache_evictions.inc();
+                }
+                None => break,
+            }
         }
     }
 }
@@ -311,6 +335,11 @@ impl Pager {
         &self.path
     }
 
+    /// Resizes the in-memory page cache (in pages; clamped to at least 8).
+    pub fn set_cache_capacity(&mut self, pages: usize) {
+        self.cache.set_cap(pages);
+    }
+
     fn read_page(&mut self, page: u32) -> Result<Vec<u8>> {
         if let Some(hit) = self.cache.get(page) {
             STORAGE.page_cache_hits.inc();
@@ -324,19 +353,28 @@ impl Pager {
         Ok(buf)
     }
 
-    /// Walks the committed chain, validating every page, and returns its
-    /// page ids. Length and byte totals must match the header exactly.
+    /// Walks the committed root chain, validating every page, and returns
+    /// its page ids. Length and byte totals must match the header exactly.
     fn walk_chain(&mut self) -> Result<Vec<u32>> {
-        let (mut page, want_pages, want_bytes) = (
+        let (page, want_pages, want_bytes) = (
             self.state.root_page,
             self.state.root_pages,
             self.state.root_bytes,
         );
+        self.walk_blob(page, want_pages, want_bytes)
+    }
+
+    /// Walks any chain starting at `first`, validating every page, and
+    /// returns its page ids. The declared page and byte totals (from the
+    /// header for the root chain, from a manifest entry for a segment
+    /// blob) must match the chain on disk exactly.
+    pub fn walk_blob(&mut self, first: u32, want_pages: u32, want_bytes: u64) -> Result<Vec<u32>> {
+        let mut page = first;
         let mut pages = Vec::with_capacity(want_pages as usize);
         let mut bytes = 0u64;
         while page != 0 {
             if pages.len() >= want_pages as usize {
-                return Err(corrupt("snapshot chain longer than header declares"));
+                return Err(corrupt("page chain longer than declared"));
             }
             let (next, len) = self.validate_page(page)?;
             bytes += len as u64;
@@ -345,7 +383,7 @@ impl Pager {
         }
         if pages.len() != want_pages as usize || bytes != want_bytes {
             return Err(corrupt(format!(
-                "snapshot chain mismatch: {} pages / {} bytes on disk, header declares {} / {}",
+                "page chain mismatch: {} pages / {} bytes on disk, declared {} / {}",
                 pages.len(),
                 bytes,
                 want_pages,
@@ -382,11 +420,17 @@ impl Pager {
         Ok((next, len))
     }
 
-    /// Reads the committed revision's serialized bytes.
+    /// Reads the committed revision's root-chain bytes.
     pub fn read_chain(&mut self) -> Result<Vec<u8>> {
         let chain = self.chain.clone();
-        let mut out = Vec::with_capacity(self.state.root_bytes as usize);
-        for page in chain {
+        self.read_pages(&chain)
+    }
+
+    /// Reads and concatenates the payloads of `pages` (a chain's page ids
+    /// in order), re-validating each page's checksum.
+    pub fn read_pages(&mut self, pages: &[u32]) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(pages.len() * PAGE_PAYLOAD);
+        for &page in pages {
             let (_, len) = self.validate_page(page)?;
             let buf = self.read_page(page)?;
             out.extend_from_slice(&buf[16..16 + len]);
@@ -394,27 +438,9 @@ impl Pager {
         Ok(out)
     }
 
-    /// Commits `bytes` as revision `revision`: writes a new chain into
-    /// free/fresh pages (never touching the committed chain), fsyncs the
-    /// data, then flips the older header slot and fsyncs again. The pages
-    /// of the replaced chain become the next commit's freelist.
-    pub fn commit_chain(&mut self, bytes: &[u8], revision: u64) -> Result<()> {
-        let needed = bytes.len().div_ceil(PAGE_PAYLOAD);
-        let mut pool = self.state.free.clone();
-        let mut page_count = self.state.page_count;
-        let mut pages = Vec::with_capacity(needed);
-        for _ in 0..needed {
-            pages.push(pool.pop().unwrap_or_else(|| {
-                let p = page_count;
-                page_count += 1;
-                p
-            }));
-        }
-        // Grow the file up front so page writes never extend past EOF
-        // implicitly (and a short file can never validate as a header).
-        if page_count > self.state.page_count {
-            self.file.set_len(page_count as u64 * PAGE_SIZE as u64)?;
-        }
+    /// Writes `bytes` as a linked chain over the pre-allocated `pages`.
+    fn write_chain(&mut self, bytes: &[u8], pages: &[u32]) -> Result<()> {
+        debug_assert_eq!(pages.len(), bytes.len().div_ceil(PAGE_PAYLOAD));
         for (i, chunk) in bytes.chunks(PAGE_PAYLOAD).enumerate() {
             let page = pages[i];
             let next = pages.get(i + 1).copied().unwrap_or(0);
@@ -434,13 +460,80 @@ impl Pager {
             STORAGE.page_writes.inc();
             self.cache.put(page, buf.into_boxed_slice());
         }
-        if needed > 0 {
+        Ok(())
+    }
+
+    /// Commits `bytes` as revision `revision` in a single root chain — the
+    /// whole-image form used by tests and trivial stores. Equivalent to
+    /// [`Pager::commit_segments`] with no blobs.
+    pub fn commit_chain(&mut self, bytes: &[u8], revision: u64) -> Result<()> {
+        self.commit_segments(&[], Vec::new(), revision, |_| bytes.to_vec())?;
+        Ok(())
+    }
+
+    /// Commits revision `revision` as a set of blob chains plus a root
+    /// chain, copy-on-write: every new chain goes into pages referenced by
+    /// neither valid header (freelist, then file growth), the data is
+    /// fsynced, then the older header slot flips to the new root.
+    ///
+    /// `blobs` are written first and their allocated page ids handed to
+    /// `root`, which builds the root-chain bytes (the store's manifest)
+    /// from them. `freed` lists pages of the *previous* revision the
+    /// caller no longer references (replaced segments); together with the
+    /// replaced root chain they fund the commit after this one — they are
+    /// never written during *this* commit, so the previous revision stays
+    /// intact on disk until the header flip makes the new one durable.
+    /// Pages of untouched blobs are shared between the two revisions.
+    ///
+    /// Returns the page ids allocated to each blob, parallel to `blobs`.
+    pub fn commit_segments(
+        &mut self,
+        blobs: &[&[u8]],
+        freed: Vec<u32>,
+        revision: u64,
+        root: impl FnOnce(&[Vec<u32>]) -> Vec<u8>,
+    ) -> Result<Vec<Vec<u32>>> {
+        let mut pool = self.state.free.clone();
+        let mut page_count = self.state.page_count;
+        let mut alloc = |n: usize| -> Vec<u32> {
+            (0..n)
+                .map(|_| {
+                    pool.pop().unwrap_or_else(|| {
+                        let p = page_count;
+                        page_count += 1;
+                        p
+                    })
+                })
+                .collect()
+        };
+        let blob_pages: Vec<Vec<u32>> = blobs
+            .iter()
+            .map(|b| alloc(b.len().div_ceil(PAGE_PAYLOAD)))
+            .collect();
+        let root_bytes = root(&blob_pages);
+        let root_pages = alloc(root_bytes.len().div_ceil(PAGE_PAYLOAD));
+        // Grow the file up front so page writes never extend past EOF
+        // implicitly (and a short file can never validate as a header).
+        if page_count > self.state.page_count {
+            self.file.set_len(page_count as u64 * PAGE_SIZE as u64)?;
+        }
+        for (bytes, pages) in blobs.iter().zip(&blob_pages) {
+            let pages = pages.clone();
+            self.write_chain(bytes, &pages)?;
+        }
+        {
+            let pages = root_pages.clone();
+            self.write_chain(&root_bytes, &pages)?;
+        }
+        if !root_pages.is_empty() || blob_pages.iter().any(|p| !p.is_empty()) {
             self.file.sync_all()?;
         }
-        // The replaced chain is free for the commit after this one; any
-        // entries past the header's capacity are leaked until compaction.
+        // The replaced root chain and the caller's replaced blob pages are
+        // free for the commit after this one; any entries past the
+        // header's capacity are leaked until compaction.
         let mut free = pool;
         free.extend_from_slice(&self.chain);
+        free.extend(freed);
         let mut leaked = self.state.leaked;
         if free.len() > FREE_CAP {
             let overflow = (free.len() - FREE_CAP) as u64;
@@ -450,9 +543,9 @@ impl Pager {
         }
         let new_state = HeaderState {
             revision,
-            root_page: pages.first().copied().unwrap_or(0),
-            root_pages: needed as u32,
-            root_bytes: bytes.len() as u64,
+            root_page: root_pages.first().copied().unwrap_or(0),
+            root_pages: root_pages.len() as u32,
+            root_bytes: root_bytes.len() as u64,
             page_count,
             leaked,
             free,
@@ -467,8 +560,8 @@ impl Pager {
         self.file.sync_all()?;
         self.state = new_state;
         self.active_slot = slot;
-        self.chain = pages;
-        Ok(())
+        self.chain = root_pages;
+        Ok(blob_pages)
     }
 }
 

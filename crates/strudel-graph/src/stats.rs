@@ -22,6 +22,12 @@ impl Cell {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Overwrites the value — for the gauge-style cells (`dirty_pages`,
+    /// `freelist_pages`) that track a level, not a running total.
+    pub(crate) fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
     fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -56,6 +62,22 @@ pub(crate) struct StorageCounters {
     pub wal_torn_tails: Cell,
     /// Store compactions (page file rewritten minimal).
     pub compactions: Cell,
+    /// WAL file fsyncs (each one is a durability point).
+    pub wal_fsyncs: Cell,
+    /// Group commits: one commit record covering more than one transaction.
+    pub wal_group_commits: Cell,
+    /// Transactions folded into group commit records.
+    pub wal_group_commit_txns: Cell,
+    /// Pages written by checkpoints (dirty segments + manifest).
+    pub checkpoint_pages_written: Cell,
+    /// Pages carried over untouched by incremental checkpoints.
+    pub checkpoint_pages_reused: Cell,
+    /// Pages evicted from a pager's in-memory page cache.
+    pub page_cache_evictions: Cell,
+    /// Gauge: pages the next checkpoint would rewrite (last writer wins).
+    pub dirty_pages: Cell,
+    /// Gauge: free pages tracked in the active header (last writer wins).
+    pub freelist_pages: Cell,
 }
 
 pub(crate) static STORAGE: StorageCounters = StorageCounters {
@@ -72,6 +94,14 @@ pub(crate) static STORAGE: StorageCounters = StorageCounters {
     wal_recovered_frames: Cell(AtomicU64::new(0)),
     wal_torn_tails: Cell(AtomicU64::new(0)),
     compactions: Cell(AtomicU64::new(0)),
+    wal_fsyncs: Cell(AtomicU64::new(0)),
+    wal_group_commits: Cell(AtomicU64::new(0)),
+    wal_group_commit_txns: Cell(AtomicU64::new(0)),
+    checkpoint_pages_written: Cell(AtomicU64::new(0)),
+    checkpoint_pages_reused: Cell(AtomicU64::new(0)),
+    page_cache_evictions: Cell(AtomicU64::new(0)),
+    dirty_pages: Cell(AtomicU64::new(0)),
+    freelist_pages: Cell(AtomicU64::new(0)),
 };
 
 /// A snapshot of the process-wide storage counters.
@@ -103,6 +133,22 @@ pub struct StorageStats {
     pub wal_torn_tails: u64,
     /// Store compactions.
     pub compactions: u64,
+    /// WAL file fsyncs.
+    pub wal_fsyncs: u64,
+    /// Commit records that covered more than one transaction.
+    pub wal_group_commits: u64,
+    /// Transactions folded into group commit records.
+    pub wal_group_commit_txns: u64,
+    /// Pages written by checkpoints.
+    pub checkpoint_pages_written: u64,
+    /// Pages reused untouched across incremental checkpoints.
+    pub checkpoint_pages_reused: u64,
+    /// Pages evicted from page caches.
+    pub page_cache_evictions: u64,
+    /// Gauge: pages the next checkpoint would rewrite.
+    pub dirty_pages: u64,
+    /// Gauge: free pages tracked in the active header.
+    pub freelist_pages: u64,
 }
 
 /// Snapshots the process-wide storage counters (page cache, WAL, recovery).
@@ -122,5 +168,13 @@ pub fn storage_stats() -> StorageStats {
         wal_recovered_frames: c.wal_recovered_frames.get(),
         wal_torn_tails: c.wal_torn_tails.get(),
         compactions: c.compactions.get(),
+        wal_fsyncs: c.wal_fsyncs.get(),
+        wal_group_commits: c.wal_group_commits.get(),
+        wal_group_commit_txns: c.wal_group_commit_txns.get(),
+        checkpoint_pages_written: c.checkpoint_pages_written.get(),
+        checkpoint_pages_reused: c.checkpoint_pages_reused.get(),
+        page_cache_evictions: c.page_cache_evictions.get(),
+        dirty_pages: c.dirty_pages.get(),
+        freelist_pages: c.freelist_pages.get(),
     }
 }

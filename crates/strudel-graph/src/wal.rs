@@ -2,7 +2,7 @@
 //! giving the store durable commits without rewriting the page file.
 //!
 //! ```text
-//! header  [magic "STRUWAL1"][base_revision u64][checksum u64]
+//! header  [magic "STRUWAL2"][base_revision u64][created_at u64][checksum u64]
 //! frame   [kind u8][len u32][payload][checksum u64]
 //! ```
 //!
@@ -15,22 +15,35 @@
 //!
 //! A transaction is a run of `Delta` frames terminated by a `Commit`
 //! frame naming the revision it produces; the commit append is fsynced,
-//! which is the durability point. Recovery scans frames until the first
-//! invalid one: everything after the last *committed* frame — a torn
-//! half-written tail, or deltas whose commit never made it — is
-//! truncated away, and the committed prefix is replayed. A log can never
-//! replay into a state that was not explicitly committed.
+//! which is the durability point. Under **group commit** several
+//! transactions' delta runs are appended back to back and covered by a
+//! *single* commit record: the batch becomes one revision, so a crash can
+//! only ever land before or after the whole batch — never inside it.
+//! Recovery scans frames until the first invalid one: everything after
+//! the last *committed* frame — a torn half-written tail, or deltas whose
+//! commit never made it — is truncated away, and the committed prefix is
+//! replayed. A log can never replay into a state that was not explicitly
+//! committed.
+//!
+//! The header also records the log's creation time, so `store info` and
+//! `/stats` can report how long changes have been accumulating since the
+//! last checkpoint (the "WAL age").
 
 use crate::error::{GraphError, Result};
+use crate::fsio;
 use crate::fxhash::FxHasher;
 use crate::stats::STORAGE;
 use std::fs::{File, OpenOptions};
 use std::hash::Hasher;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
 
-const MAGIC: &[u8; 8] = b"STRUWAL1";
-const HEADER_LEN: u64 = 24;
+const MAGIC: &[u8; 8] = b"STRUWAL2";
+const HEADER_LEN: u64 = 32;
+
+/// Size in bytes of an empty (header-only) log.
+pub const EMPTY_SIZE: u64 = HEADER_LEN;
 /// Nonzero seed, distinct from the pager's, so zeroed bytes never validate.
 const CHECKSUM_SEED: u64 = 0x5354_5255_5741_4c31;
 
@@ -45,12 +58,20 @@ fn corrupt(message: impl Into<String>) -> GraphError {
     }
 }
 
-fn header_checksum(base_revision: u64) -> u64 {
+fn header_checksum(base_revision: u64, created_at: u64) -> u64 {
     let mut h = FxHasher::default();
     h.write_u64(CHECKSUM_SEED);
     h.write(MAGIC);
     h.write_u64(base_revision);
+    h.write_u64(created_at);
     h.finish()
+}
+
+fn unix_now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 fn frame_checksum(base_revision: u64, offset: u64, kind: u8, payload: &[u8]) -> u64 {
@@ -78,6 +99,7 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     base_revision: u64,
+    created_at: u64,
     /// Next append offset (== current durable-prefix length after open).
     end: u64,
 }
@@ -92,16 +114,20 @@ impl Wal {
             .create(true)
             .truncate(true)
             .open(path)?;
+        let created_at = unix_now_secs();
         let mut header = Vec::with_capacity(HEADER_LEN as usize);
         header.extend_from_slice(MAGIC);
         header.extend_from_slice(&base_revision.to_le_bytes());
-        header.extend_from_slice(&header_checksum(base_revision).to_le_bytes());
+        header.extend_from_slice(&created_at.to_le_bytes());
+        header.extend_from_slice(&header_checksum(base_revision, created_at).to_le_bytes());
         file.write_all(&header)?;
         file.sync_all()?;
+        STORAGE.wal_fsyncs.inc();
         Ok(Wal {
             file,
             path: path.to_path_buf(),
             base_revision,
+            created_at,
             end: HEADER_LEN,
         })
     }
@@ -128,8 +154,9 @@ impl Wal {
             return Err(corrupt(format!("{}: bad WAL magic", path.display())));
         }
         let base_revision = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-        let stored = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
-        if stored != header_checksum(base_revision) {
+        let created_at = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        let stored = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
+        if stored != header_checksum(base_revision, created_at) {
             return Err(corrupt(format!(
                 "{}: WAL header checksum mismatch",
                 path.display()
@@ -166,12 +193,14 @@ impl Wal {
             STORAGE.wal_torn_tails.inc();
             file.set_len(committed_end)?;
             file.sync_all()?;
+            STORAGE.wal_fsyncs.inc();
         }
         Ok((
             Wal {
                 file,
                 path: path.to_path_buf(),
                 base_revision,
+                created_at,
                 end: committed_end,
             },
             txns,
@@ -181,6 +210,16 @@ impl Wal {
     /// The page-file revision this log applies on top of.
     pub fn base_revision(&self) -> u64 {
         self.base_revision
+    }
+
+    /// Unix time (seconds) the log was created — i.e. the last checkpoint.
+    pub fn created_at_unix_secs(&self) -> u64 {
+        self.created_at
+    }
+
+    /// Seconds since the log was created (0 if the clock went backwards).
+    pub fn age_seconds(&self) -> u64 {
+        unix_now_secs().saturating_sub(self.created_at)
     }
 
     /// Bytes in the durable log (header included).
@@ -214,12 +253,16 @@ impl Wal {
         self.append(KIND_DELTA, payload)
     }
 
-    /// Appends a commit record naming `revision` and fsyncs: once this
-    /// returns, the transaction survives any crash.
+    /// Appends a commit record naming `revision` and syncs the log's data:
+    /// once this returns, the transaction — or, under group commit, every
+    /// transaction appended since the previous commit record — survives
+    /// any crash. One commit record covers the whole run of deltas before
+    /// it, which is what makes a batched commit all-or-nothing on disk.
     pub fn commit(&mut self, revision: u64) -> Result<()> {
         self.append(KIND_COMMIT, &revision.to_le_bytes())?;
-        self.file.sync_all()?;
+        fsio::sync_file_data(&self.file)?;
         STORAGE.wal_commits.inc();
+        STORAGE.wal_fsyncs.inc();
         Ok(())
     }
 }
@@ -329,6 +372,22 @@ mod tests {
         let (wal, txns) = Wal::open(&p, 9).unwrap();
         assert!(txns.is_empty());
         assert_eq!(wal.base_revision(), 9);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn creation_time_survives_reopen() {
+        let p = tmp("age");
+        let created = {
+            let mut wal = Wal::create(&p, 0).unwrap();
+            assert!(wal.created_at_unix_secs() > 0);
+            wal.append_delta(b"x").unwrap();
+            wal.commit(1).unwrap();
+            wal.created_at_unix_secs()
+        };
+        let (wal, _) = Wal::open(&p, 0).unwrap();
+        assert_eq!(wal.created_at_unix_secs(), created);
+        assert!(wal.age_seconds() < 3600, "age must be measured from now");
         std::fs::remove_file(&p).unwrap();
     }
 

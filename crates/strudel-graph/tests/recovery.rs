@@ -12,8 +12,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use strudel_graph::error::GraphError;
-use strudel_graph::store::{wal_path, PagedStore, WireValue};
-use strudel_graph::{ddl, Graph};
+use strudel_graph::store::{wal_path, DeltaOp, PagedStore, WireValue};
+use strudel_graph::{ddl, wal, Graph};
 
 /// A per-test scratch directory, removed on drop.
 struct Scratch {
@@ -61,7 +61,10 @@ object pub2 in Publications {
 /// Builds a store at `path` with several WAL-resident commits and returns,
 /// for each durable revision, `(revision, wal_size_at_commit, serialized
 /// graph bytes)`. The first entry is the imported base revision with
-/// `wal_size` equal to the empty-log size.
+/// `wal_size` equal to the empty-log size. Every other commit is a
+/// group-committed batch of two transactions, so the log the fault sweeps
+/// chew on contains multi-transaction commit records — the batch boundary
+/// cases group commit introduces.
 fn build_history(path: &Path, commits: usize) -> Vec<(u64, u64, Vec<u8>)> {
     let mut store = PagedStore::import(path, &sample()).unwrap();
     // Keep every commit in the log: no auto-checkpoint during the test.
@@ -72,12 +75,42 @@ fn build_history(path: &Path, commits: usize) -> Vec<(u64, u64, Vec<u8>)> {
         store.serialize().unwrap(),
     )];
     for i in 0..commits {
-        let mut txn = store.begin();
-        let node = txn.add_node(Some(&format!("extra{i}")));
-        txn.add_edge(node, "title", WireValue::Str(format!("Extra {i}")));
-        txn.add_edge(node, "year", WireValue::Int(2000 + i as i64));
-        txn.add_to_collection("Publications", WireValue::Node(node));
-        txn.commit().unwrap();
+        if i % 2 == 1 {
+            // A batch of two transactions durable as one commit record.
+            let base = store.node_count();
+            let txn_a = vec![
+                DeltaOp::AddNode {
+                    name: Some(format!("batch{i}a")),
+                },
+                DeltaOp::AddEdge {
+                    node: base,
+                    label: "title".into(),
+                    value: WireValue::Str(format!("Batch {i}a")),
+                },
+                DeltaOp::AddToCollection {
+                    collection: "Publications".into(),
+                    value: WireValue::Node(base),
+                },
+            ];
+            let txn_b = vec![
+                DeltaOp::AddNode {
+                    name: Some(format!("batch{i}b")),
+                },
+                DeltaOp::AddEdge {
+                    node: base + 1,
+                    label: "year".into(),
+                    value: WireValue::Int(2000 + i as i64),
+                },
+            ];
+            store.commit_batch(&[&txn_a, &txn_b]).unwrap();
+        } else {
+            let mut txn = store.begin();
+            let node = txn.add_node(Some(&format!("extra{i}")));
+            txn.add_edge(node, "title", WireValue::Str(format!("Extra {i}")));
+            txn.add_edge(node, "year", WireValue::Int(2000 + i as i64));
+            txn.add_to_collection("Publications", WireValue::Node(node));
+            txn.commit().unwrap();
+        }
         history.push((
             store.revision(),
             store.wal_size(),
@@ -109,13 +142,16 @@ fn truncating_the_wal_anywhere_recovers_the_last_durable_commit() {
     let history = build_history(&built, 5);
     let pages = fs::read(&built).unwrap();
     let log = fs::read(wal_path(&built)).unwrap();
-    assert!(log.len() > 24, "test needs a non-empty log");
+    assert!(
+        log.len() > wal::EMPTY_SIZE as usize,
+        "test needs a non-empty log"
+    );
 
     let victim = scratch.path("victim.pdb");
     for cut in 0..=log.len() {
         fs::write(&victim, &pages).unwrap();
         fs::write(wal_path(&victim), &log[..cut]).unwrap();
-        let store = PagedStore::open(&victim)
+        let mut store = PagedStore::open(&victim)
             .unwrap_or_else(|e| panic!("truncation at {cut} bytes must recover: {e:?}"));
         // The newest durable revision whose commit fsync point fits the cut.
         let expected = history
@@ -157,7 +193,7 @@ fn wal_bit_flips_never_yield_a_wrong_graph() {
         fs::write(&victim, &pages).unwrap();
         fs::write(wal_path(&victim), &flipped).unwrap();
         match PagedStore::open(&victim) {
-            Ok(store) => {
+            Ok(mut store) => {
                 let rev = store.revision();
                 assert!(
                     rev <= last,
@@ -207,7 +243,7 @@ fn page_file_bit_flips_are_detected_or_harmless() {
         fs::write(&victim, &flipped).unwrap();
         fs::write(wal_path(&victim), &log).unwrap();
         match PagedStore::open(&victim) {
-            Ok(reopened) => {
+            Ok(mut reopened) => {
                 assert_eq!(
                     reopened.revision(),
                     revision,
@@ -232,7 +268,7 @@ fn reopen_after_kill_restores_the_working_copy_exactly() {
     let path = scratch.path("data.pdb");
     let history = build_history(&path, 3);
     let (revision, _, ref bytes) = *history.last().unwrap();
-    let reopened = PagedStore::open(&path).unwrap();
+    let mut reopened = PagedStore::open(&path).unwrap();
     assert_eq!(reopened.revision(), revision);
     assert_eq!(&reopened.serialize().unwrap(), bytes);
 }
@@ -279,7 +315,138 @@ fn missing_wal_reopens_at_the_page_file_revision() {
     drop(store);
 
     fs::remove_file(wal_path(&path)).unwrap();
-    let reopened = PagedStore::open(&path).unwrap();
+    let mut reopened = PagedStore::open(&path).unwrap();
     assert_eq!(reopened.revision(), revision);
     assert_eq!(reopened.serialize().unwrap(), reference);
+}
+
+fn graph_bytes(graph: &Graph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    strudel_graph::store::save(graph, &mut buf).unwrap();
+    buf
+}
+
+/// A crash at any byte of a group-committed batch — in particular between
+/// the batch append and its fsync — must recover either the full batch or
+/// the state before it. The batch is one commit record, so no truncation
+/// point may expose one transaction of the batch without the others.
+#[test]
+fn group_commit_crash_never_recovers_a_partial_batch() {
+    let scratch = Scratch::new("partial_batch");
+    let built = scratch.path("built.pdb");
+    let mut store = PagedStore::import(&built, &sample()).unwrap();
+    store.set_wal_limit(u64::MAX);
+    let before_bytes = store.serialize().unwrap();
+    let before_rev = store.revision();
+
+    // Three transactions group-committed as one durable unit.
+    let base = store.node_count();
+    let txns: Vec<Vec<DeltaOp>> = (0..3u32)
+        .map(|t| {
+            vec![
+                DeltaOp::AddNode {
+                    name: Some(format!("member{t}")),
+                },
+                DeltaOp::AddEdge {
+                    node: base + t,
+                    label: "title".into(),
+                    value: WireValue::Str(format!("Member {t}")),
+                },
+            ]
+        })
+        .collect();
+    let slices: Vec<&[DeltaOp]> = txns.iter().map(|t| t.as_slice()).collect();
+    let batch_rev = store.commit_batch(&slices).unwrap();
+    assert_eq!(batch_rev, before_rev + 1, "a batch is exactly one revision");
+    let after_bytes = store.serialize().unwrap();
+    drop(store);
+
+    let pages = fs::read(&built).unwrap();
+    let log = fs::read(wal_path(&built)).unwrap();
+    let victim = scratch.path("victim.pdb");
+    for cut in 0..=log.len() {
+        fs::write(&victim, &pages).unwrap();
+        fs::write(wal_path(&victim), &log[..cut]).unwrap();
+        let mut reopened = PagedStore::open(&victim)
+            .unwrap_or_else(|e| panic!("truncation at {cut} bytes must recover: {e:?}"));
+        let got = reopened.serialize().unwrap();
+        if reopened.revision() == batch_rev {
+            assert_eq!(
+                got, after_bytes,
+                "cut at {cut}: batch revision recovered with partial contents"
+            );
+        } else {
+            assert_eq!(reopened.revision(), before_rev, "cut at {cut}");
+            assert_eq!(
+                got, before_bytes,
+                "cut at {cut}: pre-batch revision recovered with wrong contents"
+            );
+        }
+    }
+}
+
+/// Snapshot stability property: a snapshot pinned at an arbitrary point
+/// keeps reading byte-identical contents no matter what mix of commits,
+/// group commits, incremental checkpoints, and compactions follows it.
+/// The interleaving is driven by a deterministic LCG so failures replay.
+#[test]
+fn snapshots_stay_byte_identical_across_arbitrary_interleavings() {
+    let scratch = Scratch::new("snapshot_property");
+    let path = scratch.path("data.pdb");
+    let mut store = PagedStore::import(&path, &sample()).unwrap();
+    let mut pinned: Vec<(strudel_graph::store::Snapshot, u64, Vec<u8>)> = Vec::new();
+    let mut state: u64 = 0x5157_5544_454c_0009;
+
+    for step in 0..60u32 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let roll = (state >> 33) % 10;
+        if step % 6 == 0 {
+            // Pin a snapshot and record the canonical bytes it must keep
+            // serving. Materialization is deferred: the graph is first
+            // realized *after* later checkpoints/compactions have moved
+            // the pages underneath it.
+            let expected = store.serialize().unwrap();
+            let snap = store.snapshot().unwrap();
+            pinned.push((snap, store.revision(), expected));
+        }
+        match roll {
+            0..=5 => {
+                let mut txn = store.begin();
+                let node = txn.add_node(Some(&format!("step{step}")));
+                txn.add_edge(node, "year", WireValue::Int(step as i64));
+                if roll.is_multiple_of(2) {
+                    txn.add_to_collection("Publications", WireValue::Node(node));
+                }
+                txn.commit().unwrap();
+            }
+            6 => {
+                let base = store.node_count();
+                let a = vec![DeltaOp::AddNode {
+                    name: Some(format!("batch{step}a")),
+                }];
+                let b = vec![DeltaOp::AddEdge {
+                    node: base,
+                    label: "title".into(),
+                    value: WireValue::Str(format!("Batch {step}")),
+                }];
+                store.commit_batch(&[&a, &b]).unwrap();
+            }
+            7 | 8 => store.checkpoint().unwrap(),
+            _ => {
+                let _ = store.compact().unwrap();
+            }
+        }
+    }
+
+    assert!(pinned.len() >= 10, "property needs many pin points");
+    for (snap, revision, expected) in &pinned {
+        assert_eq!(snap.revision(), *revision);
+        assert_eq!(
+            &graph_bytes(snap.graph()),
+            expected,
+            "snapshot at revision {revision} drifted after later mutations"
+        );
+    }
 }

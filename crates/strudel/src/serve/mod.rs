@@ -310,6 +310,14 @@ object a2 in Articles { headline "two" section "world" }
                 ("strudel_wal_recoveries_total", "counter"),
                 ("strudel_wal_recovered_frames_total", "counter"),
                 ("strudel_wal_torn_tails_total", "counter"),
+                ("strudel_wal_fsyncs_total", "counter"),
+                ("strudel_wal_group_commits_total", "counter"),
+                ("strudel_wal_group_commit_txns_total", "counter"),
+                ("strudel_store_page_cache_evictions_total", "counter"),
+                ("strudel_checkpoint_pages_written_total", "counter"),
+                ("strudel_checkpoint_pages_reused_total", "counter"),
+                ("strudel_store_dirty_pages", "gauge"),
+                ("strudel_store_freelist_pages", "gauge"),
             ] {
                 assert!(body.contains(&format!("# HELP {name} ")), "{name}");
                 assert!(body.contains(&format!("# TYPE {name} {kind}\n")), "{name}");

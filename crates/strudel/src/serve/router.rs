@@ -117,10 +117,14 @@ impl Server<'_> {
                 "\"path_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},",
                 "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{}}},",
                 "\"storage\":{{\"page_reads\":{},\"page_writes\":{},",
-                "\"page_cache_hits\":{},\"page_cache_misses\":{},\"pages_leaked\":{},",
+                "\"page_cache_hits\":{},\"page_cache_misses\":{},",
+                "\"page_cache_evictions\":{},\"pages_leaked\":{},",
                 "\"wal_frames\":{},\"wal_commits\":{},\"wal_bytes\":{},",
+                "\"wal_fsyncs\":{},\"wal_group_commits\":{},\"wal_group_commit_txns\":{},",
                 "\"wal_checkpoints\":{},\"wal_recoveries\":{},",
-                "\"wal_recovered_frames\":{},\"wal_torn_tails\":{},\"compactions\":{}}},",
+                "\"wal_recovered_frames\":{},\"wal_torn_tails\":{},\"compactions\":{},",
+                "\"checkpoint_pages_written\":{},\"checkpoint_pages_reused\":{},",
+                "\"dirty_pages\":{},\"freelist_pages\":{}}},",
                 "\"planner_dp_fallbacks\":{}}}"
             ),
             s.requests,
@@ -158,15 +162,23 @@ impl Server<'_> {
             st.page_writes,
             st.page_cache_hits,
             st.page_cache_misses,
+            st.page_cache_evictions,
             st.pages_leaked,
             st.wal_appended_frames,
             st.wal_commits,
             st.wal_bytes,
+            st.wal_fsyncs,
+            st.wal_group_commits,
+            st.wal_group_commit_txns,
             st.wal_checkpoints,
             st.wal_recoveries,
             st.wal_recovered_frames,
             st.wal_torn_tails,
             st.compactions,
+            st.checkpoint_pages_written,
+            st.checkpoint_pages_reused,
+            st.dirty_pages,
+            st.freelist_pages,
             strudel_struql::planner_dp_fallbacks(),
         )
     }
@@ -395,6 +407,46 @@ impl Server<'_> {
             "strudel_store_compactions_total",
             "Store compactions (page file rewritten minimal).",
             st.compactions,
+        );
+        m.counter(
+            "strudel_store_page_cache_evictions_total",
+            "Store pages evicted from the in-memory page cache.",
+            st.page_cache_evictions,
+        );
+        m.counter(
+            "strudel_wal_fsyncs_total",
+            "WAL file data syncs (one per commit record, shared by a batch).",
+            st.wal_fsyncs,
+        );
+        m.counter(
+            "strudel_wal_group_commits_total",
+            "Commit records that folded more than one transaction.",
+            st.wal_group_commits,
+        );
+        m.counter(
+            "strudel_wal_group_commit_txns_total",
+            "Transactions made durable inside a group commit record.",
+            st.wal_group_commit_txns,
+        );
+        m.counter(
+            "strudel_checkpoint_pages_written_total",
+            "Pages rewritten by incremental checkpoints (dirty segments).",
+            st.checkpoint_pages_written,
+        );
+        m.counter(
+            "strudel_checkpoint_pages_reused_total",
+            "Pages carried over untouched across incremental checkpoints.",
+            st.checkpoint_pages_reused,
+        );
+        m.gauge(
+            "strudel_store_dirty_pages",
+            "Pages the next incremental checkpoint would rewrite.",
+            st.dirty_pages as f64,
+        );
+        m.gauge(
+            "strudel_store_freelist_pages",
+            "Free pages tracked in the store's active header.",
+            st.freelist_pages as f64,
         );
         m.finish()
     }
