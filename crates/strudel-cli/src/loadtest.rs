@@ -92,6 +92,15 @@ fn parse_options(rest: &[String]) -> Result<Options, AnyError> {
 /// Entry point for `strudel-cli loadtest <site.spec> [flags]`.
 pub fn run(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
     let opts = parse_options(rest)?;
+    // Sample rate 0: no traces are promoted for export, but every request
+    // still feeds the per-layer self-time histograms the report records —
+    // this is also the cheapest tracing configuration, so the measured
+    // latencies carry the recorder's always-on cost.
+    strudel::obs::trace::enable(strudel::obs::trace::TraceConfig {
+        sample_rate: 0.0,
+        slow_ms: 0,
+        ..Default::default()
+    });
     let (mut s, _) = crate::load_system(spec_path)?;
     let dynamic = s.dynamic_site_with(strudel::site::CacheConfig::default())?;
     let config = strudel::serve::ServerConfig {
@@ -178,11 +187,29 @@ fn drive(addr: SocketAddr, opts: &Options) -> Result<String, AnyError> {
             after.admission_rejected - before.admission_rejected,
         ));
     }
+    // Per-layer self-time medians from the flight recorder: every request
+    // the phases above drove fed these histograms (independent of the
+    // sampling decision), so this is the per-layer latency breakdown of
+    // the whole run.
+    let layers = strudel::obs::trace::layer_quantiles()
+        .iter()
+        .map(|(name, p50, p99)| format!("\"{name}\":{{\"p50_us\":{p50},\"p99_us\":{p99}}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    eprintln!(
+        "per-layer self-time p50: {}",
+        strudel::obs::trace::layer_quantiles()
+            .iter()
+            .map(|(name, p50, _)| format!("{name} {p50}us"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     Ok(format!(
         concat!(
             "{{\"benchmark\":\"serve_loadtest\",\"mode\":\"{}\",",
             "\"zipf_s\":{},\"duration_ms\":{},\"urls\":{},",
             "\"pipeline\":{},",
+            "\"layer_self_us\":{{{}}},",
             "\"runs\":[{}]}}\n"
         ),
         if opts.threaded { "threaded" } else { "event" },
@@ -190,6 +217,7 @@ fn drive(addr: SocketAddr, opts: &Options) -> Result<String, AnyError> {
         opts.duration.as_millis(),
         urls.len(),
         pipeline,
+        layers,
         runs.join(",")
     ))
 }

@@ -12,6 +12,11 @@
 //! strudel-cli serve   <site.spec> [addr]          click-time evaluation over HTTP
 //!     [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded] [--data FILE]
 //!     [--page-cache N] [--group-commit-window MS]
+//!     [--trace-sample-rate F] [--trace-slow-ms N]
+//! strudel-cli trace   <http://host:port/page/...>  fetch a page from a traced
+//!                     | <site.spec> [page-path]    server (or serve one in
+//!                                                  process) and print its span
+//!                                                  tree with per-layer self-times
 //! strudel-cli loadtest <site.spec>                zipfian load against the server
 //!     [--conns A,B] [--duration-ms N] [--zipf S] [--threads N] [--max-urls N]
 //!     [--pipeline-depth N] [--seed N] [--out FILE] [--threaded]
@@ -65,11 +70,12 @@ fn main() -> ExitCode {
             cmd_query(Path::new(&args[1]), Path::new(&args[2]), &args[3..])
         }
         Some("serve") if args.len() >= 2 => cmd_serve(Path::new(&args[1]), &args[2..]),
+        Some("trace") if args.len() >= 2 => cmd_trace(&args[1], &args[2..]),
         Some("loadtest") if args.len() >= 2 => loadtest::run(Path::new(&args[1]), &args[2..]),
         Some("store") if args.len() >= 2 => cmd_store(&args[1], &args[2..]),
         Some("demo") if args.len() == 2 => cmd_demo(Path::new(&args[1])),
         _ => {
-            eprintln!("usage:\n  strudel-cli build   <site.spec> [--jobs N] [--timings] [--data FILE] [--page-cache N]\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec> [--profile [--json]]\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin|pdb)> <query.struql> [--profile [--json]]\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded]\n                       [--data FILE] [--page-cache N] [--group-commit-window MS]\n  strudel-cli loadtest <site.spec> [--conns A,B] [--duration-ms N] [--zipf S] [--threads N]\n                       [--max-urls N] [--pipeline-depth N] [--seed N] [--out FILE] [--threaded]\n  strudel-cli store   import <data.(ddl|bin)> <store.pdb> | info <store.pdb> | compact <store.pdb>\n  strudel-cli demo    <dir>");
+            eprintln!("usage:\n  strudel-cli build   <site.spec> [--jobs N] [--timings] [--data FILE] [--page-cache N]\n  strudel-cli schema  <site.spec>\n  strudel-cli explain <site.spec> [--profile [--json]]\n  strudel-cli verify  <site.spec> <constraint>\n  strudel-cli query   <data.(ddl|bin|pdb)> <query.struql> [--profile [--json]]\n  strudel-cli serve   <site.spec> [addr] [--threads N] [--cache-entries N] [--cache-bytes N] [--threaded]\n                       [--data FILE] [--page-cache N] [--group-commit-window MS]\n                       [--trace-sample-rate F] [--trace-slow-ms N]\n  strudel-cli trace   <http://host:port/page/...> | <site.spec> [page-path]\n  strudel-cli loadtest <site.spec> [--conns A,B] [--duration-ms N] [--zipf S] [--threads N]\n                       [--max-urls N] [--pipeline-depth N] [--seed N] [--out FILE] [--threaded]\n  strudel-cli store   import <data.(ddl|bin)> <store.pdb> | info <store.pdb> | compact <store.pdb>\n  strudel-cli demo    <dir>");
             return ExitCode::from(2);
         }
     };
@@ -391,6 +397,7 @@ fn cmd_serve(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
     let mut cache = strudel::site::CacheConfig::default();
     let mut data: Option<String> = None;
     let mut tune = strudel::StoreTuning::default();
+    let mut trace_cfg = strudel::obs::trace::TraceConfig::default();
 
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -409,6 +416,13 @@ fn cmd_serve(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
                 let ms = flag_value("--group-commit-window")?;
                 tune.group_commit_window = Some(std::time::Duration::from_millis(ms as u64));
             }
+            "--trace-sample-rate" => {
+                let v = it.next().ok_or("--trace-sample-rate needs a value")?;
+                trace_cfg.sample_rate = v
+                    .parse()
+                    .map_err(|e| format!("--trace-sample-rate {v}: {e}"))?;
+            }
+            "--trace-slow-ms" => trace_cfg.slow_ms = flag_value("--trace-slow-ms")? as u64,
             s if s.starts_with("--") => return Err(format!("unknown flag {s}").into()),
             s => addr = s.to_string(),
         }
@@ -418,15 +432,225 @@ fn cmd_serve(spec_path: &Path, rest: &[String]) -> Result<(), AnyError> {
     if let Some(store_path) = &data {
         s.add_store_source_with("store", Path::new(store_path), tune);
     }
+    strudel::obs::trace::enable(trace_cfg);
     let dynamic = s.dynamic_site_with(cache)?;
     let server = strudel::serve::Server::bind_with(dynamic, &addr, config)?;
     println!(
-        "serving dynamically evaluated site on http://{}/ with {} worker threads (GET /quit to stop, GET /stats for metrics)",
+        "serving dynamically evaluated site on http://{}/ with {} worker threads (GET /quit to stop, GET /stats for metrics, GET /debug/traces for the flight recorder)",
         server.addr()?,
         server.config().threads,
     );
     server.serve(None)?;
+    print_trace_summary();
     Ok(())
+}
+
+/// The serve-shutdown trace summary: recorder totals plus the worst
+/// promoted traces with their per-layer self-time breakdowns.
+fn print_trace_summary() {
+    use strudel::obs::trace;
+    let t = trace::stats();
+    if t.traces_started == 0 {
+        return;
+    }
+    eprintln!(
+        "traces: {} started, {} sampled, {} slow-promoted; ring {}/{} spans ({} overwritten)",
+        t.traces_started,
+        t.traces_sampled,
+        t.traces_slow_promoted,
+        t.ring_live,
+        t.ring_capacity,
+        t.spans_dropped,
+    );
+    let worst = trace::worst_traces();
+    if worst.is_empty() {
+        return;
+    }
+    eprintln!("slowest requests:");
+    for w in &worst {
+        let breakdown = trace::LAYER_NAMES
+            .iter()
+            .zip(w.layer_self_ns.iter())
+            .filter(|(_, ns)| **ns > 0)
+            .map(|(name, ns)| format!("{name} {}us", ns / 1_000))
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!(
+            "  {:>8}us  {} ({} spans; {breakdown})",
+            w.dur_ns / 1_000,
+            if w.path.is_empty() { "?" } else { &w.path },
+            w.spans,
+        );
+    }
+}
+
+/// `strudel-cli trace` — fetch one page through the traced click path and
+/// print its span tree with per-layer self-times.
+///
+/// * `trace http://host:port/page/...` — remote: fetch the page from a
+///   running server (started with tracing on), then pull its trace from
+///   `/debug/traces`.
+/// * `trace <site.spec> [page-path]` — in-process: bind an ephemeral
+///   traced server over the spec, fetch the page (default: the first
+///   `/page/…` link off `/`), and print its trace. Exercises the real
+///   click path end to end.
+fn cmd_trace(target: &str, rest: &[String]) -> Result<(), AnyError> {
+    if let Some(stripped) = target.strip_prefix("http://") {
+        let (host, path) = match stripped.split_once('/') {
+            Some((h, p)) => (h.to_string(), format!("/{p}")),
+            None => (stripped.to_string(), "/".to_string()),
+        };
+        return trace_via_server(&host, &path);
+    }
+    // In-process: serve the spec on an ephemeral port with tracing fully
+    // on, then run the same remote flow against it.
+    let (mut s, _) = load_system(Path::new(target))?;
+    strudel::obs::trace::enable(strudel::obs::trace::TraceConfig {
+        sample_rate: 1.0,
+        ..Default::default()
+    });
+    let dynamic = s.dynamic_site_with(strudel::site::CacheConfig::default())?;
+    let server = strudel::serve::Server::bind(dynamic, "127.0.0.1:0")?;
+    let host = server.addr()?.to_string();
+    let mut result = Err("trace did not run".into());
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(None));
+        result = (|| -> Result<(), AnyError> {
+            let path = match rest.first() {
+                Some(p) => p.clone(),
+                None => {
+                    // Follow the first page link off the roots listing.
+                    let roots = http_get(&host, "/")?;
+                    roots
+                        .split("href=\"")
+                        .nth(1)
+                        .and_then(|part| part.find('"').map(|end| part[..end].to_string()))
+                        .ok_or("no page links under /")?
+                }
+            };
+            trace_via_server(&host, &path)
+        })();
+        let _ = http_get(&host, "/quit");
+        let _ = serving.join().expect("server thread");
+    });
+    result
+}
+
+/// Fetches `path` from a traced server at `host`, then prints the span
+/// tree `/debug/traces` recorded for that request.
+fn trace_via_server(host: &str, path: &str) -> Result<(), AnyError> {
+    let page = http_get(host, path)?;
+    let status = page
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .unwrap_or("???");
+    if !status.starts_with('2') {
+        return Err(format!("GET {path} answered {status}").into());
+    }
+    let resp = http_get(host, "/debug/traces")?;
+    let body = resp
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .ok_or("unframed /debug/traces response")?;
+    let doc = strudel::obs::json::parse(body).map_err(|e| format!("/debug/traces: {e}"))?;
+    let traces = doc
+        .get("traces")
+        .and_then(|t| t.as_array())
+        .ok_or("no traces array (is tracing enabled on the server?)")?;
+    // Newest first; ours is the most recent trace for this path.
+    let trace = traces
+        .iter()
+        .find(|t| t.get("path").and_then(|p| p.as_str()) == Some(path))
+        .ok_or_else(|| {
+            format!("no trace for {path} (sampled out, or evicted from the recent ring?)")
+        })?;
+    print_trace(trace);
+    Ok(())
+}
+
+/// Renders one `/debug/traces` entry as an indented span tree plus the
+/// per-layer self-time breakdown.
+fn print_trace(trace: &strudel::obs::json::Value) {
+    let num = |v: &strudel::obs::json::Value, key: &str| -> u64 {
+        v.get(key).and_then(|n| n.as_f64()).unwrap_or(0.0) as u64
+    };
+    println!(
+        "trace {} {} — {}us total, {} spans",
+        num(trace, "trace_id"),
+        trace.get("path").and_then(|p| p.as_str()).unwrap_or("?"),
+        num(trace, "duration_us"),
+        num(trace, "span_count"),
+    );
+    let spans = trace.get("spans").and_then(|s| s.as_array()).unwrap_or(&[]);
+    let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| num(s, "span_id")).collect();
+    // Roots: spans whose parent is outside this trace (the request root,
+    // plus any orphans whose parent was overwritten by ring wrap-around).
+    let mut roots: Vec<&strudel::obs::json::Value> = spans
+        .iter()
+        .filter(|s| !ids.contains(&num(s, "parent_id")))
+        .collect();
+    roots.sort_by_key(|s| num(s, "start_us"));
+    for root in roots {
+        print_span_subtree(root, spans, 1, &num);
+    }
+    if let Some(strudel::obs::json::Value::Object(fields)) = trace.get("layers_self_us") {
+        let breakdown = fields
+            .iter()
+            .filter(|(_, v)| v.as_f64().unwrap_or(0.0) > 0.0)
+            .map(|(k, v)| format!("{k} {}us", v.as_f64().unwrap_or(0.0) as u64))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("per-layer self-time: {breakdown}");
+    }
+}
+
+/// Prints one span and, recursively, its children (by start time).
+fn print_span_subtree(
+    span: &strudel::obs::json::Value,
+    all: &[strudel::obs::json::Value],
+    depth: usize,
+    num: &dyn Fn(&strudel::obs::json::Value, &str) -> u64,
+) {
+    let id = num(span, "span_id");
+    let mut children: Vec<&strudel::obs::json::Value> =
+        all.iter().filter(|s| num(s, "parent_id") == id).collect();
+    children.sort_by_key(|s| num(s, "start_us"));
+    let dur = num(span, "dur_us");
+    let child_us: u64 = children.iter().map(|c| num(c, "dur_us")).sum();
+    let mut attrs = String::new();
+    if let Some(strudel::obs::json::Value::Object(fields)) = span.get("attrs") {
+        for (k, v) in fields {
+            let rendered = match v {
+                strudel::obs::json::Value::String(s) => s.clone(),
+                other => format!("{}", other.as_f64().unwrap_or(0.0) as u64),
+            };
+            attrs.push_str(&format!(" {k}={rendered}"));
+        }
+    }
+    println!(
+        "{:indent$}{} [{}] {dur}us (self {}us){attrs}",
+        "",
+        span.get("name").and_then(|n| n.as_str()).unwrap_or("?"),
+        span.get("cat").and_then(|c| c.as_str()).unwrap_or("?"),
+        dur.saturating_sub(child_us),
+        indent = depth * 2,
+    );
+    for child in children {
+        print_span_subtree(child, all, depth + 1, num);
+    }
+}
+
+/// A one-shot `Connection: close` GET against `host` (`ip:port`).
+fn http_get(host: &str, path: &str) -> Result<String, AnyError> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(host)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf)?;
+    Ok(buf)
 }
 
 /// `strudel-cli store import|info|compact` — manage paged graph stores.

@@ -40,6 +40,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+use strudel_obs::trace;
 
 const MAGIC: &[u8; 8] = b"STRUDEL1";
 
@@ -1216,6 +1217,12 @@ impl Snapshot {
     /// violation, not an I/O condition.
     pub fn graph(&self) -> &Graph {
         self.inner.graph.get_or_init(|| {
+            let mut tspan = trace::span("store.materialize", trace::Layer::Store);
+            if tspan.is_live() {
+                tspan.attr_u64("rev", self.inner.revision);
+                tspan.attr_u64("ops", self.inner.ops.len() as u64);
+                tspan.attr_u64("image_bytes", self.inner.image.len() as u64);
+            }
             let mut g = if self.inner.image.is_empty() {
                 Graph::standalone()
             } else {
@@ -1553,6 +1560,12 @@ impl PagedStore {
         if total == 0 {
             return Ok(self.revision);
         }
+        let mut tspan = trace::span("store.commit", trace::Layer::Store);
+        if tspan.is_live() {
+            tspan.attr_u64("ops", total as u64);
+            tspan.attr_u64("txns", txns.len() as u64);
+            tspan.attr_u64("rev", self.revision + 1);
+        }
         self.ensure_graph()?;
         for op in txns.iter().flat_map(|t| t.iter()) {
             let g = self.graph.as_mut().expect("ensured above");
@@ -1634,6 +1647,11 @@ impl PagedStore {
     pub fn checkpoint(&mut self) -> Result<()> {
         if self.pager.revision() == self.revision && self.wal.size_bytes() == wal::EMPTY_SIZE {
             return Ok(());
+        }
+        let mut tspan = trace::span("store.checkpoint", trace::Layer::Store);
+        if tspan.is_live() {
+            tspan.attr_u64("rev", self.revision);
+            tspan.attr_u64("wal_bytes", self.wal.size_bytes());
         }
         self.ensure_graph()?;
         if self.segs.is_none() {
@@ -2024,6 +2042,11 @@ impl CommitQueue {
     /// Enqueues a transaction's ops and returns once they are durable (or
     /// failed), whether this thread led the batch or another did.
     pub fn commit_ops(&self, base_nodes: u32, ops: Vec<DeltaOp>) -> Result<u64> {
+        // Covers the whole rendezvous: a follower's span is mostly condvar
+        // wait (its batch leader holds the store), a leader's span nests
+        // the store.commit/store.wal_commit spans of the batch it drives.
+        let mut tspan = trace::span("store.group_commit", trace::Layer::Store);
+        tspan.attr_u64("ops", ops.len() as u64);
         let ticket: Arc<Ticket> = Arc::new(Ticket::default());
         self.inner.waiting.lock().push(QueueEntry {
             base_nodes,
@@ -2033,6 +2056,7 @@ impl CommitQueue {
         loop {
             if let Some(result) = ticket.state.lock().unwrap().take() {
                 // A leader committed our entry as part of its batch.
+                tspan.attr_text("role", "follower");
                 return result;
             }
             let Some(mut store) = self.inner.store.try_lock() else {
@@ -2056,6 +2080,7 @@ impl CommitQueue {
             // it cannot change (tickets are only filled under the store
             // lock), so an empty ticket means our entry is still queued.
             if let Some(result) = ticket.state.lock().unwrap().take() {
+                tspan.attr_text("role", "follower");
                 return result;
             }
             let window = store.group_commit_window();
@@ -2089,6 +2114,8 @@ impl CommitQueue {
             }
             drop(store);
             if let Some(result) = own {
+                tspan.attr_text("role", "leader");
+                tspan.attr_u64("batch", batch.len() as u64);
                 return result;
             }
         }

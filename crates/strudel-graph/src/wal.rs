@@ -38,6 +38,7 @@ use std::hash::Hasher;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
+use strudel_obs::trace;
 
 const MAGIC: &[u8; 8] = b"STRUWAL2";
 const HEADER_LEN: u64 = 32;
@@ -259,6 +260,11 @@ impl Wal {
     /// any crash. One commit record covers the whole run of deltas before
     /// it, which is what makes a batched commit all-or-nothing on disk.
     pub fn commit(&mut self, revision: u64) -> Result<()> {
+        let mut tspan = trace::span("store.wal_commit", trace::Layer::Store);
+        if tspan.is_live() {
+            tspan.attr_u64("rev", revision);
+            tspan.attr_u64("wal_bytes", self.end);
+        }
         self.append(KIND_COMMIT, &revision.to_le_bytes())?;
         fsio::sync_file_data(&self.file)?;
         STORAGE.wal_commits.inc();

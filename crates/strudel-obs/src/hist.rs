@@ -11,12 +11,13 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Upper bounds (inclusive, microseconds) of the finite buckets. Chosen to
-/// give ~2–2.5× resolution steps from 100µs to 5s, bracketing everything
-/// from a cache-hit page expansion to a pathological cold click; an
-/// implicit +Inf bucket catches the rest.
-pub const BUCKET_BOUNDS_US: [u64; 15] = [
-    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
-    1_000_000, 2_500_000, 5_000_000,
+/// give ~2–2.5× resolution steps from 5µs to 5s, bracketing everything
+/// from an event-mode keep-alive hit (p50 ~25µs) or a per-layer trace
+/// self-time up to a pathological cold click; an implicit +Inf bucket
+/// catches the rest.
+pub const BUCKET_BOUNDS_US: [u64; 19] = [
+    5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    500_000, 1_000_000, 2_500_000, 5_000_000,
 ];
 
 const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1; // + the +Inf bucket
@@ -168,7 +169,7 @@ mod tests {
             assert_eq!(*c, 1);
         }
         // Quantiles land on the bounds themselves.
-        assert_eq!(s.quantile(1.0 / 15.0), 100);
+        assert_eq!(s.quantile(1.0 / 19.0), 5);
         assert_eq!(s.quantile(1.0), 5_000_000);
     }
 
@@ -182,7 +183,7 @@ mod tests {
         assert_eq!(s.max_us, 9_999_999);
         // The +Inf bucket has no finite bound; the estimate is the max.
         assert_eq!(s.quantile(1.0), 9_999_999);
-        assert_eq!(s.quantile(0.25), 100);
+        assert_eq!(s.quantile(0.25), 50);
     }
 
     #[test]
@@ -202,7 +203,7 @@ mod tests {
         assert_eq!(s.quantile(0.91), 40_000); // clamped to max
         assert_eq!(s.quantile(1.0), 40_000);
         let cum: Vec<(Option<u64>, u64)> = s.cumulative().collect();
-        assert_eq!(cum[0], (Some(100), 90));
+        assert_eq!(cum[4], (Some(100), 90));
         assert_eq!(cum.last().unwrap(), &(None, 100));
     }
 

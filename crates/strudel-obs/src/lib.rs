@@ -4,8 +4,9 @@
 //! construction, HTML generation and click-time serving; this crate is the
 //! shared vocabulary those layers use to explain themselves: monotonic
 //! [`Counter`]s, lock-free fixed-bucket [`Histogram`]s, per-condition query
-//! profiles ([`CondProfile`]), phase timing ([`Timer`], [`Phases`]) and
-//! Prometheus text exposition ([`PromText`]).
+//! profiles ([`CondProfile`]), phase timing ([`Timer`], [`Phases`]),
+//! Prometheus text exposition ([`PromText`]) and request-scoped tracing
+//! spans recorded into a lock-free flight recorder ([`trace`]).
 //!
 //! Design constraints (DESIGN.md §10):
 //!
@@ -23,6 +24,7 @@ mod profile;
 mod prom;
 
 pub mod json;
+pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_US};
 pub use profile::{render_profile_json, render_profile_table, CondProfile};

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::incremental::{seed_bindings, Delta};
 use strudel_graph::fxhash::FxHashMap;
 use strudel_graph::{Graph, Value};
+use strudel_obs::trace;
 use strudel_struql::analyze::analyze;
 use strudel_struql::ast::{Block, Condition, LabelTerm, PathStep, Rpe, Term};
 use strudel_struql::binding::Bindings;
@@ -488,6 +489,15 @@ impl<'g> DynamicSite<'g> {
     /// bound. Cached per (clause, arguments); safe to call from many
     /// threads over one shared site.
     pub fn expand(&self, page: &PageRef) -> Result<Vec<OutLink>> {
+        // Flight-recorder span for the cache layer: hit/miss counts per
+        // request tell apart "slow because cold" from "slow because the
+        // query is slow" (the nested eval.op spans cover the latter).
+        let mut tspan = trace::span("cache.expand", trace::Layer::Cache);
+        let mut span_hits = 0u64;
+        let mut span_misses = 0u64;
+        if tspan.is_live() {
+            tspan.attr_text("page", &page.skolem);
+        }
         let mut out: Vec<OutLink> = Vec::new();
         let clause_ids: Vec<usize> = self
             .clauses
@@ -501,6 +511,7 @@ impl<'g> DynamicSite<'g> {
             let key = (i, page.args.clone());
             if let Some(cached) = self.cache.lock().get(&key) {
                 self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                span_hits += 1;
                 out.extend(cached.iter().cloned());
                 continue;
             }
@@ -509,6 +520,7 @@ impl<'g> DynamicSite<'g> {
             // (both compute the same value; the second insert replaces).
             expanded = true;
             self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            span_misses += 1;
             let links = self.eval_clause(i, page)?;
             out.extend(links.iter().cloned());
             let evicted = self.cache.lock().insert(key, links);
@@ -531,6 +543,9 @@ impl<'g> DynamicSite<'g> {
                 true
             }
         });
+        tspan.attr_u64("hits", span_hits);
+        tspan.attr_u64("misses", span_misses);
+        tspan.attr_u64("links", out.len() as u64);
         Ok(out)
     }
 
@@ -547,6 +562,7 @@ impl<'g> DynamicSite<'g> {
     /// or multi-edge path expressions — where a change can affect bindings
     /// without matching any single condition — are dropped wholesale.
     pub fn invalidate(&self, delta: &Delta) -> u64 {
+        let mut tspan = trace::span("cache.invalidate", trace::Layer::Cache);
         let affected: Vec<Affected> = self
             .clauses
             .iter()
@@ -569,6 +585,7 @@ impl<'g> DynamicSite<'g> {
                 .invalidated
                 .fetch_add(dropped, Ordering::Relaxed);
         }
+        tspan.attr_u64("dropped", dropped);
         dropped
     }
 

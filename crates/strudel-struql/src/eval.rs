@@ -59,7 +59,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use strudel_graph::fxhash::{FxHashMap, FxHashSet};
 use strudel_graph::graph::{CacheStamp, GraphReader};
 use strudel_graph::{Graph, Oid, Sym, Value};
-use strudel_obs::{CondProfile, Timer};
+use strudel_obs::{trace, CondProfile, Timer};
 
 /// Reverse adjacency / probe-table shape: edge target value → the
 /// `(source, label)` pairs of edges arriving at it.
@@ -906,6 +906,16 @@ impl<'g> Ev<'g> {
             let node = nodes[k].clone();
             let cond = &conds[node.cond];
             let rows_in = b.len() as u64;
+            // One flight-recorder span per executed plan node (inert unless
+            // a trace is active on this thread): the PhysOp tag plus the
+            // optimizer's estimated vs. observed row counts make bad plans
+            // visible per-request in /debug/traces.
+            let mut tspan = trace::span("eval.op", trace::Layer::Eval);
+            if tspan.is_live() {
+                tspan.attr_text("op", node.op.tag());
+                tspan.attr_u64("rows_in", rows_in);
+                tspan.attr_u64("est_rows", (node.est_mult * rows_in as f64).max(1.0) as u64);
+            }
             if self.opts.profile {
                 let before = self.path_cache.stats();
                 let t = Timer::start();
@@ -930,6 +940,8 @@ impl<'g> Ev<'g> {
             } else {
                 b = self.execute_op(node.op, cond, b, arc_vars)?;
             }
+            tspan.attr_u64("obs_rows", b.len() as u64);
+            drop(tspan);
             self.stats.conditions_applied += 1;
             self.stats.intermediate_rows += b.len() as u64;
             if self.opts.explain {

@@ -23,6 +23,7 @@ use std::path::Path;
 use strudel_graph::fxhash::{FxHashMap, FxHashSet};
 use strudel_graph::graph::GraphReader;
 use strudel_graph::{FileKind, Graph, Oid, Value};
+use strudel_obs::trace;
 
 /// Resolves an external file reference (e.g. `abstracts/icde98.txt`) to its
 /// textual contents so it can be embedded. Returning `None` falls back to a
@@ -206,6 +207,7 @@ impl<'g> Generator<'g> {
             run.ensure_page(r);
         }
         while let Some(n) = run.queue.pop() {
+            let mut tspan = trace::span("render.page", trace::Layer::Render);
             let t = self.timings.then(std::time::Instant::now);
             let html = run.render_object(n)?;
             let file = run
@@ -218,6 +220,10 @@ impl<'g> Generator<'g> {
                 run.site
                     .render_us
                     .push((file.clone(), t.elapsed().as_micros() as u64));
+            }
+            if tspan.is_live() {
+                tspan.attr_text("file", &file);
+                tspan.attr_u64("bytes", html.len() as u64);
             }
             run.site.pages.insert(file, html);
         }
@@ -294,9 +300,13 @@ impl<'g> Generator<'g> {
             }
         }
 
+        // Capture the coordinator's trace context (if any) so render spans
+        // emitted on worker threads still parent under the caller's span.
+        let trace_ctx = trace::current();
         while !frontier.is_empty() {
             type Rendered = (Oid, String, Vec<Oid>, Vec<String>, u64);
             let render_chunk = |chunk: &[Oid]| -> Result<Vec<Rendered>> {
+                let _trace = trace_ctx.as_ref().map(trace::enter);
                 let reader = self.graph.reader();
                 let mut out = Vec::with_capacity(chunk.len());
                 for &n in chunk {
@@ -310,9 +320,14 @@ impl<'g> Generator<'g> {
                         precomputed: Some(&names),
                         discovered: Vec::new(),
                     };
+                    let mut tspan = trace::span("render.page", trace::Layer::Render);
                     let t = self.timings.then(std::time::Instant::now);
                     let html = run.render_object(n)?;
                     let us = t.map_or(0, |t| t.elapsed().as_micros() as u64);
+                    if tspan.is_live() {
+                        tspan.attr_text("file", &names[&n]);
+                        tspan.attr_u64("bytes", html.len() as u64);
+                    }
                     out.push((n, html, run.discovered, run.site.warnings, us));
                 }
                 Ok(out)

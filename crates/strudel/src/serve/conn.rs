@@ -21,6 +21,7 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
+use strudel_obs::trace;
 
 /// Connection states, as surfaced by the `strudel_connections_*` gauges.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,6 +86,13 @@ pub(crate) struct Conn {
     /// When the in-flight request began (first byte; accept time for a
     /// connection's first).
     pub req_started: Instant,
+    /// Root tracing span of the in-flight request (present only while
+    /// tracing is enabled); finished when the response drains or the
+    /// connection dies.
+    pub trace: Option<trace::RootSpan>,
+    /// Flight-recorder timestamp (ns) when the response was queued —
+    /// the start of the `serve.write` phase span.
+    pub trace_write_ns: u64,
 }
 
 impl Conn {
@@ -103,6 +111,8 @@ impl Conn {
             pending_is_error: false,
             rejected: false,
             req_started: now,
+            trace: None,
+            trace_write_ns: 0,
         }
     }
 
@@ -137,6 +147,9 @@ impl Conn {
     /// Arms a response for writing. `Flush` it to make progress.
     pub fn queue_response(&mut self, bytes: Vec<u8>, is_error: bool, close_after: bool) {
         debug_assert!(self.wpos >= self.wbuf.len(), "response already in flight");
+        if self.trace.is_some() {
+            self.trace_write_ns = trace::now_ns();
+        }
         self.wbuf = bytes;
         self.wpos = 0;
         self.pending_is_error = is_error;

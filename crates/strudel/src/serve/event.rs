@@ -23,9 +23,31 @@ use polling::{Event, Poller};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+use strudel_obs::trace;
 
 /// Poller key of the listening socket; connections use `slot + 1`.
 const KEY_LISTENER: usize = 0;
+
+/// Ends a connection's in-flight root span (if any): records the
+/// `serve.write` phase when a response was queued, then finishes the
+/// trace (promoting it if sampled or slow).
+fn finish_trace(conn: &mut Conn) {
+    if let Some(root) = conn.trace.take() {
+        if conn.trace_write_ns > 0 {
+            let ctx = root.ctx();
+            trace::record_span(
+                &ctx,
+                "serve.write",
+                trace::Layer::Serve,
+                conn.trace_write_ns,
+                trace::now_ns(),
+                &[("bytes", trace::AttrValue::U64(conn.wbuf.len() as u64))],
+            );
+        }
+        root.finish();
+        conn.trace_write_ns = 0;
+    }
+}
 
 /// Fallback poll period when nothing imposes a deadline. Completions
 /// arrive via [`Poller::notify`], so this only bounds recovery from lost
@@ -37,6 +59,9 @@ struct Job {
     slot: usize,
     generation: u64,
     req: Request,
+    /// Trace context of the connection's root span, adopted by whichever
+    /// worker picks the job up so expansion spans parent correctly.
+    trace: Option<trace::Ctx>,
 }
 
 /// An encoded response on its way back from a worker.
@@ -46,6 +71,8 @@ struct Completion {
     bytes: Vec<u8>,
     is_error: bool,
     close_after: bool,
+    /// Numeric HTTP status, recorded on the request's root span.
+    status: u64,
 }
 
 /// Runs the event-driven serving mode. See [`Server::serve`] for the
@@ -71,8 +98,19 @@ pub(super) fn run(server: &Server<'_>, max_conns: Option<usize>) -> crate::error
             scope.spawn(move || {
                 // Take the receiver lock only to pull one job.
                 while let Ok(job) = { job_rx.lock().recv() } {
+                    // Adopt the request's trace for the expansion phase:
+                    // cache/eval/render/store spans recorded below attach
+                    // to the serve.handle span, and the gap between
+                    // dispatch and here surfaces as queue time on the root.
+                    let trace_guard = job.trace.as_ref().map(trace::enter);
+                    let mut hspan = trace::span("serve.handle", trace::Layer::Serve);
                     let (status, content_type, body) = server.route_request(&job.req, shutdown);
                     let is_error = !status.starts_with('2');
+                    let status_code = status
+                        .split(' ')
+                        .next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or(0);
                     let keep = job.req.keep_alive && !shutdown.load(Ordering::Acquire);
                     let bytes = http::encode_response(
                         &status,
@@ -81,6 +119,14 @@ pub(super) fn run(server: &Server<'_>, max_conns: Option<usize>) -> crate::error
                         keep,
                         job.req.method == Method::Head,
                     );
+                    hspan.attr_u64("status", status_code);
+                    hspan.attr_u64("bytes", bytes.len() as u64);
+                    drop(hspan);
+                    // Flush the handle span's time into the root's child
+                    // accounting BEFORE the completion is visible to the
+                    // loop: otherwise the loop can finish the root first and
+                    // compute a self-time that still contains serve.handle.
+                    drop(trace_guard);
                     if done_tx
                         .send(Completion {
                             slot: job.slot,
@@ -88,6 +134,7 @@ pub(super) fn run(server: &Server<'_>, max_conns: Option<usize>) -> crate::error
                             bytes,
                             is_error,
                             close_after: !keep,
+                            status: status_code,
                         })
                         .is_err()
                     {
@@ -306,6 +353,7 @@ impl EventLoop<'_, '_> {
                     conn.state = ConnState::Reading;
                     conn.req_started = Instant::now();
                     conn.deadline = Some(conn.req_started + self.server.config.request_timeout);
+                    conn.trace = trace::begin_request("request");
                 }
                 self.advance(slot);
             }
@@ -385,10 +433,25 @@ impl EventLoop<'_, '_> {
                 }
                 conn.state = ConnState::Dispatched;
                 conn.deadline = None;
+                // Close the parse phase: first byte → complete head.
+                let trace_ctx = conn.trace.as_mut().map(|root| {
+                    root.attr_text("path", &req.path);
+                    let ctx = root.ctx();
+                    trace::record_span(
+                        &ctx,
+                        "serve.parse",
+                        trace::Layer::Serve,
+                        root.start_ns(),
+                        trace::now_ns(),
+                        &[("bytes", trace::AttrValue::U64(consumed as u64))],
+                    );
+                    ctx
+                });
                 let job = Job {
                     slot,
                     generation: conn.generation,
                     req,
+                    trace: trace_ctx,
                 };
                 self.set_interest(slot, Event::none(slot + 1));
                 if self.job_tx.send(job).is_err() {
@@ -415,6 +478,9 @@ impl EventLoop<'_, '_> {
         if conn.generation != done.generation || conn.state != ConnState::Dispatched {
             return; // slot was recycled; response belongs to a dead conn
         }
+        if let Some(root) = conn.trace.as_mut() {
+            root.attr_u64("status", done.status);
+        }
         conn.queue_response(done.bytes, done.is_error, done.close_after);
         self.pump_write(done.slot);
     }
@@ -430,7 +496,8 @@ impl EventLoop<'_, '_> {
             Flush::Broken => {
                 // The request was processed even if the peer vanished
                 // before the bytes landed; keep the counters honest.
-                let conn = self.conns[slot].as_ref().unwrap();
+                let conn = self.conns[slot].as_mut().unwrap();
+                finish_trace(conn);
                 if !conn.rejected {
                     self.server
                         .metrics
@@ -443,6 +510,7 @@ impl EventLoop<'_, '_> {
 
     fn finish_response(&mut self, slot: usize) {
         let conn = self.conns[slot].as_mut().unwrap();
+        finish_trace(conn);
         if !conn.rejected {
             self.server
                 .metrics
@@ -461,6 +529,7 @@ impl EventLoop<'_, '_> {
             // now for deadline purposes.
             conn.state = ConnState::Reading;
             conn.deadline = Some(conn.req_started + self.server.config.request_timeout);
+            conn.trace = trace::begin_request("request");
             self.advance(slot);
         } else {
             self.set_interest(slot, Event::readable(slot + 1));
@@ -524,7 +593,10 @@ impl EventLoop<'_, '_> {
     }
 
     fn close(&mut self, slot: usize) {
-        if let Some(conn) = self.conns[slot].take() {
+        if let Some(mut conn) = self.conns[slot].take() {
+            // A request cut short (deadline, drain, dead worker) still
+            // finishes its trace so slow/parked requests stay visible.
+            finish_trace(&mut conn);
             let _ = self.poller.delete(&conn.stream);
             self.free.push(slot);
         }

@@ -15,6 +15,7 @@ use std::time::Duration;
 /// Content types the server emits.
 pub(crate) const CT_HTML: &str = "text/html; charset=utf-8";
 pub(crate) const CT_JSON: &str = "application/json";
+pub(crate) const CT_TEXT: &str = "text/plain; charset=utf-8";
 /// The Prometheus text exposition format, version 0.0.4.
 pub(crate) const CT_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
 

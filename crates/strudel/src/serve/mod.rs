@@ -35,6 +35,7 @@ pub use self::url::{decode_value, encode_value, page_url, parse_page_url};
 
 use crate::error::Result;
 use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 use strudel_site::{Delta, DynamicSite, PageRef};
 
@@ -93,6 +94,10 @@ pub struct Server<'g> {
     config: ServerConfig,
     metrics: metrics::Metrics,
     started: Instant,
+    /// Readiness for `/healthz`: flips true once [`Server::serve`] enters
+    /// its accept loop (site built, store open, listener bound). Liveness
+    /// is implied by answering at all.
+    ready: AtomicBool,
 }
 
 impl<'g> Server<'g> {
@@ -117,6 +122,7 @@ impl<'g> Server<'g> {
             config,
             metrics: metrics::Metrics::default(),
             started: Instant::now(),
+            ready: AtomicBool::new(false),
         })
     }
 
@@ -159,10 +165,19 @@ impl<'g> Server<'g> {
     /// connection may carry many requests; in threaded mode a connection
     /// is exactly one request.
     pub fn serve(&self, max_conns: Option<usize>) -> Result<()> {
-        match self.config.mode {
+        self.ready.store(true, Ordering::Release);
+        let result = match self.config.mode {
             ServeMode::Event => event::run(self, max_conns),
             ServeMode::Threaded => threaded::run(self, max_conns),
-        }
+        };
+        self.ready.store(false, Ordering::Release);
+        result
+    }
+
+    /// Whether the server is ready to answer page requests (the accept
+    /// loop is running). `/healthz` reports this.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
     }
 }
 
@@ -318,6 +333,15 @@ object a2 in Articles { headline "two" section "world" }
                 ("strudel_checkpoint_pages_reused_total", "counter"),
                 ("strudel_store_dirty_pages", "gauge"),
                 ("strudel_store_freelist_pages", "gauge"),
+                ("strudel_build_info", "gauge"),
+                ("strudel_trace_enabled", "gauge"),
+                ("strudel_trace_spans_recorded_total", "counter"),
+                ("strudel_trace_spans_dropped_total", "counter"),
+                ("strudel_trace_traces_started_total", "counter"),
+                ("strudel_trace_traces_sampled_total", "counter"),
+                ("strudel_trace_traces_slow_promoted_total", "counter"),
+                ("strudel_trace_ring_occupancy", "gauge"),
+                ("strudel_trace_ring_capacity", "gauge"),
             ] {
                 assert!(body.contains(&format!("# HELP {name} ")), "{name}");
                 assert!(body.contains(&format!("# TYPE {name} {kind}\n")), "{name}");
@@ -376,6 +400,7 @@ object a2 in Articles { headline "two" section "world" }
                 "\"keepalive_reuses\":",
                 "\"admission_rejected\":",
                 "\"accept_errors\":",
+                "\"traces\":",
             ] {
                 assert!(stats.contains(key), "{stats}");
             }
@@ -546,6 +571,78 @@ object a2 in Articles { headline "two" section "world" }
             client.join().unwrap();
             assert!(server.stats().errors >= 3, "{mode:?}");
         });
+    }
+
+    /// `/healthz` answers ready in both serving modes once the accept loop
+    /// is running, and the server reports not-ready before and after.
+    #[test]
+    fn healthz_reports_readiness_in_both_modes() {
+        in_both_modes(|mode| {
+            let (data, query) = demo_site();
+            let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+            let config = ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            };
+            let server = Server::bind_with(site, "127.0.0.1:0", config).unwrap();
+            assert!(!server.is_ready(), "not ready before serve()");
+            let addr = server.addr().unwrap();
+            let client = std::thread::spawn(move || {
+                let resp = fetch(addr, "/healthz");
+                assert!(resp.starts_with("HTTP/1.1 200"), "{mode:?}: {resp}");
+                assert!(resp.contains("text/plain"), "{mode:?}: {resp}");
+                assert!(resp.ends_with("ok\n"), "{mode:?}: {resp}");
+                let _ = fetch(addr, "/quit");
+            });
+            server.serve(None).unwrap();
+            client.join().unwrap();
+            assert!(!server.is_ready(), "not ready after serve() returns");
+        });
+    }
+
+    /// `/debug/traces` over a live traced server: the JSON form carries a
+    /// trace for the page just fetched with spans from several layers, and
+    /// the chrome form is a JSON array of complete events.
+    #[test]
+    fn debug_traces_exposes_request_spans() {
+        strudel_obs::trace::enable(strudel_obs::trace::TraceConfig::default());
+        let (data, query) = demo_site();
+        let site = DynamicSite::new(&data, &query, EvalOptions::default()).unwrap();
+        let server = Server::bind(site, "127.0.0.1:0").unwrap();
+        let addr = server.addr().unwrap();
+        let client = std::thread::spawn(move || {
+            assert!(fetch(addr, "/page/FrontPage").contains("Story"));
+            let resp = fetch(addr, "/debug/traces");
+            let (_, body) = resp.split_once("\r\n\r\n").unwrap();
+            let v = strudel_obs::json::parse(body).expect("valid JSON");
+            let traces = v.get("traces").and_then(|t| t.as_array()).unwrap();
+            let ours = traces
+                .iter()
+                .find(|t| t.get("path").and_then(|p| p.as_str()) == Some("/page/FrontPage"))
+                .expect("a trace for the fetched page");
+            let spans = ours.get("spans").and_then(|s| s.as_array()).unwrap();
+            let cats: std::collections::BTreeSet<&str> = spans
+                .iter()
+                .filter_map(|s| s.get("cat").and_then(|c| c.as_str()))
+                .collect();
+            assert!(cats.contains("serve"), "{cats:?}");
+            assert!(cats.contains("cache"), "{cats:?}");
+            assert!(cats.contains("eval"), "{cats:?}");
+            assert!(cats.contains("render"), "{cats:?}");
+
+            let resp = fetch(addr, "/debug/traces?format=chrome");
+            let (_, body) = resp.split_once("\r\n\r\n").unwrap();
+            let v = strudel_obs::json::parse(body).expect("valid chrome JSON");
+            let events = v.as_array().expect("array of events");
+            assert!(!events.is_empty());
+            for e in events {
+                assert_eq!(e.get("ph").and_then(|p| p.as_str()), Some("X"));
+                assert!(e.get("ts").and_then(|t| t.as_f64()).is_some());
+            }
+            let _ = fetch(addr, "/quit");
+        });
+        server.serve(None).unwrap();
+        client.join().unwrap();
     }
 
     /// The concurrency smoke test: many threads hammer the pool and every

@@ -8,11 +8,11 @@
 //!
 //! [`DynamicSite`]: strudel_site::DynamicSite
 
-use super::http::{Method, Request, CT_HTML, CT_JSON, CT_PROM};
+use super::http::{Method, Request, CT_HTML, CT_JSON, CT_PROM, CT_TEXT};
 use super::url::{escape, parse_page_url, render_links};
 use super::Server;
 use std::sync::atomic::{AtomicBool, Ordering};
-use strudel_obs::PromText;
+use strudel_obs::{trace, PromText};
 use strudel_site::{OutLink, Target};
 
 impl Server<'_> {
@@ -42,7 +42,12 @@ impl Server<'_> {
     }
 
     /// Computes the `(status, content-type, body)` answer for one path.
-    fn route(&self, path: &str) -> (String, &'static str, String) {
+    /// A query string (`?format=chrome`) is split off before matching.
+    fn route(&self, raw_path: &str) -> (String, &'static str, String) {
+        let (path, query) = match raw_path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (raw_path, ""),
+        };
         if path == "/" {
             let links: Vec<OutLink> = self
                 .roots
@@ -64,6 +69,24 @@ impl Server<'_> {
         if path == "/metrics" {
             return ("200 OK".into(), CT_PROM, self.metrics_text());
         }
+        if path == "/healthz" {
+            return if self.is_ready() {
+                ("200 OK".into(), CT_TEXT, "ok\n".into())
+            } else {
+                (
+                    "503 Service Unavailable".into(),
+                    CT_TEXT,
+                    "starting\n".into(),
+                )
+            };
+        }
+        if path == "/debug/traces" {
+            return if query.split('&').any(|kv| kv == "format=chrome") {
+                ("200 OK".into(), CT_JSON, trace::traces_chrome())
+            } else {
+                ("200 OK".into(), CT_JSON, trace::traces_json())
+            };
+        }
         if path.starts_with("/page/") {
             let Some(page) = parse_page_url(path) else {
                 return (
@@ -74,8 +97,15 @@ impl Server<'_> {
             };
             return match self.site.expand(&page) {
                 Ok(links) => {
+                    let mut rspan = trace::span("render.page", trace::Layer::Render);
                     let title = format!("{page} — {} links (click time)", links.len());
-                    ("200 OK".into(), CT_HTML, render_links(&title, &links))
+                    let body = render_links(&title, &links);
+                    if rspan.is_live() {
+                        rspan.attr_u64("links", links.len() as u64);
+                        rspan.attr_u64("bytes", body.len() as u64);
+                    }
+                    drop(rspan);
+                    ("200 OK".into(), CT_HTML, body)
                 }
                 Err(e) => (
                     "500 Internal Server Error".into(),
@@ -125,6 +155,7 @@ impl Server<'_> {
                 "\"wal_recovered_frames\":{},\"wal_torn_tails\":{},\"compactions\":{},",
                 "\"checkpoint_pages_written\":{},\"checkpoint_pages_reused\":{},",
                 "\"dirty_pages\":{},\"freelist_pages\":{}}},",
+                "\"traces\":{},",
                 "\"planner_dp_fallbacks\":{}}}"
             ),
             s.requests,
@@ -179,6 +210,7 @@ impl Server<'_> {
             st.checkpoint_pages_reused,
             st.dirty_pages,
             st.freelist_pages,
+            traces_stats_json(),
             strudel_struql::planner_dp_fallbacks(),
         )
     }
@@ -448,6 +480,119 @@ impl Server<'_> {
             "Free pages tracked in the store's active header.",
             st.freelist_pages as f64,
         );
+        // Build identity and the flight recorder's own accounting.
+        m.family(
+            "strudel_build_info",
+            "gauge",
+            "Build identity (constant 1; labels carry the detail).",
+        )
+        .sample(
+            "strudel_build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                (
+                    "profile",
+                    if cfg!(debug_assertions) {
+                        "debug"
+                    } else {
+                        "release"
+                    },
+                ),
+            ],
+            1.0,
+        );
+        let t = trace::stats();
+        m.gauge(
+            "strudel_trace_enabled",
+            "Whether request tracing is enabled (1) or compiled out of the \
+             hot path (0).",
+            if t.enabled { 1.0 } else { 0.0 },
+        );
+        m.counter(
+            "strudel_trace_spans_recorded_total",
+            "Spans written into the flight-recorder ring.",
+            t.spans_recorded,
+        );
+        m.counter(
+            "strudel_trace_spans_dropped_total",
+            "Spans overwritten by ring wrap-around before export.",
+            t.spans_dropped,
+        );
+        m.counter(
+            "strudel_trace_traces_started_total",
+            "Root request spans started.",
+            t.traces_started,
+        );
+        m.counter(
+            "strudel_trace_traces_sampled_total",
+            "Traces picked by the head-based sampler.",
+            t.traces_sampled,
+        );
+        m.counter(
+            "strudel_trace_traces_slow_promoted_total",
+            "Unsampled traces promoted for exceeding the slow threshold.",
+            t.traces_slow_promoted,
+        );
+        m.gauge(
+            "strudel_trace_ring_occupancy",
+            "Live span slots in the flight-recorder ring.",
+            t.ring_live as f64,
+        );
+        m.gauge(
+            "strudel_trace_ring_capacity",
+            "Flight-recorder ring capacity in span slots.",
+            t.ring_capacity as f64,
+        );
         m.finish()
     }
+}
+
+/// The `traces` block of `/stats`: recorder counters, per-layer self-time
+/// quantiles, and the worst promoted traces with per-layer breakdowns.
+fn traces_stats_json() -> String {
+    let t = trace::stats();
+    let mut layers = String::new();
+    for (i, (name, p50, p99)) in trace::layer_quantiles().iter().enumerate() {
+        if i > 0 {
+            layers.push(',');
+        }
+        layers.push_str(&format!("\"{name}\":{{\"p50_us\":{p50},\"p99_us\":{p99}}}"));
+    }
+    let mut worst = String::new();
+    for (i, w) in trace::worst_traces().iter().enumerate() {
+        if i > 0 {
+            worst.push(',');
+        }
+        let mut self_us = String::new();
+        for (j, name) in trace::LAYER_NAMES.iter().enumerate() {
+            if j > 0 {
+                self_us.push(',');
+            }
+            self_us.push_str(&format!("\"{name}\":{}", w.layer_self_ns[j] / 1_000));
+        }
+        worst.push_str(&format!(
+            "{{\"trace_id\":{},\"path\":\"{}\",\"duration_us\":{},\"spans\":{},\
+             \"layers_self_us\":{{{self_us}}}}}",
+            w.trace_id,
+            strudel_obs::json::escape(&w.path),
+            w.dur_ns / 1_000,
+            w.spans,
+        ));
+    }
+    format!(
+        "{{\"enabled\":{},\"spans_recorded\":{},\"spans_dropped\":{},\
+         \"traces_started\":{},\"traces_sampled\":{},\"traces_slow_promoted\":{},\
+         \"ring_capacity\":{},\"ring_live\":{},\"sample_ppm\":{},\"slow_us\":{},\
+         \"layers\":{{{layers}}},\"worst\":[{worst}]}}",
+        t.enabled,
+        t.spans_recorded,
+        t.spans_dropped,
+        t.traces_started,
+        t.traces_sampled,
+        t.traces_slow_promoted,
+        t.ring_capacity,
+        t.ring_live,
+        t.sample_ppm,
+        t.slow_us,
+    )
 }

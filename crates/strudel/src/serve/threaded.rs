@@ -21,6 +21,7 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+use strudel_obs::trace;
 
 /// Runs the threaded serving mode. See [`Server::serve`] for the
 /// `max_conns` contract.
@@ -152,6 +153,7 @@ fn handle_connection(server: &Server<'_>, mut stream: TcpStream, shutdown: &Atom
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(server.config.request_timeout));
 
+    let mut root = trace::begin_request("request");
     let req = match read_request_head(&mut stream, deadline, server.config.max_request_bytes) {
         HeadRead::Request(req) => req,
         HeadRead::Malformed => {
@@ -163,6 +165,10 @@ fn handle_connection(server: &Server<'_>, mut stream: TcpStream, shutdown: &Atom
                 false,
             );
             server.metrics.record(start.elapsed(), true);
+            if let Some(mut r) = root.take() {
+                r.attr_u64("status", 400);
+                r.finish();
+            }
             return;
         }
         HeadRead::TooLarge => {
@@ -175,6 +181,10 @@ fn handle_connection(server: &Server<'_>, mut stream: TcpStream, shutdown: &Atom
             );
             linger_close(&mut stream);
             server.metrics.record(start.elapsed(), true);
+            if let Some(mut r) = root.take() {
+                r.attr_u64("status", 431);
+                r.finish();
+            }
             return;
         }
         HeadRead::TimedOut => {
@@ -186,6 +196,10 @@ fn handle_connection(server: &Server<'_>, mut stream: TcpStream, shutdown: &Atom
                 false,
             );
             server.metrics.record(start.elapsed(), true);
+            if let Some(mut r) = root.take() {
+                r.attr_u64("status", 408);
+                r.finish();
+            }
             return;
         }
         HeadRead::Silent => {
@@ -206,10 +220,44 @@ fn handle_connection(server: &Server<'_>, mut stream: TcpStream, shutdown: &Atom
             false,
         );
         server.metrics.record(start.elapsed(), true);
+        if let Some(mut r) = root.take() {
+            r.attr_text("path", &req.path);
+            r.attr_u64("status", 400);
+            r.finish();
+        }
         return;
     }
+    let trace_ctx = root.as_mut().map(|r| {
+        r.attr_text("path", &req.path);
+        let ctx = r.ctx();
+        trace::record_span(
+            &ctx,
+            "serve.parse",
+            trace::Layer::Serve,
+            r.start_ns(),
+            trace::now_ns(),
+            &[],
+        );
+        ctx
+    });
+    let _enter = trace_ctx.as_ref().map(trace::enter);
+    let mut hspan = trace::span("serve.handle", trace::Layer::Serve);
     let (status, content_type, body) = server.route_request(&req, shutdown);
     let is_error = !status.starts_with('2');
+    if hspan.is_live() {
+        let code = status
+            .split(' ')
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        hspan.attr_u64("status", code);
+        hspan.attr_u64("bytes", body.len() as u64);
+        if let Some(r) = root.as_mut() {
+            r.attr_u64("status", code);
+        }
+    }
+    drop(hspan);
+    let write_start = if root.is_some() { trace::now_ns() } else { 0 };
     respond(
         &mut stream,
         &status,
@@ -218,4 +266,17 @@ fn handle_connection(server: &Server<'_>, mut stream: TcpStream, shutdown: &Atom
         req.method == Method::Head,
     );
     server.metrics.record(start.elapsed(), is_error);
+    drop(_enter);
+    if let Some(r) = root.take() {
+        let ctx = r.ctx();
+        trace::record_span(
+            &ctx,
+            "serve.write",
+            trace::Layer::Serve,
+            write_start,
+            trace::now_ns(),
+            &[("bytes", trace::AttrValue::U64(body.len() as u64))],
+        );
+        r.finish();
+    }
 }

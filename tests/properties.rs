@@ -1569,3 +1569,118 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------------------------- tracing ----
+
+/// All tracing proptests share one recorder configuration: the ring is
+/// sized at the *first* `enable` in the process, so every test here asks
+/// for the same capacity and full sampling.
+fn tracing_on() {
+    strudel::obs::trace::enable(strudel::obs::trace::TraceConfig {
+        sample_rate: 1.0,
+        slow_ms: 0,
+        capacity: 256,
+    });
+}
+
+/// Opens a nest of spans `depth` deep with `fanout` siblings per level.
+fn span_burst(depth: usize, fanout: usize) {
+    if depth == 0 {
+        return;
+    }
+    for _ in 0..fanout {
+        let _s = strudel::obs::trace::span("work", strudel::obs::trace::Layer::Eval);
+        span_burst(depth - 1, fanout);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Span trees stay well-formed when a parallel worker pool records
+    /// under one trace: every child's interval nests inside its parent's
+    /// (same-thread RAII nesting), and after ring wrap-around spans whose
+    /// parents were overwritten surface as extra roots instead of being
+    /// dropped — the assembled forest always accounts for every span.
+    #[test]
+    fn span_trees_are_well_formed_under_parallel_workers(
+        depth in 1usize..4,
+        fanout in 1usize..4,
+        workers in 1usize..5,
+    ) {
+        use strudel::obs::trace;
+        tracing_on();
+        let root = trace::begin_request("request").expect("tracing enabled");
+        let trace_id = root.trace_id();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let ctx = root.ctx();
+                scope.spawn(move || {
+                    let _enter = trace::enter(&ctx);
+                    span_burst(depth, fanout);
+                });
+            }
+        });
+        root.finish();
+
+        let spans: Vec<_> = trace::snapshot_spans()
+            .into_iter()
+            .filter(|s| s.trace_id == trace_id)
+            .collect();
+        prop_assert!(!spans.is_empty());
+        let by_id: std::collections::HashMap<u64, &strudel::obs::trace::SpanRecord> =
+            spans.iter().map(|s| (s.span_id, s)).collect();
+        for s in &spans {
+            prop_assert!(s.end_ns >= s.start_ns, "inverted interval");
+            if let Some(parent) = by_id.get(&s.parent_id) {
+                prop_assert!(
+                    s.start_ns >= parent.start_ns && s.end_ns <= parent.end_ns,
+                    "child [{}, {}] escapes parent [{}, {}]",
+                    s.start_ns, s.end_ns, parent.start_ns, parent.end_ns,
+                );
+            }
+        }
+        // The assembled forest accounts for every captured span, even when
+        // wrap-around turned interior spans into orphans.
+        fn count(nodes: &[strudel::obs::trace::TreeNode]) -> usize {
+            nodes.iter().map(|n| 1 + count(&n.children)).sum()
+        }
+        let forest = strudel::obs::trace::assemble_tree(&spans);
+        prop_assert_eq!(count(&forest), spans.len());
+        for node in &forest {
+            prop_assert!(node.self_ns <= node.span.dur_ns());
+        }
+    }
+
+    /// The Chrome trace-event export always round-trips as valid JSON:
+    /// an array of complete (`ph: "X"`) events with monotonically
+    /// non-decreasing timestamps and a duration on every event.
+    #[test]
+    fn chrome_export_roundtrips_with_monotone_ts(
+        requests in 1usize..5,
+        depth in 1usize..4,
+    ) {
+        use strudel::obs::trace;
+        tracing_on();
+        for _ in 0..requests {
+            let root = trace::begin_request("request").expect("tracing enabled");
+            let ctx = root.ctx();
+            let _enter = trace::enter(&ctx);
+            span_burst(depth, 2);
+            drop(_enter);
+            root.finish();
+        }
+        let text = trace::traces_chrome();
+        let doc = strudel::obs::json::parse(&text).expect("valid JSON");
+        let events = doc.as_array().expect("an array of events");
+        let mut last_ts = f64::MIN;
+        for e in events {
+            prop_assert_eq!(e.get("ph").and_then(|p| p.as_str()), Some("X"));
+            prop_assert!(e.get("dur").and_then(|d| d.as_f64()).is_some());
+            prop_assert!(e.get("name").and_then(|n| n.as_str()).is_some());
+            let ts = e.get("ts").and_then(|t| t.as_f64()).expect("ts");
+            prop_assert!(ts >= last_ts, "ts went backwards: {ts} < {last_ts}");
+            last_ts = ts;
+        }
+    }
+}
